@@ -1,0 +1,189 @@
+//! Bootstrap-aggregated ensembles.
+//!
+//! Paper, Sec. IV.D: "We used bagging to improve the ANN's accuracy and
+//! generalization, which trains several different ANNs using a subset of
+//! the input data and averages the ANNs' outputs to determine the final
+//! prediction. We trained 30 ANNs and initialized the model weights
+//! randomly."
+
+use crate::activation::Activation;
+use crate::data::{Dataset, Split};
+use crate::network::Network;
+use crate::rng::SplitMix64;
+use crate::train::{TrainConfig, TrainedModel, Trainer};
+
+/// An ensemble of independently initialised networks, each trained on a
+/// bootstrap resample of the training partition, predicting by output
+/// averaging.
+///
+/// ```
+/// use tinyann::{Activation, Bagging, Dataset, TrainConfig};
+///
+/// let inputs: Vec<Vec<f64>> = (0..60).map(|i| vec![f64::from(i) / 60.0]).collect();
+/// let targets: Vec<Vec<f64>> = inputs.iter().map(|x| vec![x[0] * x[0]]).collect();
+/// let dataset = Dataset::new(inputs, targets).unwrap();
+/// let config = TrainConfig { epochs: 150, ..TrainConfig::default() };
+/// let ensemble = Bagging::train(&dataset, 5, &[1, 6, 1], Activation::Tanh, config);
+/// let y = ensemble.predict(&[0.5])[0];
+/// assert!((y - 0.25).abs() < 0.1, "got {y}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bagging {
+    models: Vec<TrainedModel>,
+}
+
+impl Bagging {
+    /// Train `count` networks of topology `dims` on bootstrap resamples of
+    /// the dataset's training split. Validation and test partitions are
+    /// shared across members so early stopping sees un-resampled data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`.
+    pub fn train(
+        dataset: &Dataset,
+        count: usize,
+        dims: &[usize],
+        activation: Activation,
+        config: TrainConfig,
+    ) -> Self {
+        assert!(count > 0, "ensemble needs at least one member");
+        let split = dataset.split(0.70, 0.15, config.seed);
+        let mut rng = SplitMix64::new(config.seed ^ 0xB466);
+        let mut models = Vec::with_capacity(count);
+        for member in 0..count {
+            // Bootstrap resample of the training partition (with
+            // replacement, same cardinality).
+            let n = split.train.len();
+            let indices: Vec<usize> =
+                (0..n).map(|_| rng.next_below(n as u64) as usize).collect();
+            let member_split = Split {
+                train: split.train.subset(&indices),
+                validation: split.validation.clone(),
+                test: split.test.clone(),
+            };
+            // Random, per-member weight initialisation.
+            let network = Network::new(dims, activation, rng.next_u64());
+            let member_config = TrainConfig { seed: config.seed ^ (member as u64), ..config };
+            models.push(Trainer::new(member_config).fit_split(network, &member_split));
+        }
+        Bagging { models }
+    }
+
+    /// Number of ensemble members.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// `true` if the ensemble has no members (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Average of all member predictions.
+    pub fn predict(&self, input: &[f64]) -> Vec<f64> {
+        let mut sum = self.models[0].predict(input);
+        for model in &self.models[1..] {
+            for (s, v) in sum.iter_mut().zip(model.predict(input)) {
+                *s += v;
+            }
+        }
+        for s in &mut sum {
+            *s /= self.models.len() as f64;
+        }
+        sum
+    }
+
+    /// Individual member predictions (for variance diagnostics).
+    pub fn member_predictions(&self, input: &[f64]) -> Vec<Vec<f64>> {
+        self.models.iter().map(|m| m.predict(input)).collect()
+    }
+
+    /// The trained members.
+    pub fn models(&self) -> &[TrainedModel] {
+        &self.models
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_dataset() -> Dataset {
+        // y = sin(3x) with deterministic pseudo-noise.
+        let mut noise = SplitMix64::new(77);
+        let inputs: Vec<Vec<f64>> = (0..120).map(|i| vec![f64::from(i) / 120.0]).collect();
+        let targets: Vec<Vec<f64>> = inputs
+            .iter()
+            .map(|x| vec![(3.0 * x[0]).sin() + 0.05 * (noise.next_f64() - 0.5)])
+            .collect();
+        Dataset::new(inputs, targets).unwrap()
+    }
+
+    fn quick_config() -> TrainConfig {
+        TrainConfig { epochs: 120, patience: 30, ..TrainConfig::default() }
+    }
+
+    #[test]
+    fn ensemble_members_differ() {
+        let ensemble = Bagging::train(&noisy_dataset(), 4, &[1, 5, 1], Activation::Tanh, quick_config());
+        let preds = ensemble.member_predictions(&[0.4]);
+        let first = preds[0][0];
+        assert!(
+            preds.iter().any(|p| (p[0] - first).abs() > 1e-9),
+            "bootstrap + random init must produce distinct members"
+        );
+    }
+
+    #[test]
+    fn prediction_is_the_member_mean() {
+        let ensemble = Bagging::train(&noisy_dataset(), 3, &[1, 4, 1], Activation::Tanh, quick_config());
+        let mean = ensemble.predict(&[0.6])[0];
+        let manual: f64 =
+            ensemble.member_predictions(&[0.6]).iter().map(|p| p[0]).sum::<f64>() / 3.0;
+        assert!((mean - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bagging_reduces_prediction_error_variance() {
+        // Train many single nets and one ensemble; the ensemble's squared
+        // error should not be dramatically worse than the best single net,
+        // and should beat the *average* single net.
+        let dataset = noisy_dataset();
+        let target = |x: f64| (3.0 * x).sin();
+        let probe = [0.15, 0.35, 0.55, 0.75, 0.95];
+
+        let ensemble = Bagging::train(&dataset, 8, &[1, 5, 1], Activation::Tanh, quick_config());
+        let ensemble_err: f64 = probe
+            .iter()
+            .map(|&x| (ensemble.predict(&[x])[0] - target(x)).powi(2))
+            .sum::<f64>();
+
+        let mean_member_err: f64 = ensemble
+            .models()
+            .iter()
+            .map(|m| {
+                probe.iter().map(|&x| (m.predict(&[x])[0] - target(x)).powi(2)).sum::<f64>()
+            })
+            .sum::<f64>()
+            / ensemble.len() as f64;
+
+        assert!(
+            ensemble_err <= mean_member_err * 1.05,
+            "ensemble {ensemble_err} should not exceed mean member error {mean_member_err}"
+        );
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let a = Bagging::train(&noisy_dataset(), 3, &[1, 4, 1], Activation::Tanh, quick_config());
+        let b = Bagging::train(&noisy_dataset(), 3, &[1, 4, 1], Activation::Tanh, quick_config());
+        assert_eq!(a.predict(&[0.42]), b.predict(&[0.42]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn zero_members_panics() {
+        let _ = Bagging::train(&noisy_dataset(), 0, &[1, 2, 1], Activation::Tanh, quick_config());
+    }
+}

@@ -1,0 +1,133 @@
+//! k-nearest-neighbour regression.
+//!
+//! The instance-based end of the model spectrum for the paper's
+//! future-work comparison: no training beyond memorising the (profiled,
+//! labelled) benchmarks, prediction by averaging the targets of the `k`
+//! closest feature vectors in standardised Euclidean space — essentially
+//! the Euclidean-distance scheduling of Chen et al. (DAC '09) that the
+//! paper's related work discusses.
+
+use crate::data::{Dataset, Standardizer};
+
+/// A fitted k-NN regressor.
+///
+/// ```
+/// use tinyann::{Dataset, KnnRegressor};
+///
+/// let inputs: Vec<Vec<f64>> = (0..10).map(|i| vec![f64::from(i)]).collect();
+/// let targets: Vec<Vec<f64>> = inputs.iter().map(|x| vec![x[0] * 2.0]).collect();
+/// let dataset = Dataset::new(inputs, targets).unwrap();
+/// let knn = KnnRegressor::fit(&dataset, 1);
+/// assert_eq!(knn.predict(&[3.2])[0], 6.0); // nearest sample is x = 3
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnnRegressor {
+    standardizer: Standardizer,
+    samples: Vec<(Vec<f64>, Vec<f64>)>,
+    k: usize,
+}
+
+impl KnnRegressor {
+    /// Memorise the dataset. `k` is clamped to the sample count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn fit(dataset: &Dataset, k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        let standardizer = Standardizer::fit(dataset.inputs());
+        let samples = dataset
+            .inputs()
+            .iter()
+            .zip(dataset.targets())
+            .map(|(x, t)| (standardizer.transform(x), t.clone()))
+            .collect::<Vec<_>>();
+        let k = k.min(samples.len());
+        KnnRegressor { standardizer, samples, k }
+    }
+
+    /// The effective neighbour count.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Mean target of the `k` nearest stored samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` has the wrong dimensionality.
+    pub fn predict(&self, input: &[f64]) -> Vec<f64> {
+        let query = self.standardizer.transform(input);
+        let mut distances: Vec<(f64, &Vec<f64>)> = self
+            .samples
+            .iter()
+            .map(|(x, t)| {
+                let d2: f64 = x.iter().zip(&query).map(|(a, b)| (a - b).powi(2)).sum();
+                (d2, t)
+            })
+            .collect();
+        distances.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("distances are finite"));
+        let dim = distances[0].1.len();
+        let mut mean = vec![0.0; dim];
+        for (_, target) in distances.iter().take(self.k) {
+            for (m, &v) in mean.iter_mut().zip(target.iter()) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= self.k as f64;
+        }
+        mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Dataset {
+        let inputs: Vec<Vec<f64>> = (0..12).map(|i| vec![f64::from(i)]).collect();
+        let targets: Vec<Vec<f64>> =
+            inputs.iter().map(|x| vec![if x[0] < 6.0 { 2.0 } else { 8.0 }]).collect();
+        Dataset::new(inputs, targets).unwrap()
+    }
+
+    #[test]
+    fn one_nn_returns_the_nearest_label() {
+        let knn = KnnRegressor::fit(&grid(), 1);
+        assert_eq!(knn.predict(&[0.4])[0], 2.0);
+        assert_eq!(knn.predict(&[11.4])[0], 8.0);
+    }
+
+    #[test]
+    fn k_averages_across_a_boundary() {
+        let knn = KnnRegressor::fit(&grid(), 4);
+        let y = knn.predict(&[5.5])[0];
+        assert!((2.0..8.0).contains(&y), "boundary query should blend: {y}");
+    }
+
+    #[test]
+    fn k_is_clamped_to_sample_count() {
+        let knn = KnnRegressor::fit(&grid(), 1000);
+        assert_eq!(knn.k(), 12);
+        let y = knn.predict(&[3.0])[0];
+        assert!((y - 5.0).abs() < 1e-9, "global mean with k = n: {y}");
+    }
+
+    #[test]
+    fn standardisation_balances_feature_scales() {
+        // Feature 1 is numerically huge; without standardisation it would
+        // drown feature 0, which carries the label.
+        let inputs =
+            vec![vec![0.0, 1e9], vec![1.0, 1e9 + 1.0], vec![0.1, 1e9 + 2.0], vec![0.9, 1e9 + 3.0]];
+        let targets = vec![vec![0.0], vec![1.0], vec![0.0], vec![1.0]];
+        let knn = KnnRegressor::fit(&Dataset::new(inputs, targets).unwrap(), 1);
+        assert_eq!(knn.predict(&[0.05, 1e9 + 3.0])[0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        let _ = KnnRegressor::fit(&grid(), 0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Ridge (L2-regularised linear) regression via the normal equations.
+//!
+//! A classical baseline for the paper's future-work question "evaluating
+//! different machine learning techniques": linear models are the
+//! regression-counter approach of the prior work the paper cites
+//! ([3][11][22]), so comparing the ANN against ridge regression replays
+//! that design decision.
+
+use crate::data::{Dataset, Standardizer};
+
+/// A trained ridge-regression model `y = W x + b` (on standardised
+/// features), with single- or multi-output targets.
+///
+/// ```
+/// use tinyann::{Dataset, RidgeRegression};
+///
+/// // y = 3x - 1 on a small grid.
+/// let inputs: Vec<Vec<f64>> = (0..20).map(|i| vec![f64::from(i)]).collect();
+/// let targets: Vec<Vec<f64>> = inputs.iter().map(|x| vec![3.0 * x[0] - 1.0]).collect();
+/// let dataset = Dataset::new(inputs, targets).unwrap();
+/// let model = RidgeRegression::fit(&dataset, 1e-6);
+/// let y = model.predict(&[10.0])[0];
+/// assert!((y - 29.0).abs() < 1e-6, "got {y}");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RidgeRegression {
+    standardizer: Standardizer,
+    /// `outputs x (features + 1)` — last column is the intercept.
+    weights: Vec<Vec<f64>>,
+}
+
+impl RidgeRegression {
+    /// Fit with regularisation strength `lambda >= 0` (the intercept is
+    /// not regularised). Features are standardised internally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is negative or not finite.
+    pub fn fit(dataset: &Dataset, lambda: f64) -> Self {
+        assert!(lambda >= 0.0 && lambda.is_finite(), "lambda must be >= 0");
+        let standardizer = Standardizer::fit(dataset.inputs());
+        let x: Vec<Vec<f64>> = dataset
+            .inputs()
+            .iter()
+            .map(|row| {
+                let mut z = standardizer.transform(row);
+                z.push(1.0); // intercept column
+                z
+            })
+            .collect();
+        let d = x[0].len();
+        let outputs = dataset.output_dim();
+
+        // Normal equations: (X^T X + lambda I') W^T = X^T Y,
+        // with I' zeroing the intercept entry.
+        let mut gram = vec![vec![0.0; d]; d];
+        for row in &x {
+            for i in 0..d {
+                for j in 0..d {
+                    gram[i][j] += row[i] * row[j];
+                }
+            }
+        }
+        for (i, gram_row) in gram.iter_mut().enumerate().take(d - 1) {
+            gram_row[i] += lambda;
+        }
+
+        let mut weights = Vec::with_capacity(outputs);
+        for output in 0..outputs {
+            let mut rhs = vec![0.0; d];
+            for (row, target) in x.iter().zip(dataset.targets()) {
+                for i in 0..d {
+                    rhs[i] += row[i] * target[output];
+                }
+            }
+            weights.push(solve(gram.clone(), rhs));
+        }
+        RidgeRegression { standardizer, weights }
+    }
+
+    /// Predict the target vector for a raw input row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` has the wrong dimensionality.
+    pub fn predict(&self, input: &[f64]) -> Vec<f64> {
+        let mut z = self.standardizer.transform(input);
+        z.push(1.0);
+        self.weights
+            .iter()
+            .map(|w| w.iter().zip(&z).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+}
+
+/// Solve `A x = b` by Gaussian elimination with partial pivoting.
+/// Adds a tiny diagonal jitter when the pivot degenerates (rank-deficient
+/// designs with zero regularisation).
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite"))
+            .expect("non-empty");
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        if a[col][col].abs() < 1e-12 {
+            a[col][col] += 1e-9;
+        }
+        let diag = a[col][col];
+        let (pivot_rows, rest) = a.split_at_mut(col + 1);
+        let pivot_row = &pivot_rows[col];
+        for (offset, row) in rest.iter_mut().enumerate() {
+            let factor = row[col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for (value, &pivot_value) in row[col..n].iter_mut().zip(&pivot_row[col..n]) {
+                *value -= factor * pivot_value;
+            }
+            b[col + 1 + offset] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut sum = b[col];
+        for k in col + 1..n {
+            sum -= a[col][k] * x[k];
+        }
+        x[col] = sum / a[col][col];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_an_exact_linear_map() {
+        let inputs: Vec<Vec<f64>> =
+            (0..30).map(|i| vec![f64::from(i), f64::from(i * i % 7)]).collect();
+        let targets: Vec<Vec<f64>> =
+            inputs.iter().map(|x| vec![2.0 * x[0] - 5.0 * x[1] + 3.0]).collect();
+        let model = RidgeRegression::fit(&Dataset::new(inputs, targets).unwrap(), 0.0);
+        let y = model.predict(&[4.0, 2.0])[0];
+        assert!((y - (8.0 - 10.0 + 3.0)).abs() < 1e-6, "got {y}");
+    }
+
+    #[test]
+    fn multi_output_targets() {
+        let inputs: Vec<Vec<f64>> = (0..20).map(|i| vec![f64::from(i)]).collect();
+        let targets: Vec<Vec<f64>> = inputs.iter().map(|x| vec![x[0], -x[0]]).collect();
+        let model = RidgeRegression::fit(&Dataset::new(inputs, targets).unwrap(), 1e-9);
+        let y = model.predict(&[7.5]);
+        assert!((y[0] - 7.5).abs() < 1e-6);
+        assert!((y[1] + 7.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn regularisation_shrinks_weights() {
+        let inputs: Vec<Vec<f64>> = (0..20).map(|i| vec![f64::from(i)]).collect();
+        let targets: Vec<Vec<f64>> = inputs.iter().map(|x| vec![10.0 * x[0]]).collect();
+        let dataset = Dataset::new(inputs, targets).unwrap();
+        let loose = RidgeRegression::fit(&dataset, 0.0).predict(&[30.0])[0];
+        let tight = RidgeRegression::fit(&dataset, 1e4).predict(&[30.0])[0];
+        assert!(tight.abs() < loose.abs(), "heavy ridge must shrink extrapolation");
+    }
+
+    #[test]
+    fn handles_constant_features_without_nan() {
+        let inputs: Vec<Vec<f64>> = (0..10).map(|i| vec![f64::from(i), 42.0]).collect();
+        let targets: Vec<Vec<f64>> = inputs.iter().map(|x| vec![x[0]]).collect();
+        let model = RidgeRegression::fit(&Dataset::new(inputs, targets).unwrap(), 1e-6);
+        let y = model.predict(&[5.0, 42.0])[0];
+        assert!(y.is_finite());
+        assert!((y - 5.0).abs() < 1e-3, "got {y}");
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn negative_lambda_rejected() {
+        let dataset =
+            Dataset::new(vec![vec![1.0], vec![2.0]], vec![vec![1.0], vec![2.0]]).unwrap();
+        let _ = RidgeRegression::fit(&dataset, -1.0);
+    }
+}

@@ -1,0 +1,232 @@
+//! The training loop: mini-batch SGD with momentum, feature
+//! standardisation, and validation-based early stopping.
+
+use crate::data::{Dataset, Split, Standardizer};
+use crate::network::Network;
+use crate::rng::SplitMix64;
+
+/// Hyper-parameters for [`Trainer`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Maximum epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// Momentum coefficient.
+    pub momentum: f64,
+    /// Stop if validation loss has not improved for this many epochs
+    /// (`0` disables early stopping).
+    pub patience: usize,
+    /// Shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 500,
+            batch_size: 8,
+            learning_rate: 0.05,
+            momentum: 0.9,
+            patience: 50,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Outcome statistics from one training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// Epochs actually executed (≤ `config.epochs` with early stopping).
+    pub epochs_run: usize,
+    /// Final training loss.
+    pub train_loss: f64,
+    /// Best validation loss observed.
+    pub validation_loss: f64,
+    /// Loss on the held-out test partition.
+    pub test_loss: f64,
+}
+
+/// A trained network plus the standardizers its inputs and outputs pass
+/// through (both fitted on the training partition only).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainedModel {
+    network: Network,
+    input_standardizer: Standardizer,
+    target_standardizer: Standardizer,
+    report: TrainReport,
+}
+
+impl TrainedModel {
+    /// Predict the target for a raw (unstandardised) input row, in the
+    /// original target units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` has the wrong dimensionality.
+    pub fn predict(&self, input: &[f64]) -> Vec<f64> {
+        let z = self.network.forward(&self.input_standardizer.transform(input));
+        self.target_standardizer.inverse_transform(&z)
+    }
+
+    /// Training statistics.
+    pub fn report(&self) -> &TrainReport {
+        &self.report
+    }
+
+    /// The underlying network (post-training weights).
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+}
+
+/// Trains a [`Network`] on a [`Dataset`].
+///
+/// ```
+/// use tinyann::{Activation, Dataset, Network, TrainConfig, Trainer};
+///
+/// // y = x0 + x1 on a small grid.
+/// let inputs: Vec<Vec<f64>> = (0..40)
+///     .map(|i| vec![f64::from(i % 8), f64::from(i / 8)])
+///     .collect();
+/// let targets: Vec<Vec<f64>> = inputs.iter().map(|x| vec![x[0] + x[1]]).collect();
+/// let dataset = Dataset::new(inputs, targets).unwrap();
+/// let trained = Trainer::new(TrainConfig::default())
+///     .fit(Network::new(&[2, 6, 1], Activation::Tanh, 3), &dataset);
+/// let y = trained.predict(&[2.0, 3.0])[0];
+/// assert!((y - 5.0).abs() < 1.0, "got {y}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    config: TrainConfig,
+}
+
+impl Trainer {
+    /// A trainer with the given hyper-parameters.
+    pub fn new(config: TrainConfig) -> Self {
+        Trainer { config }
+    }
+
+    /// The hyper-parameters.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Split the dataset 70/15/15, standardise on the training partition,
+    /// and train with early stopping.
+    pub fn fit(&self, network: Network, dataset: &Dataset) -> TrainedModel {
+        let split = dataset.split(0.70, 0.15, self.config.seed);
+        self.fit_split(network, &split)
+    }
+
+    /// Train on a caller-provided split (exposed so bagging can resample
+    /// the training partition while keeping validation/test fixed).
+    pub fn fit_split(&self, mut network: Network, split: &Split) -> TrainedModel {
+        let input_standardizer = Standardizer::fit(split.train.inputs());
+        let target_standardizer = Standardizer::fit(split.train.targets());
+        let train_x = input_standardizer.transform_all(split.train.inputs());
+        let train_t = target_standardizer.transform_all(split.train.targets());
+        let val_x = input_standardizer.transform_all(split.validation.inputs());
+        let val_t = target_standardizer.transform_all(split.validation.targets());
+        let test_x = input_standardizer.transform_all(split.test.inputs());
+        let test_t = target_standardizer.transform_all(split.test.targets());
+
+        let mut rng = SplitMix64::new(self.config.seed ^ 0xA5A5_A5A5);
+        let mut best = network.clone();
+        let mut best_val = f64::INFINITY;
+        let mut stale = 0usize;
+        let mut epochs_run = 0usize;
+        let mut train_loss = network.mean_loss(&train_x, &train_t);
+
+        for _ in 0..self.config.epochs {
+            epochs_run += 1;
+            let order = rng.shuffled_indices(train_x.len());
+            for chunk in order.chunks(self.config.batch_size.max(1)) {
+                let batch_x: Vec<Vec<f64>> = chunk.iter().map(|&i| train_x[i].clone()).collect();
+                let batch_t: Vec<Vec<f64>> = chunk.iter().map(|&i| train_t[i].clone()).collect();
+                train_loss = network.train_batch(
+                    &batch_x,
+                    &batch_t,
+                    self.config.learning_rate,
+                    self.config.momentum,
+                );
+            }
+            let val_loss = network.mean_loss(&val_x, &val_t);
+            if val_loss < best_val {
+                best_val = val_loss;
+                best = network.clone();
+                stale = 0;
+            } else {
+                stale += 1;
+                if self.config.patience > 0 && stale >= self.config.patience {
+                    break;
+                }
+            }
+        }
+
+        let test_loss = best.mean_loss(&test_x, &test_t);
+        TrainedModel {
+            network: best,
+            input_standardizer,
+            target_standardizer,
+            report: TrainReport { epochs_run, train_loss, validation_loss: best_val, test_loss },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+
+    fn linear_dataset(n: usize) -> Dataset {
+        let inputs: Vec<Vec<f64>> =
+            (0..n).map(|i| vec![i as f64 / n as f64, (n - i) as f64 / n as f64]).collect();
+        let targets: Vec<Vec<f64>> =
+            inputs.iter().map(|x| vec![3.0 * x[0] - 2.0 * x[1]]).collect();
+        Dataset::new(inputs, targets).unwrap()
+    }
+
+    #[test]
+    fn fit_learns_a_linear_function() {
+        let dataset = linear_dataset(100);
+        let trained = Trainer::new(TrainConfig::default())
+            .fit(Network::new(&[2, 6, 1], Activation::Tanh, 1), &dataset);
+        let y = trained.predict(&[0.5, 0.5])[0];
+        assert!((y - 0.5).abs() < 0.15, "3*0.5 - 2*0.5 = 0.5, got {y}");
+        assert!(trained.report().test_loss < 0.01);
+    }
+
+    #[test]
+    fn early_stopping_halts_before_max_epochs() {
+        let dataset = linear_dataset(60);
+        let config = TrainConfig { epochs: 100_000, patience: 10, ..TrainConfig::default() };
+        let trained =
+            Trainer::new(config).fit(Network::new(&[2, 4, 1], Activation::Tanh, 2), &dataset);
+        assert!(trained.report().epochs_run < 100_000);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let dataset = linear_dataset(50);
+        let fit = |seed| {
+            Trainer::new(TrainConfig { seed, epochs: 50, ..TrainConfig::default() })
+                .fit(Network::new(&[2, 4, 1], Activation::Tanh, 3), &dataset)
+        };
+        let a = fit(5);
+        let b = fit(5);
+        assert_eq!(a, b);
+        assert_eq!(a.predict(&[0.3, 0.3]), b.predict(&[0.3, 0.3]));
+    }
+
+    #[test]
+    fn patience_zero_disables_early_stopping() {
+        let dataset = linear_dataset(30);
+        let config = TrainConfig { epochs: 37, patience: 0, ..TrainConfig::default() };
+        let trained =
+            Trainer::new(config).fit(Network::new(&[2, 3, 1], Activation::Tanh, 4), &dataset);
+        assert_eq!(trained.report().epochs_run, 37);
+    }
+}

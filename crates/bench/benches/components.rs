@@ -1,0 +1,97 @@
+//! Component micro-benchmarks: throughput regression tracking for every
+//! substrate the experiments rest on (cache replay, energy evaluation,
+//! trace generation, ANN training/prediction, tuning heuristic, Section
+//! IV.E decision).
+
+use cache_sim::{simulate, Access, CacheConfig, Trace, BASE_CONFIG};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use energy_model::{EnergyModel, ExecutionCost};
+use hetero_core::{StallDecision, TuningExplorer, TuningStatus};
+use tinyann::{Activation, Network};
+use workloads::Suite;
+
+fn bench_cache_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_replay");
+    let trace: Trace = (0..100_000u64).map(|i| Access::read((i * 67) % 32_768)).collect();
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for config in ["2KB_1W_16B", "4KB_2W_32B", "8KB_4W_64B"] {
+        let config = CacheConfig::parse(config).expect("valid");
+        group.bench_with_input(BenchmarkId::from_parameter(config), &config, |b, &config| {
+            b.iter(|| simulate(config, &trace));
+        });
+    }
+    group.finish();
+}
+
+fn bench_energy_model(c: &mut Criterion) {
+    let model = EnergyModel::default();
+    let trace: Trace = (0..10_000u64).map(|i| Access::read(i * 16)).collect();
+    let stats = simulate(BASE_CONFIG, &trace);
+    c.bench_function("energy_execution_eval", |b| {
+        b.iter(|| model.execution(BASE_CONFIG, &stats, 50_000));
+    });
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let suite = Suite::eembc_like_small();
+    c.bench_function("suite_trace_generation", |b| {
+        b.iter(|| {
+            suite.iter().map(|k| k.run().trace.len()).sum::<usize>()
+        });
+    });
+}
+
+fn bench_ann(c: &mut Criterion) {
+    // The paper's topology: 18 features in, {10, 18, 5} hidden, 1 out.
+    let network = Network::new(&[18, 10, 18, 5, 1], Activation::Tanh, 7);
+    let input = vec![0.1; 18];
+    c.bench_function("ann_forward_paper_topology", |b| {
+        b.iter(|| network.forward(&input));
+    });
+
+    let inputs: Vec<Vec<f64>> = (0..32).map(|i| vec![f64::from(i) / 32.0; 18]).collect();
+    let targets: Vec<Vec<f64>> = (0..32).map(|i| vec![f64::from(i % 3)]).collect();
+    c.bench_function("ann_train_batch_32", |b| {
+        b.iter_batched(
+            || network.clone(),
+            |mut net| net.train_batch(&inputs, &targets, 0.05, 0.9),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_tuning_heuristic(c: &mut Criterion) {
+    c.bench_function("tuning_heuristic_full_walk", |b| {
+        b.iter(|| {
+            let mut explorer = TuningExplorer::new(cache_sim::CacheSizeKb::K8);
+            while let TuningStatus::Explore(config) = explorer.status() {
+                // Unimodal synthetic surface.
+                let energy = -f64::from(config.associativity().ways())
+                    + f64::from(config.line().bytes()) * 0.01;
+                explorer.record(config, energy);
+            }
+            explorer.explored_count()
+        });
+    });
+}
+
+fn bench_decision(c: &mut Criterion) {
+    let cost = |nj: f64| ExecutionCost {
+        cycles: 1_000,
+        energy: energy_model::EnergyBreakdown { dynamic_nj: nj, static_nj: 0.0, idle_nj: 0.0 },
+    };
+    c.bench_function("stall_decision_eval", |b| {
+        b.iter(|| StallDecision::evaluate(cost(100.0), cost(140.0), 0.05, 40_000, 0.3));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cache_replay,
+    bench_energy_model,
+    bench_trace_generation,
+    bench_ann,
+    bench_tuning_heuristic,
+    bench_decision
+);
+criterion_main!(benches);

@@ -1,0 +1,272 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. **Section IV.E decision** — the proposed system with the decision
+//!    replaced by hard-wired always-stall / always-run. The paper's
+//!    Section VI observation: "the hypothesis that stalling benchmarks …
+//!    did not result in the best total energy savings, showing that this
+//!    decision can not be made naively".
+//! 2. **Figure 5 heuristic order** — associativity-then-line (paper) vs
+//!    line-then-associativity, compared as steps taken and energy gap to
+//!    the exhaustive per-size optimum.
+//! 3. **Bagging size** — leave-one-out energy degradation for ensembles
+//!    of 1, 5, 15, and 30 networks (paper uses 30).
+//! 4. **Model family** — the paper's future work ("evaluating different
+//!    machine learning techniques"): the bagged ANN vs ridge regression
+//!    (the regression-counter lineage of the paper's refs 3/11/22) vs k-NN (the
+//!    Euclidean-distance matching of Chen et al., the paper's ref 4).
+//!
+//! ```sh
+//! cargo run --release -p hetero-bench --bin ablations [jobs] [horizon] [seed]
+//! ```
+
+use cache_sim::{Associativity, CacheConfig, CacheSizeKb, LineSize};
+use hetero_bench::{parse_plan_args, Testbed};
+use hetero_core::{BestCorePredictor, DecisionPolicy, PredictorConfig, ProposedSystem, SuiteOracle};
+use multicore_sim::Simulator;
+use workloads::BenchmarkId;
+
+fn main() {
+    let (jobs, horizon, seed) = parse_plan_args();
+    println!("== Ablations ==");
+    println!("{jobs} uniform arrivals over {horizon} cycles, seed {seed}\n");
+    println!("building testbed (20 kernels x 18 configs, 30 bagged ANNs) ...\n");
+    let testbed = Testbed::paper();
+    let plan = testbed.plan(jobs, horizon, seed);
+
+    // ------------------------------------------------------------------
+    // 1. The Section IV.E decision vs naive fixed policies.
+    // ------------------------------------------------------------------
+    println!("[1] Section IV.E decision (total energy, lower is better):");
+    let mut results = Vec::new();
+    for (name, policy) in [
+        ("evaluate (paper)", DecisionPolicy::Evaluate),
+        ("always stall", DecisionPolicy::AlwaysStall),
+        ("always run", DecisionPolicy::AlwaysRun),
+    ] {
+        let mut system = ProposedSystem::with_model(
+            &testbed.arch,
+            &testbed.oracle,
+            testbed.model,
+            testbed.predictor.clone(),
+        )
+        .with_decision_policy(policy);
+        let metrics = Simulator::new(testbed.arch.num_cores()).run(&plan, &mut system);
+        results.push((name, metrics.energy.total(), metrics.total_cycles, metrics.stalls));
+    }
+    let evaluate_total = results[0].1;
+    for (name, total, cycles, stalls) in &results {
+        println!(
+            "  {:<18} total {:>14.0} nJ ({:>6.3}x evaluate)  makespan {:>12}  stalls {:>6}",
+            name,
+            total,
+            total / evaluate_total,
+            cycles,
+            stalls
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // 2. Tuning-heuristic parameter order.
+    // ------------------------------------------------------------------
+    println!("\n[2] Figure 5 heuristic order (vs exhaustive per-size optimum):");
+    let assoc_first = heuristic_quality(&testbed.oracle, false);
+    let line_first = heuristic_quality(&testbed.oracle, true);
+    println!(
+        "  assoc->line (paper): mean steps {:.2}, mean energy gap {:.3}%, worst gap {:.2}%",
+        assoc_first.0, assoc_first.1 * 100.0, assoc_first.2 * 100.0
+    );
+    println!(
+        "  line->assoc        : mean steps {:.2}, mean energy gap {:.3}%, worst gap {:.2}%",
+        line_first.0, line_first.1 * 100.0, line_first.2 * 100.0
+    );
+
+    // ------------------------------------------------------------------
+    // 3. Bagging ensemble size.
+    // ------------------------------------------------------------------
+    println!("\n[3] bagging ensemble size (leave-one-out mean energy degradation):");
+    for members in [1usize, 5, 15, 30] {
+        let config = PredictorConfig { ensemble_size: members, ..PredictorConfig::paper() };
+        let mut degradations = Vec::new();
+        for benchmark in testbed.oracle.benchmarks() {
+            let predictor =
+                BestCorePredictor::train_excluding(&testbed.oracle, &[benchmark], &config);
+            let predicted = predictor.predict(&testbed.oracle.execution_statistics(benchmark));
+            let best = testbed.oracle.best_config(benchmark).1.total_nj();
+            let achieved =
+                testbed.oracle.best_config_with_size(benchmark, predicted).1.total_nj();
+            degradations.push(achieved / best - 1.0);
+        }
+        let mean = degradations.iter().sum::<f64>() / degradations.len() as f64;
+        let exact = degradations.iter().filter(|&&d| d == 0.0).count();
+        println!(
+            "  {members:>2} ANNs: mean degradation {:>6.2}%, {exact}/{} exact sizes",
+            mean * 100.0,
+            degradations.len()
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // 4. Model family comparison (the paper's future work).
+    // ------------------------------------------------------------------
+    println!("\n[4] model family (deployment accuracy / leave-one-out degradation):");
+    type TrainFn<'a> = Box<dyn Fn(&[BenchmarkId]) -> BestCorePredictor + 'a>;
+    let families: Vec<(&str, TrainFn)> = vec![
+        (
+            "bagged ANN (paper)",
+            Box::new(|excluded: &[BenchmarkId]| {
+                BestCorePredictor::train_excluding(&testbed.oracle, excluded, &PredictorConfig::paper())
+            }),
+        ),
+        (
+            "ridge regression",
+            Box::new(|excluded: &[BenchmarkId]| {
+                BestCorePredictor::train_ridge(&testbed.oracle, excluded, 1.0)
+            }),
+        ),
+        (
+            "3-NN",
+            Box::new(|excluded: &[BenchmarkId]| {
+                BestCorePredictor::train_knn(&testbed.oracle, excluded, 3)
+            }),
+        ),
+        (
+            "1-NN",
+            Box::new(|excluded: &[BenchmarkId]| {
+                BestCorePredictor::train_knn(&testbed.oracle, excluded, 1)
+            }),
+        ),
+    ];
+    for (name, train) in &families {
+        let deployed = train(&[]);
+        let in_sample = testbed
+            .oracle
+            .benchmarks()
+            .filter(|&b| {
+                deployed.predict(&testbed.oracle.execution_statistics(b))
+                    == testbed.oracle.best_size(b)
+            })
+            .count();
+        let mut loo = Vec::new();
+        for benchmark in testbed.oracle.benchmarks() {
+            let predictor = train(&[benchmark]);
+            let predicted = predictor.predict(&testbed.oracle.execution_statistics(benchmark));
+            let best = testbed.oracle.best_config(benchmark).1.total_nj();
+            let achieved =
+                testbed.oracle.best_config_with_size(benchmark, predicted).1.total_nj();
+            loo.push(achieved / best - 1.0);
+        }
+        let mean = loo.iter().sum::<f64>() / loo.len() as f64;
+        let exact = loo.iter().filter(|&&d| d == 0.0).count();
+        println!(
+            "  {:<20} deployment {:>2}/{}  |  leave-one-out: {exact}/{} exact, mean degradation {:>7.2}%",
+            name,
+            in_sample,
+            testbed.oracle.len(),
+            loo.len(),
+            mean * 100.0
+        );
+    }
+}
+
+/// Run a greedy small-to-large exploration in either parameter order
+/// against the oracle's true energies; returns (mean steps, mean gap,
+/// worst gap) over all (benchmark, size) pairs.
+fn heuristic_quality(oracle: &SuiteOracle, line_first: bool) -> (f64, f64, f64) {
+    let mut steps_total = 0usize;
+    let mut gaps = Vec::new();
+    for benchmark in oracle.benchmarks() {
+        for size in CacheSizeKb::ALL {
+            let energy = |c: CacheConfig| oracle.cost(benchmark, c).total_nj();
+            let (found, steps) = if line_first {
+                explore_line_then_assoc(size, energy)
+            } else {
+                explore_assoc_then_line(size, energy)
+            };
+            let exhaustive = oracle.best_config_with_size(benchmark, size).1.total_nj();
+            gaps.push(oracle.cost(benchmark, found).total_nj() / exhaustive - 1.0);
+            steps_total += steps;
+        }
+    }
+    let pairs = gaps.len() as f64;
+    let mean_gap = gaps.iter().sum::<f64>() / pairs;
+    let worst = gaps.iter().cloned().fold(0.0f64, f64::max);
+    (steps_total as f64 / pairs, mean_gap, worst)
+}
+
+fn explore_assoc_then_line(
+    size: CacheSizeKb,
+    energy: impl Fn(CacheConfig) -> f64,
+) -> (CacheConfig, usize) {
+    let mut steps = 0;
+    let mut best = CacheConfig::new(size, Associativity::Direct, LineSize::B16).expect("valid");
+    let mut best_e = energy(best);
+    steps += 1;
+    let mut assoc = Associativity::Direct;
+    while let Some(next) = assoc.next_larger().filter(|&a| a <= size.max_associativity()) {
+        let candidate = best.with_associativity(next).expect("validated");
+        steps += 1;
+        let e = energy(candidate);
+        if e < best_e {
+            best = candidate;
+            best_e = e;
+            assoc = next;
+        } else {
+            break;
+        }
+    }
+    let mut line = best.line();
+    while let Some(next) = line.next_larger() {
+        let candidate = best.with_line(next);
+        steps += 1;
+        let e = energy(candidate);
+        if e < best_e {
+            best = candidate;
+            best_e = e;
+            line = next;
+        } else {
+            break;
+        }
+    }
+    (best, steps)
+}
+
+fn explore_line_then_assoc(
+    size: CacheSizeKb,
+    energy: impl Fn(CacheConfig) -> f64,
+) -> (CacheConfig, usize) {
+    let mut steps = 0;
+    let mut best = CacheConfig::new(size, Associativity::Direct, LineSize::B16).expect("valid");
+    let mut best_e = energy(best);
+    steps += 1;
+    let mut line = LineSize::B16;
+    while let Some(next) = line.next_larger() {
+        let candidate = best.with_line(next);
+        steps += 1;
+        let e = energy(candidate);
+        if e < best_e {
+            best = candidate;
+            best_e = e;
+            line = next;
+        } else {
+            break;
+        }
+    }
+    let mut assoc = Associativity::Direct;
+    while let Some(next) = assoc.next_larger().filter(|&a| a <= size.max_associativity()) {
+        let candidate = best.with_associativity(next).expect("validated");
+        steps += 1;
+        let e = energy(candidate);
+        if e < best_e {
+            best = candidate;
+            best_e = e;
+            assoc = next;
+        } else {
+            break;
+        }
+    }
+    (best, steps)
+}
+
+/// Silence the unused-import lint for BenchmarkId used only in types above.
+#[allow(dead_code)]
+fn _types(_: BenchmarkId) {}

@@ -1,0 +1,79 @@
+//! Reproduce the **Section IV.D claim**: "the ANNs predicted best cache
+//! sizes … only degraded the average energy consumption by less than 2 %
+//! over all the benchmarks as compared to the optimal cache size."
+//!
+//! Two evaluations are reported:
+//!
+//! * **deployment** — the predictor trained on the full suite (how the
+//!   scheduler actually uses it), evaluated on every benchmark;
+//! * **leave-one-out** — each benchmark predicted by an ensemble that
+//!   never saw it, the honest generalisation measurement.
+//!
+//! ```sh
+//! cargo run --release -p hetero-bench --bin ann_accuracy
+//! ```
+
+use energy_model::EnergyModel;
+use hetero_core::{BestCorePredictor, PredictorConfig, SuiteOracle};
+use workloads::Suite;
+
+fn main() {
+    println!("== Sec. IV.D: ANN best-cache-size prediction quality ==\n");
+    let suite = Suite::eembc_like();
+    let model = EnergyModel::default();
+    println!("characterising {} kernels x 18 configurations ...", suite.len());
+    let oracle = SuiteOracle::build(&suite, &model);
+    let config = PredictorConfig::paper();
+    println!(
+        "predictor: {} bagged ANNs, hidden {:?}, 70/15/15 split, augmentation x{}\n",
+        config.ensemble_size, config.hidden, config.augmentation
+    );
+
+    // Deployment (in-sample) evaluation.
+    let deployed = BestCorePredictor::train(&oracle, &config);
+    let mut rows = Vec::new();
+    for (kernel, benchmark) in suite.iter().zip(oracle.benchmarks()) {
+        let loo = BestCorePredictor::train_excluding(&oracle, &[benchmark], &config);
+        let stats = oracle.execution_statistics(benchmark);
+        rows.push((kernel.name().to_owned(), benchmark, deployed.predict(&stats), loo.predict(&stats)));
+    }
+
+    println!(
+        "{:<12} {:>7} {:>10} {:>12} {:>10} {:>12}",
+        "benchmark", "actual", "deployed", "energy delta", "leave-1-out", "energy delta"
+    );
+    let mut deployed_deg = Vec::new();
+    let mut loo_deg = Vec::new();
+    for (name, benchmark, deployed_size, loo_size) in rows {
+        let actual = oracle.best_size(benchmark);
+        let best = oracle.best_config(benchmark).1.total_nj();
+        let degradation = |size| {
+            oracle.best_config_with_size(benchmark, size).1.total_nj() / best - 1.0
+        };
+        let d_dep = degradation(deployed_size);
+        let d_loo = degradation(loo_size);
+        deployed_deg.push(d_dep);
+        loo_deg.push(d_loo);
+        println!(
+            "{:<12} {:>7} {:>10} {:>11.2}% {:>10} {:>11.2}%",
+            name,
+            actual.to_string(),
+            deployed_size.to_string(),
+            d_dep * 100.0,
+            loo_size.to_string(),
+            d_loo * 100.0
+        );
+    }
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "\ndeployment: mean energy degradation {:.2}% (paper claim: < 2%)",
+        mean(&deployed_deg) * 100.0
+    );
+    println!(
+        "leave-one-out: mean energy degradation {:.2}%, {} / {} exact sizes",
+        mean(&loo_deg) * 100.0,
+        loo_deg.iter().filter(|&&d| d == 0.0).count(),
+        loo_deg.len()
+    );
+}

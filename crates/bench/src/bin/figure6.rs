@@ -1,0 +1,53 @@
+//! Reproduce **Figure 6**: idle, dynamic, and total energy of the optimal,
+//! energy-centric, and proposed systems, normalised to the base system.
+//!
+//! ```sh
+//! cargo run --release -p hetero-bench --bin figure6 [jobs] [horizon] [seed]
+//! ```
+//!
+//! Paper values (normalised to base = 1.000):
+//!
+//! | system         | idle  | dynamic | total |
+//! |----------------|-------|---------|-------|
+//! | optimal        | 0.97  | 0.65    | 0.94  |
+//! | energy-centric | 1.06  | 0.42    | 1.02  |
+//! | proposed       | 0.73  | 0.45    | 0.71  |
+
+use hetero_bench::report::ExperimentRecord;
+use hetero_bench::{parse_plan_args, print_normalized_table, Testbed};
+
+fn main() {
+    let (jobs, horizon, seed) = parse_plan_args();
+    println!("== Figure 6: energy normalised to the base system ==");
+    println!("{jobs} uniform arrivals over {horizon} cycles, seed {seed}\n");
+
+    println!("building testbed (20 kernels x 18 configs, 30 bagged ANNs) ...");
+    let testbed = Testbed::paper();
+    let plan = testbed.plan(jobs, horizon, seed);
+    let comparison = testbed.run_all(&plan);
+
+    println!();
+    print_normalized_table(&comparison, "base");
+
+    println!("\npaper reports (approx.): optimal 0.97/0.65/0.94, \
+              energy-centric 1.06/0.42/1.02, proposed 0.73/0.45/0.71");
+
+    match ExperimentRecord::from_comparison("figure6", jobs, horizon, seed, &comparison)
+        .write_default()
+    {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(error) => eprintln!("could not write results file: {error}"),
+    }
+
+    println!("\nabsolute energies (nJ):");
+    for (name, run) in comparison.iter() {
+        println!(
+            "  {:<16} idle {:>14.0}  dynamic {:>14.0}  static {:>14.0}  total {:>14.0}",
+            name,
+            run.metrics.energy.idle_nj,
+            run.metrics.energy.dynamic_nj,
+            run.metrics.energy.static_nj,
+            run.metrics.energy.total(),
+        );
+    }
+}

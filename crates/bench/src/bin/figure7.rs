@@ -1,0 +1,62 @@
+//! Reproduce **Figure 7**: performance (cycles) and energy of the
+//! energy-centric and proposed systems, normalised to the optimal system.
+//!
+//! ```sh
+//! cargo run --release -p hetero-bench --bin figure7 [jobs] [horizon] [seed]
+//! ```
+//!
+//! Paper values (normalised to optimal = 1.00): energy-centric cycles
+//! 0.83, idle 1.10, dynamic 0.65, total 1.09; proposed cycles 0.75, idle
+//! 0.74, dynamic 0.69, total 0.76.
+//!
+//! The paper's "total number of cycles" series admits several readings
+//! (makespan, aggregate execution work, mean turnaround); we print all
+//! three so the comparison is explicit.
+
+use hetero_bench::report::ExperimentRecord;
+use hetero_bench::{parse_plan_args, print_normalized_table, Testbed};
+
+fn main() {
+    let (jobs, horizon, seed) = parse_plan_args();
+    println!("== Figure 7: cycles and energy normalised to the optimal system ==");
+    println!("{jobs} uniform arrivals over {horizon} cycles, seed {seed}\n");
+
+    println!("building testbed (20 kernels x 18 configs, 30 bagged ANNs) ...");
+    let testbed = Testbed::paper();
+    let plan = testbed.plan(jobs, horizon, seed);
+    let comparison = testbed.run_all(&plan);
+
+    println!();
+    print_normalized_table(&comparison, "optimal");
+
+    match ExperimentRecord::from_comparison("figure7", jobs, horizon, seed, &comparison)
+        .write_default()
+    {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(error) => eprintln!("could not write results file: {error}"),
+    }
+
+    let optimal = &comparison.optimal.metrics;
+    println!("\ncycle interpretations (normalised to optimal):");
+    println!(
+        "{:<16} {:>10} {:>12} {:>12}",
+        "system", "makespan", "exec work", "turnaround"
+    );
+    for (name, run) in comparison.iter() {
+        let metrics = &run.metrics;
+        let work: u64 = metrics.busy_cycles.iter().sum();
+        let optimal_work: u64 = optimal.busy_cycles.iter().sum();
+        println!(
+            "{:<16} {:>10.3} {:>12.3} {:>12.3}",
+            name,
+            metrics.total_cycles as f64 / optimal.total_cycles as f64,
+            work as f64 / optimal_work as f64,
+            metrics.mean_turnaround() / optimal.mean_turnaround(),
+        );
+    }
+
+    println!(
+        "\npaper reports (approx.): energy-centric cycles 0.83, idle 1.10, dynamic 0.65, \
+         total 1.09;\n                         proposed cycles 0.75, idle 0.74, dynamic 0.69, total 0.76"
+    );
+}

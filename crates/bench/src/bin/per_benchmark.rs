@@ -1,0 +1,83 @@
+//! Per-benchmark breakdown behind the Figure 6 aggregates: for every
+//! kernel, its best configuration, the ANN's prediction, the specialisation
+//! head-room over the base configuration, and how the tuning heuristic
+//! fares against exhaustive search on each core size.
+//!
+//! ```sh
+//! cargo run --release -p hetero-bench --bin per_benchmark
+//! ```
+
+use cache_sim::{CacheSizeKb, BASE_CONFIG};
+use hetero_bench::Testbed;
+use hetero_core::{TuningExplorer, TuningStatus};
+
+fn main() {
+    println!("== Per-benchmark design-space analysis ==\n");
+    println!("building testbed (20 kernels x 18 configs, 30 bagged ANNs) ...\n");
+    let testbed = Testbed::paper();
+    let oracle = &testbed.oracle;
+
+    println!(
+        "{:<12} {:>11} {:>9} {:>6} {:>12} {:>12} {:>10} {:>14}",
+        "benchmark", "best cfg", "ANN", "hit", "base (nJ)", "best (nJ)", "headroom", "tuning steps"
+    );
+
+    let mut headrooms = Vec::new();
+    let mut total_steps = 0usize;
+    for (kernel, benchmark) in testbed.suite.iter().zip(oracle.benchmarks()) {
+        let (best_config, best_cost) = oracle.best_config(benchmark);
+        let base_cost = oracle.cost(benchmark, BASE_CONFIG);
+        let predicted = testbed.predictor.predict(&oracle.execution_statistics(benchmark));
+        let headroom = 1.0 - best_cost.total_nj() / base_cost.total_nj();
+        headrooms.push(headroom);
+
+        // Drive the Figure 5 heuristic on every core size against the true
+        // energies; count total steps across the three sizes.
+        let mut steps = 0usize;
+        for size in CacheSizeKb::ALL {
+            let mut explorer = TuningExplorer::new(size);
+            while let TuningStatus::Explore(config) = explorer.status() {
+                explorer.record(config, oracle.cost(benchmark, config).total_nj());
+            }
+            steps += explorer.explored_count();
+        }
+        total_steps += steps;
+
+        println!(
+            "{:<12} {:>11} {:>9} {:>6} {:>12.0} {:>12.0} {:>9.1}% {:>11}/18",
+            kernel.name(),
+            best_config.to_string(),
+            predicted.to_string(),
+            if predicted == best_config.size() { "yes" } else { "NO" },
+            base_cost.total_nj(),
+            best_cost.total_nj(),
+            headroom * 100.0,
+            steps,
+        );
+    }
+
+    let mean = headrooms.iter().sum::<f64>() / headrooms.len() as f64;
+    let min = headrooms.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = headrooms.iter().cloned().fold(0.0, f64::max);
+    println!(
+        "\nspecialisation head-room over the base configuration: mean {:.1}%, \
+         min {:.1}%, max {:.1}%",
+        mean * 100.0,
+        min * 100.0,
+        max * 100.0
+    );
+    println!(
+        "tuning heuristic: {} total steps across {} (benchmark, size) pairs \
+         (exhaustive would be {})",
+        total_steps,
+        oracle.len() * 3,
+        oracle.len() * 18
+    );
+
+    // Distribution of best sizes — the heterogeneity the scheduler exploits.
+    let mut by_size = std::collections::BTreeMap::new();
+    for benchmark in oracle.benchmarks() {
+        *by_size.entry(oracle.best_size(benchmark).kilobytes()).or_insert(0u32) += 1;
+    }
+    println!("best-size distribution (KB -> kernels): {by_size:?}");
+}

@@ -1,0 +1,110 @@
+//! Replacement-policy ablation: the paper's configurable-cache lineage
+//! assumes LRU. How much of the design-space structure — per-benchmark
+//! best configurations and the specialisation head-room the scheduler
+//! exploits — survives under FIFO or pseudo-random replacement?
+//!
+//! ```sh
+//! cargo run --release -p hetero-bench --bin replacement
+//! ```
+
+use cache_sim::{design_space, sweep_with_policy, ReplacementPolicy, BASE_CONFIG};
+use energy_model::EnergyModel;
+use workloads::Suite;
+
+fn main() {
+    println!("== Replacement-policy ablation (characterisation only) ==\n");
+    let suite = Suite::eembc_like();
+    let model = EnergyModel::default();
+
+    let policies = [
+        ("LRU (paper)", ReplacementPolicy::Lru),
+        ("FIFO", ReplacementPolicy::Fifo),
+        ("random", ReplacementPolicy::Random { seed: 42 }),
+    ];
+
+    // Reference best configurations under LRU.
+    let lru_best: Vec<_> = suite
+        .iter()
+        .map(|kernel| best_config(kernel, ReplacementPolicy::Lru, &model).0)
+        .collect();
+
+    println!(
+        "{:<14} {:>16} {:>18} {:>20}",
+        "policy", "mean headroom", "best-cfg = LRU's", "mean miss delta"
+    );
+    for (name, policy) in policies {
+        let mut headrooms = Vec::new();
+        let mut same_best = 0usize;
+        let mut miss_deltas = Vec::new();
+        for (kernel, lru_cfg) in suite.iter().zip(&lru_best) {
+            let (best_cfg, best_nj, base_nj, misses) = {
+                let (cfg, results) = best_config(kernel, policy, &model);
+                let base = results
+                    .iter()
+                    .find(|(c, _)| *c == BASE_CONFIG)
+                    .expect("base in space");
+                let best = results
+                    .iter()
+                    .find(|(c, _)| *c == cfg)
+                    .expect("best in space");
+                let base_cost = model.execution(BASE_CONFIG, &base.1, kernel.run().cpu_cycles);
+                let best_cost = model.execution(cfg, &best.1, kernel.run().cpu_cycles);
+                (cfg, best_cost.total_nj(), base_cost.total_nj(), base.1.misses())
+            };
+            // Miss delta vs LRU at the base configuration.
+            let lru_results = sweep_with_policy(&kernel.run().trace, ReplacementPolicy::Lru);
+            let lru_base = lru_results
+                .iter()
+                .find(|(c, _)| *c == BASE_CONFIG)
+                .expect("base in space")
+                .1
+                .misses();
+            miss_deltas
+                .push((misses as f64 - lru_base as f64) / (lru_base.max(1) as f64));
+            headrooms.push(1.0 - best_nj / base_nj);
+            if best_cfg == *lru_cfg {
+                same_best += 1;
+            }
+        }
+        let mean_headroom = headrooms.iter().sum::<f64>() / headrooms.len() as f64;
+        let mean_delta = miss_deltas.iter().sum::<f64>() / miss_deltas.len() as f64;
+        println!(
+            "{:<14} {:>15.1}% {:>13}/{:<4} {:>19.2}%",
+            name,
+            mean_headroom * 100.0,
+            same_best,
+            suite.len(),
+            mean_delta * 100.0
+        );
+    }
+
+    println!(
+        "\nexpected shape: weaker replacement policies raise misses slightly and can \
+         shift a few best configurations, but the specialisation head-room — the \
+         quantity the whole scheduler exploits — remains large under every policy, \
+         so the paper's LRU assumption is not load-bearing."
+    );
+    println!(
+        "({} configurations per sweep, {} kernels, 3 policies)",
+        design_space().count(),
+        suite.len()
+    );
+}
+
+/// The lowest-total-energy configuration for `kernel` under `policy`,
+/// plus the full sweep results.
+fn best_config(
+    kernel: &workloads::Kernel,
+    policy: ReplacementPolicy,
+    model: &EnergyModel,
+) -> (cache_sim::CacheConfig, Vec<(cache_sim::CacheConfig, cache_sim::CacheStats)>) {
+    let run = kernel.run();
+    let results = sweep_with_policy(&run.trace, policy);
+    let best = results
+        .iter()
+        .map(|(config, stats)| (*config, model.execution(*config, stats, run.cpu_cycles)))
+        .min_by(|a, b| a.1.total_nj().partial_cmp(&b.1.total_nj()).expect("finite"))
+        .expect("non-empty design space")
+        .0;
+    (best, results)
+}

@@ -1,0 +1,90 @@
+//! Sensitivity analysis: how robust is the headline result (proposed
+//! system saves ~28 % total energy vs base) to the Section V modelling
+//! assumptions? Each row rebuilds the *entire* pipeline — design-space
+//! characterisation, ANN training, and the four-system simulation — under
+//! a perturbed energy model.
+//!
+//! Swept parameters:
+//!
+//! * **miss latency** — the paper assumes a memory fetch takes 40× an L1
+//!   fetch; we sweep 20/40/80;
+//! * **bandwidth fraction** — the paper's memory-bandwidth term is 50 % of
+//!   the miss penalty; we sweep 25/50/100 %;
+//! * **leakage fraction** — the paper's `E(per KByte)` is 10 % of the base
+//!   cache's dynamic energy; we sweep 5/10/20 %.
+//!
+//! ```sh
+//! cargo run --release -p hetero-bench --bin sensitivity [jobs] [horizon] [seed]
+//! ```
+
+use energy_model::{EnergyModel, EnergyParams};
+use hetero_bench::parse_plan_args;
+use hetero_core::{
+    Architecture, BaseSystem, BestCorePredictor, PredictorConfig, ProposedSystem, SuiteOracle,
+};
+use multicore_sim::Simulator;
+use workloads::{ArrivalPlan, Suite};
+
+struct Row {
+    label: String,
+    params: EnergyParams,
+}
+
+fn rows() -> Vec<Row> {
+    let base = EnergyParams::new();
+    vec![
+        Row { label: "paper defaults (40x, 50%, 10%)".into(), params: base },
+        Row { label: "miss latency 20x".into(), params: base.miss_latency_cycles(20) },
+        Row { label: "miss latency 80x".into(), params: base.miss_latency_cycles(80) },
+        Row { label: "bandwidth 25% of penalty".into(), params: base.bandwidth_fraction(0.25) },
+        Row { label: "bandwidth 100% of penalty".into(), params: base.bandwidth_fraction(1.0) },
+        Row { label: "leakage fraction 5%".into(), params: base.static_fraction(0.05) },
+        Row { label: "leakage fraction 20%".into(), params: base.static_fraction(0.20) },
+    ]
+}
+
+fn main() {
+    let (jobs, horizon, seed) = parse_plan_args();
+    println!("== Sensitivity of the headline saving to energy-model assumptions ==");
+    println!("{jobs} uniform arrivals over {horizon} cycles, seed {seed}\n");
+
+    let suite = Suite::eembc_like();
+    let arch = Architecture::paper_quad();
+    let plan = ArrivalPlan::uniform(jobs, horizon, suite.len(), seed);
+
+    println!(
+        "{:<34} {:>12} {:>12} {:>12} {:>10}",
+        "energy model", "base (nJ)", "proposed", "saving", "ANN exact"
+    );
+    for row in rows() {
+        let model = EnergyModel::new(row.params);
+        let oracle = SuiteOracle::build(&suite, &model);
+        let predictor = BestCorePredictor::train(&oracle, &PredictorConfig::paper());
+        let exact = oracle
+            .benchmarks()
+            .filter(|&b| predictor.predict(&oracle.execution_statistics(b)) == oracle.best_size(b))
+            .count();
+
+        let simulator = Simulator::new(arch.num_cores());
+        let mut base = BaseSystem::new(&oracle, model, arch.num_cores());
+        let base_metrics = simulator.run(&plan, &mut base);
+        let mut proposed = ProposedSystem::with_model(&arch, &oracle, model, predictor);
+        let proposed_metrics = simulator.run(&plan, &mut proposed);
+
+        println!(
+            "{:<34} {:>12.3e} {:>12.3e} {:>11.1}% {:>7}/{}",
+            row.label,
+            base_metrics.energy.total(),
+            proposed_metrics.energy.total(),
+            (1.0 - proposed_metrics.energy.total() / base_metrics.energy.total()) * 100.0,
+            exact,
+            oracle.len(),
+        );
+    }
+
+    println!(
+        "\nexpected shape: the saving moves with the assumptions (more expensive misses \
+         or leakage widen the specialisation gap) but stays strongly positive everywhere, \
+         and the ANN's best-size accuracy is insensitive to the sweep."
+    );
+}

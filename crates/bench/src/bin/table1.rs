@@ -1,0 +1,60 @@
+//! Print **Table 1**: the 18-configuration cache design space, grouped by
+//! size exactly as the paper lays it out, plus each configuration's
+//! geometry and model energies.
+//!
+//! ```sh
+//! cargo run --release -p hetero-bench --bin table1
+//! ```
+
+use cache_sim::{design_space, CacheSizeKb};
+use energy_model::EnergyModel;
+
+fn main() {
+    println!("== Table 1: cache configuration design space ==\n");
+
+    // The paper's 6x3 grid: rows are (size, associativity) pairs, columns
+    // line sizes.
+    let mut row: Vec<String> = Vec::new();
+    let mut last_key = None;
+    for config in design_space() {
+        let key = (config.size(), config.associativity());
+        if last_key.is_some() && last_key != Some(key) {
+            println!("{}", row.join(" | "));
+            row.clear();
+        }
+        last_key = Some(key);
+        row.push(format!("{:>11}", config.to_string()));
+    }
+    println!("{}", row.join(" | "));
+
+    let model = EnergyModel::default();
+    println!("\nper-configuration geometry and model energies:");
+    println!(
+        "{:>11} {:>6} {:>6} {:>12} {:>12} {:>14} {:>16}",
+        "config", "sets", "lines", "E_hit (nJ)", "E_miss (nJ)", "static nJ/cyc", "miss penalty cyc"
+    );
+    for config in design_space() {
+        println!(
+            "{:>11} {:>6} {:>6} {:>12.3} {:>12.3} {:>14.4} {:>16}",
+            config.to_string(),
+            config.num_sets(),
+            config.num_lines(),
+            model.hit_energy_nj(config),
+            model.miss_energy_nj(config),
+            model.static_nj_per_cycle(config),
+            model.miss_cycles(config, 1),
+        );
+    }
+
+    let per_size: Vec<usize> = CacheSizeKb::ALL
+        .iter()
+        .map(|&s| design_space().filter(|c| c.size() == s).count())
+        .collect();
+    println!(
+        "\n{} configurations total ({} @2KB, {} @4KB, {} @8KB); base = 8KB_4W_64B",
+        design_space().count(),
+        per_size[0],
+        per_size[1],
+        per_size[2]
+    );
+}

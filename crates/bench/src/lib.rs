@@ -1,0 +1,249 @@
+//! Shared experiment harness for reproducing the paper's evaluation
+//! (Section V/VI): builds the suite, oracle, and predictor once, runs the
+//! four systems on one arrival plan, and formats the Figure 6 / Figure 7
+//! normalisations.
+//!
+//! The experiment binaries (`figure6`, `figure7`, `ann_accuracy`,
+//! `overheads`, `ablations`, `table1`) are thin wrappers over this crate.
+
+pub mod report;
+
+use energy_model::{EnergyBreakdown, EnergyModel};
+use hetero_core::{
+    Architecture, BaseSystem, BestCorePredictor, EnergyCentricSystem, OptimalSystem,
+    PredictorConfig, ProposedSystem, SystemStats,
+};
+use multicore_sim::{RunMetrics, Simulator};
+use workloads::{ArrivalPlan, Suite};
+
+pub use hetero_core::SuiteOracle;
+
+/// Everything the experiments share: suite, energy model, oracle,
+/// architecture, and the trained predictor.
+pub struct Testbed {
+    /// The benchmark suite.
+    pub suite: Suite,
+    /// The Figure 4 energy model.
+    pub model: EnergyModel,
+    /// Exhaustive design-space characterisation.
+    pub oracle: SuiteOracle,
+    /// The Figure 1 architecture.
+    pub arch: Architecture,
+    /// The trained bagged-ANN predictor.
+    pub predictor: BestCorePredictor,
+}
+
+impl Testbed {
+    /// Build the full-size testbed with the paper's predictor
+    /// configuration.
+    pub fn paper() -> Self {
+        Self::with_suite(Suite::eembc_like(), PredictorConfig::paper())
+    }
+
+    /// A reduced testbed for fast runs.
+    pub fn small() -> Self {
+        Self::with_suite(Suite::eembc_like_small(), PredictorConfig::fast())
+    }
+
+    /// Build over an explicit suite and predictor configuration.
+    pub fn with_suite(suite: Suite, predictor_config: PredictorConfig) -> Self {
+        let model = EnergyModel::default();
+        let oracle = SuiteOracle::build(&suite, &model);
+        let arch = Architecture::paper_quad();
+        let predictor = BestCorePredictor::train(&oracle, &predictor_config);
+        Testbed { suite, model, oracle, arch, predictor }
+    }
+
+    /// The paper's arrival workload: `jobs` uniform arrivals over
+    /// `horizon` cycles (Sec. V uses 5000 arrivals).
+    pub fn plan(&self, jobs: usize, horizon: u64, seed: u64) -> ArrivalPlan {
+        ArrivalPlan::uniform(jobs, horizon, self.suite.len(), seed)
+    }
+
+    /// Run all four systems on one plan.
+    pub fn run_all(&self, plan: &ArrivalPlan) -> Comparison {
+        let simulator = Simulator::new(self.arch.num_cores());
+
+        let mut base = BaseSystem::new(&self.oracle, self.model, self.arch.num_cores());
+        let base_metrics = simulator.run(plan, &mut base);
+
+        let mut optimal = OptimalSystem::new(&self.arch, &self.oracle, self.model);
+        let optimal_metrics = simulator.run(plan, &mut optimal);
+        let optimal_stats = optimal.stats();
+
+        let mut energy_centric =
+            EnergyCentricSystem::new(&self.arch, &self.oracle, self.model, self.predictor.clone());
+        let energy_centric_metrics = simulator.run(plan, &mut energy_centric);
+        let energy_centric_stats = energy_centric.stats();
+
+        let mut proposed =
+            ProposedSystem::with_model(&self.arch, &self.oracle, self.model, self.predictor.clone());
+        let proposed_metrics = simulator.run(plan, &mut proposed);
+        let proposed_stats = proposed.stats();
+
+        Comparison {
+            base: SystemRun { metrics: base_metrics, stats: SystemStats::default() },
+            optimal: SystemRun { metrics: optimal_metrics, stats: optimal_stats },
+            energy_centric: SystemRun {
+                metrics: energy_centric_metrics,
+                stats: energy_centric_stats,
+            },
+            proposed: SystemRun { metrics: proposed_metrics, stats: proposed_stats },
+        }
+    }
+}
+
+/// One system's simulation outcome plus its instrumentation counters.
+#[derive(Debug, Clone)]
+pub struct SystemRun {
+    /// Simulator-level metrics.
+    pub metrics: RunMetrics,
+    /// Scheduler-level counters.
+    pub stats: SystemStats,
+}
+
+/// The four systems' outcomes on one shared arrival plan.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Fixed `8KB_4W_64B` on every core.
+    pub base: SystemRun,
+    /// Exhaustive-search comparator.
+    pub optimal: SystemRun,
+    /// ANN + always-stall comparator.
+    pub energy_centric: SystemRun,
+    /// The paper's proposed system.
+    pub proposed: SystemRun,
+}
+
+impl Comparison {
+    /// Iterate as (name, run) pairs in the paper's presentation order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &SystemRun)> {
+        [
+            ("base", &self.base),
+            ("optimal", &self.optimal),
+            ("energy-centric", &self.energy_centric),
+            ("proposed", &self.proposed),
+        ]
+        .into_iter()
+    }
+}
+
+/// The paper's energy reporting convention: its figures show **idle**,
+/// **dynamic**, and **total** bars. All leakage (idle cores + busy cores)
+/// is grouped under "idle"-style static energy in our breakdown; we report
+/// both groupings so the mapping is explicit.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyRow {
+    /// Idle-core leakage only.
+    pub idle_nj: f64,
+    /// Dynamic energy.
+    pub dynamic_nj: f64,
+    /// Busy-core leakage.
+    pub static_nj: f64,
+    /// Everything.
+    pub total_nj: f64,
+}
+
+impl EnergyRow {
+    /// Extract from a breakdown.
+    pub fn from_breakdown(energy: &EnergyBreakdown) -> Self {
+        EnergyRow {
+            idle_nj: energy.idle_nj,
+            dynamic_nj: energy.dynamic_nj,
+            static_nj: energy.static_nj,
+            total_nj: energy.total(),
+        }
+    }
+
+    /// Component-wise ratio to a baseline row (Figure 6/7 bars).
+    pub fn normalized_to(&self, baseline: &EnergyRow) -> [f64; 3] {
+        [
+            self.idle_nj / baseline.idle_nj,
+            self.dynamic_nj / baseline.dynamic_nj,
+            self.total_nj / baseline.total_nj,
+        ]
+    }
+}
+
+/// Print a Figure 6/7-style normalised table.
+///
+/// `baseline` picks the normalisation row (Figure 6: base; Figure 7:
+/// optimal). Cycles are included for Figure 7's performance series.
+pub fn print_normalized_table(comparison: &Comparison, baseline_name: &str) {
+    let baseline = comparison
+        .iter()
+        .find(|(name, _)| *name == baseline_name)
+        .expect("baseline exists")
+        .1;
+    let baseline_row = EnergyRow::from_breakdown(&baseline.metrics.energy);
+    let baseline_cycles = baseline.metrics.total_cycles as f64;
+
+    println!(
+        "{:<16} {:>8} {:>9} {:>8} {:>8}   (normalised to {})",
+        "system", "idle", "dynamic", "total", "cycles", baseline_name
+    );
+    for (name, run) in comparison.iter() {
+        let row = EnergyRow::from_breakdown(&run.metrics.energy);
+        let [idle, dynamic, total] = row.normalized_to(&baseline_row);
+        println!(
+            "{:<16} {:>8.3} {:>9.3} {:>8.3} {:>8.3}",
+            name,
+            idle,
+            dynamic,
+            total,
+            run.metrics.total_cycles as f64 / baseline_cycles,
+        );
+    }
+}
+
+/// Standard experiment scale: the paper's 5000 uniform arrivals, with a
+/// horizon that yields moderate contention on the quad-core system.
+pub const PAPER_JOBS: usize = 5000;
+
+/// Default arrival horizon in cycles for [`PAPER_JOBS`] arrivals.
+pub const PAPER_HORIZON: u64 = 700_000_000;
+
+/// Default arrival-plan seed (printed by every binary for reproduction).
+pub const PAPER_SEED: u64 = 20190325; // DATE 2019 conference date
+
+/// Parse `jobs horizon seed` from argv with defaults.
+pub fn parse_plan_args() -> (usize, u64, u64) {
+    let mut args = std::env::args().skip(1);
+    let jobs = args.next().and_then(|a| a.parse().ok()).unwrap_or(PAPER_JOBS);
+    let horizon = args.next().and_then(|a| a.parse().ok()).unwrap_or(PAPER_HORIZON);
+    let seed = args.next().and_then(|a| a.parse().ok()).unwrap_or(PAPER_SEED);
+    (jobs, horizon, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_testbed_runs_all_four_systems() {
+        let testbed = Testbed::small();
+        let plan = testbed.plan(120, 30_000_000, 1);
+        let comparison = testbed.run_all(&plan);
+        for (name, run) in comparison.iter() {
+            assert_eq!(run.metrics.jobs_completed, 120, "{name}");
+            assert!(run.metrics.energy.total() > 0.0, "{name}");
+        }
+    }
+
+    #[test]
+    fn proposed_beats_base_on_the_standard_shape() {
+        let testbed = Testbed::small();
+        let plan = testbed.plan(300, 50_000_000, 2);
+        let comparison = testbed.run_all(&plan);
+        assert!(
+            comparison.proposed.metrics.energy.total() < comparison.base.metrics.energy.total()
+        );
+    }
+
+    #[test]
+    fn energy_row_normalisation_is_component_wise() {
+        let row = EnergyRow { idle_nj: 2.0, dynamic_nj: 4.0, static_nj: 1.0, total_nj: 7.0 };
+        let baseline = EnergyRow { idle_nj: 4.0, dynamic_nj: 2.0, static_nj: 1.0, total_nj: 7.0 };
+        assert_eq!(row.normalized_to(&baseline), [0.5, 2.0, 1.0]);
+    }
+}

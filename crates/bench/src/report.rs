@@ -1,0 +1,159 @@
+//! Machine-readable result artifacts.
+//!
+//! Every experiment binary can persist its runs as JSON under `results/`,
+//! so downstream tooling (plots, regression checks across commits) never
+//! has to scrape stdout.
+
+use crate::{Comparison, SystemRun};
+use serde::Serialize;
+use std::path::Path;
+
+/// Serializable mirror of one system's outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct SystemRecord {
+    /// System name (`base`, `optimal`, `energy-centric`, `proposed`).
+    pub system: String,
+    /// Idle-core leakage energy in nanojoules.
+    pub idle_nj: f64,
+    /// Dynamic energy in nanojoules.
+    pub dynamic_nj: f64,
+    /// Busy-core leakage energy in nanojoules.
+    pub static_nj: f64,
+    /// Total energy in nanojoules.
+    pub total_nj: f64,
+    /// Makespan in cycles.
+    pub total_cycles: u64,
+    /// Aggregate execution work in cycles.
+    pub work_cycles: u64,
+    /// Mean job turnaround in cycles.
+    pub mean_turnaround: f64,
+    /// Stall decisions taken.
+    pub stalls: u64,
+    /// Profiling executions performed.
+    pub profiling_runs: u64,
+    /// Energy of profiling executions in nanojoules.
+    pub profiling_energy_nj: f64,
+    /// Executions whose configuration came from the tuning explorer.
+    pub tuning_runs: u64,
+    /// Section IV.E decisions evaluated.
+    pub decisions_evaluated: u64,
+    /// Decisions that borrowed a non-best core.
+    pub decisions_ran_non_best: u64,
+}
+
+impl SystemRecord {
+    fn from_run(name: &str, run: &SystemRun) -> Self {
+        SystemRecord {
+            system: name.to_owned(),
+            idle_nj: run.metrics.energy.idle_nj,
+            dynamic_nj: run.metrics.energy.dynamic_nj,
+            static_nj: run.metrics.energy.static_nj,
+            total_nj: run.metrics.energy.total(),
+            total_cycles: run.metrics.total_cycles,
+            work_cycles: run.metrics.busy_cycles.iter().sum(),
+            mean_turnaround: run.metrics.mean_turnaround(),
+            stalls: run.metrics.stalls,
+            profiling_runs: run.stats.profiling_runs,
+            profiling_energy_nj: run.stats.profiling_energy_nj,
+            tuning_runs: run.stats.tuning_runs,
+            decisions_evaluated: run.stats.decisions_evaluated,
+            decisions_ran_non_best: run.stats.decisions_ran_non_best,
+        }
+    }
+}
+
+/// One experiment's result file.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentRecord {
+    /// Experiment identifier (e.g. `figure6`).
+    pub experiment: String,
+    /// Number of arrivals.
+    pub jobs: usize,
+    /// Arrival horizon in cycles.
+    pub horizon: u64,
+    /// Arrival-plan seed.
+    pub seed: u64,
+    /// Per-system outcomes.
+    pub systems: Vec<SystemRecord>,
+}
+
+impl ExperimentRecord {
+    /// Assemble a record from a four-system comparison.
+    pub fn from_comparison(
+        experiment: &str,
+        jobs: usize,
+        horizon: u64,
+        seed: u64,
+        comparison: &Comparison,
+    ) -> Self {
+        ExperimentRecord {
+            experiment: experiment.to_owned(),
+            jobs,
+            horizon,
+            seed,
+            systems: comparison
+                .iter()
+                .map(|(name, run)| SystemRecord::from_run(name, run))
+                .collect(),
+        }
+    }
+
+    /// Write the record as pretty JSON under `results/<experiment>.json`
+    /// (creating the directory), returning the path written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem and serialisation errors.
+    pub fn write_default(&self) -> std::io::Result<std::path::PathBuf> {
+        let dir = Path::new("results");
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.experiment));
+        self.write_to(&path)?;
+        Ok(path)
+    }
+
+    /// Write the record as pretty JSON to an explicit path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem and serialisation errors.
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        let json = serde_json::to_string_pretty(self)?;
+        std::fs::write(path, json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Testbed;
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let testbed = Testbed::small();
+        let plan = testbed.plan(60, 10_000_000, 5);
+        let comparison = testbed.run_all(&plan);
+        let record =
+            ExperimentRecord::from_comparison("unit_test", 60, 10_000_000, 5, &comparison);
+        let json = serde_json::to_string(&record).expect("serializable");
+        assert!(json.contains("\"experiment\":\"unit_test\""));
+        assert!(json.contains("\"system\":\"proposed\""));
+        let value: serde_json::Value = serde_json::from_str(&json).expect("valid json");
+        assert_eq!(value["systems"].as_array().map(Vec::len), Some(4));
+    }
+
+    #[test]
+    fn write_to_creates_the_file() {
+        let testbed = Testbed::small();
+        let plan = testbed.plan(30, 8_000_000, 6);
+        let comparison = testbed.run_all(&plan);
+        let record = ExperimentRecord::from_comparison("tmp_probe", 30, 8_000_000, 6, &comparison);
+        let dir = std::env::temp_dir().join("hetero_sched_report_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("probe.json");
+        record.write_to(&path).expect("writable");
+        let content = std::fs::read_to_string(&path).expect("readable");
+        assert!(content.contains("tmp_probe"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,151 @@
+//! Raw cache geometry, decoupled from the Table 1 configuration space.
+//!
+//! [`CacheConfig`](crate::CacheConfig) covers only the paper's 18
+//! configurable-L1 points. The non-configurable private L2 of the paper's
+//! Figure 1 architecture (and any scaled-up variant) needs arbitrary
+//! geometries, which this type provides.
+
+use crate::config::CacheConfig;
+use std::fmt;
+
+/// The physical shape of a set-associative cache: sets × ways × line size.
+///
+/// ```
+/// use cache_sim::Geometry;
+///
+/// # fn main() -> Result<(), cache_sim::GeometryError> {
+/// let l2 = Geometry::new(256, 4, 64)?; // 64 KB unified L2
+/// assert_eq!(l2.capacity_bytes(), 65_536);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Geometry {
+    sets: u32,
+    ways: u32,
+    line_bytes: u32,
+}
+
+impl Geometry {
+    /// Create a geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError`] when any dimension is zero or the line
+    /// size is not a power of two (the indexing shift requires it).
+    pub fn new(sets: u32, ways: u32, line_bytes: u32) -> Result<Self, GeometryError> {
+        if sets == 0 || ways == 0 || line_bytes == 0 {
+            return Err(GeometryError::Zero);
+        }
+        if !line_bytes.is_power_of_two() {
+            return Err(GeometryError::LineNotPowerOfTwo(line_bytes));
+        }
+        Ok(Geometry { sets, ways, line_bytes })
+    }
+
+    /// A typical embedded unified L2: 64 KB, 4-way, 64 B lines — the
+    /// backstop behind the paper's configurable L1s.
+    pub fn typical_l2() -> Self {
+        Geometry { sets: 256, ways: 4, line_bytes: 64 }
+    }
+
+    /// Number of sets.
+    pub fn sets(self) -> u32 {
+        self.sets
+    }
+
+    /// Number of ways.
+    pub fn ways(self) -> u32 {
+        self.ways
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(self) -> u32 {
+        self.line_bytes
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(self) -> u64 {
+        u64::from(self.sets) * u64::from(self.ways) * u64::from(self.line_bytes)
+    }
+
+    /// Total capacity in kilobytes (rounded down).
+    pub fn capacity_kb(self) -> u64 {
+        self.capacity_bytes() / 1024
+    }
+}
+
+impl From<CacheConfig> for Geometry {
+    fn from(config: CacheConfig) -> Self {
+        Geometry {
+            sets: config.num_sets(),
+            ways: config.associativity().ways(),
+            line_bytes: config.line().bytes(),
+        }
+    }
+}
+
+impl fmt::Display for Geometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}KB_{}W_{}B", self.capacity_kb(), self.ways, self.line_bytes)
+    }
+}
+
+/// Error building a [`Geometry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeometryError {
+    /// A dimension was zero.
+    Zero,
+    /// The line size must be a power of two.
+    LineNotPowerOfTwo(u32),
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::Zero => write!(f, "cache dimensions must be positive"),
+            GeometryError::LineNotPowerOfTwo(bytes) => {
+                write!(f, "line size {bytes} B is not a power of two")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::design_space;
+
+    #[test]
+    fn geometry_from_config_preserves_capacity() {
+        for config in design_space() {
+            let geometry = Geometry::from(config);
+            assert_eq!(geometry.capacity_bytes(), u64::from(config.size().bytes()), "{config}");
+            assert_eq!(geometry.to_string(), config.to_string());
+        }
+    }
+
+    #[test]
+    fn typical_l2_is_64kb() {
+        let l2 = Geometry::typical_l2();
+        assert_eq!(l2.capacity_kb(), 64);
+        assert_eq!(l2.ways(), 4);
+    }
+
+    #[test]
+    fn invalid_geometries_are_rejected() {
+        assert_eq!(Geometry::new(0, 1, 16), Err(GeometryError::Zero));
+        assert_eq!(Geometry::new(4, 0, 16), Err(GeometryError::Zero));
+        assert_eq!(Geometry::new(4, 1, 0), Err(GeometryError::Zero));
+        assert_eq!(Geometry::new(4, 1, 48), Err(GeometryError::LineNotPowerOfTwo(48)));
+    }
+
+    #[test]
+    fn non_power_of_two_set_count_is_allowed() {
+        // Modulo indexing supports it (useful for odd scratchpad-like L2s).
+        let geometry = Geometry::new(3, 2, 32).unwrap();
+        assert_eq!(geometry.capacity_bytes(), 192);
+    }
+}

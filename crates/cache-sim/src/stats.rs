@@ -1,0 +1,231 @@
+//! Hit/miss statistics produced by a cache simulation.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Counters accumulated while replaying a trace through a [`Cache`].
+///
+/// These are exactly the quantities the paper's Figure 4 energy model
+/// consumes: the hit count feeds `cache_hits * E(hit)`, the miss count feeds
+/// both the dynamic miss energy and the `miss cycles` stall term.
+///
+/// ```
+/// use cache_sim::CacheStats;
+///
+/// let mut stats = CacheStats::new();
+/// stats.record_hit(false);
+/// stats.record_miss(true);
+/// assert_eq!(stats.accesses(), 2);
+/// assert_eq!(stats.miss_rate(), 0.5);
+/// ```
+///
+/// [`Cache`]: crate::Cache
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct CacheStats {
+    read_hits: u64,
+    read_misses: u64,
+    write_hits: u64,
+    write_misses: u64,
+    evictions: u64,
+}
+
+impl CacheStats {
+    /// Create zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counter-wise difference `self - earlier`, for isolating one run's
+    /// statistics out of cumulative counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is not component-wise `<= self`.
+    pub(crate) fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            read_hits: self.read_hits - earlier.read_hits,
+            read_misses: self.read_misses - earlier.read_misses,
+            write_hits: self.write_hits - earlier.write_hits,
+            write_misses: self.write_misses - earlier.write_misses,
+            evictions: self.evictions - earlier.evictions,
+        }
+    }
+
+    /// Record one hit (`is_write` selects the read/write counter).
+    pub fn record_hit(&mut self, is_write: bool) {
+        if is_write {
+            self.write_hits += 1;
+        } else {
+            self.read_hits += 1;
+        }
+    }
+
+    /// Record one miss.
+    pub fn record_miss(&mut self, is_write: bool) {
+        if is_write {
+            self.write_misses += 1;
+        } else {
+            self.read_misses += 1;
+        }
+    }
+
+    /// Record the eviction of a resident line (capacity/conflict pressure).
+    pub fn record_eviction(&mut self) {
+        self.evictions += 1;
+    }
+
+    /// Total hits.
+    pub fn hits(&self) -> u64 {
+        self.read_hits + self.write_hits
+    }
+
+    /// Total misses.
+    pub fn misses(&self) -> u64 {
+        self.read_misses + self.write_misses
+    }
+
+    /// Hits on read accesses.
+    pub fn read_hits(&self) -> u64 {
+        self.read_hits
+    }
+
+    /// Misses on read accesses.
+    pub fn read_misses(&self) -> u64 {
+        self.read_misses
+    }
+
+    /// Hits on write accesses.
+    pub fn write_hits(&self) -> u64 {
+        self.write_hits
+    }
+
+    /// Misses on write accesses.
+    pub fn write_misses(&self) -> u64 {
+        self.write_misses
+    }
+
+    /// Lines evicted to make room for fills.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Total accesses (hits + misses).
+    pub fn accesses(&self) -> u64 {
+        self.hits() + self.misses()
+    }
+
+    /// Miss ratio in `[0, 1]`; `0.0` for an empty trace.
+    pub fn miss_rate(&self) -> f64 {
+        let accesses = self.accesses();
+        if accesses == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / accesses as f64
+        }
+    }
+
+    /// Hit ratio in `[0, 1]`; `0.0` for an empty trace.
+    pub fn hit_rate(&self) -> f64 {
+        let accesses = self.accesses();
+        if accesses == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / accesses as f64
+        }
+    }
+}
+
+impl Add for CacheStats {
+    type Output = CacheStats;
+
+    fn add(mut self, rhs: CacheStats) -> CacheStats {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for CacheStats {
+    fn add_assign(&mut self, rhs: CacheStats) {
+        self.read_hits += rhs.read_hits;
+        self.read_misses += rhs.read_misses;
+        self.write_hits += rhs.write_hits;
+        self.write_misses += rhs.write_misses;
+        self.evictions += rhs.evictions;
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accesses, {} hits, {} misses ({:.2}% miss rate)",
+            self.accesses(),
+            self.hits(),
+            self.misses(),
+            self.miss_rate() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_partition_by_kind() {
+        let mut stats = CacheStats::new();
+        stats.record_hit(false);
+        stats.record_hit(false);
+        stats.record_hit(true);
+        stats.record_miss(false);
+        stats.record_miss(true);
+        stats.record_miss(true);
+        assert_eq!(stats.read_hits(), 2);
+        assert_eq!(stats.write_hits(), 1);
+        assert_eq!(stats.read_misses(), 1);
+        assert_eq!(stats.write_misses(), 2);
+        assert_eq!(stats.hits(), 3);
+        assert_eq!(stats.misses(), 3);
+        assert_eq!(stats.accesses(), 6);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_rates() {
+        let stats = CacheStats::new();
+        assert_eq!(stats.miss_rate(), 0.0);
+        assert_eq!(stats.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn rates_sum_to_one_when_nonempty() {
+        let mut stats = CacheStats::new();
+        stats.record_hit(false);
+        stats.record_miss(true);
+        stats.record_miss(false);
+        let total = stats.miss_rate() + stats.hit_rate();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn addition_accumulates_all_counters() {
+        let mut a = CacheStats::new();
+        a.record_hit(false);
+        a.record_eviction();
+        let mut b = CacheStats::new();
+        b.record_miss(true);
+        b.record_eviction();
+        let sum = a + b;
+        assert_eq!(sum.hits(), 1);
+        assert_eq!(sum.misses(), 1);
+        assert_eq!(sum.evictions(), 2);
+    }
+
+    #[test]
+    fn display_mentions_miss_rate() {
+        let mut stats = CacheStats::new();
+        stats.record_hit(false);
+        stats.record_miss(false);
+        let text = stats.to_string();
+        assert!(text.contains("50.00% miss rate"), "{text}");
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based tests for the cache simulator.
+//!
+//! These check structural invariants of the set-associative LRU model over
+//! randomly generated traces, including agreement with an independent,
+//! obviously-correct reference model.
+
+use cache_sim::{design_space, simulate, Access, Cache, CacheConfig, Trace};
+use proptest::prelude::*;
+
+/// An intentionally naive reference cache: per-set `Vec` of tags ordered by
+/// recency (front = MRU). Shares no code with the real implementation.
+struct ReferenceCache {
+    sets: Vec<Vec<u64>>,
+    ways: usize,
+    line_bytes: u64,
+}
+
+impl ReferenceCache {
+    fn new(config: CacheConfig) -> Self {
+        ReferenceCache {
+            sets: vec![Vec::new(); config.num_sets() as usize],
+            ways: config.associativity().ways() as usize,
+            line_bytes: u64::from(config.line().bytes()),
+        }
+    }
+
+    /// Returns `true` on hit.
+    fn access(&mut self, addr: u64) -> bool {
+        let block = addr / self.line_bytes;
+        let set_index = (block % self.sets.len() as u64) as usize;
+        let tag = block / self.sets.len() as u64;
+        let set = &mut self.sets[set_index];
+        if let Some(pos) = set.iter().position(|&t| t == tag) {
+            let tag = set.remove(pos);
+            set.insert(0, tag);
+            true
+        } else {
+            set.insert(0, tag);
+            set.truncate(self.ways);
+            false
+        }
+    }
+}
+
+fn arbitrary_trace(max_len: usize, addr_bits: u32) -> impl Strategy<Value = Trace> {
+    prop::collection::vec(
+        (0u64..(1 << addr_bits), prop::bool::ANY),
+        0..max_len,
+    )
+    .prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(addr, write)| {
+                if write {
+                    Access::write(addr)
+                } else {
+                    Access::read(addr)
+                }
+            })
+            .collect()
+    })
+}
+
+fn arbitrary_config() -> impl Strategy<Value = CacheConfig> {
+    let configs: Vec<CacheConfig> = design_space().collect();
+    prop::sample::select(configs)
+}
+
+proptest! {
+    /// The production cache and the naive reference model classify every
+    /// access identically.
+    #[test]
+    fn agrees_with_reference_model(
+        config in arbitrary_config(),
+        trace in arbitrary_trace(600, 15),
+    ) {
+        let mut real = Cache::new(config);
+        let mut reference = ReferenceCache::new(config);
+        for &access in trace.iter() {
+            prop_assert_eq!(
+                real.access(access),
+                reference.access(access.addr),
+                "divergence at {:?} under {}", access, config
+            );
+        }
+    }
+
+    /// hits + misses always equals the number of accesses.
+    #[test]
+    fn accounting_is_conserved(
+        config in arbitrary_config(),
+        trace in arbitrary_trace(500, 16),
+    ) {
+        let stats = simulate(config, &trace);
+        prop_assert_eq!(stats.accesses(), trace.len() as u64);
+        prop_assert_eq!(stats.hits() + stats.misses(), trace.len() as u64);
+        prop_assert_eq!(
+            stats.read_hits() + stats.read_misses(),
+            trace.reads() as u64
+        );
+        prop_assert_eq!(
+            stats.write_hits() + stats.write_misses(),
+            trace.writes() as u64
+        );
+    }
+
+    /// The number of misses is at least the number of distinct lines touched
+    /// (every distinct line has at least one cold miss) and at most the
+    /// trace length.
+    #[test]
+    fn misses_bounded_by_working_set_and_length(
+        config in arbitrary_config(),
+        trace in arbitrary_trace(500, 16),
+    ) {
+        let stats = simulate(config, &trace);
+        let distinct = trace.working_set_lines(config.line().bytes()) as u64;
+        prop_assert!(stats.misses() >= distinct);
+        prop_assert!(stats.misses() <= trace.len() as u64);
+    }
+
+    /// Simulation is a pure function of (config, trace).
+    #[test]
+    fn simulation_is_deterministic(
+        config in arbitrary_config(),
+        trace in arbitrary_trace(300, 14),
+    ) {
+        prop_assert_eq!(simulate(config, &trace), simulate(config, &trace));
+    }
+
+    /// With identical geometry except associativity, a fully-associative-er
+    /// cache never has more misses on a *single-pass sequential* trace
+    /// (LRU on sequential scans degenerates to cold misses only).
+    #[test]
+    fn sequential_scan_misses_depend_only_on_line_size(
+        start in 0u64..1024,
+        len in 1usize..2000,
+    ) {
+        let trace: Trace = (0..len as u64).map(|i| Access::read(start + i * 4)).collect();
+        for config in design_space() {
+            let stats = simulate(config, &trace);
+            let expected = trace.working_set_lines(config.line().bytes()) as u64;
+            prop_assert_eq!(
+                stats.misses(), expected,
+                "sequential scan should only cold-miss under {}", config
+            );
+        }
+    }
+
+    /// Evictions never exceed misses, and no eviction can happen before the
+    /// cache is at capacity.
+    #[test]
+    fn evictions_bounded_by_misses(
+        config in arbitrary_config(),
+        trace in arbitrary_trace(500, 16),
+    ) {
+        let stats = simulate(config, &trace);
+        prop_assert!(stats.evictions() <= stats.misses());
+        let capacity = u64::from(config.num_lines());
+        prop_assert!(
+            stats.evictions() <= stats.misses().saturating_sub(capacity.min(stats.misses())) + capacity,
+        );
+        if stats.misses() <= capacity {
+            // Cannot have evicted anything if the fills fit entirely.
+            // (Only guaranteed per-set in general; globally it holds when
+            // misses <= ways because no set can overflow.)
+            if stats.misses() <= u64::from(config.associativity().ways()) {
+                prop_assert_eq!(stats.evictions(), 0);
+            }
+        }
+    }
+}

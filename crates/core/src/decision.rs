@@ -1,0 +1,152 @@
+//! The Section IV.E energy-advantageous scheduling decision.
+//!
+//! When application *B*'s best core *C₁* is busy executing *A* and a
+//! non-best core *C₂* sits idle, the scheduler compares
+//!
+//! ```text
+//! stall side:  E_remaining(A@C₁) + IdleEnergy(C₂ during A's remainder) + E(B@C₁)
+//! run side:    E_remaining(A@C₁) + E(B@C₂)
+//! ```
+//!
+//! (*A*'s remaining energy appears on both sides — *A* finishes on *C₁*
+//! either way — but the paper states both sides in full, and keeping them
+//! makes the reported energies physically meaningful.) "If this stall
+//! energy is greater than the energy expended by running B on C₂ and A on
+//! C₁, B will be scheduled to the non-best core C₂." The remaining energy
+//! of *A* is estimated as its remaining cycles times its average energy
+//! per cycle, exactly as the paper prescribes.
+
+use energy_model::ExecutionCost;
+
+/// The evaluated stall-vs-borrow comparison for one candidate core.
+///
+/// ```
+/// use energy_model::{EnergyBreakdown, ExecutionCost};
+/// use hetero_core::StallDecision;
+///
+/// let on_best = ExecutionCost {
+///     cycles: 1_000,
+///     energy: EnergyBreakdown { dynamic_nj: 50.0, static_nj: 10.0, idle_nj: 0.0 },
+/// };
+/// let on_candidate = ExecutionCost {
+///     cycles: 1_500,
+///     energy: EnergyBreakdown { dynamic_nj: 300.0, static_nj: 8.0, idle_nj: 0.0 },
+/// };
+/// // Best core frees soon and the candidate is much worse: stall.
+/// let decision = StallDecision::evaluate(on_best, on_candidate, 0.02, 100, 0.05);
+/// assert!(decision.stall_is_advantageous());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StallDecision {
+    stall_nj: f64,
+    run_nj: f64,
+}
+
+impl StallDecision {
+    /// Evaluate the decision.
+    ///
+    /// * `b_on_best` — cost of *B* on its best core *C₁* (from the
+    ///   profiling table);
+    /// * `b_on_candidate` — cost of *B* in the best known configuration of
+    ///   the idle candidate core *C₂*;
+    /// * `candidate_idle_power_nj` — *C₂*'s leakage in nJ/cycle while idle;
+    /// * `remaining_cycles_of_occupant` — cycles until *C₁* frees (total
+    ///   cycles of *A* minus cycles already executed);
+    /// * `occupant_energy_per_cycle_nj` — *A*'s average energy per cycle,
+    ///   used to estimate its remaining energy.
+    pub fn evaluate(
+        b_on_best: ExecutionCost,
+        b_on_candidate: ExecutionCost,
+        candidate_idle_power_nj: f64,
+        remaining_cycles_of_occupant: u64,
+        occupant_energy_per_cycle_nj: f64,
+    ) -> Self {
+        let remaining = remaining_cycles_of_occupant as f64;
+        let occupant_rest_nj = remaining * occupant_energy_per_cycle_nj;
+        let stall_nj = occupant_rest_nj
+            + remaining * candidate_idle_power_nj
+            + b_on_best.total_nj();
+        let run_nj = occupant_rest_nj + b_on_candidate.total_nj();
+        StallDecision { stall_nj, run_nj }
+    }
+
+    /// Energy of the stall alternative, in nanojoules.
+    pub fn stall_energy_nj(&self) -> f64 {
+        self.stall_nj
+    }
+
+    /// Energy of the run-on-candidate alternative, in nanojoules.
+    pub fn run_energy_nj(&self) -> f64 {
+        self.run_nj
+    }
+
+    /// `true` when stalling consumes no more energy than borrowing the
+    /// candidate core.
+    pub fn stall_is_advantageous(&self) -> bool {
+        self.stall_nj <= self.run_nj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use energy_model::EnergyBreakdown;
+
+    fn cost(total_nj: f64, cycles: u64) -> ExecutionCost {
+        ExecutionCost {
+            cycles,
+            energy: EnergyBreakdown { dynamic_nj: total_nj, static_nj: 0.0, idle_nj: 0.0 },
+        }
+    }
+
+    #[test]
+    fn cheap_candidate_wins_when_wait_is_long() {
+        // B costs 100 on best, 110 on candidate; the best core is busy for
+        // 10_000 more cycles at 0.01 nJ/cycle idle on the candidate:
+        // stall = 10_000*0.01 + 100 = 200 > run = 110.
+        let decision = StallDecision::evaluate(cost(100.0, 50), cost(110.0, 60), 0.01, 10_000, 0.0);
+        assert!(!decision.stall_is_advantageous());
+    }
+
+    #[test]
+    fn stalling_wins_when_the_candidate_is_expensive() {
+        // Candidate costs 3x; best frees immediately.
+        let decision = StallDecision::evaluate(cost(100.0, 50), cost(300.0, 70), 0.01, 10, 0.0);
+        assert!(decision.stall_is_advantageous());
+    }
+
+    #[test]
+    fn occupant_energy_cancels_between_sides() {
+        let a = StallDecision::evaluate(cost(100.0, 50), cost(150.0, 60), 0.0, 1_000, 0.0);
+        let b = StallDecision::evaluate(cost(100.0, 50), cost(150.0, 60), 0.0, 1_000, 99.0);
+        assert_eq!(
+            a.stall_is_advantageous(),
+            b.stall_is_advantageous(),
+            "occupant energy per cycle must not flip the decision"
+        );
+        assert!(b.stall_energy_nj() > a.stall_energy_nj(), "but it is reported");
+    }
+
+    #[test]
+    fn break_even_point_scales_with_idle_power() {
+        // With delta = E(B@C2) - E(B@C1) = 50 nJ and idle power p, stalling
+        // wins iff remaining * p <= 50.
+        let exactly = StallDecision::evaluate(cost(100.0, 1), cost(150.0, 1), 0.05, 1_000, 0.0);
+        assert!(exactly.stall_is_advantageous(), "1000 * 0.05 = 50 <= 50");
+        let just_over = StallDecision::evaluate(cost(100.0, 1), cost(150.0, 1), 0.05, 1_001, 0.0);
+        assert!(!just_over.stall_is_advantageous());
+    }
+
+    #[test]
+    fn zero_wait_always_stalls_for_a_cheaper_best_core() {
+        let decision = StallDecision::evaluate(cost(100.0, 1), cost(100.1, 1), 1.0, 0, 1.0);
+        assert!(decision.stall_is_advantageous());
+    }
+
+    #[test]
+    fn reported_energies_are_consistent() {
+        let d = StallDecision::evaluate(cost(10.0, 1), cost(20.0, 1), 0.5, 100, 0.25);
+        assert!((d.stall_energy_nj() - (25.0 + 50.0 + 10.0)).abs() < 1e-9);
+        assert!((d.run_energy_nj() - (25.0 + 20.0)).abs() < 1e-9);
+    }
+}

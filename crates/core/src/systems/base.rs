@@ -1,0 +1,99 @@
+//! The base (normalisation) system.
+
+use crate::oracle::SuiteOracle;
+use cache_sim::BASE_CONFIG;
+use energy_model::EnergyModel;
+use multicore_sim::{CoreId, CoreView, Decision, Job, JobExecution, Scheduler};
+
+/// "The base system's cores all used the base configuration of 8KB_4W_64B,
+/// thus there was no profiling, and the ANN and tuning heuristic were not
+/// used." (Sec. V)
+///
+/// Every job runs on the first idle core in the fixed base configuration;
+/// the system never stalls while a core is idle. Figures 6's bars are
+/// normalised to this system's energy.
+///
+/// ```
+/// use energy_model::EnergyModel;
+/// use hetero_core::{BaseSystem, SuiteOracle};
+/// use multicore_sim::Simulator;
+/// use workloads::{ArrivalPlan, Suite};
+///
+/// let suite = Suite::eembc_like_small();
+/// let oracle = SuiteOracle::build(&suite, &EnergyModel::default());
+/// let mut system = BaseSystem::new(&oracle, EnergyModel::default(), 4);
+/// let plan = ArrivalPlan::uniform(50, 10_000_000, suite.len(), 1);
+/// let metrics = Simulator::new(4).run(&plan, &mut system);
+/// assert_eq!(metrics.jobs_completed, 50);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BaseSystem<'a> {
+    oracle: &'a SuiteOracle,
+    model: EnergyModel,
+    num_cores: usize,
+}
+
+impl<'a> BaseSystem<'a> {
+    /// A base system over `num_cores` identical 8 KB cores.
+    pub fn new(oracle: &'a SuiteOracle, model: EnergyModel, num_cores: usize) -> Self {
+        BaseSystem { oracle, model, num_cores }
+    }
+
+    /// Number of cores in the homogeneous system.
+    pub fn num_cores(&self) -> usize {
+        self.num_cores
+    }
+}
+
+impl Scheduler for BaseSystem<'_> {
+    fn schedule(&mut self, job: &Job, cores: &[CoreView], _now: u64) -> Decision {
+        match cores.iter().find(|c| c.is_idle()) {
+            Some(core) => {
+                let cost = self.oracle.cost(job.benchmark, BASE_CONFIG);
+                Decision::run(core.id, JobExecution { cycles: cost.cycles, energy: cost.energy })
+            }
+            None => Decision::Stall,
+        }
+    }
+
+    fn idle_power_nj_per_cycle(&self, _core: CoreId) -> f64 {
+        self.model.static_nj_per_cycle(BASE_CONFIG)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multicore_sim::Simulator;
+    use workloads::{ArrivalPlan, Suite};
+
+    #[test]
+    fn base_system_never_stalls_with_light_load() {
+        let suite = Suite::eembc_like_small();
+        let oracle = SuiteOracle::build(&suite, &EnergyModel::default());
+        let mut system = BaseSystem::new(&oracle, EnergyModel::default(), 4);
+        // Arrivals spaced far apart: there is always an idle core.
+        let plan = ArrivalPlan::uniform(40, 400_000_000, suite.len(), 7);
+        let metrics = Simulator::new(4).run(&plan, &mut system);
+        assert_eq!(metrics.stalls, 0);
+        assert_eq!(metrics.jobs_completed, 40);
+    }
+
+    #[test]
+    fn all_energy_is_charged_at_base_configuration() {
+        let suite = Suite::eembc_like_small();
+        let model = EnergyModel::default();
+        let oracle = SuiteOracle::build(&suite, &model);
+        let mut system = BaseSystem::new(&oracle, model, 1);
+        let plan = ArrivalPlan::uniform(5, 1_000, suite.len(), 3);
+        let metrics = Simulator::new(1).run(&plan, &mut system);
+        // With one core and immediate arrivals, idle energy is ~0 and
+        // execution energy equals the sum of base-config costs.
+        let expected: f64 = plan
+            .iter()
+            .map(|a| oracle.cost(a.benchmark, BASE_CONFIG).total_nj())
+            .sum();
+        let got = metrics.energy.dynamic_nj + metrics.energy.static_nj;
+        assert!((got - expected).abs() < 1e-6, "expected {expected}, got {got}");
+    }
+}

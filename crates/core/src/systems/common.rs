@@ -1,0 +1,324 @@
+//! State shared by the profiled systems (optimal, energy-centric,
+//! proposed).
+
+use crate::arch::Architecture;
+use crate::oracle::SuiteOracle;
+use crate::profiling::{ProfileEntry, ProfilingTable};
+use cache_sim::{CacheConfig, CacheSizeKb, BASE_CONFIG};
+use energy_model::{EnergyModel, ExecutionCost};
+use multicore_sim::{CoreId, CoreView, Decision, Job, JobExecution};
+use std::collections::HashMap;
+use workloads::BenchmarkId;
+
+/// Instrumentation counters exposed by every system, backing the paper's
+/// Section VI overhead claims (profiling < 0.5 % of total energy; tuning
+/// explores a small fraction of the design space).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SystemStats {
+    /// Profiling executions performed.
+    pub profiling_runs: u64,
+    /// Energy consumed by profiling executions, in nanojoules.
+    pub profiling_energy_nj: f64,
+    /// Executions whose configuration was chosen by the tuning explorer.
+    pub tuning_runs: u64,
+    /// Section IV.E decisions evaluated.
+    pub decisions_evaluated: u64,
+    /// Decisions that sent the job to a non-best core.
+    pub decisions_ran_non_best: u64,
+}
+
+/// What a scheduled execution means, applied to the profiling table when
+/// the job completes (the paper records results as executions finish).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pending {
+    /// A profiling execution in the base configuration.
+    Profile {
+        /// The benchmark being profiled.
+        benchmark: BenchmarkId,
+    },
+    /// A normal execution in some configuration.
+    Execution {
+        /// The executing benchmark.
+        benchmark: BenchmarkId,
+        /// The configuration it runs in.
+        config: CacheConfig,
+    },
+}
+
+/// A record of what currently occupies a core, for the remaining-energy
+/// estimate of the Section IV.E decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Running {
+    /// Total cost of the occupying execution.
+    pub cost: ExecutionCost,
+}
+
+/// Mutable state common to the profiled systems.
+#[derive(Debug, Clone)]
+pub struct Shared<'a> {
+    pub arch: &'a Architecture,
+    pub oracle: &'a SuiteOracle,
+    pub model: EnergyModel,
+    /// Current cache configuration loaded on each core (idle power and
+    /// direct-configuration bookkeeping).
+    pub core_config: Vec<CacheConfig>,
+    pub table: ProfilingTable,
+    pub stats: SystemStats,
+    /// Pending profiling-table updates keyed by job sequence number.
+    pub pending: HashMap<u64, Pending>,
+    /// Occupancy records keyed by core index.
+    pub running: Vec<Option<Running>>,
+    /// Benchmarks whose profiling execution is in flight: further
+    /// instances must wait (no information exists yet).
+    pub profiling_in_flight: HashMap<BenchmarkId, u64>,
+}
+
+impl<'a> Shared<'a> {
+    /// Fresh state over an architecture/oracle pair.
+    pub fn new(arch: &'a Architecture, oracle: &'a SuiteOracle, model: EnergyModel) -> Self {
+        let core_config = arch.cores().map(|c| arch.default_config(c)).collect();
+        Shared {
+            arch,
+            oracle,
+            model,
+            core_config,
+            table: ProfilingTable::new(),
+            stats: SystemStats::default(),
+            pending: HashMap::new(),
+            running: vec![None; arch.num_cores()],
+            profiling_in_flight: HashMap::new(),
+        }
+    }
+
+    /// Leakage power of `core` in its currently-loaded configuration.
+    pub fn idle_power(&self, core: CoreId) -> f64 {
+        self.model.static_nj_per_cycle(self.core_config[core.0])
+    }
+
+    /// Launch `job` on `core` in `config`, registering all bookkeeping.
+    /// The execution's true cost comes from the oracle — this is the
+    /// physical act of running the job.
+    pub fn launch(&mut self, job: &Job, core: CoreId, config: CacheConfig, pending: Pending) -> Decision {
+        let cost = self.oracle.cost(job.benchmark, config);
+        self.core_config[core.0] = config;
+        self.running[core.0] = Some(Running { cost });
+        self.pending.insert(job.seq, pending);
+        if let Pending::Profile { benchmark } = pending {
+            self.profiling_in_flight.insert(benchmark, job.seq);
+            self.stats.profiling_runs += 1;
+            self.stats.profiling_energy_nj += cost.total_nj();
+        }
+        Decision::run(core, JobExecution { cycles: cost.cycles, energy: cost.energy })
+    }
+
+    /// Try to start a profiling execution for `job` on the primary (then
+    /// secondary) profiling core; stall when both are busy or when this
+    /// benchmark's profile is already being gathered.
+    pub fn try_profile(&mut self, job: &Job, cores: &[CoreView]) -> Decision {
+        if self.profiling_in_flight.contains_key(&job.benchmark) {
+            return Decision::Stall;
+        }
+        let mut candidates = vec![self.arch.primary_profiling_core()];
+        candidates.extend(self.arch.secondary_profiling_core());
+        for core in candidates {
+            if cores[core.0].is_idle() {
+                return self.launch(
+                    job,
+                    core,
+                    BASE_CONFIG,
+                    Pending::Profile { benchmark: job.benchmark },
+                );
+            }
+        }
+        Decision::Stall
+    }
+
+    /// Apply the profiling-table effects of a completed job. The caller
+    /// supplies the best-size prediction to store for fresh profiles
+    /// (ANN output, or ground truth for the optimal comparator).
+    pub fn complete(&mut self, job: &Job, core: CoreId, predict: impl FnOnce(&Self) -> CacheSizeKb) {
+        self.running[core.0] = None;
+        match self.pending.remove(&job.seq) {
+            Some(Pending::Profile { benchmark }) => {
+                self.profiling_in_flight.remove(&benchmark);
+                let statistics = self.oracle.execution_statistics(benchmark);
+                let base_cost = self.oracle.cost(benchmark, BASE_CONFIG);
+                let predicted = predict(self);
+                let mut entry = ProfileEntry::new(statistics, base_cost, predicted);
+                entry.record_execution(BASE_CONFIG, base_cost);
+                self.table.insert(benchmark, entry);
+            }
+            Some(Pending::Execution { benchmark, config }) => {
+                let cost = self.oracle.cost(benchmark, config);
+                if let Some(entry) = self.table.get_mut(benchmark) {
+                    entry.record_execution(config, cost);
+                }
+            }
+            None => {}
+        }
+    }
+
+    /// Discard the bookkeeping of a preempted (never-completed) execution:
+    /// the pending profiling-table update is dropped — the scheduler never
+    /// observed the run finish — and an interrupted profiling execution is
+    /// un-marked so the benchmark can be profiled again.
+    pub fn abort(&mut self, job: &Job, core: CoreId) {
+        self.running[core.0] = None;
+        if let Some(Pending::Profile { benchmark }) = self.pending.remove(&job.seq) {
+            self.profiling_in_flight.remove(&benchmark);
+            // The energy was (partially) spent but the statistics were
+            // lost; keep profiling_runs/energy as-charged counters of
+            // attempts, which is what the overhead experiment reports.
+        }
+    }
+
+    /// First idle core in id order, if any.
+    pub fn first_idle(cores: &[CoreView]) -> Option<CoreId> {
+        cores.iter().find(|c| c.is_idle()).map(|c| c.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multicore_sim::BusyInfo;
+    use workloads::Suite;
+
+    fn fixture() -> (&'static Architecture, &'static SuiteOracle, EnergyModel) {
+        let model = EnergyModel::default();
+        let oracle =
+            Box::leak(Box::new(SuiteOracle::build(&Suite::eembc_like_small(), &model)));
+        let arch = Box::leak(Box::new(Architecture::paper_quad()));
+        (arch, oracle, model)
+    }
+
+    fn job(seq: u64, benchmark: usize) -> Job {
+        Job { seq, benchmark: BenchmarkId(benchmark), arrival: 0, priority: 0 }
+    }
+
+    fn all_idle(n: usize) -> Vec<CoreView> {
+        (0..n).map(|i| CoreView { id: CoreId(i), busy: None }).collect()
+    }
+
+    #[test]
+    fn launch_charges_the_oracle_cost_and_tracks_occupancy() {
+        let (arch, oracle, model) = fixture();
+        let mut shared = Shared::new(arch, oracle, model);
+        let config = arch.default_config(CoreId(0));
+        let job = job(0, 3);
+        let decision = shared.launch(
+            &job,
+            CoreId(0),
+            config,
+            Pending::Execution { benchmark: job.benchmark, config },
+        );
+        let expected = oracle.cost(job.benchmark, config);
+        match decision {
+            Decision::Run { core, execution } => {
+                assert_eq!(core, CoreId(0));
+                assert_eq!(execution.cycles, expected.cycles);
+                assert_eq!(execution.energy, expected.energy);
+            }
+            Decision::Stall => panic!("launch must run"),
+        }
+        assert!(shared.running[0].is_some());
+        assert_eq!(shared.core_config[0], config);
+        assert!(shared.pending.contains_key(&0));
+    }
+
+    #[test]
+    fn profile_then_complete_builds_the_table_entry() {
+        let (arch, oracle, model) = fixture();
+        let mut shared = Shared::new(arch, oracle, model);
+        let job = job(7, 2);
+        let decision = shared.try_profile(&job, &all_idle(4));
+        assert!(matches!(decision, Decision::Run { core, .. } if core == CoreId(3)),
+            "profiling must start on the primary profiling core");
+        assert_eq!(shared.stats.profiling_runs, 1);
+        assert!(shared.profiling_in_flight.contains_key(&BenchmarkId(2)));
+
+        shared.complete(&job, CoreId(3), |_| cache_sim::CacheSizeKb::K4);
+        assert!(!shared.profiling_in_flight.contains_key(&BenchmarkId(2)));
+        let entry = shared.table.get(BenchmarkId(2)).expect("profiled");
+        assert_eq!(entry.predicted_best_size, cache_sim::CacheSizeKb::K4);
+        assert!(entry.known_cost(cache_sim::BASE_CONFIG).is_some());
+    }
+
+    #[test]
+    fn second_instance_stalls_while_profile_is_in_flight() {
+        let (arch, oracle, model) = fixture();
+        let mut shared = Shared::new(arch, oracle, model);
+        let first = job(0, 5);
+        let _ = shared.try_profile(&first, &all_idle(4));
+        // Same benchmark again, before the profile completes.
+        let second = job(1, 5);
+        assert_eq!(shared.try_profile(&second, &all_idle(4)), Decision::Stall);
+    }
+
+    #[test]
+    fn profiling_falls_back_to_the_secondary_core() {
+        let (arch, oracle, model) = fixture();
+        let mut shared = Shared::new(arch, oracle, model);
+        // Core 4 (index 3) busy, core 3 (index 2) idle.
+        let mut views = all_idle(4);
+        views[3] = CoreView {
+            id: CoreId(3),
+            busy: Some(BusyInfo { job: job(99, 0), started: 0, busy_until: 100 }),
+        };
+        let decision = shared.try_profile(&job(0, 1), &views);
+        assert!(matches!(decision, Decision::Run { core, .. } if core == CoreId(2)));
+        // Both profiling cores busy: stall.
+        let mut both = views.clone();
+        both[2] = CoreView {
+            id: CoreId(2),
+            busy: Some(BusyInfo { job: job(98, 0), started: 0, busy_until: 100 }),
+        };
+        assert_eq!(shared.try_profile(&job(1, 2), &both), Decision::Stall);
+    }
+
+    #[test]
+    fn abort_discards_pending_knowledge() {
+        let (arch, oracle, model) = fixture();
+        let mut shared = Shared::new(arch, oracle, model);
+        let job = job(0, 4);
+        let _ = shared.try_profile(&job, &all_idle(4));
+        shared.abort(&job, CoreId(3));
+        assert!(shared.running[3].is_none());
+        assert!(!shared.profiling_in_flight.contains_key(&BenchmarkId(4)));
+        assert!(!shared.table.contains(BenchmarkId(4)), "no entry from an aborted profile");
+        // The benchmark can be profiled again afterwards.
+        let again = Job { seq: 1, benchmark: BenchmarkId(4), arrival: 10, priority: 0 };
+        assert!(matches!(shared.try_profile(&again, &all_idle(4)), Decision::Run { .. }));
+    }
+
+    #[test]
+    fn idle_power_follows_the_loaded_configuration() {
+        let (arch, oracle, model) = fixture();
+        let mut shared = Shared::new(arch, oracle, model);
+        let small = shared.idle_power(CoreId(0)); // 2KB default config
+        let big = shared.idle_power(CoreId(3)); // 8KB default config
+        assert!(big > small, "bigger caches leak more while idle");
+        // Loading the base configuration raises core 4's idle power to the max.
+        let job = job(0, 0);
+        let _ = shared.launch(
+            &job,
+            CoreId(3),
+            cache_sim::BASE_CONFIG,
+            Pending::Execution { benchmark: job.benchmark, config: cache_sim::BASE_CONFIG },
+        );
+        assert_eq!(
+            shared.idle_power(CoreId(3)),
+            model.static_nj_per_cycle(cache_sim::BASE_CONFIG)
+        );
+    }
+
+    #[test]
+    fn first_idle_prefers_lowest_core_id() {
+        let mut views = all_idle(3);
+        views[0] = CoreView {
+            id: CoreId(0),
+            busy: Some(BusyInfo { job: job(0, 0), started: 0, busy_until: 10 }),
+        };
+        assert_eq!(Shared::first_idle(&views), Some(CoreId(1)));
+    }
+}

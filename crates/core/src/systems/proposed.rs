@@ -1,0 +1,383 @@
+//! The proposed system: the full Figure 2 scheduling flow.
+
+use crate::arch::Architecture;
+use crate::decision::StallDecision;
+use crate::oracle::SuiteOracle;
+use crate::predictor::BestCorePredictor;
+use crate::systems::common::{Pending, Shared, SystemStats};
+use crate::tuning::TuningStatus;
+use crate::ProfilingTable;
+use cache_sim::CacheConfig;
+use energy_model::{EnergyModel, ExecutionCost};
+use multicore_sim::{CoreId, CoreView, Decision, Job, Scheduler};
+
+/// The paper's proposed scheduler (Figure 2):
+///
+/// 1. unprofiled applications are profiled on Core 4 (or Core 3) in the
+///    base configuration, and the ANN predicts their best core;
+/// 2. if the best core is idle, schedule there — directly configured when
+///    the best configuration is known, else one Figure 5 tuning step;
+/// 3. if the best core is busy and some idle core's best configuration is
+///    **unknown**, schedule to such a core arbitrarily (the scheduler
+///    "must gather information about all system cores to make more
+///    accurate future scheduling decisions");
+/// 4. if all idle cores' best configurations are known, evaluate the
+///    Section IV.E energy-advantageous decision against every candidate:
+///    run on the cheapest non-best core when that saves energy over
+///    stalling, otherwise re-enqueue and wait for the best core.
+///
+/// ```
+/// use energy_model::EnergyModel;
+/// use hetero_core::{
+///     Architecture, BestCorePredictor, PredictorConfig, ProposedSystem, SuiteOracle,
+/// };
+/// use multicore_sim::Simulator;
+/// use workloads::{ArrivalPlan, Suite};
+///
+/// let suite = Suite::eembc_like_small();
+/// let model = EnergyModel::default();
+/// let oracle = SuiteOracle::build(&suite, &model);
+/// let arch = Architecture::paper_quad();
+/// let predictor = BestCorePredictor::train(&oracle, &PredictorConfig::fast());
+/// let mut system = ProposedSystem::new(&arch, &oracle, predictor);
+/// let plan = ArrivalPlan::uniform(80, 30_000_000, suite.len(), 9);
+/// let metrics = Simulator::new(4).run(&plan, &mut system);
+/// assert_eq!(metrics.jobs_completed, 80);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProposedSystem<'a> {
+    shared: Shared<'a>,
+    predictor: BestCorePredictor,
+    policy: DecisionPolicy,
+}
+
+/// How the proposed system resolves a busy best core once every idle
+/// core's best configuration is known. [`Evaluate`](DecisionPolicy::Evaluate)
+/// is the paper's Section IV.E behaviour; the other two are ablations that
+/// isolate the decision's contribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DecisionPolicy {
+    /// Evaluate the energy-advantageous equation (the paper's system).
+    #[default]
+    Evaluate,
+    /// Never borrow a non-best core (decision hard-wired to stall).
+    AlwaysStall,
+    /// Always borrow the cheapest idle core (decision hard-wired to run).
+    AlwaysRun,
+}
+
+impl<'a> ProposedSystem<'a> {
+    /// Build with a trained best-core predictor, using the energy model
+    /// the oracle was built with.
+    pub fn new(
+        arch: &'a Architecture,
+        oracle: &'a SuiteOracle,
+        predictor: BestCorePredictor,
+    ) -> Self {
+        Self::with_model(arch, oracle, EnergyModel::default(), predictor)
+    }
+
+    /// Build with an explicit energy model (must match the oracle's).
+    pub fn with_model(
+        arch: &'a Architecture,
+        oracle: &'a SuiteOracle,
+        model: EnergyModel,
+        predictor: BestCorePredictor,
+    ) -> Self {
+        ProposedSystem {
+            shared: Shared::new(arch, oracle, model),
+            predictor,
+            policy: DecisionPolicy::Evaluate,
+        }
+    }
+
+    /// Override the Section IV.E decision with an ablation policy.
+    pub fn with_decision_policy(mut self, policy: DecisionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The active decision policy.
+    pub fn decision_policy(&self) -> DecisionPolicy {
+        self.policy
+    }
+
+    /// Instrumentation counters.
+    pub fn stats(&self) -> SystemStats {
+        self.shared.stats
+    }
+
+    /// The accumulated profiling table.
+    pub fn table(&self) -> &ProfilingTable {
+        &self.shared.table
+    }
+
+    /// Dispatch to `core`, choosing directly-configured best configuration
+    /// when known, or the next Figure 5 exploration step otherwise.
+    fn run_with_tuning(&mut self, job: &Job, core: CoreId) -> Decision {
+        let shared = &mut self.shared;
+        let size = shared.arch.core_size(core);
+        let entry = shared.table.get_mut(job.benchmark).expect("profiled");
+        let config = match entry.best_known_for_size(size) {
+            Some((config, _)) => config,
+            None => match entry.tuner_mut(size).status() {
+                TuningStatus::Explore(config) => {
+                    shared.stats.tuning_runs += 1;
+                    config
+                }
+                TuningStatus::Done(config) => config,
+            },
+        };
+        shared.launch(job, core, config, Pending::Execution { benchmark: job.benchmark, config })
+    }
+}
+
+/// The best-core occupant with the earliest release, for the
+/// remaining-cycles estimate.
+fn earliest_release(best_cores: &[CoreId], cores: &[CoreView], now: u64) -> Option<(u64, f64)> {
+    best_cores
+        .iter()
+        .filter_map(|&c| cores[c.0].busy)
+        .map(|busy| busy.busy_until.saturating_sub(now))
+        .min()
+        .map(|remaining| (remaining, 0.0))
+}
+
+impl Scheduler for ProposedSystem<'_> {
+    fn schedule(&mut self, job: &Job, cores: &[CoreView], now: u64) -> Decision {
+        // Phase 1: profiling (Figure 2, "profiling information?" == no).
+        if !self.shared.table.contains(job.benchmark) {
+            return self.shared.try_profile(job, cores);
+        }
+
+        let entry = self.shared.table.get(job.benchmark).expect("profiled");
+        let best_size = self.shared.arch.nearest_available_size(entry.predicted_best_size);
+        let best_cores = self.shared.arch.cores_with_size(best_size);
+
+        // Phase 2: the best core is idle — schedule there.
+        if let Some(&core) = best_cores.iter().find(|&&c| cores[c.0].is_idle()) {
+            return self.run_with_tuning(job, core);
+        }
+
+        // The best core is busy. Candidates are all idle (non-best) cores.
+        let idle: Vec<CoreId> =
+            cores.iter().filter(|c| c.is_idle()).map(|c| c.id).collect();
+        if idle.is_empty() {
+            return Decision::Stall;
+        }
+
+        // Phase 3: any idle core with an unknown best configuration gets
+        // the job (information gathering; one tuning step executes there).
+        if let Some(&core) = idle
+            .iter()
+            .find(|&&c| !entry.is_tuned(self.shared.arch.core_size(c)))
+        {
+            return self.run_with_tuning(job, core);
+        }
+
+        // Phase 4: all idle cores are tuned for this application —
+        // evaluate the Section IV.E decision. The comparison needs
+        // E(B @ best core); when best-core tuning is still in flight we
+        // cannot evaluate, so the application stalls for its best core.
+        if self.policy == DecisionPolicy::AlwaysStall {
+            return Decision::Stall;
+        }
+        let Some((_, b_on_best)) = entry.best_known_for_size(best_size) else {
+            return Decision::Stall;
+        };
+        let Some((remaining, _)) = earliest_release(&best_cores, cores, now) else {
+            return Decision::Stall; // no busy best core found (defensive)
+        };
+
+        // Occupant's average energy per cycle, from our own launch records.
+        let occupant_rate = best_cores
+            .iter()
+            .filter_map(|&c| self.shared.running[c.0])
+            .map(|r| r.cost.total_nj() / r.cost.cycles.max(1) as f64)
+            .next()
+            .unwrap_or(0.0);
+
+        let mut chosen: Option<(CoreId, CacheConfig, ExecutionCost)> = None;
+        for &candidate in &idle {
+            let size = self.shared.arch.core_size(candidate);
+            let Some((config, b_on_candidate)) = entry.best_known_for_size(size) else {
+                continue;
+            };
+            self.shared.stats.decisions_evaluated += 1;
+            let decision = StallDecision::evaluate(
+                b_on_best,
+                b_on_candidate,
+                self.shared.idle_power(candidate),
+                remaining,
+                occupant_rate,
+            );
+            let borrow = match self.policy {
+                DecisionPolicy::Evaluate => !decision.stall_is_advantageous(),
+                DecisionPolicy::AlwaysStall => false,
+                DecisionPolicy::AlwaysRun => true,
+            };
+            if borrow {
+                let better = chosen
+                    .is_none_or(|(_, _, cost)| b_on_candidate.total_nj() < cost.total_nj());
+                if better {
+                    chosen = Some((candidate, config, b_on_candidate));
+                }
+            }
+        }
+
+        match chosen {
+            Some((core, config, _)) => {
+                self.shared.stats.decisions_ran_non_best += 1;
+                self.shared.launch(
+                    job,
+                    core,
+                    config,
+                    Pending::Execution { benchmark: job.benchmark, config },
+                )
+            }
+            None => Decision::Stall,
+        }
+    }
+
+    fn idle_power_nj_per_cycle(&self, core: CoreId) -> f64 {
+        self.shared.idle_power(core)
+    }
+
+    fn on_complete(&mut self, job: &Job, core: CoreId, _now: u64) {
+        let benchmark = job.benchmark;
+        let predictor = &self.predictor;
+        self.shared.complete(job, core, |shared| {
+            predictor.predict(&shared.oracle.execution_statistics(benchmark))
+        });
+    }
+
+    fn on_preempt(&mut self, job: &Job, core: CoreId, _now: u64) {
+        self.shared.abort(job, core);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::PredictorConfig;
+    use crate::systems::base::BaseSystem;
+    use multicore_sim::{RunMetrics, Simulator};
+    use workloads::{ArrivalPlan, Suite};
+
+    struct Fixture {
+        suite: Suite,
+        model: EnergyModel,
+        oracle: &'static SuiteOracle,
+        arch: &'static Architecture,
+    }
+
+    fn fixture() -> Fixture {
+        let suite = Suite::eembc_like_small();
+        let model = EnergyModel::default();
+        let oracle = Box::leak(Box::new(SuiteOracle::build(&suite, &model)));
+        let arch = Box::leak(Box::new(Architecture::paper_quad()));
+        Fixture { suite, model, oracle, arch }
+    }
+
+    fn run_proposed(f: &Fixture, jobs: usize, horizon: u64, seed: u64) -> (SystemStats, usize, RunMetrics) {
+        let predictor = BestCorePredictor::train(f.oracle, &PredictorConfig::fast());
+        let mut system = ProposedSystem::with_model(f.arch, f.oracle, f.model, predictor);
+        let plan = ArrivalPlan::uniform(jobs, horizon, f.suite.len(), seed);
+        let metrics = Simulator::new(4).run(&plan, &mut system);
+        assert_eq!(metrics.jobs_completed, jobs as u64);
+        (system.stats(), system.table().len(), metrics)
+    }
+
+    #[test]
+    fn completes_all_jobs_and_profiles_every_benchmark_once() {
+        let f = fixture();
+        let (stats, table_len, _) = run_proposed(&f, 300, 50_000_000, 31);
+        assert_eq!(stats.profiling_runs as usize, f.suite.len());
+        assert_eq!(table_len, f.suite.len());
+    }
+
+    #[test]
+    fn beats_the_base_system_under_contention() {
+        let f = fixture();
+        let plan = ArrivalPlan::uniform(400, 40_000_000, f.suite.len(), 33);
+
+        let mut base = BaseSystem::new(f.oracle, f.model, 4);
+        let base_metrics = Simulator::new(4).run(&plan, &mut base);
+
+        let predictor = BestCorePredictor::train(f.oracle, &PredictorConfig::fast());
+        let mut proposed = ProposedSystem::with_model(f.arch, f.oracle, f.model, predictor);
+        let proposed_metrics = Simulator::new(4).run(&plan, &mut proposed);
+
+        assert!(
+            proposed_metrics.energy.total() < base_metrics.energy.total(),
+            "proposed {} must beat base {}",
+            proposed_metrics.energy.total(),
+            base_metrics.energy.total()
+        );
+    }
+
+    #[test]
+    fn takes_energy_advantageous_decisions_under_contention() {
+        let f = fixture();
+        let (stats, _, _) = run_proposed(&f, 400, 10_000_000, 35);
+        assert!(stats.decisions_evaluated > 0, "contention must trigger IV.E evaluations");
+    }
+
+    #[test]
+    fn profiling_energy_is_a_small_fraction_of_total() {
+        let f = fixture();
+        let (stats, _, metrics) = run_proposed(&f, 500, 80_000_000, 37);
+        let fraction = stats.profiling_energy_nj / metrics.energy.total();
+        assert!(
+            fraction < 0.10,
+            "profiling fraction {fraction} should be small (paper: < 0.5% at 5000 jobs)"
+        );
+    }
+
+    #[test]
+    fn tuning_explores_a_bounded_slice_of_the_design_space() {
+        let f = fixture();
+        let predictor = BestCorePredictor::train(f.oracle, &PredictorConfig::fast());
+        let mut system = ProposedSystem::with_model(f.arch, f.oracle, f.model, predictor);
+        let plan = ArrivalPlan::uniform(600, 60_000_000, f.suite.len(), 39);
+        let _ = Simulator::new(4).run(&plan, &mut system);
+        for (benchmark, entry) in system.table().iter() {
+            // 18 configurations exist; the paper's heuristic explores at
+            // most a small fraction (plus the base-config profile record).
+            assert!(
+                entry.explored_count() <= 13,
+                "{benchmark} explored {} configurations",
+                entry.explored_count()
+            );
+        }
+    }
+
+    #[test]
+    fn determinism_across_identical_runs() {
+        let f = fixture();
+        let (stats_a, _, metrics_a) = run_proposed(&f, 200, 20_000_000, 41);
+        let (stats_b, _, metrics_b) = run_proposed(&f, 200, 20_000_000, 41);
+        assert_eq!(stats_a, stats_b);
+        assert_eq!(metrics_a, metrics_b);
+    }
+
+    #[test]
+    fn runs_on_architectures_missing_a_predicted_size() {
+        // Regression: on a 2-core (2 KB / 8 KB) system, a benchmark whose
+        // predicted best size is 4 KB must be clamped to an offered size
+        // rather than stalling forever.
+        let suite = Suite::eembc_like_small();
+        let model = EnergyModel::default();
+        let oracle = Box::leak(Box::new(SuiteOracle::build(&suite, &model)));
+        let arch = Box::leak(Box::new(Architecture::new(
+            vec![cache_sim::CacheSizeKb::K2, cache_sim::CacheSizeKb::K8],
+            multicore_sim::CoreId(1),
+            None,
+        )));
+        let predictor = BestCorePredictor::train(oracle, &PredictorConfig::fast());
+        let mut system = ProposedSystem::with_model(arch, oracle, model, predictor);
+        let plan = ArrivalPlan::uniform(150, 30_000_000, suite.len(), 43);
+        let metrics = Simulator::new(2).run(&plan, &mut system);
+        assert_eq!(metrics.jobs_completed, 150);
+    }
+}

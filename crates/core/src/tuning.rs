@@ -1,0 +1,337 @@
+//! The Figure 5 cache tuning heuristic.
+//!
+//! "The tuning heuristic explores the associativity followed by the line
+//! size, since the associativity has the second largest impact on energy
+//! after the size. Each parameter is explored from the smallest to the
+//! largest value … The associativity is iteratively increased while there
+//! is a reduction in energy … the associativity is fixed … and the line
+//! size is similarly iteratively increased."
+//!
+//! Exploration is **incremental across executions** (Sec. IV.F): each time
+//! the application lands on the core, it physically runs *one*
+//! configuration; the measured energy is recorded and the explorer's cursor
+//! persists in the profiling table so the next landing "can continue where
+//! the exploration left off".
+
+use cache_sim::{Associativity, CacheConfig, CacheSizeKb, LineSize};
+
+/// Which parameter the explorer is currently sweeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TuningPhase {
+    /// Increasing associativity at the smallest line size.
+    Associativity,
+    /// Associativity fixed; increasing line size.
+    LineSize,
+}
+
+/// What the explorer wants next.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TuningStatus {
+    /// Execute this configuration next and [`record`](TuningExplorer::record)
+    /// its energy.
+    Explore(CacheConfig),
+    /// Exploration finished; this is the best configuration on the core.
+    Done(CacheConfig),
+}
+
+/// Incremental explorer for one (application, core-size) pair.
+///
+/// ```
+/// use cache_sim::CacheSizeKb;
+/// use hetero_core::{TuningExplorer, TuningStatus};
+///
+/// let mut explorer = TuningExplorer::new(CacheSizeKb::K4);
+/// // First proposal is always the smallest configuration.
+/// let TuningStatus::Explore(first) = explorer.status() else { panic!() };
+/// assert_eq!(first.to_string(), "4KB_1W_16B");
+/// explorer.record(first, 100.0);
+/// // 2-way is proposed next; report it as worse...
+/// let TuningStatus::Explore(second) = explorer.status() else { panic!() };
+/// assert_eq!(second.to_string(), "4KB_2W_16B");
+/// explorer.record(second, 120.0);
+/// // ...so associativity is fixed at 1W and line exploration begins.
+/// let TuningStatus::Explore(third) = explorer.status() else { panic!() };
+/// assert_eq!(third.to_string(), "4KB_1W_32B");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuningExplorer {
+    size: CacheSizeKb,
+    phase: TuningPhase,
+    /// Lowest-energy configuration measured so far.
+    best: Option<(CacheConfig, f64)>,
+    /// Next configuration to measure; `None` once done.
+    next: Option<CacheConfig>,
+    explored: usize,
+}
+
+impl TuningExplorer {
+    /// Start exploring a core of the given size from the smallest
+    /// configuration (smallest associativity and line minimise cache
+    /// flushing, per the paper).
+    pub fn new(size: CacheSizeKb) -> Self {
+        let origin = CacheConfig::new(size, Associativity::Direct, LineSize::B16)
+            .expect("direct-mapped 16B is valid at every size");
+        TuningExplorer {
+            size,
+            phase: TuningPhase::Associativity,
+            best: None,
+            next: Some(origin),
+            explored: 0,
+        }
+    }
+
+    /// The core size being explored.
+    pub fn size(&self) -> CacheSizeKb {
+        self.size
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> TuningPhase {
+        self.phase
+    }
+
+    /// Configurations physically executed so far.
+    pub fn explored_count(&self) -> usize {
+        self.explored
+    }
+
+    /// `true` once the best configuration is known.
+    pub fn is_done(&self) -> bool {
+        self.next.is_none()
+    }
+
+    /// What to do next.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before any measurement when the explorer is in an
+    /// impossible state (cannot happen through the public API).
+    pub fn status(&self) -> TuningStatus {
+        match self.next {
+            Some(config) => TuningStatus::Explore(config),
+            None => TuningStatus::Done(self.best.expect("done implies a best exists").0),
+        }
+    }
+
+    /// The best configuration and its energy measured so far, if any.
+    pub fn best(&self) -> Option<(CacheConfig, f64)> {
+        self.best
+    }
+
+    /// Record the measured energy of the configuration the explorer asked
+    /// for, and advance the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is not the configuration [`status`] requested, or
+    /// if exploration is already done.
+    ///
+    /// [`status`]: TuningExplorer::status
+    pub fn record(&mut self, config: CacheConfig, energy_nj: f64) {
+        let expected = self.next.expect("record called after exploration finished");
+        assert_eq!(config, expected, "must record the requested configuration");
+        self.explored += 1;
+
+        let improved = match self.best {
+            None => true,
+            Some((_, best_energy)) => energy_nj < best_energy,
+        };
+        if improved {
+            self.best = Some((config, energy_nj));
+        }
+        let best_config = self.best.expect("just set").0;
+
+        self.next = match self.phase {
+            TuningPhase::Associativity => {
+                let candidate = if improved {
+                    config
+                        .associativity()
+                        .next_larger()
+                        .filter(|&a| a <= self.size.max_associativity())
+                        .map(|a| config.with_associativity(a).expect("validated"))
+                } else {
+                    None
+                };
+                match candidate {
+                    Some(next) => Some(next),
+                    None => {
+                        // Fix the associativity; begin line exploration from
+                        // the next line size above the origin.
+                        self.phase = TuningPhase::LineSize;
+                        best_config.line().next_larger().map(|l| best_config.with_line(l))
+                    }
+                }
+            }
+            TuningPhase::LineSize => {
+                if improved {
+                    config.line().next_larger().map(|l| config.with_line(l))
+                } else {
+                    None
+                }
+            }
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn explore(config: &TuningStatus) -> CacheConfig {
+        match config {
+            TuningStatus::Explore(c) => *c,
+            TuningStatus::Done(c) => panic!("expected explore, got done({c})"),
+        }
+    }
+
+    /// Drive an explorer against an energy function until done; returns the
+    /// final best and the visited configurations.
+    fn drive(
+        size: CacheSizeKb,
+        energy: impl Fn(CacheConfig) -> f64,
+    ) -> (CacheConfig, Vec<CacheConfig>) {
+        let mut explorer = TuningExplorer::new(size);
+        let mut visited = Vec::new();
+        while !explorer.is_done() {
+            let config = explore(&explorer.status());
+            visited.push(config);
+            explorer.record(config, energy(config));
+            assert!(visited.len() <= 18, "explorer must terminate");
+        }
+        let TuningStatus::Done(best) = explorer.status() else { unreachable!() };
+        (best, visited)
+    }
+
+    #[test]
+    fn starts_at_smallest_configuration() {
+        for size in CacheSizeKb::ALL {
+            let explorer = TuningExplorer::new(size);
+            let config = explore(&explorer.status());
+            assert_eq!(config.associativity(), Associativity::Direct);
+            assert_eq!(config.line(), LineSize::B16);
+            assert_eq!(config.size(), size);
+        }
+    }
+
+    #[test]
+    fn monotone_worse_stops_after_minimum_explorations() {
+        // Energy strictly increases with both parameters: the explorer
+        // measures the origin, one worse associativity step (8/4 KB only),
+        // one worse line step, then stops at the origin.
+        let energy = |c: CacheConfig| {
+            c.associativity().ways() as f64 * 10.0 + c.line().bytes() as f64
+        };
+        let (best2, visited2) = drive(CacheSizeKb::K2, energy);
+        assert_eq!(best2.to_string(), "2KB_1W_16B");
+        assert_eq!(visited2.len(), 2); // origin + 32B line (worse)
+
+        let (best8, visited8) = drive(CacheSizeKb::K8, energy);
+        assert_eq!(best8.to_string(), "8KB_1W_16B");
+        assert_eq!(visited8.len(), 3); // origin, 2W (worse), 32B (worse)
+    }
+
+    #[test]
+    fn monotone_better_reaches_maximum_configuration() {
+        let energy = |c: CacheConfig| {
+            -(c.associativity().ways() as f64 * 10.0 + c.line().bytes() as f64)
+        };
+        let (best, visited) = drive(CacheSizeKb::K8, energy);
+        assert_eq!(best.to_string(), "8KB_4W_64B");
+        // 1W,2W,4W at 16B, then 32B, 64B at 4W.
+        assert_eq!(visited.len(), 5);
+    }
+
+    #[test]
+    fn exploration_bounds_match_the_paper_claim() {
+        // Over all monotone/unimodal energy surfaces the per-core
+        // exploration count is bounded; check extremes per size.
+        for size in CacheSizeKb::ALL {
+            let max_assoc_steps = match size {
+                CacheSizeKb::K2 => 1,
+                CacheSizeKb::K4 => 2,
+                CacheSizeKb::K8 => 3,
+            };
+            let all_better = drive(size, |c| {
+                -((c.associativity().ways() * 100 + c.line().bytes()) as f64)
+            });
+            assert_eq!(all_better.1.len(), max_assoc_steps + 2);
+            let all_worse =
+                drive(size, |c| (c.associativity().ways() * 100 + c.line().bytes()) as f64);
+            assert_eq!(all_worse.1.len(), if max_assoc_steps == 1 { 2 } else { 3 });
+        }
+    }
+
+    #[test]
+    fn line_phase_uses_the_best_associativity() {
+        // 2W is better than 1W and 4W; lines improve with size at 2W.
+        let energy = |c: CacheConfig| {
+            let assoc_cost = match c.associativity() {
+                Associativity::Direct => 50.0,
+                Associativity::Two => 10.0,
+                Associativity::Four => 70.0,
+            };
+            assoc_cost - f64::from(c.line().bytes()) * 0.1
+        };
+        let (best, visited) = drive(CacheSizeKb::K8, energy);
+        assert_eq!(best.to_string(), "8KB_2W_64B");
+        let line_configs: Vec<String> = visited
+            .iter()
+            .filter(|c| c.line() != LineSize::B16)
+            .map(|c| c.to_string())
+            .collect();
+        assert_eq!(line_configs, vec!["8KB_2W_32B", "8KB_2W_64B"]);
+    }
+
+    #[test]
+    fn never_proposes_invalid_configurations() {
+        // 2 KB cores must never be asked for 2- or 4-way.
+        let (_, visited) = drive(CacheSizeKb::K2, |c| -f64::from(c.line().bytes()));
+        assert!(visited.iter().all(|c| c.associativity() == Associativity::Direct));
+    }
+
+    #[test]
+    fn explored_count_tracks_records() {
+        let mut explorer = TuningExplorer::new(CacheSizeKb::K4);
+        assert_eq!(explorer.explored_count(), 0);
+        let c = explore(&explorer.status());
+        explorer.record(c, 5.0);
+        assert_eq!(explorer.explored_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "requested configuration")]
+    fn recording_the_wrong_configuration_panics() {
+        let mut explorer = TuningExplorer::new(CacheSizeKb::K8);
+        let wrong = CacheConfig::parse("8KB_4W_64B").unwrap();
+        explorer.record(wrong, 1.0);
+    }
+
+    #[test]
+    fn ties_do_not_count_as_improvement() {
+        // Equal energy must stop exploration (strict reduction required).
+        let (best, visited) = drive(CacheSizeKb::K8, |_| 42.0);
+        assert_eq!(best.to_string(), "8KB_1W_16B");
+        assert_eq!(visited.len(), 3);
+    }
+
+    #[test]
+    fn incremental_use_preserves_state_across_visits() {
+        // Simulate the profiling-table usage: the explorer is consulted,
+        // one configuration is run, state persists, repeat.
+        let energy =
+            |c: CacheConfig| -(c.associativity().ways() as f64) * 10.0 + c.line().bytes() as f64;
+        let mut explorer = TuningExplorer::new(CacheSizeKb::K8);
+        let mut steps = 0;
+        while let TuningStatus::Explore(config) = explorer.status() {
+            // "Each time the application executes on a core, the heuristic
+            // can continue where the exploration left off."
+            let resumed = explorer.clone();
+            assert_eq!(resumed.status(), explorer.status());
+            explorer.record(config, energy(config));
+            steps += 1;
+        }
+        assert_eq!(steps, explorer.explored_count());
+        let TuningStatus::Done(best) = explorer.status() else { unreachable!() };
+        assert_eq!(best.to_string(), "8KB_4W_16B");
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the Figure 5 tuning heuristic over arbitrary
+//! energy surfaces.
+
+use cache_sim::{CacheConfig, CacheSizeKb};
+use hetero_core::{TuningExplorer, TuningStatus};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Structural exploration bound per core size: up to `max_assoc` steps at
+/// 16 B lines, then up to two line steps.
+fn exploration_bound(size: CacheSizeKb) -> usize {
+    match size {
+        CacheSizeKb::K2 => 3,
+        CacheSizeKb::K4 => 4,
+        CacheSizeKb::K8 => 5,
+    }
+}
+
+fn arbitrary_size() -> impl Strategy<Value = CacheSizeKb> {
+    prop::sample::select(CacheSizeKb::ALL.to_vec())
+}
+
+/// Drive the explorer to completion against a random surface; returns the
+/// visited path and the concluded best.
+fn drive(size: CacheSizeKb, surface: &HashMap<String, f64>) -> (Vec<(CacheConfig, f64)>, CacheConfig) {
+    let mut explorer = TuningExplorer::new(size);
+    let mut path = Vec::new();
+    while let TuningStatus::Explore(config) = explorer.status() {
+        let energy = surface.get(&config.to_string()).copied().unwrap_or(1.0);
+        path.push((config, energy));
+        explorer.record(config, energy);
+        assert!(path.len() <= 18, "must terminate");
+    }
+    let TuningStatus::Done(best) = explorer.status() else { unreachable!() };
+    (path, best)
+}
+
+fn arbitrary_surface() -> impl Strategy<Value = HashMap<String, f64>> {
+    let configs: Vec<String> = cache_sim::design_space().map(|c| c.to_string()).collect();
+    let n = configs.len();
+    prop::collection::vec(0.0f64..1000.0, n).prop_map(move |energies| {
+        configs.iter().cloned().zip(energies).collect()
+    })
+}
+
+proptest! {
+    /// The explorer terminates within the structural bound on every
+    /// surface, including adversarial ones.
+    #[test]
+    fn terminates_within_bounds(
+        size in arbitrary_size(),
+        surface in arbitrary_surface(),
+    ) {
+        let (path, _) = drive(size, &surface);
+        prop_assert!(path.len() >= 2, "at least origin + one probe");
+        prop_assert!(
+            path.len() <= exploration_bound(size),
+            "{} steps exceeds the bound for {size}", path.len()
+        );
+    }
+
+    /// The concluded best configuration is exactly the minimum-energy
+    /// configuration among those physically visited (greedy consistency).
+    #[test]
+    fn best_is_minimum_of_visited(
+        size in arbitrary_size(),
+        surface in arbitrary_surface(),
+    ) {
+        let (path, best) = drive(size, &surface);
+        let (min_config, min_energy) = path
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .copied()
+            .expect("non-empty path");
+        let best_energy = path.iter().find(|(c, _)| *c == best).expect("best was visited").1;
+        prop_assert!(
+            (best_energy - min_energy).abs() < 1e-12,
+            "best {best} ({best_energy}) is not the visited minimum {min_config} ({min_energy})"
+        );
+    }
+
+    /// Every visited configuration is valid for the core size, and no
+    /// configuration is visited twice.
+    #[test]
+    fn visits_are_valid_and_distinct(
+        size in arbitrary_size(),
+        surface in arbitrary_surface(),
+    ) {
+        let (path, _) = drive(size, &surface);
+        let mut seen = std::collections::HashSet::new();
+        for (config, _) in &path {
+            prop_assert_eq!(config.size(), size);
+            prop_assert!(seen.insert(config.to_string()), "revisited {}", config);
+        }
+    }
+
+    /// On unimodal-in-each-parameter surfaces (separable costs), the
+    /// heuristic finds the global per-size optimum.
+    #[test]
+    fn separable_surfaces_are_solved_exactly(
+        size in arbitrary_size(),
+        assoc_cost in prop::collection::vec(0.0f64..100.0, 3),
+        line_cost in prop::collection::vec(0.0f64..100.0, 3),
+    ) {
+        // Build a separable surface; make parameter effects monotone (sorted)
+        // so the greedy small-to-large walk is guaranteed to be optimal.
+        let mut assoc_sorted = assoc_cost.clone();
+        assoc_sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mut line_sorted = line_cost.clone();
+        line_sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        // Randomly flip direction to exercise both improving and worsening walks.
+        let surface: HashMap<String, f64> = cache_sim::design_space()
+            .filter(|c| c.size() == size)
+            .map(|c| {
+                let ai = (c.associativity().ways().trailing_zeros()) as usize; // 1,2,4 -> 0,1,2
+                let li = (c.line().bytes().trailing_zeros() - 4) as usize; // 16,32,64 -> 0,1,2
+                (c.to_string(), assoc_sorted[ai] + line_sorted[li])
+            })
+            .collect();
+        let (_, best) = drive(size, &surface);
+        let (true_best, _) = surface
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("non-empty");
+        // Monotone-increasing costs in both parameters: optimum is the
+        // origin; allow ties (equal costs) to pick any tied config.
+        let best_cost = surface[&best.to_string()];
+        let true_cost = surface[true_best];
+        prop_assert!(
+            best_cost <= true_cost + 1e-12,
+            "heuristic {best} ({best_cost}) vs optimum {true_best} ({true_cost})"
+        );
+    }
+}

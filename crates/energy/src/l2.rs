@@ -1,0 +1,140 @@
+//! Energy extension for a two-level hierarchy (the paper's future work:
+//! "additional levels of private and shared caches").
+//!
+//! Figure 4 prices every L1 miss as an off-chip access. With a private L2
+//! behind the L1 (as drawn in the paper's Figure 1 but not modelled in its
+//! energy equations), an L1 miss first costs an L2 access; only L2 misses
+//! pay the off-chip latency/energy. [`EnergyModel::execution_with_l2`]
+//! extends the Figure 4 composition accordingly:
+//!
+//! ```text
+//! miss_cycles = L1_misses * L2_latency
+//!             + L2_misses * (miss_latency + (line/16) * memory_bandwidth)
+//! E(dynamic)  = L1_hits * E(L1 hit)
+//!             + L1_misses * (E(L2 access) + E(L1 fill))
+//!             + L2_misses * (E(off-chip) + E(L2 fill))
+//!             + miss_cycles * E(CPU stall)
+//! E(static per cycle) += E(L2 leakage per cycle)
+//! ```
+//!
+//! [`EnergyModel::execution_with_l2`]: crate::EnergyModel::execution_with_l2
+
+use cache_sim::Geometry;
+
+/// Energy/latency parameters of the non-configurable L2.
+///
+/// ```
+/// use energy_model::L2Params;
+///
+/// let l2 = L2Params::typical();
+/// assert_eq!(l2.hit_latency_cycles, 8);
+/// assert!(l2.access_energy_nj > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct L2Params {
+    /// The L2's physical shape.
+    pub geometry: Geometry,
+    /// Cycles to satisfy an L1 miss from the L2.
+    pub hit_latency_cycles: u64,
+    /// Per-access dynamic energy, in nanojoules.
+    pub access_energy_nj: f64,
+    /// Energy to write one fetched line into the L2 array, in nanojoules.
+    pub fill_energy_nj: f64,
+    /// Leakage per cycle, in nanojoules.
+    pub static_nj_per_cycle: f64,
+}
+
+impl L2Params {
+    /// Parameters for the default 64 KB 4-way 64 B-line L2 at 0.18 µm,
+    /// derived from the same scaling laws as [`cacti`](crate::cacti):
+    /// the larger array costs more per access and leaks more than any L1
+    /// in the design space, but far less than an off-chip access.
+    pub fn typical() -> Self {
+        Self::for_geometry(Geometry::typical_l2())
+    }
+
+    /// Derive parameters for an arbitrary L2 geometry using the
+    /// [`cacti`](crate::cacti) scaling laws.
+    pub fn for_geometry(geometry: Geometry) -> Self {
+        // Reuse the L1 power-law shape, anchored at the 2 KB point.
+        let size_kb = geometry.capacity_bytes() as f64 / 1024.0;
+        let ways = f64::from(geometry.ways());
+        let line = f64::from(geometry.line_bytes()) / 16.0;
+        let access_energy_nj =
+            0.28 * (size_kb / 2.0).powf(0.55) * ways.powf(0.45) * line.powf(0.30);
+        let fill_energy_nj = 0.35 * line * (size_kb / 2.0).powf(0.15);
+        // Leakage: L2 arrays are built from high-Vt (or drowsy) cells with
+        // a leakage density well below the speed-optimised L1's — we use
+        // 20% of the L1's per-KB density, in line with published
+        // leakage-optimised L2 designs. Without this, a 64 KB L2 would
+        // leak 8x the largest L1 and dominate every energy comparison.
+        const L2_LEAKAGE_DENSITY_FACTOR: f64 = 0.20;
+        let per_kb = L2_LEAKAGE_DENSITY_FACTOR * 0.10
+            * crate::cacti::read_energy_nj(cache_sim::BASE_CONFIG)
+            / 8.0;
+        L2Params {
+            geometry,
+            hit_latency_cycles: 8,
+            access_energy_nj,
+            fill_energy_nj,
+            static_nj_per_cycle: per_kb * size_kb,
+        }
+    }
+
+    /// Override the hit latency.
+    pub fn hit_latency(mut self, cycles: u64) -> Self {
+        self.hit_latency_cycles = cycles;
+        self
+    }
+}
+
+impl Default for L2Params {
+    fn default() -> Self {
+        L2Params::typical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cacti;
+    use cache_sim::{design_space, BASE_CONFIG};
+
+    #[test]
+    fn l2_access_costs_more_than_any_l1_hit() {
+        let l2 = L2Params::typical();
+        for config in design_space() {
+            assert!(
+                l2.access_energy_nj > cacti::read_energy_nj(config),
+                "64KB L2 must cost more per access than L1 {config}"
+            );
+        }
+    }
+
+    #[test]
+    fn l2_access_costs_less_than_off_chip() {
+        let l2 = L2Params::typical();
+        assert!(l2.access_energy_nj < cacti::offchip_energy_nj(BASE_CONFIG));
+    }
+
+    #[test]
+    fn l2_leaks_more_than_the_largest_l1() {
+        let l2 = L2Params::typical();
+        let model = crate::EnergyModel::default();
+        assert!(l2.static_nj_per_cycle > model.static_nj_per_cycle(BASE_CONFIG));
+    }
+
+    #[test]
+    fn parameters_scale_with_geometry() {
+        let small = L2Params::for_geometry(Geometry::new(128, 4, 64).unwrap()); // 32 KB
+        let large = L2Params::for_geometry(Geometry::new(512, 4, 64).unwrap()); // 128 KB
+        assert!(large.access_energy_nj > small.access_energy_nj);
+        assert!(large.static_nj_per_cycle > small.static_nj_per_cycle);
+    }
+
+    #[test]
+    fn hit_latency_override() {
+        let l2 = L2Params::typical().hit_latency(12);
+        assert_eq!(l2.hit_latency_cycles, 12);
+    }
+}

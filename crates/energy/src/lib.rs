@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! The paper's energy model (its Figure 4) plus a CACTI-like analytic
+//! per-access energy library for a 0.18 µm SRAM technology.
+//!
+//! The original work obtained per-access dynamic energies from CACTI 2.0 at
+//! 0.18 µm and off-chip energies from a low-power Samsung memory datasheet.
+//! Neither tool/datasheet is redistributable, so [`cacti`] provides an
+//! analytic model with the same *monotone scaling behaviour* (bigger caches,
+//! higher associativity, and wider lines all cost more per access; leakage
+//! grows with capacity), which is the property the paper's conclusions rely
+//! on. The Figure 4 equations themselves are implemented verbatim in
+//! [`EnergyModel`]:
+//!
+//! ```text
+//! E(total)   = E(sta) + E(dynamic)
+//! E(dynamic) = hits * E(hit) + misses * E(miss)
+//! E(miss)    = E(off-chip access) + miss_cycles * E(CPU stall) + E(cache fill)
+//! miss_cycles = misses * miss_latency + misses * (line/16) * memory_bandwidth
+//! E(sta)     = total_cycles * E(static per cycle)
+//! E(static per cycle) = E(per KByte) * cache_size_KB
+//! E(per KByte) = 10% * E(dyn of base cache) / base_size_KB
+//! ```
+//!
+//! with the Section V assumptions `miss_latency = 40` L1-fetch times and
+//! `memory_bandwidth = 50 %` of the miss penalty.
+//!
+//! # Example
+//!
+//! ```
+//! use cache_sim::{simulate, Access, Trace, BASE_CONFIG};
+//! use energy_model::EnergyModel;
+//!
+//! let model = EnergyModel::default();
+//! let trace: Trace = (0..4096u64).map(|i| Access::read(i * 4)).collect();
+//! let stats = simulate(BASE_CONFIG, &trace);
+//! let cost = model.execution(BASE_CONFIG, &stats, 10_000);
+//! assert!(cost.energy.total() > 0.0);
+//! assert!(cost.cycles >= 10_000);
+//! ```
+
+pub mod cacti;
+pub mod l2;
+mod model;
+mod report;
+
+pub use l2::L2Params;
+pub use model::{EnergyModel, EnergyParams, ExecutionCost};
+pub use report::EnergyBreakdown;

@@ -1,0 +1,144 @@
+//! Energy bookkeeping shared by the simulator and the scheduler.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Energy split into the components the paper's Figures 6 and 7 report:
+/// **idle** (leakage of cores with no job), **dynamic** (cache accesses,
+/// fills, off-chip transfers, stall overhead), and **static** (leakage of a
+/// core while it executes).
+///
+/// The paper's "total" bars are `idle + dynamic + static`; its "dynamic"
+/// bars are the dynamic component alone, and its "idle" bars the idle
+/// component alone.
+///
+/// ```
+/// use energy_model::EnergyBreakdown;
+///
+/// let mut e = EnergyBreakdown::new();
+/// e.dynamic_nj += 10.0;
+/// e.static_nj += 2.0;
+/// e.idle_nj += 1.0;
+/// assert_eq!(e.total(), 13.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Leakage energy of idle cores, in nanojoules.
+    pub idle_nj: f64,
+    /// Dynamic (switching) energy, in nanojoules.
+    pub dynamic_nj: f64,
+    /// Leakage energy of busy cores, in nanojoules.
+    pub static_nj: f64,
+}
+
+impl EnergyBreakdown {
+    /// All-zero breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total energy: idle + dynamic + static.
+    pub fn total(&self) -> f64 {
+        self.idle_nj + self.dynamic_nj + self.static_nj
+    }
+
+    /// Component-wise ratio `self / baseline` as (idle, dynamic, total),
+    /// the normalisation used by the paper's Figure 6 and Figure 7.
+    ///
+    /// Components that are zero in the baseline normalise to `f64::NAN`.
+    pub fn normalized_to(&self, baseline: &EnergyBreakdown) -> NormalizedEnergy {
+        NormalizedEnergy {
+            idle: self.idle_nj / baseline.idle_nj,
+            dynamic: self.dynamic_nj / baseline.dynamic_nj,
+            total: self.total() / baseline.total(),
+        }
+    }
+}
+
+impl Add for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+
+    fn add(mut self, rhs: EnergyBreakdown) -> EnergyBreakdown {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for EnergyBreakdown {
+    fn add_assign(&mut self, rhs: EnergyBreakdown) {
+        self.idle_nj += rhs.idle_nj;
+        self.dynamic_nj += rhs.dynamic_nj;
+        self.static_nj += rhs.static_nj;
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "idle {:.1} nJ + dynamic {:.1} nJ + static {:.1} nJ = {:.1} nJ",
+            self.idle_nj,
+            self.dynamic_nj,
+            self.static_nj,
+            self.total()
+        )
+    }
+}
+
+/// Energy ratios relative to a baseline system (Figure 6/7 bars).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NormalizedEnergy {
+    /// Idle-energy ratio.
+    pub idle: f64,
+    /// Dynamic-energy ratio.
+    pub dynamic: f64,
+    /// Total-energy ratio.
+    pub total: f64,
+}
+
+impl fmt::Display for NormalizedEnergy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "idle {:.3}x, dynamic {:.3}x, total {:.3}x",
+            self.idle, self.dynamic, self.total
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_is_sum_of_components() {
+        let e = EnergyBreakdown { idle_nj: 1.5, dynamic_nj: 2.5, static_nj: 4.0 };
+        assert!((e.total() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn addition_accumulates() {
+        let a = EnergyBreakdown { idle_nj: 1.0, dynamic_nj: 2.0, static_nj: 3.0 };
+        let b = EnergyBreakdown { idle_nj: 0.5, dynamic_nj: 0.5, static_nj: 0.5 };
+        let sum = a + b;
+        assert_eq!(sum.idle_nj, 1.5);
+        assert_eq!(sum.dynamic_nj, 2.5);
+        assert_eq!(sum.static_nj, 3.5);
+    }
+
+    #[test]
+    fn normalisation_to_self_is_unity() {
+        let e = EnergyBreakdown { idle_nj: 3.0, dynamic_nj: 5.0, static_nj: 7.0 };
+        let n = e.normalized_to(&e);
+        assert!((n.idle - 1.0).abs() < 1e-12);
+        assert!((n.dynamic - 1.0).abs() < 1e-12);
+        assert!((n.total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats_all_components() {
+        let e = EnergyBreakdown { idle_nj: 1.0, dynamic_nj: 2.0, static_nj: 3.0 };
+        let text = e.to_string();
+        assert!(text.contains("idle") && text.contains("dynamic") && text.contains("static"));
+    }
+}

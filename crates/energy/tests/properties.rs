@@ -1,0 +1,122 @@
+//! Property-based tests for the Figure 4 energy model.
+
+use cache_sim::{design_space, CacheConfig, CacheStats};
+use energy_model::{EnergyModel, EnergyParams, L2Params};
+use proptest::prelude::*;
+
+fn arbitrary_config() -> impl Strategy<Value = CacheConfig> {
+    prop::sample::select(design_space().collect::<Vec<_>>())
+}
+
+/// Build a `CacheStats` with the requested counts through the public API.
+fn stats_with(hits: u64, misses: u64) -> CacheStats {
+    let mut stats = CacheStats::new();
+    for i in 0..hits {
+        stats.record_hit(i % 3 == 0);
+    }
+    for i in 0..misses {
+        stats.record_miss(i % 4 == 0);
+    }
+    stats
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Energy and cycles are finite, non-negative, and cycles include the
+    /// compute portion.
+    #[test]
+    fn execution_cost_is_well_formed(
+        config in arbitrary_config(),
+        hits in 0u64..2000,
+        misses in 0u64..2000,
+        cpu_cycles in 0u64..1_000_000,
+    ) {
+        let model = EnergyModel::default();
+        let cost = model.execution(config, &stats_with(hits, misses), cpu_cycles);
+        prop_assert!(cost.cycles >= cpu_cycles);
+        prop_assert!(cost.energy.dynamic_nj.is_finite() && cost.energy.dynamic_nj >= 0.0);
+        prop_assert!(cost.energy.static_nj.is_finite() && cost.energy.static_nj >= 0.0);
+        prop_assert_eq!(cost.energy.idle_nj, 0.0);
+    }
+
+    /// More misses at the same access count never cost less energy or
+    /// fewer cycles.
+    #[test]
+    fn misses_monotonically_increase_cost(
+        config in arbitrary_config(),
+        accesses in 1u64..2000,
+        cpu_cycles in 0u64..100_000,
+        split in 0u64..1000,
+    ) {
+        let model = EnergyModel::default();
+        let misses_low = (split % (accesses + 1)).min(accesses);
+        let misses_high = accesses; // every access misses
+        let low = model.execution(config, &stats_with(accesses - misses_low, misses_low), cpu_cycles);
+        let high = model.execution(config, &stats_with(0, misses_high), cpu_cycles);
+        prop_assert!(high.cycles >= low.cycles);
+        prop_assert!(high.energy.total() >= low.energy.total() - 1e-9);
+    }
+
+    /// Miss cycles are linear in the miss count.
+    #[test]
+    fn miss_cycles_are_linear(
+        config in arbitrary_config(),
+        misses in 0u64..10_000,
+    ) {
+        let model = EnergyModel::default();
+        let per_miss = model.miss_cycles(config, 1);
+        prop_assert_eq!(model.miss_cycles(config, misses), per_miss * misses);
+    }
+
+    /// Static energy is linear in cycles and monotone in cache size.
+    #[test]
+    fn static_energy_is_linear_and_size_monotone(
+        config in arbitrary_config(),
+        cycles in 0u64..1_000_000,
+    ) {
+        let model = EnergyModel::default();
+        let one = model.static_energy_nj(config, 1);
+        let many = model.static_energy_nj(config, cycles);
+        prop_assert!((many - one * cycles as f64).abs() < 1e-6 * (1.0 + many.abs()));
+    }
+
+    /// A longer miss latency never reduces cost.
+    #[test]
+    fn longer_miss_latency_never_cheaper(
+        config in arbitrary_config(),
+        misses in 0u64..1000,
+    ) {
+        let fast = EnergyModel::new(EnergyParams::new().miss_latency_cycles(20));
+        let slow = EnergyModel::new(EnergyParams::new().miss_latency_cycles(80));
+        let stats = stats_with(100, misses);
+        let fast_cost = fast.execution(config, &stats, 10_000);
+        let slow_cost = slow.execution(config, &stats, 10_000);
+        prop_assert!(slow_cost.cycles >= fast_cost.cycles);
+        prop_assert!(slow_cost.energy.total() >= fast_cost.energy.total() - 1e-9);
+    }
+
+    /// With an L2 that hits everything (zero L2 misses), execution is
+    /// never slower than the L1-only model pricing those misses off-chip.
+    #[test]
+    fn perfect_l2_beats_off_chip(
+        config in arbitrary_config(),
+        hits in 0u64..1000,
+        l1_misses in 1u64..1000,
+        cpu_cycles in 0u64..100_000,
+    ) {
+        let model = EnergyModel::default();
+        let l2 = L2Params::typical();
+        let flat = model.execution(config, &stats_with(hits, l1_misses), cpu_cycles);
+        let stacked_stats = cache_sim::HierarchyStats {
+            l1: stats_with(hits, l1_misses),
+            l2: stats_with(l1_misses, 0), // all L1 misses hit in L2
+        };
+        let stacked = model.execution_with_l2(config, &stacked_stats, cpu_cycles, &l2);
+        prop_assert!(
+            stacked.cycles <= flat.cycles,
+            "L2 hit latency ({}) must beat the off-chip penalty: {} vs {}",
+            l2.hit_latency_cycles, stacked.cycles, flat.cycles
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Jobs: arrived benchmark instances awaiting or undergoing execution.
+
+use energy_model::EnergyBreakdown;
+use std::fmt;
+use workloads::BenchmarkId;
+
+/// One arrived instance of a benchmark.
+///
+/// Many jobs may reference the same [`BenchmarkId`] — the paper's 5000
+/// arrivals are drawn from a 20-benchmark suite — and schedulers key their
+/// profiling tables by benchmark, not by job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Job {
+    /// Unique sequence number in arrival order.
+    pub seq: u64,
+    /// Which benchmark this job executes.
+    pub benchmark: BenchmarkId,
+    /// Cycle at which the job arrived.
+    pub arrival: u64,
+    /// Scheduling priority inherited from the arrival (higher = more
+    /// urgent; only meaningful under the priority queue discipline).
+    pub priority: u8,
+}
+
+impl fmt::Display for Job {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job#{}({})", self.seq, self.benchmark)
+    }
+}
+
+/// The simulator-visible cost of one job execution, as decided by the
+/// scheduler: how long the core is busy and what energy the run consumes.
+///
+/// `energy.idle_nj` must be zero — idle energy is accrued by the simulator
+/// itself, per core, per cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobExecution {
+    /// Core-busy duration in cycles.
+    pub cycles: u64,
+    /// Dynamic + static energy of the run, in nanojoules.
+    pub energy: EnergyBreakdown,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_display_mentions_seq_and_benchmark() {
+        let job = Job { seq: 3, benchmark: BenchmarkId(7), arrival: 100, priority: 0 };
+        assert_eq!(job.to_string(), "job#3(B7)");
+    }
+}

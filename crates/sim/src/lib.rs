@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+
+//! Discrete-event simulator for the paper's quad-core system (Section V).
+//!
+//! The paper evaluated its scheduler by "simulating different systems using
+//! MATLAB" with these event semantics, all reproduced here:
+//!
+//! * benchmarks arrive at precomputed times and enter a FIFO **ready
+//!   queue**;
+//! * "the scheduler was invoked to make scheduling decisions each time a
+//!   benchmark arrived or when a core became idle";
+//! * a stalled application "is enqueued back into the ready queue";
+//! * there is **no preemption or priority**;
+//! * idle cores burn leakage energy continuously — the idle energy the
+//!   Section IV.E decision trades against.
+//!
+//! The scheduling policy itself is pluggable through the [`Scheduler`]
+//! trait; the four systems of the paper's evaluation live in the
+//! `hetero-core` crate.
+//!
+//! # Example: a trivial any-idle-core scheduler
+//!
+//! ```
+//! use energy_model::EnergyBreakdown;
+//! use multicore_sim::{
+//!     CoreId, CoreView, Decision, Job, JobExecution, Scheduler, Simulator,
+//! };
+//! use workloads::{Arrival, ArrivalPlan, BenchmarkId};
+//!
+//! struct AnyIdle;
+//!
+//! impl Scheduler for AnyIdle {
+//!     fn schedule(&mut self, _job: &Job, cores: &[CoreView], _now: u64) -> Decision {
+//!         match cores.iter().find(|c| c.is_idle()) {
+//!             Some(core) => Decision::run(
+//!                 core.id,
+//!                 JobExecution { cycles: 1_000, energy: EnergyBreakdown::new() },
+//!             ),
+//!             None => Decision::Stall,
+//!         }
+//!     }
+//!
+//!     fn idle_power_nj_per_cycle(&self, _core: CoreId) -> f64 {
+//!         0.01
+//!     }
+//! }
+//!
+//! let plan = ArrivalPlan::uniform(100, 50_000, 5, 42);
+//! let metrics = Simulator::new(4).run(&plan, &mut AnyIdle);
+//! assert_eq!(metrics.jobs_completed, 100);
+//! ```
+
+mod job;
+mod metrics;
+mod scheduler;
+mod simulator;
+
+pub use job::{Job, JobExecution};
+pub use metrics::{ClassStats, RunMetrics};
+pub use scheduler::{BusyInfo, CoreId, CoreView, Decision, Scheduler};
+pub use simulator::{QueueDiscipline, Simulator};

@@ -1,0 +1,118 @@
+//! System-level metrics of one simulated run.
+
+use energy_model::EnergyBreakdown;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Per-priority-class completion statistics (the future-work priority
+/// extension; under pure FIFO everything lands in class 0).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassStats {
+    /// Jobs of this priority that completed.
+    pub jobs: u64,
+    /// Summed (completion - arrival) cycles for this priority.
+    pub turnaround_cycles: u64,
+}
+
+impl ClassStats {
+    /// Mean turnaround of the class in cycles.
+    pub fn mean_turnaround(&self) -> f64 {
+        if self.jobs == 0 {
+            0.0
+        } else {
+            self.turnaround_cycles as f64 / self.jobs as f64
+        }
+    }
+}
+
+/// Aggregate results of a simulation: the quantities behind the paper's
+/// Figures 6 and 7.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunMetrics {
+    /// Energy totals (idle + dynamic + static).
+    pub energy: EnergyBreakdown,
+    /// Makespan: the cycle at which the last job completed (the paper's
+    /// "performance in number of cycles").
+    pub total_cycles: u64,
+    /// Jobs that ran to completion.
+    pub jobs_completed: u64,
+    /// Stall decisions taken (each one re-enqueues a job).
+    pub stalls: u64,
+    /// Busy cycles per core, indexed by core id.
+    pub busy_cycles: Vec<u64>,
+    /// Sum of (completion - arrival) over all jobs, for mean turnaround.
+    pub turnaround_cycles: u64,
+    /// Completion statistics per priority class.
+    pub by_priority: BTreeMap<u8, ClassStats>,
+    /// Evictions performed under the preemptive discipline.
+    pub preemptions: u64,
+}
+
+impl RunMetrics {
+    /// Per-core utilisation in `[0, 1]` relative to the makespan.
+    pub fn utilisation(&self) -> Vec<f64> {
+        if self.total_cycles == 0 {
+            return vec![0.0; self.busy_cycles.len()];
+        }
+        self.busy_cycles
+            .iter()
+            .map(|&b| b as f64 / self.total_cycles as f64)
+            .collect()
+    }
+
+    /// Mean job turnaround (queueing + execution) in cycles.
+    pub fn mean_turnaround(&self) -> f64 {
+        if self.jobs_completed == 0 {
+            0.0
+        } else {
+            self.turnaround_cycles as f64 / self.jobs_completed as f64
+        }
+    }
+}
+
+impl fmt::Display for RunMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} jobs in {} cycles, {} stalls; {}",
+            self.jobs_completed, self.total_cycles, self.stalls, self.energy
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilisation_and_turnaround() {
+        let metrics = RunMetrics {
+            energy: EnergyBreakdown::new(),
+            total_cycles: 1000,
+            jobs_completed: 4,
+            stalls: 1,
+            busy_cycles: vec![500, 1000],
+            turnaround_cycles: 2000,
+            by_priority: BTreeMap::new(),
+            preemptions: 0,
+        };
+        assert_eq!(metrics.utilisation(), vec![0.5, 1.0]);
+        assert_eq!(metrics.mean_turnaround(), 500.0);
+    }
+
+    #[test]
+    fn zero_cycles_is_handled() {
+        let metrics = RunMetrics {
+            energy: EnergyBreakdown::new(),
+            total_cycles: 0,
+            jobs_completed: 0,
+            stalls: 0,
+            busy_cycles: vec![0],
+            turnaround_cycles: 0,
+            by_priority: BTreeMap::new(),
+            preemptions: 0,
+        };
+        assert_eq!(metrics.utilisation(), vec![0.0]);
+        assert_eq!(metrics.mean_turnaround(), 0.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! The scheduler interface the simulator drives.
+
+use crate::job::{Job, JobExecution};
+use std::fmt;
+
+/// Identifies one core of the simulated system (0-based).
+///
+/// In the paper's Figure 1 architecture, `CoreId(0)`–`CoreId(3)` are
+/// Core 1–Core 4; `CoreId(3)` is the primary profiling core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoreId(pub usize);
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0 + 1)
+    }
+}
+
+/// Snapshot of one core's occupancy handed to the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreView {
+    /// Which core this describes.
+    pub id: CoreId,
+    /// The job currently executing, with its start and end cycles, or
+    /// `None` when idle.
+    pub busy: Option<BusyInfo>,
+}
+
+/// Occupancy details of a busy core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BusyInfo {
+    /// The executing job.
+    pub job: Job,
+    /// Cycle at which execution started.
+    pub started: u64,
+    /// Cycle at which the core becomes idle.
+    pub busy_until: u64,
+}
+
+impl CoreView {
+    /// `true` when no job occupies the core.
+    pub fn is_idle(&self) -> bool {
+        self.busy.is_none()
+    }
+}
+
+/// A scheduling decision for the job under consideration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Decision {
+    /// Execute on `core` (which must be idle) with the given cost.
+    Run {
+        /// Target core.
+        core: CoreId,
+        /// Execution cost the simulator will account.
+        execution: JobExecution,
+    },
+    /// Leave the job queued; it returns to the back of the ready queue and
+    /// is reconsidered at the next scheduler invocation.
+    Stall,
+}
+
+impl Decision {
+    /// Convenience constructor for [`Decision::Run`].
+    pub fn run(core: CoreId, execution: JobExecution) -> Self {
+        Decision::Run { core, execution }
+    }
+}
+
+/// A scheduling policy.
+///
+/// The simulator invokes [`schedule`] for queued jobs whenever a benchmark
+/// arrives or a core becomes idle (the paper's invocation rule), passing a
+/// snapshot of all cores. Implementations decide to run the job on an idle
+/// core or stall it.
+///
+/// [`schedule`]: Scheduler::schedule
+pub trait Scheduler {
+    /// Decide what to do with `job` given the current core occupancy.
+    ///
+    /// Returning [`Decision::Run`] on a busy core is a policy bug; the
+    /// simulator panics to surface it.
+    ///
+    /// **Contract:** a call that returns [`Decision::Stall`] must leave
+    /// the policy's internal state unchanged — the simulator probes
+    /// `schedule` with hypothetical core views when deciding whether a
+    /// preemption is worthwhile, and a declined probe must be withdrawable.
+    fn schedule(&mut self, job: &Job, cores: &[CoreView], now: u64) -> Decision;
+
+    /// Leakage power an *idle* core burns, in nJ/cycle. Depends on the
+    /// core's currently-loaded cache configuration, which the policy owns.
+    fn idle_power_nj_per_cycle(&self, core: CoreId) -> f64;
+
+    /// Called when a job finishes executing, so policies can update
+    /// profiling tables with information that physically becomes available
+    /// at completion time.
+    fn on_complete(&mut self, job: &Job, core: CoreId, now: u64) {
+        let _ = (job, core, now);
+    }
+
+    /// Called when a running job is evicted under the preemptive
+    /// discipline (restart semantics): any knowledge the policy expected
+    /// to gain from the completed execution must be discarded, because
+    /// the execution never finished. The job will be re-offered through
+    /// [`schedule`](Scheduler::schedule) later.
+    fn on_preempt(&mut self, job: &Job, core: CoreId, now: u64) {
+        let _ = (job, core, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_display_is_one_based_like_the_paper() {
+        assert_eq!(CoreId(0).to_string(), "core1");
+        assert_eq!(CoreId(3).to_string(), "core4");
+    }
+
+    #[test]
+    fn idle_view_reports_idle() {
+        let view = CoreView { id: CoreId(0), busy: None };
+        assert!(view.is_idle());
+    }
+}

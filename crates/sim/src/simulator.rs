@@ -1,0 +1,711 @@
+//! The discrete-event engine.
+
+use crate::job::Job;
+use crate::metrics::RunMetrics;
+use crate::scheduler::{BusyInfo, CoreId, CoreView, Decision, Scheduler};
+use energy_model::EnergyBreakdown;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use workloads::ArrivalPlan;
+
+/// How the ready queue orders jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueDiscipline {
+    /// First-come first-served — the paper's evaluation setting
+    /// ("processed on a FIFO basis … assuming no form of preemption or
+    /// priority").
+    #[default]
+    Fifo,
+    /// Non-preemptive priority: higher-priority jobs are offered to the
+    /// scheduler first; FIFO within a priority class. The paper's
+    /// future-work extension.
+    Priority,
+    /// Preemptive priority: as [`Priority`](QueueDiscipline::Priority),
+    /// and additionally a queued job may evict a strictly-lower-priority
+    /// running job when every core is busy. The victim loses its progress
+    /// (restart semantics — embedded cores without context-save hardware);
+    /// the energy and busy cycles of its *executed* portion stay charged,
+    /// the unexecuted remainder is refunded, and the job re-enters the
+    /// ready queue.
+    PreemptivePriority,
+}
+
+/// Discrete-event simulator over a fixed number of cores.
+///
+/// Events are job arrivals (from an [`ArrivalPlan`]) and job completions.
+/// After processing all events at a timestamp, the simulator makes a
+/// scheduling pass over the ready queue: each queued job is offered to
+/// the [`Scheduler`] at most once per pass, stalled jobs return to the back
+/// of the queue, and the pass repeats from the front after every successful
+/// placement (occupancy changed, so earlier stall decisions may now
+/// resolve differently). The queue order is FIFO by default; see
+/// [`QueueDiscipline`].
+///
+/// See the crate-level example for usage.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    num_cores: usize,
+    discipline: QueueDiscipline,
+}
+
+impl Simulator {
+    /// A FIFO simulator over `num_cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cores == 0`.
+    pub fn new(num_cores: usize) -> Self {
+        assert!(num_cores > 0, "need at least one core");
+        Simulator { num_cores, discipline: QueueDiscipline::Fifo }
+    }
+
+    /// Select the ready-queue discipline.
+    pub fn with_discipline(mut self, discipline: QueueDiscipline) -> Self {
+        self.discipline = discipline;
+        self
+    }
+
+    /// The active queue discipline.
+    pub fn discipline(&self) -> QueueDiscipline {
+        self.discipline
+    }
+
+    /// Number of simulated cores.
+    pub fn num_cores(&self) -> usize {
+        self.num_cores
+    }
+
+    /// Run the full arrival plan to completion under `scheduler`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy deadlocks (stalls a job while every core is
+    /// idle and no future event can change the situation), or if it returns
+    /// [`Decision::Run`] for a busy core.
+    pub fn run(&self, plan: &ArrivalPlan, scheduler: &mut dyn Scheduler) -> RunMetrics {
+        let mut clock: u64 = 0;
+        let mut cores: Vec<Option<BusyInfo>> = vec![None; self.num_cores];
+        // The JobExecution behind each occupied core (for preemption
+        // refunds), and a per-core token that lazily invalidates
+        // completion events of preempted executions.
+        let mut running_exec: Vec<Option<crate::job::JobExecution>> = vec![None; self.num_cores];
+        let mut tokens: Vec<u64> = vec![0; self.num_cores];
+        let mut ready: VecDeque<Job> = VecDeque::new();
+        // Min-heap of (completion_time, core_index, token); stale tokens
+        // are skipped on pop.
+        let mut completions: BinaryHeap<Reverse<(u64, usize, u64)>> = BinaryHeap::new();
+        let mut arrivals = plan.iter().peekable();
+        let mut next_seq: u64 = 0;
+
+        let mut energy = EnergyBreakdown::new();
+        let mut busy_cycles = vec![0u64; self.num_cores];
+        let mut jobs_completed = 0u64;
+        let mut stalls = 0u64;
+        let mut turnaround = 0u64;
+        let mut last_completion = 0u64;
+        let mut by_priority: std::collections::BTreeMap<u8, crate::metrics::ClassStats> =
+            std::collections::BTreeMap::new();
+        let mut preemptions = 0u64;
+        let priority_ordered = matches!(
+            self.discipline,
+            QueueDiscipline::Priority | QueueDiscipline::PreemptivePriority
+        );
+
+        loop {
+            // Next event time. Skip completion events whose execution was
+            // preempted (stale token).
+            while let Some(&Reverse((_, index, token))) = completions.peek() {
+                if token == tokens[index] {
+                    break;
+                }
+                completions.pop();
+            }
+            let next_arrival = arrivals.peek().map(|a| a.time);
+            let next_completion = completions.peek().map(|Reverse((t, _, _))| *t);
+            let now = match (next_arrival, next_completion) {
+                (Some(a), Some(c)) => a.min(c),
+                (Some(a), None) => a,
+                (None, Some(c)) => c,
+                (None, None) => break,
+            };
+
+            // Accrue idle energy over [clock, now).
+            debug_assert!(now >= clock, "time must not run backwards");
+            let span = now - clock;
+            if span > 0 {
+                for (index, core) in cores.iter().enumerate() {
+                    if core.is_none() {
+                        energy.idle_nj +=
+                            span as f64 * scheduler.idle_power_nj_per_cycle(CoreId(index));
+                    }
+                }
+            }
+            clock = now;
+
+            // Retire every completion due now (skipping stale events).
+            while let Some(&Reverse((t, index, token))) = completions.peek() {
+                if t > clock {
+                    break;
+                }
+                completions.pop();
+                if token != tokens[index] {
+                    continue; // preempted execution
+                }
+                let info = cores[index].take().expect("completion for an occupied core");
+                running_exec[index] = None;
+                debug_assert_eq!(info.busy_until, t);
+                jobs_completed += 1;
+                turnaround += t - info.job.arrival;
+                let class = by_priority.entry(info.job.priority).or_default();
+                class.jobs += 1;
+                class.turnaround_cycles += t - info.job.arrival;
+                last_completion = last_completion.max(t);
+                scheduler.on_complete(&info.job, CoreId(index), clock);
+            }
+
+            // Enqueue every arrival due now.
+            while let Some(arrival) = arrivals.peek() {
+                if arrival.time > clock {
+                    break;
+                }
+                let arrival = arrivals.next().expect("peeked");
+                ready.push_back(Job {
+                    seq: next_seq,
+                    benchmark: arrival.benchmark,
+                    arrival: arrival.time,
+                    priority: arrival.priority,
+                });
+                next_seq += 1;
+            }
+
+            // Preempt-and-schedule rounds: under the preemptive
+            // discipline, a queued job that outranks the lowest-priority
+            // running job may evict it when every core is busy; the
+            // scheduling pass then places queued jobs. Rounds repeat until
+            // no eviction occurs (non-preemptive disciplines run exactly
+            // one round).
+            loop {
+                // Under priority disciplines, reorder before the pass:
+                // higher priority first, FIFO (seq order) within a class.
+                if priority_ordered {
+                    ready
+                        .make_contiguous()
+                        .sort_by_key(|job| (Reverse(job.priority), job.seq));
+                }
+
+                // Eviction is committed only if the policy will place the
+                // urgent job on the freed core *right now*: the scheduler
+                // is probed with hypothetical views in which the victim's
+                // core is idle. A `Stall` answer leaves the victim running
+                // (this relies on the documented contract that `schedule`
+                // has no side effects when it returns `Stall`), preventing
+                // evict/stall/retake livelock with policies that prefer to
+                // wait for a specific core.
+                let mut evicted = false;
+                if self.discipline == QueueDiscipline::PreemptivePriority
+                    && cores.iter().all(Option::is_some)
+                    && !ready.is_empty()
+                {
+                    let urgent = ready.front().copied().expect("non-empty");
+                    // Victim: lowest priority, then most remaining cycles
+                    // (greatest refund), then core index.
+                    let victim = (0..self.num_cores)
+                        .filter_map(|i| cores[i].map(|info| (i, info)))
+                        .min_by_key(|(i, info)| {
+                            (info.job.priority, Reverse(info.busy_until), *i)
+                        });
+                    if let Some((index, info)) = victim {
+                        if info.job.priority < urgent.priority {
+                            let views: Vec<CoreView> = cores
+                                .iter()
+                                .enumerate()
+                                .map(|(core_index, busy)| CoreView {
+                                    id: CoreId(core_index),
+                                    busy: if core_index == index { None } else { *busy },
+                                })
+                                .collect();
+                            match scheduler.schedule(&urgent, &views, clock) {
+                                Decision::Run { core, execution } => {
+                                    assert_eq!(
+                                        core.0, index,
+                                        "policy placed {urgent} on busy {core} during a \
+                                         preemption probe at cycle {clock}"
+                                    );
+                                    // Commit the eviction: refund the
+                                    // victim's unexecuted share.
+                                    let old = running_exec[index].take().expect("occupied");
+                                    let total = old.cycles.max(1);
+                                    let remaining_cycles = info.busy_until - clock;
+                                    let refund = remaining_cycles as f64 / total as f64;
+                                    energy.dynamic_nj -= old.energy.dynamic_nj * refund;
+                                    energy.static_nj -= old.energy.static_nj * refund;
+                                    busy_cycles[index] -= remaining_cycles;
+                                    tokens[index] += 1; // invalidate its completion
+                                    preemptions += 1;
+                                    scheduler.on_preempt(&info.job, CoreId(index), clock);
+                                    ready.pop_front();
+                                    ready.push_back(info.job);
+                                    // Place the urgent job.
+                                    cores[index] = Some(BusyInfo {
+                                        job: urgent,
+                                        started: clock,
+                                        busy_until: clock + execution.cycles,
+                                    });
+                                    running_exec[index] = Some(execution);
+                                    completions.push(Reverse((
+                                        clock + execution.cycles,
+                                        index,
+                                        tokens[index],
+                                    )));
+                                    energy += execution.energy;
+                                    busy_cycles[index] += execution.cycles;
+                                    evicted = true;
+                                }
+                                Decision::Stall => {
+                                    // Policy declines the freed core; keep
+                                    // the victim running.
+                                }
+                            }
+                        }
+                    }
+                }
+
+                // Scheduling pass: offer each queued job once; restart the
+                // count after every placement.
+                let mut remaining = ready.len();
+                while remaining > 0 && cores.iter().any(Option::is_none) {
+                    let job = ready.pop_front().expect("remaining > 0 implies non-empty");
+                    let views: Vec<CoreView> = cores
+                        .iter()
+                        .enumerate()
+                        .map(|(index, busy)| CoreView { id: CoreId(index), busy: *busy })
+                        .collect();
+                    match scheduler.schedule(&job, &views, clock) {
+                        Decision::Run { core, execution } => {
+                            let slot = &mut cores[core.0];
+                            assert!(
+                                slot.is_none(),
+                                "policy scheduled {job} onto busy {core} at cycle {clock}"
+                            );
+                            debug_assert_eq!(
+                                execution.energy.idle_nj, 0.0,
+                                "execution energy must not carry idle energy"
+                            );
+                            *slot = Some(BusyInfo {
+                                job,
+                                started: clock,
+                                busy_until: clock + execution.cycles,
+                            });
+                            running_exec[core.0] = Some(execution);
+                            completions.push(Reverse((
+                                clock + execution.cycles,
+                                core.0,
+                                tokens[core.0],
+                            )));
+                            energy += execution.energy;
+                            busy_cycles[core.0] += execution.cycles;
+                            remaining = ready.len();
+                        }
+                        Decision::Stall => {
+                            stalls += 1;
+                            ready.push_back(job);
+                            remaining -= 1;
+                        }
+                    }
+                }
+
+                if !evicted {
+                    break;
+                }
+            }
+
+            // Deadlock guard: nothing in flight, nothing arriving, but jobs
+            // remain queued — the policy can never make progress.
+            let live_completions = cores.iter().any(Option::is_some);
+            if !live_completions && arrivals.peek().is_none() && !ready.is_empty() {
+                panic!(
+                    "scheduler deadlock: {} job(s) stalled with every core idle at cycle {clock}",
+                    ready.len()
+                );
+            }
+        }
+
+        RunMetrics {
+            energy,
+            total_cycles: last_completion,
+            jobs_completed,
+            stalls,
+            busy_cycles,
+            turnaround_cycles: turnaround,
+            by_priority,
+            preemptions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobExecution;
+    use workloads::{Arrival, BenchmarkId};
+
+    /// Runs everything on core 0 for a fixed duration.
+    struct SingleCore {
+        duration: u64,
+        completions_seen: Vec<u64>,
+    }
+
+    impl Scheduler for SingleCore {
+        fn schedule(&mut self, _job: &Job, cores: &[CoreView], _now: u64) -> Decision {
+            if cores[0].is_idle() {
+                Decision::run(
+                    CoreId(0),
+                    JobExecution {
+                        cycles: self.duration,
+                        energy: EnergyBreakdown { dynamic_nj: 5.0, ..EnergyBreakdown::new() },
+                    },
+                )
+            } else {
+                Decision::Stall
+            }
+        }
+
+        fn idle_power_nj_per_cycle(&self, _core: CoreId) -> f64 {
+            1.0
+        }
+
+        fn on_complete(&mut self, job: &Job, _core: CoreId, _now: u64) {
+            self.completions_seen.push(job.seq);
+        }
+    }
+
+    fn plan(times: &[u64]) -> ArrivalPlan {
+        ArrivalPlan::from_arrivals(
+            times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| Arrival::new(t, BenchmarkId(i % 3)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn serial_execution_on_one_core() {
+        let mut policy = SingleCore { duration: 100, completions_seen: Vec::new() };
+        let metrics = Simulator::new(2).run(&plan(&[0, 10, 20]), &mut policy);
+        assert_eq!(metrics.jobs_completed, 3);
+        // Jobs run back-to-back on core 0: completions at 100, 200, 300.
+        assert_eq!(metrics.total_cycles, 300);
+        assert_eq!(metrics.busy_cycles[0], 300);
+        assert_eq!(metrics.busy_cycles[1], 0);
+        assert_eq!(policy.completions_seen, vec![0, 1, 2], "FIFO completion order");
+    }
+
+    #[test]
+    fn dynamic_energy_accumulates_per_job() {
+        let mut policy = SingleCore { duration: 50, completions_seen: Vec::new() };
+        let metrics = Simulator::new(1).run(&plan(&[0, 0, 0, 0]), &mut policy);
+        assert_eq!(metrics.energy.dynamic_nj, 20.0);
+    }
+
+    #[test]
+    fn idle_energy_accrues_on_unused_cores() {
+        let mut policy = SingleCore { duration: 100, completions_seen: Vec::new() };
+        let metrics = Simulator::new(2).run(&plan(&[0]), &mut policy);
+        // Core 1 idles for the whole 100-cycle run at 1 nJ/cycle.
+        assert_eq!(metrics.energy.idle_nj, 100.0);
+    }
+
+    #[test]
+    fn idle_energy_counts_gaps_between_arrivals() {
+        let mut policy = SingleCore { duration: 10, completions_seen: Vec::new() };
+        // Job at 0 (busy 0-10), gap, job at 50 (busy 50-60).
+        let metrics = Simulator::new(1).run(&plan(&[0, 50]), &mut policy);
+        // Core 0 idle during [10, 50): 40 cycles.
+        assert_eq!(metrics.energy.idle_nj, 40.0);
+        assert_eq!(metrics.total_cycles, 60);
+    }
+
+    #[test]
+    fn stalls_are_counted() {
+        let mut policy = SingleCore { duration: 100, completions_seen: Vec::new() };
+        let metrics = Simulator::new(2).run(&plan(&[0, 0]), &mut policy);
+        // Second job arrives while core 0 is busy: it stalls once at t=0,
+        // then succeeds at t=100.
+        assert_eq!(metrics.stalls, 1);
+        assert_eq!(metrics.jobs_completed, 2);
+    }
+
+    #[test]
+    fn turnaround_includes_queueing() {
+        let mut policy = SingleCore { duration: 100, completions_seen: Vec::new() };
+        let metrics = Simulator::new(1).run(&plan(&[0, 0]), &mut policy);
+        // Job 0: 0 -> 100 (100). Job 1: 0 -> 200 (200).
+        assert_eq!(metrics.turnaround_cycles, 300);
+        assert_eq!(metrics.mean_turnaround(), 150.0);
+    }
+
+    /// Stalls the head job a bounded number of times but would run any
+    /// other job: exercises the at-most-once-per-pass rule.
+    struct StallFirstJob {
+        stalls_left: u32,
+    }
+
+    impl Scheduler for StallFirstJob {
+        fn schedule(&mut self, job: &Job, cores: &[CoreView], _now: u64) -> Decision {
+            if job.seq == 0 && self.stalls_left > 0 {
+                self.stalls_left -= 1;
+                return Decision::Stall;
+            }
+            match cores.iter().find(|c| c.is_idle()) {
+                Some(core) => Decision::run(
+                    core.id,
+                    JobExecution { cycles: 10, energy: EnergyBreakdown::new() },
+                ),
+                None => Decision::Stall,
+            }
+        }
+
+        fn idle_power_nj_per_cycle(&self, _core: CoreId) -> f64 {
+            0.0
+        }
+    }
+
+    #[test]
+    fn stalled_head_does_not_block_later_jobs() {
+        let mut policy = StallFirstJob { stalls_left: 1 };
+        let metrics = Simulator::new(2).run(&plan(&[0, 0, 0]), &mut policy);
+        assert_eq!(metrics.jobs_completed, 3);
+        // Jobs 1 and 2 ran in parallel at t=0 while job 0 stalled; job 0
+        // ran when the cores freed at t=10.
+        assert_eq!(metrics.stalls, 1);
+        assert_eq!(metrics.total_cycles, 20);
+    }
+
+    /// Always stalls: must be detected as a deadlock.
+    struct AlwaysStall;
+
+    impl Scheduler for AlwaysStall {
+        fn schedule(&mut self, _job: &Job, _cores: &[CoreView], _now: u64) -> Decision {
+            Decision::Stall
+        }
+
+        fn idle_power_nj_per_cycle(&self, _core: CoreId) -> f64 {
+            0.0
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduler deadlock")]
+    fn deadlock_is_detected() {
+        let _ = Simulator::new(1).run(&plan(&[0]), &mut AlwaysStall);
+    }
+
+    /// Schedules onto a busy core: must be caught.
+    struct DoubleBook;
+
+    impl Scheduler for DoubleBook {
+        fn schedule(&mut self, _job: &Job, _cores: &[CoreView], _now: u64) -> Decision {
+            Decision::run(CoreId(0), JobExecution { cycles: 100, energy: EnergyBreakdown::new() })
+        }
+
+        fn idle_power_nj_per_cycle(&self, _core: CoreId) -> f64 {
+            0.0
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "busy")]
+    fn double_booking_is_detected() {
+        // Two cores so the pass keeps offering jobs after core 0 fills;
+        // the policy then targets the busy core 0 again.
+        let _ = Simulator::new(2).run(&plan(&[0, 0]), &mut DoubleBook);
+    }
+
+    #[test]
+    fn priority_discipline_reorders_the_queue() {
+        // Three jobs at t=0 with priorities 0, 0, 2 on one core: under
+        // FIFO they run in arrival order; under Priority the urgent job
+        // jumps ahead.
+        let arrivals = vec![
+            Arrival { time: 0, benchmark: BenchmarkId(0), priority: 0 },
+            Arrival { time: 0, benchmark: BenchmarkId(1), priority: 0 },
+            Arrival { time: 0, benchmark: BenchmarkId(2), priority: 2 },
+        ];
+        let plan = ArrivalPlan::from_arrivals(arrivals);
+
+        let mut fifo_policy = SingleCore { duration: 100, completions_seen: Vec::new() };
+        let _ = Simulator::new(1).run(&plan, &mut fifo_policy);
+        assert_eq!(fifo_policy.completions_seen, vec![0, 1, 2]);
+
+        let mut priority_policy = SingleCore { duration: 100, completions_seen: Vec::new() };
+        let _ = Simulator::new(1)
+            .with_discipline(QueueDiscipline::Priority)
+            .run(&plan, &mut priority_policy);
+        assert_eq!(priority_policy.completions_seen, vec![2, 0, 1], "urgent job first");
+    }
+
+    #[test]
+    fn priority_is_fifo_within_a_class() {
+        let arrivals = vec![
+            Arrival { time: 0, benchmark: BenchmarkId(0), priority: 1 },
+            Arrival { time: 0, benchmark: BenchmarkId(1), priority: 1 },
+            Arrival { time: 0, benchmark: BenchmarkId(2), priority: 1 },
+        ];
+        let plan = ArrivalPlan::from_arrivals(arrivals);
+        let mut policy = SingleCore { duration: 50, completions_seen: Vec::new() };
+        let _ = Simulator::new(1)
+            .with_discipline(QueueDiscipline::Priority)
+            .run(&plan, &mut policy);
+        assert_eq!(policy.completions_seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn priority_is_non_preemptive() {
+        // A low-priority job running when an urgent one arrives keeps the
+        // core (no preemption — the paper's future-work boundary we keep).
+        let arrivals = vec![
+            Arrival { time: 0, benchmark: BenchmarkId(0), priority: 0 },
+            Arrival { time: 10, benchmark: BenchmarkId(1), priority: 5 },
+        ];
+        let plan = ArrivalPlan::from_arrivals(arrivals);
+        let mut policy = SingleCore { duration: 100, completions_seen: Vec::new() };
+        let metrics = Simulator::new(1)
+            .with_discipline(QueueDiscipline::Priority)
+            .run(&plan, &mut policy);
+        assert_eq!(policy.completions_seen, vec![0, 1]);
+        assert_eq!(metrics.total_cycles, 200, "urgent job waits for the running one");
+    }
+
+    #[test]
+    fn empty_plan_completes_trivially() {
+        let metrics =
+            Simulator::new(3).run(&ArrivalPlan::from_arrivals(vec![]), &mut AlwaysStall);
+        assert_eq!(metrics.jobs_completed, 0);
+        assert_eq!(metrics.total_cycles, 0);
+        assert_eq!(metrics.energy.total(), 0.0);
+    }
+
+    #[test]
+    fn preemption_evicts_a_lower_priority_job() {
+        // Background job running since t=0 (duration 100); an urgent job
+        // arrives at t=30 with every core busy: the victim is evicted,
+        // the urgent job runs 30..130, and the victim restarts after it.
+        let arrivals = vec![
+            Arrival { time: 0, benchmark: BenchmarkId(0), priority: 0 },
+            Arrival { time: 30, benchmark: BenchmarkId(1), priority: 3 },
+        ];
+        let plan = ArrivalPlan::from_arrivals(arrivals);
+        let mut policy = SingleCore { duration: 100, completions_seen: Vec::new() };
+        let metrics = Simulator::new(1)
+            .with_discipline(QueueDiscipline::PreemptivePriority)
+            .run(&plan, &mut policy);
+        assert_eq!(metrics.preemptions, 1);
+        assert_eq!(policy.completions_seen, vec![1, 0], "urgent finishes first");
+        // Urgent: 30..130; victim restarts: 130..230.
+        assert_eq!(metrics.total_cycles, 230);
+        // Busy cycles: 30 (wasted partial) + 100 (urgent) + 100 (restart).
+        assert_eq!(metrics.busy_cycles[0], 230);
+    }
+
+    #[test]
+    fn preemption_refunds_unexecuted_energy() {
+        // Same scenario; each execution charges 5 nJ dynamic. The evicted
+        // job ran 30 of 100 cycles: 70% of its 5 nJ is refunded, then the
+        // restart charges 5 nJ again: total = 5*0.3 + 5 + 5 = 11.5.
+        let arrivals = vec![
+            Arrival { time: 0, benchmark: BenchmarkId(0), priority: 0 },
+            Arrival { time: 30, benchmark: BenchmarkId(1), priority: 3 },
+        ];
+        let plan = ArrivalPlan::from_arrivals(arrivals);
+        let mut policy = SingleCore { duration: 100, completions_seen: Vec::new() };
+        let metrics = Simulator::new(1)
+            .with_discipline(QueueDiscipline::PreemptivePriority)
+            .run(&plan, &mut policy);
+        assert!((metrics.energy.dynamic_nj - 11.5).abs() < 1e-9, "{}", metrics.energy.dynamic_nj);
+    }
+
+    #[test]
+    fn no_preemption_between_equal_priorities() {
+        let arrivals = vec![
+            Arrival { time: 0, benchmark: BenchmarkId(0), priority: 1 },
+            Arrival { time: 30, benchmark: BenchmarkId(1), priority: 1 },
+        ];
+        let plan = ArrivalPlan::from_arrivals(arrivals);
+        let mut policy = SingleCore { duration: 100, completions_seen: Vec::new() };
+        let metrics = Simulator::new(1)
+            .with_discipline(QueueDiscipline::PreemptivePriority)
+            .run(&plan, &mut policy);
+        assert_eq!(metrics.preemptions, 0);
+        assert_eq!(policy.completions_seen, vec![0, 1]);
+    }
+
+    #[test]
+    fn preemption_prefers_an_idle_core_when_one_exists() {
+        // Two cores, one busy with low priority, one idle: the urgent job
+        // takes the idle core; no eviction.
+        let arrivals = vec![
+            Arrival { time: 0, benchmark: BenchmarkId(0), priority: 0 },
+            Arrival { time: 30, benchmark: BenchmarkId(1), priority: 3 },
+        ];
+        let plan = ArrivalPlan::from_arrivals(arrivals);
+        struct AnyIdle;
+        impl Scheduler for AnyIdle {
+            fn schedule(&mut self, _job: &Job, cores: &[CoreView], _now: u64) -> Decision {
+                match cores.iter().find(|c| c.is_idle()) {
+                    Some(core) => Decision::run(
+                        core.id,
+                        JobExecution { cycles: 100, energy: EnergyBreakdown::new() },
+                    ),
+                    None => Decision::Stall,
+                }
+            }
+            fn idle_power_nj_per_cycle(&self, _core: CoreId) -> f64 {
+                0.0
+            }
+        }
+        let metrics = Simulator::new(2)
+            .with_discipline(QueueDiscipline::PreemptivePriority)
+            .run(&plan, &mut AnyIdle);
+        assert_eq!(metrics.preemptions, 0);
+        assert_eq!(metrics.jobs_completed, 2);
+    }
+
+    #[test]
+    fn on_preempt_hook_fires() {
+        struct Recorder {
+            inner: SingleCore,
+            preempted: Vec<u64>,
+        }
+        impl Scheduler for Recorder {
+            fn schedule(&mut self, job: &Job, cores: &[CoreView], now: u64) -> Decision {
+                self.inner.schedule(job, cores, now)
+            }
+            fn idle_power_nj_per_cycle(&self, core: CoreId) -> f64 {
+                self.inner.idle_power_nj_per_cycle(core)
+            }
+            fn on_preempt(&mut self, job: &Job, _core: CoreId, _now: u64) {
+                self.preempted.push(job.seq);
+            }
+        }
+        let arrivals = vec![
+            Arrival { time: 0, benchmark: BenchmarkId(0), priority: 0 },
+            Arrival { time: 10, benchmark: BenchmarkId(1), priority: 2 },
+        ];
+        let plan = ArrivalPlan::from_arrivals(arrivals);
+        let mut policy = Recorder {
+            inner: SingleCore { duration: 100, completions_seen: Vec::new() },
+            preempted: Vec::new(),
+        };
+        let _ = Simulator::new(1)
+            .with_discipline(QueueDiscipline::PreemptivePriority)
+            .run(&plan, &mut policy);
+        assert_eq!(policy.preempted, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        let _ = Simulator::new(0);
+    }
+}

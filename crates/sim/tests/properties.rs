@@ -1,0 +1,154 @@
+//! Property-based tests for the discrete-event simulator.
+
+use energy_model::EnergyBreakdown;
+use multicore_sim::{
+    CoreId, CoreView, Decision, Job, JobExecution, QueueDiscipline, Scheduler, Simulator,
+};
+use proptest::prelude::*;
+use workloads::{Arrival, ArrivalPlan, BenchmarkId};
+
+/// A deterministic work-conserving policy: first idle core, duration
+/// derived from the benchmark id, unit idle power.
+struct FirstIdle;
+
+impl Scheduler for FirstIdle {
+    fn schedule(&mut self, job: &Job, cores: &[CoreView], _now: u64) -> Decision {
+        match cores.iter().find(|c| c.is_idle()) {
+            Some(core) => Decision::run(
+                core.id,
+                JobExecution {
+                    cycles: 50 + 13 * (job.benchmark.0 as u64 % 7),
+                    energy: EnergyBreakdown { dynamic_nj: 1.0, ..EnergyBreakdown::new() },
+                },
+            ),
+            None => Decision::Stall,
+        }
+    }
+
+    fn idle_power_nj_per_cycle(&self, _core: CoreId) -> f64 {
+        1.0
+    }
+}
+
+fn arbitrary_plan(max_jobs: usize) -> impl Strategy<Value = ArrivalPlan> {
+    prop::collection::vec((0u64..100_000, 0usize..20, 0u8..3), 0..max_jobs).prop_map(|list| {
+        ArrivalPlan::from_arrivals(
+            list.into_iter()
+                .map(|(time, benchmark, priority)| Arrival {
+                    time,
+                    benchmark: BenchmarkId(benchmark),
+                    priority,
+                })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every arrived job completes, under every discipline (including
+    /// preemptive restarts).
+    #[test]
+    fn conservation_of_jobs(
+        plan in arbitrary_plan(120),
+        cores in 1usize..6,
+        discipline_index in 0usize..3,
+    ) {
+        let discipline = [
+            QueueDiscipline::Fifo,
+            QueueDiscipline::Priority,
+            QueueDiscipline::PreemptivePriority,
+        ][discipline_index];
+        let metrics =
+            Simulator::new(cores).with_discipline(discipline).run(&plan, &mut FirstIdle);
+        prop_assert_eq!(metrics.jobs_completed, plan.len() as u64);
+        let per_class: u64 = metrics.by_priority.values().map(|c| c.jobs).sum();
+        prop_assert_eq!(per_class, plan.len() as u64);
+        if discipline != QueueDiscipline::PreemptivePriority {
+            prop_assert_eq!(metrics.preemptions, 0);
+        }
+    }
+
+    /// Preemption never loses energy accounting: dynamic energy equals
+    /// 1 nJ per completed job plus the charged fraction of each evicted
+    /// partial run — so it is at least jobs and at most jobs + preemptions.
+    #[test]
+    fn preemptive_energy_accounting_is_bounded(
+        plan in arbitrary_plan(120),
+        cores in 1usize..4,
+    ) {
+        let metrics = Simulator::new(cores)
+            .with_discipline(QueueDiscipline::PreemptivePriority)
+            .run(&plan, &mut FirstIdle);
+        let jobs = plan.len() as f64;
+        prop_assert!(metrics.energy.dynamic_nj >= jobs - 1e-9);
+        prop_assert!(
+            metrics.energy.dynamic_nj <= jobs + metrics.preemptions as f64 + 1e-9,
+            "dynamic {} vs jobs {} + preemptions {}",
+            metrics.energy.dynamic_nj, jobs, metrics.preemptions
+        );
+    }
+
+    /// With unit idle power, idle energy equals exactly the idle
+    /// core-cycles before the final completion:
+    /// `cores * makespan - total busy cycles`.
+    #[test]
+    fn idle_energy_identity(
+        plan in arbitrary_plan(100),
+        cores in 1usize..5,
+    ) {
+        let metrics = Simulator::new(cores).run(&plan, &mut FirstIdle);
+        let busy: u64 = metrics.busy_cycles.iter().sum();
+        let expected = (cores as u64 * metrics.total_cycles).saturating_sub(busy) as f64;
+        prop_assert!(
+            (metrics.energy.idle_nj - expected).abs() < 1e-6,
+            "idle {} vs expected {}", metrics.energy.idle_nj, expected
+        );
+    }
+
+    /// Makespan is at least the last arrival plus its execution, and total
+    /// busy cycles never exceed cores * makespan.
+    #[test]
+    fn makespan_bounds(
+        plan in arbitrary_plan(100),
+        cores in 1usize..5,
+    ) {
+        let metrics = Simulator::new(cores).run(&plan, &mut FirstIdle);
+        if !plan.is_empty() {
+            prop_assert!(metrics.total_cycles > plan.horizon());
+        }
+        let busy: u64 = metrics.busy_cycles.iter().sum();
+        prop_assert!(busy <= cores as u64 * metrics.total_cycles);
+    }
+
+    /// Turnaround decomposes exactly over priority classes.
+    #[test]
+    fn turnaround_decomposes_over_classes(
+        plan in arbitrary_plan(100),
+    ) {
+        let metrics = Simulator::new(2)
+            .with_discipline(QueueDiscipline::Priority)
+            .run(&plan, &mut FirstIdle);
+        let per_class: u64 = metrics.by_priority.values().map(|c| c.turnaround_cycles).sum();
+        prop_assert_eq!(per_class, metrics.turnaround_cycles);
+    }
+
+    /// Dynamic energy equals 1 nJ per completed job for this policy, under
+    /// both disciplines, and the discipline never changes total work.
+    #[test]
+    fn discipline_preserves_work(
+        plan in arbitrary_plan(100),
+        cores in 1usize..5,
+    ) {
+        let fifo = Simulator::new(cores).run(&plan, &mut FirstIdle);
+        let priority = Simulator::new(cores)
+            .with_discipline(QueueDiscipline::Priority)
+            .run(&plan, &mut FirstIdle);
+        prop_assert_eq!(fifo.energy.dynamic_nj, plan.len() as f64);
+        prop_assert_eq!(priority.energy.dynamic_nj, plan.len() as f64);
+        let fifo_busy: u64 = fifo.busy_cycles.iter().sum();
+        let priority_busy: u64 = priority.busy_cycles.iter().sum();
+        prop_assert_eq!(fifo_busy, priority_busy, "same jobs, same durations");
+    }
+}

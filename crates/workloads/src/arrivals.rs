@@ -1,0 +1,201 @@
+//! Arrival-time generation (paper Section V).
+//!
+//! "We created 5000 uniform distribution arrival times of these benchmarks
+//! to ensure that the system executed long enough to depict stable results.
+//! On arrival, benchmarks were enqueued and processed on a FIFO basis."
+
+use crate::kernel::BenchmarkId;
+use crate::rng::SplitMix64;
+
+/// One job arrival: which benchmark arrives, and when (in cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Arrival {
+    /// Arrival time in cycles.
+    pub time: u64,
+    /// The arriving benchmark.
+    pub benchmark: BenchmarkId,
+    /// Scheduling priority (higher = more urgent; 0 = default). Only
+    /// consulted when the simulator runs with the priority queue
+    /// discipline — the paper's evaluation is FIFO ("assuming no form of
+    /// preemption or priority"), and priorities are the future-work
+    /// extension.
+    pub priority: u8,
+}
+
+impl Arrival {
+    /// A default-priority arrival.
+    pub fn new(time: u64, benchmark: BenchmarkId) -> Self {
+        Arrival { time, benchmark, priority: 0 }
+    }
+}
+
+/// A complete arrival schedule: sorted arrival times with uniformly chosen
+/// benchmarks.
+///
+/// ```
+/// use workloads::ArrivalPlan;
+///
+/// let plan = ArrivalPlan::uniform(5000, 1_000_000_000, 20, 42);
+/// assert_eq!(plan.len(), 5000);
+/// let times: Vec<u64> = plan.iter().map(|a| a.time).collect();
+/// assert!(times.windows(2).all(|w| w[0] <= w[1]), "sorted by time");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrivalPlan {
+    arrivals: Vec<Arrival>,
+}
+
+impl ArrivalPlan {
+    /// Generate `count` arrivals with times uniform over `[0, horizon)` and
+    /// benchmarks uniform over `[0, num_benchmarks)`, deterministically from
+    /// `seed`. Arrivals are returned sorted by time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_benchmarks == 0` or `horizon == 0` while `count > 0`.
+    pub fn uniform(count: usize, horizon: u64, num_benchmarks: usize, seed: u64) -> Self {
+        Self::uniform_with_priorities(count, horizon, num_benchmarks, 1, seed)
+    }
+
+    /// Like [`uniform`](Self::uniform), but each arrival additionally
+    /// draws a uniform priority in `[0, priority_levels)` (the
+    /// future-work priority-scheduling extension; `priority_levels = 1`
+    /// reduces to the paper's priority-free workload).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `priority_levels == 0`, or as in [`uniform`](Self::uniform).
+    pub fn uniform_with_priorities(
+        count: usize,
+        horizon: u64,
+        num_benchmarks: usize,
+        priority_levels: u8,
+        seed: u64,
+    ) -> Self {
+        assert!(count == 0 || num_benchmarks > 0, "need at least one benchmark");
+        assert!(count == 0 || horizon > 0, "need a positive horizon");
+        assert!(priority_levels > 0, "need at least one priority level");
+        let mut rng = SplitMix64::new(seed);
+        let mut arrivals: Vec<Arrival> = (0..count)
+            .map(|_| Arrival {
+                time: rng.next_below(horizon),
+                benchmark: BenchmarkId(rng.next_below(num_benchmarks as u64) as usize),
+                priority: rng.next_below(u64::from(priority_levels)) as u8,
+            })
+            .collect();
+        arrivals.sort_by_key(|a| a.time);
+        ArrivalPlan { arrivals }
+    }
+
+    /// Build a plan from explicit arrivals (sorted by time for the caller).
+    pub fn from_arrivals(mut arrivals: Vec<Arrival>) -> Self {
+        arrivals.sort_by_key(|a| a.time);
+        ArrivalPlan { arrivals }
+    }
+
+    /// Number of arrivals.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// `true` when the plan holds no arrivals.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// Iterate in time order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Arrival> {
+        self.arrivals.iter()
+    }
+
+    /// Borrow the arrivals, sorted by time.
+    pub fn as_slice(&self) -> &[Arrival] {
+        &self.arrivals
+    }
+
+    /// Last arrival time, or 0 for an empty plan.
+    pub fn horizon(&self) -> u64 {
+        self.arrivals.last().map_or(0, |a| a.time)
+    }
+}
+
+impl<'a> IntoIterator for &'a ArrivalPlan {
+    type Item = &'a Arrival;
+    type IntoIter = std::slice::Iter<'a, Arrival>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.arrivals.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn plan_is_sorted_and_deterministic() {
+        let a = ArrivalPlan::uniform(1000, 1_000_000, 20, 7);
+        let b = ArrivalPlan::uniform(1000, 1_000_000, 20, 7);
+        assert_eq!(a, b);
+        assert!(a.as_slice().windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ArrivalPlan::uniform(100, 1_000_000, 20, 1);
+        let b = ArrivalPlan::uniform(100, 1_000_000, 20, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn benchmarks_cover_the_suite() {
+        let plan = ArrivalPlan::uniform(5000, 1_000_000, 20, 42);
+        let seen: HashSet<usize> = plan.iter().map(|a| a.benchmark.0).collect();
+        assert_eq!(seen.len(), 20, "5000 uniform picks should cover all 20 benchmarks");
+        assert!(plan.iter().all(|a| a.benchmark.0 < 20));
+    }
+
+    #[test]
+    fn times_spread_across_horizon() {
+        let plan = ArrivalPlan::uniform(5000, 1_000_000, 20, 42);
+        let early = plan.iter().filter(|a| a.time < 500_000).count();
+        assert!((2000..3000).contains(&early), "roughly half early, got {early}");
+        assert!(plan.horizon() < 1_000_000);
+    }
+
+    #[test]
+    fn empty_plan_is_fine() {
+        let plan = ArrivalPlan::uniform(0, 0, 0, 0);
+        assert!(plan.is_empty());
+        assert_eq!(plan.horizon(), 0);
+    }
+
+    #[test]
+    fn from_arrivals_sorts() {
+        let plan = ArrivalPlan::from_arrivals(vec![
+            Arrival::new(50, BenchmarkId(1)),
+            Arrival::new(10, BenchmarkId(0)),
+        ]);
+        assert_eq!(plan.as_slice()[0].time, 10);
+    }
+
+    #[test]
+    fn uniform_plan_has_default_priority() {
+        let plan = ArrivalPlan::uniform(100, 10_000, 5, 1);
+        assert!(plan.iter().all(|a| a.priority == 0));
+    }
+
+    #[test]
+    fn priorities_cover_the_requested_levels() {
+        let plan = ArrivalPlan::uniform_with_priorities(1000, 100_000, 5, 3, 7);
+        let seen: HashSet<u8> = plan.iter().map(|a| a.priority).collect();
+        assert_eq!(seen, HashSet::from([0, 1, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "priority level")]
+    fn zero_priority_levels_rejected() {
+        let _ = ArrivalPlan::uniform_with_priorities(10, 100, 5, 0, 1);
+    }
+}

@@ -1,0 +1,156 @@
+//! The 18 cache-relevant execution statistics the ANN consumes.
+//!
+//! The paper's training data consisted of "270 total inputs — 18 different
+//! cache-relevant execution statistics for each of the 15 benchmarks",
+//! gathered with hardware counters while the application executed in the
+//! base configuration. After feature selection the most relevant were total
+//! instructions, cycles, loads, stores, branches, and int/FP instruction
+//! counts (Sec. IV.D); all eighteen are exposed here and fed to the model.
+
+use crate::mix::InstructionMix;
+use cache_sim::CacheStats;
+
+/// Number of statistics in the feature vector.
+pub const FEATURE_COUNT: usize = 18;
+
+/// Names of the 18 features, aligned with [`ExecutionStatistics::to_vector`].
+pub const FEATURE_NAMES: [&str; FEATURE_COUNT] = [
+    "total_instructions",
+    "total_cycles",
+    "loads",
+    "stores",
+    "branches",
+    "int_ops",
+    "fp_ops",
+    "cache_accesses",
+    "cache_hits",
+    "cache_misses",
+    "miss_rate",
+    "stall_cycles",
+    "ipc",
+    "memory_intensity",
+    "compute_intensity",
+    "branch_rate",
+    "write_fraction",
+    "evictions",
+];
+
+/// Hardware-counter-style statistics from one profiled execution in the
+/// base cache configuration.
+///
+/// ```
+/// use cache_sim::CacheStats;
+/// use workloads::{ExecutionStatistics, InstructionMix, FEATURE_COUNT};
+///
+/// let mix = InstructionMix { loads: 10, stores: 5, branches: 3, int_ops: 20, fp_ops: 0, other: 2 };
+/// let stats = ExecutionStatistics::new(mix, CacheStats::new(), 100, 0);
+/// assert_eq!(stats.to_vector().len(), FEATURE_COUNT);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecutionStatistics {
+    /// Retired-instruction mix.
+    pub mix: InstructionMix,
+    /// L1 statistics in the base configuration.
+    pub cache: CacheStats,
+    /// Total execution cycles (compute + stall) in the base configuration.
+    pub total_cycles: u64,
+    /// Miss-induced stall cycles in the base configuration.
+    pub stall_cycles: u64,
+}
+
+impl ExecutionStatistics {
+    /// Bundle counters from one profiled execution.
+    pub fn new(mix: InstructionMix, cache: CacheStats, total_cycles: u64, stall_cycles: u64) -> Self {
+        ExecutionStatistics { mix, cache, total_cycles, stall_cycles }
+    }
+
+    /// Instructions per cycle; `0.0` when no cycles elapsed.
+    pub fn ipc(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.mix.total() as f64 / self.total_cycles as f64
+        }
+    }
+
+    /// The 18-dimensional feature vector, ordered as [`FEATURE_NAMES`].
+    pub fn to_vector(&self) -> [f64; FEATURE_COUNT] {
+        [
+            self.mix.total() as f64,
+            self.total_cycles as f64,
+            self.mix.loads as f64,
+            self.mix.stores as f64,
+            self.mix.branches as f64,
+            self.mix.int_ops as f64,
+            self.mix.fp_ops as f64,
+            self.cache.accesses() as f64,
+            self.cache.hits() as f64,
+            self.cache.misses() as f64,
+            self.cache.miss_rate(),
+            self.stall_cycles as f64,
+            self.ipc(),
+            self.mix.memory_intensity(),
+            self.mix.compute_intensity(),
+            self.mix.branch_rate(),
+            self.mix.write_fraction(),
+            self.cache.evictions() as f64,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExecutionStatistics {
+        let mix = InstructionMix {
+            loads: 400,
+            stores: 100,
+            branches: 100,
+            int_ops: 300,
+            fp_ops: 50,
+            other: 50,
+        };
+        let mut cache = CacheStats::new();
+        for _ in 0..450 {
+            cache.record_hit(false);
+        }
+        for _ in 0..50 {
+            cache.record_miss(false);
+        }
+        ExecutionStatistics::new(mix, cache, 2_000, 600)
+    }
+
+    #[test]
+    fn vector_has_18_entries_matching_names() {
+        assert_eq!(FEATURE_NAMES.len(), FEATURE_COUNT);
+        assert_eq!(sample().to_vector().len(), FEATURE_COUNT);
+    }
+
+    #[test]
+    fn vector_entries_match_counters() {
+        let stats = sample();
+        let v = stats.to_vector();
+        assert_eq!(v[0], 1000.0); // total instructions
+        assert_eq!(v[1], 2000.0); // cycles
+        assert_eq!(v[2], 400.0); // loads
+        assert_eq!(v[3], 100.0); // stores
+        assert_eq!(v[9], 50.0); // misses
+        assert!((v[10] - 0.1).abs() < 1e-12); // miss rate
+        assert_eq!(v[11], 600.0); // stall cycles
+        assert!((v[12] - 0.5).abs() < 1e-12); // ipc
+    }
+
+    #[test]
+    fn ipc_handles_zero_cycles() {
+        let stats = ExecutionStatistics::new(InstructionMix::new(), CacheStats::new(), 0, 0);
+        assert_eq!(stats.ipc(), 0.0);
+    }
+
+    #[test]
+    fn all_features_finite() {
+        for value in sample().to_vector() {
+            assert!(value.is_finite());
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Benchmark kernels: an access pattern plus an instruction-mix profile.
+
+use crate::mix::InstructionMix;
+use crate::pattern::AccessPattern;
+use crate::rng::SplitMix64;
+use cache_sim::Trace;
+use std::fmt;
+
+/// Index of a benchmark within its suite.
+///
+/// The paper assigns "each benchmark an identification number, which indexed
+/// into the profiling table"; this newtype is that number.
+///
+/// ```
+/// use workloads::BenchmarkId;
+/// let id = BenchmarkId(3);
+/// assert_eq!(id.0, 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BenchmarkId(pub usize);
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+/// Application domain, mirroring EEMBC's subsuite structure. The paper
+/// notes that "applications from similar application domains have similar
+/// execution statistics", which is what makes a per-domain ANN viable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// Engine/vehicle control kernels (EEMBC automotive).
+    Automotive,
+    /// Signal-processing kernels (filters, transforms).
+    Dsp,
+    /// Packet/protocol processing.
+    Networking,
+    /// Text/table/office-style processing.
+    Office,
+    /// Imaging/consumer kernels.
+    Consumer,
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Domain::Automotive => "automotive",
+            Domain::Dsp => "dsp",
+            Domain::Networking => "networking",
+            Domain::Office => "office",
+            Domain::Consumer => "consumer",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Non-memory instruction profile: how many instructions of each class a
+/// kernel retires per memory access, and the base CPI of the compute
+/// portion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixProfile {
+    /// Integer ALU instructions per memory access.
+    pub int_per_access: f64,
+    /// FP instructions per memory access.
+    pub fp_per_access: f64,
+    /// Branches per memory access.
+    pub branch_per_access: f64,
+    /// Other (moves, address generation) per memory access.
+    pub other_per_access: f64,
+    /// Cycles per instruction for the non-miss portion of execution.
+    pub cpi: f64,
+}
+
+impl MixProfile {
+    /// An integer-dominated control profile.
+    pub fn control() -> Self {
+        MixProfile {
+            int_per_access: 1.8,
+            fp_per_access: 0.0,
+            branch_per_access: 0.9,
+            other_per_access: 0.4,
+            cpi: 1.1,
+        }
+    }
+
+    /// A floating-point DSP profile.
+    pub fn dsp() -> Self {
+        MixProfile {
+            int_per_access: 0.8,
+            fp_per_access: 1.6,
+            branch_per_access: 0.2,
+            other_per_access: 0.3,
+            cpi: 1.3,
+        }
+    }
+
+    /// A memory-movement-dominated profile.
+    pub fn streaming() -> Self {
+        MixProfile {
+            int_per_access: 0.6,
+            fp_per_access: 0.0,
+            branch_per_access: 0.3,
+            other_per_access: 0.2,
+            cpi: 1.0,
+        }
+    }
+}
+
+/// One synthetic benchmark: identity, domain, access pattern, and
+/// instruction profile.
+///
+/// A kernel's trace is a pure function of its construction parameters — the
+/// seed is derived from the kernel name — so repeated [`run`]s return
+/// identical results, matching the paper's model where a benchmark re-run is
+/// the same program on the same inputs.
+///
+/// ```
+/// use workloads::Suite;
+/// let suite = Suite::eembc_like();
+/// let a = suite[0].run();
+/// let b = suite[0].run();
+/// assert_eq!(a.trace, b.trace);
+/// ```
+///
+/// [`run`]: Kernel::run
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    id: BenchmarkId,
+    name: String,
+    domain: Domain,
+    pattern: AccessPattern,
+    profile: MixProfile,
+    seed: u64,
+}
+
+/// The outcome of executing a kernel once: its memory trace, instruction
+/// mix, and the cycles its compute portion takes (memory-stall cycles are
+/// configuration-dependent and added by the energy model).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelRun {
+    /// Memory-reference trace.
+    pub trace: Trace,
+    /// Retired-instruction mix.
+    pub mix: InstructionMix,
+    /// Cycles of the compute portion (`total instructions * CPI`).
+    pub cpu_cycles: u64,
+}
+
+impl Kernel {
+    /// Create a kernel. The trace seed is derived from `name` so that every
+    /// kernel has an independent but reproducible random stream.
+    pub fn new(
+        id: BenchmarkId,
+        name: impl Into<String>,
+        domain: Domain,
+        pattern: AccessPattern,
+        profile: MixProfile,
+    ) -> Self {
+        let name = name.into();
+        let seed = fnv1a(name.as_bytes());
+        Kernel { id, name, domain, pattern, profile, seed }
+    }
+
+    /// Suite index.
+    pub fn id(&self) -> BenchmarkId {
+        self.id
+    }
+
+    /// Benchmark name (EEMBC-style mnemonic).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Application domain.
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// The kernel's access pattern.
+    pub fn pattern(&self) -> &AccessPattern {
+        &self.pattern
+    }
+
+    /// The kernel's instruction profile.
+    pub fn profile(&self) -> MixProfile {
+        self.profile
+    }
+
+    /// Execute the kernel: generate its trace and derive its instruction
+    /// statistics. Deterministic per kernel.
+    pub fn run(&self) -> KernelRun {
+        let mut rng = SplitMix64::new(self.seed);
+        let trace = self.pattern.generate(&mut rng);
+        let accesses = trace.len() as f64;
+        let mix = InstructionMix {
+            loads: trace.reads() as u64,
+            stores: trace.writes() as u64,
+            branches: (accesses * self.profile.branch_per_access) as u64,
+            int_ops: (accesses * self.profile.int_per_access) as u64,
+            fp_ops: (accesses * self.profile.fp_per_access) as u64,
+            other: (accesses * self.profile.other_per_access) as u64,
+        };
+        let cpu_cycles = (mix.total() as f64 * self.profile.cpi).round() as u64;
+        KernelRun { trace, mix, cpu_cycles }
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}, {}]", self.name, self.id, self.domain)
+    }
+}
+
+/// FNV-1a over the kernel name: a stable, dependency-free seed derivation.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x1_0000_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel() -> Kernel {
+        Kernel::new(
+            BenchmarkId(0),
+            "test_stream",
+            Domain::Dsp,
+            AccessPattern::Stream { bytes: 4096, passes: 2, stride: 4, write_every: 4 },
+            MixProfile::dsp(),
+        )
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let k = kernel();
+        assert_eq!(k.run(), k.run());
+    }
+
+    #[test]
+    fn mix_counts_follow_the_trace() {
+        let run = kernel().run();
+        assert_eq!(run.mix.loads, run.trace.reads() as u64);
+        assert_eq!(run.mix.stores, run.trace.writes() as u64);
+        assert!(run.mix.fp_ops > run.mix.int_ops, "dsp profile is FP-heavy");
+    }
+
+    #[test]
+    fn cpu_cycles_scale_with_cpi() {
+        let run = kernel().run();
+        let expected = (run.mix.total() as f64 * 1.3).round() as u64;
+        assert_eq!(run.cpu_cycles, expected);
+    }
+
+    #[test]
+    fn different_names_get_different_seeds() {
+        let a = Kernel::new(
+            BenchmarkId(0),
+            "alpha",
+            Domain::Office,
+            AccessPattern::RandomTable {
+                table_bytes: 4096,
+                accesses: 100,
+                hot_bytes: 0,
+                hot_prob: 0.0,
+                write_prob: 0.5,
+            },
+            MixProfile::control(),
+        );
+        let mut b = a.clone();
+        b = Kernel::new(BenchmarkId(1), "beta", b.domain, b.pattern.clone(), b.profile);
+        assert_ne!(a.run().trace, b.run().trace);
+    }
+
+    #[test]
+    fn display_includes_name_and_domain() {
+        let text = kernel().to_string();
+        assert!(text.contains("test_stream") && text.contains("dsp"), "{text}");
+    }
+}

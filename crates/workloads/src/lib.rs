@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+
+//! Synthetic embedded benchmark suite standing in for EEMBC.
+//!
+//! The paper trains and evaluates on the EEMBC embedded benchmark suite
+//! (automotive subset and beyond), characterised through SimpleScalar. EEMBC
+//! binaries are licensed and cannot ship with an open reproduction, so this
+//! crate provides **twenty synthetic kernels** whose *cache-visible
+//! behaviour* spans the same axes that make EEMBC discriminative for the
+//! paper's experiment:
+//!
+//! * **working-set size** from a few hundred bytes to well past 8 KB, so the
+//!   best cache size genuinely varies across the suite (that variation is
+//!   what the ANN must learn);
+//! * **spatial locality** from dense unit-stride streaming (rewards 64 B
+//!   lines) to pointer chasing (rewards 16 B lines);
+//! * **conflict behaviour** from conflict-free sweeps to power-of-two
+//!   strides (rewards associativity);
+//! * **instruction mix** from FP-heavy DSP loops to branchy protocol
+//!   parsers, mirroring the hardware-counter features the paper feeds the
+//!   ANN (total instructions, loads/stores, branches, int/FP ops, …).
+//!
+//! Every kernel produces a *deterministic* memory-reference [`Trace`]
+//! (seeded by the kernel's identity), an [`InstructionMix`], and a CPU-cycle
+//! estimate. [`Suite::eembc_like`] assembles the default twenty-kernel suite;
+//! [`ArrivalPlan`] generates the paper's 5000 uniformly-distributed arrival
+//! times.
+//!
+//! # Example
+//!
+//! ```
+//! use workloads::Suite;
+//!
+//! let suite = Suite::eembc_like();
+//! assert_eq!(suite.len(), 20);
+//! let kernel = &suite[0];
+//! let run = kernel.run();
+//! assert!(!run.trace.is_empty());
+//! assert_eq!(run.mix.loads, run.trace.reads() as u64);
+//! ```
+//!
+//! [`Trace`]: cache_sim::Trace
+
+mod arrivals;
+mod features;
+mod kernel;
+mod mix;
+mod pattern;
+mod rng;
+mod suite;
+
+pub use arrivals::{Arrival, ArrivalPlan};
+pub use features::{ExecutionStatistics, FEATURE_COUNT, FEATURE_NAMES};
+pub use kernel::{BenchmarkId, Domain, Kernel, KernelRun};
+pub use mix::InstructionMix;
+pub use pattern::AccessPattern;
+pub use rng::SplitMix64;
+pub use suite::Suite;

@@ -1,0 +1,160 @@
+//! Instruction-mix statistics, mirroring the hardware counters the paper
+//! profiles ("the total number of instructions, … the number of load and
+//! store instructions, the number of branches, and the number of integer
+//! and floating-point instructions", Sec. IV.D).
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Counts of retired instructions by class for one benchmark execution.
+///
+/// `loads + stores + branches + int_ops + fp_ops + other = total`.
+///
+/// ```
+/// use workloads::InstructionMix;
+///
+/// let mix = InstructionMix {
+///     loads: 100, stores: 20, branches: 30, int_ops: 200, fp_ops: 0, other: 10,
+/// };
+/// assert_eq!(mix.total(), 360);
+/// assert_eq!(mix.memory_accesses(), 120);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct InstructionMix {
+    /// Load instructions.
+    pub loads: u64,
+    /// Store instructions.
+    pub stores: u64,
+    /// Branch instructions.
+    pub branches: u64,
+    /// Integer ALU instructions.
+    pub int_ops: u64,
+    /// Floating-point instructions.
+    pub fp_ops: u64,
+    /// Everything else (moves, nops, system).
+    pub other: u64,
+}
+
+impl InstructionMix {
+    /// All-zero mix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total retired instructions.
+    pub fn total(&self) -> u64 {
+        self.loads + self.stores + self.branches + self.int_ops + self.fp_ops + self.other
+    }
+
+    /// Loads plus stores — the L1 data-cache access count.
+    pub fn memory_accesses(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// Fraction of instructions that touch memory; `0.0` for an empty mix.
+    pub fn memory_intensity(&self) -> f64 {
+        ratio(self.memory_accesses(), self.total())
+    }
+
+    /// Fraction of instructions doing arithmetic (int + FP).
+    pub fn compute_intensity(&self) -> f64 {
+        ratio(self.int_ops + self.fp_ops, self.total())
+    }
+
+    /// Fraction of instructions that branch.
+    pub fn branch_rate(&self) -> f64 {
+        ratio(self.branches, self.total())
+    }
+
+    /// Stores as a fraction of memory accesses.
+    pub fn write_fraction(&self) -> f64 {
+        ratio(self.stores, self.memory_accesses())
+    }
+
+    /// Floating-point share of arithmetic instructions.
+    pub fn fp_fraction(&self) -> f64 {
+        ratio(self.fp_ops, self.int_ops + self.fp_ops)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+impl Add for InstructionMix {
+    type Output = InstructionMix;
+
+    fn add(mut self, rhs: InstructionMix) -> InstructionMix {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for InstructionMix {
+    fn add_assign(&mut self, rhs: InstructionMix) {
+        self.loads += rhs.loads;
+        self.stores += rhs.stores;
+        self.branches += rhs.branches;
+        self.int_ops += rhs.int_ops;
+        self.fp_ops += rhs.fp_ops;
+        self.other += rhs.other;
+    }
+}
+
+impl fmt::Display for InstructionMix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} instrs ({} ld, {} st, {} br, {} int, {} fp)",
+            self.total(),
+            self.loads,
+            self.stores,
+            self.branches,
+            self.int_ops,
+            self.fp_ops
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> InstructionMix {
+        InstructionMix { loads: 300, stores: 100, branches: 100, int_ops: 400, fp_ops: 50, other: 50 }
+    }
+
+    #[test]
+    fn total_sums_all_classes() {
+        assert_eq!(sample().total(), 1000);
+    }
+
+    #[test]
+    fn intensities_are_fractions() {
+        let mix = sample();
+        assert!((mix.memory_intensity() - 0.4).abs() < 1e-12);
+        assert!((mix.compute_intensity() - 0.45).abs() < 1e-12);
+        assert!((mix.branch_rate() - 0.1).abs() < 1e-12);
+        assert!((mix.write_fraction() - 0.25).abs() < 1e-12);
+        assert!((mix.fp_fraction() - 50.0 / 450.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_mix_has_zero_ratios() {
+        let mix = InstructionMix::new();
+        assert_eq!(mix.total(), 0);
+        assert_eq!(mix.memory_intensity(), 0.0);
+        assert_eq!(mix.write_fraction(), 0.0);
+    }
+
+    #[test]
+    fn addition_accumulates() {
+        let sum = sample() + sample();
+        assert_eq!(sum.total(), 2000);
+        assert_eq!(sum.loads, 600);
+    }
+}

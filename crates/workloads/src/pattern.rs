@@ -1,0 +1,403 @@
+//! Parameterised memory-access patterns.
+//!
+//! Each pattern captures one locality archetype found across embedded
+//! suites; kernels in [`crate::suite`] instantiate them with EEMBC-like
+//! parameters. All generators are deterministic functions of their
+//! parameters and the supplied PRNG seed.
+
+use crate::rng::SplitMix64;
+use cache_sim::{Access, Trace};
+
+/// Disjoint 1 MB address regions so multi-array patterns never alias.
+const REGION: u64 = 1 << 20;
+
+/// A synthetic memory-reference pattern.
+///
+/// ```
+/// use workloads::{AccessPattern, SplitMix64};
+///
+/// let pattern = AccessPattern::Stream { bytes: 4096, passes: 2, stride: 4, write_every: 4 };
+/// let trace = pattern.generate(&mut SplitMix64::new(1));
+/// assert_eq!(trace.len(), 2 * 4096 / 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccessPattern {
+    /// Unit/fixed-stride streaming over a long buffer with negligible reuse
+    /// (e.g. sensor filtering). Rewards wide lines; cache size is wasted.
+    Stream {
+        /// Buffer length in bytes.
+        bytes: u64,
+        /// Number of front-to-back passes.
+        passes: u32,
+        /// Access stride in bytes.
+        stride: u64,
+        /// Every `write_every`-th access is a store (0 = read-only).
+        write_every: u32,
+    },
+    /// Repeated cyclic sweeps over a fixed working set (temporal reuse).
+    /// Rewards a cache at least as large as `array_bytes`.
+    LoopedArray {
+        /// Working-set size in bytes.
+        array_bytes: u64,
+        /// Number of sweeps.
+        passes: u32,
+        /// Element stride in bytes.
+        elem_stride: u64,
+        /// Every `write_every`-th access is a store (0 = read-only).
+        write_every: u32,
+    },
+    /// Random accesses over a table with an optional hot subset
+    /// (e.g. tokenisers, table-driven protocol code).
+    RandomTable {
+        /// Table size in bytes.
+        table_bytes: u64,
+        /// Number of accesses.
+        accesses: u64,
+        /// Size of the frequently-hit prefix.
+        hot_bytes: u64,
+        /// Probability an access goes to the hot prefix.
+        hot_prob: f64,
+        /// Probability an access is a store.
+        write_prob: f64,
+    },
+    /// Pointer chasing along a random permutation cycle: no spatial
+    /// locality, full-node reads. Rewards narrow lines.
+    PointerChase {
+        /// Number of linked nodes.
+        nodes: u64,
+        /// Node size in bytes.
+        node_bytes: u64,
+        /// Chase steps.
+        steps: u64,
+    },
+    /// Power-of-two strided passes (FFT/transpose-like). Conflict-prone:
+    /// rewards associativity.
+    StridedConflict {
+        /// Array size in bytes.
+        array_bytes: u64,
+        /// Stride in bytes (typically a power of two).
+        stride: u64,
+        /// Number of strided passes.
+        passes: u32,
+    },
+    /// Row-major 2D stencil touching the current row and `halo` rows above
+    /// and below (image filters). Mixed spatial/temporal locality.
+    Stencil {
+        /// Row length in bytes.
+        row_bytes: u64,
+        /// Number of rows.
+        rows: u32,
+        /// Sweep count.
+        passes: u32,
+        /// Element size in bytes.
+        elem: u64,
+    },
+    /// Naive `ijk` matrix multiply `C = A * B` over `n x n` matrices:
+    /// row-major streaming on `A`, column walking on `B` (large effective
+    /// working set), accumulation stores on `C`.
+    MatrixMult {
+        /// Matrix dimension.
+        n: u64,
+        /// Element size in bytes.
+        elem: u64,
+    },
+    /// Sequential read stream plus data-dependent stores into a small bin
+    /// array (histogram/quantisation).
+    Histogram {
+        /// Input stream length in bytes.
+        stream_bytes: u64,
+        /// Bin array size in bytes.
+        bins_bytes: u64,
+        /// Element size in bytes.
+        elem: u64,
+    },
+    /// A hot working set with occasional cold excursions (state machines,
+    /// protocol stacks with rare slow paths).
+    HotCold {
+        /// Hot region size in bytes.
+        hot_bytes: u64,
+        /// Cold region size in bytes.
+        cold_bytes: u64,
+        /// Number of accesses.
+        accesses: u64,
+        /// Probability an access leaves the hot region.
+        cold_prob: f64,
+        /// Probability an access is a store.
+        write_prob: f64,
+    },
+}
+
+impl AccessPattern {
+    /// Generate the trace for this pattern.
+    pub fn generate(&self, rng: &mut SplitMix64) -> Trace {
+        match *self {
+            AccessPattern::Stream { bytes, passes, stride, write_every } => {
+                let mut trace = Trace::new();
+                let mut counter = 0u32;
+                for _ in 0..passes {
+                    let mut addr = 0;
+                    while addr < bytes {
+                        trace.push(rw(addr, &mut counter, write_every));
+                        addr += stride;
+                    }
+                }
+                trace
+            }
+            AccessPattern::LoopedArray { array_bytes, passes, elem_stride, write_every } => {
+                let mut trace = Trace::new();
+                let mut counter = 0u32;
+                for _ in 0..passes {
+                    let mut addr = 0;
+                    while addr < array_bytes {
+                        trace.push(rw(addr, &mut counter, write_every));
+                        addr += elem_stride;
+                    }
+                }
+                trace
+            }
+            AccessPattern::RandomTable { table_bytes, accesses, hot_bytes, hot_prob, write_prob } => {
+                let mut trace = Trace::with_capacity(accesses as usize);
+                for _ in 0..accesses {
+                    let addr = if hot_bytes > 0 && rng.chance(hot_prob) {
+                        rng.next_below(hot_bytes)
+                    } else {
+                        rng.next_below(table_bytes)
+                    };
+                    let addr = addr & !3; // word-align
+                    if rng.chance(write_prob) {
+                        trace.push(Access::write(addr));
+                    } else {
+                        trace.push(Access::read(addr));
+                    }
+                }
+                trace
+            }
+            AccessPattern::PointerChase { nodes, node_bytes, steps } => {
+                // Build a random single-cycle permutation (Sattolo's
+                // algorithm) so the chase never settles into a short loop.
+                let n = nodes as usize;
+                let mut next: Vec<u64> = (0..nodes).collect();
+                for i in (1..n).rev() {
+                    let j = rng.next_below(i as u64) as usize;
+                    next.swap(i, j);
+                }
+                let mut trace = Trace::with_capacity(steps as usize);
+                let mut node = 0u64;
+                for _ in 0..steps {
+                    trace.push(Access::read(node * node_bytes));
+                    node = next[node as usize];
+                }
+                trace
+            }
+            AccessPattern::StridedConflict { array_bytes, stride, passes } => {
+                let mut trace = Trace::new();
+                for p in 0..passes {
+                    // Interleave phases: offset start each pass so every
+                    // element is eventually visited.
+                    let offset = (u64::from(p) * 4) % stride.max(1);
+                    let mut addr = offset;
+                    while addr < array_bytes {
+                        trace.push(Access::read(addr));
+                        addr += stride;
+                    }
+                }
+                trace
+            }
+            AccessPattern::Stencil { row_bytes, rows, passes, elem } => {
+                let mut trace = Trace::new();
+                for _ in 0..passes {
+                    for row in 0..u64::from(rows) {
+                        let mut col = 0;
+                        while col < row_bytes {
+                            // north, center, south reads; center write.
+                            if row > 0 {
+                                trace.push(Access::read((row - 1) * row_bytes + col));
+                            }
+                            trace.push(Access::read(row * row_bytes + col));
+                            if row + 1 < u64::from(rows) {
+                                trace.push(Access::read((row + 1) * row_bytes + col));
+                            }
+                            trace.push(Access::write(REGION + row * row_bytes + col));
+                            col += elem;
+                        }
+                    }
+                }
+                trace
+            }
+            AccessPattern::MatrixMult { n, elem } => {
+                let (a, b, c) = (0, REGION, 2 * REGION);
+                let mut trace = Trace::new();
+                for i in 0..n {
+                    for j in 0..n {
+                        for k in 0..n {
+                            trace.push(Access::read(a + (i * n + k) * elem));
+                            trace.push(Access::read(b + (k * n + j) * elem));
+                        }
+                        trace.push(Access::write(c + (i * n + j) * elem));
+                    }
+                }
+                trace
+            }
+            AccessPattern::Histogram { stream_bytes, bins_bytes, elem } => {
+                let bins = REGION;
+                let mut trace = Trace::new();
+                let mut addr = 0;
+                while addr < stream_bytes {
+                    trace.push(Access::read(addr));
+                    let bin = rng.next_below(bins_bytes) & !3;
+                    trace.push(Access::read(bins + bin));
+                    trace.push(Access::write(bins + bin));
+                    addr += elem;
+                }
+                trace
+            }
+            AccessPattern::HotCold { hot_bytes, cold_bytes, accesses, cold_prob, write_prob } => {
+                let cold_base = REGION;
+                let mut trace = Trace::with_capacity(accesses as usize);
+                for _ in 0..accesses {
+                    let addr = if rng.chance(cold_prob) {
+                        cold_base + (rng.next_below(cold_bytes) & !3)
+                    } else {
+                        rng.next_below(hot_bytes) & !3
+                    };
+                    if rng.chance(write_prob) {
+                        trace.push(Access::write(addr));
+                    } else {
+                        trace.push(Access::read(addr));
+                    }
+                }
+                trace
+            }
+        }
+    }
+}
+
+fn rw(addr: u64, counter: &mut u32, write_every: u32) -> Access {
+    *counter += 1;
+    if write_every > 0 && (*counter).is_multiple_of(write_every) {
+        Access::write(addr)
+    } else {
+        Access::read(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SplitMix64 {
+        SplitMix64::new(0xDEADBEEF)
+    }
+
+    #[test]
+    fn stream_length_is_exact() {
+        let p = AccessPattern::Stream { bytes: 1024, passes: 3, stride: 4, write_every: 0 };
+        let trace = p.generate(&mut rng());
+        assert_eq!(trace.len(), 3 * 256);
+        assert_eq!(trace.writes(), 0);
+    }
+
+    #[test]
+    fn stream_write_every_produces_stores() {
+        let p = AccessPattern::Stream { bytes: 1024, passes: 1, stride: 4, write_every: 4 };
+        let trace = p.generate(&mut rng());
+        assert_eq!(trace.writes(), 64);
+    }
+
+    #[test]
+    fn looped_array_stays_in_working_set() {
+        let p = AccessPattern::LoopedArray {
+            array_bytes: 2048,
+            passes: 5,
+            elem_stride: 8,
+            write_every: 0,
+        };
+        let trace = p.generate(&mut rng());
+        assert!(trace.iter().all(|a| a.addr < 2048));
+        assert_eq!(trace.working_set_lines(16), 128);
+    }
+
+    #[test]
+    fn random_table_respects_bounds_and_hot_bias() {
+        let p = AccessPattern::RandomTable {
+            table_bytes: 65536,
+            accesses: 20_000,
+            hot_bytes: 1024,
+            hot_prob: 0.9,
+            write_prob: 0.1,
+        };
+        let trace = p.generate(&mut rng());
+        assert_eq!(trace.len(), 20_000);
+        assert!(trace.iter().all(|a| a.addr < 65536));
+        let hot = trace.iter().filter(|a| a.addr < 1024).count();
+        assert!(hot > 17_000, "hot accesses {hot} should dominate");
+    }
+
+    #[test]
+    fn pointer_chase_visits_every_node() {
+        let p = AccessPattern::PointerChase { nodes: 64, node_bytes: 32, steps: 64 };
+        let trace = p.generate(&mut rng());
+        // Sattolo's algorithm yields one full cycle: 64 steps visit all 64
+        // distinct nodes exactly once.
+        assert_eq!(trace.working_set_lines(32), 64);
+    }
+
+    #[test]
+    fn strided_conflict_hits_conflicting_addresses() {
+        let p = AccessPattern::StridedConflict { array_bytes: 8192, stride: 2048, passes: 2 };
+        let trace = p.generate(&mut rng());
+        assert!(trace.len() >= 8);
+        assert!(trace.iter().all(|a| a.addr < 8192));
+    }
+
+    #[test]
+    fn stencil_mixes_reads_and_writes() {
+        let p = AccessPattern::Stencil { row_bytes: 256, rows: 4, passes: 1, elem: 4 };
+        let trace = p.generate(&mut rng());
+        assert_eq!(trace.writes(), 4 * 64);
+        assert!(trace.reads() > trace.writes());
+    }
+
+    #[test]
+    fn matrix_mult_access_count_is_analytic() {
+        let p = AccessPattern::MatrixMult { n: 8, elem: 4 };
+        let trace = p.generate(&mut rng());
+        assert_eq!(trace.len() as u64, 2 * 8 * 8 * 8 + 8 * 8);
+        assert_eq!(trace.writes() as u64, 8 * 8);
+    }
+
+    #[test]
+    fn histogram_has_one_read_one_rmw_per_element() {
+        let p = AccessPattern::Histogram { stream_bytes: 400, bins_bytes: 256, elem: 4 };
+        let trace = p.generate(&mut rng());
+        assert_eq!(trace.len(), 100 * 3);
+        assert_eq!(trace.writes(), 100);
+    }
+
+    #[test]
+    fn hot_cold_mostly_stays_hot() {
+        let p = AccessPattern::HotCold {
+            hot_bytes: 512,
+            cold_bytes: 8192,
+            accesses: 10_000,
+            cold_prob: 0.05,
+            write_prob: 0.2,
+        };
+        let trace = p.generate(&mut rng());
+        let hot = trace.iter().filter(|a| a.addr < 512).count();
+        assert!(hot > 9_000);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let p = AccessPattern::RandomTable {
+            table_bytes: 4096,
+            accesses: 1000,
+            hot_bytes: 0,
+            hot_prob: 0.0,
+            write_prob: 0.3,
+        };
+        assert_eq!(p.generate(&mut SplitMix64::new(1)), p.generate(&mut SplitMix64::new(1)));
+        assert_ne!(p.generate(&mut SplitMix64::new(1)), p.generate(&mut SplitMix64::new(2)));
+    }
+}

@@ -1,0 +1,383 @@
+//! The default twenty-kernel synthetic suite.
+
+use crate::kernel::{BenchmarkId, Domain, Kernel, MixProfile};
+use crate::pattern::AccessPattern;
+use std::ops::Index;
+
+/// An ordered collection of benchmark kernels.
+///
+/// [`Suite::eembc_like`] builds the default twenty-kernel suite whose
+/// working sets, locality, and instruction mixes span the axes described in
+/// the crate docs. [`Suite::eembc_like_small`] is the same suite with traces
+/// roughly an order of magnitude shorter, for fast debug-build tests.
+///
+/// ```
+/// use workloads::Suite;
+/// let suite = Suite::eembc_like();
+/// assert_eq!(suite.len(), 20);
+/// assert!(suite.iter().any(|k| k.name() == "matrix01"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Suite {
+    kernels: Vec<Kernel>,
+}
+
+impl Suite {
+    /// The full-size default suite (traces of roughly 20–60 k accesses).
+    pub fn eembc_like() -> Self {
+        Suite::build(1.0)
+    }
+
+    /// A reduced-size variant (~10× shorter traces) for fast tests.
+    pub fn eembc_like_small() -> Self {
+        Suite::build(0.1)
+    }
+
+    /// Build the suite with a trace-length scale factor in `(0, 1]`.
+    ///
+    /// Scaling shortens repetition counts (passes/accesses/steps) but leaves
+    /// *working sets untouched*, so the best-configuration structure is
+    /// preserved while traces shrink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not in `(0, 1]`.
+    pub fn build(scale: f64) -> Self {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        let n = |count: u64| -> u64 { ((count as f64 * scale).round() as u64).max(2) };
+        let p = |count: u32| -> u32 { ((f64::from(count) * scale).round() as u32).max(2) };
+
+        let mut kernels = Vec::new();
+        let mut add = |name: &str, domain, pattern, profile| {
+            let id = BenchmarkId(kernels.len());
+            kernels.push(Kernel::new(id, name, domain, pattern, profile));
+        };
+
+        // --- small working sets (≈ ≤1.5 KB) or pure streaming: favour 2 KB.
+        add(
+            "rspeed01", // road-speed calculation over a sensor stream
+            Domain::Automotive,
+            AccessPattern::Stream { bytes: 96 * 1024, passes: p(2), stride: 4, write_every: 8 },
+            MixProfile::control(),
+        );
+        add(
+            "puwmod01", // pulse-width modulation: tiny hot state, rare reconfig
+            Domain::Automotive,
+            AccessPattern::HotCold {
+                hot_bytes: 768,
+                cold_bytes: 2048,
+                accesses: n(30_000),
+                cold_prob: 0.02,
+                write_prob: 0.3,
+            },
+            MixProfile::control(),
+        );
+        add(
+            "iirflt01", // IIR filter: 1 KB coefficient/state loop
+            Domain::Dsp,
+            AccessPattern::LoopedArray {
+                array_bytes: 1024,
+                passes: p(120),
+                elem_stride: 4,
+                write_every: 8,
+            },
+            MixProfile::dsp(),
+        );
+        add(
+            "aifirf01", // FIR filter: 1.5 KB taps + delay line
+            Domain::Dsp,
+            AccessPattern::LoopedArray {
+                array_bytes: 1536,
+                passes: p(90),
+                elem_stride: 4,
+                write_every: 12,
+            },
+            MixProfile::dsp(),
+        );
+        add(
+            "crcspd01", // CRC over a stream with a 1 KB lookup table
+            Domain::Networking,
+            AccessPattern::RandomTable {
+                table_bytes: 1024,
+                accesses: n(30_000),
+                hot_bytes: 1024,
+                hot_prob: 1.0,
+                write_prob: 0.0,
+            },
+            MixProfile::control(),
+        );
+        add(
+            "a2time01", // angle-to-time: 1.2 KB hot tables, occasional spill
+            Domain::Automotive,
+            AccessPattern::HotCold {
+                hot_bytes: 1228,
+                cold_bytes: 4096,
+                accesses: n(35_000),
+                cold_prob: 0.03,
+                write_prob: 0.2,
+            },
+            MixProfile::control(),
+        );
+
+        // --- mid working sets (≈ 2.5–4 KB): favour 4 KB.
+        add(
+            "canrdr01", // CAN message parsing: 3 KB message window
+            Domain::Automotive,
+            AccessPattern::HotCold {
+                hot_bytes: 3072,
+                cold_bytes: 16 * 1024,
+                accesses: n(40_000),
+                cold_prob: 0.05,
+                write_prob: 0.25,
+            },
+            MixProfile::control(),
+        );
+        add(
+            "bitmnp01", // bit manipulation over a 3 KB bitmap
+            Domain::Automotive,
+            AccessPattern::LoopedArray {
+                array_bytes: 3072,
+                passes: p(40),
+                elem_stride: 4,
+                write_every: 6,
+            },
+            MixProfile::control(),
+        );
+        add(
+            "aifftr01", // FFT butterfly: power-of-two strides over 4 KB
+            Domain::Dsp,
+            AccessPattern::StridedConflict { array_bytes: 4096, stride: 512, passes: p(4000) },
+            MixProfile::dsp(),
+        );
+        add(
+            "idctrn01", // inverse DCT: 8-row stencil over 4 KB
+            Domain::Consumer,
+            AccessPattern::Stencil { row_bytes: 512, rows: 8, passes: p(12), elem: 4 },
+            MixProfile::dsp(),
+        );
+        add(
+            "tblook01", // table lookup over 3.5 KB, uniform random
+            Domain::Automotive,
+            AccessPattern::RandomTable {
+                table_bytes: 3584,
+                accesses: n(40_000),
+                hot_bytes: 0,
+                hot_prob: 0.0,
+                write_prob: 0.1,
+            },
+            MixProfile::control(),
+        );
+        add(
+            "ttsprk01", // spark-timing: 2.5 KB map interpolation loop
+            Domain::Automotive,
+            AccessPattern::LoopedArray {
+                array_bytes: 2560,
+                passes: p(50),
+                elem_stride: 8,
+                write_every: 5,
+            },
+            MixProfile::control(),
+        );
+        add(
+            "histeq01", // histogram equalisation: stream + 2 KB bins
+            Domain::Consumer,
+            AccessPattern::Histogram { stream_bytes: n(48) * 1024, bins_bytes: 2048, elem: 4 },
+            MixProfile::streaming(),
+        );
+
+        // --- large working sets (≈ 5–8 KB): favour 8 KB.
+        add(
+            "matrix01", // naive 24x24 matrix multiply
+            Domain::Automotive,
+            AccessPattern::MatrixMult { n: 24, elem: 4 },
+            MixProfile::dsp(),
+        );
+        add(
+            "pntrch01", // pointer chase across 6 KB of linked nodes
+            Domain::Office,
+            AccessPattern::PointerChase { nodes: 384, node_bytes: 16, steps: n(40_000) },
+            MixProfile::control(),
+        );
+        add(
+            "sparse01", // sparse gather over a 7 KB vector
+            Domain::Dsp,
+            AccessPattern::RandomTable {
+                table_bytes: 7168,
+                accesses: n(40_000),
+                hot_bytes: 0,
+                hot_prob: 0.0,
+                write_prob: 0.05,
+            },
+            MixProfile::dsp(),
+        );
+        add(
+            "zigzag01", // zig-zag block reordering: strides over 8 KB
+            Domain::Consumer,
+            AccessPattern::StridedConflict { array_bytes: 8192, stride: 256, passes: p(1200) },
+            MixProfile::streaming(),
+        );
+        add(
+            "sortint01", // in-place sort of a 6 KB array
+            Domain::Office,
+            AccessPattern::LoopedArray {
+                array_bytes: 6144,
+                passes: p(25),
+                elem_stride: 4,
+                write_every: 3,
+            },
+            MixProfile::control(),
+        );
+        add(
+            "aiifft01", // inverse FFT: long-stride passes over 8 KB
+            Domain::Dsp,
+            AccessPattern::StridedConflict { array_bytes: 8192, stride: 2048, passes: p(5000) },
+            MixProfile::dsp(),
+        );
+
+        // --- cache-hostile: working set beyond every configuration.
+        add(
+            "cacheb01", // cache-buster: uniform random over 32 KB
+            Domain::Office,
+            AccessPattern::RandomTable {
+                table_bytes: 32 * 1024,
+                accesses: n(30_000),
+                hot_bytes: 0,
+                hot_prob: 0.0,
+                write_prob: 0.2,
+            },
+            MixProfile::control(),
+        );
+
+        Suite { kernels }
+    }
+
+    /// Number of kernels.
+    pub fn len(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// `true` when the suite is empty (never for the built-in suites).
+    pub fn is_empty(&self) -> bool {
+        self.kernels.is_empty()
+    }
+
+    /// Iterate over kernels in id order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Kernel> {
+        self.kernels.iter()
+    }
+
+    /// Look up a kernel by benchmark id.
+    pub fn get(&self, id: BenchmarkId) -> Option<&Kernel> {
+        self.kernels.get(id.0)
+    }
+
+    /// Borrow all kernels.
+    pub fn as_slice(&self) -> &[Kernel] {
+        &self.kernels
+    }
+}
+
+impl Index<usize> for Suite {
+    type Output = Kernel;
+
+    fn index(&self, index: usize) -> &Kernel {
+        &self.kernels[index]
+    }
+}
+
+impl<'a> IntoIterator for &'a Suite {
+    type Item = &'a Kernel;
+    type IntoIter = std::slice::Iter<'a, Kernel>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.kernels.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn suite_has_twenty_kernels_with_sequential_ids() {
+        let suite = Suite::eembc_like();
+        assert_eq!(suite.len(), 20);
+        for (i, kernel) in suite.iter().enumerate() {
+            assert_eq!(kernel.id(), BenchmarkId(i));
+        }
+    }
+
+    #[test]
+    fn kernel_names_are_unique() {
+        let suite = Suite::eembc_like();
+        let names: HashSet<&str> = suite.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), suite.len());
+    }
+
+    #[test]
+    fn suite_spans_multiple_domains() {
+        let suite = Suite::eembc_like();
+        let domains: HashSet<_> = suite.iter().map(|k| k.domain()).collect();
+        assert!(domains.len() >= 4, "suite should span domains, got {domains:?}");
+    }
+
+    #[test]
+    fn small_suite_has_shorter_traces_but_same_kernels() {
+        let full = Suite::eembc_like();
+        let small = Suite::eembc_like_small();
+        assert_eq!(full.len(), small.len());
+        let full_total: usize = full.iter().map(|k| k.run().trace.len()).sum();
+        let small_total: usize = small.iter().map(|k| k.run().trace.len()).sum();
+        assert!(
+            small_total * 4 < full_total,
+            "small suite ({small_total}) should be much shorter than full ({full_total})"
+        );
+    }
+
+    #[test]
+    fn working_sets_span_the_size_design_space() {
+        // At 16 B lines: some kernels fit in 2 KB (<=128 lines), some need
+        // 4 KB, some need 8 KB or more.
+        let suite = Suite::eembc_like_small();
+        let mut small = 0;
+        let mut mid = 0;
+        let mut large = 0;
+        for kernel in &suite {
+            let lines = kernel.run().trace.working_set_lines(16);
+            if lines <= 128 {
+                small += 1;
+            } else if lines <= 256 {
+                mid += 1;
+            } else {
+                large += 1;
+            }
+        }
+        assert!(small >= 3, "expect >=3 small-WS kernels, got {small}");
+        assert!(mid >= 2, "expect >=2 mid-WS kernels, got {mid}");
+        assert!(large >= 3, "expect >=3 large-WS kernels, got {large}");
+    }
+
+    #[test]
+    fn get_by_id_matches_indexing() {
+        let suite = Suite::eembc_like_small();
+        assert_eq!(suite.get(BenchmarkId(3)).unwrap().name(), suite[3].name());
+        assert!(suite.get(BenchmarkId(999)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be in (0, 1]")]
+    fn build_rejects_zero_scale() {
+        let _ = Suite::build(0.0);
+    }
+
+    #[test]
+    fn traces_are_nonempty_for_all_kernels() {
+        for kernel in &Suite::eembc_like_small() {
+            let run = kernel.run();
+            assert!(!run.trace.is_empty(), "{} must produce accesses", kernel.name());
+            assert!(run.cpu_cycles > 0, "{} must take time", kernel.name());
+            assert!(run.mix.total() > 0);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the workload generators.
+
+use proptest::prelude::*;
+use workloads::{AccessPattern, ArrivalPlan, SplitMix64, Suite};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arrival plans are sorted, in-range, and deterministic per seed.
+    #[test]
+    fn arrival_plans_are_well_formed(
+        count in 0usize..2000,
+        horizon in 1u64..10_000_000,
+        benchmarks in 1usize..40,
+        levels in 1u8..5,
+        seed in 0u64..1000,
+    ) {
+        let plan = ArrivalPlan::uniform_with_priorities(count, horizon, benchmarks, levels, seed);
+        prop_assert_eq!(plan.len(), count);
+        prop_assert!(plan.as_slice().windows(2).all(|w| w[0].time <= w[1].time));
+        prop_assert!(plan.iter().all(|a| a.time < horizon));
+        prop_assert!(plan.iter().all(|a| a.benchmark.0 < benchmarks));
+        prop_assert!(plan.iter().all(|a| a.priority < levels));
+        let again = ArrivalPlan::uniform_with_priorities(count, horizon, benchmarks, levels, seed);
+        prop_assert_eq!(plan, again);
+    }
+
+    /// Every scale in (0, 1] produces a complete suite whose kernels all
+    /// emit non-empty traces with consistent instruction mixes.
+    #[test]
+    fn suite_is_well_formed_at_any_scale(scale_milli in 10u32..1000) {
+        let scale = f64::from(scale_milli) / 1000.0;
+        let suite = Suite::build(scale);
+        prop_assert_eq!(suite.len(), 20);
+        for kernel in &suite {
+            let run = kernel.run();
+            prop_assert!(!run.trace.is_empty(), "{} empty at scale {scale}", kernel.name());
+            prop_assert_eq!(run.mix.loads, run.trace.reads() as u64);
+            prop_assert_eq!(run.mix.stores, run.trace.writes() as u64);
+            prop_assert!(run.mix.total() >= run.mix.memory_accesses());
+            prop_assert!(run.cpu_cycles >= run.mix.total(), "CPI >= 1");
+        }
+    }
+
+    /// Random-table traces always stay inside the table and respect the
+    /// requested access count.
+    #[test]
+    fn random_table_bounds(
+        table_kb in 1u64..64,
+        accesses in 1u64..5000,
+        hot_prob in 0.0f64..1.0,
+        write_prob in 0.0f64..1.0,
+        seed in 0u64..100,
+    ) {
+        let table_bytes = table_kb * 1024;
+        let pattern = AccessPattern::RandomTable {
+            table_bytes,
+            accesses,
+            hot_bytes: table_bytes / 4,
+            hot_prob,
+            write_prob,
+        };
+        let trace = pattern.generate(&mut SplitMix64::new(seed));
+        prop_assert_eq!(trace.len() as u64, accesses);
+        prop_assert!(trace.iter().all(|a| a.addr < table_bytes));
+    }
+
+    /// Hot/cold traces respect their region bounds.
+    #[test]
+    fn hot_cold_region_bounds(
+        hot_kb in 1u64..8,
+        cold_kb in 1u64..32,
+        accesses in 1u64..3000,
+        cold_prob in 0.0f64..1.0,
+        seed in 0u64..100,
+    ) {
+        let pattern = AccessPattern::HotCold {
+            hot_bytes: hot_kb * 1024,
+            cold_bytes: cold_kb * 1024,
+            accesses,
+            cold_prob,
+            write_prob: 0.2,
+        };
+        let trace = pattern.generate(&mut SplitMix64::new(seed));
+        let region = 1u64 << 20;
+        for access in trace.iter() {
+            let in_hot = access.addr < hot_kb * 1024;
+            let in_cold = (region..region + cold_kb * 1024).contains(&access.addr);
+            prop_assert!(in_hot || in_cold, "address {:#x} outside both regions", access.addr);
+        }
+    }
+
+    /// Pointer chases visit exactly `min(steps, nodes)` distinct nodes
+    /// when steps <= nodes (a Sattolo cycle has no short loops).
+    #[test]
+    fn pointer_chase_has_no_short_cycles(
+        nodes in 2u64..512,
+        seed in 0u64..100,
+    ) {
+        let pattern = AccessPattern::PointerChase { nodes, node_bytes: 16, steps: nodes };
+        let trace = pattern.generate(&mut SplitMix64::new(seed));
+        prop_assert_eq!(trace.working_set_lines(16) as u64, nodes);
+    }
+}

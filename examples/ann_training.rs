@@ -1,0 +1,68 @@
+//! Train the paper's bagged-ANN best-core predictor and evaluate its
+//! generalisation with leave-one-out cross-validation, reproducing the
+//! Sec. IV.D claim that ANN-predicted cache sizes degrade energy by less
+//! than a small single-digit percentage versus the optimal size.
+//!
+//! ```sh
+//! cargo run --release --example ann_training
+//! ```
+
+use hetero_sched::energy_model::EnergyModel;
+use hetero_sched::hetero_core::{BestCorePredictor, PredictorConfig, SuiteOracle};
+use hetero_sched::workloads::Suite;
+
+fn main() {
+    let suite = Suite::eembc_like();
+    let model = EnergyModel::default();
+    println!("characterising {} kernels x 18 configurations ...", suite.len());
+    let oracle = SuiteOracle::build(&suite, &model);
+
+    let config = PredictorConfig::paper();
+    println!(
+        "predictor: {} bagged ANNs, hidden layers {:?}, 70/15/15 split\n",
+        config.ensemble_size, config.hidden
+    );
+
+    // In-sample fit (what the deployed scheduler uses).
+    let deployed = BestCorePredictor::train(&oracle, &config);
+    let in_sample_correct = oracle
+        .benchmarks()
+        .filter(|&b| deployed.predict(&oracle.execution_statistics(b)) == oracle.best_size(b))
+        .count();
+    println!("in-sample size accuracy: {in_sample_correct}/{}", oracle.len());
+
+    // Leave-one-out: how well does the predictor handle an application it
+    // has never seen? (The paper's deployment scenario for new arrivals.)
+    println!("\nleave-one-out cross-validation:");
+    println!(
+        "{:<12} {:>9} {:>9} {:>7} {:>12}",
+        "benchmark", "actual", "predicted", "hit", "energy delta"
+    );
+    let mut degradations = Vec::new();
+    for (kernel, benchmark) in suite.iter().zip(oracle.benchmarks()) {
+        let predictor = BestCorePredictor::train_excluding(&oracle, &[benchmark], &config);
+        let predicted = predictor.predict(&oracle.execution_statistics(benchmark));
+        let actual = oracle.best_size(benchmark);
+        let best = oracle.best_config(benchmark).1.total_nj();
+        let achieved = oracle.best_config_with_size(benchmark, predicted).1.total_nj();
+        let degradation = achieved / best - 1.0;
+        degradations.push(degradation);
+        println!(
+            "{:<12} {:>9} {:>9} {:>7} {:>11.2}%",
+            kernel.name(),
+            actual.to_string(),
+            predicted.to_string(),
+            if predicted == actual { "yes" } else { "NO" },
+            degradation * 100.0
+        );
+    }
+
+    let mean = degradations.iter().sum::<f64>() / degradations.len() as f64;
+    let hits = degradations.iter().filter(|&&d| d == 0.0).count();
+    println!(
+        "\nleave-one-out: {hits}/{} exact, mean energy degradation {:.2}% \
+         (paper reports < 2% on EEMBC)",
+        degradations.len(),
+        mean * 100.0
+    );
+}

@@ -1,0 +1,50 @@
+//! Sweep the Table 1 design space for every kernel and print the energy
+//! surface: which configuration wins, and by how much over the base
+//! configuration.
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use hetero_sched::cache_sim::{design_space, BASE_CONFIG};
+use hetero_sched::energy_model::EnergyModel;
+use hetero_sched::hetero_core::SuiteOracle;
+use hetero_sched::workloads::Suite;
+
+fn main() {
+    let suite = Suite::eembc_like();
+    let model = EnergyModel::default();
+    println!("characterising {} kernels x 18 configurations ...\n", suite.len());
+    let oracle = SuiteOracle::build(&suite, &model);
+
+    // Header: the 18 configurations of Table 1.
+    print!("{:<10}", "kernel");
+    for config in design_space() {
+        print!(" {:>10}", config.to_string());
+    }
+    println!(" | best");
+
+    for kernel in &suite {
+        let benchmark = kernel.id();
+        let base = oracle.cost(benchmark, BASE_CONFIG).total_nj();
+        let (best, _) = oracle.best_config(benchmark);
+        print!("{:<10}", kernel.name());
+        for config in design_space() {
+            // Energy relative to the base configuration (1.00 = base).
+            let ratio = oracle.cost(benchmark, config).total_nj() / base;
+            print!(" {:>10.2}", ratio);
+        }
+        println!(" | {best}");
+    }
+
+    println!("\ncells are total energy normalised to the base configuration {BASE_CONFIG};");
+    println!("the paper's Table 1 lists the 18 size/associativity/line combinations.");
+
+    // Distribution of best sizes across the suite: the heterogeneity the
+    // scheduler exploits.
+    let mut by_size = std::collections::BTreeMap::new();
+    for benchmark in oracle.benchmarks() {
+        *by_size.entry(oracle.best_size(benchmark).kilobytes()).or_insert(0u32) += 1;
+    }
+    println!("\nbest-size distribution: {by_size:?}");
+}

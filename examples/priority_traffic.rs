@@ -1,0 +1,103 @@
+//! Future-work extension: non-preemptive **priority scheduling** for
+//! mixed-criticality traffic (the paper: "Future work includes …
+//! considering systems with preemption, priority, and deadlines").
+//!
+//! Safety-critical engine-control jobs (priority 1) share the quad-core
+//! system with best-effort background jobs (priority 0). Under the
+//! paper's FIFO queue, a critical job can sit behind a backlog of
+//! background work; the priority discipline lets it jump the queue while
+//! the *energy* policy (the proposed scheduler) stays unchanged, and the
+//! preemptive discipline additionally evicts running background work
+//! (restart semantics, so the wasted partial executions cost energy).
+//!
+//! ```sh
+//! cargo run --release --example priority_traffic
+//! ```
+
+use hetero_sched::energy_model::EnergyModel;
+use hetero_sched::hetero_core::{
+    Architecture, BestCorePredictor, PredictorConfig, ProposedSystem, SuiteOracle,
+};
+use hetero_sched::multicore_sim::{QueueDiscipline, Simulator};
+use hetero_sched::workloads::{Arrival, ArrivalPlan, BenchmarkId, Domain, SplitMix64, Suite};
+
+/// Mixed-criticality plan: mostly background jobs, with occasional
+/// critical engine-control jobs (priority 1).
+fn mixed_plan(suite: &Suite, jobs: usize, horizon: u64, seed: u64) -> ArrivalPlan {
+    let automotive: Vec<BenchmarkId> = suite
+        .iter()
+        .filter(|k| k.domain() == Domain::Automotive)
+        .map(|k| k.id())
+        .collect();
+    let all: Vec<BenchmarkId> = suite.iter().map(|k| k.id()).collect();
+    let mut rng = SplitMix64::new(seed);
+    let arrivals = (0..jobs)
+        .map(|_| {
+            let critical = rng.chance(0.15);
+            let benchmark = if critical {
+                automotive[rng.next_below(automotive.len() as u64) as usize]
+            } else {
+                all[rng.next_below(all.len() as u64) as usize]
+            };
+            Arrival {
+                time: rng.next_below(horizon),
+                benchmark,
+                priority: u8::from(critical),
+            }
+        })
+        .collect();
+    ArrivalPlan::from_arrivals(arrivals)
+}
+
+fn main() {
+    let suite = Suite::eembc_like();
+    let model = EnergyModel::default();
+    println!("characterising {} kernels x 18 configurations ...", suite.len());
+    let oracle = SuiteOracle::build(&suite, &model);
+    let arch = Architecture::paper_quad();
+    println!("training the bagged ANN best-core predictor ...\n");
+    let predictor = BestCorePredictor::train(&oracle, &PredictorConfig::paper());
+
+    // High contention so queueing delay matters.
+    let plan = mixed_plan(&suite, 2000, 150_000_000, 77);
+    let critical_jobs = plan.iter().filter(|a| a.priority > 0).count();
+    println!(
+        "{} arrivals ({} critical) over 150M cycles, proposed scheduler\n",
+        plan.len(),
+        critical_jobs
+    );
+
+    println!(
+        "{:<10} {:>22} {:>22} {:>14} {:>10} {:>8}",
+        "queue", "critical turnaround", "background turnaround", "total (nJ)", "makespan", "preempt"
+    );
+    for (name, discipline) in [
+        ("FIFO", QueueDiscipline::Fifo),
+        ("priority", QueueDiscipline::Priority),
+        ("preemptive", QueueDiscipline::PreemptivePriority),
+    ] {
+        let mut system =
+            ProposedSystem::with_model(&arch, &oracle, model, predictor.clone());
+        let metrics = Simulator::new(arch.num_cores())
+            .with_discipline(discipline)
+            .run(&plan, &mut system);
+        let critical = metrics.by_priority.get(&1).copied().unwrap_or_default();
+        let background = metrics.by_priority.get(&0).copied().unwrap_or_default();
+        println!(
+            "{:<10} {:>22.0} {:>22.0} {:>14.0} {:>10} {:>8}",
+            name,
+            critical.mean_turnaround(),
+            background.mean_turnaround(),
+            metrics.energy.total(),
+            metrics.total_cycles,
+            metrics.preemptions,
+        );
+    }
+
+    println!(
+        "\nexpected: the priority queue cuts critical-job turnaround by an order of \
+         magnitude at a small background cost with energy unchanged (same energy policy, \
+         different queue order); preemption shaves critical latency further but pays for \
+         its restarts with background turnaround and wasted partial-execution energy."
+    );
+}

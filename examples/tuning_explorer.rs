@@ -1,0 +1,63 @@
+//! Watch the Figure 5 cache tuning heuristic walk the design space.
+//!
+//! For every kernel and every core size, this example drives the
+//! incremental explorer against the true energy surface (from the design-
+//! space oracle) and prints each step, the concluded best configuration,
+//! and how it compares to the exhaustive per-size optimum.
+//!
+//! ```sh
+//! cargo run --release --example tuning_explorer
+//! ```
+
+use hetero_sched::cache_sim::CacheSizeKb;
+use hetero_sched::energy_model::EnergyModel;
+use hetero_sched::hetero_core::{SuiteOracle, TuningExplorer, TuningStatus};
+use hetero_sched::workloads::Suite;
+
+fn main() {
+    let suite = Suite::eembc_like();
+    let model = EnergyModel::default();
+    println!("characterising {} kernels x 18 configurations ...\n", suite.len());
+    let oracle = SuiteOracle::build(&suite, &model);
+
+    let mut total_steps = 0usize;
+    let mut worst_gap = 0.0f64;
+
+    for kernel in &suite {
+        let benchmark = kernel.id();
+        println!("== {} ==", kernel);
+        for size in CacheSizeKb::ALL {
+            let mut explorer = TuningExplorer::new(size);
+            let mut path = Vec::new();
+            while let TuningStatus::Explore(config) = explorer.status() {
+                let cost = oracle.cost(benchmark, config);
+                path.push(format!("{config} ({:.0} nJ)", cost.total_nj()));
+                explorer.record(config, cost.total_nj());
+            }
+            let TuningStatus::Done(found) = explorer.status() else { unreachable!() };
+            let found_energy = oracle.cost(benchmark, found).total_nj();
+            let (exhaustive, exhaustive_cost) = oracle.best_config_with_size(benchmark, size);
+            let gap = found_energy / exhaustive_cost.total_nj() - 1.0;
+            total_steps += explorer.explored_count();
+            worst_gap = worst_gap.max(gap);
+            println!(
+                "  {size}: {} -> best {found} ({} steps, {}",
+                path.join(" -> "),
+                explorer.explored_count(),
+                if found == exhaustive {
+                    "matches exhaustive search)".to_owned()
+                } else {
+                    format!("+{:.1}% vs exhaustive {exhaustive})", gap * 100.0)
+                }
+            );
+        }
+    }
+
+    println!(
+        "\n{} kernels x 3 sizes: {} total exploration steps (exhaustive would be {}),",
+        suite.len(),
+        total_steps,
+        suite.len() * 18
+    );
+    println!("worst heuristic-vs-exhaustive gap: {:.2}%", worst_gap * 100.0);
+}

@@ -1,0 +1,101 @@
+//! Cross-crate integration tests: the suite, cache simulator, and energy
+//! model together must produce a design space with the structure the
+//! paper's experiment depends on.
+
+use hetero_sched::cache_sim::{design_space, BASE_CONFIG};
+use hetero_sched::energy_model::EnergyModel;
+use hetero_sched::hetero_core::SuiteOracle;
+use hetero_sched::workloads::Suite;
+
+fn oracle() -> SuiteOracle {
+    SuiteOracle::build(&Suite::eembc_like_small(), &EnergyModel::default())
+}
+
+#[test]
+fn best_sizes_spread_across_all_three_cores() {
+    let oracle = oracle();
+    let mut counts = std::collections::BTreeMap::new();
+    for benchmark in oracle.benchmarks() {
+        *counts.entry(oracle.best_size(benchmark).kilobytes()).or_insert(0u32) += 1;
+    }
+    assert_eq!(counts.len(), 3, "all sizes must be best for someone: {counts:?}");
+    assert!(counts.values().all(|&c| c >= 3), "reasonable balance: {counts:?}");
+}
+
+#[test]
+fn specialisation_beats_the_base_configuration_everywhere() {
+    // The premise of the whole paper: per-application best configurations
+    // save substantial energy over the pessimistic base configuration.
+    let oracle = oracle();
+    let mut savings = Vec::new();
+    for benchmark in oracle.benchmarks() {
+        let base = oracle.cost(benchmark, BASE_CONFIG).total_nj();
+        let best = oracle.best_config(benchmark).1.total_nj();
+        assert!(best <= base, "{benchmark}: best config cannot exceed base");
+        savings.push(1.0 - best / base);
+    }
+    let mean = savings.iter().sum::<f64>() / savings.len() as f64;
+    assert!(
+        mean > 0.25,
+        "mean per-benchmark saving should be substantial, got {:.1}%",
+        mean * 100.0
+    );
+}
+
+#[test]
+fn line_size_and_associativity_both_matter() {
+    // At least one benchmark's best config must use wide lines, and at
+    // least one must use higher associativity — otherwise the Figure 5
+    // heuristic would have nothing to find.
+    let oracle = oracle();
+    let bests: Vec<_> = oracle.benchmarks().map(|b| oracle.best_config(b).0).collect();
+    assert!(
+        bests.iter().any(|c| c.line().bytes() > 16),
+        "some benchmark should prefer wide lines: {bests:?}"
+    );
+    assert!(
+        bests.iter().any(|c| c.associativity().ways() > 1),
+        "some benchmark should prefer associativity: {bests:?}"
+    );
+}
+
+#[test]
+fn energy_orderings_are_physical() {
+    let oracle = oracle();
+    let model = EnergyModel::default();
+    for benchmark in oracle.benchmarks() {
+        for config in design_space() {
+            let cost = oracle.cost(benchmark, config);
+            let stats = oracle.stats(benchmark, config);
+            // Energy components are non-negative and finite.
+            assert!(cost.energy.dynamic_nj >= 0.0 && cost.energy.dynamic_nj.is_finite());
+            assert!(cost.energy.static_nj >= 0.0 && cost.energy.static_nj.is_finite());
+            // Cycles = cpu + analytic miss cycles.
+            let truth = oracle.truth(benchmark);
+            assert_eq!(
+                cost.cycles,
+                truth.cpu_cycles + model.miss_cycles(config, stats.misses()),
+                "{benchmark} {config}"
+            );
+        }
+    }
+}
+
+#[test]
+fn working_set_scaling_preserves_best_sizes() {
+    // Suite::build scales trace length, not working sets; the best size
+    // structure must survive for most kernels (ties at boundaries may
+    // flip occasionally).
+    let model = EnergyModel::default();
+    let small = SuiteOracle::build(&Suite::build(0.1), &model);
+    let smaller = SuiteOracle::build(&Suite::build(0.05), &model);
+    let agreements = small
+        .benchmarks()
+        .filter(|&b| small.best_size(b) == smaller.best_size(b))
+        .count();
+    assert!(
+        agreements * 10 >= small.len() * 7,
+        "best sizes should be mostly scale-stable: {agreements}/{}",
+        small.len()
+    );
+}

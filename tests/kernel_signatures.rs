@@ -1,0 +1,110 @@
+//! Locality-signature tests: each kernel family must exhibit the cache
+//! behaviour it was designed to model, otherwise the suite does not span
+//! the axes the experiment needs (see DESIGN.md §1).
+
+use hetero_sched::cache_sim::{simulate, CacheConfig};
+use hetero_sched::workloads::Suite;
+
+fn kernel_stats(name: &str, config: &str) -> hetero_sched::cache_sim::CacheStats {
+    let suite = Suite::eembc_like_small();
+    let kernel = suite.iter().find(|k| k.name() == name).expect("kernel exists");
+    simulate(CacheConfig::parse(config).expect("valid"), &kernel.run().trace)
+}
+
+#[test]
+fn stencil_kernels_reward_associativity() {
+    // idctrn01 reads a 4 KB row window while writing a distant output
+    // region whose addresses alias the reads in a direct-mapped cache;
+    // 2-way separates the two streams. (This is why its oracle-best
+    // configuration is 8KB_2W_16B.)
+    let direct = kernel_stats("idctrn01", "8KB_1W_16B");
+    let two_way = kernel_stats("idctrn01", "8KB_2W_16B");
+    assert!(
+        two_way.misses() < direct.misses(),
+        "2W ({}) must beat 1W ({}) for the read/write-aliasing kernel",
+        two_way.misses(),
+        direct.misses()
+    );
+}
+
+#[test]
+fn streaming_kernels_reward_wide_lines() {
+    // rspeed01 streams with a 4 B stride: 64 B lines quarter the misses
+    // relative to 16 B lines (pure spatial locality).
+    let narrow = kernel_stats("rspeed01", "2KB_1W_16B");
+    let wide = kernel_stats("rspeed01", "2KB_1W_64B");
+    assert!(
+        (wide.misses() as f64) < narrow.misses() as f64 * 0.3,
+        "64B ({}) should cut 16B misses ({}) by ~4x",
+        wide.misses(),
+        narrow.misses()
+    );
+}
+
+#[test]
+fn pointer_chase_gains_little_from_wide_lines_under_pressure() {
+    // pntrch01 jumps between 16 B nodes of a 6 KB pool. Under capacity
+    // pressure (2 KB cache) wider lines fetch mostly unused neighbours
+    // while holding fewer distinct nodes, so they cannot help the way
+    // they help a streaming kernel (4x).
+    let narrow = kernel_stats("pntrch01", "2KB_1W_16B");
+    let wide = kernel_stats("pntrch01", "2KB_1W_64B");
+    assert!(
+        wide.misses() as f64 > narrow.misses() as f64 * 0.5,
+        "wide lines should not halve pointer-chase misses ({} -> {})",
+        narrow.misses(),
+        wide.misses()
+    );
+}
+
+#[test]
+fn resident_kernels_hit_almost_always_once_warm() {
+    // iirflt01 loops over 1 KB: in any cache >= 2 KB the steady state is
+    // hits; miss rate is dominated by the cold start.
+    for config in ["2KB_1W_16B", "4KB_2W_32B", "8KB_4W_64B"] {
+        let stats = kernel_stats("iirflt01", config);
+        assert!(
+            stats.miss_rate() < 0.05,
+            "{config}: resident kernel should mostly hit, miss rate {}",
+            stats.miss_rate()
+        );
+    }
+}
+
+#[test]
+fn cache_buster_defeats_every_configuration() {
+    // cacheb01 is uniform-random over 32 KB: no Table 1 configuration can
+    // capture it; miss rate stays high everywhere.
+    for config in ["2KB_1W_16B", "8KB_4W_64B"] {
+        let stats = kernel_stats("cacheb01", config);
+        assert!(
+            stats.miss_rate() > 0.4,
+            "{config}: cache buster must keep missing, got {}",
+            stats.miss_rate()
+        );
+    }
+}
+
+#[test]
+fn capacity_sensitive_kernels_respond_to_size() {
+    // sortint01 sweeps 6 KB repeatedly: 8 KB holds it, 2 KB thrashes.
+    let small = kernel_stats("sortint01", "2KB_1W_16B");
+    let large = kernel_stats("sortint01", "8KB_1W_16B");
+    assert!(
+        large.misses() * 2 < small.misses(),
+        "8KB ({}) must clearly beat 2KB ({}) on a 6KB working set",
+        large.misses(),
+        small.misses()
+    );
+}
+
+#[test]
+fn hot_cold_kernels_fit_their_hot_set() {
+    // puwmod01's hot set is 768 B: even the 2 KB cache captures it.
+    let stats = kernel_stats("puwmod01", "2KB_1W_16B");
+    assert!(
+        stats.miss_rate() < 0.10,
+        "hot set fits in 2KB, miss rate {}",
+        stats.miss_rate()
+    );
+}

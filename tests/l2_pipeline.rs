@@ -1,0 +1,73 @@
+//! End-to-end test of the L2-hierarchy extension: the full scheduling
+//! pipeline over an L2-backed oracle.
+
+use hetero_sched::energy_model::{EnergyModel, L2Params};
+use hetero_sched::hetero_core::{
+    Architecture, BaseSystem, BestCorePredictor, PredictorConfig, ProposedSystem, SuiteOracle,
+};
+use hetero_sched::multicore_sim::Simulator;
+use hetero_sched::workloads::{ArrivalPlan, Suite};
+
+#[test]
+fn proposed_system_still_beats_base_with_an_l2() {
+    let suite = Suite::eembc_like_small();
+    let model = EnergyModel::default();
+    let l2 = L2Params::typical();
+    let oracle = SuiteOracle::build_with_l2(&suite, &model, &l2);
+    let arch = Architecture::paper_quad();
+    let predictor = BestCorePredictor::train(&oracle, &PredictorConfig::fast());
+    let plan = ArrivalPlan::uniform(300, 8_000_000, suite.len(), 71);
+
+    let simulator = Simulator::new(arch.num_cores());
+    let mut base = BaseSystem::new(&oracle, model, arch.num_cores());
+    let base_metrics = simulator.run(&plan, &mut base);
+    let mut proposed = ProposedSystem::with_model(&arch, &oracle, model, predictor);
+    let proposed_metrics = simulator.run(&plan, &mut proposed);
+
+    assert_eq!(proposed_metrics.jobs_completed, 300);
+    assert!(
+        proposed_metrics.energy.total() < base_metrics.energy.total(),
+        "proposed {} must beat base {} in the L2 world too",
+        proposed_metrics.energy.total(),
+        base_metrics.energy.total()
+    );
+}
+
+#[test]
+fn l2_shortens_cache_hostile_jobs() {
+    // End-to-end cycles: an L2-backed base system completes the same plan
+    // no later than the L1-only one — miss penalties can only shrink.
+    let suite = Suite::eembc_like_small();
+    let model = EnergyModel::default();
+    let flat_oracle = SuiteOracle::build(&suite, &model);
+    let stacked_oracle = SuiteOracle::build_with_l2(&suite, &model, &L2Params::typical());
+    let plan = ArrivalPlan::uniform(200, 5_000_000, suite.len(), 73);
+
+    let simulator = Simulator::new(4);
+    let mut flat = BaseSystem::new(&flat_oracle, model, 4);
+    let flat_metrics = simulator.run(&plan, &mut flat);
+    let mut stacked = BaseSystem::new(&stacked_oracle, model, 4);
+    let stacked_metrics = simulator.run(&plan, &mut stacked);
+
+    assert!(
+        stacked_metrics.total_cycles <= flat_metrics.total_cycles,
+        "L2 must not slow the system down: {} vs {}",
+        stacked_metrics.total_cycles,
+        flat_metrics.total_cycles
+    );
+}
+
+#[test]
+fn l2_predictions_remain_valid_sizes() {
+    // The predictor trained on L2-backed labels still emits design-space
+    // sizes, and the best-size spread survives (the L2 compresses but
+    // does not erase the heterogeneity).
+    let suite = Suite::eembc_like_small();
+    let model = EnergyModel::default();
+    let oracle = SuiteOracle::build_with_l2(&suite, &model, &L2Params::typical());
+    let mut sizes = std::collections::BTreeSet::new();
+    for benchmark in oracle.benchmarks() {
+        sizes.insert(oracle.best_size(benchmark).kilobytes());
+    }
+    assert!(sizes.len() >= 2, "L2-backed best sizes should still vary: {sizes:?}");
+}
