@@ -59,8 +59,12 @@ impl Activation {
 mod tests {
     use super::*;
 
-    const ALL: [Activation; 4] =
-        [Activation::Identity, Activation::Relu, Activation::Sigmoid, Activation::Tanh];
+    const ALL: [Activation; 4] = [
+        Activation::Identity,
+        Activation::Relu,
+        Activation::Sigmoid,
+        Activation::Tanh,
+    ];
 
     #[test]
     fn derivative_matches_finite_difference() {

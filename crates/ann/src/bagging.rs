@@ -37,6 +37,10 @@ impl Bagging {
     /// the dataset's training split. Validation and test partitions are
     /// shared across members so early stopping sees un-resampled data.
     ///
+    /// Members train on worker threads (`HETERO_THREADS` governs the
+    /// count); the result is bit-identical at any worker count — see
+    /// [`train_with_threads`](Self::train_with_threads).
+    ///
     /// # Panics
     ///
     /// Panics if `count == 0`.
@@ -47,26 +51,64 @@ impl Bagging {
         activation: Activation,
         config: TrainConfig,
     ) -> Self {
+        Self::train_with_threads(
+            dataset,
+            count,
+            dims,
+            activation,
+            config,
+            hetero_parallel::worker_count(),
+        )
+    }
+
+    /// [`train`](Self::train) with an explicit worker count.
+    ///
+    /// The legacy serial path drew every member's bootstrap indices and
+    /// weight-initialisation seed from **one** sequential RNG stream. To
+    /// keep the trained ensemble bit-identical at any worker count, those
+    /// draws are still made serially (they are cheap) before the members —
+    /// each now fully self-contained — train in parallel and merge back in
+    /// member order. `workers = 1` spawns no threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`.
+    pub fn train_with_threads(
+        dataset: &Dataset,
+        count: usize,
+        dims: &[usize],
+        activation: Activation,
+        config: TrainConfig,
+        workers: usize,
+    ) -> Self {
         assert!(count > 0, "ensemble needs at least one member");
         let split = dataset.split(0.70, 0.15, config.seed);
         let mut rng = SplitMix64::new(config.seed ^ 0xB466);
-        let mut models = Vec::with_capacity(count);
-        for member in 0..count {
-            // Bootstrap resample of the training partition (with
-            // replacement, same cardinality).
-            let n = split.train.len();
-            let indices: Vec<usize> =
-                (0..n).map(|_| rng.next_below(n as u64) as usize).collect();
+        let n = split.train.len();
+        // Serial RNG phase: bootstrap resample indices (with replacement,
+        // same cardinality) and the per-member weight seed, in the exact
+        // order the serial loop consumed them.
+        let draws: Vec<(Vec<usize>, u64)> = (0..count)
+            .map(|_| {
+                let indices: Vec<usize> =
+                    (0..n).map(|_| rng.next_below(n as u64) as usize).collect();
+                (indices, rng.next_u64())
+            })
+            .collect();
+        let models = hetero_parallel::map_indexed(count, workers, |member| {
+            let (indices, weight_seed) = &draws[member];
             let member_split = Split {
-                train: split.train.subset(&indices),
+                train: split.train.subset(indices),
                 validation: split.validation.clone(),
                 test: split.test.clone(),
             };
-            // Random, per-member weight initialisation.
-            let network = Network::new(dims, activation, rng.next_u64());
-            let member_config = TrainConfig { seed: config.seed ^ (member as u64), ..config };
-            models.push(Trainer::new(member_config).fit_split(network, &member_split));
-        }
+            let network = Network::new(dims, activation, *weight_seed);
+            let member_config = TrainConfig {
+                seed: config.seed ^ (member as u64),
+                ..config
+            };
+            Trainer::new(member_config).fit_split(network, &member_split)
+        });
         Bagging { models }
     }
 
@@ -121,12 +163,22 @@ mod tests {
     }
 
     fn quick_config() -> TrainConfig {
-        TrainConfig { epochs: 120, patience: 30, ..TrainConfig::default() }
+        TrainConfig {
+            epochs: 120,
+            patience: 30,
+            ..TrainConfig::default()
+        }
     }
 
     #[test]
     fn ensemble_members_differ() {
-        let ensemble = Bagging::train(&noisy_dataset(), 4, &[1, 5, 1], Activation::Tanh, quick_config());
+        let ensemble = Bagging::train(
+            &noisy_dataset(),
+            4,
+            &[1, 5, 1],
+            Activation::Tanh,
+            quick_config(),
+        );
         let preds = ensemble.member_predictions(&[0.4]);
         let first = preds[0][0];
         assert!(
@@ -137,10 +189,20 @@ mod tests {
 
     #[test]
     fn prediction_is_the_member_mean() {
-        let ensemble = Bagging::train(&noisy_dataset(), 3, &[1, 4, 1], Activation::Tanh, quick_config());
+        let ensemble = Bagging::train(
+            &noisy_dataset(),
+            3,
+            &[1, 4, 1],
+            Activation::Tanh,
+            quick_config(),
+        );
         let mean = ensemble.predict(&[0.6])[0];
-        let manual: f64 =
-            ensemble.member_predictions(&[0.6]).iter().map(|p| p[0]).sum::<f64>() / 3.0;
+        let manual: f64 = ensemble
+            .member_predictions(&[0.6])
+            .iter()
+            .map(|p| p[0])
+            .sum::<f64>()
+            / 3.0;
         assert!((mean - manual).abs() < 1e-12);
     }
 
@@ -163,7 +225,10 @@ mod tests {
             .models()
             .iter()
             .map(|m| {
-                probe.iter().map(|&x| (m.predict(&[x])[0] - target(x)).powi(2)).sum::<f64>()
+                probe
+                    .iter()
+                    .map(|&x| (m.predict(&[x])[0] - target(x)).powi(2))
+                    .sum::<f64>()
             })
             .sum::<f64>()
             / ensemble.len() as f64;
@@ -176,14 +241,63 @@ mod tests {
 
     #[test]
     fn training_is_deterministic() {
-        let a = Bagging::train(&noisy_dataset(), 3, &[1, 4, 1], Activation::Tanh, quick_config());
-        let b = Bagging::train(&noisy_dataset(), 3, &[1, 4, 1], Activation::Tanh, quick_config());
+        let a = Bagging::train(
+            &noisy_dataset(),
+            3,
+            &[1, 4, 1],
+            Activation::Tanh,
+            quick_config(),
+        );
+        let b = Bagging::train(
+            &noisy_dataset(),
+            3,
+            &[1, 4, 1],
+            Activation::Tanh,
+            quick_config(),
+        );
         assert_eq!(a.predict(&[0.42]), b.predict(&[0.42]));
+    }
+
+    #[test]
+    fn threaded_training_is_bit_identical_to_one_worker() {
+        let dataset = noisy_dataset();
+        let one = Bagging::train_with_threads(
+            &dataset,
+            6,
+            &[1, 4, 1],
+            Activation::Tanh,
+            quick_config(),
+            1,
+        );
+        let four = Bagging::train_with_threads(
+            &dataset,
+            6,
+            &[1, 4, 1],
+            Activation::Tanh,
+            quick_config(),
+            4,
+        );
+        // The trained members themselves must be identical (weights and
+        // all), not merely the averaged predictions.
+        assert_eq!(one.models(), four.models());
+        for probe in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let (a, b) = (one.predict(&[probe]), four.predict(&[probe]));
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "probe {probe}");
+            }
+        }
     }
 
     #[test]
     #[should_panic(expected = "at least one member")]
     fn zero_members_panics() {
-        let _ = Bagging::train(&noisy_dataset(), 0, &[1, 2, 1], Activation::Tanh, quick_config());
+        let _ = Bagging::train(
+            &noisy_dataset(),
+            0,
+            &[1, 2, 1],
+            Activation::Tanh,
+            quick_config(),
+        );
     }
 }

@@ -119,8 +119,16 @@ impl Dataset {
         let test_idx = &order[n_train + n_val..];
         Split {
             train: self.subset(train_idx),
-            validation: if val_idx.is_empty() { self.subset(train_idx) } else { self.subset(val_idx) },
-            test: if test_idx.is_empty() { self.subset(train_idx) } else { self.subset(test_idx) },
+            validation: if val_idx.is_empty() {
+                self.subset(train_idx)
+            } else {
+                self.subset(val_idx)
+            },
+            test: if test_idx.is_empty() {
+                self.subset(train_idx)
+            } else {
+                self.subset(test_idx)
+            },
         }
     }
 }
@@ -341,7 +349,11 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let text = DatasetError::LengthMismatch { inputs: 2, targets: 3 }.to_string();
+        let text = DatasetError::LengthMismatch {
+            inputs: 2,
+            targets: 3,
+        }
+        .to_string();
         assert!(text.contains('2') && text.contains('3'));
     }
 }

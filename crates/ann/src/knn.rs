@@ -43,7 +43,11 @@ impl KnnRegressor {
             .map(|(x, t)| (standardizer.transform(x), t.clone()))
             .collect::<Vec<_>>();
         let k = k.min(samples.len());
-        KnnRegressor { standardizer, samples, k }
+        KnnRegressor {
+            standardizer,
+            samples,
+            k,
+        }
     }
 
     /// The effective neighbour count.
@@ -87,8 +91,10 @@ mod tests {
 
     fn grid() -> Dataset {
         let inputs: Vec<Vec<f64>> = (0..12).map(|i| vec![f64::from(i)]).collect();
-        let targets: Vec<Vec<f64>> =
-            inputs.iter().map(|x| vec![if x[0] < 6.0 { 2.0 } else { 8.0 }]).collect();
+        let targets: Vec<Vec<f64>> = inputs
+            .iter()
+            .map(|x| vec![if x[0] < 6.0 { 2.0 } else { 8.0 }])
+            .collect();
         Dataset::new(inputs, targets).unwrap()
     }
 
@@ -118,8 +124,12 @@ mod tests {
     fn standardisation_balances_feature_scales() {
         // Feature 1 is numerically huge; without standardisation it would
         // drown feature 0, which carries the label.
-        let inputs =
-            vec![vec![0.0, 1e9], vec![1.0, 1e9 + 1.0], vec![0.1, 1e9 + 2.0], vec![0.9, 1e9 + 3.0]];
+        let inputs = vec![
+            vec![0.0, 1e9],
+            vec![1.0, 1e9 + 1.0],
+            vec![0.1, 1e9 + 2.0],
+            vec![0.9, 1e9 + 3.0],
+        ];
         let targets = vec![vec![0.0], vec![1.0], vec![0.0], vec![1.0]];
         let knn = KnnRegressor::fit(&Dataset::new(inputs, targets).unwrap(), 1);
         assert_eq!(knn.predict(&[0.05, 1e9 + 3.0])[0], 0.0);

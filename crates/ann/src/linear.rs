@@ -75,7 +75,10 @@ impl RidgeRegression {
             }
             weights.push(solve(gram.clone(), rhs));
         }
-        RidgeRegression { standardizer, weights }
+        RidgeRegression {
+            standardizer,
+            weights,
+        }
     }
 
     /// Predict the target vector for a raw input row.
@@ -101,7 +104,12 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
     for col in 0..n {
         // Pivot.
         let pivot = (col..n)
-            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite"))
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("finite")
+            })
             .expect("non-empty");
         a.swap(col, pivot);
         b.swap(col, pivot);
@@ -140,10 +148,13 @@ mod tests {
 
     #[test]
     fn recovers_an_exact_linear_map() {
-        let inputs: Vec<Vec<f64>> =
-            (0..30).map(|i| vec![f64::from(i), f64::from(i * i % 7)]).collect();
-        let targets: Vec<Vec<f64>> =
-            inputs.iter().map(|x| vec![2.0 * x[0] - 5.0 * x[1] + 3.0]).collect();
+        let inputs: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![f64::from(i), f64::from(i * i % 7)])
+            .collect();
+        let targets: Vec<Vec<f64>> = inputs
+            .iter()
+            .map(|x| vec![2.0 * x[0] - 5.0 * x[1] + 3.0])
+            .collect();
         let model = RidgeRegression::fit(&Dataset::new(inputs, targets).unwrap(), 0.0);
         let y = model.predict(&[4.0, 2.0])[0];
         assert!((y - (8.0 - 10.0 + 3.0)).abs() < 1e-6, "got {y}");
@@ -166,7 +177,10 @@ mod tests {
         let dataset = Dataset::new(inputs, targets).unwrap();
         let loose = RidgeRegression::fit(&dataset, 0.0).predict(&[30.0])[0];
         let tight = RidgeRegression::fit(&dataset, 1e4).predict(&[30.0])[0];
-        assert!(tight.abs() < loose.abs(), "heavy ridge must shrink extrapolation");
+        assert!(
+            tight.abs() < loose.abs(),
+            "heavy ridge must shrink extrapolation"
+        );
     }
 
     #[test]
@@ -182,8 +196,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "lambda")]
     fn negative_lambda_rejected() {
-        let dataset =
-            Dataset::new(vec![vec![1.0], vec![2.0]], vec![vec![1.0], vec![2.0]]).unwrap();
+        let dataset = Dataset::new(vec![vec![1.0], vec![2.0]], vec![vec![1.0], vec![2.0]]).unwrap();
         let _ = RidgeRegression::fit(&dataset, -1.0);
     }
 }

@@ -22,7 +22,9 @@ impl Dense {
     fn new(in_dim: usize, out_dim: usize, activation: Activation, rng: &mut SplitMix64) -> Self {
         // Xavier/Glorot uniform initialisation.
         let limit = (6.0 / (in_dim + out_dim) as f64).sqrt();
-        let weights = (0..in_dim * out_dim).map(|_| rng.next_symmetric(limit)).collect();
+        let weights = (0..in_dim * out_dim)
+            .map(|_| rng.next_symmetric(limit))
+            .collect();
         Dense {
             in_dim,
             out_dim,
@@ -90,8 +92,11 @@ impl Network {
             .windows(2)
             .enumerate()
             .map(|(i, pair)| {
-                let activation =
-                    if i == last { Activation::Identity } else { hidden_activation };
+                let activation = if i == last {
+                    Activation::Identity
+                } else {
+                    hidden_activation
+                };
                 Dense::new(pair[0], pair[1], activation, &mut rng)
             })
             .collect();
@@ -110,7 +115,10 @@ impl Network {
 
     /// Total trainable parameters (weights + biases).
     pub fn parameter_count(&self) -> usize {
-        self.layers.iter().map(|l| l.weights.len() + l.biases.len()).sum()
+        self.layers
+            .iter()
+            .map(|l| l.weights.len() + l.biases.len())
+            .sum()
     }
 
     /// Forward pass.
@@ -135,7 +143,10 @@ impl Network {
         for layer in &self.layers {
             let z = layer.pre_activation(&x);
             let out = z.iter().map(|&v| layer.activation.apply(v)).collect();
-            caches.push(LayerCache { input: x, pre_activation: z });
+            caches.push(LayerCache {
+                input: x,
+                pre_activation: z,
+            });
             x = out;
         }
         (caches, x)
@@ -144,7 +155,11 @@ impl Network {
     /// Half-MSE loss of one sample: `0.5 * |y - t|^2`.
     pub fn loss(&self, input: &[f64], target: &[f64]) -> f64 {
         let y = self.forward(input);
-        0.5 * y.iter().zip(target).map(|(a, b)| (a - b).powi(2)).sum::<f64>()
+        0.5 * y
+            .iter()
+            .zip(target)
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f64>()
     }
 
     /// Mean loss over a set of samples.
@@ -163,8 +178,12 @@ impl Network {
     /// Accumulate gradients for one sample into `grads`. Returns the loss.
     fn backward(&self, input: &[f64], target: &[f64], grads: &mut Gradients) -> f64 {
         let (caches, output) = self.forward_cached(input);
-        let loss =
-            0.5 * output.iter().zip(target).map(|(a, b)| (a - b).powi(2)).sum::<f64>();
+        let loss = 0.5
+            * output
+                .iter()
+                .zip(target)
+                .map(|(a, b)| (a - b).powi(2))
+                .sum::<f64>();
 
         // delta at output: (y - t) .* act'(z)
         let mut delta: Vec<f64> = output
@@ -217,7 +236,11 @@ impl Network {
         momentum: f64,
     ) -> f64 {
         assert!(!inputs.is_empty(), "empty batch");
-        assert_eq!(inputs.len(), targets.len(), "inputs/targets length mismatch");
+        assert_eq!(
+            inputs.len(),
+            targets.len(),
+            "inputs/targets length mismatch"
+        );
         let mut grads = Gradients::zeros(self);
         let mut total = 0.0;
         for (x, t) in inputs.iter().zip(targets) {
@@ -225,14 +248,20 @@ impl Network {
         }
         let scale = 1.0 / inputs.len() as f64;
         for (layer, grad) in self.layers.iter_mut().zip(&grads.layers) {
-            for ((w, v), &g) in
-                layer.weights.iter_mut().zip(&mut layer.weight_velocity).zip(&grad.weights)
+            for ((w, v), &g) in layer
+                .weights
+                .iter_mut()
+                .zip(&mut layer.weight_velocity)
+                .zip(&grad.weights)
             {
                 *v = momentum * *v - learning_rate * g * scale;
                 *w += *v;
             }
-            for ((b, v), &g) in
-                layer.biases.iter_mut().zip(&mut layer.bias_velocity).zip(&grad.biases)
+            for ((b, v), &g) in layer
+                .biases
+                .iter_mut()
+                .zip(&mut layer.bias_velocity)
+                .zip(&grad.biases)
             {
                 *v = momentum * *v - learning_rate * g * scale;
                 *b += *v;
@@ -361,7 +390,10 @@ mod tests {
             net.train_batch(&inputs, &targets, 0.5, 0.9);
         }
         let final_loss = net.mean_loss(&inputs, &targets);
-        assert!(final_loss < initial * 0.05, "loss {initial} -> {final_loss}");
+        assert!(
+            final_loss < initial * 0.05,
+            "loss {initial} -> {final_loss}"
+        );
         // And actually solves XOR.
         for (x, t) in inputs.iter().zip(&targets) {
             let y = net.forward(x)[0];

@@ -67,7 +67,9 @@ impl TrainedModel {
     ///
     /// Panics if `input` has the wrong dimensionality.
     pub fn predict(&self, input: &[f64]) -> Vec<f64> {
-        let z = self.network.forward(&self.input_standardizer.transform(input));
+        let z = self
+            .network
+            .forward(&self.input_standardizer.transform(input));
         self.target_standardizer.inverse_transform(&z)
     }
 
@@ -171,7 +173,12 @@ impl Trainer {
             network: best,
             input_standardizer,
             target_standardizer,
-            report: TrainReport { epochs_run, train_loss, validation_loss: best_val, test_loss },
+            report: TrainReport {
+                epochs_run,
+                train_loss,
+                validation_loss: best_val,
+                test_loss,
+            },
         }
     }
 }
@@ -182,10 +189,13 @@ mod tests {
     use crate::activation::Activation;
 
     fn linear_dataset(n: usize) -> Dataset {
-        let inputs: Vec<Vec<f64>> =
-            (0..n).map(|i| vec![i as f64 / n as f64, (n - i) as f64 / n as f64]).collect();
-        let targets: Vec<Vec<f64>> =
-            inputs.iter().map(|x| vec![3.0 * x[0] - 2.0 * x[1]]).collect();
+        let inputs: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![i as f64 / n as f64, (n - i) as f64 / n as f64])
+            .collect();
+        let targets: Vec<Vec<f64>> = inputs
+            .iter()
+            .map(|x| vec![3.0 * x[0] - 2.0 * x[1]])
+            .collect();
         Dataset::new(inputs, targets).unwrap()
     }
 
@@ -202,7 +212,11 @@ mod tests {
     #[test]
     fn early_stopping_halts_before_max_epochs() {
         let dataset = linear_dataset(60);
-        let config = TrainConfig { epochs: 100_000, patience: 10, ..TrainConfig::default() };
+        let config = TrainConfig {
+            epochs: 100_000,
+            patience: 10,
+            ..TrainConfig::default()
+        };
         let trained =
             Trainer::new(config).fit(Network::new(&[2, 4, 1], Activation::Tanh, 2), &dataset);
         assert!(trained.report().epochs_run < 100_000);
@@ -212,8 +226,12 @@ mod tests {
     fn training_is_deterministic() {
         let dataset = linear_dataset(50);
         let fit = |seed| {
-            Trainer::new(TrainConfig { seed, epochs: 50, ..TrainConfig::default() })
-                .fit(Network::new(&[2, 4, 1], Activation::Tanh, 3), &dataset)
+            Trainer::new(TrainConfig {
+                seed,
+                epochs: 50,
+                ..TrainConfig::default()
+            })
+            .fit(Network::new(&[2, 4, 1], Activation::Tanh, 3), &dataset)
         };
         let a = fit(5);
         let b = fit(5);
@@ -224,7 +242,11 @@ mod tests {
     #[test]
     fn patience_zero_disables_early_stopping() {
         let dataset = linear_dataset(30);
-        let config = TrainConfig { epochs: 37, patience: 0, ..TrainConfig::default() };
+        let config = TrainConfig {
+            epochs: 37,
+            patience: 0,
+            ..TrainConfig::default()
+        };
         let trained =
             Trainer::new(config).fit(Network::new(&[2, 3, 1], Activation::Tanh, 4), &dataset);
         assert_eq!(trained.report().epochs_run, 37);

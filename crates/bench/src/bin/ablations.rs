@@ -21,7 +21,9 @@
 
 use cache_sim::{Associativity, CacheConfig, CacheSizeKb, LineSize};
 use hetero_bench::{parse_plan_args, Testbed};
-use hetero_core::{BestCorePredictor, DecisionPolicy, PredictorConfig, ProposedSystem, SuiteOracle};
+use hetero_core::{
+    BestCorePredictor, DecisionPolicy, PredictorConfig, ProposedSystem, SuiteOracle,
+};
 use multicore_sim::Simulator;
 use workloads::BenchmarkId;
 
@@ -51,7 +53,12 @@ fn main() {
         )
         .with_decision_policy(policy);
         let metrics = Simulator::new(testbed.arch.num_cores()).run(&plan, &mut system);
-        results.push((name, metrics.energy.total(), metrics.total_cycles, metrics.stalls));
+        results.push((
+            name,
+            metrics.energy.total(),
+            metrics.total_cycles,
+            metrics.stalls,
+        ));
     }
     let evaluate_total = results[0].1;
     for (name, total, cycles, stalls) in &results {
@@ -73,11 +80,15 @@ fn main() {
     let line_first = heuristic_quality(&testbed.oracle, true);
     println!(
         "  assoc->line (paper): mean steps {:.2}, mean energy gap {:.3}%, worst gap {:.2}%",
-        assoc_first.0, assoc_first.1 * 100.0, assoc_first.2 * 100.0
+        assoc_first.0,
+        assoc_first.1 * 100.0,
+        assoc_first.2 * 100.0
     );
     println!(
         "  line->assoc        : mean steps {:.2}, mean energy gap {:.3}%, worst gap {:.2}%",
-        line_first.0, line_first.1 * 100.0, line_first.2 * 100.0
+        line_first.0,
+        line_first.1 * 100.0,
+        line_first.2 * 100.0
     );
 
     // ------------------------------------------------------------------
@@ -85,15 +96,21 @@ fn main() {
     // ------------------------------------------------------------------
     println!("\n[3] bagging ensemble size (leave-one-out mean energy degradation):");
     for members in [1usize, 5, 15, 30] {
-        let config = PredictorConfig { ensemble_size: members, ..PredictorConfig::paper() };
+        let config = PredictorConfig {
+            ensemble_size: members,
+            ..PredictorConfig::paper()
+        };
         let mut degradations = Vec::new();
         for benchmark in testbed.oracle.benchmarks() {
             let predictor =
                 BestCorePredictor::train_excluding(&testbed.oracle, &[benchmark], &config);
             let predicted = predictor.predict(&testbed.oracle.execution_statistics(benchmark));
             let best = testbed.oracle.best_config(benchmark).1.total_nj();
-            let achieved =
-                testbed.oracle.best_config_with_size(benchmark, predicted).1.total_nj();
+            let achieved = testbed
+                .oracle
+                .best_config_with_size(benchmark, predicted)
+                .1
+                .total_nj();
             degradations.push(achieved / best - 1.0);
         }
         let mean = degradations.iter().sum::<f64>() / degradations.len() as f64;
@@ -114,7 +131,11 @@ fn main() {
         (
             "bagged ANN (paper)",
             Box::new(|excluded: &[BenchmarkId]| {
-                BestCorePredictor::train_excluding(&testbed.oracle, excluded, &PredictorConfig::paper())
+                BestCorePredictor::train_excluding(
+                    &testbed.oracle,
+                    excluded,
+                    &PredictorConfig::paper(),
+                )
             }),
         ),
         (
@@ -151,8 +172,11 @@ fn main() {
             let predictor = train(&[benchmark]);
             let predicted = predictor.predict(&testbed.oracle.execution_statistics(benchmark));
             let best = testbed.oracle.best_config(benchmark).1.total_nj();
-            let achieved =
-                testbed.oracle.best_config_with_size(benchmark, predicted).1.total_nj();
+            let achieved = testbed
+                .oracle
+                .best_config_with_size(benchmark, predicted)
+                .1
+                .total_nj();
             loo.push(achieved / best - 1.0);
         }
         let mean = loo.iter().sum::<f64>() / loo.len() as f64;
@@ -202,7 +226,10 @@ fn explore_assoc_then_line(
     let mut best_e = energy(best);
     steps += 1;
     let mut assoc = Associativity::Direct;
-    while let Some(next) = assoc.next_larger().filter(|&a| a <= size.max_associativity()) {
+    while let Some(next) = assoc
+        .next_larger()
+        .filter(|&a| a <= size.max_associativity())
+    {
         let candidate = best.with_associativity(next).expect("validated");
         steps += 1;
         let e = energy(candidate);
@@ -252,7 +279,10 @@ fn explore_line_then_assoc(
         }
     }
     let mut assoc = Associativity::Direct;
-    while let Some(next) = assoc.next_larger().filter(|&a| a <= size.max_associativity()) {
+    while let Some(next) = assoc
+        .next_larger()
+        .filter(|&a| a <= size.max_associativity())
+    {
         let candidate = best.with_associativity(next).expect("validated");
         steps += 1;
         let e = energy(candidate);

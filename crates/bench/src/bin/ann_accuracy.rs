@@ -21,7 +21,10 @@ fn main() {
     println!("== Sec. IV.D: ANN best-cache-size prediction quality ==\n");
     let suite = Suite::eembc_like();
     let model = EnergyModel::default();
-    println!("characterising {} kernels x 18 configurations ...", suite.len());
+    println!(
+        "characterising {} kernels x 18 configurations ...",
+        suite.len()
+    );
     let oracle = SuiteOracle::build(&suite, &model);
     let config = PredictorConfig::paper();
     println!(
@@ -35,7 +38,12 @@ fn main() {
     for (kernel, benchmark) in suite.iter().zip(oracle.benchmarks()) {
         let loo = BestCorePredictor::train_excluding(&oracle, &[benchmark], &config);
         let stats = oracle.execution_statistics(benchmark);
-        rows.push((kernel.name().to_owned(), benchmark, deployed.predict(&stats), loo.predict(&stats)));
+        rows.push((
+            kernel.name().to_owned(),
+            benchmark,
+            deployed.predict(&stats),
+            loo.predict(&stats),
+        ));
     }
 
     println!(
@@ -47,9 +55,8 @@ fn main() {
     for (name, benchmark, deployed_size, loo_size) in rows {
         let actual = oracle.best_size(benchmark);
         let best = oracle.best_config(benchmark).1.total_nj();
-        let degradation = |size| {
-            oracle.best_config_with_size(benchmark, size).1.total_nj() / best - 1.0
-        };
+        let degradation =
+            |size| oracle.best_config_with_size(benchmark, size).1.total_nj() / best - 1.0;
         let d_dep = degradation(deployed_size);
         let d_loo = degradation(loo_size);
         deployed_deg.push(d_dep);

@@ -29,8 +29,10 @@ fn main() {
     println!();
     print_normalized_table(&comparison, "base");
 
-    println!("\npaper reports (approx.): optimal 0.97/0.65/0.94, \
-              energy-centric 1.06/0.42/1.02, proposed 0.73/0.45/0.71");
+    println!(
+        "\npaper reports (approx.): optimal 0.97/0.65/0.94, \
+              energy-centric 1.06/0.42/1.02, proposed 0.73/0.45/0.71"
+    );
 
     match ExperimentRecord::from_comparison("figure6", jobs, horizon, seed, &comparison)
         .write_default()

@@ -35,7 +35,10 @@ fn main() {
     // --- profiling overhead ---------------------------------------------
     let fraction = stats.profiling_energy_nj / metrics.energy.total();
     println!("profiling:");
-    println!("  {} profiling executions (one per benchmark)", stats.profiling_runs);
+    println!(
+        "  {} profiling executions (one per benchmark)",
+        stats.profiling_runs
+    );
     println!(
         "  profiling energy {:.0} nJ of {:.0} nJ total = {:.3}%  (paper: < 0.5%)",
         stats.profiling_energy_nj,
@@ -52,7 +55,11 @@ fn main() {
     let mut min_total = usize::MAX;
     let mut max_total = 0usize;
     for (benchmark, entry) in proposed.table().iter() {
-        let name = testbed.suite.get(benchmark).map_or("?", |k| k.name()).to_owned();
+        let name = testbed
+            .suite
+            .get(benchmark)
+            .map_or("?", |k| k.name())
+            .to_owned();
         let counts: Vec<usize> = cache_sim::CacheSizeKb::ALL
             .iter()
             .map(|&s| entry.tuner(s).map_or(0, |t| t.explored_count()))

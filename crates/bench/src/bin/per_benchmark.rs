@@ -27,7 +27,9 @@ fn main() {
     for (kernel, benchmark) in testbed.suite.iter().zip(oracle.benchmarks()) {
         let (best_config, best_cost) = oracle.best_config(benchmark);
         let base_cost = oracle.cost(benchmark, BASE_CONFIG);
-        let predicted = testbed.predictor.predict(&oracle.execution_statistics(benchmark));
+        let predicted = testbed
+            .predictor
+            .predict(&oracle.execution_statistics(benchmark));
         let headroom = 1.0 - best_cost.total_nj() / base_cost.total_nj();
         headrooms.push(headroom);
 
@@ -48,7 +50,11 @@ fn main() {
             kernel.name(),
             best_config.to_string(),
             predicted.to_string(),
-            if predicted == best_config.size() { "yes" } else { "NO" },
+            if predicted == best_config.size() {
+                "yes"
+            } else {
+                "NO"
+            },
             base_cost.total_nj(),
             best_cost.total_nj(),
             headroom * 100.0,
@@ -77,7 +83,9 @@ fn main() {
     // Distribution of best sizes — the heterogeneity the scheduler exploits.
     let mut by_size = std::collections::BTreeMap::new();
     for benchmark in oracle.benchmarks() {
-        *by_size.entry(oracle.best_size(benchmark).kilobytes()).or_insert(0u32) += 1;
+        *by_size
+            .entry(oracle.best_size(benchmark).kilobytes())
+            .or_insert(0u32) += 1;
     }
     println!("best-size distribution (KB -> kernels): {by_size:?}");
 }

@@ -49,7 +49,12 @@ fn main() {
                     .expect("best in space");
                 let base_cost = model.execution(BASE_CONFIG, &base.1, kernel.run().cpu_cycles);
                 let best_cost = model.execution(cfg, &best.1, kernel.run().cpu_cycles);
-                (cfg, best_cost.total_nj(), base_cost.total_nj(), base.1.misses())
+                (
+                    cfg,
+                    best_cost.total_nj(),
+                    base_cost.total_nj(),
+                    base.1.misses(),
+                )
             };
             // Miss delta vs LRU at the base configuration.
             let lru_results = sweep_with_policy(&kernel.run().trace, ReplacementPolicy::Lru);
@@ -59,8 +64,7 @@ fn main() {
                 .expect("base in space")
                 .1
                 .misses();
-            miss_deltas
-                .push((misses as f64 - lru_base as f64) / (lru_base.max(1) as f64));
+            miss_deltas.push((misses as f64 - lru_base as f64) / (lru_base.max(1) as f64));
             headrooms.push(1.0 - best_nj / base_nj);
             if best_cfg == *lru_cfg {
                 same_best += 1;
@@ -97,7 +101,10 @@ fn best_config(
     kernel: &workloads::Kernel,
     policy: ReplacementPolicy,
     model: &EnergyModel,
-) -> (cache_sim::CacheConfig, Vec<(cache_sim::CacheConfig, cache_sim::CacheStats)>) {
+) -> (
+    cache_sim::CacheConfig,
+    Vec<(cache_sim::CacheConfig, cache_sim::CacheStats)>,
+) {
     let run = kernel.run();
     let results = sweep_with_policy(&run.trace, policy);
     let best = results

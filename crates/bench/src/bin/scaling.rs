@@ -21,8 +21,14 @@ use workloads::{ArrivalPlan, Suite};
 fn architectures() -> Vec<(&'static str, Architecture)> {
     use CacheSizeKb::{K2, K4, K8};
     vec![
-        ("2-core (2/8)", Architecture::new(vec![K2, K8], CoreId(1), None)),
-        ("3-core (2/4/8)", Architecture::new(vec![K2, K4, K8], CoreId(2), None)),
+        (
+            "2-core (2/8)",
+            Architecture::new(vec![K2, K8], CoreId(1), None),
+        ),
+        (
+            "3-core (2/4/8)",
+            Architecture::new(vec![K2, K4, K8], CoreId(2), None),
+        ),
         ("4-core (paper)", Architecture::paper_quad()),
         (
             "6-core (2x2/2x4/2x8)",
@@ -46,7 +52,10 @@ fn main() {
 
     let suite = Suite::eembc_like();
     let model = EnergyModel::default();
-    println!("characterising {} kernels x 18 configurations ...", suite.len());
+    println!(
+        "characterising {} kernels x 18 configurations ...",
+        suite.len()
+    );
     let oracle = SuiteOracle::build(&suite, &model);
     println!("training the bagged ANN best-core predictor ...\n");
     let predictor = BestCorePredictor::train(&oracle, &PredictorConfig::paper());
@@ -65,8 +74,7 @@ fn main() {
         let mut optimal = OptimalSystem::new(&arch, &oracle, model);
         let optimal_metrics = simulator.run(&plan, &mut optimal);
 
-        let mut energy_centric =
-            EnergyCentricSystem::new(&arch, &oracle, model, predictor.clone());
+        let mut energy_centric = EnergyCentricSystem::new(&arch, &oracle, model, predictor.clone());
         let energy_centric_metrics = simulator.run(&plan, &mut energy_centric);
 
         let mut proposed = ProposedSystem::with_model(&arch, &oracle, model, predictor.clone());

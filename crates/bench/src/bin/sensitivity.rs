@@ -33,13 +33,34 @@ struct Row {
 fn rows() -> Vec<Row> {
     let base = EnergyParams::new();
     vec![
-        Row { label: "paper defaults (40x, 50%, 10%)".into(), params: base },
-        Row { label: "miss latency 20x".into(), params: base.miss_latency_cycles(20) },
-        Row { label: "miss latency 80x".into(), params: base.miss_latency_cycles(80) },
-        Row { label: "bandwidth 25% of penalty".into(), params: base.bandwidth_fraction(0.25) },
-        Row { label: "bandwidth 100% of penalty".into(), params: base.bandwidth_fraction(1.0) },
-        Row { label: "leakage fraction 5%".into(), params: base.static_fraction(0.05) },
-        Row { label: "leakage fraction 20%".into(), params: base.static_fraction(0.20) },
+        Row {
+            label: "paper defaults (40x, 50%, 10%)".into(),
+            params: base,
+        },
+        Row {
+            label: "miss latency 20x".into(),
+            params: base.miss_latency_cycles(20),
+        },
+        Row {
+            label: "miss latency 80x".into(),
+            params: base.miss_latency_cycles(80),
+        },
+        Row {
+            label: "bandwidth 25% of penalty".into(),
+            params: base.bandwidth_fraction(0.25),
+        },
+        Row {
+            label: "bandwidth 100% of penalty".into(),
+            params: base.bandwidth_fraction(1.0),
+        },
+        Row {
+            label: "leakage fraction 5%".into(),
+            params: base.static_fraction(0.05),
+        },
+        Row {
+            label: "leakage fraction 20%".into(),
+            params: base.static_fraction(0.20),
+        },
     ]
 }
 

@@ -1,0 +1,165 @@
+//! Minimal JSON document builder.
+//!
+//! The experiment binaries persist machine-readable artifacts under
+//! `results/`; the build environment is offline, so instead of serde this
+//! module hand-rolls the tiny subset of JSON emission those artifacts need
+//! (objects, arrays, strings, numbers). Key order is preserved, output is
+//! deterministic, and non-finite floats serialise as `null`.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (u64 precision is preserved exactly).
+    UInt(u64),
+    /// A float; non-finite values render as `null`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An ordered array.
+    Array(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Build an object from `(key, value)` pairs.
+    pub fn object<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Build a string value.
+    pub fn str(text: impl Into<String>) -> Json {
+        Json::Str(text.into())
+    }
+
+    /// Render with two-space indentation and a trailing newline.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(value) => out.push_str(if *value { "true" } else { "false" }),
+            Json::UInt(value) => {
+                let _ = write!(out, "{value}");
+            }
+            Json::Num(value) => {
+                if value.is_finite() {
+                    let _ = write!(out, "{value}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(text) => escape_into(text, out),
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent + 1);
+                    item.render(out, indent + 1);
+                }
+                newline_indent(out, indent);
+                out.push(']');
+            }
+            Json::Object(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent + 1);
+                    escape_into(key, out);
+                    out.push_str(": ");
+                    value.render(out, indent + 1);
+                }
+                newline_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn escape_into(text: &str, out: &mut String) {
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_documents() {
+        let doc = Json::object([
+            ("name", Json::str("pipeline")),
+            ("jobs", Json::UInt(5000)),
+            ("speedup", Json::Num(4.25)),
+            ("flags", Json::Array(vec![Json::Bool(true), Json::Null])),
+            ("empty", Json::Object(vec![])),
+        ]);
+        let text = doc.to_pretty();
+        assert!(text.contains("\"name\": \"pipeline\""), "{text}");
+        assert!(text.contains("\"jobs\": 5000"), "{text}");
+        assert!(text.contains("\"speedup\": 4.25"), "{text}");
+        assert!(text.contains("true"), "{text}");
+        assert!(text.ends_with("}\n"), "{text}");
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let doc = Json::str("a\"b\\c\nd");
+        assert_eq!(doc.to_pretty(), "\"a\\\"b\\\\c\\nd\"\n");
+    }
+
+    #[test]
+    fn u64_precision_is_exact() {
+        let big = u64::MAX - 1;
+        assert_eq!(Json::UInt(big).to_pretty().trim(), format!("{big}"));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::Num(f64::NAN).to_pretty().trim(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_pretty().trim(), "null");
+    }
+}

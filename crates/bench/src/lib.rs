@@ -6,6 +6,8 @@
 //! The experiment binaries (`figure6`, `figure7`, `ann_accuracy`,
 //! `overheads`, `ablations`, `table1`) are thin wrappers over this crate.
 
+pub mod json;
+pub mod perf;
 pub mod report;
 
 use energy_model::{EnergyBreakdown, EnergyModel};
@@ -51,7 +53,13 @@ impl Testbed {
         let oracle = SuiteOracle::build(&suite, &model);
         let arch = Architecture::paper_quad();
         let predictor = BestCorePredictor::train(&oracle, &predictor_config);
-        Testbed { suite, model, oracle, arch, predictor }
+        Testbed {
+            suite,
+            model,
+            oracle,
+            arch,
+            predictor,
+        }
     }
 
     /// The paper's arrival workload: `jobs` uniform arrivals over
@@ -61,34 +69,75 @@ impl Testbed {
     }
 
     /// Run all four systems on one plan.
+    ///
+    /// The four simulations are independent (each builds its own scheduler
+    /// state over shared read-only inputs), so they fan out across worker
+    /// threads (`HETERO_THREADS` governs the count) and merge back in the
+    /// paper's presentation order — the outcome is identical at any worker
+    /// count; see [`run_all_with_threads`](Self::run_all_with_threads).
     pub fn run_all(&self, plan: &ArrivalPlan) -> Comparison {
-        let simulator = Simulator::new(self.arch.num_cores());
+        self.run_all_with_threads(plan, hetero_parallel::worker_count())
+    }
 
-        let mut base = BaseSystem::new(&self.oracle, self.model, self.arch.num_cores());
-        let base_metrics = simulator.run(plan, &mut base);
-
-        let mut optimal = OptimalSystem::new(&self.arch, &self.oracle, self.model);
-        let optimal_metrics = simulator.run(plan, &mut optimal);
-        let optimal_stats = optimal.stats();
-
-        let mut energy_centric =
-            EnergyCentricSystem::new(&self.arch, &self.oracle, self.model, self.predictor.clone());
-        let energy_centric_metrics = simulator.run(plan, &mut energy_centric);
-        let energy_centric_stats = energy_centric.stats();
-
-        let mut proposed =
-            ProposedSystem::with_model(&self.arch, &self.oracle, self.model, self.predictor.clone());
-        let proposed_metrics = simulator.run(plan, &mut proposed);
-        let proposed_stats = proposed.stats();
-
+    /// [`run_all`](Self::run_all) with an explicit worker count.
+    /// `workers = 1` runs the four systems sequentially on the caller in
+    /// the legacy order (base, optimal, energy-centric, proposed).
+    pub fn run_all_with_threads(&self, plan: &ArrivalPlan, workers: usize) -> Comparison {
+        let mut runs = hetero_parallel::map_indexed(4, workers, |system| {
+            let simulator = Simulator::new(self.arch.num_cores());
+            match system {
+                0 => {
+                    let mut base = BaseSystem::new(&self.oracle, self.model, self.arch.num_cores());
+                    SystemRun {
+                        metrics: simulator.run(plan, &mut base),
+                        stats: SystemStats::default(),
+                    }
+                }
+                1 => {
+                    let mut optimal = OptimalSystem::new(&self.arch, &self.oracle, self.model);
+                    let metrics = simulator.run(plan, &mut optimal);
+                    SystemRun {
+                        metrics,
+                        stats: optimal.stats(),
+                    }
+                }
+                2 => {
+                    let mut energy_centric = EnergyCentricSystem::new(
+                        &self.arch,
+                        &self.oracle,
+                        self.model,
+                        self.predictor.clone(),
+                    );
+                    let metrics = simulator.run(plan, &mut energy_centric);
+                    SystemRun {
+                        metrics,
+                        stats: energy_centric.stats(),
+                    }
+                }
+                _ => {
+                    let mut proposed = ProposedSystem::with_model(
+                        &self.arch,
+                        &self.oracle,
+                        self.model,
+                        self.predictor.clone(),
+                    );
+                    let metrics = simulator.run(plan, &mut proposed);
+                    SystemRun {
+                        metrics,
+                        stats: proposed.stats(),
+                    }
+                }
+            }
+        });
+        let proposed = runs.pop().expect("four runs");
+        let energy_centric = runs.pop().expect("four runs");
+        let optimal = runs.pop().expect("four runs");
+        let base = runs.pop().expect("four runs");
         Comparison {
-            base: SystemRun { metrics: base_metrics, stats: SystemStats::default() },
-            optimal: SystemRun { metrics: optimal_metrics, stats: optimal_stats },
-            energy_centric: SystemRun {
-                metrics: energy_centric_metrics,
-                stats: energy_centric_stats,
-            },
-            proposed: SystemRun { metrics: proposed_metrics, stats: proposed_stats },
+            base,
+            optimal,
+            energy_centric,
+            proposed,
         }
     }
 }
@@ -209,9 +258,18 @@ pub const PAPER_SEED: u64 = 20190325; // DATE 2019 conference date
 /// Parse `jobs horizon seed` from argv with defaults.
 pub fn parse_plan_args() -> (usize, u64, u64) {
     let mut args = std::env::args().skip(1);
-    let jobs = args.next().and_then(|a| a.parse().ok()).unwrap_or(PAPER_JOBS);
-    let horizon = args.next().and_then(|a| a.parse().ok()).unwrap_or(PAPER_HORIZON);
-    let seed = args.next().and_then(|a| a.parse().ok()).unwrap_or(PAPER_SEED);
+    let jobs = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(PAPER_JOBS);
+    let horizon = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(PAPER_HORIZON);
+    let seed = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(PAPER_SEED);
     (jobs, horizon, seed)
 }
 
@@ -232,18 +290,67 @@ mod tests {
 
     #[test]
     fn proposed_beats_base_on_the_standard_shape() {
+        // End-to-end smoke test of the fused characterisation pipeline:
+        // the testbed's oracle and predictor were built through the fused
+        // sweep and threaded fan-out, and the paper's headline ordering
+        // must survive at any worker count.
         let testbed = Testbed::small();
         let plan = testbed.plan(300, 50_000_000, 2);
-        let comparison = testbed.run_all(&plan);
-        assert!(
-            comparison.proposed.metrics.energy.total() < comparison.base.metrics.energy.total()
-        );
+        for workers in [1, 4] {
+            let comparison = testbed.run_all_with_threads(&plan, workers);
+            assert!(
+                comparison.proposed.metrics.energy.total() < comparison.base.metrics.energy.total(),
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn threaded_run_all_is_bit_identical_to_one_worker() {
+        let testbed = Testbed::small();
+        let plan = testbed.plan(150, 30_000_000, 7);
+        let one = testbed.run_all_with_threads(&plan, 1);
+        let four = testbed.run_all_with_threads(&plan, 4);
+        for ((name, a), (_, b)) in one.iter().zip(four.iter()) {
+            assert_eq!(a.metrics.total_cycles, b.metrics.total_cycles, "{name}");
+            assert_eq!(a.metrics.jobs_completed, b.metrics.jobs_completed, "{name}");
+            assert_eq!(a.metrics.busy_cycles, b.metrics.busy_cycles, "{name}");
+            assert_eq!(a.metrics.stalls, b.metrics.stalls, "{name}");
+            for (x, y) in [
+                (a.metrics.energy.dynamic_nj, b.metrics.energy.dynamic_nj),
+                (a.metrics.energy.static_nj, b.metrics.energy.static_nj),
+                (a.metrics.energy.idle_nj, b.metrics.energy.idle_nj),
+                (a.stats.profiling_energy_nj, b.stats.profiling_energy_nj),
+            ] {
+                assert_eq!(x.to_bits(), y.to_bits(), "{name}: energy bits");
+            }
+            assert_eq!(a.stats.profiling_runs, b.stats.profiling_runs, "{name}");
+            assert_eq!(a.stats.tuning_runs, b.stats.tuning_runs, "{name}");
+            assert_eq!(
+                a.stats.decisions_evaluated, b.stats.decisions_evaluated,
+                "{name}"
+            );
+            assert_eq!(
+                a.stats.decisions_ran_non_best, b.stats.decisions_ran_non_best,
+                "{name}"
+            );
+        }
     }
 
     #[test]
     fn energy_row_normalisation_is_component_wise() {
-        let row = EnergyRow { idle_nj: 2.0, dynamic_nj: 4.0, static_nj: 1.0, total_nj: 7.0 };
-        let baseline = EnergyRow { idle_nj: 4.0, dynamic_nj: 2.0, static_nj: 1.0, total_nj: 7.0 };
+        let row = EnergyRow {
+            idle_nj: 2.0,
+            dynamic_nj: 4.0,
+            static_nj: 1.0,
+            total_nj: 7.0,
+        };
+        let baseline = EnergyRow {
+            idle_nj: 4.0,
+            dynamic_nj: 2.0,
+            static_nj: 1.0,
+            total_nj: 7.0,
+        };
         assert_eq!(row.normalized_to(&baseline), [0.5, 2.0, 1.0]);
     }
 }

@@ -1,0 +1,150 @@
+//! Wall-clock measurement helpers shared by the `cargo bench` harnesses
+//! and the `perf_pipeline` regression-guard binary.
+//!
+//! The real criterion crate lives behind the network-locked registry, so
+//! the bench targets are plain `main()`s built on these std-only probes:
+//! warm-up, repeated timed runs, and `std::hint::black_box` to keep the
+//! optimiser honest.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One measured quantity.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// What was measured.
+    pub label: String,
+    /// Timed iterations (after one warm-up iteration).
+    pub iters: u32,
+    /// Mean wall-clock per iteration in nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest iteration in nanoseconds.
+    pub min_ns: f64,
+}
+
+impl Sample {
+    /// Mean wall-clock per iteration in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        self.mean_ns / 1e6
+    }
+}
+
+/// Run `f` once (result observed) and return the elapsed wall-clock.
+pub fn time_once<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let result = black_box(f());
+    (result, start.elapsed())
+}
+
+/// Measure `f` over `iters` timed iterations after one warm-up iteration.
+///
+/// # Panics
+///
+/// Panics if `iters == 0`.
+pub fn bench<R>(label: &str, iters: u32, mut f: impl FnMut() -> R) -> Sample {
+    assert!(iters > 0, "need at least one iteration");
+    black_box(f()); // warm-up
+    let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
+    for _ in 0..iters {
+        let start = Instant::now();
+        black_box(f());
+        let elapsed = start.elapsed();
+        total += elapsed;
+        min = min.min(elapsed);
+    }
+    Sample {
+        label: label.to_owned(),
+        iters,
+        mean_ns: total.as_nanos() as f64 / f64::from(iters),
+        min_ns: min.as_nanos() as f64,
+    }
+}
+
+/// Measure two alternatives over interleaved iterations (`a`, `b`, `a`,
+/// `b`, …) after one warm-up call of each.
+///
+/// A ratio of two [`bench`] results is only as stable as the host: when
+/// its effective speed drifts (frequency scaling, steal time on shared
+/// machines), the phase measured second sees a different regime and the
+/// ratio absorbs the difference. Pairing exposes both alternatives to
+/// the same regime in every round, so `min`/`min` and `mean`/`mean`
+/// ratios cancel the drift.
+///
+/// # Panics
+///
+/// Panics if `iters == 0`.
+pub fn bench_paired<RA, RB>(
+    label_a: &str,
+    mut a: impl FnMut() -> RA,
+    label_b: &str,
+    mut b: impl FnMut() -> RB,
+    iters: u32,
+) -> (Sample, Sample) {
+    assert!(iters > 0, "need at least one iteration");
+    black_box(a()); // warm-up
+    black_box(b());
+    let mut totals = [Duration::ZERO; 2];
+    let mut mins = [Duration::MAX; 2];
+    for _ in 0..iters {
+        let start = Instant::now();
+        black_box(a());
+        let elapsed = start.elapsed();
+        totals[0] += elapsed;
+        mins[0] = mins[0].min(elapsed);
+
+        let start = Instant::now();
+        black_box(b());
+        let elapsed = start.elapsed();
+        totals[1] += elapsed;
+        mins[1] = mins[1].min(elapsed);
+    }
+    let sample = |label: &str, total: Duration, min: Duration| Sample {
+        label: label.to_owned(),
+        iters,
+        mean_ns: total.as_nanos() as f64 / f64::from(iters),
+        min_ns: min.as_nanos() as f64,
+    };
+    (
+        sample(label_a, totals[0], mins[0]),
+        sample(label_b, totals[1], mins[1]),
+    )
+}
+
+/// Measure and print one line in a stable `label  mean  min` format.
+pub fn bench_report<R>(label: &str, iters: u32, f: impl FnMut() -> R) -> Sample {
+    let sample = bench(label, iters, f);
+    println!(
+        "{:<44} {:>12.3} ms/iter   (min {:>10.3} ms, {} iters)",
+        sample.label,
+        sample.mean_ns / 1e6,
+        sample.min_ns / 1e6,
+        sample.iters
+    );
+    sample
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_counts_iterations_and_orders_stats() {
+        let mut calls = 0u32;
+        let sample = bench("probe", 5, || {
+            calls += 1;
+            std::thread::sleep(Duration::from_micros(50));
+        });
+        assert_eq!(calls, 6, "warm-up plus timed iterations");
+        assert_eq!(sample.iters, 5);
+        assert!(sample.min_ns <= sample.mean_ns);
+        assert!(sample.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn time_once_returns_the_result() {
+        let (value, elapsed) = time_once(|| 6 * 7);
+        assert_eq!(value, 42);
+        assert!(elapsed.as_nanos() > 0);
+    }
+}

@@ -2,14 +2,16 @@
 //!
 //! Every experiment binary can persist its runs as JSON under `results/`,
 //! so downstream tooling (plots, regression checks across commits) never
-//! has to scrape stdout.
+//! has to scrape stdout. Serialisation is hand-rolled through
+//! [`Json`](crate::json::Json) because the build environment is offline
+//! (no serde).
 
+use crate::json::Json;
 use crate::{Comparison, SystemRun};
-use serde::Serialize;
 use std::path::Path;
 
 /// Serializable mirror of one system's outcome.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SystemRecord {
     /// System name (`base`, `optimal`, `energy-centric`, `proposed`).
     pub system: String,
@@ -60,10 +62,32 @@ impl SystemRecord {
             decisions_ran_non_best: run.stats.decisions_ran_non_best,
         }
     }
+
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("system", Json::str(&self.system)),
+            ("idle_nj", Json::Num(self.idle_nj)),
+            ("dynamic_nj", Json::Num(self.dynamic_nj)),
+            ("static_nj", Json::Num(self.static_nj)),
+            ("total_nj", Json::Num(self.total_nj)),
+            ("total_cycles", Json::UInt(self.total_cycles)),
+            ("work_cycles", Json::UInt(self.work_cycles)),
+            ("mean_turnaround", Json::Num(self.mean_turnaround)),
+            ("stalls", Json::UInt(self.stalls)),
+            ("profiling_runs", Json::UInt(self.profiling_runs)),
+            ("profiling_energy_nj", Json::Num(self.profiling_energy_nj)),
+            ("tuning_runs", Json::UInt(self.tuning_runs)),
+            ("decisions_evaluated", Json::UInt(self.decisions_evaluated)),
+            (
+                "decisions_ran_non_best",
+                Json::UInt(self.decisions_ran_non_best),
+            ),
+        ])
+    }
 }
 
 /// One experiment's result file.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentRecord {
     /// Experiment identifier (e.g. `figure6`).
     pub experiment: String,
@@ -98,12 +122,26 @@ impl ExperimentRecord {
         }
     }
 
+    /// The record as a JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("experiment", Json::str(&self.experiment)),
+            ("jobs", Json::UInt(self.jobs as u64)),
+            ("horizon", Json::UInt(self.horizon)),
+            ("seed", Json::UInt(self.seed)),
+            (
+                "systems",
+                Json::Array(self.systems.iter().map(SystemRecord::to_json).collect()),
+            ),
+        ])
+    }
+
     /// Write the record as pretty JSON under `results/<experiment>.json`
     /// (creating the directory), returning the path written.
     ///
     /// # Errors
     ///
-    /// Propagates filesystem and serialisation errors.
+    /// Propagates filesystem errors.
     pub fn write_default(&self) -> std::io::Result<std::path::PathBuf> {
         let dir = Path::new("results");
         std::fs::create_dir_all(dir)?;
@@ -116,10 +154,9 @@ impl ExperimentRecord {
     ///
     /// # Errors
     ///
-    /// Propagates filesystem and serialisation errors.
+    /// Propagates filesystem errors.
     pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
-        let json = serde_json::to_string_pretty(self)?;
-        std::fs::write(path, json)
+        std::fs::write(path, self.to_json().to_pretty())
     }
 }
 
@@ -129,17 +166,20 @@ mod tests {
     use crate::Testbed;
 
     #[test]
-    fn record_round_trips_through_json() {
+    fn record_serialises_all_four_systems() {
         let testbed = Testbed::small();
         let plan = testbed.plan(60, 10_000_000, 5);
         let comparison = testbed.run_all(&plan);
-        let record =
-            ExperimentRecord::from_comparison("unit_test", 60, 10_000_000, 5, &comparison);
-        let json = serde_json::to_string(&record).expect("serializable");
-        assert!(json.contains("\"experiment\":\"unit_test\""));
-        assert!(json.contains("\"system\":\"proposed\""));
-        let value: serde_json::Value = serde_json::from_str(&json).expect("valid json");
-        assert_eq!(value["systems"].as_array().map(Vec::len), Some(4));
+        let record = ExperimentRecord::from_comparison("unit_test", 60, 10_000_000, 5, &comparison);
+        let json = record.to_json().to_pretty();
+        assert!(json.contains("\"experiment\": \"unit_test\""), "{json}");
+        for system in ["base", "optimal", "energy-centric", "proposed"] {
+            assert!(
+                json.contains(&format!("\"system\": \"{system}\"")),
+                "{json}"
+            );
+        }
+        assert_eq!(json.matches("\"total_nj\"").count(), 4);
     }
 
     #[test]

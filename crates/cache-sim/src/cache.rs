@@ -165,9 +165,9 @@ impl Cache {
                 match self.policy {
                     // LRU: oldest recency; FIFO: oldest fill stamp — both
                     // minimise the same counter under their update rules.
-                    ReplacementPolicy::Lru | ReplacementPolicy::Fifo => {
-                        slots.min_by_key(|&slot| self.recency[slot]).expect("ways >= 1")
-                    }
+                    ReplacementPolicy::Lru | ReplacementPolicy::Fifo => slots
+                        .min_by_key(|&slot| self.recency[slot])
+                        .expect("ways >= 1"),
                     ReplacementPolicy::Random { .. } => {
                         // SplitMix64 step.
                         self.rng_state = self.rng_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -273,7 +273,10 @@ mod tests {
         cache.access(Access::read(0x40));
         cache.reset();
         assert_eq!(cache.stats().accesses(), 0);
-        assert!(!cache.access(Access::read(0x40)), "reset must invalidate lines");
+        assert!(
+            !cache.access(Access::read(0x40)),
+            "reset must invalidate lines"
+        );
     }
 
     #[test]
@@ -292,8 +295,11 @@ mod tests {
         for cfg in design_space() {
             let lines = u64::from(cfg.num_lines());
             let line_bytes = u64::from(cfg.line().bytes());
-            let trace: Trace =
-                (0..lines).cycle().take(lines as usize * 4).map(|i| Access::read(i * line_bytes)).collect();
+            let trace: Trace = (0..lines)
+                .cycle()
+                .take(lines as usize * 4)
+                .map(|i| Access::read(i * line_bytes))
+                .collect();
             let stats = Cache::new(cfg).run(&trace);
             assert_eq!(stats.misses(), lines, "only cold misses for {cfg}");
         }
@@ -302,7 +308,9 @@ mod tests {
     #[test]
     fn hits_plus_misses_equals_accesses() {
         let mut cache = Cache::new(config("4KB_1W_32B"));
-        let trace: Trace = (0..1000u64).map(|i| Access::read((i * 97) % 16384)).collect();
+        let trace: Trace = (0..1000u64)
+            .map(|i| Access::read((i * 97) % 16384))
+            .collect();
         let stats = cache.run(&trace);
         assert_eq!(stats.hits() + stats.misses(), 1000);
     }
@@ -335,10 +343,10 @@ mod tests {
     #[test]
     fn random_replacement_is_deterministic_per_seed() {
         let cfg = config("8KB_4W_16B");
-        let trace: Trace = (0..5000u64).map(|i| Access::read((i * 131) % 65_536)).collect();
-        let run = |seed| {
-            Cache::with_policy(cfg, ReplacementPolicy::Random { seed }).run(&trace)
-        };
+        let trace: Trace = (0..5000u64)
+            .map(|i| Access::read((i * 131) % 65_536))
+            .collect();
+        let run = |seed| Cache::with_policy(cfg, ReplacementPolicy::Random { seed }).run(&trace);
         assert_eq!(run(1), run(1));
         // Different seeds almost surely diverge on a conflict-heavy trace.
         assert_ne!(run(1), run(2));
@@ -347,7 +355,9 @@ mod tests {
     #[test]
     fn all_policies_agree_on_cold_misses_and_accounting() {
         let cfg = config("2KB_1W_32B");
-        let trace: Trace = (0..2000u64).map(|i| Access::read((i * 77) % 16_384)).collect();
+        let trace: Trace = (0..2000u64)
+            .map(|i| Access::read((i * 77) % 16_384))
+            .collect();
         for policy in [
             ReplacementPolicy::Lru,
             ReplacementPolicy::Fifo,

@@ -127,8 +127,11 @@ pub enum Associativity {
 impl Associativity {
     /// All associativities, smallest first — the exploration order of the
     /// paper's Figure 5 tuning heuristic.
-    pub const ALL: [Associativity; 3] =
-        [Associativity::Direct, Associativity::Two, Associativity::Four];
+    pub const ALL: [Associativity; 3] = [
+        Associativity::Direct,
+        Associativity::Two,
+        Associativity::Four,
+    ];
 
     /// Number of ways.
     pub fn ways(self) -> u32 {
@@ -278,9 +281,16 @@ impl CacheConfig {
         line: LineSize,
     ) -> Result<Self, ConfigError> {
         if associativity > size.max_associativity() {
-            return Err(ConfigError::Invalid { size, associativity });
+            return Err(ConfigError::Invalid {
+                size,
+                associativity,
+            });
         }
-        Ok(CacheConfig { size, associativity, line })
+        Ok(CacheConfig {
+            size,
+            associativity,
+            line,
+        })
     }
 
     /// Parse the paper's `"<size>KB_<ways>W_<line>B"` notation.
@@ -368,7 +378,9 @@ impl CacheConfig {
 
     /// Index of this configuration within [`design_space`] order.
     pub fn design_space_index(self) -> usize {
-        design_space().position(|c| c == self).expect("constructible configs are in the space")
+        design_space()
+            .position(|c| c == self)
+            .expect("constructible configs are in the space")
     }
 }
 
@@ -399,9 +411,11 @@ pub fn design_space() -> impl Iterator<Item = CacheConfig> + Clone {
             .into_iter()
             .filter(move |a| *a <= size.max_associativity())
             .flat_map(move |associativity| {
-                LineSize::ALL
-                    .into_iter()
-                    .map(move |line| CacheConfig { size, associativity, line })
+                LineSize::ALL.into_iter().map(move |line| CacheConfig {
+                    size,
+                    associativity,
+                    line,
+                })
             })
     })
 }
@@ -436,12 +450,18 @@ impl fmt::Display for ConfigError {
             ConfigError::LineSize(b) => {
                 write!(f, "invalid line size {b} B (expected 16, 32, or 64)")
             }
-            ConfigError::Invalid { size, associativity } => write!(
+            ConfigError::Invalid {
+                size,
+                associativity,
+            } => write!(
                 f,
                 "{associativity} associativity is outside the Table 1 subset for a {size} cache"
             ),
             ConfigError::Parse(text) => {
-                write!(f, "malformed cache configuration {text:?} (expected e.g. \"8KB_4W_64B\")")
+                write!(
+                    f,
+                    "malformed cache configuration {text:?} (expected e.g. \"8KB_4W_64B\")"
+                )
             }
         }
     }
@@ -461,9 +481,24 @@ mod tests {
     #[test]
     fn design_space_matches_table_1() {
         let expected = [
-            "2KB_1W_16B", "2KB_1W_32B", "2KB_1W_64B", "4KB_1W_16B", "4KB_1W_32B", "4KB_1W_64B",
-            "4KB_2W_16B", "4KB_2W_32B", "4KB_2W_64B", "8KB_1W_16B", "8KB_1W_32B", "8KB_1W_64B",
-            "8KB_2W_16B", "8KB_2W_32B", "8KB_2W_64B", "8KB_4W_16B", "8KB_4W_32B", "8KB_4W_64B",
+            "2KB_1W_16B",
+            "2KB_1W_32B",
+            "2KB_1W_64B",
+            "4KB_1W_16B",
+            "4KB_1W_32B",
+            "4KB_1W_64B",
+            "4KB_2W_16B",
+            "4KB_2W_32B",
+            "4KB_2W_64B",
+            "8KB_1W_16B",
+            "8KB_1W_32B",
+            "8KB_1W_64B",
+            "8KB_2W_16B",
+            "8KB_2W_32B",
+            "8KB_2W_64B",
+            "8KB_4W_16B",
+            "8KB_4W_32B",
+            "8KB_4W_64B",
         ];
         let actual: Vec<String> = design_space().map(|c| c.to_string()).collect();
         assert_eq!(actual, expected);
@@ -492,14 +527,26 @@ mod tests {
     fn parse_round_trips_every_configuration() {
         for config in design_space() {
             let text = config.to_string();
-            assert_eq!(CacheConfig::parse(&text), Ok(config), "round trip of {text}");
+            assert_eq!(
+                CacheConfig::parse(&text),
+                Ok(config),
+                "round trip of {text}"
+            );
         }
     }
 
     #[test]
     fn parse_rejects_garbage() {
-        for bad in ["", "8KB", "8KB_4W", "8KB_4W_64B_extra", "9KB_1W_16B", "8KB_3W_16B",
-                    "8KB_4W_48B", "8kb_4w_64b"] {
+        for bad in [
+            "",
+            "8KB",
+            "8KB_4W",
+            "8KB_4W_64B_extra",
+            "9KB_1W_16B",
+            "8KB_3W_16B",
+            "8KB_4W_48B",
+            "8kb_4w_64b",
+        ] {
             assert!(CacheConfig::parse(bad).is_err(), "should reject {bad:?}");
         }
     }
@@ -512,7 +559,10 @@ mod tests {
                 config.size().bytes(),
                 "geometry of {config}"
             );
-            assert!(config.num_sets() >= 1, "{config} must have at least one set");
+            assert!(
+                config.num_sets() >= 1,
+                "{config} must have at least one set"
+            );
         }
     }
 
@@ -528,7 +578,10 @@ mod tests {
 
     #[test]
     fn exploration_order_is_small_to_large() {
-        assert_eq!(Associativity::Direct.next_larger(), Some(Associativity::Two));
+        assert_eq!(
+            Associativity::Direct.next_larger(),
+            Some(Associativity::Two)
+        );
         assert_eq!(Associativity::Two.next_larger(), Some(Associativity::Four));
         assert_eq!(Associativity::Four.next_larger(), None);
         assert_eq!(LineSize::B16.next_larger(), Some(LineSize::B32));
@@ -542,7 +595,9 @@ mod tests {
         assert!(small.with_associativity(Associativity::Two).is_err());
         let big = CacheConfig::parse("8KB_1W_16B").unwrap();
         assert_eq!(
-            big.with_associativity(Associativity::Four).unwrap().to_string(),
+            big.with_associativity(Associativity::Four)
+                .unwrap()
+                .to_string(),
             "8KB_4W_16B"
         );
     }

@@ -40,13 +40,21 @@ impl Geometry {
         if !line_bytes.is_power_of_two() {
             return Err(GeometryError::LineNotPowerOfTwo(line_bytes));
         }
-        Ok(Geometry { sets, ways, line_bytes })
+        Ok(Geometry {
+            sets,
+            ways,
+            line_bytes,
+        })
     }
 
     /// A typical embedded unified L2: 64 KB, 4-way, 64 B lines — the
     /// backstop behind the paper's configurable L1s.
     pub fn typical_l2() -> Self {
-        Geometry { sets: 256, ways: 4, line_bytes: 64 }
+        Geometry {
+            sets: 256,
+            ways: 4,
+            line_bytes: 64,
+        }
     }
 
     /// Number of sets.
@@ -87,7 +95,13 @@ impl From<CacheConfig> for Geometry {
 
 impl fmt::Display for Geometry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}KB_{}W_{}B", self.capacity_kb(), self.ways, self.line_bytes)
+        write!(
+            f,
+            "{}KB_{}W_{}B",
+            self.capacity_kb(),
+            self.ways,
+            self.line_bytes
+        )
     }
 }
 
@@ -122,7 +136,11 @@ mod tests {
     fn geometry_from_config_preserves_capacity() {
         for config in design_space() {
             let geometry = Geometry::from(config);
-            assert_eq!(geometry.capacity_bytes(), u64::from(config.size().bytes()), "{config}");
+            assert_eq!(
+                geometry.capacity_bytes(),
+                u64::from(config.size().bytes()),
+                "{config}"
+            );
             assert_eq!(geometry.to_string(), config.to_string());
         }
     }
@@ -139,7 +157,10 @@ mod tests {
         assert_eq!(Geometry::new(0, 1, 16), Err(GeometryError::Zero));
         assert_eq!(Geometry::new(4, 0, 16), Err(GeometryError::Zero));
         assert_eq!(Geometry::new(4, 1, 0), Err(GeometryError::Zero));
-        assert_eq!(Geometry::new(4, 1, 48), Err(GeometryError::LineNotPowerOfTwo(48)));
+        assert_eq!(
+            Geometry::new(4, 1, 48),
+            Err(GeometryError::LineNotPowerOfTwo(48))
+        );
     }
 
     #[test]

@@ -73,12 +73,17 @@ pub struct CacheHierarchy {
 impl CacheHierarchy {
     /// An empty hierarchy.
     pub fn new(l1_config: CacheConfig, l2_geometry: Geometry) -> Self {
-        CacheHierarchy { l1: Cache::new(l1_config), l2: Cache::from_geometry(l2_geometry) }
+        CacheHierarchy {
+            l1: Cache::new(l1_config),
+            l2: Cache::from_geometry(l2_geometry),
+        }
     }
 
     /// The L1's configuration.
     pub fn l1_config(&self) -> CacheConfig {
-        self.l1.config().expect("L1 is always built from a configuration")
+        self.l1
+            .config()
+            .expect("L1 is always built from a configuration")
     }
 
     /// The L2's geometry.
@@ -105,12 +110,18 @@ impl CacheHierarchy {
             self.access(access);
         }
         let after = self.stats();
-        HierarchyStats { l1: after.l1.since(&before.l1), l2: after.l2.since(&before.l2) }
+        HierarchyStats {
+            l1: after.l1.since(&before.l1),
+            l2: after.l2.since(&before.l2),
+        }
     }
 
     /// Cumulative statistics since construction or [`reset`](Self::reset).
     pub fn stats(&self) -> HierarchyStats {
-        HierarchyStats { l1: self.l1.stats(), l2: self.l2.stats() }
+        HierarchyStats {
+            l1: self.l1.stats(),
+            l2: self.l2.stats(),
+        }
     }
 
     /// Invalidate both levels and zero the statistics.
@@ -131,7 +142,18 @@ pub fn simulate_hierarchy(
 
 /// Simulate `trace` under all 18 L1 configurations in front of the same
 /// L2 geometry, in [`design_space`](crate::design_space) order.
-pub fn sweep_hierarchy(
+///
+/// Delegates to the single-pass
+/// [`sweep_hierarchy_fused`](crate::sweep_hierarchy_fused) engine;
+/// [`sweep_hierarchy_serial`] is the per-config reference it is tested
+/// against.
+pub fn sweep_hierarchy(l2_geometry: Geometry, trace: &Trace) -> Vec<(CacheConfig, HierarchyStats)> {
+    crate::fused::sweep_hierarchy_fused(l2_geometry, trace)
+}
+
+/// Reference implementation of [`sweep_hierarchy`]: one full hierarchy
+/// replay per configuration.
+pub fn sweep_hierarchy_serial(
     l2_geometry: Geometry,
     trace: &Trace,
 ) -> Vec<(CacheConfig, HierarchyStats)> {
@@ -151,7 +173,9 @@ mod tests {
 
     #[test]
     fn l2_only_sees_l1_misses() {
-        let trace: Trace = (0..4096u64).map(|i| Access::read((i * 97) % 65_536)).collect();
+        let trace: Trace = (0..4096u64)
+            .map(|i| Access::read((i * 97) % 65_536))
+            .collect();
         let stats = simulate_hierarchy(l1(), Geometry::typical_l2(), &trace);
         assert_eq!(stats.l1.accesses(), 4096);
         assert_eq!(stats.l2.accesses(), stats.l1.misses());
@@ -160,7 +184,9 @@ mod tests {
 
     #[test]
     fn l1_behaviour_is_unchanged_by_the_l2() {
-        let trace: Trace = (0..2000u64).map(|i| Access::read((i * 53) % 16_384)).collect();
+        let trace: Trace = (0..2000u64)
+            .map(|i| Access::read((i * 53) % 16_384))
+            .collect();
         let solo = simulate(l1(), &trace);
         let stacked = simulate_hierarchy(l1(), Geometry::typical_l2(), &trace);
         assert_eq!(stacked.l1, solo, "the L2 must be invisible to the L1");
@@ -177,7 +203,11 @@ mod tests {
             .map(|i| Access::read(i * 16))
             .collect();
         let stats = simulate_hierarchy(l1(), Geometry::typical_l2(), &trace);
-        assert!(stats.l1.miss_rate() > 0.9, "L1 must thrash: {}", stats.l1.miss_rate());
+        assert!(
+            stats.l1.miss_rate() > 0.9,
+            "L1 must thrash: {}",
+            stats.l1.miss_rate()
+        );
         // Off-chip traffic collapses to the L2's cold misses: one per 64 B
         // L2 line of the 16 KB working set.
         let l2_cold = 16_384 / u64::from(Geometry::typical_l2().line_bytes());
@@ -198,7 +228,9 @@ mod tests {
 
     #[test]
     fn global_miss_rate_bounded_by_l1_miss_rate() {
-        let trace: Trace = (0..3000u64).map(|i| Access::read((i * 31) % 32_768)).collect();
+        let trace: Trace = (0..3000u64)
+            .map(|i| Access::read((i * 31) % 32_768))
+            .collect();
         let stats = simulate_hierarchy(l1(), Geometry::typical_l2(), &trace);
         assert!(stats.global_miss_rate() <= stats.l1.miss_rate());
     }

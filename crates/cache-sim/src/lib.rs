@@ -42,6 +42,7 @@
 
 mod cache;
 mod config;
+mod fused;
 mod geometry;
 mod hierarchy;
 mod stats;
@@ -52,9 +53,14 @@ pub use config::{
     design_space, Associativity, CacheConfig, CacheSizeKb, ConfigError, LineSize, BASE_CONFIG,
     DESIGN_SPACE_LEN,
 };
+pub use fused::{sweep_fused, sweep_fused_with_policy, sweep_hierarchy_fused};
 pub use geometry::{Geometry, GeometryError};
 pub use hierarchy::{
-    simulate_hierarchy, sweep_hierarchy, CacheHierarchy, HierarchyStats, HitLevel,
+    simulate_hierarchy, sweep_hierarchy, sweep_hierarchy_serial, CacheHierarchy, HierarchyStats,
+    HitLevel,
 };
 pub use stats::CacheStats;
-pub use trace::{simulate, sweep, sweep_with_policy, Access, AccessKind, Trace};
+pub use trace::{
+    simulate, sweep, sweep_serial, sweep_with_policy, sweep_with_policy_serial, Access, AccessKind,
+    Trace,
+};

@@ -51,6 +51,24 @@ impl CacheStats {
         }
     }
 
+    /// Assemble counters accumulated externally (the fused sweep keeps
+    /// them in registers and materialises a `CacheStats` once per tile).
+    pub(crate) fn from_counts(
+        read_hits: u64,
+        read_misses: u64,
+        write_hits: u64,
+        write_misses: u64,
+        evictions: u64,
+    ) -> Self {
+        CacheStats {
+            read_hits,
+            read_misses,
+            write_hits,
+            write_misses,
+            evictions,
+        }
+    }
+
     /// Record one hit (`is_write` selects the read/write counter).
     pub fn record_hit(&mut self, is_write: bool) {
         if is_write {

@@ -31,12 +31,18 @@ pub struct Access {
 impl Access {
     /// A load from `addr`.
     pub fn read(addr: u64) -> Self {
-        Access { addr, kind: AccessKind::Read }
+        Access {
+            addr,
+            kind: AccessKind::Read,
+        }
     }
 
     /// A store to `addr`.
     pub fn write(addr: u64) -> Self {
-        Access { addr, kind: AccessKind::Write }
+        Access {
+            addr,
+            kind: AccessKind::Write,
+        }
     }
 }
 
@@ -63,7 +69,9 @@ impl Trace {
 
     /// Pre-allocate space for `capacity` accesses.
     pub fn with_capacity(capacity: usize) -> Self {
-        Trace { accesses: Vec::with_capacity(capacity) }
+        Trace {
+            accesses: Vec::with_capacity(capacity),
+        }
     }
 
     /// Append one access.
@@ -93,7 +101,10 @@ impl Trace {
 
     /// Count of store accesses.
     pub fn writes(&self) -> usize {
-        self.accesses.iter().filter(|a| a.kind == AccessKind::Write).count()
+        self.accesses
+            .iter()
+            .filter(|a| a.kind == AccessKind::Write)
+            .count()
     }
 
     /// Count of load accesses.
@@ -114,7 +125,9 @@ impl Trace {
 
 impl FromIterator<Access> for Trace {
     fn from_iter<I: IntoIterator<Item = Access>>(iter: I) -> Self {
-        Trace { accesses: iter.into_iter().collect() }
+        Trace {
+            accesses: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -165,7 +178,18 @@ pub fn simulate(config: CacheConfig, trace: &Trace) -> CacheStats {
 /// This is what the paper did offline with SimpleScalar ("we used
 /// SimpleScalar to record the benchmarks' cache accesses and miss rates for
 /// every cache configuration"). Results are in [`design_space`] order.
+///
+/// Delegates to the single-pass [`sweep_fused`](crate::sweep_fused)
+/// engine; [`sweep_serial`] is the obviously-correct 18-replay reference
+/// the fused path is property-tested against.
 pub fn sweep(trace: &Trace) -> Vec<(CacheConfig, CacheStats)> {
+    crate::fused::sweep_fused(trace)
+}
+
+/// Reference implementation of [`sweep`]: one full [`simulate`] replay per
+/// configuration. Kept for the fused-equivalence property tests and as the
+/// timing baseline of the perf pipeline.
+pub fn sweep_serial(trace: &Trace) -> Vec<(CacheConfig, CacheStats)> {
     let mut results = Vec::with_capacity(DESIGN_SPACE_LEN);
     for config in design_space() {
         results.push((config, simulate(config, trace)));
@@ -174,8 +198,18 @@ pub fn sweep(trace: &Trace) -> Vec<(CacheConfig, CacheStats)> {
 }
 
 /// Like [`sweep`], but with an explicit replacement policy (the
-/// replacement-policy ablation; [`sweep`] is the paper's LRU).
+/// replacement-policy ablation; [`sweep`] is the paper's LRU). Fused,
+/// single-pass; [`sweep_with_policy_serial`] is the per-config reference.
 pub fn sweep_with_policy(
+    trace: &Trace,
+    policy: crate::ReplacementPolicy,
+) -> Vec<(CacheConfig, CacheStats)> {
+    crate::fused::sweep_fused_with_policy(trace, policy)
+}
+
+/// Reference implementation of [`sweep_with_policy`]: one replay per
+/// configuration.
+pub fn sweep_with_policy_serial(
     trace: &Trace,
     policy: crate::ReplacementPolicy,
 ) -> Vec<(CacheConfig, CacheStats)> {
@@ -205,7 +239,10 @@ mod tests {
 
     #[test]
     fn working_set_lines_dedups_by_line() {
-        let trace: Trace = [0u64, 4, 8, 12, 16, 20].iter().map(|&a| Access::read(a)).collect();
+        let trace: Trace = [0u64, 4, 8, 12, 16, 20]
+            .iter()
+            .map(|&a| Access::read(a))
+            .collect();
         assert_eq!(trace.working_set_lines(16), 2); // lines 0 and 1
         assert_eq!(trace.working_set_lines(32), 1);
     }
@@ -242,8 +279,11 @@ mod tests {
     #[test]
     fn larger_cache_never_misses_more_on_a_looped_sweep() {
         // Cyclic sweep over 4 KB: fits in 4 and 8 KB caches, thrashes 2 KB.
-        let trace: Trace =
-            (0..(4096 / 16) as u64).cycle().take(4096).map(|i| Access::read(i * 16)).collect();
+        let trace: Trace = (0..(4096 / 16) as u64)
+            .cycle()
+            .take(4096)
+            .map(|i| Access::read(i * 16))
+            .collect();
         let m2 = simulate(CacheConfig::parse("2KB_1W_16B").unwrap(), &trace).misses();
         let m4 = simulate(CacheConfig::parse("4KB_1W_16B").unwrap(), &trace).misses();
         let m8 = simulate(CacheConfig::parse("8KB_1W_16B").unwrap(), &trace).misses();

@@ -4,7 +4,11 @@
 //! randomly generated traces, including agreement with an independent,
 //! obviously-correct reference model.
 
-use cache_sim::{design_space, simulate, Access, Cache, CacheConfig, Trace};
+use cache_sim::{
+    design_space, simulate, sweep_fused, sweep_fused_with_policy, sweep_hierarchy_fused,
+    sweep_hierarchy_serial, sweep_serial, sweep_with_policy_serial, Access, Cache, CacheConfig,
+    Geometry, ReplacementPolicy, Trace,
+};
 use proptest::prelude::*;
 
 /// An intentionally naive reference cache: per-set `Vec` of tags ordered by
@@ -43,11 +47,7 @@ impl ReferenceCache {
 }
 
 fn arbitrary_trace(max_len: usize, addr_bits: u32) -> impl Strategy<Value = Trace> {
-    prop::collection::vec(
-        (0u64..(1 << addr_bits), prop::bool::ANY),
-        0..max_len,
-    )
-    .prop_map(|pairs| {
+    prop::collection::vec((0u64..(1 << addr_bits), prop::bool::ANY), 0..max_len).prop_map(|pairs| {
         pairs
             .into_iter()
             .map(|(addr, write)| {
@@ -144,6 +144,46 @@ proptest! {
                 "sequential scan should only cold-miss under {}", config
             );
         }
+    }
+
+    /// The single-pass fused sweep is **bit-identical** to 18 independent
+    /// per-configuration replays — the determinism contract of the fused
+    /// characterisation pipeline.
+    #[test]
+    fn fused_sweep_matches_serial_sweep(trace in arbitrary_trace(600, 18)) {
+        prop_assert_eq!(sweep_fused(&trace), sweep_serial(&trace));
+    }
+
+    /// Fused/serial equivalence also holds for the non-LRU replacement
+    /// policies (FIFO's fill-order state and Random's RNG stream are both
+    /// replicated lane-for-lane).
+    #[test]
+    fn fused_policy_sweep_matches_serial(
+        trace in arbitrary_trace(400, 16),
+        seed in 0u64..1000,
+    ) {
+        for policy in [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Fifo,
+            ReplacementPolicy::Random { seed },
+        ] {
+            prop_assert_eq!(
+                sweep_fused_with_policy(&trace, policy),
+                sweep_with_policy_serial(&trace, policy),
+                "policy {:?}", policy
+            );
+        }
+    }
+
+    /// Two-level fused sweeps match the serial hierarchy replays at both
+    /// levels (the L2 lane must see exactly the L1 misses, in order).
+    #[test]
+    fn fused_hierarchy_sweep_matches_serial(trace in arbitrary_trace(400, 18)) {
+        let l2 = Geometry::typical_l2();
+        prop_assert_eq!(
+            sweep_hierarchy_fused(l2, &trace),
+            sweep_hierarchy_serial(l2, &trace)
+        );
     }
 
     /// Evictions never exceed misses, and no eviction can happen before the

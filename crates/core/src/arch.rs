@@ -37,7 +37,12 @@ impl Architecture {
     /// profiling).
     pub fn paper_quad() -> Self {
         Architecture {
-            core_sizes: vec![CacheSizeKb::K2, CacheSizeKb::K4, CacheSizeKb::K8, CacheSizeKb::K8],
+            core_sizes: vec![
+                CacheSizeKb::K2,
+                CacheSizeKb::K4,
+                CacheSizeKb::K8,
+                CacheSizeKb::K8,
+            ],
             primary_profiling: CoreId(3),
             secondary_profiling: Some(CoreId(2)),
         }
@@ -59,7 +64,10 @@ impl Architecture {
     ) -> Self {
         assert!(!core_sizes.is_empty(), "need at least one core");
         let check = |core: CoreId| {
-            assert!(core.0 < core_sizes.len(), "profiling core {core} out of range");
+            assert!(
+                core.0 < core_sizes.len(),
+                "profiling core {core} out of range"
+            );
             assert_eq!(
                 core_sizes[core.0],
                 cache_sim::BASE_CONFIG.size(),
@@ -70,7 +78,11 @@ impl Architecture {
         if let Some(secondary) = secondary_profiling {
             check(secondary);
         }
-        Architecture { core_sizes, primary_profiling, secondary_profiling }
+        Architecture {
+            core_sizes,
+            primary_profiling,
+            secondary_profiling,
+        }
     }
 
     /// Number of cores.
@@ -94,7 +106,9 @@ impl Architecture {
 
     /// Cores whose cache size equals `size`, in id order.
     pub fn cores_with_size(&self, size: CacheSizeKb) -> Vec<CoreId> {
-        self.cores().filter(|&c| self.core_sizes[c.0] == size).collect()
+        self.cores()
+            .filter(|&c| self.core_sizes[c.0] == size)
+            .collect()
     }
 
     /// The size actually offered by this architecture that is closest to
@@ -151,7 +165,10 @@ mod tests {
     fn paper_quad_matches_figure_1() {
         let arch = Architecture::paper_quad();
         assert_eq!(arch.num_cores(), 4);
-        let sizes: Vec<u32> = arch.cores().map(|c| arch.core_size(c).kilobytes()).collect();
+        let sizes: Vec<u32> = arch
+            .cores()
+            .map(|c| arch.core_size(c).kilobytes())
+            .collect();
         assert_eq!(sizes, vec![2, 4, 8, 8]);
         assert_eq!(arch.primary_profiling_core(), CoreId(3));
         assert_eq!(arch.secondary_profiling_core(), Some(CoreId(2)));
@@ -187,7 +204,10 @@ mod tests {
     fn cores_with_size_finds_both_8kb_cores() {
         let arch = Architecture::paper_quad();
         assert_eq!(arch.cores_with_size(CacheSizeKb::K2), vec![CoreId(0)]);
-        assert_eq!(arch.cores_with_size(CacheSizeKb::K8), vec![CoreId(2), CoreId(3)]);
+        assert_eq!(
+            arch.cores_with_size(CacheSizeKb::K8),
+            vec![CoreId(2), CoreId(3)]
+        );
     }
 
     #[test]
@@ -199,15 +219,20 @@ mod tests {
     #[test]
     fn nearest_available_size_clamps_to_offered_sizes() {
         let two_core = Architecture::new(vec![CacheSizeKb::K2, CacheSizeKb::K8], CoreId(1), None);
-        assert_eq!(two_core.nearest_available_size(CacheSizeKb::K2), CacheSizeKb::K2);
-        assert_eq!(two_core.nearest_available_size(CacheSizeKb::K8), CacheSizeKb::K8);
-        // 4 KB is equidistant from 2 and... |4-2|=2, |4-8|=4: clamps to 2KB.
-        assert_eq!(two_core.nearest_available_size(CacheSizeKb::K4), CacheSizeKb::K2);
-        let mid = Architecture::new(
-            vec![CacheSizeKb::K4, CacheSizeKb::K8],
-            CoreId(1),
-            None,
+        assert_eq!(
+            two_core.nearest_available_size(CacheSizeKb::K2),
+            CacheSizeKb::K2
         );
+        assert_eq!(
+            two_core.nearest_available_size(CacheSizeKb::K8),
+            CacheSizeKb::K8
+        );
+        // 4 KB is equidistant from 2 and... |4-2|=2, |4-8|=4: clamps to 2KB.
+        assert_eq!(
+            two_core.nearest_available_size(CacheSizeKb::K4),
+            CacheSizeKb::K2
+        );
+        let mid = Architecture::new(vec![CacheSizeKb::K4, CacheSizeKb::K8], CoreId(1), None);
         assert_eq!(mid.nearest_available_size(CacheSizeKb::K2), CacheSizeKb::K4);
         // Exact match always wins.
         let quad = Architecture::paper_quad();

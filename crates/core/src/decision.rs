@@ -63,9 +63,8 @@ impl StallDecision {
     ) -> Self {
         let remaining = remaining_cycles_of_occupant as f64;
         let occupant_rest_nj = remaining * occupant_energy_per_cycle_nj;
-        let stall_nj = occupant_rest_nj
-            + remaining * candidate_idle_power_nj
-            + b_on_best.total_nj();
+        let stall_nj =
+            occupant_rest_nj + remaining * candidate_idle_power_nj + b_on_best.total_nj();
         let run_nj = occupant_rest_nj + b_on_candidate.total_nj();
         StallDecision { stall_nj, run_nj }
     }
@@ -95,7 +94,11 @@ mod tests {
     fn cost(total_nj: f64, cycles: u64) -> ExecutionCost {
         ExecutionCost {
             cycles,
-            energy: EnergyBreakdown { dynamic_nj: total_nj, static_nj: 0.0, idle_nj: 0.0 },
+            energy: EnergyBreakdown {
+                dynamic_nj: total_nj,
+                static_nj: 0.0,
+                idle_nj: 0.0,
+            },
         }
     }
 
@@ -124,7 +127,10 @@ mod tests {
             b.stall_is_advantageous(),
             "occupant energy per cycle must not flip the decision"
         );
-        assert!(b.stall_energy_nj() > a.stall_energy_nj(), "but it is reported");
+        assert!(
+            b.stall_energy_nj() > a.stall_energy_nj(),
+            "but it is reported"
+        );
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //! comparator system, which is defined to know best configurations a
 //! priori.
 
-use cache_sim::{design_space, CacheConfig, CacheSizeKb, CacheStats, DESIGN_SPACE_LEN, BASE_CONFIG};
+use cache_sim::{
+    design_space, CacheConfig, CacheSizeKb, CacheStats, BASE_CONFIG, DESIGN_SPACE_LEN,
+};
 use energy_model::{EnergyModel, ExecutionCost};
 use workloads::{BenchmarkId, ExecutionStatistics, Suite};
 
@@ -57,9 +59,36 @@ impl SuiteOracle {
     /// This is the reproduction of the paper's offline characterisation
     /// ("we used SimpleScalar to record the benchmarks' cache accesses and
     /// miss rates for every cache configuration").
+    ///
+    /// Benchmarks are characterised with the single-pass fused sweep and
+    /// sharded across worker threads (`HETERO_THREADS` governs the count;
+    /// see [`hetero_parallel`]). The result is bit-identical at any worker
+    /// count — see [`build_with_threads`](Self::build_with_threads).
     pub fn build(suite: &Suite, model: &EnergyModel) -> Self {
-        Self::build_inner(suite, |run| {
+        Self::build_with_threads(suite, model, hetero_parallel::worker_count())
+    }
+
+    /// [`build`](Self::build) with an explicit worker count. `workers = 1`
+    /// runs inline on the caller (no threads are spawned); any larger
+    /// count shards benchmarks across scoped threads and merges results
+    /// by index, producing byte-identical output.
+    pub fn build_with_threads(suite: &Suite, model: &EnergyModel, workers: usize) -> Self {
+        Self::build_inner(suite, workers, |run| {
             let sweep = cache_sim::sweep(&run.trace);
+            sweep
+                .into_iter()
+                .map(|(config, stats)| (stats, model.execution(config, &stats, run.cpu_cycles)))
+                .unzip()
+        })
+    }
+
+    /// Reference implementation of [`build`](Self::build): the serial
+    /// 18-replay characterisation on a single thread. Kept as the
+    /// obviously-correct baseline for equivalence tests and as the
+    /// "before" timing of the perf pipeline.
+    pub fn build_reference(suite: &Suite, model: &EnergyModel) -> Self {
+        Self::build_inner(suite, 1, |run| {
+            let sweep = cache_sim::sweep_serial(&run.trace);
             sweep
                 .into_iter()
                 .map(|(config, stats)| (stats, model.execution(config, &stats, run.cpu_cycles)))
@@ -73,12 +102,26 @@ impl SuiteOracle {
     /// counters; costs include the L2's latency, access energy, and
     /// leakage.
     pub fn build_with_l2(suite: &Suite, model: &EnergyModel, l2: &energy_model::L2Params) -> Self {
-        Self::build_inner(suite, |run| {
+        Self::build_with_l2_threads(suite, model, l2, hetero_parallel::worker_count())
+    }
+
+    /// [`build_with_l2`](Self::build_with_l2) with an explicit worker
+    /// count (same contract as [`build_with_threads`](Self::build_with_threads)).
+    pub fn build_with_l2_threads(
+        suite: &Suite,
+        model: &EnergyModel,
+        l2: &energy_model::L2Params,
+        workers: usize,
+    ) -> Self {
+        Self::build_inner(suite, workers, |run| {
             let sweep = cache_sim::sweep_hierarchy(l2.geometry, &run.trace);
             sweep
                 .into_iter()
                 .map(|(config, stats)| {
-                    (stats.l1, model.execution_with_l2(config, &stats, run.cpu_cycles, l2))
+                    (
+                        stats.l1,
+                        model.execution_with_l2(config, &stats, run.cpu_cycles, l2),
+                    )
                 })
                 .unzip()
         })
@@ -86,27 +129,27 @@ impl SuiteOracle {
 
     fn build_inner(
         suite: &Suite,
-        mut characterise: impl FnMut(&workloads::KernelRun) -> (Vec<CacheStats>, Vec<ExecutionCost>),
+        workers: usize,
+        characterise: impl Fn(&workloads::KernelRun) -> (Vec<CacheStats>, Vec<ExecutionCost>) + Sync,
     ) -> Self {
-        let truths = suite
-            .iter()
-            .map(|kernel| {
-                let run = kernel.run();
-                let (stats, costs) = characterise(&run);
-                debug_assert_eq!(stats.len(), DESIGN_SPACE_LEN);
-                let base_index = BASE_CONFIG.design_space_index();
-                let base_stats = stats[base_index];
-                let base_cost = costs[base_index];
-                let stall_cycles = base_cost.cycles - run.cpu_cycles;
-                let features = ExecutionStatistics::new(
-                    run.mix,
-                    base_stats,
-                    base_cost.cycles,
-                    stall_cycles,
-                );
-                BenchmarkTruth { cpu_cycles: run.cpu_cycles, stats, costs, features }
-            })
-            .collect();
+        let kernels = suite.as_slice();
+        let truths = hetero_parallel::map_indexed(kernels.len(), workers, |index| {
+            let run = kernels[index].run();
+            let (stats, costs) = characterise(&run);
+            debug_assert_eq!(stats.len(), DESIGN_SPACE_LEN);
+            let base_index = BASE_CONFIG.design_space_index();
+            let base_stats = stats[base_index];
+            let base_cost = costs[base_index];
+            let stall_cycles = base_cost.cycles - run.cpu_cycles;
+            let features =
+                ExecutionStatistics::new(run.mix, base_stats, base_cost.cycles, stall_cycles);
+            BenchmarkTruth {
+                cpu_cycles: run.cpu_cycles,
+                stats,
+                costs,
+                features,
+            }
+        });
         SuiteOracle { truths }
     }
 
@@ -190,7 +233,9 @@ impl SuiteOracle {
             .filter(|(_, c)| keep(c))
             .map(|(i, c)| (c, truth.costs[i]))
             .min_by(|a, b| {
-                a.1.total_nj().partial_cmp(&b.1.total_nj()).expect("energies are finite")
+                a.1.total_nj()
+                    .partial_cmp(&b.1.total_nj())
+                    .expect("energies are finite")
             })
             .expect("design space is never empty")
     }
@@ -276,7 +321,10 @@ mod tests {
         let features = oracle.execution_statistics(benchmark);
         let base_stats = oracle.stats(benchmark, BASE_CONFIG);
         assert_eq!(features.cache, base_stats);
-        assert_eq!(features.total_cycles, oracle.cost(benchmark, BASE_CONFIG).cycles);
+        assert_eq!(
+            features.total_cycles,
+            oracle.cost(benchmark, BASE_CONFIG).cycles
+        );
     }
 
     #[test]
@@ -297,6 +345,67 @@ mod tests {
                 "{benchmark}: base misses {base_misses} vs min {min_misses}"
             );
         }
+    }
+
+    /// Bit-level equality of two oracles: every counter, every f64 energy
+    /// (compared via `to_bits`), every feature vector.
+    fn assert_bit_identical(a: &SuiteOracle, b: &SuiteOracle, label: &str) {
+        assert_eq!(a.len(), b.len(), "{label}: benchmark count");
+        for benchmark in a.benchmarks() {
+            let (ta, tb) = (a.truth(benchmark), b.truth(benchmark));
+            assert_eq!(ta.cpu_cycles, tb.cpu_cycles, "{label} {benchmark}");
+            assert_eq!(ta.stats, tb.stats, "{label} {benchmark}: cache stats");
+            for (i, (ca, cb)) in ta.costs.iter().zip(&tb.costs).enumerate() {
+                assert_eq!(ca.cycles, cb.cycles, "{label} {benchmark} config {i}");
+                for (ea, eb) in [
+                    (ca.energy.dynamic_nj, cb.energy.dynamic_nj),
+                    (ca.energy.static_nj, cb.energy.static_nj),
+                    (ca.energy.idle_nj, cb.energy.idle_nj),
+                ] {
+                    assert_eq!(
+                        ea.to_bits(),
+                        eb.to_bits(),
+                        "{label} {benchmark} config {i}: energy bits"
+                    );
+                }
+            }
+            for (fa, fb) in ta
+                .features
+                .to_vector()
+                .iter()
+                .zip(tb.features.to_vector().iter())
+            {
+                assert_eq!(fa.to_bits(), fb.to_bits(), "{label} {benchmark}: features");
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_build_is_bit_identical_to_one_worker() {
+        let suite = Suite::eembc_like_small();
+        let model = EnergyModel::default();
+        let one = SuiteOracle::build_with_threads(&suite, &model, 1);
+        let four = SuiteOracle::build_with_threads(&suite, &model, 4);
+        assert_bit_identical(&one, &four, "workers 1 vs 4");
+    }
+
+    #[test]
+    fn fused_build_is_bit_identical_to_the_serial_reference() {
+        let suite = Suite::eembc_like_small();
+        let model = EnergyModel::default();
+        let fused = SuiteOracle::build_with_threads(&suite, &model, 1);
+        let reference = SuiteOracle::build_reference(&suite, &model);
+        assert_bit_identical(&fused, &reference, "fused vs 18-replay reference");
+    }
+
+    #[test]
+    fn threaded_l2_build_is_bit_identical_to_one_worker() {
+        let suite = Suite::eembc_like_small();
+        let model = EnergyModel::default();
+        let l2 = energy_model::L2Params::typical();
+        let one = SuiteOracle::build_with_l2_threads(&suite, &model, &l2, 1);
+        let four = SuiteOracle::build_with_l2_threads(&suite, &model, &l2, 4);
+        assert_bit_identical(&one, &four, "L2 workers 1 vs 4");
     }
 
     #[test]
@@ -336,18 +445,24 @@ mod tests {
         let stacked =
             SuiteOracle::build_with_l2(&suite, &model, &energy_model::L2Params::typical());
         let find = |name: &str| {
-            suite.iter().find(|k| k.name() == name).map(|k| k.id()).expect("kernel exists")
+            suite
+                .iter()
+                .find(|k| k.name() == name)
+                .map(|k| k.id())
+                .expect("kernel exists")
         };
-        let ratio = |b| {
-            stacked.cost(b, BASE_CONFIG).total_nj() / plain.cost(b, BASE_CONFIG).total_nj()
-        };
+        let ratio =
+            |b| stacked.cost(b, BASE_CONFIG).total_nj() / plain.cost(b, BASE_CONFIG).total_nj();
         let thrasher = ratio(find("cacheb01"));
         let resident = ratio(find("iirflt01"));
         assert!(
             thrasher < resident,
             "the L2 should pay off more for cacheb01 ({thrasher:.3}) than iirflt01 ({resident:.3})"
         );
-        assert!(thrasher < 1.0, "cacheb01 must get cheaper with an L2: {thrasher:.3}");
+        assert!(
+            thrasher < 1.0,
+            "cacheb01 must get cheaper with an L2: {thrasher:.3}"
+        );
     }
 
     #[test]

@@ -120,8 +120,22 @@ impl BestCorePredictor {
     /// Train on every benchmark the oracle covers: features are the
     /// base-configuration execution statistics, labels the oracle's best
     /// cache size in KB.
+    ///
+    /// Ensemble members train on worker threads (`HETERO_THREADS` governs
+    /// the count); the trained predictor is bit-identical at any worker
+    /// count — see [`train_with_threads`](Self::train_with_threads).
     pub fn train(oracle: &SuiteOracle, config: &PredictorConfig) -> Self {
         Self::train_excluding(oracle, &[], config)
+    }
+
+    /// [`train`](Self::train) with an explicit worker count for ensemble
+    /// training (`workers = 1` is the exact serial path).
+    pub fn train_with_threads(
+        oracle: &SuiteOracle,
+        config: &PredictorConfig,
+        workers: usize,
+    ) -> Self {
+        Self::train_excluding_with_threads(oracle, &[], config, workers)
     }
 
     /// Train with some benchmarks held out (leave-one-out evaluation of
@@ -135,21 +149,50 @@ impl BestCorePredictor {
         excluded: &[BenchmarkId],
         config: &PredictorConfig,
     ) -> Self {
-        let dataset = training_data(oracle, excluded, config.augmentation, config.jitter, config.train.seed);
+        Self::train_excluding_with_threads(
+            oracle,
+            excluded,
+            config,
+            hetero_parallel::worker_count(),
+        )
+    }
+
+    /// [`train_excluding`](Self::train_excluding) with an explicit worker
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if exclusion leaves no training benchmarks.
+    pub fn train_excluding_with_threads(
+        oracle: &SuiteOracle,
+        excluded: &[BenchmarkId],
+        config: &PredictorConfig,
+        workers: usize,
+    ) -> Self {
+        let dataset = training_data(
+            oracle,
+            excluded,
+            config.augmentation,
+            config.jitter,
+            config.train.seed,
+        );
 
         let mut dims = Vec::with_capacity(config.hidden.len() + 2);
         dims.push(FEATURE_COUNT);
         dims.extend_from_slice(&config.hidden);
         dims.push(1);
 
-        let ensemble = Bagging::train(
+        let ensemble = Bagging::train_with_threads(
             &dataset,
             config.ensemble_size,
             &dims,
             Activation::Tanh,
             config.train,
+            workers,
         );
-        BestCorePredictor { model: Model::Ann(ensemble) }
+        BestCorePredictor {
+            model: Model::Ann(ensemble),
+        }
     }
 
     /// A ridge-regression predictor (future-work comparison).
@@ -159,7 +202,9 @@ impl BestCorePredictor {
     /// Panics if exclusion leaves no training benchmarks or `lambda < 0`.
     pub fn train_ridge(oracle: &SuiteOracle, excluded: &[BenchmarkId], lambda: f64) -> Self {
         let dataset = training_data(oracle, excluded, 0, 0.0, 0);
-        BestCorePredictor { model: Model::Ridge(RidgeRegression::fit(&dataset, lambda)) }
+        BestCorePredictor {
+            model: Model::Ridge(RidgeRegression::fit(&dataset, lambda)),
+        }
     }
 
     /// A k-nearest-neighbour predictor (future-work comparison).
@@ -169,7 +214,9 @@ impl BestCorePredictor {
     /// Panics if exclusion leaves no training benchmarks or `k == 0`.
     pub fn train_knn(oracle: &SuiteOracle, excluded: &[BenchmarkId], k: usize) -> Self {
         let dataset = training_data(oracle, excluded, 0, 0.0, 0);
-        BestCorePredictor { model: Model::Knn(KnnRegressor::fit(&dataset, k)) }
+        BestCorePredictor {
+            model: Model::Knn(KnnRegressor::fit(&dataset, k)),
+        }
     }
 
     /// Which family backs this predictor.
@@ -256,6 +303,21 @@ mod tests {
         for benchmark in oracle.benchmarks() {
             let stats = oracle.execution_statistics(benchmark);
             assert_eq!(a.predict_raw(&stats), b.predict_raw(&stats));
+        }
+    }
+
+    #[test]
+    fn threaded_training_is_bit_identical_to_one_worker() {
+        let oracle = oracle();
+        let one = BestCorePredictor::train_with_threads(&oracle, &PredictorConfig::fast(), 1);
+        let four = BestCorePredictor::train_with_threads(&oracle, &PredictorConfig::fast(), 4);
+        for benchmark in oracle.benchmarks() {
+            let stats = oracle.execution_statistics(benchmark);
+            assert_eq!(
+                one.predict_raw(&stats).to_bits(),
+                four.predict_raw(&stats).to_bits(),
+                "{benchmark}"
+            );
         }
     }
 

@@ -64,7 +64,9 @@ impl ProfileEntry {
     /// The stored cost of `config`, if this configuration has ever been
     /// executed.
     pub fn known_cost(&self, config: CacheConfig) -> Option<ExecutionCost> {
-        self.explored.get(&config.to_string()).map(|(_, cost)| *cost)
+        self.explored
+            .get(&config.to_string())
+            .map(|(_, cost)| *cost)
     }
 
     /// Number of distinct configurations executed so far.
@@ -79,7 +81,9 @@ impl ProfileEntry {
 
     /// The tuning cursor for cores of `size`, creating it on first use.
     pub fn tuner_mut(&mut self, size: CacheSizeKb) -> &mut TuningExplorer {
-        self.tuners.entry(size.kilobytes()).or_insert_with(|| TuningExplorer::new(size))
+        self.tuners
+            .entry(size.kilobytes())
+            .or_insert_with(|| TuningExplorer::new(size))
     }
 
     /// The tuning cursor for cores of `size`, if exploration has begun.
@@ -161,7 +165,9 @@ impl ProfilingTable {
 
     /// Iterate over `(benchmark, entry)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (BenchmarkId, &ProfileEntry)> {
-        self.entries.iter().map(|(&id, entry)| (BenchmarkId(id), entry))
+        self.entries
+            .iter()
+            .map(|(&id, entry)| (BenchmarkId(id), entry))
     }
 }
 
@@ -175,7 +181,11 @@ mod tests {
     fn cost(total: f64, cycles: u64) -> ExecutionCost {
         ExecutionCost {
             cycles,
-            energy: EnergyBreakdown { dynamic_nj: total, static_nj: 0.0, idle_nj: 0.0 },
+            energy: EnergyBreakdown {
+                dynamic_nj: total,
+                static_nj: 0.0,
+                idle_nj: 0.0,
+            },
         }
     }
 
@@ -196,7 +206,10 @@ mod tests {
         assert!(table.contains(BenchmarkId(3)));
         assert!(!table.contains(BenchmarkId(4)));
         assert_eq!(table.len(), 1);
-        assert_eq!(table.get(BenchmarkId(3)).unwrap().predicted_best_size, CacheSizeKb::K4);
+        assert_eq!(
+            table.get(BenchmarkId(3)).unwrap().predicted_best_size,
+            CacheSizeKb::K4
+        );
     }
 
     #[test]
@@ -228,7 +241,11 @@ mod tests {
         assert_eq!(e.best_known_for_size(CacheSizeKb::K2), None);
         // Drive the 2KB tuner to completion: origin, then a worse 32B line.
         e.record_execution(config("2KB_1W_16B"), cost(10.0, 5));
-        assert_eq!(e.best_known_for_size(CacheSizeKb::K2), None, "tuning still in flight");
+        assert_eq!(
+            e.best_known_for_size(CacheSizeKb::K2),
+            None,
+            "tuning still in flight"
+        );
         e.record_execution(config("2KB_1W_32B"), cost(20.0, 5));
         let (best, best_cost) = e.best_known_for_size(CacheSizeKb::K2).unwrap();
         assert_eq!(best, config("2KB_1W_16B"));

@@ -36,7 +36,11 @@ pub struct BaseSystem<'a> {
 impl<'a> BaseSystem<'a> {
     /// A base system over `num_cores` identical 8 KB cores.
     pub fn new(oracle: &'a SuiteOracle, model: EnergyModel, num_cores: usize) -> Self {
-        BaseSystem { oracle, model, num_cores }
+        BaseSystem {
+            oracle,
+            model,
+            num_cores,
+        }
     }
 
     /// Number of cores in the homogeneous system.
@@ -50,7 +54,13 @@ impl Scheduler for BaseSystem<'_> {
         match cores.iter().find(|c| c.is_idle()) {
             Some(core) => {
                 let cost = self.oracle.cost(job.benchmark, BASE_CONFIG);
-                Decision::run(core.id, JobExecution { cycles: cost.cycles, energy: cost.energy })
+                Decision::run(
+                    core.id,
+                    JobExecution {
+                        cycles: cost.cycles,
+                        energy: cost.energy,
+                    },
+                )
             }
             None => Decision::Stall,
         }
@@ -94,6 +104,9 @@ mod tests {
             .map(|a| oracle.cost(a.benchmark, BASE_CONFIG).total_nj())
             .sum();
         let got = metrics.energy.dynamic_nj + metrics.energy.static_nj;
-        assert!((got - expected).abs() < 1e-6, "expected {expected}, got {got}");
+        assert!(
+            (got - expected).abs() < 1e-6,
+            "expected {expected}, got {got}"
+        );
     }
 }

@@ -98,7 +98,13 @@ impl<'a> Shared<'a> {
     /// Launch `job` on `core` in `config`, registering all bookkeeping.
     /// The execution's true cost comes from the oracle — this is the
     /// physical act of running the job.
-    pub fn launch(&mut self, job: &Job, core: CoreId, config: CacheConfig, pending: Pending) -> Decision {
+    pub fn launch(
+        &mut self,
+        job: &Job,
+        core: CoreId,
+        config: CacheConfig,
+        pending: Pending,
+    ) -> Decision {
         let cost = self.oracle.cost(job.benchmark, config);
         self.core_config[core.0] = config;
         self.running[core.0] = Some(Running { cost });
@@ -108,7 +114,13 @@ impl<'a> Shared<'a> {
             self.stats.profiling_runs += 1;
             self.stats.profiling_energy_nj += cost.total_nj();
         }
-        Decision::run(core, JobExecution { cycles: cost.cycles, energy: cost.energy })
+        Decision::run(
+            core,
+            JobExecution {
+                cycles: cost.cycles,
+                energy: cost.energy,
+            },
+        )
     }
 
     /// Try to start a profiling execution for `job` on the primary (then
@@ -126,7 +138,9 @@ impl<'a> Shared<'a> {
                     job,
                     core,
                     BASE_CONFIG,
-                    Pending::Profile { benchmark: job.benchmark },
+                    Pending::Profile {
+                        benchmark: job.benchmark,
+                    },
                 );
             }
         }
@@ -136,7 +150,12 @@ impl<'a> Shared<'a> {
     /// Apply the profiling-table effects of a completed job. The caller
     /// supplies the best-size prediction to store for fresh profiles
     /// (ANN output, or ground truth for the optimal comparator).
-    pub fn complete(&mut self, job: &Job, core: CoreId, predict: impl FnOnce(&Self) -> CacheSizeKb) {
+    pub fn complete(
+        &mut self,
+        job: &Job,
+        core: CoreId,
+        predict: impl FnOnce(&Self) -> CacheSizeKb,
+    ) {
         self.running[core.0] = None;
         match self.pending.remove(&job.seq) {
             Some(Pending::Profile { benchmark }) => {
@@ -186,18 +205,30 @@ mod tests {
 
     fn fixture() -> (&'static Architecture, &'static SuiteOracle, EnergyModel) {
         let model = EnergyModel::default();
-        let oracle =
-            Box::leak(Box::new(SuiteOracle::build(&Suite::eembc_like_small(), &model)));
+        let oracle = Box::leak(Box::new(SuiteOracle::build(
+            &Suite::eembc_like_small(),
+            &model,
+        )));
         let arch = Box::leak(Box::new(Architecture::paper_quad()));
         (arch, oracle, model)
     }
 
     fn job(seq: u64, benchmark: usize) -> Job {
-        Job { seq, benchmark: BenchmarkId(benchmark), arrival: 0, priority: 0 }
+        Job {
+            seq,
+            benchmark: BenchmarkId(benchmark),
+            arrival: 0,
+            priority: 0,
+        }
     }
 
     fn all_idle(n: usize) -> Vec<CoreView> {
-        (0..n).map(|i| CoreView { id: CoreId(i), busy: None }).collect()
+        (0..n)
+            .map(|i| CoreView {
+                id: CoreId(i),
+                busy: None,
+            })
+            .collect()
     }
 
     #[test]
@@ -210,7 +241,10 @@ mod tests {
             &job,
             CoreId(0),
             config,
-            Pending::Execution { benchmark: job.benchmark, config },
+            Pending::Execution {
+                benchmark: job.benchmark,
+                config,
+            },
         );
         let expected = oracle.cost(job.benchmark, config);
         match decision {
@@ -232,8 +266,10 @@ mod tests {
         let mut shared = Shared::new(arch, oracle, model);
         let job = job(7, 2);
         let decision = shared.try_profile(&job, &all_idle(4));
-        assert!(matches!(decision, Decision::Run { core, .. } if core == CoreId(3)),
-            "profiling must start on the primary profiling core");
+        assert!(
+            matches!(decision, Decision::Run { core, .. } if core == CoreId(3)),
+            "profiling must start on the primary profiling core"
+        );
         assert_eq!(shared.stats.profiling_runs, 1);
         assert!(shared.profiling_in_flight.contains_key(&BenchmarkId(2)));
 
@@ -263,7 +299,11 @@ mod tests {
         let mut views = all_idle(4);
         views[3] = CoreView {
             id: CoreId(3),
-            busy: Some(BusyInfo { job: job(99, 0), started: 0, busy_until: 100 }),
+            busy: Some(BusyInfo {
+                job: job(99, 0),
+                started: 0,
+                busy_until: 100,
+            }),
         };
         let decision = shared.try_profile(&job(0, 1), &views);
         assert!(matches!(decision, Decision::Run { core, .. } if core == CoreId(2)));
@@ -271,7 +311,11 @@ mod tests {
         let mut both = views.clone();
         both[2] = CoreView {
             id: CoreId(2),
-            busy: Some(BusyInfo { job: job(98, 0), started: 0, busy_until: 100 }),
+            busy: Some(BusyInfo {
+                job: job(98, 0),
+                started: 0,
+                busy_until: 100,
+            }),
         };
         assert_eq!(shared.try_profile(&job(1, 2), &both), Decision::Stall);
     }
@@ -285,10 +329,21 @@ mod tests {
         shared.abort(&job, CoreId(3));
         assert!(shared.running[3].is_none());
         assert!(!shared.profiling_in_flight.contains_key(&BenchmarkId(4)));
-        assert!(!shared.table.contains(BenchmarkId(4)), "no entry from an aborted profile");
+        assert!(
+            !shared.table.contains(BenchmarkId(4)),
+            "no entry from an aborted profile"
+        );
         // The benchmark can be profiled again afterwards.
-        let again = Job { seq: 1, benchmark: BenchmarkId(4), arrival: 10, priority: 0 };
-        assert!(matches!(shared.try_profile(&again, &all_idle(4)), Decision::Run { .. }));
+        let again = Job {
+            seq: 1,
+            benchmark: BenchmarkId(4),
+            arrival: 10,
+            priority: 0,
+        };
+        assert!(matches!(
+            shared.try_profile(&again, &all_idle(4)),
+            Decision::Run { .. }
+        ));
     }
 
     #[test]
@@ -304,7 +359,10 @@ mod tests {
             &job,
             CoreId(3),
             cache_sim::BASE_CONFIG,
-            Pending::Execution { benchmark: job.benchmark, config: cache_sim::BASE_CONFIG },
+            Pending::Execution {
+                benchmark: job.benchmark,
+                config: cache_sim::BASE_CONFIG,
+            },
         );
         assert_eq!(
             shared.idle_power(CoreId(3)),
@@ -317,7 +375,11 @@ mod tests {
         let mut views = all_idle(3);
         views[0] = CoreView {
             id: CoreId(0),
-            busy: Some(BusyInfo { job: job(0, 0), started: 0, busy_until: 10 }),
+            busy: Some(BusyInfo {
+                job: job(0, 0),
+                started: 0,
+                busy_until: 10,
+            }),
         };
         assert_eq!(Shared::first_idle(&views), Some(CoreId(1)));
     }

@@ -51,7 +51,10 @@ impl<'a> EnergyCentricSystem<'a> {
         model: EnergyModel,
         predictor: BestCorePredictor,
     ) -> Self {
-        EnergyCentricSystem { shared: Shared::new(arch, oracle, model), predictor }
+        EnergyCentricSystem {
+            shared: Shared::new(arch, oracle, model),
+            predictor,
+        }
     }
 
     /// Instrumentation counters.
@@ -73,7 +76,9 @@ impl Scheduler for EnergyCentricSystem<'_> {
             return shared.try_profile(job, cores);
         }
         let entry = shared.table.get(job.benchmark).expect("checked above");
-        let best_size = shared.arch.nearest_available_size(entry.predicted_best_size);
+        let best_size = shared
+            .arch
+            .nearest_available_size(entry.predicted_best_size);
 
         // Only the predicted best core(s) are acceptable; stall otherwise.
         let target = shared
@@ -100,7 +105,15 @@ impl Scheduler for EnergyCentricSystem<'_> {
                 }
             }
         };
-        shared.launch(job, core, config, Pending::Execution { benchmark: job.benchmark, config })
+        shared.launch(
+            job,
+            core,
+            config,
+            Pending::Execution {
+                benchmark: job.benchmark,
+                config,
+            },
+        )
     }
 
     fn idle_power_nj_per_cycle(&self, core: CoreId) -> f64 {
@@ -110,10 +123,9 @@ impl Scheduler for EnergyCentricSystem<'_> {
     fn on_complete(&mut self, job: &Job, core: CoreId, _now: u64) {
         let benchmark = job.benchmark;
         let predictor = &self.predictor;
-        self.shared
-            .complete(job, core, |shared| {
-                predictor.predict(&shared.oracle.execution_statistics(benchmark))
-            });
+        self.shared.complete(job, core, |shared| {
+            predictor.predict(&shared.oracle.execution_statistics(benchmark))
+        });
     }
 
     fn on_preempt(&mut self, job: &Job, core: CoreId, _now: u64) {
@@ -128,7 +140,11 @@ mod tests {
     use multicore_sim::Simulator;
     use workloads::{ArrivalPlan, Suite};
 
-    fn run_system(jobs: usize, horizon: u64, seed: u64) -> (EnergyCentricSystemOwned, multicore_sim::RunMetrics) {
+    fn run_system(
+        jobs: usize,
+        horizon: u64,
+        seed: u64,
+    ) -> (EnergyCentricSystemOwned, multicore_sim::RunMetrics) {
         let suite = Suite::eembc_like_small();
         let model = EnergyModel::default();
         let oracle = Box::leak(Box::new(SuiteOracle::build(&suite, &model)));
@@ -173,6 +189,9 @@ mod tests {
     fn stalls_occur_under_contention() {
         // Tight horizon: many jobs competing for the same best cores.
         let (_, metrics) = run_system(150, 1_000_000, 23);
-        assert!(metrics.stalls > 0, "always-stall policy must stall under load");
+        assert!(
+            metrics.stalls > 0,
+            "always-stall policy must stall under load"
+        );
     }
 }

@@ -48,7 +48,9 @@ impl<'a> OptimalSystem<'a> {
     /// Build over the Figure 1 architecture and the exhaustive-search
     /// results.
     pub fn new(arch: &'a Architecture, oracle: &'a SuiteOracle, model: EnergyModel) -> Self {
-        OptimalSystem { shared: Shared::new(arch, oracle, model) }
+        OptimalSystem {
+            shared: Shared::new(arch, oracle, model),
+        }
     }
 
     /// Instrumentation counters.
@@ -124,8 +126,7 @@ impl Scheduler for OptimalSystem<'_> {
         // Exploration phase: physically execute every configuration once.
         // Prefer an idle core that still has unexplored configurations.
         if !self.fully_explored(job.benchmark) {
-            let idle: Vec<CoreId> =
-                cores.iter().filter(|c| c.is_idle()).map(|c| c.id).collect();
+            let idle: Vec<CoreId> = cores.iter().filter(|c| c.is_idle()).map(|c| c.id).collect();
             if idle.is_empty() {
                 return Decision::Stall;
             }
@@ -136,7 +137,10 @@ impl Scheduler for OptimalSystem<'_> {
                         job,
                         core,
                         config,
-                        Pending::Execution { benchmark: job.benchmark, config },
+                        Pending::Execution {
+                            benchmark: job.benchmark,
+                            config,
+                        },
                     );
                 }
             }
@@ -148,7 +152,10 @@ impl Scheduler for OptimalSystem<'_> {
                 job,
                 core,
                 config,
-                Pending::Execution { benchmark: job.benchmark, config },
+                Pending::Execution {
+                    benchmark: job.benchmark,
+                    config,
+                },
             );
         }
 
@@ -166,7 +173,15 @@ impl Scheduler for OptimalSystem<'_> {
             None => return Decision::Stall,
         };
         let config = self.learned_best_on(job.benchmark, target);
-        self.shared.launch(job, target, config, Pending::Execution { benchmark: job.benchmark, config })
+        self.shared.launch(
+            job,
+            target,
+            config,
+            Pending::Execution {
+                benchmark: job.benchmark,
+                config,
+            },
+        )
     }
 
     fn idle_power_nj_per_cycle(&self, core: CoreId) -> f64 {
@@ -175,7 +190,8 @@ impl Scheduler for OptimalSystem<'_> {
 
     fn on_complete(&mut self, job: &Job, core: CoreId, _now: u64) {
         let benchmark = job.benchmark;
-        self.shared.complete(job, core, |shared| shared.oracle.best_size(benchmark));
+        self.shared
+            .complete(job, core, |shared| shared.oracle.best_size(benchmark));
     }
 
     fn on_preempt(&mut self, job: &Job, core: CoreId, _now: u64) {

@@ -128,7 +128,15 @@ impl<'a> ProposedSystem<'a> {
                 TuningStatus::Done(config) => config,
             },
         };
-        shared.launch(job, core, config, Pending::Execution { benchmark: job.benchmark, config })
+        shared.launch(
+            job,
+            core,
+            config,
+            Pending::Execution {
+                benchmark: job.benchmark,
+                config,
+            },
+        )
     }
 }
 
@@ -151,7 +159,10 @@ impl Scheduler for ProposedSystem<'_> {
         }
 
         let entry = self.shared.table.get(job.benchmark).expect("profiled");
-        let best_size = self.shared.arch.nearest_available_size(entry.predicted_best_size);
+        let best_size = self
+            .shared
+            .arch
+            .nearest_available_size(entry.predicted_best_size);
         let best_cores = self.shared.arch.cores_with_size(best_size);
 
         // Phase 2: the best core is idle — schedule there.
@@ -160,8 +171,7 @@ impl Scheduler for ProposedSystem<'_> {
         }
 
         // The best core is busy. Candidates are all idle (non-best) cores.
-        let idle: Vec<CoreId> =
-            cores.iter().filter(|c| c.is_idle()).map(|c| c.id).collect();
+        let idle: Vec<CoreId> = cores.iter().filter(|c| c.is_idle()).map(|c| c.id).collect();
         if idle.is_empty() {
             return Decision::Stall;
         }
@@ -217,8 +227,8 @@ impl Scheduler for ProposedSystem<'_> {
                 DecisionPolicy::AlwaysRun => true,
             };
             if borrow {
-                let better = chosen
-                    .is_none_or(|(_, _, cost)| b_on_candidate.total_nj() < cost.total_nj());
+                let better =
+                    chosen.is_none_or(|(_, _, cost)| b_on_candidate.total_nj() < cost.total_nj());
                 if better {
                     chosen = Some((candidate, config, b_on_candidate));
                 }
@@ -232,7 +242,10 @@ impl Scheduler for ProposedSystem<'_> {
                     job,
                     core,
                     config,
-                    Pending::Execution { benchmark: job.benchmark, config },
+                    Pending::Execution {
+                        benchmark: job.benchmark,
+                        config,
+                    },
                 )
             }
             None => Decision::Stall,
@@ -276,10 +289,20 @@ mod tests {
         let model = EnergyModel::default();
         let oracle = Box::leak(Box::new(SuiteOracle::build(&suite, &model)));
         let arch = Box::leak(Box::new(Architecture::paper_quad()));
-        Fixture { suite, model, oracle, arch }
+        Fixture {
+            suite,
+            model,
+            oracle,
+            arch,
+        }
     }
 
-    fn run_proposed(f: &Fixture, jobs: usize, horizon: u64, seed: u64) -> (SystemStats, usize, RunMetrics) {
+    fn run_proposed(
+        f: &Fixture,
+        jobs: usize,
+        horizon: u64,
+        seed: u64,
+    ) -> (SystemStats, usize, RunMetrics) {
         let predictor = BestCorePredictor::train(f.oracle, &PredictorConfig::fast());
         let mut system = ProposedSystem::with_model(f.arch, f.oracle, f.model, predictor);
         let plan = ArrivalPlan::uniform(jobs, horizon, f.suite.len(), seed);
@@ -320,7 +343,10 @@ mod tests {
     fn takes_energy_advantageous_decisions_under_contention() {
         let f = fixture();
         let (stats, _, _) = run_proposed(&f, 400, 10_000_000, 35);
-        assert!(stats.decisions_evaluated > 0, "contention must trigger IV.E evaluations");
+        assert!(
+            stats.decisions_evaluated > 0,
+            "contention must trigger IV.E evaluations"
+        );
     }
 
     #[test]

@@ -158,7 +158,10 @@ impl TuningExplorer {
                         // Fix the associativity; begin line exploration from
                         // the next line size above the origin.
                         self.phase = TuningPhase::LineSize;
-                        best_config.line().next_larger().map(|l| best_config.with_line(l))
+                        best_config
+                            .line()
+                            .next_larger()
+                            .map(|l| best_config.with_line(l))
                     }
                 }
             }
@@ -198,7 +201,9 @@ mod tests {
             explorer.record(config, energy(config));
             assert!(visited.len() <= 18, "explorer must terminate");
         }
-        let TuningStatus::Done(best) = explorer.status() else { unreachable!() };
+        let TuningStatus::Done(best) = explorer.status() else {
+            unreachable!()
+        };
         (best, visited)
     }
 
@@ -218,9 +223,8 @@ mod tests {
         // Energy strictly increases with both parameters: the explorer
         // measures the origin, one worse associativity step (8/4 KB only),
         // one worse line step, then stops at the origin.
-        let energy = |c: CacheConfig| {
-            c.associativity().ways() as f64 * 10.0 + c.line().bytes() as f64
-        };
+        let energy =
+            |c: CacheConfig| c.associativity().ways() as f64 * 10.0 + c.line().bytes() as f64;
         let (best2, visited2) = drive(CacheSizeKb::K2, energy);
         assert_eq!(best2.to_string(), "2KB_1W_16B");
         assert_eq!(visited2.len(), 2); // origin + 32B line (worse)
@@ -232,9 +236,8 @@ mod tests {
 
     #[test]
     fn monotone_better_reaches_maximum_configuration() {
-        let energy = |c: CacheConfig| {
-            -(c.associativity().ways() as f64 * 10.0 + c.line().bytes() as f64)
-        };
+        let energy =
+            |c: CacheConfig| -(c.associativity().ways() as f64 * 10.0 + c.line().bytes() as f64);
         let (best, visited) = drive(CacheSizeKb::K8, energy);
         assert_eq!(best.to_string(), "8KB_4W_64B");
         // 1W,2W,4W at 16B, then 32B, 64B at 4W.
@@ -255,8 +258,9 @@ mod tests {
                 -((c.associativity().ways() * 100 + c.line().bytes()) as f64)
             });
             assert_eq!(all_better.1.len(), max_assoc_steps + 2);
-            let all_worse =
-                drive(size, |c| (c.associativity().ways() * 100 + c.line().bytes()) as f64);
+            let all_worse = drive(size, |c| {
+                (c.associativity().ways() * 100 + c.line().bytes()) as f64
+            });
             assert_eq!(all_worse.1.len(), if max_assoc_steps == 1 { 2 } else { 3 });
         }
     }
@@ -286,7 +290,9 @@ mod tests {
     fn never_proposes_invalid_configurations() {
         // 2 KB cores must never be asked for 2- or 4-way.
         let (_, visited) = drive(CacheSizeKb::K2, |c| -f64::from(c.line().bytes()));
-        assert!(visited.iter().all(|c| c.associativity() == Associativity::Direct));
+        assert!(visited
+            .iter()
+            .all(|c| c.associativity() == Associativity::Direct));
     }
 
     #[test]
@@ -331,7 +337,9 @@ mod tests {
             steps += 1;
         }
         assert_eq!(steps, explorer.explored_count());
-        let TuningStatus::Done(best) = explorer.status() else { unreachable!() };
+        let TuningStatus::Done(best) = explorer.status() else {
+            unreachable!()
+        };
         assert_eq!(best.to_string(), "8KB_4W_16B");
     }
 }

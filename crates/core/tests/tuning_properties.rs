@@ -22,7 +22,10 @@ fn arbitrary_size() -> impl Strategy<Value = CacheSizeKb> {
 
 /// Drive the explorer to completion against a random surface; returns the
 /// visited path and the concluded best.
-fn drive(size: CacheSizeKb, surface: &HashMap<String, f64>) -> (Vec<(CacheConfig, f64)>, CacheConfig) {
+fn drive(
+    size: CacheSizeKb,
+    surface: &HashMap<String, f64>,
+) -> (Vec<(CacheConfig, f64)>, CacheConfig) {
     let mut explorer = TuningExplorer::new(size);
     let mut path = Vec::new();
     while let TuningStatus::Explore(config) = explorer.status() {
@@ -31,16 +34,17 @@ fn drive(size: CacheSizeKb, surface: &HashMap<String, f64>) -> (Vec<(CacheConfig
         explorer.record(config, energy);
         assert!(path.len() <= 18, "must terminate");
     }
-    let TuningStatus::Done(best) = explorer.status() else { unreachable!() };
+    let TuningStatus::Done(best) = explorer.status() else {
+        unreachable!()
+    };
     (path, best)
 }
 
 fn arbitrary_surface() -> impl Strategy<Value = HashMap<String, f64>> {
     let configs: Vec<String> = cache_sim::design_space().map(|c| c.to_string()).collect();
     let n = configs.len();
-    prop::collection::vec(0.0f64..1000.0, n).prop_map(move |energies| {
-        configs.iter().cloned().zip(energies).collect()
-    })
+    prop::collection::vec(0.0f64..1000.0, n)
+        .prop_map(move |energies| configs.iter().cloned().zip(energies).collect())
 }
 
 proptest! {

@@ -101,7 +101,10 @@ mod tests {
     fn base_config_read_energy_is_plausible_for_180nm() {
         let base = cache_sim::BASE_CONFIG;
         let nj = read_energy_nj(base);
-        assert!((0.5..3.0).contains(&nj), "base read energy {nj} nJ out of range");
+        assert!(
+            (0.5..3.0).contains(&nj),
+            "base read energy {nj} nJ out of range"
+        );
     }
 
     #[test]
@@ -125,8 +128,11 @@ mod tests {
     #[test]
     fn all_energies_positive_and_finite() {
         for config in design_space() {
-            for value in [read_energy_nj(config), fill_energy_nj(config), offchip_energy_nj(config)]
-            {
+            for value in [
+                read_energy_nj(config),
+                fill_energy_nj(config),
+                offchip_energy_nj(config),
+            ] {
                 assert!(value.is_finite() && value > 0.0, "{config}: {value}");
             }
         }

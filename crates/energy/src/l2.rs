@@ -69,9 +69,9 @@ impl L2Params {
         // leakage-optimised L2 designs. Without this, a 64 KB L2 would
         // leak 8x the largest L1 and dominate every energy comparison.
         const L2_LEAKAGE_DENSITY_FACTOR: f64 = 0.20;
-        let per_kb = L2_LEAKAGE_DENSITY_FACTOR * 0.10
-            * crate::cacti::read_energy_nj(cache_sim::BASE_CONFIG)
-            / 8.0;
+        let per_kb =
+            L2_LEAKAGE_DENSITY_FACTOR * 0.10 * crate::cacti::read_energy_nj(cache_sim::BASE_CONFIG)
+                / 8.0;
         L2Params {
             geometry,
             hit_latency_cycles: 8,

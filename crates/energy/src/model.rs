@@ -55,7 +55,10 @@ impl EnergyParams {
     ///
     /// Panics if `fraction` is not finite and non-negative.
     pub fn bandwidth_fraction(mut self, fraction: f64) -> Self {
-        assert!(fraction.is_finite() && fraction >= 0.0, "bandwidth fraction must be >= 0");
+        assert!(
+            fraction.is_finite() && fraction >= 0.0,
+            "bandwidth fraction must be >= 0"
+        );
         self.bandwidth_fraction = fraction;
         self
     }
@@ -77,7 +80,10 @@ impl EnergyParams {
     ///
     /// Panics if `fraction` is not finite and non-negative.
     pub fn static_fraction(mut self, fraction: f64) -> Self {
-        assert!(fraction.is_finite() && fraction >= 0.0, "static fraction must be >= 0");
+        assert!(
+            fraction.is_finite() && fraction >= 0.0,
+            "static fraction must be >= 0"
+        );
         self.static_fraction = fraction;
         self
     }
@@ -139,7 +145,10 @@ impl EnergyModel {
         let base_dyn = cacti::read_energy_nj(BASE_CONFIG);
         let static_nj_per_kb_cycle =
             params.static_fraction * base_dyn / f64::from(BASE_CONFIG.size().kilobytes());
-        EnergyModel { params, static_nj_per_kb_cycle }
+        EnergyModel {
+            params,
+            static_nj_per_kb_cycle,
+        }
     }
 
     /// The parameters this model was built with.
@@ -239,15 +248,17 @@ impl EnergyModel {
 
         let dynamic_nj = stats.l1.hits() as f64 * self.hit_energy_nj(config)
             + l1_misses as f64 * (l2.access_energy_nj + crate::cacti::fill_energy_nj(config))
-            + l2_misses as f64
-                * (crate::cacti::offchip_energy_nj(config) + l2.fill_energy_nj)
+            + l2_misses as f64 * (crate::cacti::offchip_energy_nj(config) + l2.fill_energy_nj)
             + miss_cycles as f64 * self.params.cpu_stall_nj_per_cycle;
 
-        let static_nj =
-            cycles as f64 * (self.static_nj_per_cycle(config) + l2.static_nj_per_cycle);
+        let static_nj = cycles as f64 * (self.static_nj_per_cycle(config) + l2.static_nj_per_cycle);
         ExecutionCost {
             cycles,
-            energy: EnergyBreakdown { idle_nj: 0.0, dynamic_nj, static_nj },
+            energy: EnergyBreakdown {
+                idle_nj: 0.0,
+                dynamic_nj,
+                static_nj,
+            },
         }
     }
 }
@@ -287,7 +298,10 @@ mod tests {
         let m = model();
         let small = m.static_energy_nj(config("2KB_1W_16B"), 1000);
         let large = m.static_energy_nj(config("8KB_4W_64B"), 1000);
-        assert!((large / small - 4.0).abs() < 1e-9, "8KB leaks 4x a 2KB cache");
+        assert!(
+            (large / small - 4.0).abs() < 1e-9,
+            "8KB leaks 4x a 2KB cache"
+        );
         assert_eq!(m.static_energy_nj(config("2KB_1W_16B"), 0), 0.0);
         let twice = m.static_energy_nj(config("2KB_1W_16B"), 2000);
         assert!((twice / small - 2.0).abs() < 1e-9);
@@ -362,7 +376,11 @@ mod tests {
 
     #[test]
     fn params_builder_overrides_take_effect() {
-        let m = EnergyModel::new(EnergyParams::new().miss_latency_cycles(80).bandwidth_fraction(0.0));
+        let m = EnergyModel::new(
+            EnergyParams::new()
+                .miss_latency_cycles(80)
+                .bandwidth_fraction(0.0),
+        );
         assert_eq!(m.miss_cycles(config("8KB_4W_64B"), 1), 80);
     }
 
@@ -419,7 +437,10 @@ mod tests {
         for _ in 0..500 {
             l1.record_hit(false);
         }
-        let stats = cache_sim::HierarchyStats { l1, l2: CacheStats::new() };
+        let stats = cache_sim::HierarchyStats {
+            l1,
+            l2: CacheStats::new(),
+        };
         let flat = m.execution(cfg, &stats.l1, 5_000);
         let stacked = m.execution_with_l2(cfg, &stats, 5_000, &l2);
         assert_eq!(stacked.cycles, flat.cycles, "no misses: identical timing");

@@ -112,14 +112,26 @@ mod tests {
 
     #[test]
     fn total_is_sum_of_components() {
-        let e = EnergyBreakdown { idle_nj: 1.5, dynamic_nj: 2.5, static_nj: 4.0 };
+        let e = EnergyBreakdown {
+            idle_nj: 1.5,
+            dynamic_nj: 2.5,
+            static_nj: 4.0,
+        };
         assert!((e.total() - 8.0).abs() < 1e-12);
     }
 
     #[test]
     fn addition_accumulates() {
-        let a = EnergyBreakdown { idle_nj: 1.0, dynamic_nj: 2.0, static_nj: 3.0 };
-        let b = EnergyBreakdown { idle_nj: 0.5, dynamic_nj: 0.5, static_nj: 0.5 };
+        let a = EnergyBreakdown {
+            idle_nj: 1.0,
+            dynamic_nj: 2.0,
+            static_nj: 3.0,
+        };
+        let b = EnergyBreakdown {
+            idle_nj: 0.5,
+            dynamic_nj: 0.5,
+            static_nj: 0.5,
+        };
         let sum = a + b;
         assert_eq!(sum.idle_nj, 1.5);
         assert_eq!(sum.dynamic_nj, 2.5);
@@ -128,7 +140,11 @@ mod tests {
 
     #[test]
     fn normalisation_to_self_is_unity() {
-        let e = EnergyBreakdown { idle_nj: 3.0, dynamic_nj: 5.0, static_nj: 7.0 };
+        let e = EnergyBreakdown {
+            idle_nj: 3.0,
+            dynamic_nj: 5.0,
+            static_nj: 7.0,
+        };
         let n = e.normalized_to(&e);
         assert!((n.idle - 1.0).abs() < 1e-12);
         assert!((n.dynamic - 1.0).abs() < 1e-12);
@@ -137,7 +153,11 @@ mod tests {
 
     #[test]
     fn display_formats_all_components() {
-        let e = EnergyBreakdown { idle_nj: 1.0, dynamic_nj: 2.0, static_nj: 3.0 };
+        let e = EnergyBreakdown {
+            idle_nj: 1.0,
+            dynamic_nj: 2.0,
+            static_nj: 3.0,
+        };
         let text = e.to_string();
         assert!(text.contains("idle") && text.contains("dynamic") && text.contains("static"));
     }

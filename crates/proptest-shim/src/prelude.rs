@@ -1,0 +1,5 @@
+//! Everything a property-test file needs, mirroring `proptest::prelude`.
+
+pub use crate::strategy::{prop, Strategy};
+pub use crate::test_runner::Config as ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};

@@ -1,0 +1,31 @@
+//! Runner configuration: the shim's analogue of `proptest::test_runner`.
+
+/// How many cases each property runs.
+///
+/// The default is 64 cases (the real proptest defaults to 256; the shim
+/// trades a little coverage for single-core test-suite latency). Override
+/// globally with the `PROPTEST_CASES` environment variable or per block
+/// with `ProptestConfig::with_cases`.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Requested number of cases; `None` defers to the environment.
+    pub cases: Option<u32>,
+}
+
+impl Config {
+    /// Run exactly `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases: Some(cases) }
+    }
+
+    /// The case count after applying the environment override.
+    pub fn resolved_cases(&self) -> u32 {
+        if let Some(cases) = self.cases {
+            return cases;
+        }
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+}

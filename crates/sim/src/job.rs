@@ -47,7 +47,12 @@ mod tests {
 
     #[test]
     fn job_display_mentions_seq_and_benchmark() {
-        let job = Job { seq: 3, benchmark: BenchmarkId(7), arrival: 100, priority: 0 };
+        let job = Job {
+            seq: 3,
+            benchmark: BenchmarkId(7),
+            arrival: 100,
+            priority: 0,
+        };
         assert_eq!(job.to_string(), "job#3(B7)");
     }
 }

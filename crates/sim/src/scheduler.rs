@@ -119,7 +119,10 @@ mod tests {
 
     #[test]
     fn idle_view_reports_idle() {
-        let view = CoreView { id: CoreId(0), busy: None };
+        let view = CoreView {
+            id: CoreId(0),
+            busy: None,
+        };
         assert!(view.is_idle());
     }
 }

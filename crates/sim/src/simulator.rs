@@ -56,7 +56,10 @@ impl Simulator {
     /// Panics if `num_cores == 0`.
     pub fn new(num_cores: usize) -> Self {
         assert!(num_cores > 0, "need at least one core");
-        Simulator { num_cores, discipline: QueueDiscipline::Fifo }
+        Simulator {
+            num_cores,
+            discipline: QueueDiscipline::Fifo,
+        }
     }
 
     /// Select the ready-queue discipline.
@@ -151,7 +154,9 @@ impl Simulator {
                 if token != tokens[index] {
                     continue; // preempted execution
                 }
-                let info = cores[index].take().expect("completion for an occupied core");
+                let info = cores[index]
+                    .take()
+                    .expect("completion for an occupied core");
                 running_exec[index] = None;
                 debug_assert_eq!(info.busy_until, t);
                 jobs_completed += 1;
@@ -211,9 +216,7 @@ impl Simulator {
                     // (greatest refund), then core index.
                     let victim = (0..self.num_cores)
                         .filter_map(|i| cores[i].map(|info| (i, info)))
-                        .min_by_key(|(i, info)| {
-                            (info.job.priority, Reverse(info.busy_until), *i)
-                        });
+                        .min_by_key(|(i, info)| (info.job.priority, Reverse(info.busy_until), *i));
                     if let Some((index, info)) = victim {
                         if info.job.priority < urgent.priority {
                             let views: Vec<CoreView> = cores
@@ -278,7 +281,10 @@ impl Simulator {
                     let views: Vec<CoreView> = cores
                         .iter()
                         .enumerate()
-                        .map(|(index, busy)| CoreView { id: CoreId(index), busy: *busy })
+                        .map(|(index, busy)| CoreView {
+                            id: CoreId(index),
+                            busy: *busy,
+                        })
                         .collect();
                     match scheduler.schedule(&job, &views, clock) {
                         Decision::Run { core, execution } => {
@@ -362,7 +368,10 @@ mod tests {
                     CoreId(0),
                     JobExecution {
                         cycles: self.duration,
-                        energy: EnergyBreakdown { dynamic_nj: 5.0, ..EnergyBreakdown::new() },
+                        energy: EnergyBreakdown {
+                            dynamic_nj: 5.0,
+                            ..EnergyBreakdown::new()
+                        },
                     },
                 )
             } else {
@@ -391,26 +400,39 @@ mod tests {
 
     #[test]
     fn serial_execution_on_one_core() {
-        let mut policy = SingleCore { duration: 100, completions_seen: Vec::new() };
+        let mut policy = SingleCore {
+            duration: 100,
+            completions_seen: Vec::new(),
+        };
         let metrics = Simulator::new(2).run(&plan(&[0, 10, 20]), &mut policy);
         assert_eq!(metrics.jobs_completed, 3);
         // Jobs run back-to-back on core 0: completions at 100, 200, 300.
         assert_eq!(metrics.total_cycles, 300);
         assert_eq!(metrics.busy_cycles[0], 300);
         assert_eq!(metrics.busy_cycles[1], 0);
-        assert_eq!(policy.completions_seen, vec![0, 1, 2], "FIFO completion order");
+        assert_eq!(
+            policy.completions_seen,
+            vec![0, 1, 2],
+            "FIFO completion order"
+        );
     }
 
     #[test]
     fn dynamic_energy_accumulates_per_job() {
-        let mut policy = SingleCore { duration: 50, completions_seen: Vec::new() };
+        let mut policy = SingleCore {
+            duration: 50,
+            completions_seen: Vec::new(),
+        };
         let metrics = Simulator::new(1).run(&plan(&[0, 0, 0, 0]), &mut policy);
         assert_eq!(metrics.energy.dynamic_nj, 20.0);
     }
 
     #[test]
     fn idle_energy_accrues_on_unused_cores() {
-        let mut policy = SingleCore { duration: 100, completions_seen: Vec::new() };
+        let mut policy = SingleCore {
+            duration: 100,
+            completions_seen: Vec::new(),
+        };
         let metrics = Simulator::new(2).run(&plan(&[0]), &mut policy);
         // Core 1 idles for the whole 100-cycle run at 1 nJ/cycle.
         assert_eq!(metrics.energy.idle_nj, 100.0);
@@ -418,7 +440,10 @@ mod tests {
 
     #[test]
     fn idle_energy_counts_gaps_between_arrivals() {
-        let mut policy = SingleCore { duration: 10, completions_seen: Vec::new() };
+        let mut policy = SingleCore {
+            duration: 10,
+            completions_seen: Vec::new(),
+        };
         // Job at 0 (busy 0-10), gap, job at 50 (busy 50-60).
         let metrics = Simulator::new(1).run(&plan(&[0, 50]), &mut policy);
         // Core 0 idle during [10, 50): 40 cycles.
@@ -428,7 +453,10 @@ mod tests {
 
     #[test]
     fn stalls_are_counted() {
-        let mut policy = SingleCore { duration: 100, completions_seen: Vec::new() };
+        let mut policy = SingleCore {
+            duration: 100,
+            completions_seen: Vec::new(),
+        };
         let metrics = Simulator::new(2).run(&plan(&[0, 0]), &mut policy);
         // Second job arrives while core 0 is busy: it stalls once at t=0,
         // then succeeds at t=100.
@@ -438,7 +466,10 @@ mod tests {
 
     #[test]
     fn turnaround_includes_queueing() {
-        let mut policy = SingleCore { duration: 100, completions_seen: Vec::new() };
+        let mut policy = SingleCore {
+            duration: 100,
+            completions_seen: Vec::new(),
+        };
         let metrics = Simulator::new(1).run(&plan(&[0, 0]), &mut policy);
         // Job 0: 0 -> 100 (100). Job 1: 0 -> 200 (200).
         assert_eq!(metrics.turnaround_cycles, 300);
@@ -460,7 +491,10 @@ mod tests {
             match cores.iter().find(|c| c.is_idle()) {
                 Some(core) => Decision::run(
                     core.id,
-                    JobExecution { cycles: 10, energy: EnergyBreakdown::new() },
+                    JobExecution {
+                        cycles: 10,
+                        energy: EnergyBreakdown::new(),
+                    },
                 ),
                 None => Decision::Stall,
             }
@@ -506,7 +540,13 @@ mod tests {
 
     impl Scheduler for DoubleBook {
         fn schedule(&mut self, _job: &Job, _cores: &[CoreView], _now: u64) -> Decision {
-            Decision::run(CoreId(0), JobExecution { cycles: 100, energy: EnergyBreakdown::new() })
+            Decision::run(
+                CoreId(0),
+                JobExecution {
+                    cycles: 100,
+                    energy: EnergyBreakdown::new(),
+                },
+            )
         }
 
         fn idle_power_nj_per_cycle(&self, _core: CoreId) -> f64 {
@@ -528,32 +568,69 @@ mod tests {
         // FIFO they run in arrival order; under Priority the urgent job
         // jumps ahead.
         let arrivals = vec![
-            Arrival { time: 0, benchmark: BenchmarkId(0), priority: 0 },
-            Arrival { time: 0, benchmark: BenchmarkId(1), priority: 0 },
-            Arrival { time: 0, benchmark: BenchmarkId(2), priority: 2 },
+            Arrival {
+                time: 0,
+                benchmark: BenchmarkId(0),
+                priority: 0,
+            },
+            Arrival {
+                time: 0,
+                benchmark: BenchmarkId(1),
+                priority: 0,
+            },
+            Arrival {
+                time: 0,
+                benchmark: BenchmarkId(2),
+                priority: 2,
+            },
         ];
         let plan = ArrivalPlan::from_arrivals(arrivals);
 
-        let mut fifo_policy = SingleCore { duration: 100, completions_seen: Vec::new() };
+        let mut fifo_policy = SingleCore {
+            duration: 100,
+            completions_seen: Vec::new(),
+        };
         let _ = Simulator::new(1).run(&plan, &mut fifo_policy);
         assert_eq!(fifo_policy.completions_seen, vec![0, 1, 2]);
 
-        let mut priority_policy = SingleCore { duration: 100, completions_seen: Vec::new() };
+        let mut priority_policy = SingleCore {
+            duration: 100,
+            completions_seen: Vec::new(),
+        };
         let _ = Simulator::new(1)
             .with_discipline(QueueDiscipline::Priority)
             .run(&plan, &mut priority_policy);
-        assert_eq!(priority_policy.completions_seen, vec![2, 0, 1], "urgent job first");
+        assert_eq!(
+            priority_policy.completions_seen,
+            vec![2, 0, 1],
+            "urgent job first"
+        );
     }
 
     #[test]
     fn priority_is_fifo_within_a_class() {
         let arrivals = vec![
-            Arrival { time: 0, benchmark: BenchmarkId(0), priority: 1 },
-            Arrival { time: 0, benchmark: BenchmarkId(1), priority: 1 },
-            Arrival { time: 0, benchmark: BenchmarkId(2), priority: 1 },
+            Arrival {
+                time: 0,
+                benchmark: BenchmarkId(0),
+                priority: 1,
+            },
+            Arrival {
+                time: 0,
+                benchmark: BenchmarkId(1),
+                priority: 1,
+            },
+            Arrival {
+                time: 0,
+                benchmark: BenchmarkId(2),
+                priority: 1,
+            },
         ];
         let plan = ArrivalPlan::from_arrivals(arrivals);
-        let mut policy = SingleCore { duration: 50, completions_seen: Vec::new() };
+        let mut policy = SingleCore {
+            duration: 50,
+            completions_seen: Vec::new(),
+        };
         let _ = Simulator::new(1)
             .with_discipline(QueueDiscipline::Priority)
             .run(&plan, &mut policy);
@@ -565,22 +642,35 @@ mod tests {
         // A low-priority job running when an urgent one arrives keeps the
         // core (no preemption — the paper's future-work boundary we keep).
         let arrivals = vec![
-            Arrival { time: 0, benchmark: BenchmarkId(0), priority: 0 },
-            Arrival { time: 10, benchmark: BenchmarkId(1), priority: 5 },
+            Arrival {
+                time: 0,
+                benchmark: BenchmarkId(0),
+                priority: 0,
+            },
+            Arrival {
+                time: 10,
+                benchmark: BenchmarkId(1),
+                priority: 5,
+            },
         ];
         let plan = ArrivalPlan::from_arrivals(arrivals);
-        let mut policy = SingleCore { duration: 100, completions_seen: Vec::new() };
+        let mut policy = SingleCore {
+            duration: 100,
+            completions_seen: Vec::new(),
+        };
         let metrics = Simulator::new(1)
             .with_discipline(QueueDiscipline::Priority)
             .run(&plan, &mut policy);
         assert_eq!(policy.completions_seen, vec![0, 1]);
-        assert_eq!(metrics.total_cycles, 200, "urgent job waits for the running one");
+        assert_eq!(
+            metrics.total_cycles, 200,
+            "urgent job waits for the running one"
+        );
     }
 
     #[test]
     fn empty_plan_completes_trivially() {
-        let metrics =
-            Simulator::new(3).run(&ArrivalPlan::from_arrivals(vec![]), &mut AlwaysStall);
+        let metrics = Simulator::new(3).run(&ArrivalPlan::from_arrivals(vec![]), &mut AlwaysStall);
         assert_eq!(metrics.jobs_completed, 0);
         assert_eq!(metrics.total_cycles, 0);
         assert_eq!(metrics.energy.total(), 0.0);
@@ -592,11 +682,22 @@ mod tests {
         // arrives at t=30 with every core busy: the victim is evicted,
         // the urgent job runs 30..130, and the victim restarts after it.
         let arrivals = vec![
-            Arrival { time: 0, benchmark: BenchmarkId(0), priority: 0 },
-            Arrival { time: 30, benchmark: BenchmarkId(1), priority: 3 },
+            Arrival {
+                time: 0,
+                benchmark: BenchmarkId(0),
+                priority: 0,
+            },
+            Arrival {
+                time: 30,
+                benchmark: BenchmarkId(1),
+                priority: 3,
+            },
         ];
         let plan = ArrivalPlan::from_arrivals(arrivals);
-        let mut policy = SingleCore { duration: 100, completions_seen: Vec::new() };
+        let mut policy = SingleCore {
+            duration: 100,
+            completions_seen: Vec::new(),
+        };
         let metrics = Simulator::new(1)
             .with_discipline(QueueDiscipline::PreemptivePriority)
             .run(&plan, &mut policy);
@@ -614,25 +715,51 @@ mod tests {
         // job ran 30 of 100 cycles: 70% of its 5 nJ is refunded, then the
         // restart charges 5 nJ again: total = 5*0.3 + 5 + 5 = 11.5.
         let arrivals = vec![
-            Arrival { time: 0, benchmark: BenchmarkId(0), priority: 0 },
-            Arrival { time: 30, benchmark: BenchmarkId(1), priority: 3 },
+            Arrival {
+                time: 0,
+                benchmark: BenchmarkId(0),
+                priority: 0,
+            },
+            Arrival {
+                time: 30,
+                benchmark: BenchmarkId(1),
+                priority: 3,
+            },
         ];
         let plan = ArrivalPlan::from_arrivals(arrivals);
-        let mut policy = SingleCore { duration: 100, completions_seen: Vec::new() };
+        let mut policy = SingleCore {
+            duration: 100,
+            completions_seen: Vec::new(),
+        };
         let metrics = Simulator::new(1)
             .with_discipline(QueueDiscipline::PreemptivePriority)
             .run(&plan, &mut policy);
-        assert!((metrics.energy.dynamic_nj - 11.5).abs() < 1e-9, "{}", metrics.energy.dynamic_nj);
+        assert!(
+            (metrics.energy.dynamic_nj - 11.5).abs() < 1e-9,
+            "{}",
+            metrics.energy.dynamic_nj
+        );
     }
 
     #[test]
     fn no_preemption_between_equal_priorities() {
         let arrivals = vec![
-            Arrival { time: 0, benchmark: BenchmarkId(0), priority: 1 },
-            Arrival { time: 30, benchmark: BenchmarkId(1), priority: 1 },
+            Arrival {
+                time: 0,
+                benchmark: BenchmarkId(0),
+                priority: 1,
+            },
+            Arrival {
+                time: 30,
+                benchmark: BenchmarkId(1),
+                priority: 1,
+            },
         ];
         let plan = ArrivalPlan::from_arrivals(arrivals);
-        let mut policy = SingleCore { duration: 100, completions_seen: Vec::new() };
+        let mut policy = SingleCore {
+            duration: 100,
+            completions_seen: Vec::new(),
+        };
         let metrics = Simulator::new(1)
             .with_discipline(QueueDiscipline::PreemptivePriority)
             .run(&plan, &mut policy);
@@ -645,8 +772,16 @@ mod tests {
         // Two cores, one busy with low priority, one idle: the urgent job
         // takes the idle core; no eviction.
         let arrivals = vec![
-            Arrival { time: 0, benchmark: BenchmarkId(0), priority: 0 },
-            Arrival { time: 30, benchmark: BenchmarkId(1), priority: 3 },
+            Arrival {
+                time: 0,
+                benchmark: BenchmarkId(0),
+                priority: 0,
+            },
+            Arrival {
+                time: 30,
+                benchmark: BenchmarkId(1),
+                priority: 3,
+            },
         ];
         let plan = ArrivalPlan::from_arrivals(arrivals);
         struct AnyIdle;
@@ -655,7 +790,10 @@ mod tests {
                 match cores.iter().find(|c| c.is_idle()) {
                     Some(core) => Decision::run(
                         core.id,
-                        JobExecution { cycles: 100, energy: EnergyBreakdown::new() },
+                        JobExecution {
+                            cycles: 100,
+                            energy: EnergyBreakdown::new(),
+                        },
                     ),
                     None => Decision::Stall,
                 }
@@ -689,12 +827,23 @@ mod tests {
             }
         }
         let arrivals = vec![
-            Arrival { time: 0, benchmark: BenchmarkId(0), priority: 0 },
-            Arrival { time: 10, benchmark: BenchmarkId(1), priority: 2 },
+            Arrival {
+                time: 0,
+                benchmark: BenchmarkId(0),
+                priority: 0,
+            },
+            Arrival {
+                time: 10,
+                benchmark: BenchmarkId(1),
+                priority: 2,
+            },
         ];
         let plan = ArrivalPlan::from_arrivals(arrivals);
         let mut policy = Recorder {
-            inner: SingleCore { duration: 100, completions_seen: Vec::new() },
+            inner: SingleCore {
+                duration: 100,
+                completions_seen: Vec::new(),
+            },
             preempted: Vec::new(),
         };
         let _ = Simulator::new(1)

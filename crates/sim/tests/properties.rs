@@ -18,7 +18,10 @@ impl Scheduler for FirstIdle {
                 core.id,
                 JobExecution {
                     cycles: 50 + 13 * (job.benchmark.0 as u64 % 7),
-                    energy: EnergyBreakdown { dynamic_nj: 1.0, ..EnergyBreakdown::new() },
+                    energy: EnergyBreakdown {
+                        dynamic_nj: 1.0,
+                        ..EnergyBreakdown::new()
+                    },
                 },
             ),
             None => Decision::Stall,

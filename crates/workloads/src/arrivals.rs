@@ -25,7 +25,11 @@ pub struct Arrival {
 impl Arrival {
     /// A default-priority arrival.
     pub fn new(time: u64, benchmark: BenchmarkId) -> Self {
-        Arrival { time, benchmark, priority: 0 }
+        Arrival {
+            time,
+            benchmark,
+            priority: 0,
+        }
     }
 }
 
@@ -72,7 +76,10 @@ impl ArrivalPlan {
         priority_levels: u8,
         seed: u64,
     ) -> Self {
-        assert!(count == 0 || num_benchmarks > 0, "need at least one benchmark");
+        assert!(
+            count == 0 || num_benchmarks > 0,
+            "need at least one benchmark"
+        );
         assert!(count == 0 || horizon > 0, "need a positive horizon");
         assert!(priority_levels > 0, "need at least one priority level");
         let mut rng = SplitMix64::new(seed);
@@ -152,7 +159,11 @@ mod tests {
     fn benchmarks_cover_the_suite() {
         let plan = ArrivalPlan::uniform(5000, 1_000_000, 20, 42);
         let seen: HashSet<usize> = plan.iter().map(|a| a.benchmark.0).collect();
-        assert_eq!(seen.len(), 20, "5000 uniform picks should cover all 20 benchmarks");
+        assert_eq!(
+            seen.len(),
+            20,
+            "5000 uniform picks should cover all 20 benchmarks"
+        );
         assert!(plan.iter().all(|a| a.benchmark.0 < 20));
     }
 
@@ -160,7 +171,10 @@ mod tests {
     fn times_spread_across_horizon() {
         let plan = ArrivalPlan::uniform(5000, 1_000_000, 20, 42);
         let early = plan.iter().filter(|a| a.time < 500_000).count();
-        assert!((2000..3000).contains(&early), "roughly half early, got {early}");
+        assert!(
+            (2000..3000).contains(&early),
+            "roughly half early, got {early}"
+        );
         assert!(plan.horizon() < 1_000_000);
     }
 

@@ -60,8 +60,18 @@ pub struct ExecutionStatistics {
 
 impl ExecutionStatistics {
     /// Bundle counters from one profiled execution.
-    pub fn new(mix: InstructionMix, cache: CacheStats, total_cycles: u64, stall_cycles: u64) -> Self {
-        ExecutionStatistics { mix, cache, total_cycles, stall_cycles }
+    pub fn new(
+        mix: InstructionMix,
+        cache: CacheStats,
+        total_cycles: u64,
+        stall_cycles: u64,
+    ) -> Self {
+        ExecutionStatistics {
+            mix,
+            cache,
+            total_cycles,
+            stall_cycles,
+        }
     }
 
     /// Instructions per cycle; `0.0` when no cycles elapsed.

@@ -159,7 +159,14 @@ impl Kernel {
     ) -> Self {
         let name = name.into();
         let seed = fnv1a(name.as_bytes());
-        Kernel { id, name, domain, pattern, profile, seed }
+        Kernel {
+            id,
+            name,
+            domain,
+            pattern,
+            profile,
+            seed,
+        }
     }
 
     /// Suite index.
@@ -202,7 +209,11 @@ impl Kernel {
             other: (accesses * self.profile.other_per_access) as u64,
         };
         let cpu_cycles = (mix.total() as f64 * self.profile.cpi).round() as u64;
-        KernelRun { trace, mix, cpu_cycles }
+        KernelRun {
+            trace,
+            mix,
+            cpu_cycles,
+        }
     }
 }
 
@@ -231,7 +242,12 @@ mod tests {
             BenchmarkId(0),
             "test_stream",
             Domain::Dsp,
-            AccessPattern::Stream { bytes: 4096, passes: 2, stride: 4, write_every: 4 },
+            AccessPattern::Stream {
+                bytes: 4096,
+                passes: 2,
+                stride: 4,
+                write_every: 4,
+            },
             MixProfile::dsp(),
         )
     }
@@ -273,13 +289,22 @@ mod tests {
             MixProfile::control(),
         );
         let mut b = a.clone();
-        b = Kernel::new(BenchmarkId(1), "beta", b.domain, b.pattern.clone(), b.profile);
+        b = Kernel::new(
+            BenchmarkId(1),
+            "beta",
+            b.domain,
+            b.pattern.clone(),
+            b.profile,
+        );
         assert_ne!(a.run().trace, b.run().trace);
     }
 
     #[test]
     fn display_includes_name_and_domain() {
         let text = kernel().to_string();
-        assert!(text.contains("test_stream") && text.contains("dsp"), "{text}");
+        assert!(
+            text.contains("test_stream") && text.contains("dsp"),
+            "{text}"
+        );
     }
 }

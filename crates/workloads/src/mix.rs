@@ -125,7 +125,14 @@ mod tests {
     use super::*;
 
     fn sample() -> InstructionMix {
-        InstructionMix { loads: 300, stores: 100, branches: 100, int_ops: 400, fp_ops: 50, other: 50 }
+        InstructionMix {
+            loads: 300,
+            stores: 100,
+            branches: 100,
+            int_ops: 400,
+            fp_ops: 50,
+            other: 50,
+        }
     }
 
     #[test]

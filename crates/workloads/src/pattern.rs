@@ -131,8 +131,14 @@ impl AccessPattern {
     /// Generate the trace for this pattern.
     pub fn generate(&self, rng: &mut SplitMix64) -> Trace {
         match *self {
-            AccessPattern::Stream { bytes, passes, stride, write_every } => {
-                let mut trace = Trace::new();
+            AccessPattern::Stream {
+                bytes,
+                passes,
+                stride,
+                write_every,
+            } => {
+                let per_pass = bytes.div_ceil(stride) as usize;
+                let mut trace = Trace::with_capacity(per_pass * passes as usize);
                 let mut counter = 0u32;
                 for _ in 0..passes {
                     let mut addr = 0;
@@ -143,8 +149,14 @@ impl AccessPattern {
                 }
                 trace
             }
-            AccessPattern::LoopedArray { array_bytes, passes, elem_stride, write_every } => {
-                let mut trace = Trace::new();
+            AccessPattern::LoopedArray {
+                array_bytes,
+                passes,
+                elem_stride,
+                write_every,
+            } => {
+                let per_pass = array_bytes.div_ceil(elem_stride) as usize;
+                let mut trace = Trace::with_capacity(per_pass * passes as usize);
                 let mut counter = 0u32;
                 for _ in 0..passes {
                     let mut addr = 0;
@@ -155,7 +167,13 @@ impl AccessPattern {
                 }
                 trace
             }
-            AccessPattern::RandomTable { table_bytes, accesses, hot_bytes, hot_prob, write_prob } => {
+            AccessPattern::RandomTable {
+                table_bytes,
+                accesses,
+                hot_bytes,
+                hot_prob,
+                write_prob,
+            } => {
                 let mut trace = Trace::with_capacity(accesses as usize);
                 for _ in 0..accesses {
                     let addr = if hot_bytes > 0 && rng.chance(hot_prob) {
@@ -172,7 +190,11 @@ impl AccessPattern {
                 }
                 trace
             }
-            AccessPattern::PointerChase { nodes, node_bytes, steps } => {
+            AccessPattern::PointerChase {
+                nodes,
+                node_bytes,
+                steps,
+            } => {
                 // Build a random single-cycle permutation (Sattolo's
                 // algorithm) so the chase never settles into a short loop.
                 let n = nodes as usize;
@@ -189,8 +211,13 @@ impl AccessPattern {
                 }
                 trace
             }
-            AccessPattern::StridedConflict { array_bytes, stride, passes } => {
-                let mut trace = Trace::new();
+            AccessPattern::StridedConflict {
+                array_bytes,
+                stride,
+                passes,
+            } => {
+                let per_pass = array_bytes.div_ceil(stride.max(1)) as usize + 1;
+                let mut trace = Trace::with_capacity(per_pass * passes as usize);
                 for p in 0..passes {
                     // Interleave phases: offset start each pass so every
                     // element is eventually visited.
@@ -203,8 +230,15 @@ impl AccessPattern {
                 }
                 trace
             }
-            AccessPattern::Stencil { row_bytes, rows, passes, elem } => {
-                let mut trace = Trace::new();
+            AccessPattern::Stencil {
+                row_bytes,
+                rows,
+                passes,
+                elem,
+            } => {
+                let cols = row_bytes.div_ceil(elem);
+                let upper = 4 * cols as usize * rows as usize * passes as usize;
+                let mut trace = Trace::with_capacity(upper);
                 for _ in 0..passes {
                     for row in 0..u64::from(rows) {
                         let mut col = 0;
@@ -226,7 +260,7 @@ impl AccessPattern {
             }
             AccessPattern::MatrixMult { n, elem } => {
                 let (a, b, c) = (0, REGION, 2 * REGION);
-                let mut trace = Trace::new();
+                let mut trace = Trace::with_capacity((n * n * (2 * n + 1)) as usize);
                 for i in 0..n {
                     for j in 0..n {
                         for k in 0..n {
@@ -238,9 +272,13 @@ impl AccessPattern {
                 }
                 trace
             }
-            AccessPattern::Histogram { stream_bytes, bins_bytes, elem } => {
+            AccessPattern::Histogram {
+                stream_bytes,
+                bins_bytes,
+                elem,
+            } => {
                 let bins = REGION;
-                let mut trace = Trace::new();
+                let mut trace = Trace::with_capacity(3 * stream_bytes.div_ceil(elem) as usize);
                 let mut addr = 0;
                 while addr < stream_bytes {
                     trace.push(Access::read(addr));
@@ -251,7 +289,13 @@ impl AccessPattern {
                 }
                 trace
             }
-            AccessPattern::HotCold { hot_bytes, cold_bytes, accesses, cold_prob, write_prob } => {
+            AccessPattern::HotCold {
+                hot_bytes,
+                cold_bytes,
+                accesses,
+                cold_prob,
+                write_prob,
+            } => {
                 let cold_base = REGION;
                 let mut trace = Trace::with_capacity(accesses as usize);
                 for _ in 0..accesses {
@@ -291,7 +335,12 @@ mod tests {
 
     #[test]
     fn stream_length_is_exact() {
-        let p = AccessPattern::Stream { bytes: 1024, passes: 3, stride: 4, write_every: 0 };
+        let p = AccessPattern::Stream {
+            bytes: 1024,
+            passes: 3,
+            stride: 4,
+            write_every: 0,
+        };
         let trace = p.generate(&mut rng());
         assert_eq!(trace.len(), 3 * 256);
         assert_eq!(trace.writes(), 0);
@@ -299,7 +348,12 @@ mod tests {
 
     #[test]
     fn stream_write_every_produces_stores() {
-        let p = AccessPattern::Stream { bytes: 1024, passes: 1, stride: 4, write_every: 4 };
+        let p = AccessPattern::Stream {
+            bytes: 1024,
+            passes: 1,
+            stride: 4,
+            write_every: 4,
+        };
         let trace = p.generate(&mut rng());
         assert_eq!(trace.writes(), 64);
     }
@@ -335,7 +389,11 @@ mod tests {
 
     #[test]
     fn pointer_chase_visits_every_node() {
-        let p = AccessPattern::PointerChase { nodes: 64, node_bytes: 32, steps: 64 };
+        let p = AccessPattern::PointerChase {
+            nodes: 64,
+            node_bytes: 32,
+            steps: 64,
+        };
         let trace = p.generate(&mut rng());
         // Sattolo's algorithm yields one full cycle: 64 steps visit all 64
         // distinct nodes exactly once.
@@ -344,7 +402,11 @@ mod tests {
 
     #[test]
     fn strided_conflict_hits_conflicting_addresses() {
-        let p = AccessPattern::StridedConflict { array_bytes: 8192, stride: 2048, passes: 2 };
+        let p = AccessPattern::StridedConflict {
+            array_bytes: 8192,
+            stride: 2048,
+            passes: 2,
+        };
         let trace = p.generate(&mut rng());
         assert!(trace.len() >= 8);
         assert!(trace.iter().all(|a| a.addr < 8192));
@@ -352,7 +414,12 @@ mod tests {
 
     #[test]
     fn stencil_mixes_reads_and_writes() {
-        let p = AccessPattern::Stencil { row_bytes: 256, rows: 4, passes: 1, elem: 4 };
+        let p = AccessPattern::Stencil {
+            row_bytes: 256,
+            rows: 4,
+            passes: 1,
+            elem: 4,
+        };
         let trace = p.generate(&mut rng());
         assert_eq!(trace.writes(), 4 * 64);
         assert!(trace.reads() > trace.writes());
@@ -368,7 +435,11 @@ mod tests {
 
     #[test]
     fn histogram_has_one_read_one_rmw_per_element() {
-        let p = AccessPattern::Histogram { stream_bytes: 400, bins_bytes: 256, elem: 4 };
+        let p = AccessPattern::Histogram {
+            stream_bytes: 400,
+            bins_bytes: 256,
+            elem: 4,
+        };
         let trace = p.generate(&mut rng());
         assert_eq!(trace.len(), 100 * 3);
         assert_eq!(trace.writes(), 100);
@@ -397,7 +468,13 @@ mod tests {
             hot_prob: 0.0,
             write_prob: 0.3,
         };
-        assert_eq!(p.generate(&mut SplitMix64::new(1)), p.generate(&mut SplitMix64::new(1)));
-        assert_ne!(p.generate(&mut SplitMix64::new(1)), p.generate(&mut SplitMix64::new(2)));
+        assert_eq!(
+            p.generate(&mut SplitMix64::new(1)),
+            p.generate(&mut SplitMix64::new(1))
+        );
+        assert_ne!(
+            p.generate(&mut SplitMix64::new(1)),
+            p.generate(&mut SplitMix64::new(2))
+        );
     }
 }

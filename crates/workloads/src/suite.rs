@@ -57,7 +57,12 @@ impl Suite {
         add(
             "rspeed01", // road-speed calculation over a sensor stream
             Domain::Automotive,
-            AccessPattern::Stream { bytes: 96 * 1024, passes: p(2), stride: 4, write_every: 8 },
+            AccessPattern::Stream {
+                bytes: 96 * 1024,
+                passes: p(2),
+                stride: 4,
+                write_every: 8,
+            },
             MixProfile::control(),
         );
         add(
@@ -146,13 +151,22 @@ impl Suite {
         add(
             "aifftr01", // FFT butterfly: power-of-two strides over 4 KB
             Domain::Dsp,
-            AccessPattern::StridedConflict { array_bytes: 4096, stride: 512, passes: p(4000) },
+            AccessPattern::StridedConflict {
+                array_bytes: 4096,
+                stride: 512,
+                passes: p(4000),
+            },
             MixProfile::dsp(),
         );
         add(
             "idctrn01", // inverse DCT: 8-row stencil over 4 KB
             Domain::Consumer,
-            AccessPattern::Stencil { row_bytes: 512, rows: 8, passes: p(12), elem: 4 },
+            AccessPattern::Stencil {
+                row_bytes: 512,
+                rows: 8,
+                passes: p(12),
+                elem: 4,
+            },
             MixProfile::dsp(),
         );
         add(
@@ -181,7 +195,11 @@ impl Suite {
         add(
             "histeq01", // histogram equalisation: stream + 2 KB bins
             Domain::Consumer,
-            AccessPattern::Histogram { stream_bytes: n(48) * 1024, bins_bytes: 2048, elem: 4 },
+            AccessPattern::Histogram {
+                stream_bytes: n(48) * 1024,
+                bins_bytes: 2048,
+                elem: 4,
+            },
             MixProfile::streaming(),
         );
 
@@ -195,7 +213,11 @@ impl Suite {
         add(
             "pntrch01", // pointer chase across 6 KB of linked nodes
             Domain::Office,
-            AccessPattern::PointerChase { nodes: 384, node_bytes: 16, steps: n(40_000) },
+            AccessPattern::PointerChase {
+                nodes: 384,
+                node_bytes: 16,
+                steps: n(40_000),
+            },
             MixProfile::control(),
         );
         add(
@@ -213,7 +235,11 @@ impl Suite {
         add(
             "zigzag01", // zig-zag block reordering: strides over 8 KB
             Domain::Consumer,
-            AccessPattern::StridedConflict { array_bytes: 8192, stride: 256, passes: p(1200) },
+            AccessPattern::StridedConflict {
+                array_bytes: 8192,
+                stride: 256,
+                passes: p(1200),
+            },
             MixProfile::streaming(),
         );
         add(
@@ -230,7 +256,11 @@ impl Suite {
         add(
             "aiifft01", // inverse FFT: long-stride passes over 8 KB
             Domain::Dsp,
-            AccessPattern::StridedConflict { array_bytes: 8192, stride: 2048, passes: p(5000) },
+            AccessPattern::StridedConflict {
+                array_bytes: 8192,
+                stride: 2048,
+                passes: p(5000),
+            },
             MixProfile::dsp(),
         );
 
@@ -319,7 +349,10 @@ mod tests {
     fn suite_spans_multiple_domains() {
         let suite = Suite::eembc_like();
         let domains: HashSet<_> = suite.iter().map(|k| k.domain()).collect();
-        assert!(domains.len() >= 4, "suite should span domains, got {domains:?}");
+        assert!(
+            domains.len() >= 4,
+            "suite should span domains, got {domains:?}"
+        );
     }
 
     #[test]
@@ -375,7 +408,11 @@ mod tests {
     fn traces_are_nonempty_for_all_kernels() {
         for kernel in &Suite::eembc_like_small() {
             let run = kernel.run();
-            assert!(!run.trace.is_empty(), "{} must produce accesses", kernel.name());
+            assert!(
+                !run.trace.is_empty(),
+                "{} must produce accesses",
+                kernel.name()
+            );
             assert!(run.cpu_cycles > 0, "{} must take time", kernel.name());
             assert!(run.mix.total() > 0);
         }

@@ -14,7 +14,10 @@ use hetero_sched::workloads::Suite;
 fn main() {
     let suite = Suite::eembc_like();
     let model = EnergyModel::default();
-    println!("characterising {} kernels x 18 configurations ...", suite.len());
+    println!(
+        "characterising {} kernels x 18 configurations ...",
+        suite.len()
+    );
     let oracle = SuiteOracle::build(&suite, &model);
 
     let config = PredictorConfig::paper();
@@ -29,7 +32,10 @@ fn main() {
         .benchmarks()
         .filter(|&b| deployed.predict(&oracle.execution_statistics(b)) == oracle.best_size(b))
         .count();
-    println!("in-sample size accuracy: {in_sample_correct}/{}", oracle.len());
+    println!(
+        "in-sample size accuracy: {in_sample_correct}/{}",
+        oracle.len()
+    );
 
     // Leave-one-out: how well does the predictor handle an application it
     // has never seen? (The paper's deployment scenario for new arrivals.)
@@ -44,7 +50,10 @@ fn main() {
         let predicted = predictor.predict(&oracle.execution_statistics(benchmark));
         let actual = oracle.best_size(benchmark);
         let best = oracle.best_config(benchmark).1.total_nj();
-        let achieved = oracle.best_config_with_size(benchmark, predicted).1.total_nj();
+        let achieved = oracle
+            .best_config_with_size(benchmark, predicted)
+            .1
+            .total_nj();
         let degradation = achieved / best - 1.0;
         degradations.push(degradation);
         println!(

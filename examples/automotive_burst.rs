@@ -51,7 +51,10 @@ fn bursty_plan(suite: &Suite, bursts: usize, jobs_per_burst: usize, seed: u64) -
 fn main() {
     let suite = Suite::eembc_like();
     let model = EnergyModel::default();
-    println!("characterising {} kernels x 18 configurations ...", suite.len());
+    println!(
+        "characterising {} kernels x 18 configurations ...",
+        suite.len()
+    );
     let oracle = SuiteOracle::build(&suite, &model);
     let arch = Architecture::paper_quad();
     println!("training the bagged ANN best-core predictor ...");

@@ -14,7 +14,10 @@ use hetero_sched::workloads::Suite;
 fn main() {
     let suite = Suite::eembc_like();
     let model = EnergyModel::default();
-    println!("characterising {} kernels x 18 configurations ...\n", suite.len());
+    println!(
+        "characterising {} kernels x 18 configurations ...\n",
+        suite.len()
+    );
     let oracle = SuiteOracle::build(&suite, &model);
 
     // Header: the 18 configurations of Table 1.
@@ -44,7 +47,9 @@ fn main() {
     // scheduler exploits.
     let mut by_size = std::collections::BTreeMap::new();
     for benchmark in oracle.benchmarks() {
-        *by_size.entry(oracle.best_size(benchmark).kilobytes()).or_insert(0u32) += 1;
+        *by_size
+            .entry(oracle.best_size(benchmark).kilobytes())
+            .or_insert(0u32) += 1;
     }
     println!("\nbest-size distribution: {by_size:?}");
 }

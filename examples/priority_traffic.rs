@@ -52,7 +52,10 @@ fn mixed_plan(suite: &Suite, jobs: usize, horizon: u64, seed: u64) -> ArrivalPla
 fn main() {
     let suite = Suite::eembc_like();
     let model = EnergyModel::default();
-    println!("characterising {} kernels x 18 configurations ...", suite.len());
+    println!(
+        "characterising {} kernels x 18 configurations ...",
+        suite.len()
+    );
     let oracle = SuiteOracle::build(&suite, &model);
     let arch = Architecture::paper_quad();
     println!("training the bagged ANN best-core predictor ...\n");
@@ -69,15 +72,19 @@ fn main() {
 
     println!(
         "{:<10} {:>22} {:>22} {:>14} {:>10} {:>8}",
-        "queue", "critical turnaround", "background turnaround", "total (nJ)", "makespan", "preempt"
+        "queue",
+        "critical turnaround",
+        "background turnaround",
+        "total (nJ)",
+        "makespan",
+        "preempt"
     );
     for (name, discipline) in [
         ("FIFO", QueueDiscipline::Fifo),
         ("priority", QueueDiscipline::Priority),
         ("preemptive", QueueDiscipline::PreemptivePriority),
     ] {
-        let mut system =
-            ProposedSystem::with_model(&arch, &oracle, model, predictor.clone());
+        let mut system = ProposedSystem::with_model(&arch, &oracle, model, predictor.clone());
         let metrics = Simulator::new(arch.num_cores())
             .with_discipline(discipline)
             .run(&plan, &mut system);

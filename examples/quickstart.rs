@@ -20,7 +20,10 @@ fn main() {
     //    performed offline with SimpleScalar + CACTI.
     let suite = Suite::eembc_like();
     let model = EnergyModel::default();
-    println!("characterising {} kernels x 18 configurations ...", suite.len());
+    println!(
+        "characterising {} kernels x 18 configurations ...",
+        suite.len()
+    );
     let oracle = SuiteOracle::build(&suite, &model);
 
     // 2. The Figure 1 architecture and the paper's bagged-ANN predictor.
@@ -44,8 +47,7 @@ fn main() {
     let mut optimal = OptimalSystem::new(&arch, &oracle, model);
     let optimal_metrics = simulator.run(&plan, &mut optimal);
 
-    let mut energy_centric =
-        EnergyCentricSystem::new(&arch, &oracle, model, predictor.clone());
+    let mut energy_centric = EnergyCentricSystem::new(&arch, &oracle, model, predictor.clone());
     let energy_centric_metrics = simulator.run(&plan, &mut energy_centric);
 
     let mut proposed = ProposedSystem::with_model(&arch, &oracle, model, predictor);

@@ -17,7 +17,10 @@ use hetero_sched::workloads::Suite;
 fn main() {
     let suite = Suite::eembc_like();
     let model = EnergyModel::default();
-    println!("characterising {} kernels x 18 configurations ...\n", suite.len());
+    println!(
+        "characterising {} kernels x 18 configurations ...\n",
+        suite.len()
+    );
     let oracle = SuiteOracle::build(&suite, &model);
 
     let mut total_steps = 0usize;
@@ -34,7 +37,9 @@ fn main() {
                 path.push(format!("{config} ({:.0} nJ)", cost.total_nj()));
                 explorer.record(config, cost.total_nj());
             }
-            let TuningStatus::Done(found) = explorer.status() else { unreachable!() };
+            let TuningStatus::Done(found) = explorer.status() else {
+                unreachable!()
+            };
             let found_energy = oracle.cost(benchmark, found).total_nj();
             let (exhaustive, exhaustive_cost) = oracle.best_config_with_size(benchmark, size);
             let gap = found_energy / exhaustive_cost.total_nj() - 1.0;
@@ -59,5 +64,8 @@ fn main() {
         total_steps,
         suite.len() * 18
     );
-    println!("worst heuristic-vs-exhaustive gap: {:.2}%", worst_gap * 100.0);
+    println!(
+        "worst heuristic-vs-exhaustive gap: {:.2}%",
+        worst_gap * 100.0
+    );
 }

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must keep green, fully offline.
+#
+#   scripts/check.sh          # build + tests (+ fmt/clippy when installed)
+#   scripts/check.sh --perf   # also run the perf_pipeline regression gate
+#
+# fmt and clippy are skipped with a notice when the components are not
+# installed (minimal toolchains); the build and test gates always run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_perf=false
+for arg in "$@"; do
+    case "$arg" in
+        --perf) run_perf=true ;;
+        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
+
+echo "==> cargo build --workspace --offline"
+cargo build --workspace --offline
+
+echo "==> cargo test --workspace --offline"
+cargo test --workspace --offline --quiet
+
+if cargo fmt --version >/dev/null 2>&1; then
+    echo "==> cargo fmt --check"
+    cargo fmt --all -- --check
+else
+    echo "==> cargo fmt not installed; skipping"
+fi
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy -- -D warnings"
+    cargo clippy --workspace --all-targets --offline -- -D warnings
+else
+    echo "==> cargo clippy not installed; skipping"
+fi
+
+if $run_perf; then
+    echo "==> perf_pipeline gate (release)"
+    cargo build --release --offline -p hetero-bench
+    ./target/release/perf_pipeline
+fi
+
+echo "All checks passed."

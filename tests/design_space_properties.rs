@@ -16,10 +16,19 @@ fn best_sizes_spread_across_all_three_cores() {
     let oracle = oracle();
     let mut counts = std::collections::BTreeMap::new();
     for benchmark in oracle.benchmarks() {
-        *counts.entry(oracle.best_size(benchmark).kilobytes()).or_insert(0u32) += 1;
+        *counts
+            .entry(oracle.best_size(benchmark).kilobytes())
+            .or_insert(0u32) += 1;
     }
-    assert_eq!(counts.len(), 3, "all sizes must be best for someone: {counts:?}");
-    assert!(counts.values().all(|&c| c >= 3), "reasonable balance: {counts:?}");
+    assert_eq!(
+        counts.len(),
+        3,
+        "all sizes must be best for someone: {counts:?}"
+    );
+    assert!(
+        counts.values().all(|&c| c >= 3),
+        "reasonable balance: {counts:?}"
+    );
 }
 
 #[test]
@@ -48,7 +57,10 @@ fn line_size_and_associativity_both_matter() {
     // least one must use higher associativity — otherwise the Figure 5
     // heuristic would have nothing to find.
     let oracle = oracle();
-    let bests: Vec<_> = oracle.benchmarks().map(|b| oracle.best_config(b).0).collect();
+    let bests: Vec<_> = oracle
+        .benchmarks()
+        .map(|b| oracle.best_config(b).0)
+        .collect();
     assert!(
         bests.iter().any(|c| c.line().bytes() > 16),
         "some benchmark should prefer wide lines: {bests:?}"

@@ -23,7 +23,13 @@ fn world() -> World {
     let oracle = SuiteOracle::build(&suite, &model);
     let arch = Architecture::paper_quad();
     let predictor = BestCorePredictor::train(&oracle, &PredictorConfig::fast());
-    World { suite, model, oracle, arch, predictor }
+    World {
+        suite,
+        model,
+        oracle,
+        arch,
+        predictor,
+    }
 }
 
 struct AllRuns {
@@ -40,8 +46,7 @@ fn run_all(w: &World, jobs: usize, horizon: u64, seed: u64) -> AllRuns {
     let mut optimal = OptimalSystem::new(&w.arch, &w.oracle, w.model);
     let mut energy_centric =
         EnergyCentricSystem::new(&w.arch, &w.oracle, w.model, w.predictor.clone());
-    let mut proposed =
-        ProposedSystem::with_model(&w.arch, &w.oracle, w.model, w.predictor.clone());
+    let mut proposed = ProposedSystem::with_model(&w.arch, &w.oracle, w.model, w.predictor.clone());
     AllRuns {
         base: simulator.run(&plan, &mut base),
         optimal: simulator.run(&plan, &mut optimal),
@@ -75,8 +80,14 @@ fn figure6_orderings_hold_under_contention() {
 
     // The headline: the proposed system has the lowest total energy.
     let proposed = runs.proposed.energy.total();
-    assert!(proposed < runs.base.energy.total(), "proposed must beat base");
-    assert!(proposed < runs.energy_centric.energy.total(), "proposed must beat energy-centric");
+    assert!(
+        proposed < runs.base.energy.total(),
+        "proposed must beat base"
+    );
+    assert!(
+        proposed < runs.energy_centric.energy.total(),
+        "proposed must beat energy-centric"
+    );
 
     // The predictive systems cut dynamic energy below the base system
     // (Figure 6's deepest bars).
@@ -160,7 +171,10 @@ fn proposed_system_survives_every_queue_discipline() {
     // slightly (different configs explored in different orders) but stays
     // in the same regime. Preemption adds restart waste.
     assert!(totals[1] < totals[0] * 1.25, "priority vs fifo: {totals:?}");
-    assert!(totals[2] < totals[0] * 1.60, "preemptive adds bounded waste: {totals:?}");
+    assert!(
+        totals[2] < totals[0] * 1.60,
+        "preemptive adds bounded waste: {totals:?}"
+    );
 }
 
 #[test]

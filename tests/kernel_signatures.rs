@@ -7,8 +7,14 @@ use hetero_sched::workloads::Suite;
 
 fn kernel_stats(name: &str, config: &str) -> hetero_sched::cache_sim::CacheStats {
     let suite = Suite::eembc_like_small();
-    let kernel = suite.iter().find(|k| k.name() == name).expect("kernel exists");
-    simulate(CacheConfig::parse(config).expect("valid"), &kernel.run().trace)
+    let kernel = suite
+        .iter()
+        .find(|k| k.name() == name)
+        .expect("kernel exists");
+    simulate(
+        CacheConfig::parse(config).expect("valid"),
+        &kernel.run().trace,
+    )
 }
 
 #[test]

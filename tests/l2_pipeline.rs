@@ -69,5 +69,8 @@ fn l2_predictions_remain_valid_sizes() {
     for benchmark in oracle.benchmarks() {
         sizes.insert(oracle.best_size(benchmark).kilobytes());
     }
-    assert!(sizes.len() >= 2, "L2-backed best sizes should still vary: {sizes:?}");
+    assert!(
+        sizes.len() >= 2,
+        "L2-backed best sizes should still vary: {sizes:?}"
+    );
 }

@@ -24,7 +24,13 @@ fn world() -> World {
     let oracle = SuiteOracle::build(&suite, &model);
     let arch = Architecture::paper_quad();
     let predictor = BestCorePredictor::train(&oracle, &PredictorConfig::fast());
-    World { suite, model, oracle, arch, predictor }
+    World {
+        suite,
+        model,
+        oracle,
+        arch,
+        predictor,
+    }
 }
 
 #[test]
@@ -42,8 +48,14 @@ fn profiling_overhead_shrinks_with_scale() {
     };
     let small = overhead(100, 15_000_000);
     let large = overhead(800, 120_000_000);
-    assert!(large < small, "profiling share must amortise: {small} -> {large}");
-    assert!(large < 0.05, "at 40 instances/benchmark the share should be tiny: {large}");
+    assert!(
+        large < small,
+        "profiling share must amortise: {small} -> {large}"
+    );
+    assert!(
+        large < 0.05,
+        "at 40 instances/benchmark the share should be tiny: {large}"
+    );
 }
 
 #[test]
@@ -54,7 +66,11 @@ fn tuning_exploration_stays_within_figure5_bounds() {
     let mut system = ProposedSystem::with_model(&w.arch, &w.oracle, w.model, w.predictor.clone());
     let plan = ArrivalPlan::uniform(600, 60_000_000, w.suite.len(), 203);
     let _ = Simulator::new(4).run(&plan, &mut system);
-    let bounds = [(CacheSizeKb::K2, 3), (CacheSizeKb::K4, 4), (CacheSizeKb::K8, 5)];
+    let bounds = [
+        (CacheSizeKb::K2, 3),
+        (CacheSizeKb::K4, 4),
+        (CacheSizeKb::K8, 5),
+    ];
     for (benchmark, entry) in system.table().iter() {
         for (size, bound) in bounds {
             if let Some(tuner) = entry.tuner(size) {
@@ -97,7 +113,10 @@ fn tuned_configurations_match_greedy_ground_truth() {
             }
         }
     }
-    assert!(verified > 10, "enough tuned pairs must exist to make this meaningful: {verified}");
+    assert!(
+        verified > 10,
+        "enough tuned pairs must exist to make this meaningful: {verified}"
+    );
 }
 
 #[test]
@@ -135,9 +154,16 @@ fn predictor_generalises_to_held_out_benchmarks() {
             BestCorePredictor::train_excluding(&w.oracle, &[benchmark], &PredictorConfig::fast());
         let predicted = predictor.predict(&w.oracle.execution_statistics(benchmark));
         let best = w.oracle.best_config(benchmark).1.total_nj();
-        let achieved = w.oracle.best_config_with_size(benchmark, predicted).1.total_nj();
+        let achieved = w
+            .oracle
+            .best_config_with_size(benchmark, predicted)
+            .1
+            .total_nj();
         degradations.push(achieved / best - 1.0);
     }
     let mean = degradations.iter().sum::<f64>() / degradations.len() as f64;
-    assert!(mean < 0.60, "leave-one-out mean degradation too high: {mean}");
+    assert!(
+        mean < 0.60,
+        "leave-one-out mean degradation too high: {mean}"
+    );
 }
