@@ -218,6 +218,34 @@ impl Standardizer {
         rows.iter().map(|r| self.transform(r)).collect()
     }
 
+    /// [`transform`](Standardizer::transform) into a preallocated slice —
+    /// identical arithmetic, no allocation. Feeds standardised features
+    /// straight into a [`crate::Workspace`] input slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `out` differ from the fitted dimensionality.
+    pub fn transform_into(&self, row: &[f64], out: &mut [f64]) {
+        assert_eq!(row.len(), self.means.len(), "dimension mismatch");
+        assert_eq!(out.len(), self.means.len(), "dimension mismatch");
+        for (((o, &v), &m), &s) in out.iter_mut().zip(row).zip(&self.means).zip(&self.scales) {
+            *o = (v - m) / s;
+        }
+    }
+
+    /// [`inverse_transform`](Standardizer::inverse_transform) in place —
+    /// identical arithmetic, no allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len()` differs from the fitted dimensionality.
+    pub fn inverse_transform_in_place(&self, row: &mut [f64]) {
+        assert_eq!(row.len(), self.means.len(), "dimension mismatch");
+        for ((v, &m), &s) in row.iter_mut().zip(&self.means).zip(&self.scales) {
+            *v = *v * s + m;
+        }
+    }
+
     /// Undo [`transform`](Standardizer::transform): map a standardised row
     /// back to the original units.
     ///
@@ -345,6 +373,29 @@ mod tests {
         assert!((var - 1.0).abs() < 1e-9);
         // Constant column must not produce NaN.
         assert!(transformed.iter().all(|r| r[1] == 0.0));
+    }
+
+    #[test]
+    fn in_place_transforms_match_allocating_transforms() {
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, (i * i) as f64, 7.0])
+            .collect();
+        let s = Standardizer::fit(&rows);
+        let mut buf = vec![0.0; 3];
+        for row in &rows {
+            s.transform_into(row, &mut buf);
+            let alloc = s.transform(row);
+            assert!(buf
+                .iter()
+                .zip(&alloc)
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+            s.inverse_transform_in_place(&mut buf);
+            let back = s.inverse_transform(&alloc);
+            assert!(buf
+                .iter()
+                .zip(&back)
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
     }
 
     #[test]

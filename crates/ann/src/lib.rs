@@ -22,6 +22,19 @@
 //! Everything is deterministic given the seeds, so the paper's experiments
 //! are exactly reproducible.
 //!
+//! # Two engines, one result
+//!
+//! [`Network`] is a **flat-tensor engine**: all parameters in one
+//! contiguous `Vec<f64>` behind a per-layer offset table, with
+//! preallocated [`Workspace`] scratch threaded through training and
+//! inference so the steady-state hot loop performs zero heap allocations.
+//! The original per-`Vec` implementation survives unchanged in
+//! [`reference`] ([`reference::RefNetwork`], [`reference::RefTrainer`],
+//! [`reference::RefBagging`]) as the oracle: the arithmetic order is
+//! preserved exactly, so losses, gradients, predictions, and fully trained
+//! weights are bit-identical across both engines (property-tested in
+//! `tests/flat_vs_ref.rs`, perf-gated in the `perf_pipeline` binary).
+//!
 //! # Example: learn `y = 2x` from samples
 //!
 //! ```
@@ -44,13 +57,15 @@ mod data;
 mod knn;
 mod linear;
 mod network;
+mod network_ref;
+pub mod reference;
 mod rng;
 mod train;
 
 pub use activation::Activation;
-pub use bagging::Bagging;
+pub use bagging::{Bagging, Ensemble};
 pub use data::{Dataset, DatasetError, Split, Standardizer};
 pub use knn::KnnRegressor;
 pub use linear::RidgeRegression;
-pub use network::Network;
+pub use network::{Network, Workspace};
 pub use train::{TrainConfig, TrainReport, TrainedModel, Trainer};

@@ -94,6 +94,28 @@ impl RidgeRegression {
             .map(|w| w.iter().zip(&z).map(|(a, b)| a * b).sum())
             .collect()
     }
+
+    /// [`predict`](Self::predict) into caller-owned buffers — no
+    /// allocations once `scratch` and `out` have grown to size, and
+    /// bit-identical output (same standardisation and dot-product order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` has the wrong dimensionality.
+    pub fn predict_into(&self, input: &[f64], scratch: &mut Vec<f64>, out: &mut Vec<f64>) {
+        scratch.clear();
+        scratch.resize(input.len() + 1, 0.0);
+        self.standardizer
+            .transform_into(input, &mut scratch[..input.len()]);
+        scratch[input.len()] = 1.0;
+        out.clear();
+        out.extend(self.weights.iter().map(|w| {
+            w.iter()
+                .zip(scratch.iter())
+                .map(|(a, b)| a * b)
+                .sum::<f64>()
+        }));
+    }
 }
 
 /// Solve `A x = b` by Gaussian elimination with partial pivoting.
@@ -191,6 +213,28 @@ mod tests {
         let y = model.predict(&[5.0, 42.0])[0];
         assert!(y.is_finite());
         assert!((y - 5.0).abs() < 1e-3, "got {y}");
+    }
+
+    #[test]
+    fn predict_into_matches_predict_bitwise() {
+        let inputs: Vec<Vec<f64>> = (0..25)
+            .map(|i| vec![f64::from(i), f64::from((i * 3) % 11)])
+            .collect();
+        let targets: Vec<Vec<f64>> = inputs
+            .iter()
+            .map(|x| vec![x[0] - x[1], 0.5 * x[1]])
+            .collect();
+        let model = RidgeRegression::fit(&Dataset::new(inputs.clone(), targets).unwrap(), 1e-3);
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        for row in &inputs {
+            let allocating = model.predict(row);
+            model.predict_into(row, &mut scratch, &mut out);
+            assert_eq!(allocating.len(), out.len());
+            for (a, b) in allocating.iter().zip(&out) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -37,12 +37,21 @@ impl SplitMix64 {
 
     /// Fisher–Yates shuffle of index vector `0..n`.
     pub fn shuffled_indices(&mut self, n: usize) -> Vec<usize> {
-        let mut indices: Vec<usize> = (0..n).collect();
+        let mut indices = Vec::new();
+        self.shuffled_indices_into(n, &mut indices);
+        indices
+    }
+
+    /// [`shuffled_indices`](Self::shuffled_indices) into a reused buffer —
+    /// identical RNG draws, identical permutation, no allocation once the
+    /// buffer has grown to `n`.
+    pub fn shuffled_indices_into(&mut self, n: usize, indices: &mut Vec<usize>) {
+        indices.clear();
+        indices.extend(0..n);
         for i in (1..n).rev() {
             let j = self.next_below(i as u64 + 1) as usize;
             indices.swap(i, j);
         }
-        indices
     }
 }
 
@@ -56,6 +65,17 @@ mod tests {
         let mut shuffled = rng.shuffled_indices(100);
         shuffled.sort_unstable();
         assert_eq!(shuffled, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_into_matches_allocating_shuffle() {
+        let mut a = SplitMix64::new(17);
+        let mut b = SplitMix64::new(17);
+        let mut buf = vec![999; 3]; // stale contents must not leak through
+        for n in [0, 1, 2, 7, 64] {
+            b.shuffled_indices_into(n, &mut buf);
+            assert_eq!(a.shuffled_indices(n), buf, "n={n}");
+        }
     }
 
     #[test]

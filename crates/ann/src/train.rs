@@ -1,8 +1,16 @@
 //! The training loop: mini-batch SGD with momentum, feature
 //! standardisation, and validation-based early stopping.
+//!
+//! The loop is allocation-free in steady state: one [`Workspace`] and one
+//! shuffle-order buffer are created per fit and reused across every epoch
+//! and batch; mini-batches are index slices into the standardised sample
+//! pool rather than cloned rows. The RNG draws, batch boundaries, and
+//! arithmetic order are identical to the legacy loop (preserved as
+//! [`crate::reference::RefTrainer`]), so the trained weights match the
+//! reference bit for bit.
 
 use crate::data::{Dataset, Split, Standardizer};
-use crate::network::Network;
+use crate::network::{Network, Workspace};
 use crate::rng::SplitMix64;
 
 /// Hyper-parameters for [`Trainer`].
@@ -67,10 +75,27 @@ impl TrainedModel {
     ///
     /// Panics if `input` has the wrong dimensionality.
     pub fn predict(&self, input: &[f64]) -> Vec<f64> {
-        let z = self
-            .network
-            .forward(&self.input_standardizer.transform(input));
-        self.target_standardizer.inverse_transform(&z)
+        let mut ws = Workspace::for_network(&self.network);
+        let mut out = Vec::new();
+        self.predict_with(&mut ws, input, &mut out);
+        out
+    }
+
+    /// [`predict`](TrainedModel::predict) through a caller-held workspace:
+    /// features are standardised straight into the workspace input slot,
+    /// the forward pass runs allocation-free, and the de-standardised
+    /// prediction lands in `out` (cleared first, reusing its capacity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` or the workspace shape mismatch the model.
+    pub fn predict_with(&self, ws: &mut Workspace, input: &[f64], out: &mut Vec<f64>) {
+        self.input_standardizer
+            .transform_into(input, ws.input_mut());
+        let y = self.network.forward_loaded(ws);
+        out.clear();
+        out.extend_from_slice(y);
+        self.target_standardizer.inverse_transform_in_place(out);
     }
 
     /// Training statistics.
@@ -136,26 +161,29 @@ impl Trainer {
         let test_t = target_standardizer.transform_all(split.test.targets());
 
         let mut rng = SplitMix64::new(self.config.seed ^ 0xA5A5_A5A5);
+        // One workspace and one shuffle buffer serve every epoch and batch.
+        let mut ws = Workspace::for_network(&network);
+        let mut order: Vec<usize> = Vec::with_capacity(train_x.len());
         let mut best = network.clone();
         let mut best_val = f64::INFINITY;
         let mut stale = 0usize;
         let mut epochs_run = 0usize;
-        let mut train_loss = network.mean_loss(&train_x, &train_t);
+        let mut train_loss = network.mean_loss_with(&mut ws, &train_x, &train_t);
 
         for _ in 0..self.config.epochs {
             epochs_run += 1;
-            let order = rng.shuffled_indices(train_x.len());
+            rng.shuffled_indices_into(train_x.len(), &mut order);
             for chunk in order.chunks(self.config.batch_size.max(1)) {
-                let batch_x: Vec<Vec<f64>> = chunk.iter().map(|&i| train_x[i].clone()).collect();
-                let batch_t: Vec<Vec<f64>> = chunk.iter().map(|&i| train_t[i].clone()).collect();
-                train_loss = network.train_batch(
-                    &batch_x,
-                    &batch_t,
+                train_loss = network.train_batch_indexed_with(
+                    &mut ws,
+                    &train_x,
+                    &train_t,
+                    chunk,
                     self.config.learning_rate,
                     self.config.momentum,
                 );
             }
-            let val_loss = network.mean_loss(&val_x, &val_t);
+            let val_loss = network.mean_loss_with(&mut ws, &val_x, &val_t);
             if val_loss < best_val {
                 best_val = val_loss;
                 best = network.clone();
@@ -168,7 +196,7 @@ impl Trainer {
             }
         }
 
-        let test_loss = best.mean_loss(&test_x, &test_t);
+        let test_loss = best.mean_loss_with(&mut ws, &test_x, &test_t);
         TrainedModel {
             network: best,
             input_standardizer,
@@ -187,6 +215,7 @@ impl Trainer {
 mod tests {
     use super::*;
     use crate::activation::Activation;
+    use crate::reference::{RefNetwork, RefTrainer};
 
     fn linear_dataset(n: usize) -> Dataset {
         let inputs: Vec<Vec<f64>> = (0..n)
@@ -250,5 +279,67 @@ mod tests {
         let trained =
             Trainer::new(config).fit(Network::new(&[2, 3, 1], Activation::Tanh, 4), &dataset);
         assert_eq!(trained.report().epochs_run, 37);
+    }
+
+    /// Satellite check: reusing one workspace (and gradient accumulator)
+    /// across all epochs leaves every epoch's results unchanged — the flat
+    /// trainer matches the legacy allocate-per-batch reference loop down to
+    /// the last bit of the trained weights, the report, and predictions.
+    #[test]
+    fn workspace_reuse_across_epochs_matches_reference_trainer() {
+        let dataset = linear_dataset(48);
+        let config = TrainConfig {
+            epochs: 40,
+            patience: 15,
+            ..TrainConfig::default()
+        };
+        let flat =
+            Trainer::new(config).fit(Network::new(&[2, 5, 1], Activation::Tanh, 3), &dataset);
+        let reference =
+            RefTrainer::new(config).fit(RefNetwork::new(&[2, 5, 1], Activation::Tanh, 3), &dataset);
+
+        assert_eq!(
+            flat.network().params(),
+            reference.network().params_flat().as_slice(),
+            "trained weights diverged"
+        );
+        assert_eq!(flat.report().epochs_run, reference.report().epochs_run);
+        assert_eq!(
+            flat.report().train_loss.to_bits(),
+            reference.report().train_loss.to_bits()
+        );
+        assert_eq!(
+            flat.report().validation_loss.to_bits(),
+            reference.report().validation_loss.to_bits()
+        );
+        assert_eq!(
+            flat.report().test_loss.to_bits(),
+            reference.report().test_loss.to_bits()
+        );
+        for probe in [[0.0, 1.0], [0.4, 0.6], [0.9, 0.1]] {
+            let a = flat.predict(&probe);
+            let b = reference.predict(&probe);
+            assert!(a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()));
+        }
+    }
+
+    #[test]
+    fn predict_with_matches_predict() {
+        let dataset = linear_dataset(40);
+        let trained = Trainer::new(TrainConfig {
+            epochs: 30,
+            ..TrainConfig::default()
+        })
+        .fit(Network::new(&[2, 4, 1], Activation::Tanh, 8), &dataset);
+        let mut ws = Workspace::for_network(trained.network());
+        let mut out = Vec::new();
+        for probe in [[0.2, 0.8], [0.5, 0.5], [1.0, 0.0]] {
+            trained.predict_with(&mut ws, &probe, &mut out);
+            let alloc = trained.predict(&probe);
+            assert!(out
+                .iter()
+                .zip(&alloc)
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
     }
 }

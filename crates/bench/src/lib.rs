@@ -337,6 +337,46 @@ mod tests {
         }
     }
 
+    /// Satellite check: memoizing ensemble predictions per benchmark id
+    /// changes no observable outcome — all four systems' `RunMetrics` and
+    /// scheduler counters are bitwise identical with and without the memo
+    /// table, at one worker and at several.
+    #[test]
+    fn memoized_predictor_leaves_run_metrics_unchanged() {
+        let mut testbed = Testbed::small();
+        let plan = testbed.plan(150, 30_000_000, 11);
+        let memoized: Vec<Comparison> = [1usize, 4]
+            .iter()
+            .map(|&w| testbed.run_all_with_threads(&plan, w))
+            .collect();
+        testbed.predictor = testbed.predictor.without_memo();
+        let direct: Vec<Comparison> = [1usize, 4]
+            .iter()
+            .map(|&w| testbed.run_all_with_threads(&plan, w))
+            .collect();
+        for (workers, (with_memo, without)) in [1, 4].iter().zip(memoized.iter().zip(&direct)) {
+            for ((name, a), (_, b)) in with_memo.iter().zip(without.iter()) {
+                assert_eq!(
+                    a.metrics.total_cycles, b.metrics.total_cycles,
+                    "{name} workers={workers}"
+                );
+                assert_eq!(a.metrics.jobs_completed, b.metrics.jobs_completed, "{name}");
+                assert_eq!(a.metrics.busy_cycles, b.metrics.busy_cycles, "{name}");
+                assert_eq!(a.metrics.stalls, b.metrics.stalls, "{name}");
+                for (x, y) in [
+                    (a.metrics.energy.dynamic_nj, b.metrics.energy.dynamic_nj),
+                    (a.metrics.energy.static_nj, b.metrics.energy.static_nj),
+                    (a.metrics.energy.idle_nj, b.metrics.energy.idle_nj),
+                    (a.stats.profiling_energy_nj, b.stats.profiling_energy_nj),
+                ] {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{name}: energy bits");
+                }
+                assert_eq!(a.stats.profiling_runs, b.stats.profiling_runs, "{name}");
+                assert_eq!(a.stats.tuning_runs, b.stats.tuning_runs, "{name}");
+            }
+        }
+    }
+
     #[test]
     fn energy_row_normalisation_is_component_wise() {
         let row = EnergyRow {

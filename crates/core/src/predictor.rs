@@ -91,6 +91,14 @@ impl Default for PredictorConfig {
 #[derive(Debug, Clone)]
 pub struct BestCorePredictor {
     model: Model,
+    /// Precomputed per-benchmark predictions. A benchmark's profiled
+    /// features are fixed, so the 30-network ensemble runs **once per
+    /// benchmark** at train time (through the flat engine's batched
+    /// inference) instead of once per completing job; the testbed's 5000
+    /// jobs then pay a table lookup. Bit-identical to evaluating the
+    /// ensemble on demand — `predict_batch` is property-tested equal to
+    /// per-call `predict`.
+    memo: Vec<(BenchmarkId, CacheSizeKb)>,
 }
 
 /// The model families the predictor can be backed by. The ANN is the
@@ -190,9 +198,9 @@ impl BestCorePredictor {
             config.train,
             workers,
         );
-        BestCorePredictor {
-            model: Model::Ann(ensemble),
-        }
+        let model = Model::Ann(ensemble);
+        let memo = memoize(&model, oracle);
+        BestCorePredictor { model, memo }
     }
 
     /// A ridge-regression predictor (future-work comparison).
@@ -202,9 +210,9 @@ impl BestCorePredictor {
     /// Panics if exclusion leaves no training benchmarks or `lambda < 0`.
     pub fn train_ridge(oracle: &SuiteOracle, excluded: &[BenchmarkId], lambda: f64) -> Self {
         let dataset = training_data(oracle, excluded, 0, 0.0, 0);
-        BestCorePredictor {
-            model: Model::Ridge(RidgeRegression::fit(&dataset, lambda)),
-        }
+        let model = Model::Ridge(RidgeRegression::fit(&dataset, lambda));
+        let memo = memoize(&model, oracle);
+        BestCorePredictor { model, memo }
     }
 
     /// A k-nearest-neighbour predictor (future-work comparison).
@@ -214,9 +222,9 @@ impl BestCorePredictor {
     /// Panics if exclusion leaves no training benchmarks or `k == 0`.
     pub fn train_knn(oracle: &SuiteOracle, excluded: &[BenchmarkId], k: usize) -> Self {
         let dataset = training_data(oracle, excluded, 0, 0.0, 0);
-        BestCorePredictor {
-            model: Model::Knn(KnnRegressor::fit(&dataset, k)),
-        }
+        let model = Model::Knn(KnnRegressor::fit(&dataset, k));
+        let memo = memoize(&model, oracle);
+        BestCorePredictor { model, memo }
     }
 
     /// Which family backs this predictor.
@@ -232,6 +240,35 @@ impl BestCorePredictor {
     /// profiled statistics.
     pub fn predict(&self, statistics: &ExecutionStatistics) -> CacheSizeKb {
         CacheSizeKb::nearest(self.predict_raw(statistics))
+    }
+
+    /// [`predict`](Self::predict) keyed by benchmark identity: returns the
+    /// memoized train-time prediction when the benchmark is in the table
+    /// (features are fixed per benchmark, so the answer is the same), and
+    /// falls back to evaluating the model on `statistics` otherwise.
+    ///
+    /// This is what the scheduling systems call on profile completion — the
+    /// ensemble no longer runs per job.
+    pub fn predict_for(
+        &self,
+        benchmark: BenchmarkId,
+        statistics: &ExecutionStatistics,
+    ) -> CacheSizeKb {
+        if let Some(&(_, size)) = self.memo.iter().find(|(b, _)| *b == benchmark) {
+            return size;
+        }
+        self.predict(statistics)
+    }
+
+    /// A copy of this predictor with the memo table dropped, so every
+    /// [`predict_for`](Self::predict_for) evaluates the model from scratch.
+    /// Exists for the equivalence tests that assert memoization changes no
+    /// `RunMetrics`.
+    pub fn without_memo(&self) -> Self {
+        BestCorePredictor {
+            model: self.model.clone(),
+            memo: Vec::new(),
+        }
     }
 
     /// The raw (un-snapped) regression output, for diagnostics.
@@ -251,6 +288,32 @@ impl BestCorePredictor {
             Model::Ridge(_) | Model::Knn(_) => 1,
         }
     }
+}
+
+/// Evaluate the freshly trained model on every benchmark's fixed feature
+/// vector, once, so job completions become table lookups. The ANN goes
+/// through [`Bagging::predict_batch`] — one workspace threaded through all
+/// members and rows.
+fn memoize(model: &Model, oracle: &SuiteOracle) -> Vec<(BenchmarkId, CacheSizeKb)> {
+    let benchmarks: Vec<BenchmarkId> = oracle.benchmarks().collect();
+    let features: Vec<Vec<f64>> = benchmarks
+        .iter()
+        .map(|&b| oracle.execution_statistics(b).to_vector().to_vec())
+        .collect();
+    let raw: Vec<f64> = match model {
+        Model::Ann(ensemble) => ensemble
+            .predict_batch(&features)
+            .into_iter()
+            .map(|row| row[0])
+            .collect(),
+        Model::Ridge(m) => features.iter().map(|f| m.predict(f)[0]).collect(),
+        Model::Knn(m) => features.iter().map(|f| m.predict(f)[0]).collect(),
+    };
+    benchmarks
+        .into_iter()
+        .zip(raw)
+        .map(|(b, r)| (b, CacheSizeKb::nearest(r)))
+        .collect()
 }
 
 /// Assemble the (features, best-size) dataset, optionally with jittered
@@ -318,6 +381,31 @@ mod tests {
                 four.predict_raw(&stats).to_bits(),
                 "{benchmark}"
             );
+        }
+    }
+
+    #[test]
+    fn memoized_predictions_match_direct_evaluation() {
+        let oracle = oracle();
+        for predictor in [
+            BestCorePredictor::train(&oracle, &PredictorConfig::fast()),
+            BestCorePredictor::train_ridge(&oracle, &[], 1.0),
+            BestCorePredictor::train_knn(&oracle, &[], 3),
+        ] {
+            let bare = predictor.without_memo();
+            for benchmark in oracle.benchmarks() {
+                let stats = oracle.execution_statistics(benchmark);
+                assert_eq!(
+                    predictor.predict_for(benchmark, &stats),
+                    predictor.predict(&stats),
+                    "memo hit diverged for {benchmark}"
+                );
+                assert_eq!(
+                    predictor.predict_for(benchmark, &stats),
+                    bare.predict_for(benchmark, &stats),
+                    "memo-less fallback diverged for {benchmark}"
+                );
+            }
         }
     }
 

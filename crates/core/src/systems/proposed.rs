@@ -260,7 +260,7 @@ impl Scheduler for ProposedSystem<'_> {
         let benchmark = job.benchmark;
         let predictor = &self.predictor;
         self.shared.complete(job, core, |shared| {
-            predictor.predict(&shared.oracle.execution_statistics(benchmark))
+            predictor.predict_for(benchmark, &shared.oracle.execution_statistics(benchmark))
         });
     }
 

@@ -37,9 +37,12 @@ else
     echo "==> cargo clippy not installed; skipping"
 fi
 
+echo "==> perf_pipeline --smoke (release; every stage end to end, no gate)"
+cargo build --release --offline -p hetero-bench
+./target/release/perf_pipeline --smoke
+
 if $run_perf; then
     echo "==> perf_pipeline gate (release)"
-    cargo build --release --offline -p hetero-bench
     ./target/release/perf_pipeline
 fi
 
