@@ -1,0 +1,332 @@
+//! Flight-recorder conservation audit across all four systems.
+//!
+//! Replays base / optimal / energy-centric / proposed under every queue
+//! discipline (FIFO, Priority, PreemptivePriority) with the recording
+//! sink attached, then:
+//!
+//! 1. re-derives the full [`RunMetrics`] ledger from the event stream
+//!    with [`LedgerAuditor`] and fails on any divergence (energies are
+//!    compared to the bit, counters exactly);
+//! 2. checks the stall-purity contract via [`StallPurityChecked`] —
+//!    every `Stall`-returning `schedule` call must leave the policy's
+//!    state fingerprint unchanged;
+//! 3. runs a mutation self-test: individually perturbs single accounting
+//!    sites in a recorded trace (dropped idle span, inflated placement
+//!    energy, dropped stall, forged eviction refund, dropped completion)
+//!    and verifies the auditor rejects every tampered stream.
+//!
+//! Usage: `audit [--smoke] [--export]`
+//!
+//! * `--smoke`  — one seed, reduced job count (used by `scripts/check.sh`).
+//! * `--export` — write the first seed's proposed-system traces to
+//!   `results/TRACE_<system>_<discipline>.json`.
+//!
+//! Exits non-zero if any ledger diverges, any stall-purity violation is
+//! detected, or any mutation goes unnoticed.
+
+use energy_model::EnergyModel;
+use hetero_bench::trace_json::trace_document;
+use hetero_bench::Testbed;
+use hetero_core::{BaseSystem, EnergyCentricSystem, OptimalSystem, ProposedSystem};
+use multicore_sim::{
+    LedgerAuditor, QueueDiscipline, RecordingSink, RunMetrics, Scheduler, Simulator,
+    StallPurityChecked, TraceEvent,
+};
+use std::process::ExitCode;
+use workloads::ArrivalPlan;
+
+const SYSTEMS: [&str; 4] = ["base", "optimal", "energy-centric", "proposed"];
+
+const DISCIPLINES: [(QueueDiscipline, &str); 3] = [
+    (QueueDiscipline::Fifo, "fifo"),
+    (QueueDiscipline::Priority, "priority"),
+    (QueueDiscipline::PreemptivePriority, "preemptive-priority"),
+];
+
+/// Priority levels in the audit workload; >1 so the preemptive
+/// discipline actually evicts.
+const PRIORITY_LEVELS: u8 = 3;
+
+/// One traced run: the simulator's own ledger, the recorded event
+/// stream, and the stall-purity outcome.
+struct TracedRun {
+    metrics: RunMetrics,
+    events: Vec<TraceEvent>,
+    stall_checks: u64,
+    purity_violations: Vec<String>,
+}
+
+fn trace_one<S: Scheduler>(
+    system: S,
+    num_cores: usize,
+    discipline: QueueDiscipline,
+    plan: &ArrivalPlan,
+) -> TracedRun {
+    let mut checked = StallPurityChecked::new(system);
+    let mut sink = RecordingSink::new();
+    let metrics = Simulator::new(num_cores)
+        .with_discipline(discipline)
+        .run_with_sink(plan, &mut checked, &mut sink);
+    TracedRun {
+        metrics,
+        events: sink.into_events(),
+        stall_checks: checked.stall_checks(),
+        purity_violations: checked.violations().to_vec(),
+    }
+}
+
+/// Run `system_index` (paper presentation order) traced on one plan.
+fn run_system(
+    testbed: &Testbed,
+    system_index: usize,
+    discipline: QueueDiscipline,
+    plan: &ArrivalPlan,
+) -> TracedRun {
+    let num_cores = testbed.arch.num_cores();
+    let model: EnergyModel = testbed.model;
+    match system_index {
+        0 => {
+            let base = BaseSystem::new(&testbed.oracle, model, num_cores);
+            trace_one(base, num_cores, discipline, plan)
+        }
+        1 => {
+            let optimal = OptimalSystem::new(&testbed.arch, &testbed.oracle, model);
+            trace_one(optimal, num_cores, discipline, plan)
+        }
+        2 => {
+            let energy_centric = EnergyCentricSystem::new(
+                &testbed.arch,
+                &testbed.oracle,
+                model,
+                testbed.predictor.clone(),
+            );
+            trace_one(energy_centric, num_cores, discipline, plan)
+        }
+        _ => {
+            let proposed = ProposedSystem::with_model(
+                &testbed.arch,
+                &testbed.oracle,
+                model,
+                testbed.predictor.clone(),
+            );
+            trace_one(proposed, num_cores, discipline, plan)
+        }
+    }
+}
+
+/// A single-site trace perturbation; `None` when the trace has no event
+/// of the targeted kind.
+type Mutation = fn(&[TraceEvent]) -> Option<Vec<TraceEvent>>;
+
+/// Mutations for the self-test: each perturbs exactly one accounting
+/// site in a copy of the trace.
+fn mutations() -> Vec<(&'static str, Mutation)> {
+    vec![
+        ("drop first idle span", |events| {
+            drop_first(events, |e| matches!(e, TraceEvent::IdleSpan { .. }))
+        }),
+        ("inflate a placement's dynamic energy", |events| {
+            edit_first(events, |e| {
+                if let TraceEvent::Placement { dynamic_nj, .. } = e {
+                    *dynamic_nj += 1.0;
+                    true
+                } else {
+                    false
+                }
+            })
+        }),
+        ("drop first stall offer", |events| {
+            drop_first(events, |e| matches!(e, TraceEvent::Stall { .. }))
+        }),
+        ("forge an eviction's remaining cycles", |events| {
+            edit_first(events, |e| {
+                if let TraceEvent::Eviction {
+                    remaining_cycles, ..
+                } = e
+                {
+                    *remaining_cycles += 1;
+                    true
+                } else {
+                    false
+                }
+            })
+        }),
+        ("drop last completion", |events| {
+            let index = events
+                .iter()
+                .rposition(|e| matches!(e, TraceEvent::Completion { .. }))?;
+            let mut tampered = events.to_vec();
+            tampered.remove(index);
+            Some(tampered)
+        }),
+        ("shift a completion's timestamp", |events| {
+            edit_first(events, |e| {
+                if let TraceEvent::Completion { at, .. } = e {
+                    *at += 1;
+                    true
+                } else {
+                    false
+                }
+            })
+        }),
+        ("discount an idle span's power", |events| {
+            edit_first(events, |e| {
+                if let TraceEvent::IdleSpan {
+                    idle_power_nj_per_cycle,
+                    ..
+                } = e
+                {
+                    *idle_power_nj_per_cycle *= 0.5;
+                    true
+                } else {
+                    false
+                }
+            })
+        }),
+    ]
+}
+
+fn drop_first(events: &[TraceEvent], pred: fn(&TraceEvent) -> bool) -> Option<Vec<TraceEvent>> {
+    let index = events.iter().position(pred)?;
+    let mut tampered = events.to_vec();
+    tampered.remove(index);
+    Some(tampered)
+}
+
+fn edit_first(events: &[TraceEvent], edit: fn(&mut TraceEvent) -> bool) -> Option<Vec<TraceEvent>> {
+    let mut tampered = events.to_vec();
+    for event in &mut tampered {
+        if edit(event) {
+            return Some(tampered);
+        }
+    }
+    None
+}
+
+/// Apply every applicable mutation to `run`'s trace; each must make the
+/// auditor fail. Returns (applied, undetected-descriptions).
+fn mutation_self_test(run: &TracedRun, num_cores: usize) -> (usize, Vec<&'static str>) {
+    let auditor = LedgerAuditor::new(num_cores);
+    let mut applied = 0;
+    let mut undetected = Vec::new();
+    for (name, mutate) in mutations() {
+        let Some(tampered) = mutate(&run.events) else {
+            continue;
+        };
+        applied += 1;
+        if auditor.check(&tampered, &run.metrics).is_ok() {
+            undetected.push(name);
+        }
+    }
+    (applied, undetected)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let export = args.iter().any(|a| a == "--export");
+    if let Some(unknown) = args.iter().find(|a| *a != "--smoke" && *a != "--export") {
+        eprintln!("unknown argument: {unknown} (expected --smoke and/or --export)");
+        return ExitCode::FAILURE;
+    }
+
+    let (jobs, horizon, seeds): (usize, u64, &[u64]) = if smoke {
+        (120, 12_000_000, &[11])
+    } else {
+        (400, 40_000_000, &[11, 23, 35])
+    };
+
+    println!(
+        "flight-recorder audit: 4 systems x {} disciplines x {} seed(s), {jobs} jobs each",
+        DISCIPLINES.len(),
+        seeds.len()
+    );
+    let testbed = Testbed::small();
+    let num_cores = testbed.arch.num_cores();
+    let auditor = LedgerAuditor::new(num_cores);
+
+    let mut failures = 0u32;
+    let mut runs = 0u32;
+    let mut total_events = 0usize;
+    let mut total_stall_checks = 0u64;
+    let mut mutations_applied = 0usize;
+
+    for &seed in seeds {
+        let plan = ArrivalPlan::uniform_with_priorities(
+            jobs,
+            horizon,
+            testbed.suite.len(),
+            PRIORITY_LEVELS,
+            seed,
+        );
+        for (discipline, discipline_name) in DISCIPLINES {
+            for (system_index, system_name) in SYSTEMS.iter().enumerate() {
+                let run = run_system(&testbed, system_index, discipline, &plan);
+                runs += 1;
+                total_events += run.events.len();
+                total_stall_checks += run.stall_checks;
+
+                let mut problems: Vec<String> = Vec::new();
+                if run.metrics.jobs_completed != jobs as u64 {
+                    problems.push(format!(
+                        "completed {} of {jobs} jobs",
+                        run.metrics.jobs_completed
+                    ));
+                }
+                if let Err(divergences) = auditor.check(&run.events, &run.metrics) {
+                    problems.extend(divergences);
+                }
+                problems.extend(run.purity_violations.iter().cloned());
+
+                // Mutation self-test on the richest trace per combination
+                // (first seed): every single-site perturbation must trip
+                // the auditor.
+                if seed == seeds[0] {
+                    let (applied, undetected) = mutation_self_test(&run, num_cores);
+                    mutations_applied += applied;
+                    for name in undetected {
+                        problems.push(format!("mutation not detected: {name}"));
+                    }
+                }
+
+                if export && seed == seeds[0] && *system_name == "proposed" {
+                    let doc = trace_document(system_name, discipline_name, seed, &run.events);
+                    let path = format!("results/TRACE_{system_name}_{discipline_name}.json");
+                    match std::fs::write(&path, doc.to_pretty()) {
+                        Ok(()) => println!("  wrote {path}"),
+                        Err(err) => problems.push(format!("export to {path} failed: {err}")),
+                    }
+                }
+
+                let verdict = if problems.is_empty() { "ok" } else { "FAIL" };
+                println!(
+                    "  seed {seed:>2} {discipline_name:<20} {system_name:<14} \
+                     {:>6} events  {:>5} stall checks  {verdict}",
+                    run.events.len(),
+                    run.stall_checks,
+                );
+                if !problems.is_empty() {
+                    failures += 1;
+                    for problem in &problems {
+                        eprintln!("    {problem}");
+                    }
+                }
+            }
+        }
+    }
+
+    println!(
+        "{runs} runs audited: {total_events} events replayed, \
+         {total_stall_checks} stall-purity checks, {mutations_applied} mutations injected"
+    );
+    if mutations_applied == 0 {
+        eprintln!("self-test never ran: no mutation was applicable");
+        return ExitCode::FAILURE;
+    }
+    if failures > 0 {
+        eprintln!("AUDIT FAILED: {failures} run(s) diverged");
+        return ExitCode::FAILURE;
+    }
+    println!("AUDIT PASSED: every ledger re-derived bit-for-bit; all stall paths pure");
+    ExitCode::SUCCESS
+}

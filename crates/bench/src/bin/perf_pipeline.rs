@@ -17,10 +17,15 @@
 //!   once per benchmark) vs re-running the reference ensemble on every
 //!   completing job.
 //!
-//! Each must be at least 2x faster than its reference. Speedups compare
-//! the minimum over the measured iterations on each side, which filters
-//! the additive scheduling noise of shared hosts. The binary exits
-//! non-zero when the guard fails, so it can serve as a CI perf gate.
+//! Each must be at least 2x faster than its reference. A fourth gated
+//! stage, `sim_trace_overhead`, guards the flight-recorder layer instead
+//! of an optimisation: the `NullSink` build of the traced simulator loop
+//! must stay within 2% of the verbatim untraced reference loop
+//! (`Simulator::run_reference`), i.e. its ratio bar is a fixed 0.98x
+//! regardless of the CLI threshold. Speedups compare the minimum over
+//! the measured iterations on each side, which filters the additive
+//! scheduling noise of shared hosts. The binary exits non-zero when the
+//! guard fails, so it can serve as a CI perf gate.
 //!
 //! Usage: `cargo run --release --bin perf_pipeline [min_speedup] [flags]`
 //!
@@ -33,22 +38,44 @@
 //! - `--smoke`: single-iteration shakeout — runs every stage end to end
 //!   but skips the gate and writes no artifact. Used by `scripts/check.sh`.
 
-use energy_model::EnergyModel;
+use energy_model::{EnergyBreakdown, EnergyModel};
 use hetero_bench::json::Json;
 use hetero_bench::perf::{bench_paired, Sample};
 use hetero_bench::Testbed;
 use hetero_core::{BestCorePredictor, PredictorConfig, SuiteOracle};
+use multicore_sim::{
+    CoreId, CoreView, Decision, Job, JobExecution, QueueDiscipline, Scheduler, Simulator,
+};
 use std::process::ExitCode;
 use tinyann::reference::RefBagging;
 use tinyann::{Activation, Bagging, Dataset, TrainConfig};
-use workloads::{SplitMix64, Suite};
+use workloads::{ArrivalPlan, SplitMix64, Suite};
 
 /// The CI threshold. Artifact writes at any other threshold require
 /// `--allow-override` and are marked in the JSON.
 const DEFAULT_MIN_SPEEDUP: f64 = 2.0;
 
-/// Stages whose speedup the gate checks (each must clear the threshold).
-const GATED_STAGES: [&str; 3] = ["oracle_build_paper", "bagging_train", "ensemble_predict"];
+/// Stages whose speedup the gate checks (each must clear its threshold).
+const GATED_STAGES: [&str; 4] = [
+    "oracle_build_paper",
+    "bagging_train",
+    "ensemble_predict",
+    "sim_trace_overhead",
+];
+
+/// `sim_trace_overhead` is a no-regression bar, not a speedup bar: the
+/// NullSink-instrumented loop must run at >= 0.98x the untraced
+/// reference (within 2%). Fixed — the CLI threshold does not move it.
+const TRACE_OVERHEAD_MIN_RATIO: f64 = 0.98;
+
+/// The gate bar for one stage at the given CLI threshold.
+fn stage_threshold(name: &str, min_speedup: f64) -> f64 {
+    if name == "sim_trace_overhead" {
+        TRACE_OVERHEAD_MIN_RATIO
+    } else {
+        min_speedup
+    }
+}
 
 /// One stage's before/after measurement.
 struct Stage {
@@ -74,10 +101,18 @@ impl Stage {
         GATED_STAGES.contains(&self.name)
     }
 
-    fn to_json(&self) -> Json {
+    fn to_json(&self, min_speedup: f64) -> Json {
         Json::object([
             ("stage", Json::str(self.name)),
             ("gated", Json::Bool(self.gated())),
+            (
+                "gate_threshold",
+                if self.gated() {
+                    Json::Num(stage_threshold(self.name, min_speedup))
+                } else {
+                    Json::Null
+                },
+            ),
             ("reference_ms", Json::Num(self.reference.mean_ms())),
             ("fused_ms", Json::Num(self.fused.mean_ms())),
             ("reference_min_ms", Json::Num(self.reference.min_ns / 1e6)),
@@ -263,6 +298,56 @@ fn measure_ensemble_predict(iters: u32) -> Stage {
     }
 }
 
+/// A cheap stateless policy for the trace-overhead stage: first idle
+/// core, benchmark-derived duration, unit idle power. Deliberately
+/// near-free so the measurement is dominated by the simulator loop
+/// itself — the worst case for any per-event instrumentation cost.
+struct FirstIdle;
+
+impl Scheduler for FirstIdle {
+    fn schedule(&mut self, job: &Job, cores: &[CoreView], _now: u64) -> Decision {
+        match cores.iter().find(|c| c.is_idle()) {
+            Some(core) => Decision::run(
+                core.id,
+                JobExecution {
+                    cycles: 40 + 17 * (job.benchmark.0 as u64 % 5),
+                    energy: EnergyBreakdown {
+                        dynamic_nj: 1.0,
+                        ..EnergyBreakdown::new()
+                    },
+                },
+            ),
+            None => Decision::Stall,
+        }
+    }
+
+    fn idle_power_nj_per_cycle(&self, _core: CoreId) -> f64 {
+        1.0
+    }
+}
+
+/// The flight-recorder no-regression stage: `Simulator::run` (traced
+/// loop, `NullSink`) against `Simulator::run_reference` (verbatim
+/// pre-trace loop) on an arrival-dense preemptive workload. Both sides
+/// produce bit-identical metrics (property-tested); here only their cost
+/// is compared.
+fn measure_trace_overhead(iters: u32) -> Stage {
+    let plan = ArrivalPlan::uniform_with_priorities(30_000, 1_500_000, 12, 3, 7);
+    let sim = Simulator::new(4).with_discipline(QueueDiscipline::PreemptivePriority);
+    let (reference, fused) = bench_paired(
+        "sim_untraced_reference",
+        || sim.run_reference(&plan, &mut FirstIdle).jobs_completed,
+        "sim_nullsink_traced",
+        || sim.run(&plan, &mut FirstIdle).jobs_completed,
+        iters,
+    );
+    Stage {
+        name: "sim_trace_overhead",
+        reference,
+        fused,
+    }
+}
+
 /// (Re-)measure one stage by name, at the given iteration count.
 fn measure_stage(name: &str, iters: u32) -> Stage {
     match name {
@@ -274,6 +359,7 @@ fn measure_stage(name: &str, iters: u32) -> Stage {
         "testbed_run_all_small" => measure_run_all(iters),
         "bagging_train" => measure_bagging_train(iters),
         "ensemble_predict" => measure_ensemble_predict(iters),
+        "sim_trace_overhead" => measure_trace_overhead(iters),
         other => panic!("unknown stage {other}"),
     }
 }
@@ -285,6 +371,7 @@ fn stage_iters(name: &str, smoke: bool) -> u32 {
     match name {
         "predictor_train_small" | "testbed_run_all_small" => 3,
         "bagging_train" => 5,
+        "sim_trace_overhead" => 9,
         _ => 7,
     }
 }
@@ -319,8 +406,9 @@ fn main() -> ExitCode {
         println!("smoke mode: 1 iteration per stage, no gate, no artifact\n");
     } else {
         println!(
-            "gating: {} must each be >= {min_speedup:.1}x their reference on one worker\n",
-            GATED_STAGES.join(", ")
+            "gating: oracle_build_paper, bagging_train, ensemble_predict must each be \
+             >= {min_speedup:.1}x their reference on one worker;\n\
+             sim_trace_overhead must hold >= {TRACE_OVERHEAD_MIN_RATIO:.2}x of the untraced loop\n"
         );
     }
 
@@ -331,6 +419,7 @@ fn main() -> ExitCode {
         "testbed_run_all_small",
         "bagging_train",
         "ensemble_predict",
+        "sim_trace_overhead",
     ];
     let mut stages: Vec<Stage> = all_stages
         .iter()
@@ -343,12 +432,13 @@ fn main() -> ExitCode {
     // regression fails every attempt; a scheduling artefact does not.
     if !smoke {
         for name in GATED_STAGES {
+            let bar = stage_threshold(name, min_speedup);
             for _ in 0..2 {
                 let gate = stages
                     .iter_mut()
                     .find(|s| s.name == name)
                     .expect("gated stage measured");
-                if gate.speedup() >= min_speedup {
+                if gate.speedup() >= bar {
                     break;
                 }
                 println!(
@@ -385,7 +475,9 @@ fn main() -> ExitCode {
     }
 
     let gated: Vec<&Stage> = stages.iter().filter(|s| s.gated()).collect();
-    let passed = gated.iter().all(|s| s.speedup() >= min_speedup);
+    let passed = gated
+        .iter()
+        .all(|s| s.speedup() >= stage_threshold(s.name, min_speedup));
 
     if overridden && !allow_override {
         eprintln!(
@@ -409,7 +501,7 @@ fn main() -> ExitCode {
         ("gate_passed", Json::Bool(passed)),
         (
             "stages",
-            Json::Array(stages.iter().map(Stage::to_json).collect()),
+            Json::Array(stages.iter().map(|s| s.to_json(min_speedup)).collect()),
         ),
     ]);
     let path = std::path::Path::new("results").join("BENCH_pipeline.json");
@@ -424,17 +516,19 @@ fn main() -> ExitCode {
     if passed {
         for stage in &gated {
             println!(
-                "PASS: {} speedup {:.2}x >= {min_speedup:.1}x",
+                "PASS: {} speedup {:.2}x >= {:.2}x",
                 stage.name,
-                stage.speedup()
+                stage.speedup(),
+                stage_threshold(stage.name, min_speedup)
             );
         }
         ExitCode::SUCCESS
     } else {
         for stage in &gated {
-            if stage.speedup() < min_speedup {
+            let bar = stage_threshold(stage.name, min_speedup);
+            if stage.speedup() < bar {
                 eprintln!(
-                    "FAIL: {} speedup {:.2}x < {min_speedup:.1}x",
+                    "FAIL: {} speedup {:.2}x < {bar:.2}x",
                     stage.name,
                     stage.speedup()
                 );

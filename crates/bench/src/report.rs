@@ -29,8 +29,11 @@ pub struct SystemRecord {
     pub work_cycles: u64,
     /// Mean job turnaround in cycles.
     pub mean_turnaround: f64,
-    /// Stall decisions taken.
+    /// Distinct per-job stall episodes.
     pub stalls: u64,
+    /// Raw declined scheduling offers (>= `stalls`; a job re-offered
+    /// across several passes counts once per pass here).
+    pub stall_offers: u64,
     /// Profiling executions performed.
     pub profiling_runs: u64,
     /// Energy of profiling executions in nanojoules.
@@ -55,6 +58,7 @@ impl SystemRecord {
             work_cycles: run.metrics.busy_cycles.iter().sum(),
             mean_turnaround: run.metrics.mean_turnaround(),
             stalls: run.metrics.stalls,
+            stall_offers: run.metrics.stall_offers,
             profiling_runs: run.stats.profiling_runs,
             profiling_energy_nj: run.stats.profiling_energy_nj,
             tuning_runs: run.stats.tuning_runs,
@@ -74,6 +78,7 @@ impl SystemRecord {
             ("work_cycles", Json::UInt(self.work_cycles)),
             ("mean_turnaround", Json::Num(self.mean_turnaround)),
             ("stalls", Json::UInt(self.stalls)),
+            ("stall_offers", Json::UInt(self.stall_offers)),
             ("profiling_runs", Json::UInt(self.profiling_runs)),
             ("profiling_energy_nj", Json::Num(self.profiling_energy_nj)),
             ("tuning_runs", Json::UInt(self.tuning_runs)),

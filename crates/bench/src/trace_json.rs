@@ -1,0 +1,212 @@
+//! JSON export of flight-recorder event traces.
+//!
+//! Converts the [`TraceEvent`] stream recorded by
+//! [`multicore_sim::RecordingSink`] into the same hand-rolled
+//! [`Json`](crate::json::Json) documents the experiment binaries persist
+//! under `results/`, so traces can be inspected (or diffed across commits)
+//! without any external tooling. Events serialise with their exact `f64`
+//! operands — a trace file is sufficient to re-run the ledger audit.
+
+use crate::json::Json;
+use multicore_sim::{PlacementKind, TraceEvent};
+use std::collections::BTreeMap;
+
+/// One event as a flat JSON object. The `kind` field carries the stable
+/// name from [`TraceEvent::kind_name`]; the remaining keys depend on the
+/// kind.
+pub fn event_to_json(event: &TraceEvent) -> Json {
+    let mut pairs: Vec<(&'static str, Json)> = vec![("kind", Json::str(event.kind_name()))];
+    match *event {
+        TraceEvent::Arrival {
+            seq,
+            benchmark,
+            at,
+            priority,
+        } => {
+            pairs.push(("seq", Json::UInt(seq)));
+            pairs.push(("benchmark", Json::UInt(benchmark.0 as u64)));
+            pairs.push(("at", Json::UInt(at)));
+            pairs.push(("priority", Json::UInt(u64::from(priority))));
+        }
+        TraceEvent::IdleSpan {
+            core,
+            from,
+            to,
+            idle_power_nj_per_cycle,
+        } => {
+            pairs.push(("core", Json::UInt(core.0 as u64)));
+            pairs.push(("from", Json::UInt(from)));
+            pairs.push(("to", Json::UInt(to)));
+            pairs.push((
+                "idle_power_nj_per_cycle",
+                Json::Num(idle_power_nj_per_cycle),
+            ));
+        }
+        TraceEvent::Placement {
+            seq,
+            benchmark,
+            core,
+            at,
+            cycles,
+            dynamic_nj,
+            static_nj,
+            kind,
+        } => {
+            pairs.push(("seq", Json::UInt(seq)));
+            pairs.push(("benchmark", Json::UInt(benchmark.0 as u64)));
+            pairs.push(("core", Json::UInt(core.0 as u64)));
+            pairs.push(("at", Json::UInt(at)));
+            pairs.push(("cycles", Json::UInt(cycles)));
+            pairs.push(("dynamic_nj", Json::Num(dynamic_nj)));
+            pairs.push(("static_nj", Json::Num(static_nj)));
+            pairs.push((
+                "placement",
+                Json::str(match kind {
+                    PlacementKind::Pass => "pass",
+                    PlacementKind::Preemption => "preemption",
+                }),
+            ));
+        }
+        TraceEvent::Stall { seq, benchmark, at } => {
+            pairs.push(("seq", Json::UInt(seq)));
+            pairs.push(("benchmark", Json::UInt(benchmark.0 as u64)));
+            pairs.push(("at", Json::UInt(at)));
+        }
+        TraceEvent::PreemptionProbe {
+            seq,
+            victim,
+            core,
+            at,
+            granted,
+        } => {
+            pairs.push(("seq", Json::UInt(seq)));
+            pairs.push(("victim", Json::UInt(victim)));
+            pairs.push(("core", Json::UInt(core.0 as u64)));
+            pairs.push(("at", Json::UInt(at)));
+            pairs.push(("granted", Json::Bool(granted)));
+        }
+        TraceEvent::Eviction {
+            victim,
+            core,
+            at,
+            total_cycles,
+            remaining_cycles,
+            dynamic_nj,
+            static_nj,
+        } => {
+            pairs.push(("victim", Json::UInt(victim)));
+            pairs.push(("core", Json::UInt(core.0 as u64)));
+            pairs.push(("at", Json::UInt(at)));
+            pairs.push(("total_cycles", Json::UInt(total_cycles)));
+            pairs.push(("remaining_cycles", Json::UInt(remaining_cycles)));
+            pairs.push(("dynamic_nj", Json::Num(dynamic_nj)));
+            pairs.push(("static_nj", Json::Num(static_nj)));
+        }
+        TraceEvent::Completion {
+            seq,
+            benchmark,
+            core,
+            at,
+            arrival,
+            priority,
+        } => {
+            pairs.push(("seq", Json::UInt(seq)));
+            pairs.push(("benchmark", Json::UInt(benchmark.0 as u64)));
+            pairs.push(("core", Json::UInt(core.0 as u64)));
+            pairs.push(("at", Json::UInt(at)));
+            pairs.push(("arrival", Json::UInt(arrival)));
+            pairs.push(("priority", Json::UInt(u64::from(priority))));
+        }
+    }
+    Json::object(pairs)
+}
+
+/// Per-kind event counts, in stable (alphabetical) key order.
+pub fn kind_counts(events: &[TraceEvent]) -> BTreeMap<&'static str, u64> {
+    let mut counts = BTreeMap::new();
+    for event in events {
+        *counts.entry(event.kind_name()).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// A full trace document: identifying metadata, per-kind counts, and the
+/// complete event stream.
+pub fn trace_document(system: &str, discipline: &str, seed: u64, events: &[TraceEvent]) -> Json {
+    Json::object([
+        ("experiment", Json::str("trace")),
+        ("system", Json::str(system)),
+        ("discipline", Json::str(discipline)),
+        ("seed", Json::UInt(seed)),
+        ("events_total", Json::UInt(events.len() as u64)),
+        (
+            "events_by_kind",
+            Json::object(
+                kind_counts(events)
+                    .into_iter()
+                    .map(|(kind, count)| (kind, Json::UInt(count))),
+            ),
+        ),
+        (
+            "events",
+            Json::Array(events.iter().map(event_to_json).collect()),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multicore_sim::CoreId;
+    use workloads::BenchmarkId;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Arrival {
+                seq: 0,
+                benchmark: BenchmarkId(2),
+                at: 0,
+                priority: 1,
+            },
+            TraceEvent::Placement {
+                seq: 0,
+                benchmark: BenchmarkId(2),
+                core: CoreId(1),
+                at: 0,
+                cycles: 50,
+                dynamic_nj: 1.5,
+                static_nj: 0.25,
+                kind: PlacementKind::Pass,
+            },
+            TraceEvent::Completion {
+                seq: 0,
+                benchmark: BenchmarkId(2),
+                core: CoreId(1),
+                at: 50,
+                arrival: 0,
+                priority: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn events_serialise_with_kind_and_operands() {
+        let events = sample_events();
+        let text = event_to_json(&events[1]).to_pretty();
+        assert!(text.contains("\"kind\": \"placement\""), "{text}");
+        assert!(text.contains("\"dynamic_nj\": 1.5"), "{text}");
+        assert!(text.contains("\"placement\": \"pass\""), "{text}");
+    }
+
+    #[test]
+    fn document_counts_by_kind() {
+        let events = sample_events();
+        let counts = kind_counts(&events);
+        assert_eq!(counts["arrival"], 1);
+        assert_eq!(counts["placement"], 1);
+        assert_eq!(counts["completion"], 1);
+        let doc = trace_document("proposed", "fifo", 42, &events).to_pretty();
+        assert!(doc.contains("\"events_total\": 3"), "{doc}");
+        assert!(doc.contains("\"seed\": 42"), "{doc}");
+    }
+}

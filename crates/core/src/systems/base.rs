@@ -69,6 +69,12 @@ impl Scheduler for BaseSystem<'_> {
     fn idle_power_nj_per_cycle(&self, _core: CoreId) -> f64 {
         self.model.static_nj_per_cycle(BASE_CONFIG)
     }
+
+    fn state_fingerprint(&self) -> u64 {
+        // Stateless policy: the constant fingerprint is exact, so the
+        // stall-purity checker trivially holds.
+        0
+    }
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@ use crate::oracle::SuiteOracle;
 use crate::profiling::{ProfileEntry, ProfilingTable};
 use cache_sim::{CacheConfig, CacheSizeKb, BASE_CONFIG};
 use energy_model::{EnergyModel, ExecutionCost};
-use multicore_sim::{CoreId, CoreView, Decision, Job, JobExecution};
+use multicore_sim::{CoreId, CoreView, Decision, Fingerprint, Job, JobExecution};
 use std::collections::HashMap;
 use workloads::BenchmarkId;
 
@@ -21,7 +21,10 @@ pub struct SystemStats {
     pub profiling_energy_nj: f64,
     /// Executions whose configuration was chosen by the tuning explorer.
     pub tuning_runs: u64,
-    /// Section IV.E decisions evaluated.
+    /// Section IV.E candidate evaluations, committed only when the call
+    /// results in a `Run` decision (stall-returning calls must leave all
+    /// observable state untouched — the Scheduler contract the preemption
+    /// probe relies on).
     pub decisions_evaluated: u64,
     /// Decisions that sent the job to a non-best core.
     pub decisions_ran_non_best: u64,
@@ -194,6 +197,89 @@ impl<'a> Shared<'a> {
     /// First idle core in id order, if any.
     pub fn first_idle(cores: &[CoreView]) -> Option<CoreId> {
         cores.iter().find(|c| c.is_idle()).map(|c| c.id)
+    }
+
+    /// Digest of every piece of observable policy state, backing
+    /// [`Scheduler::state_fingerprint`](multicore_sim::Scheduler::state_fingerprint)
+    /// for the stall-purity checker: two `Shared` values that differ in any
+    /// decision-relevant field must fingerprint differently.
+    ///
+    /// `HashMap` fields are folded order-independently (XOR of per-entry
+    /// sub-digests); `BTreeMap`-backed state iterates deterministically.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        fp.write_u64(self.stats.profiling_runs);
+        fp.write_f64(self.stats.profiling_energy_nj);
+        fp.write_u64(self.stats.tuning_runs);
+        fp.write_u64(self.stats.decisions_evaluated);
+        fp.write_u64(self.stats.decisions_ran_non_best);
+        for config in &self.core_config {
+            fp.write_usize(config.design_space_index());
+        }
+        for slot in &self.running {
+            match slot {
+                Some(running) => {
+                    fp.write_u64(1);
+                    fp.write_u64(running.cost.cycles);
+                    fp.write_f64(running.cost.energy.dynamic_nj);
+                    fp.write_f64(running.cost.energy.static_nj);
+                }
+                None => fp.write_u64(0),
+            }
+        }
+        let mut pending_digest = 0u64;
+        for (&seq, pending) in &self.pending {
+            let mut sub = Fingerprint::new();
+            sub.write_u64(seq);
+            match pending {
+                Pending::Profile { benchmark } => {
+                    sub.write_u64(1);
+                    sub.write_usize(benchmark.0);
+                }
+                Pending::Execution { benchmark, config } => {
+                    sub.write_u64(2);
+                    sub.write_usize(benchmark.0);
+                    sub.write_usize(config.design_space_index());
+                }
+            }
+            pending_digest ^= sub.finish();
+        }
+        fp.write_u64(pending_digest);
+        let mut in_flight_digest = 0u64;
+        for (&benchmark, &seq) in &self.profiling_in_flight {
+            let mut sub = Fingerprint::new();
+            sub.write_usize(benchmark.0);
+            sub.write_u64(seq);
+            in_flight_digest ^= sub.finish();
+        }
+        fp.write_u64(in_flight_digest);
+        for (benchmark, entry) in self.table.iter() {
+            fp.write_usize(benchmark.0);
+            fp.write_u64(u64::from(entry.predicted_best_size.kilobytes()));
+            for (config, cost) in entry.explored() {
+                fp.write_usize(config.design_space_index());
+                fp.write_u64(cost.cycles);
+                fp.write_f64(cost.energy.dynamic_nj);
+                fp.write_f64(cost.energy.static_nj);
+            }
+            for size in CacheSizeKb::ALL {
+                match entry.tuner(size) {
+                    Some(tuner) => {
+                        fp.write_u64(1 + u64::from(tuner.is_done()));
+                        fp.write_usize(tuner.explored_count());
+                        match tuner.best() {
+                            Some((config, energy)) => {
+                                fp.write_usize(config.design_space_index());
+                                fp.write_f64(energy);
+                            }
+                            None => fp.write_u64(0),
+                        }
+                    }
+                    None => fp.write_u64(0),
+                }
+            }
+        }
+        fp.finish()
     }
 }
 
@@ -368,6 +454,31 @@ mod tests {
             shared.idle_power(CoreId(3)),
             model.static_nj_per_cycle(cache_sim::BASE_CONFIG)
         );
+    }
+
+    #[test]
+    fn fingerprint_tracks_observable_state() {
+        let (arch, oracle, model) = fixture();
+        let mut shared = Shared::new(arch, oracle, model);
+        let fresh = shared.fingerprint();
+        assert_eq!(shared.fingerprint(), fresh, "digest is deterministic");
+
+        // A profiling launch changes stats, pending, running, in-flight
+        // markers and the loaded configuration: the digest must move.
+        let job = job(0, 2);
+        let _ = shared.try_profile(&job, &all_idle(4));
+        let launched = shared.fingerprint();
+        assert_ne!(launched, fresh);
+
+        // Completing moves state again (table entry appears).
+        shared.complete(&job, CoreId(3), |_| cache_sim::CacheSizeKb::K4);
+        let completed = shared.fingerprint();
+        assert_ne!(completed, launched);
+        assert_ne!(completed, fresh);
+
+        // A bare counter bump alone must be visible.
+        shared.stats.decisions_evaluated += 1;
+        assert_ne!(shared.fingerprint(), completed);
     }
 
     #[test]

@@ -197,6 +197,10 @@ impl Scheduler for OptimalSystem<'_> {
     fn on_preempt(&mut self, job: &Job, core: CoreId, _now: u64) {
         self.shared.abort(job, core);
     }
+
+    fn state_fingerprint(&self) -> u64 {
+        self.shared.fingerprint()
+    }
 }
 
 #[cfg(test)]

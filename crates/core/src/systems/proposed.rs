@@ -207,13 +207,18 @@ impl Scheduler for ProposedSystem<'_> {
             .next()
             .unwrap_or(0.0);
 
+        // Count candidate evaluations locally and commit them to the
+        // shared stats only on a `Run` outcome: a `Stall`-returning call
+        // (including a declined preemption probe) must leave observable
+        // state untouched per the Scheduler contract.
+        let mut evaluated = 0u64;
         let mut chosen: Option<(CoreId, CacheConfig, ExecutionCost)> = None;
         for &candidate in &idle {
             let size = self.shared.arch.core_size(candidate);
             let Some((config, b_on_candidate)) = entry.best_known_for_size(size) else {
                 continue;
             };
-            self.shared.stats.decisions_evaluated += 1;
+            evaluated += 1;
             let decision = StallDecision::evaluate(
                 b_on_best,
                 b_on_candidate,
@@ -237,6 +242,7 @@ impl Scheduler for ProposedSystem<'_> {
 
         match chosen {
             Some((core, config, _)) => {
+                self.shared.stats.decisions_evaluated += evaluated;
                 self.shared.stats.decisions_ran_non_best += 1;
                 self.shared.launch(
                     job,
@@ -266,6 +272,10 @@ impl Scheduler for ProposedSystem<'_> {
 
     fn on_preempt(&mut self, job: &Job, core: CoreId, _now: u64) {
         self.shared.abort(job, core);
+    }
+
+    fn state_fingerprint(&self) -> u64 {
+        self.shared.fingerprint()
     }
 }
 
@@ -385,6 +395,30 @@ mod tests {
         let (stats_b, _, metrics_b) = run_proposed(&f, 200, 20_000_000, 41);
         assert_eq!(stats_a, stats_b);
         assert_eq!(metrics_a, metrics_b);
+    }
+
+    #[test]
+    fn stall_paths_leave_state_untouched() {
+        // Regression for the decisions_evaluated leak: wrap the system in
+        // the purity checker and drive it through a contended run — every
+        // Stall-returning call (ordinary pass or preemption probe) must
+        // leave the state fingerprint unchanged.
+        use multicore_sim::{QueueDiscipline, StallPurityChecked};
+        let f = fixture();
+        let predictor = BestCorePredictor::train(f.oracle, &PredictorConfig::fast());
+        let system = ProposedSystem::with_model(f.arch, f.oracle, f.model, predictor);
+        let mut checked = StallPurityChecked::new(system);
+        let plan = ArrivalPlan::uniform_with_priorities(400, 10_000_000, f.suite.len(), 3, 35);
+        let metrics = Simulator::new(4)
+            .with_discipline(QueueDiscipline::PreemptivePriority)
+            .run(&plan, &mut checked);
+        assert_eq!(metrics.jobs_completed, 400);
+        assert!(checked.stall_checks() > 0, "contention must produce stalls");
+        checked.assert_pure();
+        assert!(
+            checked.into_inner().stats().decisions_evaluated > 0,
+            "Run-committed evaluations still recorded"
+        );
     }
 
     #[test]

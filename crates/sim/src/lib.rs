@@ -54,8 +54,13 @@ mod job;
 mod metrics;
 mod scheduler;
 mod simulator;
+mod trace;
 
 pub use job::{Job, JobExecution};
 pub use metrics::{ClassStats, RunMetrics};
 pub use scheduler::{BusyInfo, CoreId, CoreView, Decision, Scheduler};
 pub use simulator::{QueueDiscipline, Simulator};
+pub use trace::{
+    ledger_divergences, Fingerprint, LedgerAuditor, NullSink, PlacementKind, RecordingSink,
+    StallPurityChecked, TraceEvent, TraceSink,
+};

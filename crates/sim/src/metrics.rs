@@ -36,8 +36,17 @@ pub struct RunMetrics {
     pub total_cycles: u64,
     /// Jobs that ran to completion.
     pub jobs_completed: u64,
-    /// Stall decisions taken (each one re-enqueues a job).
+    /// Distinct per-job stall **episodes**: a job entering the waiting
+    /// state counts once, no matter how many scheduling passes re-offer it
+    /// before placement; being placed and later re-queued (preemption)
+    /// starts a new episode. See [`stall_offers`](Self::stall_offers) for
+    /// the raw per-offer count.
     pub stalls: u64,
+    /// Raw stall decisions taken, one per declined offer per scheduling
+    /// pass (each one re-enqueues the job). A single waiting job inflates
+    /// this with every pass triggered by unrelated arrivals/completions,
+    /// which is why [`stalls`](Self::stalls) reports episodes instead.
+    pub stall_offers: u64,
     /// Busy cycles per core, indexed by core id.
     pub busy_cycles: Vec<u64>,
     /// Sum of (completion - arrival) over all jobs, for mean turnaround.
@@ -91,6 +100,7 @@ mod tests {
             total_cycles: 1000,
             jobs_completed: 4,
             stalls: 1,
+            stall_offers: 3,
             busy_cycles: vec![500, 1000],
             turnaround_cycles: 2000,
             by_priority: BTreeMap::new(),
@@ -107,6 +117,7 @@ mod tests {
             total_cycles: 0,
             jobs_completed: 0,
             stalls: 0,
+            stall_offers: 0,
             busy_cycles: vec![0],
             turnaround_cycles: 0,
             by_priority: BTreeMap::new(),

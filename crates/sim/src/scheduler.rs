@@ -105,6 +105,21 @@ pub trait Scheduler {
     fn on_preempt(&mut self, job: &Job, core: CoreId, now: u64) {
         let _ = (job, core, now);
     }
+
+    /// A digest of all observable policy state, used to *check* the
+    /// stall-purity contract on [`schedule`](Scheduler::schedule): the
+    /// `StallPurityChecked` wrapper snapshots this fingerprint before each
+    /// call and asserts it is unchanged whenever the call returns
+    /// [`Decision::Stall`].
+    ///
+    /// The default returns `0` (suitable only for stateless policies).
+    /// Stateful policies should fold every field that influences future
+    /// decisions into the digest; two states that fingerprint differently
+    /// must be behaviourally distinguishable, and a state mutation that
+    /// leaves the fingerprint unchanged will escape the checker.
+    fn state_fingerprint(&self) -> u64 {
+        0
+    }
 }
 
 #[cfg(test)]

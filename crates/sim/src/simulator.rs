@@ -3,9 +3,10 @@
 use crate::job::Job;
 use crate::metrics::RunMetrics;
 use crate::scheduler::{BusyInfo, CoreId, CoreView, Decision, Scheduler};
+use crate::trace::{NullSink, PlacementKind, TraceEvent, TraceSink};
 use energy_model::EnergyBreakdown;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashSet, VecDeque};
 use workloads::ArrivalPlan;
 
 /// How the ready queue orders jobs.
@@ -80,12 +81,36 @@ impl Simulator {
 
     /// Run the full arrival plan to completion under `scheduler`.
     ///
+    /// Equivalent to [`run_with_sink`](Self::run_with_sink) with the
+    /// zero-overhead [`NullSink`]: the sink is monomorphised away and the
+    /// hot path carries no tracing cost (guarded by the perf gate's
+    /// `sim_trace_overhead` stage against
+    /// [`run_reference`](Self::run_reference)).
+    ///
     /// # Panics
     ///
     /// Panics if the policy deadlocks (stalls a job while every core is
-    /// idle and no future event can change the situation), or if it returns
-    /// [`Decision::Run`] for a busy core.
+    /// idle and no future event can change the situation), if it returns
+    /// [`Decision::Run`] for a busy core, or if it returns a zero-cycle
+    /// execution (which would silently skew preemption-refund fractions).
     pub fn run(&self, plan: &ArrivalPlan, scheduler: &mut dyn Scheduler) -> RunMetrics {
+        self.run_with_sink(plan, scheduler, &mut NullSink)
+    }
+
+    /// Run the full arrival plan to completion under `scheduler`, emitting
+    /// one [`TraceEvent`] per accounting action into `sink` (the flight
+    /// recorder). See [`crate::trace`] for the event schema and the
+    /// [`LedgerAuditor`](crate::trace::LedgerAuditor) that replays it.
+    ///
+    /// # Panics
+    ///
+    /// As in [`run`](Self::run).
+    pub fn run_with_sink<T: TraceSink + ?Sized>(
+        &self,
+        plan: &ArrivalPlan,
+        scheduler: &mut dyn Scheduler,
+        sink: &mut T,
+    ) -> RunMetrics {
         let mut clock: u64 = 0;
         let mut cores: Vec<Option<BusyInfo>> = vec![None; self.num_cores];
         // The JobExecution behind each occupied core (for preemption
@@ -103,7 +128,13 @@ impl Simulator {
         let mut energy = EnergyBreakdown::new();
         let mut busy_cycles = vec![0u64; self.num_cores];
         let mut jobs_completed = 0u64;
-        let mut stalls = 0u64;
+        // Distinct per-job stall episodes vs raw per-offer stall count:
+        // `stalled` marks jobs currently inside an episode (cleared on
+        // placement), so a waiting job inflates only `stall_offers` on the
+        // passes triggered by unrelated arrivals/completions.
+        let mut stall_episodes = 0u64;
+        let mut stall_offers = 0u64;
+        let mut stalled: HashSet<u64> = HashSet::new();
         let mut turnaround = 0u64;
         let mut last_completion = 0u64;
         let mut by_priority: std::collections::BTreeMap<u8, crate::metrics::ClassStats> =
@@ -138,8 +169,16 @@ impl Simulator {
             if span > 0 {
                 for (index, core) in cores.iter().enumerate() {
                     if core.is_none() {
-                        energy.idle_nj +=
-                            span as f64 * scheduler.idle_power_nj_per_cycle(CoreId(index));
+                        let power = scheduler.idle_power_nj_per_cycle(CoreId(index));
+                        energy.idle_nj += span as f64 * power;
+                        if sink.enabled() {
+                            sink.record(TraceEvent::IdleSpan {
+                                core: CoreId(index),
+                                from: clock,
+                                to: now,
+                                idle_power_nj_per_cycle: power,
+                            });
+                        }
                     }
                 }
             }
@@ -165,6 +204,16 @@ impl Simulator {
                 class.jobs += 1;
                 class.turnaround_cycles += t - info.job.arrival;
                 last_completion = last_completion.max(t);
+                if sink.enabled() {
+                    sink.record(TraceEvent::Completion {
+                        seq: info.job.seq,
+                        benchmark: info.job.benchmark,
+                        core: CoreId(index),
+                        at: t,
+                        arrival: info.job.arrival,
+                        priority: info.job.priority,
+                    });
+                }
                 scheduler.on_complete(&info.job, CoreId(index), clock);
             }
 
@@ -174,12 +223,21 @@ impl Simulator {
                     break;
                 }
                 let arrival = arrivals.next().expect("peeked");
-                ready.push_back(Job {
+                let job = Job {
                     seq: next_seq,
                     benchmark: arrival.benchmark,
                     arrival: arrival.time,
                     priority: arrival.priority,
-                });
+                };
+                if sink.enabled() {
+                    sink.record(TraceEvent::Arrival {
+                        seq: job.seq,
+                        benchmark: job.benchmark,
+                        at: job.arrival,
+                        priority: job.priority,
+                    });
+                }
+                ready.push_back(job);
                 next_seq += 1;
             }
 
@@ -234,17 +292,42 @@ impl Simulator {
                                         "policy placed {urgent} on busy {core} during a \
                                          preemption probe at cycle {clock}"
                                     );
+                                    assert!(
+                                        execution.cycles > 0,
+                                        "policy scheduled {urgent} with a zero-cycle \
+                                         execution at cycle {clock}"
+                                    );
+                                    if sink.enabled() {
+                                        sink.record(TraceEvent::PreemptionProbe {
+                                            seq: urgent.seq,
+                                            victim: info.job.seq,
+                                            core: CoreId(index),
+                                            at: clock,
+                                            granted: true,
+                                        });
+                                    }
                                     // Commit the eviction: refund the
-                                    // victim's unexecuted share.
+                                    // victim's unexecuted share. Placement
+                                    // validation guarantees old.cycles > 0.
                                     let old = running_exec[index].take().expect("occupied");
-                                    let total = old.cycles.max(1);
                                     let remaining_cycles = info.busy_until - clock;
-                                    let refund = remaining_cycles as f64 / total as f64;
+                                    let refund = remaining_cycles as f64 / old.cycles as f64;
                                     energy.dynamic_nj -= old.energy.dynamic_nj * refund;
                                     energy.static_nj -= old.energy.static_nj * refund;
                                     busy_cycles[index] -= remaining_cycles;
                                     tokens[index] += 1; // invalidate its completion
                                     preemptions += 1;
+                                    if sink.enabled() {
+                                        sink.record(TraceEvent::Eviction {
+                                            victim: info.job.seq,
+                                            core: CoreId(index),
+                                            at: clock,
+                                            total_cycles: old.cycles,
+                                            remaining_cycles,
+                                            dynamic_nj: old.energy.dynamic_nj,
+                                            static_nj: old.energy.static_nj,
+                                        });
+                                    }
                                     scheduler.on_preempt(&info.job, CoreId(index), clock);
                                     ready.pop_front();
                                     ready.push_back(info.job);
@@ -262,11 +345,33 @@ impl Simulator {
                                     )));
                                     energy += execution.energy;
                                     busy_cycles[index] += execution.cycles;
+                                    stalled.remove(&urgent.seq);
+                                    if sink.enabled() {
+                                        sink.record(TraceEvent::Placement {
+                                            seq: urgent.seq,
+                                            benchmark: urgent.benchmark,
+                                            core: CoreId(index),
+                                            at: clock,
+                                            cycles: execution.cycles,
+                                            dynamic_nj: execution.energy.dynamic_nj,
+                                            static_nj: execution.energy.static_nj,
+                                            kind: PlacementKind::Preemption,
+                                        });
+                                    }
                                     evicted = true;
                                 }
                                 Decision::Stall => {
                                     // Policy declines the freed core; keep
                                     // the victim running.
+                                    if sink.enabled() {
+                                        sink.record(TraceEvent::PreemptionProbe {
+                                            seq: urgent.seq,
+                                            victim: info.job.seq,
+                                            core: CoreId(index),
+                                            at: clock,
+                                            granted: false,
+                                        });
+                                    }
                                 }
                             }
                         }
@@ -293,6 +398,11 @@ impl Simulator {
                                 slot.is_none(),
                                 "policy scheduled {job} onto busy {core} at cycle {clock}"
                             );
+                            assert!(
+                                execution.cycles > 0,
+                                "policy scheduled {job} with a zero-cycle execution at \
+                                 cycle {clock}"
+                            );
                             debug_assert_eq!(
                                 execution.energy.idle_nj, 0.0,
                                 "execution energy must not carry idle energy"
@@ -310,10 +420,33 @@ impl Simulator {
                             )));
                             energy += execution.energy;
                             busy_cycles[core.0] += execution.cycles;
+                            stalled.remove(&job.seq);
+                            if sink.enabled() {
+                                sink.record(TraceEvent::Placement {
+                                    seq: job.seq,
+                                    benchmark: job.benchmark,
+                                    core,
+                                    at: clock,
+                                    cycles: execution.cycles,
+                                    dynamic_nj: execution.energy.dynamic_nj,
+                                    static_nj: execution.energy.static_nj,
+                                    kind: PlacementKind::Pass,
+                                });
+                            }
                             remaining = ready.len();
                         }
                         Decision::Stall => {
-                            stalls += 1;
+                            stall_offers += 1;
+                            if stalled.insert(job.seq) {
+                                stall_episodes += 1;
+                            }
+                            if sink.enabled() {
+                                sink.record(TraceEvent::Stall {
+                                    seq: job.seq,
+                                    benchmark: job.benchmark,
+                                    at: clock,
+                                });
+                            }
                             ready.push_back(job);
                             remaining -= 1;
                         }
@@ -340,7 +473,260 @@ impl Simulator {
             energy,
             total_cycles: last_completion,
             jobs_completed,
-            stalls,
+            stalls: stall_episodes,
+            stall_offers,
+            busy_cycles,
+            turnaround_cycles: turnaround,
+            by_priority,
+            preemptions,
+        }
+    }
+
+    /// The pre-trace simulator loop, kept **verbatim** (minus the trace
+    /// emission sites) as the reference the flight recorder is measured
+    /// against: the `sim_trace_overhead` perf-gate stage requires
+    /// [`run`](Self::run) (monomorphised [`NullSink`]) to stay within 2 %
+    /// of this loop, and a property test asserts both produce bit-identical
+    /// [`RunMetrics`]. Keep the two in lockstep when changing either.
+    ///
+    /// # Panics
+    ///
+    /// As in [`run`](Self::run).
+    pub fn run_reference(&self, plan: &ArrivalPlan, scheduler: &mut dyn Scheduler) -> RunMetrics {
+        let mut clock: u64 = 0;
+        let mut cores: Vec<Option<BusyInfo>> = vec![None; self.num_cores];
+        let mut running_exec: Vec<Option<crate::job::JobExecution>> = vec![None; self.num_cores];
+        let mut tokens: Vec<u64> = vec![0; self.num_cores];
+        let mut ready: VecDeque<Job> = VecDeque::new();
+        let mut completions: BinaryHeap<Reverse<(u64, usize, u64)>> = BinaryHeap::new();
+        let mut arrivals = plan.iter().peekable();
+        let mut next_seq: u64 = 0;
+
+        let mut energy = EnergyBreakdown::new();
+        let mut busy_cycles = vec![0u64; self.num_cores];
+        let mut jobs_completed = 0u64;
+        let mut stall_episodes = 0u64;
+        let mut stall_offers = 0u64;
+        let mut stalled: HashSet<u64> = HashSet::new();
+        let mut turnaround = 0u64;
+        let mut last_completion = 0u64;
+        let mut by_priority: std::collections::BTreeMap<u8, crate::metrics::ClassStats> =
+            std::collections::BTreeMap::new();
+        let mut preemptions = 0u64;
+        let priority_ordered = matches!(
+            self.discipline,
+            QueueDiscipline::Priority | QueueDiscipline::PreemptivePriority
+        );
+
+        loop {
+            while let Some(&Reverse((_, index, token))) = completions.peek() {
+                if token == tokens[index] {
+                    break;
+                }
+                completions.pop();
+            }
+            let next_arrival = arrivals.peek().map(|a| a.time);
+            let next_completion = completions.peek().map(|Reverse((t, _, _))| *t);
+            let now = match (next_arrival, next_completion) {
+                (Some(a), Some(c)) => a.min(c),
+                (Some(a), None) => a,
+                (None, Some(c)) => c,
+                (None, None) => break,
+            };
+
+            debug_assert!(now >= clock, "time must not run backwards");
+            let span = now - clock;
+            if span > 0 {
+                for (index, core) in cores.iter().enumerate() {
+                    if core.is_none() {
+                        let power = scheduler.idle_power_nj_per_cycle(CoreId(index));
+                        energy.idle_nj += span as f64 * power;
+                    }
+                }
+            }
+            clock = now;
+
+            while let Some(&Reverse((t, index, token))) = completions.peek() {
+                if t > clock {
+                    break;
+                }
+                completions.pop();
+                if token != tokens[index] {
+                    continue;
+                }
+                let info = cores[index]
+                    .take()
+                    .expect("completion for an occupied core");
+                running_exec[index] = None;
+                debug_assert_eq!(info.busy_until, t);
+                jobs_completed += 1;
+                turnaround += t - info.job.arrival;
+                let class = by_priority.entry(info.job.priority).or_default();
+                class.jobs += 1;
+                class.turnaround_cycles += t - info.job.arrival;
+                last_completion = last_completion.max(t);
+                scheduler.on_complete(&info.job, CoreId(index), clock);
+            }
+
+            while let Some(arrival) = arrivals.peek() {
+                if arrival.time > clock {
+                    break;
+                }
+                let arrival = arrivals.next().expect("peeked");
+                ready.push_back(Job {
+                    seq: next_seq,
+                    benchmark: arrival.benchmark,
+                    arrival: arrival.time,
+                    priority: arrival.priority,
+                });
+                next_seq += 1;
+            }
+
+            loop {
+                if priority_ordered {
+                    ready
+                        .make_contiguous()
+                        .sort_by_key(|job| (Reverse(job.priority), job.seq));
+                }
+
+                let mut evicted = false;
+                if self.discipline == QueueDiscipline::PreemptivePriority
+                    && cores.iter().all(Option::is_some)
+                    && !ready.is_empty()
+                {
+                    let urgent = ready.front().copied().expect("non-empty");
+                    let victim = (0..self.num_cores)
+                        .filter_map(|i| cores[i].map(|info| (i, info)))
+                        .min_by_key(|(i, info)| (info.job.priority, Reverse(info.busy_until), *i));
+                    if let Some((index, info)) = victim {
+                        if info.job.priority < urgent.priority {
+                            let views: Vec<CoreView> = cores
+                                .iter()
+                                .enumerate()
+                                .map(|(core_index, busy)| CoreView {
+                                    id: CoreId(core_index),
+                                    busy: if core_index == index { None } else { *busy },
+                                })
+                                .collect();
+                            match scheduler.schedule(&urgent, &views, clock) {
+                                Decision::Run { core, execution } => {
+                                    assert_eq!(
+                                        core.0, index,
+                                        "policy placed {urgent} on busy {core} during a \
+                                         preemption probe at cycle {clock}"
+                                    );
+                                    assert!(
+                                        execution.cycles > 0,
+                                        "policy scheduled {urgent} with a zero-cycle \
+                                         execution at cycle {clock}"
+                                    );
+                                    let old = running_exec[index].take().expect("occupied");
+                                    let remaining_cycles = info.busy_until - clock;
+                                    let refund = remaining_cycles as f64 / old.cycles as f64;
+                                    energy.dynamic_nj -= old.energy.dynamic_nj * refund;
+                                    energy.static_nj -= old.energy.static_nj * refund;
+                                    busy_cycles[index] -= remaining_cycles;
+                                    tokens[index] += 1;
+                                    preemptions += 1;
+                                    scheduler.on_preempt(&info.job, CoreId(index), clock);
+                                    ready.pop_front();
+                                    ready.push_back(info.job);
+                                    cores[index] = Some(BusyInfo {
+                                        job: urgent,
+                                        started: clock,
+                                        busy_until: clock + execution.cycles,
+                                    });
+                                    running_exec[index] = Some(execution);
+                                    completions.push(Reverse((
+                                        clock + execution.cycles,
+                                        index,
+                                        tokens[index],
+                                    )));
+                                    energy += execution.energy;
+                                    busy_cycles[index] += execution.cycles;
+                                    stalled.remove(&urgent.seq);
+                                    evicted = true;
+                                }
+                                Decision::Stall => {}
+                            }
+                        }
+                    }
+                }
+
+                let mut remaining = ready.len();
+                while remaining > 0 && cores.iter().any(Option::is_none) {
+                    let job = ready.pop_front().expect("remaining > 0 implies non-empty");
+                    let views: Vec<CoreView> = cores
+                        .iter()
+                        .enumerate()
+                        .map(|(index, busy)| CoreView {
+                            id: CoreId(index),
+                            busy: *busy,
+                        })
+                        .collect();
+                    match scheduler.schedule(&job, &views, clock) {
+                        Decision::Run { core, execution } => {
+                            let slot = &mut cores[core.0];
+                            assert!(
+                                slot.is_none(),
+                                "policy scheduled {job} onto busy {core} at cycle {clock}"
+                            );
+                            assert!(
+                                execution.cycles > 0,
+                                "policy scheduled {job} with a zero-cycle execution at \
+                                 cycle {clock}"
+                            );
+                            debug_assert_eq!(
+                                execution.energy.idle_nj, 0.0,
+                                "execution energy must not carry idle energy"
+                            );
+                            *slot = Some(BusyInfo {
+                                job,
+                                started: clock,
+                                busy_until: clock + execution.cycles,
+                            });
+                            running_exec[core.0] = Some(execution);
+                            completions.push(Reverse((
+                                clock + execution.cycles,
+                                core.0,
+                                tokens[core.0],
+                            )));
+                            energy += execution.energy;
+                            busy_cycles[core.0] += execution.cycles;
+                            stalled.remove(&job.seq);
+                            remaining = ready.len();
+                        }
+                        Decision::Stall => {
+                            stall_offers += 1;
+                            if stalled.insert(job.seq) {
+                                stall_episodes += 1;
+                            }
+                            ready.push_back(job);
+                            remaining -= 1;
+                        }
+                    }
+                }
+
+                if !evicted {
+                    break;
+                }
+            }
+
+            let live_completions = cores.iter().any(Option::is_some);
+            if !live_completions && arrivals.peek().is_none() && !ready.is_empty() {
+                panic!(
+                    "scheduler deadlock: {} job(s) stalled with every core idle at cycle {clock}",
+                    ready.len()
+                );
+            }
+        }
+
+        RunMetrics {
+            energy,
+            total_cycles: last_completion,
+            jobs_completed,
+            stalls: stall_episodes,
+            stall_offers,
             busy_cycles,
             turnaround_cycles: turnaround,
             by_priority,
@@ -856,5 +1242,173 @@ mod tests {
     #[should_panic(expected = "at least one core")]
     fn zero_cores_rejected() {
         let _ = Simulator::new(0);
+    }
+
+    #[test]
+    fn stall_offers_exceed_episodes_for_a_long_wait() {
+        // Two cores, but the policy only ever uses core 0, so core 1 stays
+        // idle and every scheduling pass re-offers the whole queue: offers
+        // pile up while each waiting job has exactly one episode.
+        let mut policy = SingleCore {
+            duration: 1_000,
+            completions_seen: Vec::new(),
+        };
+        let metrics = Simulator::new(2).run(&plan(&[0, 10, 20, 30]), &mut policy);
+        assert_eq!(metrics.jobs_completed, 4);
+        // Jobs 1..3 each stall exactly once as an episode...
+        assert_eq!(metrics.stalls, 3);
+        // ...but are re-offered on later passes: job 1 is offered at t=10,
+        // 20, 30 (3 offers), job 2 at 20, 30 (2), job 3 at 30 (1). When
+        // job 0 completes at t=1000 the pass places job 1 then stalls jobs
+        // 2 and 3 again (+2); job 2's completion stalls job 3 once more
+        // (+1). Total offers strictly exceed episodes.
+        assert!(metrics.stall_offers > metrics.stalls);
+        assert_eq!(metrics.stall_offers, 9);
+    }
+
+    /// Pins job `seq` to core `seq % 2`; stalls when that core is busy.
+    struct PinBySeq;
+
+    impl Scheduler for PinBySeq {
+        fn schedule(&mut self, job: &Job, cores: &[CoreView], _now: u64) -> Decision {
+            let core = &cores[(job.seq % 2) as usize];
+            if core.is_idle() {
+                Decision::run(
+                    core.id,
+                    JobExecution {
+                        cycles: 100,
+                        energy: EnergyBreakdown::new(),
+                    },
+                )
+            } else {
+                Decision::Stall
+            }
+        }
+
+        fn idle_power_nj_per_cycle(&self, _core: CoreId) -> f64 {
+            0.0
+        }
+    }
+
+    #[test]
+    fn preemption_requeue_starts_a_new_stall_episode() {
+        // Jobs 0 and 1 fill both cores at t=0; an urgent job (seq 2, pinned
+        // to core 0) evicts job 0 at t=30. When core 1 frees at t=100 the
+        // evicted job is offered there but declines (pinned to core 0):
+        // that wait is a fresh stall episode even though job 0 had already
+        // run once without stalling.
+        let arrivals = vec![
+            Arrival {
+                time: 0,
+                benchmark: BenchmarkId(0),
+                priority: 0,
+            },
+            Arrival {
+                time: 0,
+                benchmark: BenchmarkId(1),
+                priority: 0,
+            },
+            Arrival {
+                time: 30,
+                benchmark: BenchmarkId(2),
+                priority: 3,
+            },
+        ];
+        let plan = ArrivalPlan::from_arrivals(arrivals);
+        let metrics = Simulator::new(2)
+            .with_discipline(QueueDiscipline::PreemptivePriority)
+            .run(&plan, &mut PinBySeq);
+        assert_eq!(metrics.preemptions, 1);
+        assert_eq!(metrics.stalls, 1, "the evicted job's re-queue wait");
+        assert_eq!(metrics.stall_offers, 1);
+        assert_eq!(metrics.jobs_completed, 3);
+    }
+
+    /// Returns a zero-cycle execution: must be rejected at placement.
+    struct ZeroCycle;
+
+    impl Scheduler for ZeroCycle {
+        fn schedule(&mut self, _job: &Job, cores: &[CoreView], _now: u64) -> Decision {
+            Decision::run(
+                cores[0].id,
+                JobExecution {
+                    cycles: 0,
+                    energy: EnergyBreakdown::new(),
+                },
+            )
+        }
+
+        fn idle_power_nj_per_cycle(&self, _core: CoreId) -> f64 {
+            0.0
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-cycle execution")]
+    fn zero_cycle_execution_is_rejected() {
+        let _ = Simulator::new(1).run(&plan(&[0]), &mut ZeroCycle);
+    }
+
+    #[test]
+    fn run_and_run_reference_agree_bit_for_bit() {
+        for discipline in [
+            QueueDiscipline::Fifo,
+            QueueDiscipline::Priority,
+            QueueDiscipline::PreemptivePriority,
+        ] {
+            let plan = ArrivalPlan::uniform_with_priorities(40, 3_000, 3, 3, 7);
+            let sim = Simulator::new(2).with_discipline(discipline);
+            let traced = sim.run(
+                &plan,
+                &mut SingleCore {
+                    duration: 100,
+                    completions_seen: Vec::new(),
+                },
+            );
+            let reference = sim.run_reference(
+                &plan,
+                &mut SingleCore {
+                    duration: 100,
+                    completions_seen: Vec::new(),
+                },
+            );
+            assert_eq!(traced, reference, "{discipline:?}");
+            assert_eq!(
+                traced.energy.idle_nj.to_bits(),
+                reference.energy.idle_nj.to_bits()
+            );
+            assert_eq!(
+                traced.energy.dynamic_nj.to_bits(),
+                reference.energy.dynamic_nj.to_bits()
+            );
+            assert_eq!(
+                traced.energy.static_nj.to_bits(),
+                reference.energy.static_nj.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn recorded_trace_passes_the_ledger_audit() {
+        use crate::trace::{LedgerAuditor, RecordingSink};
+        for discipline in [
+            QueueDiscipline::Fifo,
+            QueueDiscipline::Priority,
+            QueueDiscipline::PreemptivePriority,
+        ] {
+            let plan = ArrivalPlan::uniform_with_priorities(30, 2_000, 3, 3, 11);
+            let sim = Simulator::new(2).with_discipline(discipline);
+            let mut sink = RecordingSink::new();
+            let mut policy = SingleCore {
+                duration: 100,
+                completions_seen: Vec::new(),
+            };
+            let metrics = sim.run_with_sink(&plan, &mut policy, &mut sink);
+            LedgerAuditor::new(2)
+                .check(sink.events(), &metrics)
+                .unwrap_or_else(|problems| {
+                    panic!("{discipline:?} audit failed:\n{}", problems.join("\n"))
+                });
+        }
     }
 }

@@ -1,0 +1,899 @@
+//! Flight recorder: a structured event trace of one simulation run, and
+//! the conservation auditor that re-derives the full [`RunMetrics`] ledger
+//! from it.
+//!
+//! The simulator's energy/cycle ledger is accumulated by scattered
+//! accounting sites inside [`Simulator::run`](crate::Simulator::run)
+//! (placements, idle spans, preemption refunds). Every headline claim of
+//! the reproduction — the paper's ~28 % energy saving above all — rests on
+//! that arithmetic, so this module provides an independent cross-check:
+//!
+//! * [`TraceSink`] receives one typed [`TraceEvent`] per accounting action
+//!   as the run executes. The default [`NullSink`] compiles to nothing
+//!   (the hot path is monomorphised against it); [`RecordingSink`] keeps
+//!   the full stream.
+//! * [`LedgerAuditor`] replays a recorded stream, enforcing structural
+//!   conservation invariants (every arrival completes exactly once, no
+//!   double-booked cores, evictions refund exactly the unexecuted
+//!   remainder, idle spans never overlap occupancy) and re-deriving a
+//!   complete [`RunMetrics`] — energy to f64 **bit identity**, counters to
+//!   exact equality — that must match what the simulator returned.
+//! * [`StallPurityChecked`] wraps any [`Scheduler`] and verifies the
+//!   documented contract that a call returning
+//!   [`Decision::Stall`](crate::Decision::Stall) leaves the policy's
+//!   observable state untouched (the preemption probe depends on it),
+//!   using the policy's [`state_fingerprint`](Scheduler::state_fingerprint).
+//!
+//! Bit identity is achievable because the auditor replays the *same*
+//! floating-point operations in the *same* order the simulator performed
+//! them: each event carries the exact operands (idle power, execution
+//! energy, refund numerator/denominator) of its accounting site.
+
+use crate::job::Job;
+use crate::metrics::{ClassStats, RunMetrics};
+use crate::scheduler::{CoreId, CoreView, Decision, Scheduler};
+use energy_model::EnergyBreakdown;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use workloads::BenchmarkId;
+
+/// How a job came to occupy a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementKind {
+    /// A regular scheduling-pass placement onto an idle core.
+    Pass,
+    /// A placement that evicted a running job (preemptive discipline);
+    /// always immediately preceded by the matching
+    /// [`TraceEvent::Eviction`].
+    Preemption,
+}
+
+/// One accounting action of the simulator, in execution order.
+///
+/// Cycle timestamps are absolute simulation time. Energy fields carry the
+/// exact `f64` operands the simulator used, so a replay reproduces its
+/// ledger bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// A job entered the ready queue.
+    Arrival {
+        /// Job sequence number (unique, arrival order).
+        seq: u64,
+        /// The benchmark the job executes.
+        benchmark: BenchmarkId,
+        /// Arrival cycle.
+        at: u64,
+        /// Scheduling priority.
+        priority: u8,
+    },
+    /// A core sat idle over `[from, to)` and accrued leakage energy.
+    IdleSpan {
+        /// The idle core.
+        core: CoreId,
+        /// First idle cycle of the span.
+        from: u64,
+        /// One past the last idle cycle of the span.
+        to: u64,
+        /// Leakage power charged, in nJ/cycle (the policy's answer at
+        /// accrual time — it depends on the loaded cache configuration).
+        idle_power_nj_per_cycle: f64,
+    },
+    /// A job started executing on a core.
+    Placement {
+        /// The placed job.
+        seq: u64,
+        /// Its benchmark.
+        benchmark: BenchmarkId,
+        /// Target core (idle at placement time).
+        core: CoreId,
+        /// Placement cycle.
+        at: u64,
+        /// Core-busy duration charged.
+        cycles: u64,
+        /// Dynamic energy charged, in nJ.
+        dynamic_nj: f64,
+        /// Busy-leakage energy charged, in nJ.
+        static_nj: f64,
+        /// Regular pass or preemption grab.
+        kind: PlacementKind,
+    },
+    /// The policy stalled a job during a scheduling pass (the job returns
+    /// to the back of the ready queue).
+    Stall {
+        /// The stalled job.
+        seq: u64,
+        /// Its benchmark.
+        benchmark: BenchmarkId,
+        /// Cycle of the stall decision.
+        at: u64,
+    },
+    /// The simulator probed the policy with a hypothetical view (victim's
+    /// core idle) to ask whether a preemption would be worthwhile.
+    PreemptionProbe {
+        /// The urgent job the probe was made for.
+        seq: u64,
+        /// The candidate victim.
+        victim: u64,
+        /// The victim's core.
+        core: CoreId,
+        /// Probe cycle.
+        at: u64,
+        /// `true` when the policy accepted the freed core (the eviction
+        /// was committed); `false` when it declined and the victim kept
+        /// running.
+        granted: bool,
+    },
+    /// A running job was evicted (restart semantics): its unexecuted
+    /// remainder is refunded from the ledger and it re-enters the queue.
+    Eviction {
+        /// The evicted job.
+        victim: u64,
+        /// The core it lost.
+        core: CoreId,
+        /// Eviction cycle.
+        at: u64,
+        /// Total cycles of the interrupted execution.
+        total_cycles: u64,
+        /// Unexecuted cycles (refunded from busy time).
+        remaining_cycles: u64,
+        /// Full dynamic energy of the interrupted execution, in nJ (the
+        /// refund is `dynamic_nj * remaining_cycles / total_cycles`).
+        dynamic_nj: f64,
+        /// Full busy-leakage energy of the interrupted execution, in nJ.
+        static_nj: f64,
+    },
+    /// A job ran to completion and released its core.
+    Completion {
+        /// The completed job.
+        seq: u64,
+        /// Its benchmark.
+        benchmark: BenchmarkId,
+        /// The core it released.
+        core: CoreId,
+        /// Completion cycle.
+        at: u64,
+        /// The job's arrival cycle (turnaround = `at - arrival`).
+        arrival: u64,
+        /// The job's priority class.
+        priority: u8,
+    },
+}
+
+impl TraceEvent {
+    /// The absolute cycle this event is stamped with (for an
+    /// [`IdleSpan`](TraceEvent::IdleSpan), the end of the span).
+    pub fn at(&self) -> u64 {
+        match *self {
+            TraceEvent::Arrival { at, .. }
+            | TraceEvent::Placement { at, .. }
+            | TraceEvent::Stall { at, .. }
+            | TraceEvent::PreemptionProbe { at, .. }
+            | TraceEvent::Eviction { at, .. }
+            | TraceEvent::Completion { at, .. } => at,
+            TraceEvent::IdleSpan { to, .. } => to,
+        }
+    }
+
+    /// A short stable name for the event kind (used by exports and
+    /// summaries).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            TraceEvent::Arrival { .. } => "arrival",
+            TraceEvent::IdleSpan { .. } => "idle_span",
+            TraceEvent::Placement { .. } => "placement",
+            TraceEvent::Stall { .. } => "stall",
+            TraceEvent::PreemptionProbe { .. } => "preemption_probe",
+            TraceEvent::Eviction { .. } => "eviction",
+            TraceEvent::Completion { .. } => "completion",
+        }
+    }
+}
+
+/// Receives the event stream of a simulation run.
+///
+/// The simulator is generic over the sink, so the default [`NullSink`]
+/// monomorphises every `record` call (and the event construction feeding
+/// it) away — tracing costs nothing unless a real sink is attached.
+pub trait TraceSink {
+    /// Observe one event.
+    fn record(&mut self, event: TraceEvent);
+
+    /// `false` when events need not be constructed at all. The simulator
+    /// guards every emission site with this, which lets the optimiser
+    /// delete the sites entirely for [`NullSink`].
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// The zero-overhead default sink: drops everything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    #[inline(always)]
+    fn record(&mut self, _event: TraceEvent) {}
+
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Keeps the complete event stream in memory for auditing or export.
+#[derive(Debug, Clone, Default)]
+pub struct RecordingSink {
+    events: Vec<TraceEvent>,
+}
+
+impl RecordingSink {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        RecordingSink::default()
+    }
+
+    /// The recorded events in execution order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Consume the recorder, yielding the event stream.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl TraceSink for RecordingSink {
+    fn record(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+}
+
+/// A small 64-bit folding hasher (FNV-1a over 64-bit words) for policy
+/// state fingerprints.
+///
+/// Deterministic, order-sensitive, and dependency-free; collisions are
+/// astronomically unlikely for the state sizes involved, and a collision
+/// can only *hide* a violation, never invent one.
+#[derive(Debug, Clone, Copy)]
+pub struct Fingerprint {
+    state: u64,
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Fingerprint::new()
+    }
+}
+
+impl Fingerprint {
+    /// FNV offset-basis start state.
+    pub fn new() -> Self {
+        Fingerprint {
+            state: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
+    /// Fold one 64-bit word into the state.
+    pub fn write_u64(&mut self, value: u64) {
+        self.state = (self.state ^ value).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    /// Fold a float by its exact bit pattern (distinguishes `-0.0`, NaN
+    /// payloads — any observable change counts).
+    pub fn write_f64(&mut self, value: f64) {
+        self.write_u64(value.to_bits());
+    }
+
+    /// Fold a `usize`.
+    pub fn write_usize(&mut self, value: usize) {
+        self.write_u64(value as u64);
+    }
+
+    /// The accumulated digest.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// Wraps a [`Scheduler`] and checks the stall-purity contract on every
+/// call: a `schedule` invocation that returns
+/// [`Decision::Stall`](crate::Decision::Stall) must leave the policy's
+/// [`state_fingerprint`](Scheduler::state_fingerprint) unchanged. This
+/// covers both regular scheduling passes and the simulator's preemption
+/// probes (which rely on the contract to make declined probes
+/// withdrawable).
+///
+/// Violations are collected, not panicked, so an audit run can report
+/// every offending call site; use [`violations`](Self::violations) (or
+/// [`assert_pure`](Self::assert_pure)) after the run.
+#[derive(Debug, Clone)]
+pub struct StallPurityChecked<S> {
+    inner: S,
+    violations: Vec<String>,
+    stall_checks: u64,
+}
+
+impl<S: Scheduler> StallPurityChecked<S> {
+    /// Wrap a policy.
+    pub fn new(inner: S) -> Self {
+        StallPurityChecked {
+            inner,
+            violations: Vec::new(),
+            stall_checks: 0,
+        }
+    }
+
+    /// The wrapped policy.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Unwrap.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Number of `Stall`-returning calls that were checked.
+    pub fn stall_checks(&self) -> u64 {
+        self.stall_checks
+    }
+
+    /// Every detected contract violation, in occurrence order.
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// Panic with the full violation list unless the run was clean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `Stall`-returning call changed the policy's
+    /// fingerprint.
+    pub fn assert_pure(&self) {
+        assert!(
+            self.violations.is_empty(),
+            "stall-purity contract violated ({} of {} stall calls):\n{}",
+            self.violations.len(),
+            self.stall_checks,
+            self.violations.join("\n")
+        );
+    }
+}
+
+impl<S: Scheduler> Scheduler for StallPurityChecked<S> {
+    fn schedule(&mut self, job: &Job, cores: &[CoreView], now: u64) -> Decision {
+        let before = self.inner.state_fingerprint();
+        let decision = self.inner.schedule(job, cores, now);
+        if matches!(decision, Decision::Stall) {
+            self.stall_checks += 1;
+            let after = self.inner.state_fingerprint();
+            if after != before {
+                self.violations.push(format!(
+                    "schedule({job}) at cycle {now} returned Stall but mutated policy state \
+                     (fingerprint {before:#018x} -> {after:#018x})"
+                ));
+            }
+        }
+        decision
+    }
+
+    fn idle_power_nj_per_cycle(&self, core: CoreId) -> f64 {
+        self.inner.idle_power_nj_per_cycle(core)
+    }
+
+    fn on_complete(&mut self, job: &Job, core: CoreId, now: u64) {
+        self.inner.on_complete(job, core, now);
+    }
+
+    fn on_preempt(&mut self, job: &Job, core: CoreId, now: u64) {
+        self.inner.on_preempt(job, core, now);
+    }
+
+    fn state_fingerprint(&self) -> u64 {
+        self.inner.state_fingerprint()
+    }
+}
+
+/// Replays a recorded event stream, enforcing conservation invariants and
+/// re-deriving the complete [`RunMetrics`] ledger independently of the
+/// simulator's own accumulation.
+///
+/// The derived ledger must equal the simulator's to the bit (energy) and
+/// exactly (every counter); [`check`](Self::check) performs that
+/// comparison. Any tampering with a single event — a dropped idle span, a
+/// perturbed placement energy, a forged eviction refund — either trips a
+/// structural invariant or lands as a ledger divergence.
+#[derive(Debug, Clone, Copy)]
+pub struct LedgerAuditor {
+    num_cores: usize,
+}
+
+/// Core occupancy as reconstructed by the auditor.
+#[derive(Debug, Clone, Copy)]
+struct Occupied {
+    seq: u64,
+    until: u64,
+    placed_at: u64,
+}
+
+impl LedgerAuditor {
+    /// An auditor for a run over `num_cores` cores.
+    pub fn new(num_cores: usize) -> Self {
+        LedgerAuditor { num_cores }
+    }
+
+    /// Replay `events`, returning the independently derived ledger, or
+    /// the list of violated conservation invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns every structural violation found (out-of-range cores,
+    /// double bookings, completions that don't match their placement,
+    /// refunds that disagree with the occupancy, unfinished jobs, …).
+    pub fn replay(&self, events: &[TraceEvent]) -> Result<RunMetrics, Vec<String>> {
+        let mut violations: Vec<String> = Vec::new();
+        let mut energy = EnergyBreakdown::new();
+        let mut busy_cycles = vec![0u64; self.num_cores];
+        let mut jobs_completed = 0u64;
+        let mut stall_episodes = 0u64;
+        let mut stall_offers = 0u64;
+        let mut turnaround = 0u64;
+        let mut last_completion = 0u64;
+        let mut by_priority: BTreeMap<u8, ClassStats> = BTreeMap::new();
+        let mut preemptions = 0u64;
+
+        // Reconstructed machine state.
+        let mut cores: Vec<Option<Occupied>> = vec![None; self.num_cores];
+        let mut arrived: HashMap<u64, u64> = HashMap::new(); // seq -> arrival cycle
+        let mut completed: HashSet<u64> = HashSet::new();
+        let mut stalled: HashSet<u64> = HashSet::new();
+        let mut watermark = 0u64;
+
+        for (index, event) in events.iter().enumerate() {
+            let at = event.at();
+            if at < watermark {
+                violations.push(format!(
+                    "event {index} ({}) at cycle {at} behind watermark {watermark}",
+                    event.kind_name()
+                ));
+            }
+            watermark = watermark.max(at);
+            if let Some(core) = match *event {
+                TraceEvent::IdleSpan { core, .. }
+                | TraceEvent::Placement { core, .. }
+                | TraceEvent::PreemptionProbe { core, .. }
+                | TraceEvent::Eviction { core, .. }
+                | TraceEvent::Completion { core, .. } => Some(core),
+                TraceEvent::Arrival { .. } | TraceEvent::Stall { .. } => None,
+            } {
+                if core.0 >= self.num_cores {
+                    violations.push(format!(
+                        "event {index} ({}) names {core} outside the {}-core system",
+                        event.kind_name(),
+                        self.num_cores
+                    ));
+                    continue;
+                }
+            }
+
+            match *event {
+                TraceEvent::Arrival { seq, at, .. } => {
+                    if arrived.insert(seq, at).is_some() {
+                        violations.push(format!("job#{seq} arrived twice (event {index})"));
+                    }
+                }
+                TraceEvent::IdleSpan {
+                    core,
+                    from,
+                    to,
+                    idle_power_nj_per_cycle,
+                } => {
+                    if from >= to {
+                        violations.push(format!(
+                            "empty idle span [{from}, {to}) on {core} (event {index})"
+                        ));
+                    }
+                    if cores[core.0].is_some() {
+                        violations.push(format!(
+                            "idle span [{from}, {to}) on busy {core} (event {index})"
+                        ));
+                    }
+                    // Same operation, same order as the simulator.
+                    energy.idle_nj += to.saturating_sub(from) as f64 * idle_power_nj_per_cycle;
+                }
+                TraceEvent::Placement {
+                    seq,
+                    core,
+                    at,
+                    cycles,
+                    dynamic_nj,
+                    static_nj,
+                    ..
+                } => {
+                    if !arrived.contains_key(&seq) {
+                        violations
+                            .push(format!("job#{seq} placed without arriving (event {index})"));
+                    }
+                    if completed.contains(&seq) {
+                        violations
+                            .push(format!("job#{seq} placed after completing (event {index})"));
+                    }
+                    if cycles == 0 {
+                        violations.push(format!(
+                            "job#{seq} placed with a zero-cycle execution (event {index})"
+                        ));
+                    }
+                    if let Some(previous) = cores[core.0] {
+                        violations.push(format!(
+                            "{core} double-booked: job#{seq} placed over job#{} (event {index})",
+                            previous.seq
+                        ));
+                    }
+                    if cores.iter().flatten().any(|o| o.seq == seq) {
+                        violations.push(format!(
+                            "job#{seq} placed while already running elsewhere (event {index})"
+                        ));
+                    }
+                    cores[core.0] = Some(Occupied {
+                        seq,
+                        until: at + cycles,
+                        placed_at: at,
+                    });
+                    energy.dynamic_nj += dynamic_nj;
+                    energy.static_nj += static_nj;
+                    busy_cycles[core.0] += cycles;
+                    stalled.remove(&seq);
+                }
+                TraceEvent::Stall { seq, .. } => {
+                    if !arrived.contains_key(&seq) {
+                        violations.push(format!(
+                            "job#{seq} stalled without arriving (event {index})"
+                        ));
+                    }
+                    stall_offers += 1;
+                    if stalled.insert(seq) {
+                        stall_episodes += 1;
+                    }
+                }
+                TraceEvent::PreemptionProbe { victim, core, .. } => match cores[core.0] {
+                    Some(occupied) if occupied.seq == victim => {}
+                    _ => violations.push(format!(
+                        "preemption probe names victim job#{victim} not running on {core} \
+                             (event {index})"
+                    )),
+                },
+                TraceEvent::Eviction {
+                    victim,
+                    core,
+                    at,
+                    total_cycles,
+                    remaining_cycles,
+                    dynamic_nj,
+                    static_nj,
+                } => {
+                    match cores[core.0].take() {
+                        Some(occupied) if occupied.seq == victim => {
+                            if occupied.until.checked_sub(at) != Some(remaining_cycles) {
+                                violations.push(format!(
+                                    "eviction of job#{victim} claims {remaining_cycles} \
+                                     remaining cycles, occupancy says {} (event {index})",
+                                    occupied.until.saturating_sub(at)
+                                ));
+                            }
+                            if occupied.until - occupied.placed_at != total_cycles {
+                                violations.push(format!(
+                                    "eviction of job#{victim} claims {total_cycles} total \
+                                     cycles, placement charged {} (event {index})",
+                                    occupied.until - occupied.placed_at
+                                ));
+                            }
+                        }
+                        _ => violations.push(format!(
+                            "eviction of job#{victim} not running on {core} (event {index})"
+                        )),
+                    }
+                    if remaining_cycles > total_cycles || total_cycles == 0 {
+                        violations.push(format!(
+                            "eviction refund fraction {remaining_cycles}/{total_cycles} \
+                             out of range (event {index})"
+                        ));
+                    } else {
+                        // The simulator's exact refund arithmetic.
+                        let refund = remaining_cycles as f64 / total_cycles as f64;
+                        energy.dynamic_nj -= dynamic_nj * refund;
+                        energy.static_nj -= static_nj * refund;
+                        busy_cycles[core.0] = busy_cycles[core.0].saturating_sub(remaining_cycles);
+                    }
+                    preemptions += 1;
+                }
+                TraceEvent::Completion {
+                    seq,
+                    core,
+                    at,
+                    arrival,
+                    priority,
+                    ..
+                } => {
+                    match cores[core.0].take() {
+                        Some(occupied) if occupied.seq == seq => {
+                            if occupied.until != at {
+                                violations.push(format!(
+                                    "job#{seq} completed at cycle {at}, placement ends at {} \
+                                     (event {index})",
+                                    occupied.until
+                                ));
+                            }
+                        }
+                        _ => violations.push(format!(
+                            "completion of job#{seq} not running on {core} (event {index})"
+                        )),
+                    }
+                    match arrived.get(&seq) {
+                        Some(&arrived_at) if arrived_at != arrival => violations.push(format!(
+                            "job#{seq} completion claims arrival {arrival}, trace recorded \
+                             {arrived_at} (event {index})"
+                        )),
+                        Some(_) => {}
+                        None => violations.push(format!(
+                            "job#{seq} completed without arriving (event {index})"
+                        )),
+                    }
+                    if !completed.insert(seq) {
+                        violations.push(format!("job#{seq} completed twice (event {index})"));
+                    }
+                    if at < arrival {
+                        violations.push(format!(
+                            "job#{seq} completes at cycle {at} before its claimed arrival \
+                             {arrival} (event {index})"
+                        ));
+                    }
+                    jobs_completed += 1;
+                    turnaround += at.saturating_sub(arrival);
+                    let class = by_priority.entry(priority).or_default();
+                    class.jobs += 1;
+                    class.turnaround_cycles += at.saturating_sub(arrival);
+                    last_completion = last_completion.max(at);
+                }
+            }
+        }
+
+        for (index, slot) in cores.iter().enumerate() {
+            if let Some(occupied) = slot {
+                violations.push(format!(
+                    "job#{} still occupies {} at end of trace",
+                    occupied.seq,
+                    CoreId(index)
+                ));
+            }
+        }
+        let unfinished = arrived
+            .keys()
+            .filter(|seq| !completed.contains(seq))
+            .count();
+        if unfinished > 0 {
+            violations.push(format!(
+                "{unfinished} arrived job(s) never completed (conservation of jobs)"
+            ));
+        }
+
+        if !violations.is_empty() {
+            return Err(violations);
+        }
+        Ok(RunMetrics {
+            energy,
+            total_cycles: last_completion,
+            jobs_completed,
+            stalls: stall_episodes,
+            stall_offers,
+            busy_cycles,
+            turnaround_cycles: turnaround,
+            by_priority,
+            preemptions,
+        })
+    }
+
+    /// Replay `events` and compare the derived ledger against the
+    /// simulator's `metrics`: energies must match to the bit, every
+    /// counter exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns structural violations from [`replay`](Self::replay), or the
+    /// list of ledger divergences.
+    pub fn check(&self, events: &[TraceEvent], metrics: &RunMetrics) -> Result<(), Vec<String>> {
+        let derived = self.replay(events)?;
+        let divergences = ledger_divergences(&derived, metrics);
+        if divergences.is_empty() {
+            Ok(())
+        } else {
+            Err(divergences)
+        }
+    }
+}
+
+/// Every field-level difference between an auditor-derived ledger and the
+/// simulator's, with bit-exact energy comparison. Empty means identical.
+pub fn ledger_divergences(derived: &RunMetrics, reported: &RunMetrics) -> Vec<String> {
+    let mut divergences = Vec::new();
+    let mut float = |name: &str, d: f64, r: f64| {
+        if d.to_bits() != r.to_bits() {
+            divergences.push(format!(
+                "{name}: derived {d} != reported {r} (bit mismatch)"
+            ));
+        }
+    };
+    float(
+        "energy.idle_nj",
+        derived.energy.idle_nj,
+        reported.energy.idle_nj,
+    );
+    float(
+        "energy.dynamic_nj",
+        derived.energy.dynamic_nj,
+        reported.energy.dynamic_nj,
+    );
+    float(
+        "energy.static_nj",
+        derived.energy.static_nj,
+        reported.energy.static_nj,
+    );
+    let mut count = |name: &str, d: u64, r: u64| {
+        if d != r {
+            divergences.push(format!("{name}: derived {d} != reported {r}"));
+        }
+    };
+    count("total_cycles", derived.total_cycles, reported.total_cycles);
+    count(
+        "jobs_completed",
+        derived.jobs_completed,
+        reported.jobs_completed,
+    );
+    count("stalls", derived.stalls, reported.stalls);
+    count("stall_offers", derived.stall_offers, reported.stall_offers);
+    count(
+        "turnaround_cycles",
+        derived.turnaround_cycles,
+        reported.turnaround_cycles,
+    );
+    count("preemptions", derived.preemptions, reported.preemptions);
+    if derived.busy_cycles != reported.busy_cycles {
+        divergences.push(format!(
+            "busy_cycles: derived {:?} != reported {:?}",
+            derived.busy_cycles, reported.busy_cycles
+        ));
+    }
+    if derived.by_priority != reported.by_priority {
+        divergences.push(format!(
+            "by_priority: derived {:?} != reported {:?}",
+            derived.by_priority, reported.by_priority
+        ));
+    }
+    divergences
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_reports_disabled() {
+        assert!(!NullSink.enabled());
+        NullSink.record(TraceEvent::Arrival {
+            seq: 0,
+            benchmark: BenchmarkId(0),
+            at: 0,
+            priority: 0,
+        });
+    }
+
+    #[test]
+    fn recording_sink_keeps_order() {
+        let mut sink = RecordingSink::new();
+        assert!(sink.is_empty());
+        sink.record(TraceEvent::Arrival {
+            seq: 0,
+            benchmark: BenchmarkId(1),
+            at: 5,
+            priority: 0,
+        });
+        sink.record(TraceEvent::Stall {
+            seq: 0,
+            benchmark: BenchmarkId(1),
+            at: 5,
+        });
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.events()[0].kind_name(), "arrival");
+        assert_eq!(sink.events()[1].at(), 5);
+    }
+
+    #[test]
+    fn fingerprint_is_order_sensitive() {
+        let mut a = Fingerprint::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = Fingerprint::new();
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+        assert_eq!(Fingerprint::new().finish(), Fingerprint::new().finish());
+    }
+
+    #[test]
+    fn auditor_flags_double_booking() {
+        let place = |seq, at| TraceEvent::Placement {
+            seq,
+            benchmark: BenchmarkId(0),
+            core: CoreId(0),
+            at,
+            cycles: 10,
+            dynamic_nj: 1.0,
+            static_nj: 0.0,
+            kind: PlacementKind::Pass,
+        };
+        let events = vec![
+            TraceEvent::Arrival {
+                seq: 0,
+                benchmark: BenchmarkId(0),
+                at: 0,
+                priority: 0,
+            },
+            TraceEvent::Arrival {
+                seq: 1,
+                benchmark: BenchmarkId(0),
+                at: 0,
+                priority: 0,
+            },
+            place(0, 0),
+            place(1, 0),
+        ];
+        let violations = LedgerAuditor::new(1).replay(&events).unwrap_err();
+        assert!(
+            violations.iter().any(|v| v.contains("double-booked")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn auditor_flags_unfinished_jobs() {
+        let events = vec![TraceEvent::Arrival {
+            seq: 0,
+            benchmark: BenchmarkId(0),
+            at: 0,
+            priority: 0,
+        }];
+        let violations = LedgerAuditor::new(1).replay(&events).unwrap_err();
+        assert!(
+            violations.iter().any(|v| v.contains("never completed")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn divergence_report_is_empty_for_identical_ledgers() {
+        let metrics = RunMetrics {
+            energy: EnergyBreakdown::new(),
+            total_cycles: 10,
+            jobs_completed: 1,
+            stalls: 0,
+            stall_offers: 0,
+            busy_cycles: vec![10],
+            turnaround_cycles: 10,
+            by_priority: BTreeMap::new(),
+            preemptions: 0,
+        };
+        assert!(ledger_divergences(&metrics, &metrics.clone()).is_empty());
+        let mut skewed = metrics.clone();
+        skewed.energy.dynamic_nj = 1e-300; // tiny but a different bit pattern
+        assert_eq!(ledger_divergences(&metrics, &skewed).len(), 1);
+    }
+}

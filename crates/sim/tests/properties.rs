@@ -2,7 +2,8 @@
 
 use energy_model::EnergyBreakdown;
 use multicore_sim::{
-    CoreId, CoreView, Decision, Job, JobExecution, QueueDiscipline, Scheduler, Simulator,
+    CoreId, CoreView, Decision, Job, JobExecution, LedgerAuditor, QueueDiscipline, RecordingSink,
+    Scheduler, Simulator,
 };
 use proptest::prelude::*;
 use workloads::{Arrival, ArrivalPlan, BenchmarkId};
@@ -153,5 +154,58 @@ proptest! {
         let fifo_busy: u64 = fifo.busy_cycles.iter().sum();
         let priority_busy: u64 = priority.busy_cycles.iter().sum();
         prop_assert_eq!(fifo_busy, priority_busy, "same jobs, same durations");
+    }
+
+    /// The flight recorder's auditor re-derives the full ledger from the
+    /// event stream, bit-for-bit, under every discipline — including runs
+    /// with evictions and idle-heavy arrival gaps.
+    #[test]
+    fn auditor_ledger_matches_metrics(
+        plan in arbitrary_plan(120),
+        cores in 1usize..6,
+        discipline_index in 0usize..3,
+    ) {
+        let discipline = [
+            QueueDiscipline::Fifo,
+            QueueDiscipline::Priority,
+            QueueDiscipline::PreemptivePriority,
+        ][discipline_index];
+        let mut sink = RecordingSink::new();
+        let metrics = Simulator::new(cores)
+            .with_discipline(discipline)
+            .run_with_sink(&plan, &mut FirstIdle, &mut sink);
+        let outcome = LedgerAuditor::new(cores).check(sink.events(), &metrics);
+        prop_assert!(outcome.is_ok(), "audit failed: {:?}", outcome.err());
+    }
+
+    /// The traced loop with the NullSink produces bit-identical metrics to
+    /// the verbatim pre-trace reference loop.
+    #[test]
+    fn traced_run_matches_reference_bit_for_bit(
+        plan in arbitrary_plan(120),
+        cores in 1usize..6,
+        discipline_index in 0usize..3,
+    ) {
+        let discipline = [
+            QueueDiscipline::Fifo,
+            QueueDiscipline::Priority,
+            QueueDiscipline::PreemptivePriority,
+        ][discipline_index];
+        let sim = Simulator::new(cores).with_discipline(discipline);
+        let traced = sim.run(&plan, &mut FirstIdle);
+        let reference = sim.run_reference(&plan, &mut FirstIdle);
+        prop_assert_eq!(&traced, &reference);
+        prop_assert_eq!(
+            traced.energy.idle_nj.to_bits(),
+            reference.energy.idle_nj.to_bits()
+        );
+        prop_assert_eq!(
+            traced.energy.dynamic_nj.to_bits(),
+            reference.energy.dynamic_nj.to_bits()
+        );
+        prop_assert_eq!(
+            traced.energy.static_nj.to_bits(),
+            reference.energy.static_nj.to_bits()
+        );
     }
 }

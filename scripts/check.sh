@@ -41,6 +41,9 @@ echo "==> perf_pipeline --smoke (release; every stage end to end, no gate)"
 cargo build --release --offline -p hetero-bench
 ./target/release/perf_pipeline --smoke
 
+echo "==> audit --smoke (flight-recorder ledger + stall-purity audit)"
+./target/release/audit --smoke
+
 if $run_perf; then
     echo "==> perf_pipeline gate (release)"
     ./target/release/perf_pipeline
