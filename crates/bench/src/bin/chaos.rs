@@ -1,0 +1,394 @@
+//! Chaos sweep: graceful degradation of all four systems under injected
+//! faults.
+//!
+//! Sweeps fault rates x seeds x systems (base / optimal / energy-centric /
+//! proposed) through [`Simulator::run_with_faults`], injecting transient
+//! core outages, job crashes with bounded exponential-backoff retry, hangs
+//! killed by the watchdog, corrupted profiling features, and predictor
+//! outages. The predictive systems degrade through the
+//! [`FallbackChain`] (ANN -> kNN -> static base configuration). Every run
+//! is checked for:
+//!
+//! 1. **no panic** — any unwind fails the whole sweep;
+//! 2. **conservation of jobs** — every arrival either completes or is
+//!    explicitly abandoned at the retry cap (no job is ever lost);
+//! 3. **bounded retries** — observed failure counts never exceed the
+//!    configured `max_attempts`;
+//! 4. **bit-exact accounting** — the recorded trace replays through
+//!    [`LedgerAuditor::check_faulted`] to the simulator's own ledger *and*
+//!    fault counters, energies compared to the bit;
+//! 5. **stall purity** — fault handling must not break the Scheduler
+//!    contract that `Stall`-returning calls leave state untouched;
+//! 6. **zero-rate identity** — at fault rate 0 the faulted loop must equal
+//!    the untraced reference loop bit for bit, with all-zero fault
+//!    counters.
+//!
+//! Usage: `chaos [--smoke]`
+//!
+//! * `--smoke` — one seed, two rates, reduced jobs (`scripts/check.sh`).
+//!
+//! The full sweep writes a degradation report to
+//! `results/BENCH_chaos.json`. Exits non-zero on any check failure.
+
+use energy_model::EnergyModel;
+use hetero_bench::json::Json;
+use hetero_bench::Testbed;
+use hetero_core::{
+    BaseSystem, EnergyCentricSystem, FallbackChain, OptimalSystem, ProposedSystem, SystemStats,
+};
+use multicore_sim::{
+    FaultConfig, FaultPlan, FaultStats, FaultedRun, LedgerAuditor, QueueDiscipline, RecordingSink,
+    Scheduler, Simulator, StallPurityChecked, TraceEvent,
+};
+use std::process::ExitCode;
+use workloads::ArrivalPlan;
+
+const SYSTEMS: [&str; 4] = ["base", "optimal", "energy-centric", "proposed"];
+
+const DISCIPLINES: [(QueueDiscipline, &str); 2] = [
+    (QueueDiscipline::Fifo, "fifo"),
+    (QueueDiscipline::PreemptivePriority, "preemptive-priority"),
+];
+
+const PRIORITY_LEVELS: u8 = 3;
+
+/// One chaos run: the faulted ledger, the recorded stream, purity
+/// outcome, and (for the predictive systems) degradation counters.
+struct ChaosRun {
+    run: FaultedRun,
+    events: Vec<TraceEvent>,
+    purity_violations: Vec<String>,
+    stats: Option<SystemStats>,
+}
+
+fn chaos_one<S: Scheduler>(
+    system: S,
+    num_cores: usize,
+    discipline: QueueDiscipline,
+    plan: &ArrivalPlan,
+    faults: &FaultPlan,
+) -> (ChaosRun, S) {
+    let mut checked = StallPurityChecked::new(system);
+    let mut sink = RecordingSink::new();
+    let run = Simulator::new(num_cores)
+        .with_discipline(discipline)
+        .run_with_faults(plan, &mut checked, faults, &mut sink);
+    let purity_violations = checked.violations().to_vec();
+    (
+        ChaosRun {
+            run,
+            events: sink.into_events(),
+            purity_violations,
+            stats: None,
+        },
+        checked.into_inner(),
+    )
+}
+
+/// Run `system_index` (paper presentation order) under the fault plan.
+/// `check_identity` additionally replays a fresh instance through the
+/// untraced reference loop and demands bit-exact agreement (only
+/// meaningful when the plan is empty).
+fn run_system(
+    testbed: &Testbed,
+    chain: &FallbackChain,
+    system_index: usize,
+    discipline: QueueDiscipline,
+    plan: &ArrivalPlan,
+    faults: &FaultPlan,
+    check_identity: bool,
+) -> (ChaosRun, Vec<String>) {
+    let num_cores = testbed.arch.num_cores();
+    let model: EnergyModel = testbed.model;
+    let mut problems = Vec::new();
+
+    let chaos = match system_index {
+        0 => {
+            let system = BaseSystem::new(&testbed.oracle, model, num_cores);
+            let (chaos, _) = chaos_one(system, num_cores, discipline, plan, faults);
+            chaos
+        }
+        1 => {
+            let system = OptimalSystem::new(&testbed.arch, &testbed.oracle, model);
+            let (mut chaos, system) = chaos_one(system, num_cores, discipline, plan, faults);
+            chaos.stats = Some(system.stats());
+            chaos
+        }
+        2 => {
+            let system = EnergyCentricSystem::new(
+                &testbed.arch,
+                &testbed.oracle,
+                model,
+                testbed.predictor.clone(),
+            )
+            .with_faults(faults, chain.clone());
+            let (mut chaos, system) = chaos_one(system, num_cores, discipline, plan, faults);
+            chaos.stats = Some(system.stats());
+            chaos
+        }
+        _ => {
+            let system = ProposedSystem::with_model(
+                &testbed.arch,
+                &testbed.oracle,
+                model,
+                testbed.predictor.clone(),
+            )
+            .with_faults(faults, chain.clone());
+            let (mut chaos, system) = chaos_one(system, num_cores, discipline, plan, faults);
+            chaos.stats = Some(system.stats());
+            chaos
+        }
+    };
+
+    if check_identity {
+        let reference = match system_index {
+            0 => {
+                let mut system = BaseSystem::new(&testbed.oracle, model, num_cores);
+                Simulator::new(num_cores)
+                    .with_discipline(discipline)
+                    .run_reference(plan, &mut system)
+            }
+            1 => {
+                let mut system = OptimalSystem::new(&testbed.arch, &testbed.oracle, model);
+                Simulator::new(num_cores)
+                    .with_discipline(discipline)
+                    .run_reference(plan, &mut system)
+            }
+            2 => {
+                let mut system = EnergyCentricSystem::new(
+                    &testbed.arch,
+                    &testbed.oracle,
+                    model,
+                    testbed.predictor.clone(),
+                )
+                .with_faults(faults, chain.clone());
+                Simulator::new(num_cores)
+                    .with_discipline(discipline)
+                    .run_reference(plan, &mut system)
+            }
+            _ => {
+                let mut system = ProposedSystem::with_model(
+                    &testbed.arch,
+                    &testbed.oracle,
+                    model,
+                    testbed.predictor.clone(),
+                )
+                .with_faults(faults, chain.clone());
+                Simulator::new(num_cores)
+                    .with_discipline(discipline)
+                    .run_reference(plan, &mut system)
+            }
+        };
+        if chaos.run.metrics != reference
+            || chaos.run.metrics.energy.idle_nj.to_bits() != reference.energy.idle_nj.to_bits()
+            || chaos.run.metrics.energy.dynamic_nj.to_bits()
+                != reference.energy.dynamic_nj.to_bits()
+            || chaos.run.metrics.energy.static_nj.to_bits() != reference.energy.static_nj.to_bits()
+        {
+            problems.push("zero-rate run diverges from the reference loop".to_string());
+        }
+        if chaos.run.faults != FaultStats::default() {
+            problems.push(format!(
+                "zero-rate run reports fault activity: {:?}",
+                chaos.run.faults
+            ));
+        }
+    }
+
+    (chaos, problems)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn report_row(
+    rate: f64,
+    seed: u64,
+    discipline: &str,
+    system: &str,
+    jobs: usize,
+    chaos: &ChaosRun,
+) -> Json {
+    let faults = chaos.run.faults;
+    let metrics = &chaos.run.metrics;
+    let mut pairs = vec![
+        ("rate", Json::Num(rate)),
+        ("seed", Json::UInt(seed)),
+        ("discipline", Json::str(discipline)),
+        ("system", Json::str(system)),
+        ("jobs", Json::UInt(jobs as u64)),
+        ("completed", Json::UInt(metrics.jobs_completed)),
+        ("abandoned", Json::UInt(faults.jobs_failed)),
+        ("crashes", Json::UInt(faults.crashes)),
+        ("watchdog_kills", Json::UInt(faults.watchdog_kills)),
+        ("outage_evictions", Json::UInt(faults.outage_evictions)),
+        ("retries", Json::UInt(faults.retries)),
+        ("fallbacks", Json::UInt(faults.fallbacks)),
+        (
+            "degraded_transitions",
+            Json::UInt(faults.degraded_transitions),
+        ),
+        (
+            "max_attempts_observed",
+            Json::UInt(u64::from(faults.max_attempts_observed)),
+        ),
+        ("total_energy_nj", Json::Num(metrics.energy.total())),
+        ("makespan_cycles", Json::UInt(metrics.total_cycles)),
+        ("events", Json::UInt(chaos.events.len() as u64)),
+    ];
+    if let Some(stats) = chaos.stats {
+        pairs.push(("degraded_placements", Json::UInt(stats.degraded_placements)));
+        pairs.push((
+            "fallback_predictions",
+            Json::UInt(stats.fallback_predictions),
+        ));
+    }
+    Json::object(pairs)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    if let Some(unknown) = args.iter().find(|a| *a != "--smoke") {
+        eprintln!("unknown argument: {unknown} (expected --smoke)");
+        return ExitCode::FAILURE;
+    }
+
+    let (jobs, horizon, rates, seeds, disciplines): (usize, u64, &[f64], &[u64], &[_]) = if smoke {
+        (100, 10_000_000, &[0.0, 0.15], &[101], &DISCIPLINES[..1])
+    } else {
+        (
+            300,
+            30_000_000,
+            &[0.0, 0.05, 0.15, 0.30],
+            &[101, 202, 303],
+            &DISCIPLINES[..],
+        )
+    };
+
+    println!(
+        "chaos sweep: 4 systems x {} rate(s) x {} seed(s) x {} discipline(s), {jobs} jobs each",
+        rates.len(),
+        seeds.len(),
+        disciplines.len()
+    );
+    let testbed = Testbed::small();
+    let chain = FallbackChain::train(&testbed.oracle);
+    let num_cores = testbed.arch.num_cores();
+    let auditor = LedgerAuditor::new(num_cores);
+
+    let mut failures = 0u32;
+    let mut runs = 0u32;
+    let mut rows: Vec<Json> = Vec::new();
+
+    for &rate in rates {
+        for &seed in seeds {
+            let plan = ArrivalPlan::uniform_with_priorities(
+                jobs,
+                horizon,
+                testbed.suite.len(),
+                PRIORITY_LEVELS,
+                seed,
+            );
+            // The fault horizon covers the arrival window; the makespan
+            // tail past it simply sees no further fault activity.
+            let config = FaultConfig::chaos(rate, seed, horizon);
+            let faults = FaultPlan::build(&config, num_cores);
+            for &(discipline, discipline_name) in disciplines {
+                for (system_index, system_name) in SYSTEMS.iter().enumerate() {
+                    let (chaos, mut problems) = run_system(
+                        &testbed,
+                        &chain,
+                        system_index,
+                        discipline,
+                        &plan,
+                        &faults,
+                        rate == 0.0,
+                    );
+                    runs += 1;
+
+                    // Conservation of jobs: nothing is ever lost.
+                    let accounted = chaos.run.metrics.jobs_completed + chaos.run.faults.jobs_failed;
+                    if accounted != jobs as u64 {
+                        problems.push(format!(
+                            "{accounted} of {jobs} jobs accounted for (lost jobs!)"
+                        ));
+                    }
+                    // Bounded retries.
+                    if chaos.run.faults.max_attempts_observed > config.max_attempts {
+                        problems.push(format!(
+                            "observed {} attempts exceeds the cap of {}",
+                            chaos.run.faults.max_attempts_observed, config.max_attempts
+                        ));
+                    }
+                    // Bit-exact accounting under every fault regime.
+                    if let Err(divergences) = auditor.check_faulted(&chaos.events, &chaos.run) {
+                        problems.extend(divergences);
+                    }
+                    problems.extend(chaos.purity_violations.iter().cloned());
+
+                    let verdict = if problems.is_empty() { "ok" } else { "FAIL" };
+                    let faults_seen = chaos.run.faults;
+                    println!(
+                        "  rate {rate:<4} seed {seed:>3} {discipline_name:<20} {system_name:<14} \
+                         {:>4} ok {:>3} abandoned  {:>3} crash {:>3} hang {:>3} outage  {verdict}",
+                        chaos.run.metrics.jobs_completed,
+                        faults_seen.jobs_failed,
+                        faults_seen.crashes,
+                        faults_seen.watchdog_kills,
+                        faults_seen.outage_evictions,
+                    );
+                    if !problems.is_empty() {
+                        failures += 1;
+                        for problem in &problems {
+                            eprintln!("    {problem}");
+                        }
+                    }
+                    rows.push(report_row(
+                        rate,
+                        seed,
+                        discipline_name,
+                        system_name,
+                        jobs,
+                        &chaos,
+                    ));
+                }
+            }
+        }
+    }
+
+    println!("{runs} chaos runs executed");
+    if failures > 0 {
+        eprintln!("CHAOS SWEEP FAILED: {failures} run(s) violated degradation guarantees");
+        return ExitCode::FAILURE;
+    }
+
+    if !smoke {
+        let doc = Json::object([
+            ("experiment", Json::str("chaos")),
+            ("jobs", Json::UInt(jobs as u64)),
+            (
+                "rates",
+                Json::Array(rates.iter().map(|&r| Json::Num(r)).collect()),
+            ),
+            (
+                "seeds",
+                Json::Array(seeds.iter().map(|&s| Json::UInt(s)).collect()),
+            ),
+            ("runs", Json::UInt(u64::from(runs))),
+            ("rows", Json::Array(rows)),
+        ]);
+        let path = "results/BENCH_chaos.json";
+        match std::fs::write(path, doc.to_pretty()) {
+            Ok(()) => println!("wrote {path}"),
+            Err(err) => {
+                eprintln!("export to {path} failed: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    println!(
+        "CHAOS SWEEP PASSED: jobs conserved, retries bounded, ledgers bit-exact, \
+         stall paths pure"
+    );
+    ExitCode::SUCCESS
+}

@@ -17,12 +17,14 @@
 //!   once per benchmark) vs re-running the reference ensemble on every
 //!   completing job.
 //!
-//! Each must be at least 2x faster than its reference. A fourth gated
-//! stage, `sim_trace_overhead`, guards the flight-recorder layer instead
-//! of an optimisation: the `NullSink` build of the traced simulator loop
-//! must stay within 2% of the verbatim untraced reference loop
-//! (`Simulator::run_reference`), i.e. its ratio bar is a fixed 0.98x
-//! regardless of the CLI threshold. Speedups compare the minimum over
+//! Each must be at least 2x faster than its reference. Two further gated
+//! stages guard instrumentation layers instead of optimisations, each
+//! with a fixed 0.98x ratio bar regardless of the CLI threshold:
+//! `sim_trace_overhead` (the `NullSink` build of the traced simulator
+//! loop vs the verbatim untraced reference loop,
+//! `Simulator::run_reference`) and `sim_fault_overhead` (the
+//! fault-injection loop with an empty `FaultPlan` vs the same
+//! reference) — both must stay within 2%. Speedups compare the minimum over
 //! the measured iterations on each side, which filters the additive
 //! scheduling noise of shared hosts. The binary exits non-zero when the
 //! guard fails, so it can serve as a CI perf gate.
@@ -44,7 +46,8 @@ use hetero_bench::perf::{bench_paired, Sample};
 use hetero_bench::Testbed;
 use hetero_core::{BestCorePredictor, PredictorConfig, SuiteOracle};
 use multicore_sim::{
-    CoreId, CoreView, Decision, Job, JobExecution, QueueDiscipline, Scheduler, Simulator,
+    CoreId, CoreView, Decision, FaultPlan, Job, JobExecution, NullSink, QueueDiscipline, Scheduler,
+    Simulator,
 };
 use std::process::ExitCode;
 use tinyann::reference::RefBagging;
@@ -56,21 +59,24 @@ use workloads::{ArrivalPlan, SplitMix64, Suite};
 const DEFAULT_MIN_SPEEDUP: f64 = 2.0;
 
 /// Stages whose speedup the gate checks (each must clear its threshold).
-const GATED_STAGES: [&str; 4] = [
+const GATED_STAGES: [&str; 5] = [
     "oracle_build_paper",
     "bagging_train",
     "ensemble_predict",
     "sim_trace_overhead",
+    "sim_fault_overhead",
 ];
 
-/// `sim_trace_overhead` is a no-regression bar, not a speedup bar: the
-/// NullSink-instrumented loop must run at >= 0.98x the untraced
-/// reference (within 2%). Fixed — the CLI threshold does not move it.
+/// `sim_trace_overhead` and `sim_fault_overhead` are no-regression bars,
+/// not speedup bars: the NullSink-instrumented loop and the
+/// fault-injection loop with an empty plan must each run at >= 0.98x the
+/// untraced reference (within 2%). Fixed — the CLI threshold does not
+/// move them.
 const TRACE_OVERHEAD_MIN_RATIO: f64 = 0.98;
 
 /// The gate bar for one stage at the given CLI threshold.
 fn stage_threshold(name: &str, min_speedup: f64) -> f64 {
-    if name == "sim_trace_overhead" {
+    if name == "sim_trace_overhead" || name == "sim_fault_overhead" {
         TRACE_OVERHEAD_MIN_RATIO
     } else {
         min_speedup
@@ -348,6 +354,33 @@ fn measure_trace_overhead(iters: u32) -> Stage {
     }
 }
 
+/// The fault-injection no-regression stage: `Simulator::run_with_faults`
+/// with an *empty* fault plan (every fault branch a no-op) against the
+/// verbatim untraced reference loop. The two are bit-identical in result
+/// (property-tested); this stage pins the no-fault cost of the fault
+/// hooks to within the same 2% bar as the flight recorder.
+fn measure_fault_overhead(iters: u32) -> Stage {
+    let plan = ArrivalPlan::uniform_with_priorities(30_000, 1_500_000, 12, 3, 7);
+    let faults = FaultPlan::empty();
+    let sim = Simulator::new(4).with_discipline(QueueDiscipline::PreemptivePriority);
+    let (reference, fused) = bench_paired(
+        "sim_untraced_reference",
+        || sim.run_reference(&plan, &mut FirstIdle).jobs_completed,
+        "sim_faulted_nofault",
+        || {
+            sim.run_with_faults(&plan, &mut FirstIdle, &faults, &mut NullSink)
+                .metrics
+                .jobs_completed
+        },
+        iters,
+    );
+    Stage {
+        name: "sim_fault_overhead",
+        reference,
+        fused,
+    }
+}
+
 /// (Re-)measure one stage by name, at the given iteration count.
 fn measure_stage(name: &str, iters: u32) -> Stage {
     match name {
@@ -360,6 +393,7 @@ fn measure_stage(name: &str, iters: u32) -> Stage {
         "bagging_train" => measure_bagging_train(iters),
         "ensemble_predict" => measure_ensemble_predict(iters),
         "sim_trace_overhead" => measure_trace_overhead(iters),
+        "sim_fault_overhead" => measure_fault_overhead(iters),
         other => panic!("unknown stage {other}"),
     }
 }
@@ -371,7 +405,7 @@ fn stage_iters(name: &str, smoke: bool) -> u32 {
     match name {
         "predictor_train_small" | "testbed_run_all_small" => 3,
         "bagging_train" => 5,
-        "sim_trace_overhead" => 9,
+        "sim_trace_overhead" | "sim_fault_overhead" => 9,
         _ => 7,
     }
 }
@@ -408,7 +442,8 @@ fn main() -> ExitCode {
         println!(
             "gating: oracle_build_paper, bagging_train, ensemble_predict must each be \
              >= {min_speedup:.1}x their reference on one worker;\n\
-             sim_trace_overhead must hold >= {TRACE_OVERHEAD_MIN_RATIO:.2}x of the untraced loop\n"
+             sim_trace_overhead and sim_fault_overhead must each hold \
+             >= {TRACE_OVERHEAD_MIN_RATIO:.2}x of the untraced loop\n"
         );
     }
 
@@ -420,6 +455,7 @@ fn main() -> ExitCode {
         "bagging_train",
         "ensemble_predict",
         "sim_trace_overhead",
+        "sim_fault_overhead",
     ];
     let mut stages: Vec<Stage> = all_stages
         .iter()

@@ -8,7 +8,7 @@
 //! operands — a trace file is sufficient to re-run the ledger audit.
 
 use crate::json::Json;
-use multicore_sim::{PlacementKind, TraceEvent};
+use multicore_sim::{DegradedComponent, PlacementKind, TraceEvent};
 use std::collections::BTreeMap;
 
 /// One event as a flat JSON object. The `kind` field carries the stable
@@ -117,6 +117,71 @@ pub fn event_to_json(event: &TraceEvent) -> Json {
             pairs.push(("arrival", Json::UInt(arrival)));
             pairs.push(("priority", Json::UInt(u64::from(priority))));
         }
+        TraceEvent::Fault {
+            seq,
+            benchmark,
+            core,
+            at,
+            kind,
+            total_cycles,
+            executed_cycles,
+            dynamic_nj,
+            static_nj,
+        } => {
+            pairs.push(("seq", Json::UInt(seq)));
+            pairs.push(("benchmark", Json::UInt(benchmark.0 as u64)));
+            pairs.push(("core", Json::UInt(core.0 as u64)));
+            pairs.push(("at", Json::UInt(at)));
+            pairs.push(("fault", Json::str(kind.name())));
+            pairs.push(("total_cycles", Json::UInt(total_cycles)));
+            pairs.push(("executed_cycles", Json::UInt(executed_cycles)));
+            pairs.push(("dynamic_nj", Json::Num(dynamic_nj)));
+            pairs.push(("static_nj", Json::Num(static_nj)));
+        }
+        TraceEvent::Retry {
+            seq,
+            benchmark,
+            at,
+            attempt,
+            ready_at,
+            abandoned,
+        } => {
+            pairs.push(("seq", Json::UInt(seq)));
+            pairs.push(("benchmark", Json::UInt(benchmark.0 as u64)));
+            pairs.push(("at", Json::UInt(at)));
+            pairs.push(("attempt", Json::UInt(u64::from(attempt))));
+            pairs.push(("ready_at", Json::UInt(ready_at)));
+            pairs.push(("abandoned", Json::Bool(abandoned)));
+        }
+        TraceEvent::Fallback {
+            seq,
+            benchmark,
+            at,
+            level,
+        } => {
+            pairs.push(("seq", Json::UInt(seq)));
+            pairs.push(("benchmark", Json::UInt(benchmark.0 as u64)));
+            pairs.push(("at", Json::UInt(at)));
+            pairs.push(("level", Json::str(level.name())));
+        }
+        TraceEvent::Degraded {
+            at,
+            component,
+            online,
+        } => {
+            pairs.push(("at", Json::UInt(at)));
+            match component {
+                DegradedComponent::Core(core) => {
+                    pairs.push(("component", Json::str("core")));
+                    pairs.push(("core", Json::UInt(core.0 as u64)));
+                }
+                DegradedComponent::Predictor(health) => {
+                    pairs.push(("component", Json::str("predictor")));
+                    pairs.push(("health", Json::str(health.name())));
+                }
+            }
+            pairs.push(("online", Json::Bool(online)));
+        }
     }
     Json::object(pairs)
 }
@@ -208,5 +273,102 @@ mod tests {
         let doc = trace_document("proposed", "fifo", 42, &events).to_pretty();
         assert!(doc.contains("\"events_total\": 3"), "{doc}");
         assert!(doc.contains("\"seed\": 42"), "{doc}");
+    }
+
+    #[test]
+    fn empty_trace_documents_are_well_formed() {
+        // A zero-job run records no events; the document must still
+        // render and parse back without panicking.
+        let doc = trace_document("base", "fifo", 7, &[]);
+        let parsed = Json::parse(&doc.to_pretty()).expect("empty trace parses");
+        assert_eq!(parsed.get("events_total").and_then(Json::as_u64), Some(0));
+        assert_eq!(
+            parsed
+                .get("events")
+                .and_then(Json::as_array)
+                .map(<[_]>::len),
+            Some(0)
+        );
+        assert_eq!(kind_counts(&[]).len(), 0);
+    }
+
+    #[test]
+    fn fault_events_round_trip_through_the_parser() {
+        use multicore_sim::{FallbackLevel, FaultKind, PredictorHealth};
+        let events = vec![
+            TraceEvent::Fault {
+                seq: 3,
+                benchmark: BenchmarkId(1),
+                core: CoreId(2),
+                at: 500,
+                kind: FaultKind::Crash,
+                total_cycles: 400,
+                executed_cycles: 120,
+                dynamic_nj: 1.25,
+                static_nj: 0.5,
+            },
+            TraceEvent::Retry {
+                seq: 3,
+                benchmark: BenchmarkId(1),
+                at: 500,
+                attempt: 1,
+                ready_at: 20_500,
+                abandoned: false,
+            },
+            TraceEvent::Fallback {
+                seq: 4,
+                benchmark: BenchmarkId(0),
+                at: 900,
+                level: FallbackLevel::Knn,
+            },
+            TraceEvent::Degraded {
+                at: 1_000,
+                component: DegradedComponent::Core(CoreId(3)),
+                online: false,
+            },
+            TraceEvent::Degraded {
+                at: 1_500,
+                component: DegradedComponent::Predictor(PredictorHealth::AnnDown),
+                online: false,
+            },
+        ];
+        let doc = trace_document("proposed", "fifo", 9, &events);
+        let parsed = Json::parse(&doc.to_pretty()).expect("fault trace parses");
+        let rows = parsed.get("events").and_then(Json::as_array).unwrap();
+        assert_eq!(rows.len(), events.len());
+        assert_eq!(rows[0].get("fault").and_then(Json::as_str), Some("crash"));
+        assert_eq!(
+            rows[0].get("executed_cycles").and_then(Json::as_u64),
+            Some(120)
+        );
+        assert_eq!(rows[1].get("ready_at").and_then(Json::as_u64), Some(20_500));
+        assert_eq!(rows[2].get("level").and_then(Json::as_str), Some("knn"));
+        assert_eq!(
+            rows[3].get("component").and_then(Json::as_str),
+            Some("core")
+        );
+        assert_eq!(
+            rows[4].get("health").and_then(Json::as_str),
+            Some("ann_down")
+        );
+        let by_kind = parsed.get("events_by_kind").unwrap();
+        assert_eq!(by_kind.get("degraded").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn truncated_trace_documents_fail_with_a_typed_error() {
+        use crate::json::JsonError;
+        let text = trace_document("proposed", "fifo", 42, &sample_events()).to_pretty();
+        // The document is pure ASCII, so any byte offset is a char
+        // boundary.
+        let truncated = &text[..text.len() * 2 / 3];
+        match Json::parse(truncated) {
+            Err(
+                JsonError::UnexpectedEof { .. }
+                | JsonError::UnexpectedChar { .. }
+                | JsonError::InvalidNumber { .. },
+            ) => {}
+            other => panic!("expected a typed parse error, got {other:?}"),
+        }
     }
 }

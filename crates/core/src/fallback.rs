@@ -1,0 +1,161 @@
+//! The predictor fallback chain for degraded operation.
+//!
+//! When faults (see [`multicore_sim::FaultPlan`]) take parts of the
+//! prediction pipeline away, the profiled systems degrade through a fixed
+//! chain instead of failing:
+//!
+//! 1. **primary** — the trained [`BestCorePredictor`] (the paper's bagged
+//!    ANN ensemble);
+//! 2. **kNN** — a cheap k-nearest-neighbour stand-in, trained over the
+//!    same oracle, used while only the primary ensemble is unavailable;
+//! 3. **static** — the base configuration's cache size (`8KB_4W_64B`),
+//!    the assumption the paper's base system runs under; always
+//!    available, needs no features at all.
+//!
+//! Which stage serves a given completion is decided by
+//! [`FaultPlan::fallback_level`](multicore_sim::FaultPlan::fallback_level)
+//! — the same pure query the simulator stamps
+//! [`Fallback`](multicore_sim::TraceEvent::Fallback) events from, so the
+//! trace provably agrees with the policy's behaviour. Corrupted profiling
+//! features skip **both** learned stages: the primary predictor memoizes
+//! per benchmark, so consulting it with corrupt features would silently
+//! return a clean cached answer instead of degrading honestly.
+
+use crate::oracle::SuiteOracle;
+use crate::predictor::BestCorePredictor;
+use cache_sim::{CacheSizeKb, BASE_CONFIG};
+use multicore_sim::FallbackLevel;
+use workloads::{BenchmarkId, ExecutionStatistics};
+
+/// Which stage of the chain produced a best-size prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictionSource {
+    /// The primary (ANN ensemble) predictor.
+    Primary,
+    /// The kNN stand-in.
+    Knn,
+    /// The static base-configuration size.
+    Static,
+}
+
+/// A trained fallback chain (stages 2 and 3; stage 1 is the system's own
+/// predictor).
+///
+/// ```
+/// use energy_model::EnergyModel;
+/// use hetero_core::{FallbackChain, PredictionSource, SuiteOracle};
+/// use workloads::{BenchmarkId, Suite};
+///
+/// let oracle = SuiteOracle::build(&Suite::eembc_like_small(), &EnergyModel::default());
+/// let chain = FallbackChain::train(&oracle);
+/// let size = chain.predict_knn(BenchmarkId(0), &oracle.execution_statistics(BenchmarkId(0)));
+/// assert!(matches!(size.kilobytes(), 2 | 4 | 8));
+/// assert_eq!(FallbackChain::static_size(), cache_sim::CacheSizeKb::K8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FallbackChain {
+    knn: BestCorePredictor,
+}
+
+impl FallbackChain {
+    /// Nearest neighbours consulted by the kNN stage.
+    pub const KNN_K: usize = 3;
+
+    /// Train the kNN stage over every benchmark the oracle covers.
+    pub fn train(oracle: &SuiteOracle) -> Self {
+        FallbackChain {
+            knn: BestCorePredictor::train_knn(oracle, &[], Self::KNN_K),
+        }
+    }
+
+    /// The static stage's answer: the base configuration's size, valid
+    /// with no predictor and no features.
+    pub fn static_size() -> CacheSizeKb {
+        BASE_CONFIG.size()
+    }
+
+    /// The kNN stage's prediction.
+    pub fn predict_knn(
+        &self,
+        benchmark: BenchmarkId,
+        statistics: &ExecutionStatistics,
+    ) -> CacheSizeKb {
+        self.knn.predict_for(benchmark, statistics)
+    }
+
+    /// Resolve a best-size prediction through the chain. `level` is the
+    /// degradation the fault plan imposes on this completion (`None` =
+    /// healthy, primary serves).
+    pub fn resolve(
+        &self,
+        primary: &BestCorePredictor,
+        benchmark: BenchmarkId,
+        statistics: &ExecutionStatistics,
+        level: Option<FallbackLevel>,
+    ) -> (CacheSizeKb, PredictionSource) {
+        match level {
+            None => (
+                primary.predict_for(benchmark, statistics),
+                PredictionSource::Primary,
+            ),
+            Some(FallbackLevel::Knn) => (
+                self.predict_knn(benchmark, statistics),
+                PredictionSource::Knn,
+            ),
+            Some(FallbackLevel::Static) => (Self::static_size(), PredictionSource::Static),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::PredictorConfig;
+    use energy_model::EnergyModel;
+    use workloads::Suite;
+
+    fn oracle() -> &'static SuiteOracle {
+        Box::leak(Box::new(SuiteOracle::build(
+            &Suite::eembc_like_small(),
+            &EnergyModel::default(),
+        )))
+    }
+
+    #[test]
+    fn static_stage_is_the_base_configuration_size() {
+        assert_eq!(FallbackChain::static_size(), CacheSizeKb::K8);
+    }
+
+    #[test]
+    fn resolve_routes_by_level() {
+        let oracle = oracle();
+        let chain = FallbackChain::train(oracle);
+        let primary = BestCorePredictor::train(oracle, &PredictorConfig::fast());
+        let benchmark = BenchmarkId(1);
+        let stats = oracle.execution_statistics(benchmark);
+
+        let (healthy, source) = chain.resolve(&primary, benchmark, &stats, None);
+        assert_eq!(source, PredictionSource::Primary);
+        assert_eq!(healthy, primary.predict_for(benchmark, &stats));
+
+        let (knn, source) = chain.resolve(&primary, benchmark, &stats, Some(FallbackLevel::Knn));
+        assert_eq!(source, PredictionSource::Knn);
+        assert_eq!(knn, chain.predict_knn(benchmark, &stats));
+
+        let (last, source) =
+            chain.resolve(&primary, benchmark, &stats, Some(FallbackLevel::Static));
+        assert_eq!(source, PredictionSource::Static);
+        assert_eq!(last, CacheSizeKb::K8);
+    }
+
+    #[test]
+    fn knn_stage_predicts_sensible_sizes_for_every_benchmark() {
+        let oracle = oracle();
+        let chain = FallbackChain::train(oracle);
+        for benchmark in oracle.benchmarks() {
+            let stats = oracle.execution_statistics(benchmark);
+            let size = chain.predict_knn(benchmark, &stats);
+            assert!(matches!(size.kilobytes(), 2 | 4 | 8), "{benchmark}");
+        }
+    }
+}

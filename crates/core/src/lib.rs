@@ -48,6 +48,7 @@
 
 mod arch;
 mod decision;
+mod fallback;
 mod oracle;
 mod predictor;
 mod profiling;
@@ -56,6 +57,7 @@ mod tuning;
 
 pub use arch::Architecture;
 pub use decision::StallDecision;
+pub use fallback::{FallbackChain, PredictionSource};
 pub use oracle::{BenchmarkTruth, SuiteOracle};
 pub use predictor::{BestCorePredictor, PredictorConfig, PredictorKind};
 pub use profiling::{ProfileEntry, ProfilingTable};

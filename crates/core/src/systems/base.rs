@@ -96,6 +96,27 @@ mod tests {
     }
 
     #[test]
+    fn base_system_is_inherently_fault_resilient() {
+        // The stateless first-idle policy selects cores through
+        // `CoreView::is_idle`, which already excludes offline cores: it
+        // migrates around outages and retries crashed jobs with no
+        // fault-specific code at all.
+        use multicore_sim::{FaultConfig, FaultPlan, NullSink};
+        let suite = Suite::eembc_like_small();
+        let model = EnergyModel::default();
+        let oracle = SuiteOracle::build(&suite, &model);
+        let mut system = BaseSystem::new(&oracle, model, 4);
+        let plan = ArrivalPlan::uniform(80, 20_000_000, suite.len(), 13);
+        let fault_plan = FaultPlan::build(&FaultConfig::chaos(0.3, 5, 25_000_000), 4);
+        let run = Simulator::new(4).run_with_faults(&plan, &mut system, &fault_plan, &mut NullSink);
+        assert_eq!(
+            run.metrics.jobs_completed + run.faults.jobs_failed,
+            80,
+            "every job completes or is explicitly abandoned"
+        );
+    }
+
+    #[test]
     fn all_energy_is_charged_at_base_configuration() {
         let suite = Suite::eembc_like_small();
         let model = EnergyModel::default();

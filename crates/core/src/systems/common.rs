@@ -28,6 +28,12 @@ pub struct SystemStats {
     pub decisions_evaluated: u64,
     /// Decisions that sent the job to a non-best core.
     pub decisions_ran_non_best: u64,
+    /// Placements made in predictor-blackout degraded mode: first idle
+    /// core in the base configuration, i.e. the base system's behaviour.
+    pub degraded_placements: u64,
+    /// Profile predictions served by a fallback stage (kNN or static)
+    /// instead of the primary predictor.
+    pub fallback_predictions: u64,
 }
 
 /// What a scheduled execution means, applied to the profiling table when
@@ -213,6 +219,8 @@ impl<'a> Shared<'a> {
         fp.write_u64(self.stats.tuning_runs);
         fp.write_u64(self.stats.decisions_evaluated);
         fp.write_u64(self.stats.decisions_ran_non_best);
+        fp.write_u64(self.stats.degraded_placements);
+        fp.write_u64(self.stats.fallback_predictions);
         for config in &self.core_config {
             fp.write_usize(config.design_space_index());
         }
@@ -313,6 +321,7 @@ mod tests {
             .map(|i| CoreView {
                 id: CoreId(i),
                 busy: None,
+                online: true,
             })
             .collect()
     }
@@ -390,6 +399,7 @@ mod tests {
                 started: 0,
                 busy_until: 100,
             }),
+            online: true,
         };
         let decision = shared.try_profile(&job(0, 1), &views);
         assert!(matches!(decision, Decision::Run { core, .. } if core == CoreId(2)));
@@ -402,6 +412,7 @@ mod tests {
                 started: 0,
                 busy_until: 100,
             }),
+            online: true,
         };
         assert_eq!(shared.try_profile(&job(1, 2), &both), Decision::Stall);
     }
@@ -491,6 +502,7 @@ mod tests {
                 started: 0,
                 busy_until: 10,
             }),
+            online: true,
         };
         assert_eq!(Shared::first_idle(&views), Some(CoreId(1)));
     }

@@ -1,13 +1,15 @@
 //! The energy-centric (always-stall) comparator system.
 
 use crate::arch::Architecture;
+use crate::fallback::FallbackChain;
 use crate::oracle::SuiteOracle;
 use crate::predictor::BestCorePredictor;
 use crate::systems::common::{Pending, Shared, SystemStats};
 use crate::tuning::TuningStatus;
 use crate::ProfilingTable;
+use cache_sim::BASE_CONFIG;
 use energy_model::EnergyModel;
-use multicore_sim::{CoreId, CoreView, Decision, Job, Scheduler};
+use multicore_sim::{CoreId, CoreView, Decision, FaultPlan, Job, PredictorHealth, Scheduler};
 
 /// The paper's *energy-centric* system (Sec. V): profiles on the profiling
 /// core, predicts the best core with the ANN, and "only scheduled
@@ -41,6 +43,10 @@ use multicore_sim::{CoreId, CoreView, Decision, Job, Scheduler};
 pub struct EnergyCentricSystem<'a> {
     shared: Shared<'a>,
     predictor: BestCorePredictor,
+    /// Injected fault schedule; `None` outside chaos experiments.
+    faults: Option<&'a FaultPlan>,
+    /// Degraded-prediction stages, trained only when faults are injected.
+    fallback: Option<FallbackChain>,
 }
 
 impl<'a> EnergyCentricSystem<'a> {
@@ -54,7 +60,20 @@ impl<'a> EnergyCentricSystem<'a> {
         EnergyCentricSystem {
             shared: Shared::new(arch, oracle, model),
             predictor,
+            faults: None,
+            fallback: None,
         }
+    }
+
+    /// Subscribe to an injected fault schedule, degrading through `chain`
+    /// exactly like the proposed system: kNN predictions while only the
+    /// primary predictor is down, base-system behaviour under a full
+    /// blackout. The always-stall policy applies only while a best-core
+    /// prediction exists to stall *for*.
+    pub fn with_faults(mut self, plan: &'a FaultPlan, chain: FallbackChain) -> Self {
+        self.faults = Some(plan);
+        self.fallback = Some(chain);
+        self
     }
 
     /// Instrumentation counters.
@@ -69,7 +88,28 @@ impl<'a> EnergyCentricSystem<'a> {
 }
 
 impl Scheduler for EnergyCentricSystem<'_> {
-    fn schedule(&mut self, job: &Job, cores: &[CoreView], _now: u64) -> Decision {
+    fn schedule(&mut self, job: &Job, cores: &[CoreView], now: u64) -> Decision {
+        // Full predictor blackout: no best core can be predicted, so
+        // degrade to the base system's behaviour rather than stalling
+        // forever for a prediction that cannot come.
+        if let Some(plan) = self.faults {
+            if plan.predictor_health(now) == PredictorHealth::AllDown {
+                let Some(core) = Shared::first_idle(cores) else {
+                    return Decision::Stall;
+                };
+                self.shared.stats.degraded_placements += 1;
+                return self.shared.launch(
+                    job,
+                    core,
+                    BASE_CONFIG,
+                    Pending::Execution {
+                        benchmark: job.benchmark,
+                        config: BASE_CONFIG,
+                    },
+                );
+            }
+        }
+
         let shared = &mut self.shared;
 
         if !shared.table.contains(job.benchmark) {
@@ -120,12 +160,28 @@ impl Scheduler for EnergyCentricSystem<'_> {
         self.shared.idle_power(core)
     }
 
-    fn on_complete(&mut self, job: &Job, core: CoreId, _now: u64) {
+    fn on_complete(&mut self, job: &Job, core: CoreId, now: u64) {
         let benchmark = job.benchmark;
+        let level = self
+            .faults
+            .and_then(|plan| plan.fallback_level(job.seq, now));
         let predictor = &self.predictor;
+        let fallback = self.fallback.as_ref();
+        let mut degraded = false;
         self.shared.complete(job, core, |shared| {
-            predictor.predict_for(benchmark, &shared.oracle.execution_statistics(benchmark))
+            let statistics = shared.oracle.execution_statistics(benchmark);
+            match fallback {
+                Some(chain) => {
+                    let (size, source) = chain.resolve(predictor, benchmark, &statistics, level);
+                    degraded = source != crate::fallback::PredictionSource::Primary;
+                    size
+                }
+                None => predictor.predict_for(benchmark, &statistics),
+            }
         });
+        if degraded {
+            self.shared.stats.fallback_predictions += 1;
+        }
     }
 
     fn on_preempt(&mut self, job: &Job, core: CoreId, _now: u64) {

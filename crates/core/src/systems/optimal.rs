@@ -215,6 +215,26 @@ mod tests {
     }
 
     #[test]
+    fn optimal_system_is_inherently_fault_resilient() {
+        // Core selection goes through `CoreView::is_idle`, which already
+        // excludes offline cores, and aborted executions drop their
+        // pending table updates: the system needs no fault-specific code.
+        use multicore_sim::{FaultConfig, FaultPlan, NullSink};
+        let (suite, model) = setup();
+        let oracle = SuiteOracle::build(&suite, &model);
+        let arch = Architecture::paper_quad();
+        let mut system = OptimalSystem::new(&arch, &oracle, model);
+        let plan = ArrivalPlan::uniform(80, 20_000_000, suite.len(), 17);
+        let fault_plan = FaultPlan::build(&FaultConfig::chaos(0.3, 6, 25_000_000), 4);
+        let run = Simulator::new(4).run_with_faults(&plan, &mut system, &fault_plan, &mut NullSink);
+        assert_eq!(
+            run.metrics.jobs_completed + run.faults.jobs_failed,
+            80,
+            "every job completes or is explicitly abandoned"
+        );
+    }
+
+    #[test]
     fn beats_the_base_system_on_total_energy() {
         let (suite, model) = setup();
         let oracle = SuiteOracle::build(&suite, &model);

@@ -2,14 +2,15 @@
 
 use crate::arch::Architecture;
 use crate::decision::StallDecision;
+use crate::fallback::FallbackChain;
 use crate::oracle::SuiteOracle;
 use crate::predictor::BestCorePredictor;
 use crate::systems::common::{Pending, Shared, SystemStats};
 use crate::tuning::TuningStatus;
 use crate::ProfilingTable;
-use cache_sim::CacheConfig;
+use cache_sim::{CacheConfig, BASE_CONFIG};
 use energy_model::{EnergyModel, ExecutionCost};
-use multicore_sim::{CoreId, CoreView, Decision, Job, Scheduler};
+use multicore_sim::{CoreId, CoreView, Decision, FaultPlan, Job, PredictorHealth, Scheduler};
 
 /// The paper's proposed scheduler (Figure 2):
 ///
@@ -49,6 +50,10 @@ pub struct ProposedSystem<'a> {
     shared: Shared<'a>,
     predictor: BestCorePredictor,
     policy: DecisionPolicy,
+    /// Injected fault schedule; `None` outside chaos experiments.
+    faults: Option<&'a FaultPlan>,
+    /// Degraded-prediction stages, trained only when faults are injected.
+    fallback: Option<FallbackChain>,
 }
 
 /// How the proposed system resolves a busy best core once every idle
@@ -88,12 +93,25 @@ impl<'a> ProposedSystem<'a> {
             shared: Shared::new(arch, oracle, model),
             predictor,
             policy: DecisionPolicy::Evaluate,
+            faults: None,
+            fallback: None,
         }
     }
 
     /// Override the Section IV.E decision with an ablation policy.
     pub fn with_decision_policy(mut self, policy: DecisionPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Subscribe to an injected fault schedule, degrading through `chain`:
+    /// while only the primary predictor is down, profile predictions come
+    /// from the kNN stage; under a full predictor blackout (or corrupted
+    /// profiling features) the system falls all the way back to the base
+    /// system's behaviour — first idle core, base configuration.
+    pub fn with_faults(mut self, plan: &'a FaultPlan, chain: FallbackChain) -> Self {
+        self.faults = Some(plan);
+        self.fallback = Some(chain);
         self
     }
 
@@ -138,6 +156,25 @@ impl<'a> ProposedSystem<'a> {
             },
         )
     }
+
+    /// Predictor-blackout mode: with no prediction available at any chain
+    /// stage, behave exactly like the base system — first idle core, base
+    /// configuration, no profiling. Stall-returning calls stay pure.
+    fn schedule_degraded(&mut self, job: &Job, cores: &[CoreView]) -> Decision {
+        let Some(core) = Shared::first_idle(cores) else {
+            return Decision::Stall;
+        };
+        self.shared.stats.degraded_placements += 1;
+        self.shared.launch(
+            job,
+            core,
+            BASE_CONFIG,
+            Pending::Execution {
+                benchmark: job.benchmark,
+                config: BASE_CONFIG,
+            },
+        )
+    }
 }
 
 /// The best-core occupant with the earliest release, for the
@@ -153,6 +190,15 @@ fn earliest_release(best_cores: &[CoreId], cores: &[CoreView], now: u64) -> Opti
 
 impl Scheduler for ProposedSystem<'_> {
     fn schedule(&mut self, job: &Job, cores: &[CoreView], now: u64) -> Decision {
+        // Phase 0: full predictor blackout — no stage of the fallback
+        // chain can predict, so degrade to the base system's behaviour
+        // (profiling would gather information nothing can consume).
+        if let Some(plan) = self.faults {
+            if plan.predictor_health(now) == PredictorHealth::AllDown {
+                return self.schedule_degraded(job, cores);
+            }
+        }
+
         // Phase 1: profiling (Figure 2, "profiling information?" == no).
         if !self.shared.table.contains(job.benchmark) {
             return self.shared.try_profile(job, cores);
@@ -262,12 +308,31 @@ impl Scheduler for ProposedSystem<'_> {
         self.shared.idle_power(core)
     }
 
-    fn on_complete(&mut self, job: &Job, core: CoreId, _now: u64) {
+    fn on_complete(&mut self, job: &Job, core: CoreId, now: u64) {
         let benchmark = job.benchmark;
+        // The fault plan's pure per-completion query decides which chain
+        // stage serves — the same query the simulator stamps `Fallback`
+        // trace events from, so trace and behaviour agree by construction.
+        let level = self
+            .faults
+            .and_then(|plan| plan.fallback_level(job.seq, now));
         let predictor = &self.predictor;
+        let fallback = self.fallback.as_ref();
+        let mut degraded = false;
         self.shared.complete(job, core, |shared| {
-            predictor.predict_for(benchmark, &shared.oracle.execution_statistics(benchmark))
+            let statistics = shared.oracle.execution_statistics(benchmark);
+            match fallback {
+                Some(chain) => {
+                    let (size, source) = chain.resolve(predictor, benchmark, &statistics, level);
+                    degraded = source != crate::fallback::PredictionSource::Primary;
+                    size
+                }
+                None => predictor.predict_for(benchmark, &statistics),
+            }
         });
+        if degraded {
+            self.shared.stats.fallback_predictions += 1;
+        }
     }
 
     fn on_preempt(&mut self, job: &Job, core: CoreId, _now: u64) {
@@ -419,6 +484,89 @@ mod tests {
             checked.into_inner().stats().decisions_evaluated > 0,
             "Run-committed evaluations still recorded"
         );
+    }
+
+    #[test]
+    fn predictor_blackout_degrades_to_base_system_placements() {
+        // Under a 100% predictor outage no chain stage can predict: the
+        // proposed system must fall back to the base system's behaviour —
+        // bit-identical placements (same cores, cycles, energies).
+        use crate::fallback::FallbackChain;
+        use multicore_sim::{FaultConfig, FaultPlan, RecordingSink, TraceEvent};
+        let f = fixture();
+        let plan = ArrivalPlan::uniform(120, 12_000_000, f.suite.len(), 51);
+        let fault_plan = FaultPlan::build(&FaultConfig::predictor_blackout(7), 4);
+
+        let predictor = BestCorePredictor::train(f.oracle, &PredictorConfig::fast());
+        let chain = FallbackChain::train(f.oracle);
+        let mut proposed = ProposedSystem::with_model(f.arch, f.oracle, f.model, predictor)
+            .with_faults(&fault_plan, chain);
+        let mut proposed_sink = RecordingSink::new();
+        let proposed_run = Simulator::new(4).run_with_faults(
+            &plan,
+            &mut proposed,
+            &fault_plan,
+            &mut proposed_sink,
+        );
+
+        let mut base = BaseSystem::new(f.oracle, f.model, 4);
+        let mut base_sink = RecordingSink::new();
+        let base_run =
+            Simulator::new(4).run_with_faults(&plan, &mut base, &fault_plan, &mut base_sink);
+
+        let placements = |events: &[TraceEvent]| -> Vec<TraceEvent> {
+            events
+                .iter()
+                .filter(|e| matches!(e, TraceEvent::Placement { .. }))
+                .copied()
+                .collect()
+        };
+        assert_eq!(
+            placements(proposed_sink.events()),
+            placements(base_sink.events()),
+            "blackout placements must equal the base system's"
+        );
+        assert_eq!(proposed_run.metrics.jobs_completed, 120);
+        assert_eq!(base_run.metrics.jobs_completed, 120);
+        let stats = proposed.stats();
+        assert_eq!(stats.degraded_placements, 120);
+        assert_eq!(stats.profiling_runs, 0, "no profiling under blackout");
+    }
+
+    #[test]
+    fn corrupted_features_fall_back_to_static_predictions() {
+        // 100% feature corruption: every profile completion must skip both
+        // learned predictors (the primary memoizes per benchmark, so
+        // consulting it would silently return a clean cached answer) and
+        // store the static 8 KB prediction.
+        use crate::fallback::FallbackChain;
+        use multicore_sim::{FaultConfig, FaultPlan, NullSink};
+        let f = fixture();
+        let plan = ArrivalPlan::uniform(150, 30_000_000, f.suite.len(), 53);
+        let config = FaultConfig {
+            feature_corruption_rate: 1.0,
+            ..FaultConfig::none()
+        };
+        let fault_plan = FaultPlan::build(&config, 4);
+
+        let predictor = BestCorePredictor::train(f.oracle, &PredictorConfig::fast());
+        let chain = FallbackChain::train(f.oracle);
+        let mut system = ProposedSystem::with_model(f.arch, f.oracle, f.model, predictor)
+            .with_faults(&fault_plan, chain);
+        let run = Simulator::new(4).run_with_faults(&plan, &mut system, &fault_plan, &mut NullSink);
+        assert_eq!(run.metrics.jobs_completed, 150);
+        let stats = system.stats();
+        assert_eq!(
+            stats.fallback_predictions, stats.profiling_runs,
+            "every profile prediction must be served degraded"
+        );
+        for (benchmark, entry) in system.table().iter() {
+            assert_eq!(
+                entry.predicted_best_size,
+                cache_sim::CacheSizeKb::K8,
+                "{benchmark} must carry the static fallback prediction"
+            );
+        }
     }
 
     #[test]

@@ -50,12 +50,17 @@
 //! assert_eq!(metrics.jobs_completed, 100);
 //! ```
 
+pub mod faults;
 mod job;
 mod metrics;
 mod scheduler;
 mod simulator;
 mod trace;
 
+pub use faults::{
+    AttemptFault, DegradedComponent, FallbackLevel, FaultConfig, FaultKind, FaultPlan, FaultStats,
+    FaultedRun, PredictorHealth,
+};
 pub use job::{Job, JobExecution};
 pub use metrics::{ClassStats, RunMetrics};
 pub use scheduler::{BusyInfo, CoreId, CoreView, Decision, Scheduler};

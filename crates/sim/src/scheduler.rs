@@ -24,6 +24,10 @@ pub struct CoreView {
     /// The job currently executing, with its start and end cycles, or
     /// `None` when idle.
     pub busy: Option<BusyInfo>,
+    /// `false` while an injected fault holds the core offline. Offline
+    /// cores are always vacant (any in-flight job is evicted first),
+    /// accept no placements, and burn no leakage.
+    pub online: bool,
 }
 
 /// Occupancy details of a busy core.
@@ -38,9 +42,11 @@ pub struct BusyInfo {
 }
 
 impl CoreView {
-    /// `true` when no job occupies the core.
+    /// `true` when the core is available for a placement: vacant *and*
+    /// online. Policies that pick cores through this predicate migrate
+    /// around outages for free.
     pub fn is_idle(&self) -> bool {
-        self.busy.is_none()
+        self.busy.is_none() && self.online
     }
 }
 
@@ -137,7 +143,18 @@ mod tests {
         let view = CoreView {
             id: CoreId(0),
             busy: None,
+            online: true,
         };
         assert!(view.is_idle());
+    }
+
+    #[test]
+    fn offline_view_is_never_idle() {
+        let view = CoreView {
+            id: CoreId(0),
+            busy: None,
+            online: false,
+        };
+        assert!(!view.is_idle());
     }
 }

@@ -1,5 +1,8 @@
 //! The discrete-event engine.
 
+use crate::faults::{
+    AttemptFault, DegradedComponent, FaultKind, FaultPlan, FaultStats, FaultedRun,
+};
 use crate::job::Job;
 use crate::metrics::RunMetrics;
 use crate::scheduler::{BusyInfo, CoreId, CoreView, Decision, Scheduler};
@@ -283,6 +286,7 @@ impl Simulator {
                                 .map(|(core_index, busy)| CoreView {
                                     id: CoreId(core_index),
                                     busy: if core_index == index { None } else { *busy },
+                                    online: true,
                                 })
                                 .collect();
                             match scheduler.schedule(&urgent, &views, clock) {
@@ -389,6 +393,7 @@ impl Simulator {
                         .map(|(index, busy)| CoreView {
                             id: CoreId(index),
                             busy: *busy,
+                            online: true,
                         })
                         .collect();
                     match scheduler.schedule(&job, &views, clock) {
@@ -606,6 +611,7 @@ impl Simulator {
                                 .map(|(core_index, busy)| CoreView {
                                     id: CoreId(core_index),
                                     busy: if core_index == index { None } else { *busy },
+                                    online: true,
                                 })
                                 .collect();
                             match scheduler.schedule(&urgent, &views, clock) {
@@ -662,6 +668,7 @@ impl Simulator {
                         .map(|(index, busy)| CoreView {
                             id: CoreId(index),
                             busy: *busy,
+                            online: true,
                         })
                         .collect();
                     match scheduler.schedule(&job, &views, clock) {
@@ -731,6 +738,753 @@ impl Simulator {
             turnaround_cycles: turnaround,
             by_priority,
             preemptions,
+        }
+    }
+
+    /// Run the arrival plan under an injected [`FaultPlan`], with graceful
+    /// degradation and honest accounting:
+    ///
+    /// * **core outages** evict the in-flight job (its unexecuted
+    ///   remainder is refunded, exactly like a preemption) and requeue it
+    ///   immediately for migration to another core — no retry attempt is
+    ///   charged; offline cores accept no placements and burn no leakage;
+    /// * **crashes** charge the executed fraction, refund the rest, and
+    ///   schedule a retry after bounded exponential backoff; a job that
+    ///   fails `max_attempts` times is *abandoned* — recorded explicitly
+    ///   (never lost) and excluded from `jobs_completed`;
+    /// * **hangs** are killed by the watchdog after `watchdog_factor`×
+    ///   the nominal cycles, with the full stretched energy charged (the
+    ///   honest cost of a runaway execution), then retried like a crash;
+    /// * **predictor outages / corrupt features** don't touch this loop's
+    ///   accounting — policies consult the plan themselves — but each
+    ///   affected completion is stamped with a
+    ///   [`Fallback`](TraceEvent::Fallback) event, and every availability
+    ///   transition with a [`Degraded`](TraceEvent::Degraded) event.
+    ///
+    /// With an empty plan ([`FaultPlan::is_empty`]) this loop produces
+    /// **bit-identical** metrics to [`run_reference`](Self::run_reference)
+    /// (property-tested, and perf-gated within 2 % by the
+    /// `sim_fault_overhead` stage). Keep the no-fault path in lockstep
+    /// with the other two loops when changing any of them.
+    ///
+    /// # Panics
+    ///
+    /// As in [`run`](Self::run); additionally panics if a policy places a
+    /// job on an offline core.
+    pub fn run_with_faults<T: TraceSink + ?Sized>(
+        &self,
+        plan: &ArrivalPlan,
+        scheduler: &mut dyn Scheduler,
+        fault_plan: &FaultPlan,
+        sink: &mut T,
+    ) -> FaultedRun {
+        // Monomorphise the loop on plan emptiness: with `QUIET = true`
+        // every fault branch (and every `offline` load — no transition
+        // can ever mark a core offline) is compiled out, so the no-fault
+        // path costs the same as the untraced reference loop.
+        if fault_plan.is_empty() {
+            self.run_faulted_loop::<true, T>(plan, scheduler, fault_plan, sink)
+        } else {
+            self.run_faulted_loop::<false, T>(plan, scheduler, fault_plan, sink)
+        }
+    }
+
+    fn run_faulted_loop<const QUIET: bool, T: TraceSink + ?Sized>(
+        &self,
+        plan: &ArrivalPlan,
+        scheduler: &mut dyn Scheduler,
+        fault_plan: &FaultPlan,
+        sink: &mut T,
+    ) -> FaultedRun {
+        /// How the execution occupying a core will end.
+        #[derive(Clone, Copy, PartialEq)]
+        enum AttemptOutcome {
+            Complete,
+            Crash { executed: u64 },
+            Watchdog,
+        }
+
+        let mut clock: u64 = 0;
+        let mut cores: Vec<Option<BusyInfo>> = vec![None; self.num_cores];
+        let mut running_exec: Vec<Option<crate::job::JobExecution>> = vec![None; self.num_cores];
+        let mut tokens: Vec<u64> = vec![0; self.num_cores];
+        let mut ready: VecDeque<Job> = VecDeque::new();
+        let mut completions: BinaryHeap<Reverse<(u64, usize, u64)>> = BinaryHeap::new();
+        let mut arrivals = plan.iter().peekable();
+        let mut next_seq: u64 = 0;
+
+        let mut energy = EnergyBreakdown::new();
+        let mut busy_cycles = vec![0u64; self.num_cores];
+        let mut jobs_completed = 0u64;
+        let mut stall_episodes = 0u64;
+        let mut stall_offers = 0u64;
+        let mut stalled: HashSet<u64> = HashSet::new();
+        let mut turnaround = 0u64;
+        let mut last_completion = 0u64;
+        let mut by_priority: std::collections::BTreeMap<u8, crate::metrics::ClassStats> =
+            std::collections::BTreeMap::new();
+        let mut preemptions = 0u64;
+        let priority_ordered = matches!(
+            self.discipline,
+            QueueDiscipline::Priority | QueueDiscipline::PreemptivePriority
+        );
+
+        // Fault-regime state.
+        let mut stats = FaultStats::default();
+        let mut offline = vec![false; self.num_cores];
+        let mut outcome = vec![AttemptOutcome::Complete; self.num_cores];
+        let transitions = fault_plan.transitions();
+        let mut transition_cursor = 0usize;
+        // Min-heap of (ready_at, seq) retry wakeups, with the parked jobs.
+        let mut retries: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut retry_jobs: std::collections::HashMap<u64, Job> = std::collections::HashMap::new();
+        // Crash/watchdog failures per job (outage evictions are free).
+        let mut failures: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+        debug_assert_eq!(
+            QUIET,
+            fault_plan.is_empty(),
+            "dispatched by run_with_faults"
+        );
+
+        /// The fault-aware placement charge: what to book, when the heap
+        /// event fires, and how the attempt ends.
+        struct Charge {
+            execution: crate::job::JobExecution,
+            event_at: u64,
+            outcome: AttemptOutcome,
+        }
+        let charge_for = |job: &Job,
+                          execution: crate::job::JobExecution,
+                          clock: u64,
+                          failures: &std::collections::HashMap<u64, u32>|
+         -> Charge {
+            // Empty-plan fast path: skip the failure-count hash lookup
+            // and the fault draw entirely, keeping the no-fault loop
+            // within the perf gate's 2% of the untraced reference.
+            if QUIET {
+                return Charge {
+                    event_at: clock + execution.cycles,
+                    execution,
+                    outcome: AttemptOutcome::Complete,
+                };
+            }
+            let attempt = failures.get(&job.seq).copied().unwrap_or(0) + 1;
+            match fault_plan.attempt_fault(job.seq, attempt, execution.cycles) {
+                None => Charge {
+                    event_at: clock + execution.cycles,
+                    execution,
+                    outcome: AttemptOutcome::Complete,
+                },
+                Some(AttemptFault::Crash { fraction_permille }) => {
+                    let executed =
+                        ((execution.cycles as u128 * u128::from(fraction_permille)) / 1000) as u64;
+                    let executed = executed.clamp(1, execution.cycles - 1);
+                    Charge {
+                        event_at: clock + executed,
+                        execution,
+                        outcome: AttemptOutcome::Crash { executed },
+                    }
+                }
+                Some(AttemptFault::Hang) => {
+                    let stretched = fault_plan.watchdog_cycles(execution.cycles);
+                    let factor = fault_plan.watchdog_energy_factor();
+                    Charge {
+                        event_at: clock + stretched,
+                        execution: crate::job::JobExecution {
+                            cycles: stretched,
+                            energy: EnergyBreakdown {
+                                dynamic_nj: execution.energy.dynamic_nj * factor,
+                                static_nj: execution.energy.static_nj * factor,
+                                ..EnergyBreakdown::new()
+                            },
+                        },
+                        outcome: AttemptOutcome::Watchdog,
+                    }
+                }
+            }
+        };
+
+        loop {
+            // Next event time. Skip completion events whose execution was
+            // preempted or evicted (stale token).
+            while let Some(&Reverse((_, index, token))) = completions.peek() {
+                if token == tokens[index] {
+                    break;
+                }
+                completions.pop();
+            }
+            let next_arrival = arrivals.peek().map(|a| a.time);
+            let next_completion = completions.peek().map(|Reverse((t, _, _))| *t);
+            let now = if QUIET {
+                // Empty-plan fast path: retries and transitions cannot
+                // exist, so event selection is exactly the reference
+                // loop's two-way match (perf-gated to within 2% of it).
+                match (next_arrival, next_completion) {
+                    (Some(a), Some(c)) => a.min(c),
+                    (Some(a), None) => a,
+                    (None, Some(c)) => c,
+                    (None, None) => break,
+                }
+            } else {
+                let next_retry = retries.peek().map(|Reverse((t, _))| *t);
+                let next_transition = transitions.get(transition_cursor).map(|t| t.at);
+                // Availability transitions alone are not work: once no
+                // job can ever run again, stop — don't simulate trailing
+                // outage windows (the untraced reference ends at its last
+                // event too).
+                let work_remaining = next_arrival.is_some()
+                    || next_completion.is_some()
+                    || next_retry.is_some()
+                    || !ready.is_empty();
+                if !work_remaining {
+                    break;
+                }
+                [next_arrival, next_completion, next_retry, next_transition]
+                    .into_iter()
+                    .flatten()
+                    .min()
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "scheduler deadlock: {} job(s) stalled with no future event at \
+                             cycle {clock}",
+                            ready.len()
+                        )
+                    })
+            };
+
+            // Accrue idle energy over [clock, now); offline cores are
+            // powered down and burn nothing.
+            debug_assert!(now >= clock, "time must not run backwards");
+            let span = now - clock;
+            if span > 0 {
+                for (index, core) in cores.iter().enumerate() {
+                    if core.is_none() && (QUIET || !offline[index]) {
+                        let power = scheduler.idle_power_nj_per_cycle(CoreId(index));
+                        energy.idle_nj += span as f64 * power;
+                        if sink.enabled() {
+                            sink.record(TraceEvent::IdleSpan {
+                                core: CoreId(index),
+                                from: clock,
+                                to: now,
+                                idle_power_nj_per_cycle: power,
+                            });
+                        }
+                    }
+                }
+            }
+            clock = now;
+
+            // Retire every execution-end event due now: completions,
+            // crashes, and watchdog kills (skipping stale events).
+            while let Some(&Reverse((t, index, token))) = completions.peek() {
+                if t > clock {
+                    break;
+                }
+                completions.pop();
+                if token != tokens[index] {
+                    continue; // preempted or outage-evicted execution
+                }
+                let info = cores[index].take().expect("event for an occupied core");
+                let exec = running_exec[index].take().expect("occupied");
+                match outcome[index] {
+                    AttemptOutcome::Complete => {
+                        debug_assert_eq!(info.busy_until, t);
+                        jobs_completed += 1;
+                        turnaround += t - info.job.arrival;
+                        let class = by_priority.entry(info.job.priority).or_default();
+                        class.jobs += 1;
+                        class.turnaround_cycles += t - info.job.arrival;
+                        last_completion = last_completion.max(t);
+                        if sink.enabled() {
+                            sink.record(TraceEvent::Completion {
+                                seq: info.job.seq,
+                                benchmark: info.job.benchmark,
+                                core: CoreId(index),
+                                at: t,
+                                arrival: info.job.arrival,
+                                priority: info.job.priority,
+                            });
+                        }
+                        // Environment record: this completion's prediction
+                        // was (or would be) served degraded. Policies
+                        // consult the same pure plan queries, so the
+                        // trace agrees with their behaviour.
+                        if !QUIET {
+                            if let Some(level) = fault_plan.fallback_level(info.job.seq, t) {
+                                stats.fallbacks += 1;
+                                if sink.enabled() {
+                                    sink.record(TraceEvent::Fallback {
+                                        seq: info.job.seq,
+                                        benchmark: info.job.benchmark,
+                                        at: t,
+                                        level,
+                                    });
+                                }
+                            }
+                        }
+                        scheduler.on_complete(&info.job, CoreId(index), clock);
+                    }
+                    AttemptOutcome::Crash { executed } => {
+                        outcome[index] = AttemptOutcome::Complete;
+                        debug_assert_eq!(info.started + executed, t);
+                        // Refund the unexecuted remainder — the exact
+                        // eviction arithmetic, replayed by the auditor.
+                        let remaining_cycles = exec.cycles - executed;
+                        let refund = remaining_cycles as f64 / exec.cycles as f64;
+                        energy.dynamic_nj -= exec.energy.dynamic_nj * refund;
+                        energy.static_nj -= exec.energy.static_nj * refund;
+                        busy_cycles[index] -= remaining_cycles;
+                        stats.crashes += 1;
+                        if sink.enabled() {
+                            sink.record(TraceEvent::Fault {
+                                seq: info.job.seq,
+                                benchmark: info.job.benchmark,
+                                core: CoreId(index),
+                                at: t,
+                                kind: FaultKind::Crash,
+                                total_cycles: exec.cycles,
+                                executed_cycles: executed,
+                                dynamic_nj: exec.energy.dynamic_nj,
+                                static_nj: exec.energy.static_nj,
+                            });
+                        }
+                        scheduler.on_preempt(&info.job, CoreId(index), clock);
+                        Self::schedule_retry(
+                            info.job,
+                            fault_plan,
+                            clock,
+                            &mut failures,
+                            &mut retries,
+                            &mut retry_jobs,
+                            &mut stats,
+                            sink,
+                        );
+                    }
+                    AttemptOutcome::Watchdog => {
+                        outcome[index] = AttemptOutcome::Complete;
+                        debug_assert_eq!(info.busy_until, t);
+                        // The stretched run was fully charged: the refund
+                        // is an exact 0.0 (honest accounting of waste).
+                        stats.watchdog_kills += 1;
+                        if sink.enabled() {
+                            sink.record(TraceEvent::Fault {
+                                seq: info.job.seq,
+                                benchmark: info.job.benchmark,
+                                core: CoreId(index),
+                                at: t,
+                                kind: FaultKind::Watchdog,
+                                total_cycles: exec.cycles,
+                                executed_cycles: exec.cycles,
+                                dynamic_nj: exec.energy.dynamic_nj,
+                                static_nj: exec.energy.static_nj,
+                            });
+                        }
+                        scheduler.on_preempt(&info.job, CoreId(index), clock);
+                        Self::schedule_retry(
+                            info.job,
+                            fault_plan,
+                            clock,
+                            &mut failures,
+                            &mut retries,
+                            &mut retry_jobs,
+                            &mut stats,
+                            sink,
+                        );
+                    }
+                }
+            }
+
+            // Process availability transitions due now. A core dropping
+            // offline evicts its occupant first (refund + requeue for
+            // migration — no retry attempt charged), then announces the
+            // transition, so the trace proves the core was vacant.
+            while let Some(transition) = transitions.get(transition_cursor) {
+                if transition.at > clock {
+                    break;
+                }
+                transition_cursor += 1;
+                if let DegradedComponent::Core(core) = transition.component {
+                    let index = core.0;
+                    if index >= self.num_cores {
+                        continue; // plan built for a wider machine
+                    }
+                    if !transition.online {
+                        if let Some(info) = cores[index].take() {
+                            let exec = running_exec[index].take().expect("occupied");
+                            let executed = clock - info.started;
+                            let remaining_cycles = exec.cycles - executed;
+                            let refund = remaining_cycles as f64 / exec.cycles as f64;
+                            energy.dynamic_nj -= exec.energy.dynamic_nj * refund;
+                            energy.static_nj -= exec.energy.static_nj * refund;
+                            busy_cycles[index] -= remaining_cycles;
+                            tokens[index] += 1; // invalidate its end event
+                            outcome[index] = AttemptOutcome::Complete;
+                            stats.outage_evictions += 1;
+                            if sink.enabled() {
+                                sink.record(TraceEvent::Fault {
+                                    seq: info.job.seq,
+                                    benchmark: info.job.benchmark,
+                                    core,
+                                    at: clock,
+                                    kind: FaultKind::CoreOutage,
+                                    total_cycles: exec.cycles,
+                                    executed_cycles: executed,
+                                    dynamic_nj: exec.energy.dynamic_nj,
+                                    static_nj: exec.energy.static_nj,
+                                });
+                            }
+                            scheduler.on_preempt(&info.job, core, clock);
+                            ready.push_back(info.job);
+                        }
+                        offline[index] = true;
+                    } else {
+                        offline[index] = false;
+                    }
+                }
+                stats.degraded_transitions += 1;
+                if sink.enabled() {
+                    sink.record(TraceEvent::Degraded {
+                        at: clock,
+                        component: transition.component,
+                        online: transition.online,
+                    });
+                }
+            }
+
+            // Re-admit retries whose backoff has expired.
+            while let Some(&Reverse((t, seq))) = retries.peek() {
+                if t > clock {
+                    break;
+                }
+                retries.pop();
+                let job = retry_jobs.remove(&seq).expect("parked retry job");
+                ready.push_back(job);
+            }
+
+            // Enqueue every arrival due now.
+            while let Some(arrival) = arrivals.peek() {
+                if arrival.time > clock {
+                    break;
+                }
+                let arrival = arrivals.next().expect("peeked");
+                let job = Job {
+                    seq: next_seq,
+                    benchmark: arrival.benchmark,
+                    arrival: arrival.time,
+                    priority: arrival.priority,
+                };
+                if sink.enabled() {
+                    sink.record(TraceEvent::Arrival {
+                        seq: job.seq,
+                        benchmark: job.benchmark,
+                        at: job.arrival,
+                        priority: job.priority,
+                    });
+                }
+                ready.push_back(job);
+                next_seq += 1;
+            }
+
+            // Preempt-and-schedule rounds (see `run_with_sink`). "Every
+            // core busy" counts offline cores as unavailable rather than
+            // idle, and placements go through the fault draw.
+            loop {
+                if priority_ordered {
+                    ready
+                        .make_contiguous()
+                        .sort_by_key(|job| (Reverse(job.priority), job.seq));
+                }
+
+                let mut evicted = false;
+                if self.discipline == QueueDiscipline::PreemptivePriority
+                    && cores
+                        .iter()
+                        .enumerate()
+                        .all(|(i, c)| c.is_some() || (!QUIET && offline[i]))
+                    && cores.iter().any(Option::is_some)
+                    && !ready.is_empty()
+                {
+                    let urgent = ready.front().copied().expect("non-empty");
+                    let victim = (0..self.num_cores)
+                        .filter_map(|i| cores[i].map(|info| (i, info)))
+                        .min_by_key(|(i, info)| (info.job.priority, Reverse(info.busy_until), *i));
+                    if let Some((index, info)) = victim {
+                        if info.job.priority < urgent.priority {
+                            let views: Vec<CoreView> = cores
+                                .iter()
+                                .enumerate()
+                                .map(|(core_index, busy)| CoreView {
+                                    id: CoreId(core_index),
+                                    busy: if core_index == index { None } else { *busy },
+                                    online: QUIET || !offline[core_index],
+                                })
+                                .collect();
+                            match scheduler.schedule(&urgent, &views, clock) {
+                                Decision::Run { core, execution } => {
+                                    assert_eq!(
+                                        core.0, index,
+                                        "policy placed {urgent} on busy {core} during a \
+                                         preemption probe at cycle {clock}"
+                                    );
+                                    assert!(
+                                        execution.cycles > 0,
+                                        "policy scheduled {urgent} with a zero-cycle \
+                                         execution at cycle {clock}"
+                                    );
+                                    if sink.enabled() {
+                                        sink.record(TraceEvent::PreemptionProbe {
+                                            seq: urgent.seq,
+                                            victim: info.job.seq,
+                                            core: CoreId(index),
+                                            at: clock,
+                                            granted: true,
+                                        });
+                                    }
+                                    // Evict: refund against the *charged*
+                                    // execution (nominal for a pending
+                                    // crash, stretched for a hang) — the
+                                    // busy_until horizon matches it in
+                                    // every case.
+                                    let old = running_exec[index].take().expect("occupied");
+                                    let remaining_cycles = info.busy_until - clock;
+                                    let refund = remaining_cycles as f64 / old.cycles as f64;
+                                    energy.dynamic_nj -= old.energy.dynamic_nj * refund;
+                                    energy.static_nj -= old.energy.static_nj * refund;
+                                    busy_cycles[index] -= remaining_cycles;
+                                    tokens[index] += 1;
+                                    preemptions += 1;
+                                    if sink.enabled() {
+                                        sink.record(TraceEvent::Eviction {
+                                            victim: info.job.seq,
+                                            core: CoreId(index),
+                                            at: clock,
+                                            total_cycles: old.cycles,
+                                            remaining_cycles,
+                                            dynamic_nj: old.energy.dynamic_nj,
+                                            static_nj: old.energy.static_nj,
+                                        });
+                                    }
+                                    scheduler.on_preempt(&info.job, CoreId(index), clock);
+                                    ready.pop_front();
+                                    ready.push_back(info.job);
+                                    // Place the urgent job through the
+                                    // fault draw.
+                                    let charge = charge_for(&urgent, execution, clock, &failures);
+                                    cores[index] = Some(BusyInfo {
+                                        job: urgent,
+                                        started: clock,
+                                        busy_until: clock + charge.execution.cycles,
+                                    });
+                                    running_exec[index] = Some(charge.execution);
+                                    outcome[index] = charge.outcome;
+                                    completions.push(Reverse((
+                                        charge.event_at,
+                                        index,
+                                        tokens[index],
+                                    )));
+                                    energy += charge.execution.energy;
+                                    busy_cycles[index] += charge.execution.cycles;
+                                    stalled.remove(&urgent.seq);
+                                    if sink.enabled() {
+                                        sink.record(TraceEvent::Placement {
+                                            seq: urgent.seq,
+                                            benchmark: urgent.benchmark,
+                                            core: CoreId(index),
+                                            at: clock,
+                                            cycles: charge.execution.cycles,
+                                            dynamic_nj: charge.execution.energy.dynamic_nj,
+                                            static_nj: charge.execution.energy.static_nj,
+                                            kind: PlacementKind::Preemption,
+                                        });
+                                    }
+                                    evicted = true;
+                                }
+                                Decision::Stall => {
+                                    if sink.enabled() {
+                                        sink.record(TraceEvent::PreemptionProbe {
+                                            seq: urgent.seq,
+                                            victim: info.job.seq,
+                                            core: CoreId(index),
+                                            at: clock,
+                                            granted: false,
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+
+                let mut remaining = ready.len();
+                while remaining > 0
+                    && cores
+                        .iter()
+                        .enumerate()
+                        .any(|(i, c)| c.is_none() && (QUIET || !offline[i]))
+                {
+                    let job = ready.pop_front().expect("remaining > 0 implies non-empty");
+                    let views: Vec<CoreView> = cores
+                        .iter()
+                        .enumerate()
+                        .map(|(index, busy)| CoreView {
+                            id: CoreId(index),
+                            busy: *busy,
+                            online: QUIET || !offline[index],
+                        })
+                        .collect();
+                    match scheduler.schedule(&job, &views, clock) {
+                        Decision::Run { core, execution } => {
+                            assert!(
+                                QUIET || !offline[core.0],
+                                "policy scheduled {job} onto offline {core} at cycle {clock}"
+                            );
+                            let slot = &mut cores[core.0];
+                            assert!(
+                                slot.is_none(),
+                                "policy scheduled {job} onto busy {core} at cycle {clock}"
+                            );
+                            assert!(
+                                execution.cycles > 0,
+                                "policy scheduled {job} with a zero-cycle execution at \
+                                 cycle {clock}"
+                            );
+                            debug_assert_eq!(
+                                execution.energy.idle_nj, 0.0,
+                                "execution energy must not carry idle energy"
+                            );
+                            let charge = charge_for(&job, execution, clock, &failures);
+                            *slot = Some(BusyInfo {
+                                job,
+                                started: clock,
+                                busy_until: clock + charge.execution.cycles,
+                            });
+                            running_exec[core.0] = Some(charge.execution);
+                            outcome[core.0] = charge.outcome;
+                            completions.push(Reverse((charge.event_at, core.0, tokens[core.0])));
+                            energy += charge.execution.energy;
+                            busy_cycles[core.0] += charge.execution.cycles;
+                            stalled.remove(&job.seq);
+                            if sink.enabled() {
+                                sink.record(TraceEvent::Placement {
+                                    seq: job.seq,
+                                    benchmark: job.benchmark,
+                                    core,
+                                    at: clock,
+                                    cycles: charge.execution.cycles,
+                                    dynamic_nj: charge.execution.energy.dynamic_nj,
+                                    static_nj: charge.execution.energy.static_nj,
+                                    kind: PlacementKind::Pass,
+                                });
+                            }
+                            remaining = ready.len();
+                        }
+                        Decision::Stall => {
+                            stall_offers += 1;
+                            if stalled.insert(job.seq) {
+                                stall_episodes += 1;
+                            }
+                            if sink.enabled() {
+                                sink.record(TraceEvent::Stall {
+                                    seq: job.seq,
+                                    benchmark: job.benchmark,
+                                    at: clock,
+                                });
+                            }
+                            ready.push_back(job);
+                            remaining -= 1;
+                        }
+                    }
+                }
+
+                if !evicted {
+                    break;
+                }
+            }
+
+            // Deadlock guard: nothing in flight, nothing arriving, no
+            // retry or availability transition pending, but jobs remain
+            // queued — the policy can never make progress.
+            let live_completions = cores.iter().any(Option::is_some);
+            if !live_completions
+                && arrivals.peek().is_none()
+                && retries.is_empty()
+                && transition_cursor >= transitions.len()
+                && !ready.is_empty()
+            {
+                panic!(
+                    "scheduler deadlock: {} job(s) stalled with every core idle at cycle {clock}",
+                    ready.len()
+                );
+            }
+        }
+
+        debug_assert!(ready.is_empty(), "loop exited with queued jobs");
+        debug_assert!(retry_jobs.is_empty(), "loop exited with parked retries");
+        debug_assert_eq!(
+            jobs_completed + stats.jobs_failed,
+            next_seq,
+            "conservation: every arrival completes or is abandoned"
+        );
+        FaultedRun {
+            metrics: RunMetrics {
+                energy,
+                total_cycles: last_completion,
+                jobs_completed,
+                stalls: stall_episodes,
+                stall_offers,
+                busy_cycles,
+                turnaround_cycles: turnaround,
+                by_priority,
+                preemptions,
+            },
+            faults: stats,
+        }
+    }
+
+    /// Crash/watchdog aftermath: charge the failure, then either park the
+    /// job for retry after exponential backoff or abandon it at the cap.
+    #[allow(clippy::too_many_arguments)]
+    fn schedule_retry<T: TraceSink + ?Sized>(
+        job: Job,
+        fault_plan: &FaultPlan,
+        clock: u64,
+        failures: &mut std::collections::HashMap<u64, u32>,
+        retries: &mut BinaryHeap<Reverse<(u64, u64)>>,
+        retry_jobs: &mut std::collections::HashMap<u64, Job>,
+        stats: &mut FaultStats,
+        sink: &mut T,
+    ) {
+        let count = failures.entry(job.seq).or_insert(0);
+        *count += 1;
+        let count = *count;
+        stats.max_attempts_observed = stats.max_attempts_observed.max(count);
+        if count >= fault_plan.max_attempts() {
+            stats.jobs_failed += 1;
+            if sink.enabled() {
+                sink.record(TraceEvent::Retry {
+                    seq: job.seq,
+                    benchmark: job.benchmark,
+                    at: clock,
+                    attempt: count,
+                    ready_at: clock,
+                    abandoned: true,
+                });
+            }
+        } else {
+            let ready_at = clock.saturating_add(fault_plan.backoff(count));
+            stats.retries += 1;
+            if sink.enabled() {
+                sink.record(TraceEvent::Retry {
+                    seq: job.seq,
+                    benchmark: job.benchmark,
+                    at: clock,
+                    attempt: count,
+                    ready_at,
+                    abandoned: false,
+                });
+            }
+            retries.push(Reverse((ready_at, job.seq)));
+            retry_jobs.insert(job.seq, job);
         }
     }
 }
@@ -1410,5 +2164,168 @@ mod tests {
                     panic!("{discipline:?} audit failed:\n{}", problems.join("\n"))
                 });
         }
+    }
+
+    #[test]
+    fn empty_fault_plan_matches_reference_bit_for_bit() {
+        use crate::faults::{FaultPlan, FaultStats};
+        for discipline in [
+            QueueDiscipline::Fifo,
+            QueueDiscipline::Priority,
+            QueueDiscipline::PreemptivePriority,
+        ] {
+            let plan = ArrivalPlan::uniform_with_priorities(40, 3_000, 3, 3, 7);
+            let sim = Simulator::new(2).with_discipline(discipline);
+            let faulted = sim.run_with_faults(
+                &plan,
+                &mut SingleCore {
+                    duration: 100,
+                    completions_seen: Vec::new(),
+                },
+                &FaultPlan::empty(),
+                &mut NullSink,
+            );
+            let reference = sim.run_reference(
+                &plan,
+                &mut SingleCore {
+                    duration: 100,
+                    completions_seen: Vec::new(),
+                },
+            );
+            assert_eq!(faulted.metrics, reference, "{discipline:?}");
+            assert_eq!(
+                faulted.metrics.energy.idle_nj.to_bits(),
+                reference.energy.idle_nj.to_bits()
+            );
+            assert_eq!(
+                faulted.metrics.energy.dynamic_nj.to_bits(),
+                reference.energy.dynamic_nj.to_bits()
+            );
+            assert_eq!(faulted.faults, FaultStats::default());
+        }
+    }
+
+    #[test]
+    fn watchdog_kills_and_eventually_abandons_a_hung_job() {
+        use crate::faults::{FaultConfig, FaultPlan};
+        let config = FaultConfig {
+            hang_rate: 1.0,
+            ..FaultConfig::none()
+        };
+        let fault_plan = FaultPlan::build(&config, 1);
+        let mut policy = SingleCore {
+            duration: 100,
+            completions_seen: Vec::new(),
+        };
+        let run =
+            Simulator::new(1).run_with_faults(&plan(&[0]), &mut policy, &fault_plan, &mut NullSink);
+        // Every attempt hangs: 5 attempts, each killed by the watchdog at
+        // 4x the nominal 100 cycles, then 4 backoffs and a final abandon.
+        assert_eq!(run.faults.watchdog_kills, 5);
+        assert_eq!(run.faults.retries, 4);
+        assert_eq!(run.faults.jobs_failed, 1);
+        assert_eq!(run.faults.max_attempts_observed, 5);
+        assert_eq!(run.metrics.jobs_completed, 0);
+        assert!(policy.completions_seen.is_empty(), "on_complete never ran");
+        // Honest accounting: each stretched run is fully charged at 4x the
+        // nominal 5 nJ with no refund.
+        assert_eq!(run.metrics.energy.dynamic_nj, 5.0 * 4.0 * 5.0);
+        assert_eq!(run.metrics.busy_cycles[0], 400 * 5);
+    }
+
+    #[test]
+    fn crashes_retry_with_backoff_then_abandon() {
+        use crate::faults::{FaultConfig, FaultPlan};
+        let config = FaultConfig {
+            crash_rate: 1.0,
+            max_attempts: 3,
+            ..FaultConfig::none()
+        };
+        let fault_plan = FaultPlan::build(&config, 1);
+        let run = Simulator::new(1).run_with_faults(
+            &plan(&[0]),
+            &mut SingleCore {
+                duration: 100,
+                completions_seen: Vec::new(),
+            },
+            &fault_plan,
+            &mut NullSink,
+        );
+        assert_eq!(run.faults.crashes, 3);
+        assert_eq!(run.faults.retries, 2);
+        assert_eq!(run.faults.jobs_failed, 1);
+        assert_eq!(run.metrics.jobs_completed, 0);
+        // Each crash charged only its executed fraction: strictly less
+        // than three full 5 nJ executions, but more than zero.
+        assert!(run.metrics.energy.dynamic_nj > 0.0);
+        assert!(run.metrics.energy.dynamic_nj < 15.0);
+        assert!(run.metrics.busy_cycles[0] < 300);
+    }
+
+    #[test]
+    fn faulted_trace_passes_the_fault_audit() {
+        use crate::faults::FaultConfig;
+        use crate::trace::{LedgerAuditor, RecordingSink};
+        for (rate, seed) in [(0.05, 9u64), (0.3, 10), (0.8, 11)] {
+            let arrival_plan = ArrivalPlan::uniform_with_priorities(60, 50_000, 4, 3, seed);
+            let config = FaultConfig::chaos(rate, seed, 60_000);
+            let fault_plan = crate::faults::FaultPlan::build(&config, 2);
+            let sim = Simulator::new(2);
+            let mut sink = RecordingSink::new();
+            let run = sim.run_with_faults(
+                &arrival_plan,
+                &mut SingleCore {
+                    duration: 100,
+                    completions_seen: Vec::new(),
+                },
+                &fault_plan,
+                &mut sink,
+            );
+            // Conservation of jobs: every arrival completed or abandoned.
+            assert_eq!(
+                run.metrics.jobs_completed + run.faults.jobs_failed,
+                60,
+                "rate {rate}"
+            );
+            assert!(run.faults.max_attempts_observed <= config.max_attempts);
+            LedgerAuditor::new(2)
+                .check_faulted(sink.events(), &run)
+                .unwrap_or_else(|problems| {
+                    panic!("rate {rate} audit failed:\n{}", problems.join("\n"))
+                });
+        }
+    }
+
+    #[test]
+    fn outage_evicts_and_migration_completes_the_job() {
+        use crate::faults::{FaultConfig, FaultPlan};
+        // Saturate the outage rate: with a 200k horizon each core gets
+        // eight outage windows. SingleCore insists on core 0, so it rides
+        // through evictions (each one requeues without charging a retry)
+        // and still completes everything once the core returns.
+        let config = FaultConfig {
+            core_outage_rate: 0.9,
+            seed: 3,
+            horizon: 200_000,
+            ..FaultConfig::none()
+        };
+        let fault_plan = FaultPlan::build(&config, 1);
+        assert!(!fault_plan.transitions().is_empty());
+        let run = Simulator::new(1).run_with_faults(
+            &plan(&[0, 10, 20, 30]),
+            &mut SingleCore {
+                duration: 30_000,
+                completions_seen: Vec::new(),
+            },
+            &fault_plan,
+            &mut NullSink,
+        );
+        assert_eq!(run.metrics.jobs_completed, 4, "no job is ever lost");
+        assert_eq!(run.faults.jobs_failed, 0, "outages never charge retries");
+        assert!(
+            run.faults.outage_evictions > 0,
+            "30k-cycle executions must straddle an outage window"
+        );
+        assert!(run.faults.degraded_transitions >= 2);
     }
 }

@@ -29,6 +29,7 @@
 //! them: each event carries the exact operands (idle power, execution
 //! energy, refund numerator/denominator) of its accounting site.
 
+use crate::faults::{DegradedComponent, FallbackLevel, FaultKind, FaultStats, FaultedRun};
 use crate::job::Job;
 use crate::metrics::{ClassStats, RunMetrics};
 use crate::scheduler::{CoreId, CoreView, Decision, Scheduler};
@@ -156,6 +157,73 @@ pub enum TraceEvent {
         /// The job's priority class.
         priority: u8,
     },
+    /// An injected fault terminated an execution early (core outage or
+    /// crash) or a watchdog killed a hung run. Like an eviction, the
+    /// unexecuted remainder `total_cycles - executed_cycles` is refunded
+    /// (zero for a watchdog kill — the stretched run was fully charged).
+    Fault {
+        /// The victim job.
+        seq: u64,
+        /// Its benchmark.
+        benchmark: BenchmarkId,
+        /// The core it was running on.
+        core: CoreId,
+        /// Cycle the fault struck.
+        at: u64,
+        /// What went wrong.
+        kind: FaultKind,
+        /// Total cycles the placement charged.
+        total_cycles: u64,
+        /// Cycles actually executed before the fault
+        /// (`at - placement time`).
+        executed_cycles: u64,
+        /// Full dynamic energy the placement charged, in nJ.
+        dynamic_nj: f64,
+        /// Full busy-leakage energy the placement charged, in nJ.
+        static_nj: f64,
+    },
+    /// A crashed/killed job was scheduled for retry after backoff, or
+    /// abandoned once its failure count reached the cap.
+    Retry {
+        /// The failed job.
+        seq: u64,
+        /// Its benchmark.
+        benchmark: BenchmarkId,
+        /// Cycle the retry decision was made.
+        at: u64,
+        /// Failure count so far (1-based).
+        attempt: u32,
+        /// Cycle the job re-enters the ready queue (`at` + backoff);
+        /// equals `at` when abandoned.
+        ready_at: u64,
+        /// `true` when the job was abandoned (counts as failed, not
+        /// lost — conservation tracks it explicitly).
+        abandoned: bool,
+    },
+    /// A completion's best-size prediction was served by a fallback
+    /// stage (the predictor chain degraded for this job at this time).
+    Fallback {
+        /// The completed job whose prediction degraded.
+        seq: u64,
+        /// Its benchmark.
+        benchmark: BenchmarkId,
+        /// Completion cycle.
+        at: u64,
+        /// Which stage answered.
+        level: FallbackLevel,
+    },
+    /// A component changed availability (core outage/recovery, predictor
+    /// health transition). A core-down transition is always emitted
+    /// *after* the eviction [`Fault`](TraceEvent::Fault) of any
+    /// in-flight job, so the core is provably vacant when it drops.
+    Degraded {
+        /// Transition cycle.
+        at: u64,
+        /// The component changing state.
+        component: DegradedComponent,
+        /// `true` on recovery, `false` on degradation.
+        online: bool,
+    },
 }
 
 impl TraceEvent {
@@ -168,7 +236,11 @@ impl TraceEvent {
             | TraceEvent::Stall { at, .. }
             | TraceEvent::PreemptionProbe { at, .. }
             | TraceEvent::Eviction { at, .. }
-            | TraceEvent::Completion { at, .. } => at,
+            | TraceEvent::Completion { at, .. }
+            | TraceEvent::Fault { at, .. }
+            | TraceEvent::Retry { at, .. }
+            | TraceEvent::Fallback { at, .. }
+            | TraceEvent::Degraded { at, .. } => at,
             TraceEvent::IdleSpan { to, .. } => to,
         }
     }
@@ -184,6 +256,10 @@ impl TraceEvent {
             TraceEvent::PreemptionProbe { .. } => "preemption_probe",
             TraceEvent::Eviction { .. } => "eviction",
             TraceEvent::Completion { .. } => "completion",
+            TraceEvent::Fault { .. } => "fault",
+            TraceEvent::Retry { .. } => "retry",
+            TraceEvent::Fallback { .. } => "fallback",
+            TraceEvent::Degraded { .. } => "degraded",
         }
     }
 }
@@ -441,6 +517,26 @@ impl LedgerAuditor {
     /// double bookings, completions that don't match their placement,
     /// refunds that disagree with the occupancy, unfinished jobs, …).
     pub fn replay(&self, events: &[TraceEvent]) -> Result<RunMetrics, Vec<String>> {
+        self.replay_with_faults(events).map(|run| run.metrics)
+    }
+
+    /// Replay `events` like [`replay`](Self::replay), additionally
+    /// re-deriving the [`FaultStats`] counters of a faulted run. Fault
+    /// events are validated against the same occupancy model as
+    /// evictions (exact executed/total split, refund replay), core
+    /// outages must strictly alternate and only drop vacant cores, and
+    /// abandoned jobs are tracked so conservation holds: every arrival
+    /// either completes or is explicitly abandoned — never lost.
+    ///
+    /// An empty event stream (or a zero-job run) is *valid* and replays
+    /// to an all-zero ledger; malformed streams — including forged
+    /// timestamps whose `at + cycles` would overflow — produce typed
+    /// violation strings, never a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns every structural violation found.
+    pub fn replay_with_faults(&self, events: &[TraceEvent]) -> Result<FaultedRun, Vec<String>> {
         let mut violations: Vec<String> = Vec::new();
         let mut energy = EnergyBreakdown::new();
         let mut busy_cycles = vec![0u64; self.num_cores];
@@ -459,6 +555,13 @@ impl LedgerAuditor {
         let mut stalled: HashSet<u64> = HashSet::new();
         let mut watermark = 0u64;
 
+        // Fault-regime state.
+        let mut faults = FaultStats::default();
+        let mut offline = vec![false; self.num_cores];
+        let mut failed: HashSet<u64> = HashSet::new();
+        let mut retry_not_before: HashMap<u64, u64> = HashMap::new();
+        let mut predictor = crate::faults::PredictorHealth::Healthy;
+
         for (index, event) in events.iter().enumerate() {
             let at = event.at();
             if at < watermark {
@@ -473,8 +576,17 @@ impl LedgerAuditor {
                 | TraceEvent::Placement { core, .. }
                 | TraceEvent::PreemptionProbe { core, .. }
                 | TraceEvent::Eviction { core, .. }
-                | TraceEvent::Completion { core, .. } => Some(core),
-                TraceEvent::Arrival { .. } | TraceEvent::Stall { .. } => None,
+                | TraceEvent::Completion { core, .. }
+                | TraceEvent::Fault { core, .. } => Some(core),
+                TraceEvent::Degraded {
+                    component: DegradedComponent::Core(core),
+                    ..
+                } => Some(core),
+                TraceEvent::Arrival { .. }
+                | TraceEvent::Stall { .. }
+                | TraceEvent::Retry { .. }
+                | TraceEvent::Fallback { .. }
+                | TraceEvent::Degraded { .. } => None,
             } {
                 if core.0 >= self.num_cores {
                     violations.push(format!(
@@ -506,6 +618,11 @@ impl LedgerAuditor {
                     if cores[core.0].is_some() {
                         violations.push(format!(
                             "idle span [{from}, {to}) on busy {core} (event {index})"
+                        ));
+                    }
+                    if offline[core.0] {
+                        violations.push(format!(
+                            "idle span [{from}, {to}) on offline {core} (event {index})"
                         ));
                     }
                     // Same operation, same order as the simulator.
@@ -544,14 +661,35 @@ impl LedgerAuditor {
                             "job#{seq} placed while already running elsewhere (event {index})"
                         ));
                     }
-                    cores[core.0] = Some(Occupied {
-                        seq,
-                        until: at + cycles,
-                        placed_at: at,
-                    });
+                    if offline[core.0] {
+                        violations.push(format!(
+                            "job#{seq} placed on offline {core} (event {index})"
+                        ));
+                    }
+                    if let Some(&ready_at) = retry_not_before.get(&seq) {
+                        if at < ready_at {
+                            violations.push(format!(
+                                "job#{seq} placed at cycle {at} before its retry backoff \
+                                 expires at {ready_at} (event {index})"
+                            ));
+                        }
+                        retry_not_before.remove(&seq);
+                    }
+                    match at.checked_add(cycles) {
+                        Some(until) => {
+                            cores[core.0] = Some(Occupied {
+                                seq,
+                                until,
+                                placed_at: at,
+                            });
+                        }
+                        None => violations.push(format!(
+                            "job#{seq} placement end {at} + {cycles} overflows (event {index})"
+                        )),
+                    }
                     energy.dynamic_nj += dynamic_nj;
                     energy.static_nj += static_nj;
-                    busy_cycles[core.0] += cycles;
+                    busy_cycles[core.0] = busy_cycles[core.0].saturating_add(cycles);
                     stalled.remove(&seq);
                 }
                 TraceEvent::Stall { seq, .. } => {
@@ -648,6 +786,11 @@ impl LedgerAuditor {
                             "job#{seq} completed without arriving (event {index})"
                         )),
                     }
+                    if failed.contains(&seq) {
+                        violations.push(format!(
+                            "job#{seq} completed after being abandoned (event {index})"
+                        ));
+                    }
                     if !completed.insert(seq) {
                         violations.push(format!("job#{seq} completed twice (event {index})"));
                     }
@@ -664,6 +807,156 @@ impl LedgerAuditor {
                     class.turnaround_cycles += at.saturating_sub(arrival);
                     last_completion = last_completion.max(at);
                 }
+                TraceEvent::Fault {
+                    seq,
+                    core,
+                    at,
+                    kind,
+                    total_cycles,
+                    executed_cycles,
+                    dynamic_nj,
+                    static_nj,
+                    ..
+                } => {
+                    match cores[core.0].take() {
+                        Some(occupied) if occupied.seq == seq => {
+                            if occupied.placed_at.checked_add(executed_cycles) != Some(at) {
+                                violations.push(format!(
+                                    "{} fault on job#{seq} claims {executed_cycles} executed \
+                                     cycles, placement at {} says {} (event {index})",
+                                    kind.name(),
+                                    occupied.placed_at,
+                                    at.saturating_sub(occupied.placed_at)
+                                ));
+                            }
+                            if occupied.until - occupied.placed_at != total_cycles {
+                                violations.push(format!(
+                                    "{} fault on job#{seq} claims {total_cycles} total cycles, \
+                                     placement charged {} (event {index})",
+                                    kind.name(),
+                                    occupied.until - occupied.placed_at
+                                ));
+                            }
+                        }
+                        _ => violations.push(format!(
+                            "{} fault on job#{seq} not running on {core} (event {index})",
+                            kind.name()
+                        )),
+                    }
+                    if kind == FaultKind::Watchdog && executed_cycles != total_cycles {
+                        violations.push(format!(
+                            "watchdog kill of job#{seq} at {executed_cycles}/{total_cycles} \
+                             cycles — watchdog charges the full stretched run (event {index})"
+                        ));
+                    }
+                    if executed_cycles > total_cycles || total_cycles == 0 {
+                        violations.push(format!(
+                            "fault refund fraction ({total_cycles} - {executed_cycles})/\
+                             {total_cycles} out of range (event {index})"
+                        ));
+                    } else {
+                        // The simulator's exact refund arithmetic (the
+                        // watchdog case refunds an exact 0.0).
+                        let remaining_cycles = total_cycles - executed_cycles;
+                        let refund = remaining_cycles as f64 / total_cycles as f64;
+                        energy.dynamic_nj -= dynamic_nj * refund;
+                        energy.static_nj -= static_nj * refund;
+                        busy_cycles[core.0] = busy_cycles[core.0].saturating_sub(remaining_cycles);
+                    }
+                    match kind {
+                        FaultKind::CoreOutage => faults.outage_evictions += 1,
+                        FaultKind::Crash => faults.crashes += 1,
+                        FaultKind::Watchdog => faults.watchdog_kills += 1,
+                    }
+                }
+                TraceEvent::Retry {
+                    seq,
+                    at,
+                    attempt,
+                    ready_at,
+                    abandoned,
+                    ..
+                } => {
+                    if !arrived.contains_key(&seq) {
+                        violations.push(format!(
+                            "job#{seq} retried without arriving (event {index})"
+                        ));
+                    }
+                    if completed.contains(&seq) {
+                        violations.push(format!(
+                            "job#{seq} retried after completing (event {index})"
+                        ));
+                    }
+                    if cores.iter().flatten().any(|o| o.seq == seq) {
+                        violations.push(format!(
+                            "job#{seq} retried while still occupying a core (event {index})"
+                        ));
+                    }
+                    if ready_at < at {
+                        violations.push(format!(
+                            "job#{seq} retry ready at cycle {ready_at} before the decision \
+                             at {at} (event {index})"
+                        ));
+                    }
+                    faults.max_attempts_observed = faults.max_attempts_observed.max(attempt);
+                    if abandoned {
+                        if !failed.insert(seq) {
+                            violations.push(format!("job#{seq} abandoned twice (event {index})"));
+                        }
+                        faults.jobs_failed += 1;
+                    } else {
+                        retry_not_before.insert(seq, ready_at);
+                        faults.retries += 1;
+                    }
+                }
+                TraceEvent::Fallback { seq, .. } => {
+                    if !arrived.contains_key(&seq) {
+                        violations.push(format!(
+                            "fallback recorded for job#{seq} which never arrived (event {index})"
+                        ));
+                    }
+                    faults.fallbacks += 1;
+                }
+                TraceEvent::Degraded {
+                    component, online, ..
+                } => {
+                    match component {
+                        DegradedComponent::Core(core) => {
+                            if online != offline[core.0] {
+                                violations.push(format!(
+                                    "redundant availability transition: {core} already \
+                                     {} (event {index})",
+                                    if online { "online" } else { "offline" }
+                                ));
+                            }
+                            if !online && cores[core.0].is_some() {
+                                violations.push(format!(
+                                    "{core} went offline while occupied — the eviction \
+                                     fault must precede the transition (event {index})"
+                                ));
+                            }
+                            offline[core.0] = !online;
+                        }
+                        DegradedComponent::Predictor(health) => {
+                            use crate::faults::PredictorHealth as Ph;
+                            let valid = if online {
+                                health == Ph::Healthy && predictor != Ph::Healthy
+                            } else {
+                                health != Ph::Healthy && predictor == Ph::Healthy
+                            };
+                            if !valid {
+                                violations.push(format!(
+                                    "invalid predictor transition {} -> {} (online: {online}) \
+                                     (event {index})",
+                                    predictor.name(),
+                                    health.name()
+                                ));
+                            }
+                            predictor = health;
+                        }
+                    }
+                    faults.degraded_transitions += 1;
+                }
             }
         }
 
@@ -676,29 +969,35 @@ impl LedgerAuditor {
                 ));
             }
         }
+        // Conservation of jobs: every arrival either completed or was
+        // explicitly abandoned after bounded retries — never lost.
         let unfinished = arrived
             .keys()
-            .filter(|seq| !completed.contains(seq))
+            .filter(|seq| !completed.contains(seq) && !failed.contains(seq))
             .count();
         if unfinished > 0 {
             violations.push(format!(
-                "{unfinished} arrived job(s) never completed (conservation of jobs)"
+                "{unfinished} arrived job(s) neither completed nor abandoned \
+                 (conservation of jobs)"
             ));
         }
 
         if !violations.is_empty() {
             return Err(violations);
         }
-        Ok(RunMetrics {
-            energy,
-            total_cycles: last_completion,
-            jobs_completed,
-            stalls: stall_episodes,
-            stall_offers,
-            busy_cycles,
-            turnaround_cycles: turnaround,
-            by_priority,
-            preemptions,
+        Ok(FaultedRun {
+            metrics: RunMetrics {
+                energy,
+                total_cycles: last_completion,
+                jobs_completed,
+                stalls: stall_episodes,
+                stall_offers,
+                busy_cycles,
+                turnaround_cycles: turnaround,
+                by_priority,
+                preemptions,
+            },
+            faults,
         })
     }
 
@@ -713,6 +1012,35 @@ impl LedgerAuditor {
     pub fn check(&self, events: &[TraceEvent], metrics: &RunMetrics) -> Result<(), Vec<String>> {
         let derived = self.replay(events)?;
         let divergences = ledger_divergences(&derived, metrics);
+        if divergences.is_empty() {
+            Ok(())
+        } else {
+            Err(divergences)
+        }
+    }
+
+    /// Replay a *faulted* run's events and compare both the ledger and
+    /// the fault counters against what the simulator reported: energies
+    /// to the bit, every counter exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns structural violations from
+    /// [`replay_with_faults`](Self::replay_with_faults), or the list of
+    /// ledger / fault-counter divergences.
+    pub fn check_faulted(
+        &self,
+        events: &[TraceEvent],
+        run: &FaultedRun,
+    ) -> Result<(), Vec<String>> {
+        let derived = self.replay_with_faults(events)?;
+        let mut divergences = ledger_divergences(&derived.metrics, &run.metrics);
+        if derived.faults != run.faults {
+            divergences.push(format!(
+                "fault counters: derived {:?} != reported {:?}",
+                derived.faults, run.faults
+            ));
+        }
         if divergences.is_empty() {
             Ok(())
         } else {
@@ -873,7 +1201,206 @@ mod tests {
         }];
         let violations = LedgerAuditor::new(1).replay(&events).unwrap_err();
         assert!(
-            violations.iter().any(|v| v.contains("never completed")),
+            violations
+                .iter()
+                .any(|v| v.contains("neither completed nor abandoned")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn empty_trace_replays_to_a_zero_ledger() {
+        let run = LedgerAuditor::new(4).replay_with_faults(&[]).unwrap();
+        assert_eq!(run.metrics.jobs_completed, 0);
+        assert_eq!(run.metrics.total_cycles, 0);
+        assert_eq!(run.metrics.energy.idle_nj, 0.0);
+        assert_eq!(run.faults, crate::faults::FaultStats::default());
+        // A zero-core system with no events is likewise fine.
+        assert!(LedgerAuditor::new(0).replay(&[]).is_ok());
+    }
+
+    #[test]
+    fn forged_overflow_placement_is_a_violation_not_a_panic() {
+        let events = vec![
+            TraceEvent::Arrival {
+                seq: 0,
+                benchmark: BenchmarkId(0),
+                at: u64::MAX - 5,
+                priority: 0,
+            },
+            TraceEvent::Placement {
+                seq: 0,
+                benchmark: BenchmarkId(0),
+                core: CoreId(0),
+                at: u64::MAX - 5,
+                cycles: 100, // at + cycles overflows u64
+                dynamic_nj: 1.0,
+                static_nj: 0.0,
+                kind: PlacementKind::Pass,
+            },
+        ];
+        let violations = LedgerAuditor::new(1).replay(&events).unwrap_err();
+        assert!(
+            violations.iter().any(|v| v.contains("overflows")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn abandoned_jobs_satisfy_conservation() {
+        use crate::faults::FaultKind;
+        let events = vec![
+            TraceEvent::Arrival {
+                seq: 0,
+                benchmark: BenchmarkId(0),
+                at: 0,
+                priority: 0,
+            },
+            TraceEvent::Placement {
+                seq: 0,
+                benchmark: BenchmarkId(0),
+                core: CoreId(0),
+                at: 0,
+                cycles: 100,
+                dynamic_nj: 2.0,
+                static_nj: 1.0,
+                kind: PlacementKind::Pass,
+            },
+            TraceEvent::Fault {
+                seq: 0,
+                benchmark: BenchmarkId(0),
+                core: CoreId(0),
+                at: 40,
+                kind: FaultKind::Crash,
+                total_cycles: 100,
+                executed_cycles: 40,
+                dynamic_nj: 2.0,
+                static_nj: 1.0,
+            },
+            TraceEvent::Retry {
+                seq: 0,
+                benchmark: BenchmarkId(0),
+                at: 40,
+                attempt: 1,
+                ready_at: 40,
+                abandoned: true,
+            },
+        ];
+        let run = LedgerAuditor::new(1).replay_with_faults(&events).unwrap();
+        assert_eq!(run.metrics.jobs_completed, 0);
+        assert_eq!(run.faults.crashes, 1);
+        assert_eq!(run.faults.jobs_failed, 1);
+        // The refund left only the executed fraction charged.
+        assert!((run.metrics.energy.dynamic_nj - 2.0 * 0.4).abs() < 1e-12);
+        assert_eq!(run.metrics.busy_cycles, vec![40]);
+
+        // Without the Retry{abandoned} record the job counts as lost.
+        let violations = LedgerAuditor::new(1)
+            .replay_with_faults(&events[..3])
+            .unwrap_err();
+        assert!(
+            violations.iter().any(|v| v.contains("conservation")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn offline_cores_reject_placements_and_idle_spans() {
+        use crate::faults::DegradedComponent;
+        let down = TraceEvent::Degraded {
+            at: 0,
+            component: DegradedComponent::Core(CoreId(0)),
+            online: false,
+        };
+        let arrival = TraceEvent::Arrival {
+            seq: 0,
+            benchmark: BenchmarkId(0),
+            at: 0,
+            priority: 0,
+        };
+        let place = TraceEvent::Placement {
+            seq: 0,
+            benchmark: BenchmarkId(0),
+            core: CoreId(0),
+            at: 0,
+            cycles: 10,
+            dynamic_nj: 1.0,
+            static_nj: 0.0,
+            kind: PlacementKind::Pass,
+        };
+        let violations = LedgerAuditor::new(1)
+            .replay_with_faults(&[down, arrival, place])
+            .unwrap_err();
+        assert!(
+            violations.iter().any(|v| v.contains("offline")),
+            "{violations:?}"
+        );
+
+        let idle = TraceEvent::IdleSpan {
+            core: CoreId(0),
+            from: 0,
+            to: 5,
+            idle_power_nj_per_cycle: 1.0,
+        };
+        let violations = LedgerAuditor::new(1)
+            .replay_with_faults(&[down, idle])
+            .unwrap_err();
+        assert!(
+            violations.iter().any(|v| v.contains("offline")),
+            "{violations:?}"
+        );
+
+        // Redundant transitions are rejected too.
+        let violations = LedgerAuditor::new(1)
+            .replay_with_faults(&[down, down])
+            .unwrap_err();
+        assert!(
+            violations.iter().any(|v| v.contains("redundant")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn retry_backoff_violations_are_detected() {
+        let events = vec![
+            TraceEvent::Arrival {
+                seq: 0,
+                benchmark: BenchmarkId(0),
+                at: 0,
+                priority: 0,
+            },
+            TraceEvent::Retry {
+                seq: 0,
+                benchmark: BenchmarkId(0),
+                at: 10,
+                attempt: 1,
+                ready_at: 100,
+                abandoned: false,
+            },
+            TraceEvent::Placement {
+                seq: 0,
+                benchmark: BenchmarkId(0),
+                core: CoreId(0),
+                at: 50, // before the backoff expires
+                cycles: 10,
+                dynamic_nj: 1.0,
+                static_nj: 0.0,
+                kind: PlacementKind::Pass,
+            },
+            TraceEvent::Completion {
+                seq: 0,
+                benchmark: BenchmarkId(0),
+                core: CoreId(0),
+                at: 60,
+                arrival: 0,
+                priority: 0,
+            },
+        ];
+        let violations = LedgerAuditor::new(1)
+            .replay_with_faults(&events)
+            .unwrap_err();
+        assert!(
+            violations.iter().any(|v| v.contains("backoff")),
             "{violations:?}"
         );
     }

@@ -2,8 +2,8 @@
 
 use energy_model::EnergyBreakdown;
 use multicore_sim::{
-    CoreId, CoreView, Decision, Job, JobExecution, LedgerAuditor, QueueDiscipline, RecordingSink,
-    Scheduler, Simulator,
+    CoreId, CoreView, Decision, FaultConfig, FaultPlan, FaultStats, Job, JobExecution,
+    LedgerAuditor, NullSink, QueueDiscipline, RecordingSink, Scheduler, Simulator,
 };
 use proptest::prelude::*;
 use workloads::{Arrival, ArrivalPlan, BenchmarkId};
@@ -207,5 +207,92 @@ proptest! {
             traced.energy.static_nj.to_bits(),
             reference.energy.static_nj.to_bits()
         );
+    }
+
+    /// With fault rate 0 the fault-injecting loop is the identity: metrics
+    /// bit-identical to the verbatim reference loop, zero fault counters,
+    /// under every discipline.
+    #[test]
+    fn zero_fault_rate_is_bit_identical_to_reference(
+        plan in arbitrary_plan(120),
+        cores in 1usize..6,
+        discipline_index in 0usize..3,
+    ) {
+        let discipline = [
+            QueueDiscipline::Fifo,
+            QueueDiscipline::Priority,
+            QueueDiscipline::PreemptivePriority,
+        ][discipline_index];
+        let sim = Simulator::new(cores).with_discipline(discipline);
+        let faulted = sim.run_with_faults(
+            &plan,
+            &mut FirstIdle,
+            &FaultPlan::empty(),
+            &mut NullSink,
+        );
+        let reference = sim.run_reference(&plan, &mut FirstIdle);
+        prop_assert_eq!(&faulted.metrics, &reference);
+        prop_assert_eq!(
+            faulted.metrics.energy.idle_nj.to_bits(),
+            reference.energy.idle_nj.to_bits()
+        );
+        prop_assert_eq!(
+            faulted.metrics.energy.dynamic_nj.to_bits(),
+            reference.energy.dynamic_nj.to_bits()
+        );
+        prop_assert_eq!(
+            faulted.metrics.energy.static_nj.to_bits(),
+            reference.energy.static_nj.to_bits()
+        );
+        prop_assert_eq!(faulted.faults, FaultStats::default());
+
+        // A fault *plan* built from an all-zero-rate config is likewise
+        // empty, so the builder itself cannot perturb a clean run.
+        let built = FaultPlan::build(&FaultConfig::none(), cores);
+        prop_assert!(built.is_empty());
+    }
+
+    /// Under arbitrary fault regimes: no job is ever lost (every arrival
+    /// completes or is explicitly abandoned), retries stay bounded, and
+    /// the recorded trace replays to the exact ledger and fault counters.
+    #[test]
+    fn faulted_runs_conserve_jobs_and_audit_clean(
+        plan in arbitrary_plan(80),
+        cores in 1usize..5,
+        rate_permille in 0u32..900,
+        seed in 0u64..1_000,
+    ) {
+        let config = FaultConfig::chaos(f64::from(rate_permille) / 1000.0, seed, 120_000);
+        let fault_plan = FaultPlan::build(&config, cores);
+        let mut sink = RecordingSink::new();
+        let run = Simulator::new(cores).run_with_faults(
+            &plan,
+            &mut FirstIdle,
+            &fault_plan,
+            &mut sink,
+        );
+        prop_assert_eq!(
+            run.metrics.jobs_completed + run.faults.jobs_failed,
+            plan.len() as u64,
+            "conservation of jobs"
+        );
+        prop_assert!(run.faults.max_attempts_observed <= config.max_attempts);
+        let outcome = LedgerAuditor::new(cores).check_faulted(sink.events(), &run);
+        prop_assert!(outcome.is_ok(), "fault audit failed: {:?}", outcome.err());
+    }
+
+    /// The fault schedule itself is a pure function of (config, cores):
+    /// rebuilding it yields an identical plan, so chaos runs are exactly
+    /// repeatable.
+    #[test]
+    fn fault_plans_are_reproducible(
+        rate_permille in 0u32..1_000,
+        seed in 0u64..1_000,
+        cores in 1usize..6,
+    ) {
+        let config = FaultConfig::chaos(f64::from(rate_permille) / 1000.0, seed, 90_000);
+        let first = FaultPlan::build(&config, cores);
+        let second = FaultPlan::build(&config, cores);
+        prop_assert_eq!(first, second);
     }
 }

@@ -44,6 +44,9 @@ cargo build --release --offline -p hetero-bench
 echo "==> audit --smoke (flight-recorder ledger + stall-purity audit)"
 ./target/release/audit --smoke
 
+echo "==> chaos --smoke (fault-injection degradation sweep)"
+./target/release/chaos --smoke
+
 if $run_perf; then
     echo "==> perf_pipeline gate (release)"
     ./target/release/perf_pipeline
