@@ -28,6 +28,7 @@ use energy_model::EnergyModel;
 use hetero_bench::trace_json::trace_document;
 use hetero_bench::Testbed;
 use hetero_core::{BaseSystem, EnergyCentricSystem, OptimalSystem, ProposedSystem};
+use hetero_telemetry::Histogram;
 use multicore_sim::{
     LedgerAuditor, QueueDiscipline, RecordingSink, RunMetrics, Scheduler, Simulator,
     StallPurityChecked, TraceEvent,
@@ -247,8 +248,11 @@ fn main() -> ExitCode {
 
     let mut failures = 0u32;
     let mut runs = 0u32;
-    let mut total_events = 0usize;
-    let mut total_stall_checks = 0u64;
+    // Per-run distributions instead of bare running sums: the exact sum
+    // comes back out of the histogram, and the summary line gains the
+    // spread across system x discipline x seed.
+    let mut events_per_run = Histogram::new();
+    let mut stall_checks_per_run = Histogram::new();
     let mut mutations_applied = 0usize;
 
     for &seed in seeds {
@@ -263,8 +267,8 @@ fn main() -> ExitCode {
             for (system_index, system_name) in SYSTEMS.iter().enumerate() {
                 let run = run_system(&testbed, system_index, discipline, &plan);
                 runs += 1;
-                total_events += run.events.len();
-                total_stall_checks += run.stall_checks;
+                events_per_run.record(run.events.len() as u64);
+                stall_checks_per_run.record(run.stall_checks);
 
                 let mut problems: Vec<String> = Vec::new();
                 if run.metrics.jobs_completed != jobs as u64 {
@@ -316,8 +320,13 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "{runs} runs audited: {total_events} events replayed, \
-         {total_stall_checks} stall-purity checks, {mutations_applied} mutations injected"
+        "{runs} runs audited: {} events replayed (per run p50 {} / p95 {} / max {}), \
+         {} stall-purity checks, {mutations_applied} mutations injected",
+        events_per_run.sum(),
+        events_per_run.p50(),
+        events_per_run.p95(),
+        events_per_run.max(),
+        stall_checks_per_run.sum(),
     );
     if mutations_applied == 0 {
         eprintln!("self-test never ran: no mutation was applicable");

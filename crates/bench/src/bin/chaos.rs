@@ -36,6 +36,7 @@ use hetero_bench::Testbed;
 use hetero_core::{
     BaseSystem, EnergyCentricSystem, FallbackChain, OptimalSystem, ProposedSystem, SystemStats,
 };
+use hetero_telemetry::Histogram;
 use multicore_sim::{
     FaultConfig, FaultPlan, FaultStats, FaultedRun, LedgerAuditor, QueueDiscipline, RecordingSink,
     Scheduler, Simulator, StallPurityChecked, TraceEvent,
@@ -198,6 +199,19 @@ fn run_system(
     (chaos, problems)
 }
 
+/// Fold the completed jobs' turnaround times out of the recorded trace
+/// into a log-linear histogram, so the degradation table carries tail
+/// percentiles and not just the makespan.
+fn latency_histogram(events: &[TraceEvent]) -> Histogram {
+    let mut histogram = Histogram::new();
+    for event in events {
+        if let TraceEvent::Completion { at, arrival, .. } = event {
+            histogram.record(at - arrival);
+        }
+    }
+    histogram
+}
+
 #[allow(clippy::too_many_arguments)]
 fn report_row(
     rate: f64,
@@ -206,6 +220,7 @@ fn report_row(
     system: &str,
     jobs: usize,
     chaos: &ChaosRun,
+    latency: &Histogram,
 ) -> Json {
     let faults = chaos.run.faults;
     let metrics = &chaos.run.metrics;
@@ -232,6 +247,10 @@ fn report_row(
         ),
         ("total_energy_nj", Json::Num(metrics.energy.total())),
         ("makespan_cycles", Json::UInt(metrics.total_cycles)),
+        ("latency_p50_cycles", Json::UInt(latency.p50())),
+        ("latency_p95_cycles", Json::UInt(latency.p95())),
+        ("latency_p99_cycles", Json::UInt(latency.p99())),
+        ("latency_max_cycles", Json::UInt(latency.max())),
         ("events", Json::UInt(chaos.events.len() as u64)),
     ];
     if let Some(stats) = chaos.stats {
@@ -325,16 +344,19 @@ fn main() -> ExitCode {
                     }
                     problems.extend(chaos.purity_violations.iter().cloned());
 
+                    let latency = latency_histogram(&chaos.events);
                     let verdict = if problems.is_empty() { "ok" } else { "FAIL" };
                     let faults_seen = chaos.run.faults;
                     println!(
                         "  rate {rate:<4} seed {seed:>3} {discipline_name:<20} {system_name:<14} \
-                         {:>4} ok {:>3} abandoned  {:>3} crash {:>3} hang {:>3} outage  {verdict}",
+                         {:>4} ok {:>3} abandoned  {:>3} crash {:>3} hang {:>3} outage  \
+                         lat p95 {:>8}  {verdict}",
                         chaos.run.metrics.jobs_completed,
                         faults_seen.jobs_failed,
                         faults_seen.crashes,
                         faults_seen.watchdog_kills,
                         faults_seen.outage_evictions,
+                        latency.p95(),
                     );
                     if !problems.is_empty() {
                         failures += 1;
@@ -349,6 +371,7 @@ fn main() -> ExitCode {
                         system_name,
                         jobs,
                         &chaos,
+                        &latency,
                     ));
                 }
             }

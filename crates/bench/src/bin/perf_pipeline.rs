@@ -17,14 +17,17 @@
 //!   once per benchmark) vs re-running the reference ensemble on every
 //!   completing job.
 //!
-//! Each must be at least 2x faster than its reference. Two further gated
-//! stages guard instrumentation layers instead of optimisations, each
-//! with a fixed 0.98x ratio bar regardless of the CLI threshold:
+//! Each must be at least 2x faster than its reference. Three further
+//! gated stages guard instrumentation layers instead of optimisations,
+//! each with a fixed ratio bar regardless of the CLI threshold:
 //! `sim_trace_overhead` (the `NullSink` build of the traced simulator
 //! loop vs the verbatim untraced reference loop,
 //! `Simulator::run_reference`) and `sim_fault_overhead` (the
 //! fault-injection loop with an empty `FaultPlan` vs the same
-//! reference) — both must stay within 2%. Speedups compare the minimum over
+//! reference) — both must stay within 2% — and `sim_metrics_overhead`
+//! (the traced loop feeding a live `hetero_telemetry::MetricsSink`,
+//! which folds every event into time-series windows and histograms,
+//! gated at 0.55x of the untraced loop). Speedups compare the minimum over
 //! the measured iterations on each side, which filters the additive
 //! scheduling noise of shared hosts. The binary exits non-zero when the
 //! guard fails, so it can serve as a CI perf gate.
@@ -45,6 +48,7 @@ use hetero_bench::json::Json;
 use hetero_bench::perf::{bench_paired, Sample};
 use hetero_bench::Testbed;
 use hetero_core::{BestCorePredictor, PredictorConfig, SuiteOracle};
+use hetero_telemetry::MetricsSink;
 use multicore_sim::{
     CoreId, CoreView, Decision, FaultPlan, Job, JobExecution, NullSink, QueueDiscipline, Scheduler,
     Simulator,
@@ -59,12 +63,13 @@ use workloads::{ArrivalPlan, SplitMix64, Suite};
 const DEFAULT_MIN_SPEEDUP: f64 = 2.0;
 
 /// Stages whose speedup the gate checks (each must clear its threshold).
-const GATED_STAGES: [&str; 5] = [
+const GATED_STAGES: [&str; 6] = [
     "oracle_build_paper",
     "bagging_train",
     "ensemble_predict",
     "sim_trace_overhead",
     "sim_fault_overhead",
+    "sim_metrics_overhead",
 ];
 
 /// `sim_trace_overhead` and `sim_fault_overhead` are no-regression bars,
@@ -74,12 +79,23 @@ const GATED_STAGES: [&str; 5] = [
 /// move them.
 const TRACE_OVERHEAD_MIN_RATIO: f64 = 0.98;
 
+/// `sim_metrics_overhead` is a cost budget for *live* metrics folding:
+/// unlike the `NullSink` stages, every event is constructed and does
+/// real work (window accounting, ready-depth tracking, histogram
+/// records), so parity is impossible by construction. The instrumented
+/// loop must still run at >= 0.55x the untraced reference — measured
+/// ~0.60-0.65x on the arrival-dense preemptive workload, which is the
+/// sink's worst case (near-zero simulation work per event; real
+/// scheduling policies dilute the per-event cost further). Fixed — the
+/// CLI threshold does not move it.
+const METRICS_OVERHEAD_MIN_RATIO: f64 = 0.55;
+
 /// The gate bar for one stage at the given CLI threshold.
 fn stage_threshold(name: &str, min_speedup: f64) -> f64 {
-    if name == "sim_trace_overhead" || name == "sim_fault_overhead" {
-        TRACE_OVERHEAD_MIN_RATIO
-    } else {
-        min_speedup
+    match name {
+        "sim_trace_overhead" | "sim_fault_overhead" => TRACE_OVERHEAD_MIN_RATIO,
+        "sim_metrics_overhead" => METRICS_OVERHEAD_MIN_RATIO,
+        _ => min_speedup,
     }
 }
 
@@ -123,6 +139,10 @@ impl Stage {
             ("fused_ms", Json::Num(self.fused.mean_ms())),
             ("reference_min_ms", Json::Num(self.reference.min_ns / 1e6)),
             ("fused_min_ms", Json::Num(self.fused.min_ns / 1e6)),
+            ("reference_p50_ms", Json::Num(self.reference.p50_ns / 1e6)),
+            ("fused_p50_ms", Json::Num(self.fused.p50_ns / 1e6)),
+            ("reference_p95_ms", Json::Num(self.reference.p95_ns / 1e6)),
+            ("fused_p95_ms", Json::Num(self.fused.p95_ns / 1e6)),
             (
                 "reference_iters",
                 Json::UInt(u64::from(self.reference.iters)),
@@ -381,6 +401,35 @@ fn measure_fault_overhead(iters: u32) -> Stage {
     }
 }
 
+/// The live-metrics cost-budget stage: the traced loop feeding a
+/// [`MetricsSink`] (per-core time-series windows, three run-wide
+/// histograms, run totals — all folded event by event) against the
+/// verbatim untraced reference loop. The sink never changes `RunMetrics`
+/// (property-tested bit-identical in
+/// `crates/bench/tests/telemetry_properties.rs`); this stage pins what
+/// the folding *costs* on the instrumentation-worst-case workload.
+fn measure_metrics_overhead(iters: u32) -> Stage {
+    let plan = ArrivalPlan::uniform_with_priorities(30_000, 1_500_000, 12, 3, 7);
+    let sim = Simulator::new(4).with_discipline(QueueDiscipline::PreemptivePriority);
+    let mut sink = MetricsSink::new(4, 100_000);
+    let (reference, fused) = bench_paired(
+        "sim_untraced_reference",
+        || sim.run_reference(&plan, &mut FirstIdle).jobs_completed,
+        "sim_metrics_sink",
+        || {
+            sink.reset();
+            sim.run_with_sink(&plan, &mut FirstIdle, &mut sink)
+                .jobs_completed
+        },
+        iters,
+    );
+    Stage {
+        name: "sim_metrics_overhead",
+        reference,
+        fused,
+    }
+}
+
 /// (Re-)measure one stage by name, at the given iteration count.
 fn measure_stage(name: &str, iters: u32) -> Stage {
     match name {
@@ -394,6 +443,7 @@ fn measure_stage(name: &str, iters: u32) -> Stage {
         "ensemble_predict" => measure_ensemble_predict(iters),
         "sim_trace_overhead" => measure_trace_overhead(iters),
         "sim_fault_overhead" => measure_fault_overhead(iters),
+        "sim_metrics_overhead" => measure_metrics_overhead(iters),
         other => panic!("unknown stage {other}"),
     }
 }
@@ -405,7 +455,7 @@ fn stage_iters(name: &str, smoke: bool) -> u32 {
     match name {
         "predictor_train_small" | "testbed_run_all_small" => 3,
         "bagging_train" => 5,
-        "sim_trace_overhead" | "sim_fault_overhead" => 9,
+        "sim_trace_overhead" | "sim_fault_overhead" | "sim_metrics_overhead" => 9,
         _ => 7,
     }
 }
@@ -443,7 +493,8 @@ fn main() -> ExitCode {
             "gating: oracle_build_paper, bagging_train, ensemble_predict must each be \
              >= {min_speedup:.1}x their reference on one worker;\n\
              sim_trace_overhead and sim_fault_overhead must each hold \
-             >= {TRACE_OVERHEAD_MIN_RATIO:.2}x of the untraced loop\n"
+             >= {TRACE_OVERHEAD_MIN_RATIO:.2}x of the untraced loop;\n\
+             sim_metrics_overhead must hold >= {METRICS_OVERHEAD_MIN_RATIO:.2}x\n"
         );
     }
 
@@ -456,6 +507,7 @@ fn main() -> ExitCode {
         "ensemble_predict",
         "sim_trace_overhead",
         "sim_fault_overhead",
+        "sim_metrics_overhead",
     ];
     let mut stages: Vec<Stage> = all_stages
         .iter()

@@ -9,6 +9,7 @@
 pub mod json;
 pub mod perf;
 pub mod report;
+pub mod telemetry_json;
 pub mod trace_json;
 
 use energy_model::{EnergyBreakdown, EnergyModel};

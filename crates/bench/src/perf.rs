@@ -4,8 +4,12 @@
 //! The real criterion crate lives behind the network-locked registry, so
 //! the bench targets are plain `main()`s built on these std-only probes:
 //! warm-up, repeated timed runs, and `std::hint::black_box` to keep the
-//! optimiser honest.
+//! optimiser honest. Per-iteration timings feed a
+//! [`hetero_telemetry::Histogram`], so every [`Sample`] carries tail
+//! percentiles alongside the mean and the exact minimum (the gate
+//! statistic).
 
+use hetero_telemetry::Histogram;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -18,14 +22,50 @@ pub struct Sample {
     pub iters: u32,
     /// Mean wall-clock per iteration in nanoseconds.
     pub mean_ns: f64,
-    /// Fastest iteration in nanoseconds.
+    /// Fastest iteration in nanoseconds (exact).
     pub min_ns: f64,
+    /// Median iteration in nanoseconds (log-linear estimate, ≤ ~3.1 %
+    /// relative error).
+    pub p50_ns: f64,
+    /// 95th-percentile iteration in nanoseconds (same error bound).
+    pub p95_ns: f64,
 }
 
 impl Sample {
     /// Mean wall-clock per iteration in milliseconds.
     pub fn mean_ms(&self) -> f64 {
         self.mean_ns / 1e6
+    }
+}
+
+/// Per-iteration timing accumulator: one histogram observation per run,
+/// with the mean/min/percentiles distilled into a [`Sample`].
+struct Timings {
+    hist: Histogram,
+}
+
+impl Timings {
+    fn new() -> Self {
+        Timings {
+            hist: Histogram::new(),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, elapsed: Duration) {
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.hist.record(ns);
+    }
+
+    fn sample(&self, label: &str, iters: u32) -> Sample {
+        Sample {
+            label: label.to_owned(),
+            iters,
+            mean_ns: self.hist.mean(),
+            min_ns: self.hist.min() as f64,
+            p50_ns: self.hist.p50() as f64,
+            p95_ns: self.hist.p95() as f64,
+        }
     }
 }
 
@@ -44,21 +84,13 @@ pub fn time_once<R>(f: impl FnOnce() -> R) -> (R, Duration) {
 pub fn bench<R>(label: &str, iters: u32, mut f: impl FnMut() -> R) -> Sample {
     assert!(iters > 0, "need at least one iteration");
     black_box(f()); // warm-up
-    let mut total = Duration::ZERO;
-    let mut min = Duration::MAX;
+    let mut timings = Timings::new();
     for _ in 0..iters {
         let start = Instant::now();
         black_box(f());
-        let elapsed = start.elapsed();
-        total += elapsed;
-        min = min.min(elapsed);
+        timings.push(start.elapsed());
     }
-    Sample {
-        label: label.to_owned(),
-        iters,
-        mean_ns: total.as_nanos() as f64 / f64::from(iters),
-        min_ns: min.as_nanos() as f64,
-    }
+    timings.sample(label, iters)
 }
 
 /// Measure two alternatives over interleaved iterations (`a`, `b`, `a`,
@@ -84,41 +116,31 @@ pub fn bench_paired<RA, RB>(
     assert!(iters > 0, "need at least one iteration");
     black_box(a()); // warm-up
     black_box(b());
-    let mut totals = [Duration::ZERO; 2];
-    let mut mins = [Duration::MAX; 2];
+    let mut timings = [Timings::new(), Timings::new()];
     for _ in 0..iters {
         let start = Instant::now();
         black_box(a());
-        let elapsed = start.elapsed();
-        totals[0] += elapsed;
-        mins[0] = mins[0].min(elapsed);
+        timings[0].push(start.elapsed());
 
         let start = Instant::now();
         black_box(b());
-        let elapsed = start.elapsed();
-        totals[1] += elapsed;
-        mins[1] = mins[1].min(elapsed);
+        timings[1].push(start.elapsed());
     }
-    let sample = |label: &str, total: Duration, min: Duration| Sample {
-        label: label.to_owned(),
-        iters,
-        mean_ns: total.as_nanos() as f64 / f64::from(iters),
-        min_ns: min.as_nanos() as f64,
-    };
     (
-        sample(label_a, totals[0], mins[0]),
-        sample(label_b, totals[1], mins[1]),
+        timings[0].sample(label_a, iters),
+        timings[1].sample(label_b, iters),
     )
 }
 
-/// Measure and print one line in a stable `label  mean  min` format.
+/// Measure and print one line in a stable `label  mean  min  p95` format.
 pub fn bench_report<R>(label: &str, iters: u32, f: impl FnMut() -> R) -> Sample {
     let sample = bench(label, iters, f);
     println!(
-        "{:<44} {:>12.3} ms/iter   (min {:>10.3} ms, {} iters)",
+        "{:<44} {:>12.3} ms/iter   (min {:>10.3} ms, p95 {:>10.3} ms, {} iters)",
         sample.label,
         sample.mean_ns / 1e6,
         sample.min_ns / 1e6,
+        sample.p95_ns / 1e6,
         sample.iters
     );
     sample
@@ -139,6 +161,26 @@ mod tests {
         assert_eq!(sample.iters, 5);
         assert!(sample.min_ns <= sample.mean_ns);
         assert!(sample.mean_ns > 0.0);
+        // Percentile estimates bracket the distribution: never below the
+        // minimum, the tail at or above the median.
+        assert!(sample.p50_ns >= sample.min_ns);
+        assert!(sample.p95_ns >= sample.p50_ns);
+    }
+
+    #[test]
+    fn paired_samples_carry_percentiles() {
+        let (a, b) = bench_paired(
+            "a",
+            || std::thread::sleep(Duration::from_micros(30)),
+            "b",
+            || std::thread::sleep(Duration::from_micros(30)),
+            4,
+        );
+        for sample in [a, b] {
+            assert!(sample.min_ns > 0.0);
+            assert!(sample.p95_ns >= sample.p50_ns);
+            assert!(sample.p50_ns >= sample.min_ns);
+        }
     }
 
     #[test]

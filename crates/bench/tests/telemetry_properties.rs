@@ -1,0 +1,168 @@
+//! Telemetry passivity properties: attaching a live
+//! [`MetricsSink`] to the traced simulator loop must leave the run's
+//! [`RunMetrics`] bit-identical to the verbatim untraced reference loop
+//! (`Simulator::run_reference`), for every system × discipline ×
+//! workload shape — and the sink's own fold must agree with the
+//! simulator's ledger where the two overlap (counters exactly, energies
+//! to the bit, the latency histogram's exact sum equal to the ledger's
+//! turnaround total).
+
+use hetero_bench::Testbed;
+use hetero_core::{BaseSystem, EnergyCentricSystem, OptimalSystem, ProposedSystem};
+use hetero_telemetry::{MetricsSink, TelemetryReport};
+use multicore_sim::{QueueDiscipline, RunMetrics, Scheduler, Simulator};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use workloads::ArrivalPlan;
+
+/// One shared testbed: the oracle build and predictor training dominate
+/// the cost of these tests, and every case reads the same fixture.
+fn testbed() -> &'static Testbed {
+    static TESTBED: OnceLock<Testbed> = OnceLock::new();
+    TESTBED.get_or_init(Testbed::small)
+}
+
+const DISCIPLINES: [QueueDiscipline; 3] = [
+    QueueDiscipline::Fifo,
+    QueueDiscipline::Priority,
+    QueueDiscipline::PreemptivePriority,
+];
+
+/// Interval chosen so sparse runs span many windows and dense runs a few.
+const INTERVAL: u64 = 500_000;
+
+/// Run one system twice from identical state — once through
+/// `run_reference`, once through the traced loop feeding a `MetricsSink`
+/// — and return both ledgers plus the sink's report.
+fn run_both(
+    system_index: usize,
+    discipline: QueueDiscipline,
+    plan: &ArrivalPlan,
+) -> (RunMetrics, RunMetrics, TelemetryReport) {
+    fn go<S: Scheduler>(
+        mut reference_system: S,
+        mut sink_system: S,
+        discipline: QueueDiscipline,
+        plan: &ArrivalPlan,
+    ) -> (RunMetrics, RunMetrics, TelemetryReport) {
+        let num_cores = testbed().arch.num_cores();
+        let sim = Simulator::new(num_cores).with_discipline(discipline);
+        let reference = sim.run_reference(plan, &mut reference_system);
+        let mut sink = MetricsSink::new(num_cores, INTERVAL);
+        let instrumented = sim.run_with_sink(plan, &mut sink_system, &mut sink);
+        (reference, instrumented, sink.report())
+    }
+
+    let t = testbed();
+    match system_index {
+        0 => go(
+            BaseSystem::new(&t.oracle, t.model, t.arch.num_cores()),
+            BaseSystem::new(&t.oracle, t.model, t.arch.num_cores()),
+            discipline,
+            plan,
+        ),
+        1 => go(
+            OptimalSystem::new(&t.arch, &t.oracle, t.model),
+            OptimalSystem::new(&t.arch, &t.oracle, t.model),
+            discipline,
+            plan,
+        ),
+        2 => go(
+            EnergyCentricSystem::new(&t.arch, &t.oracle, t.model, t.predictor.clone()),
+            EnergyCentricSystem::new(&t.arch, &t.oracle, t.model, t.predictor.clone()),
+            discipline,
+            plan,
+        ),
+        _ => go(
+            ProposedSystem::with_model(&t.arch, &t.oracle, t.model, t.predictor.clone()),
+            ProposedSystem::with_model(&t.arch, &t.oracle, t.model, t.predictor.clone()),
+            discipline,
+            plan,
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The sink is passive: instrumented `RunMetrics` == reference
+    /// `RunMetrics` down to every `f64` bit (Debug renders the shortest
+    /// round-trip form, pinning the bits), and the sink's fold agrees
+    /// with the ledger wherever the two measure the same thing.
+    #[test]
+    fn metrics_sink_never_perturbs_the_run(
+        system_index in 0usize..4,
+        discipline_index in 0usize..3,
+        jobs in 40usize..120,
+        seed in 0u64..1_000,
+        sparse in 0usize..2,
+    ) {
+        let t = testbed();
+        let horizon = if sparse == 1 { 80_000_000 } else { 4_000_000 };
+        let plan = ArrivalPlan::uniform_with_priorities(jobs, horizon, t.suite.len(), 3, seed);
+        let (reference, instrumented, report) =
+            run_both(system_index, DISCIPLINES[discipline_index], &plan);
+
+        // Bit-identity of the full ledger.
+        prop_assert_eq!(
+            format!("{reference:?}"),
+            format!("{instrumented:?}"),
+            "MetricsSink perturbed the run"
+        );
+
+        // The sink's independent fold of the same stream agrees with the
+        // simulator's ledger: counters exactly...
+        prop_assert_eq!(report.totals.completions, reference.jobs_completed);
+        prop_assert_eq!(report.totals.arrivals, jobs as u64);
+        prop_assert_eq!(report.totals.stall_offers, reference.stall_offers);
+        prop_assert_eq!(report.totals.stall_episodes, reference.stalls);
+        prop_assert_eq!(report.totals.evictions, reference.preemptions);
+        prop_assert_eq!(report.horizon, reference.total_cycles);
+
+        // ...energies to the bit (same stream, same fold order)...
+        prop_assert_eq!(
+            report.totals.dynamic_nj.to_bits(),
+            reference.energy.dynamic_nj.to_bits()
+        );
+        prop_assert_eq!(
+            report.totals.static_nj.to_bits(),
+            reference.energy.static_nj.to_bits()
+        );
+        prop_assert_eq!(
+            report.totals.idle_energy_nj.to_bits(),
+            reference.energy.idle_nj.to_bits()
+        );
+
+        // ...and the latency histogram's exact sum is the ledger's
+        // turnaround total, with its count the completion count.
+        prop_assert_eq!(report.latency_cycles.count(), reference.jobs_completed);
+        prop_assert_eq!(
+            report.latency_cycles.sum(),
+            u128::from(reference.turnaround_cycles)
+        );
+        prop_assert_eq!(report.job_energy_nj.count(), reference.jobs_completed);
+
+        // Every time-series window conserves cycles per core: busy +
+        // idle + offline exactly covers the window span.
+        for point in &report.points {
+            let span = point.end - point.start;
+            for (core, cp) in point.cores.iter().enumerate() {
+                prop_assert_eq!(
+                    cp.busy_cycles + cp.idle_cycles + cp.offline_cycles,
+                    span,
+                    "window {} core {core} does not conserve cycles",
+                    point.index
+                );
+            }
+        }
+
+        // Whole-run busy cycles per core match the ledger exactly.
+        let mut busy = vec![0u64; report.num_cores];
+        for point in &report.points {
+            for (core, cp) in point.cores.iter().enumerate() {
+                busy[core] += cp.busy_cycles;
+            }
+        }
+        prop_assert_eq!(&busy, &reference.busy_cycles);
+    }
+}

@@ -52,6 +52,7 @@ mod fallback;
 mod oracle;
 mod predictor;
 mod profiling;
+mod stages;
 pub mod systems;
 mod tuning;
 
@@ -61,6 +62,7 @@ pub use fallback::{FallbackChain, PredictionSource};
 pub use oracle::{BenchmarkTruth, SuiteOracle};
 pub use predictor::{BestCorePredictor, PredictorConfig, PredictorKind};
 pub use profiling::{ProfileEntry, ProfilingTable};
+pub use stages::{observed, NullStageObserver, StageObserver};
 pub use systems::{
     BaseSystem, DecisionPolicy, EnergyCentricSystem, OptimalSystem, ProposedSystem, SystemStats,
 };

@@ -82,6 +82,22 @@ impl SuiteOracle {
         })
     }
 
+    /// [`build_with_threads`](Self::build_with_threads) with the
+    /// characterisation sweep bracketed by a
+    /// [`StageObserver`](crate::StageObserver) (stage
+    /// `oracle_characterise`), for pipeline profiling. Observation never
+    /// changes the result — the observer only sees stage boundaries.
+    pub fn build_observed(
+        suite: &Suite,
+        model: &EnergyModel,
+        workers: usize,
+        observer: &mut dyn crate::StageObserver,
+    ) -> Self {
+        crate::observed(observer, "oracle_characterise", || {
+            Self::build_with_threads(suite, model, workers)
+        })
+    }
+
     /// Reference implementation of [`build`](Self::build): the serial
     /// 18-replay characterisation on a single thread. Kept as the
     /// obviously-correct baseline for equivalence tests and as the

@@ -177,29 +177,59 @@ impl BestCorePredictor {
         config: &PredictorConfig,
         workers: usize,
     ) -> Self {
-        let dataset = training_data(
+        Self::train_excluding_observed(
             oracle,
             excluded,
-            config.augmentation,
-            config.jitter,
-            config.train.seed,
-        );
+            config,
+            workers,
+            &mut crate::NullStageObserver,
+        )
+    }
+
+    /// [`train_excluding_with_threads`](Self::train_excluding_with_threads)
+    /// with its three phases bracketed by a
+    /// [`StageObserver`](crate::StageObserver): `predictor_dataset`
+    /// (training-set assembly and augmentation), `predictor_bagging`
+    /// (ensemble training), and `predictor_memoize` (train-time prediction
+    /// memo). Observation never changes the trained predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if exclusion leaves no training benchmarks.
+    pub fn train_excluding_observed(
+        oracle: &SuiteOracle,
+        excluded: &[BenchmarkId],
+        config: &PredictorConfig,
+        workers: usize,
+        observer: &mut dyn crate::StageObserver,
+    ) -> Self {
+        let dataset = crate::observed(observer, "predictor_dataset", || {
+            training_data(
+                oracle,
+                excluded,
+                config.augmentation,
+                config.jitter,
+                config.train.seed,
+            )
+        });
 
         let mut dims = Vec::with_capacity(config.hidden.len() + 2);
         dims.push(FEATURE_COUNT);
         dims.extend_from_slice(&config.hidden);
         dims.push(1);
 
-        let ensemble = Bagging::train_with_threads(
-            &dataset,
-            config.ensemble_size,
-            &dims,
-            Activation::Tanh,
-            config.train,
-            workers,
-        );
+        let ensemble = crate::observed(observer, "predictor_bagging", || {
+            Bagging::train_with_threads(
+                &dataset,
+                config.ensemble_size,
+                &dims,
+                Activation::Tanh,
+                config.train,
+                workers,
+            )
+        });
         let model = Model::Ann(ensemble);
-        let memo = memoize(&model, oracle);
+        let memo = crate::observed(observer, "predictor_memoize", || memoize(&model, oracle));
         BestCorePredictor { model, memo }
     }
 

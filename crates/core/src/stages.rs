@@ -1,0 +1,77 @@
+//! Stage-observation hooks for the offline pipeline.
+//!
+//! The oracle build and predictor training are multi-phase: dataset
+//! assembly, ensemble training, memoization. A [`StageObserver`] gets
+//! bracketing callbacks around each phase, so a profiler (e.g. the span
+//! recorder in `hetero-telemetry`) can time them without this crate
+//! depending on any telemetry machinery. The default observer is the
+//! no-op [`NullStageObserver`]; the un-observed entry points delegate to
+//! it, so observation is zero-cost unless requested.
+
+/// Receives enter/exit brackets around named pipeline stages.
+///
+/// Stages nest: an `enter` may arrive while another stage is open, and
+/// `exit` calls always match the innermost open stage (LIFO).
+pub trait StageObserver {
+    /// A stage named `stage` begins.
+    fn enter(&mut self, stage: &'static str);
+    /// The innermost open stage (named `stage`) ends.
+    fn exit(&mut self, stage: &'static str);
+}
+
+/// Observer that ignores every bracket.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullStageObserver;
+
+impl StageObserver for NullStageObserver {
+    #[inline]
+    fn enter(&mut self, _stage: &'static str) {}
+    #[inline]
+    fn exit(&mut self, _stage: &'static str) {}
+}
+
+/// Guard-style convenience: run `f` bracketed by `enter`/`exit`.
+///
+/// `exit` fires even on early return of a value, though not on unwind —
+/// profiling is abandoned on panic anyway.
+pub fn observed<T>(
+    observer: &mut dyn StageObserver,
+    stage: &'static str,
+    f: impl FnOnce() -> T,
+) -> T {
+    observer.enter(stage);
+    let value = f();
+    observer.exit(stage);
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Log(Vec<(&'static str, bool)>);
+
+    impl StageObserver for Log {
+        fn enter(&mut self, stage: &'static str) {
+            self.0.push((stage, true));
+        }
+        fn exit(&mut self, stage: &'static str) {
+            self.0.push((stage, false));
+        }
+    }
+
+    #[test]
+    fn observed_brackets_the_closure() {
+        let mut log = Log::default();
+        let out = observed(&mut log, "phase", || 42);
+        assert_eq!(out, 42);
+        assert_eq!(log.0, [("phase", true), ("phase", false)]);
+    }
+
+    #[test]
+    fn null_observer_is_a_no_op() {
+        let mut null = NullStageObserver;
+        assert_eq!(observed(&mut null, "x", || 7), 7);
+    }
+}

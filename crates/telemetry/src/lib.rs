@@ -1,0 +1,35 @@
+//! Operational telemetry for the heterogeneous-multicore scheduler.
+//!
+//! Three layers, composable and allocation-free on their hot paths:
+//!
+//! * [`Histogram`] — log-linear HDR-style histogram with a bounded
+//!   relative error of `1/`[`SUB_BUCKETS`] (~3.1 %), exact sums and
+//!   extremes, and lossless merging.
+//! * [`Registry`] — named counters, gauges, and histograms addressed by
+//!   copyable handles, rendered in the Prometheus text exposition format.
+//! * [`MetricsSink`] — a [`multicore_sim::TraceSink`] that folds the
+//!   simulator's typed event stream into per-core time-series windows,
+//!   run-wide latency/energy/stall histograms, and run totals, without
+//!   retaining the raw events. Attaching it never changes a run's
+//!   `RunMetrics` (property-tested bit-identical to `run_reference`).
+//! * [`SpanRecorder`] / [`Span`] — RAII wall-clock profiling of the
+//!   offline pipeline stages (characterisation, oracle build, ensemble
+//!   training, prediction), pluggable into
+//!   [`hetero_core::StageObserver`] hooks.
+//!
+//! The `telemetry` binary in `hetero-bench` drives all of this end to
+//! end and exports `results/TELEMETRY_*.json` plus Prometheus text; the
+//! `sim_metrics_overhead` stage of `perf_pipeline` gates the sink's
+//! overhead against the untraced reference loop.
+
+#![warn(missing_docs)]
+
+mod histogram;
+mod registry;
+mod sink;
+mod span;
+
+pub use histogram::{Histogram, SUB_BUCKETS};
+pub use registry::{CounterId, GaugeId, HistogramId, Registry};
+pub use sink::{CorePoint, MetricsSink, RunTotals, SeriesPoint, TelemetryReport};
+pub use span::{Span, SpanRecord, SpanRecorder};

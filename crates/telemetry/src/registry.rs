@@ -1,0 +1,308 @@
+//! Allocation-free metrics registry: counters, gauges, and histograms
+//! addressed by typed handles, with Prometheus text exposition.
+//!
+//! Metrics are registered up front (the only allocating step); every
+//! subsequent `inc`/`set`/`observe` is a bounds-checked array write, so
+//! the hot path of an instrumented loop never touches the allocator.
+//! Handles are plain indices — copy them freely.
+
+use crate::histogram::Histogram;
+use std::fmt::Write as _;
+
+/// Handle to a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// One named metric with Prometheus-style labels.
+#[derive(Debug, Clone)]
+struct Metric<T> {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: T,
+}
+
+/// A set of named metrics and their current values.
+///
+/// ```
+/// use hetero_telemetry::Registry;
+///
+/// let mut registry = Registry::new();
+/// let jobs = registry.counter("sim_jobs_completed", &[("system", "proposed")]);
+/// let depth = registry.gauge("sim_ready_depth", &[]);
+/// let latency = registry.histogram("sim_job_latency_cycles", &[]);
+///
+/// registry.add(jobs, 3);
+/// registry.set(depth, 7.0);
+/// registry.observe(latency, 1200);
+///
+/// let text = registry.prometheus();
+/// assert!(text.contains("sim_jobs_completed{system=\"proposed\"} 3"));
+/// assert!(text.contains("# TYPE sim_job_latency_cycles histogram"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: Vec<Metric<u64>>,
+    gauges: Vec<Metric<f64>>,
+    histograms: Vec<Metric<Histogram>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Register a counter (monotone `u64`), returning its handle.
+    pub fn counter(&mut self, name: &str, labels: &[(&str, &str)]) -> CounterId {
+        self.counters.push(Metric {
+            name: name.to_owned(),
+            labels: own_labels(labels),
+            value: 0,
+        });
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Register a gauge (instantaneous `f64`), returning its handle.
+    pub fn gauge(&mut self, name: &str, labels: &[(&str, &str)]) -> GaugeId {
+        self.gauges.push(Metric {
+            name: name.to_owned(),
+            labels: own_labels(labels),
+            value: 0.0,
+        });
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Register a histogram, returning its handle.
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)]) -> HistogramId {
+        self.histograms.push(Metric {
+            name: name.to_owned(),
+            labels: own_labels(labels),
+            value: Histogram::new(),
+        });
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Increment a counter by one.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId) {
+        self.counters[id.0].value += 1;
+    }
+
+    /// Increment a counter by `n`.
+    #[inline]
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        self.counters[id.0].value += n;
+    }
+
+    /// Set a gauge.
+    #[inline]
+    pub fn set(&mut self, id: GaugeId, value: f64) {
+        self.gauges[id.0].value = value;
+    }
+
+    /// Record one observation into a histogram.
+    #[inline]
+    pub fn observe(&mut self, id: HistogramId, value: u64) {
+        self.histograms[id.0].value.record(value);
+    }
+
+    /// Current counter value.
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0].value
+    }
+
+    /// Current gauge value.
+    pub fn gauge_value(&self, id: GaugeId) -> f64 {
+        self.gauges[id.0].value
+    }
+
+    /// Read access to a registered histogram.
+    pub fn histogram_value(&self, id: HistogramId) -> &Histogram {
+        &self.histograms[id.0].value
+    }
+
+    /// Merge another histogram into a registered one (for folding
+    /// per-run histograms into a fleet-wide registry).
+    pub fn merge_histogram(&mut self, id: HistogramId, other: &Histogram) {
+        self.histograms[id.0].value.merge(other);
+    }
+
+    /// Render the whole registry in the Prometheus text exposition
+    /// format, in registration order, with one `# TYPE` line per metric
+    /// family (consecutive metrics sharing a name form one family).
+    pub fn prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_family = String::new();
+        for metric in &self.counters {
+            type_line(&mut out, &mut last_family, &metric.name, "counter");
+            let _ = writeln!(
+                out,
+                "{}{} {}",
+                metric.name,
+                label_block(&metric.labels),
+                metric.value
+            );
+        }
+        for metric in &self.gauges {
+            type_line(&mut out, &mut last_family, &metric.name, "gauge");
+            let _ = writeln!(
+                out,
+                "{}{} {}",
+                metric.name,
+                label_block(&metric.labels),
+                fmt_f64(metric.value)
+            );
+        }
+        for metric in &self.histograms {
+            type_line(&mut out, &mut last_family, &metric.name, "histogram");
+            for (le, cumulative) in metric.value.cumulative_buckets() {
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {cumulative}",
+                    metric.name,
+                    label_block_with(&metric.labels, "le", &le.to_string()),
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{}_bucket{} {}",
+                metric.name,
+                label_block_with(&metric.labels, "le", "+Inf"),
+                metric.value.count()
+            );
+            let _ = writeln!(
+                out,
+                "{}_sum{} {}",
+                metric.name,
+                label_block(&metric.labels),
+                metric.value.sum()
+            );
+            let _ = writeln!(
+                out,
+                "{}_count{} {}",
+                metric.name,
+                label_block(&metric.labels),
+                metric.value.count()
+            );
+        }
+        out
+    }
+}
+
+fn own_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    labels
+        .iter()
+        .map(|&(k, v)| (k.to_owned(), v.to_owned()))
+        .collect()
+}
+
+/// Emit a `# TYPE` header when entering a new metric family.
+fn type_line(out: &mut String, last: &mut String, name: &str, kind: &str) {
+    if last != name {
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        name.clone_into(last);
+    }
+}
+
+fn label_block(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+fn label_block_with(labels: &[(String, String)], key: &str, value: &str) -> String {
+    let mut body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape(v)))
+        .collect();
+    body.push(format!("{key}=\"{}\"", escape(value)));
+    format!("{{{}}}", body.join(","))
+}
+
+fn escape(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Prometheus floats: plain decimal, `NaN`/`+Inf`/`-Inf` spelled out.
+fn fmt_f64(value: f64) -> String {
+    if value.is_nan() {
+        "NaN".to_owned()
+    } else if value.is_infinite() {
+        if value > 0.0 { "+Inf" } else { "-Inf" }.to_owned()
+    } else {
+        format!("{value}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_read_back_what_was_written() {
+        let mut r = Registry::new();
+        let c = r.counter("c_total", &[]);
+        let g = r.gauge("g", &[("core", "2")]);
+        let h = r.histogram("h_cycles", &[]);
+        r.inc(c);
+        r.add(c, 4);
+        r.set(g, 2.5);
+        r.observe(h, 10);
+        r.observe(h, 30);
+        assert_eq!(r.counter_value(c), 5);
+        assert_eq!(r.gauge_value(g), 2.5);
+        assert_eq!(r.histogram_value(h).count(), 2);
+        assert_eq!(r.histogram_value(h).max(), 30);
+    }
+
+    #[test]
+    fn prometheus_text_has_the_expected_shape() {
+        let mut r = Registry::new();
+        let c = r.counter("jobs_total", &[("system", "base")]);
+        r.add(c, 7);
+        let g = r.gauge("utilisation", &[]);
+        r.set(g, 0.75);
+        let h = r.histogram("latency_cycles", &[("system", "base")]);
+        r.observe(h, 100);
+        r.observe(h, 100_000);
+        let text = r.prometheus();
+        assert!(text.contains("# TYPE jobs_total counter"));
+        assert!(text.contains("jobs_total{system=\"base\"} 7"));
+        assert!(text.contains("utilisation 0.75"));
+        assert!(text.contains("# TYPE latency_cycles histogram"));
+        assert!(text.contains("latency_cycles_bucket{system=\"base\",le=\"+Inf\"} 2"));
+        assert!(text.contains("latency_cycles_sum{system=\"base\"} 100100"));
+        assert!(text.contains("latency_cycles_count{system=\"base\"} 2"));
+        // Every line is either a comment or `name[{labels}] value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.split(' ').count() == 2,
+                "{line}"
+            );
+        }
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut r = Registry::new();
+        let c = r.counter("c", &[("k", "a\"b\\c")]);
+        r.inc(c);
+        assert!(r.prometheus().contains("c{k=\"a\\\"b\\\\c\"} 1"));
+    }
+}

@@ -1,0 +1,918 @@
+//! `MetricsSink`: folds the simulator's typed event stream into
+//! operational metrics as the run executes.
+//!
+//! The sink implements [`multicore_sim::TraceSink`], so it attaches to
+//! [`Simulator::run_with_sink`](multicore_sim::Simulator) like any other
+//! recorder — but instead of keeping the (potentially huge) raw stream it
+//! aggregates on the fly:
+//!
+//! * **per-core time-series** at a configurable cycle interval: busy /
+//!   idle / offline cycles and utilisation, idle-leakage energy, plus the
+//!   window's arrivals, placements, completions, stall offers and
+//!   episodes, evictions, faults, retries, fallbacks, net dynamic/static
+//!   energy, and the ready-queue depth sampled at the window boundary;
+//! * **run-wide histograms** (log-linear, bounded relative error) of job
+//!   latency (completion − arrival), per-job energy (net of eviction and
+//!   fault refunds, summed across retry attempts), and stall-episode
+//!   duration (first stall offer to the placement that ends it);
+//! * **run totals** mirroring the window counters.
+//!
+//! The sink is passive: it never influences the simulation, so a run
+//! with a `MetricsSink` attached returns `RunMetrics` bit-identical to
+//! [`Simulator::run_reference`](multicore_sim::Simulator) — enforced by
+//! property tests in `crates/bench/tests/telemetry_properties.rs` and
+//! held within a gated cost budget by the `sim_metrics_overhead` stage
+//! of `perf_pipeline`.
+//!
+//! Windows are addressed by index (`at / interval`), which makes the
+//! out-of-order back-fill of [`TraceEvent::IdleSpan`] (stamped at span
+//! *end*, covering earlier cycles) exact rather than approximate.
+
+use crate::histogram::Histogram;
+use crate::registry::Registry;
+use multicore_sim::{DegradedComponent, FaultKind, TraceEvent, TraceSink};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Sentinel for "job is not in a stall episode".
+const NOT_STALLED: u64 = u64::MAX;
+
+/// One core's share of one time window.
+#[derive(Debug, Clone, Copy, Default)]
+struct CoreAcc {
+    idle_cycles: u64,
+    offline_cycles: u64,
+    idle_energy_nj: f64,
+}
+
+/// Accumulator for one time window.
+#[derive(Debug, Clone, Default)]
+struct WindowAcc {
+    arrivals: u64,
+    placements: u64,
+    completions: u64,
+    stall_offers: u64,
+    stall_episodes: u64,
+    evictions: u64,
+    preemption_probes: u64,
+    faults: u64,
+    retries: u64,
+    fallbacks: u64,
+    dynamic_nj: f64,
+    static_nj: f64,
+    cores: Vec<CoreAcc>,
+    /// Ready-queue depth at the window's end boundary, recorded
+    /// chronologically; `None` until the stream passes the boundary.
+    ready_depth_end: Option<u64>,
+}
+
+/// Run-wide event totals (the counters of every window summed).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunTotals {
+    /// Jobs that entered the ready queue.
+    pub arrivals: u64,
+    /// Executions started (including preemption grabs and retries).
+    pub placements: u64,
+    /// Jobs run to completion.
+    pub completions: u64,
+    /// Stall decisions returned by the policy (one per offer).
+    pub stall_offers: u64,
+    /// Distinct stall episodes (first offer after being placeable).
+    pub stall_episodes: u64,
+    /// Preemption evictions committed.
+    pub evictions: u64,
+    /// Preemption probes issued (granted or declined).
+    pub preemption_probes: u64,
+    /// Probes the policy accepted.
+    pub preemptions_granted: u64,
+    /// Injected faults that struck an execution.
+    pub faults: u64,
+    /// Retries scheduled after crash/watchdog failures.
+    pub retries: u64,
+    /// Jobs abandoned at the retry cap.
+    pub abandoned: u64,
+    /// Completions served by a degraded predictor stage.
+    pub fallbacks: u64,
+    /// Component availability transitions.
+    pub degraded_transitions: u64,
+    /// Net dynamic energy charged, in nJ (refunds subtracted).
+    pub dynamic_nj: f64,
+    /// Net busy-leakage energy charged, in nJ.
+    pub static_nj: f64,
+    /// Idle-leakage energy accrued, in nJ.
+    pub idle_energy_nj: f64,
+}
+
+/// One core's slice of a finished [`SeriesPoint`].
+#[derive(Debug, Clone, Copy)]
+pub struct CorePoint {
+    /// Cycles spent executing jobs in this window.
+    pub busy_cycles: u64,
+    /// Cycles sat idle (leakage only).
+    pub idle_cycles: u64,
+    /// Cycles offline (core-outage fault).
+    pub offline_cycles: u64,
+    /// Idle-leakage energy accrued in this window, in nJ.
+    pub idle_energy_nj: f64,
+    /// `busy / (busy + idle + offline)`; 0 for an empty window.
+    pub utilisation: f64,
+}
+
+/// One window of the per-core time-series.
+#[derive(Debug, Clone)]
+pub struct SeriesPoint {
+    /// Window index (`start = index * interval`).
+    pub index: usize,
+    /// First cycle covered.
+    pub start: u64,
+    /// One past the last cycle covered (truncated at the run's end for
+    /// the final window).
+    pub end: u64,
+    /// Jobs that arrived in this window.
+    pub arrivals: u64,
+    /// Executions started.
+    pub placements: u64,
+    /// Jobs completed.
+    pub completions: u64,
+    /// Stall offers.
+    pub stall_offers: u64,
+    /// Stall episodes opened.
+    pub stall_episodes: u64,
+    /// Evictions committed.
+    pub evictions: u64,
+    /// Preemption probes issued.
+    pub preemption_probes: u64,
+    /// Faults struck.
+    pub faults: u64,
+    /// Retries scheduled.
+    pub retries: u64,
+    /// Fallback-served completions.
+    pub fallbacks: u64,
+    /// Ready-queue depth at the window's end boundary.
+    pub ready_depth: u64,
+    /// Net dynamic energy charged in this window, in nJ (eviction and
+    /// fault refunds land in the window of the refunding event, so a
+    /// window can go negative — that is honest rate accounting).
+    pub dynamic_nj: f64,
+    /// Net busy-leakage energy charged, in nJ.
+    pub static_nj: f64,
+    /// Per-core breakdown.
+    pub cores: Vec<CorePoint>,
+}
+
+impl SeriesPoint {
+    /// Total energy charged in this window (dynamic + static + idle), nJ.
+    pub fn energy_nj(&self) -> f64 {
+        let idle: f64 = self.cores.iter().map(|c| c.idle_energy_nj).sum();
+        self.dynamic_nj + self.static_nj + idle
+    }
+
+    /// Energy rate over the window, in nJ per cycle.
+    pub fn energy_rate_nj_per_cycle(&self) -> f64 {
+        let span = self.end.saturating_sub(self.start);
+        if span == 0 {
+            0.0
+        } else {
+            self.energy_nj() / span as f64
+        }
+    }
+
+    /// Mean utilisation across cores.
+    pub fn mean_utilisation(&self) -> f64 {
+        if self.cores.is_empty() {
+            return 0.0;
+        }
+        self.cores.iter().map(|c| c.utilisation).sum::<f64>() / self.cores.len() as f64
+    }
+}
+
+/// Everything a [`MetricsSink`] distilled from one run.
+#[derive(Debug, Clone)]
+pub struct TelemetryReport {
+    /// Time-series interval in cycles.
+    pub interval: u64,
+    /// Cores covered.
+    pub num_cores: usize,
+    /// Last event timestamp seen (the observed horizon).
+    pub horizon: u64,
+    /// The per-core time-series, one point per window, in time order.
+    pub points: Vec<SeriesPoint>,
+    /// Job latency (completion − arrival), in cycles.
+    pub latency_cycles: Histogram,
+    /// Per-job energy net of refunds, in nJ (rounded to integer nJ).
+    pub job_energy_nj: Histogram,
+    /// Stall-episode duration, in cycles.
+    pub stall_cycles: Histogram,
+    /// Run-wide counters.
+    pub totals: RunTotals,
+}
+
+impl TelemetryReport {
+    /// Export into a fresh [`Registry`] (counters, gauges, histograms),
+    /// labelling every metric with `system`. This is what the Prometheus
+    /// exposition of the `telemetry` bin renders.
+    pub fn to_registry(&self, system: &str) -> Registry {
+        let labels: &[(&str, &str)] = &[("system", system)];
+        let mut registry = Registry::new();
+        let pairs: [(&str, u64); 13] = [
+            ("sched_arrivals_total", self.totals.arrivals),
+            ("sched_placements_total", self.totals.placements),
+            ("sched_completions_total", self.totals.completions),
+            ("sched_stall_offers_total", self.totals.stall_offers),
+            ("sched_stall_episodes_total", self.totals.stall_episodes),
+            ("sched_evictions_total", self.totals.evictions),
+            (
+                "sched_preemption_probes_total",
+                self.totals.preemption_probes,
+            ),
+            ("sched_faults_total", self.totals.faults),
+            ("sched_retries_total", self.totals.retries),
+            ("sched_jobs_abandoned_total", self.totals.abandoned),
+            ("sched_fallbacks_total", self.totals.fallbacks),
+            (
+                "sched_degraded_transitions_total",
+                self.totals.degraded_transitions,
+            ),
+            ("sched_horizon_cycles", self.horizon),
+        ];
+        for (name, value) in pairs {
+            let id = registry.counter(name, labels);
+            registry.add(id, value);
+        }
+        let energies = [
+            ("sched_dynamic_energy_nj", self.totals.dynamic_nj),
+            ("sched_static_energy_nj", self.totals.static_nj),
+            ("sched_idle_energy_nj", self.totals.idle_energy_nj),
+            ("sched_mean_utilisation", self.mean_utilisation()),
+        ];
+        for (name, value) in energies {
+            let id = registry.gauge(name, labels);
+            registry.set(id, value);
+        }
+        for (index, utilisation) in self.per_core_utilisation().into_iter().enumerate() {
+            let core = index.to_string();
+            let id = registry.gauge(
+                "sched_core_utilisation",
+                &[("system", system), ("core", core.as_str())],
+            );
+            registry.set(id, utilisation);
+        }
+        let hists = [
+            ("sched_job_latency_cycles", &self.latency_cycles),
+            ("sched_job_energy_nj", &self.job_energy_nj),
+            ("sched_stall_duration_cycles", &self.stall_cycles),
+        ];
+        for (name, hist) in hists {
+            let id = registry.histogram(name, labels);
+            registry.merge_histogram(id, hist);
+        }
+        registry
+    }
+
+    /// Whole-run utilisation per core (busy over covered cycles).
+    pub fn per_core_utilisation(&self) -> Vec<f64> {
+        let mut busy = vec![0u64; self.num_cores];
+        let mut covered = vec![0u64; self.num_cores];
+        for point in &self.points {
+            let span = point.end.saturating_sub(point.start);
+            for (core, acc) in point.cores.iter().enumerate() {
+                busy[core] += acc.busy_cycles;
+                covered[core] += span;
+            }
+        }
+        busy.iter()
+            .zip(&covered)
+            .map(|(&b, &c)| if c == 0 { 0.0 } else { b as f64 / c as f64 })
+            .collect()
+    }
+
+    /// Whole-run mean utilisation across cores.
+    pub fn mean_utilisation(&self) -> f64 {
+        let per_core = self.per_core_utilisation();
+        if per_core.is_empty() {
+            return 0.0;
+        }
+        per_core.iter().sum::<f64>() / per_core.len() as f64
+    }
+}
+
+/// The folding sink. See the module docs for semantics.
+#[derive(Debug, Clone)]
+pub struct MetricsSink {
+    interval: u64,
+    num_cores: usize,
+    windows: Vec<WindowAcc>,
+    /// Windows `[0, depth_recorded)` have their boundary depth sampled.
+    depth_recorded: usize,
+    /// `(depth_recorded + 1) * interval`, cached so the per-event cursor
+    /// check in [`advance`](Self::advance) is a single compare.
+    next_boundary: u64,
+    /// Cached bounds of the most recently addressed window, so the
+    /// common case (event in the same window as its predecessor) skips
+    /// the `at / interval` division.
+    cur_win: usize,
+    cur_lo: u64,
+    cur_hi: u64,
+    ready: u64,
+    /// Crash/watchdog retries waiting for their backoff to elapse.
+    pending_ready: BinaryHeap<Reverse<u64>>,
+    /// Net energy charged so far, by job sequence number.
+    job_energy: Vec<f64>,
+    /// Stall-episode start, by job sequence number ([`NOT_STALLED`]).
+    stall_since: Vec<u64>,
+    /// Offline-transition cycle per core, while offline.
+    core_offline_since: Vec<Option<u64>>,
+    latency: Histogram,
+    job_energy_hist: Histogram,
+    stall_hist: Histogram,
+    totals: RunTotals,
+    last_at: u64,
+}
+
+impl MetricsSink {
+    /// A sink for `num_cores` cores, snapshotting the time-series every
+    /// `interval_cycles`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_cycles == 0`.
+    pub fn new(num_cores: usize, interval_cycles: u64) -> Self {
+        assert!(interval_cycles > 0, "interval must be positive");
+        MetricsSink {
+            interval: interval_cycles,
+            num_cores,
+            windows: Vec::new(),
+            depth_recorded: 0,
+            next_boundary: interval_cycles,
+            cur_win: 0,
+            cur_lo: 0,
+            cur_hi: interval_cycles,
+            ready: 0,
+            pending_ready: BinaryHeap::new(),
+            job_energy: Vec::new(),
+            stall_since: Vec::new(),
+            core_offline_since: vec![None; num_cores],
+            latency: Histogram::new(),
+            job_energy_hist: Histogram::new(),
+            stall_hist: Histogram::new(),
+            totals: RunTotals::default(),
+            last_at: 0,
+        }
+    }
+
+    /// Forget everything and prepare for another run (buffers are kept).
+    pub fn reset(&mut self) {
+        self.windows.clear();
+        self.depth_recorded = 0;
+        self.next_boundary = self.interval;
+        self.cur_win = 0;
+        self.cur_lo = 0;
+        self.cur_hi = self.interval;
+        self.ready = 0;
+        self.pending_ready.clear();
+        self.job_energy.clear();
+        self.stall_since.clear();
+        self.core_offline_since.iter_mut().for_each(|c| *c = None);
+        self.latency.reset();
+        self.job_energy_hist.reset();
+        self.stall_hist.reset();
+        self.totals = RunTotals::default();
+        self.last_at = 0;
+    }
+
+    /// The configured snapshot interval in cycles.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Run-wide counters accumulated so far.
+    pub fn totals(&self) -> &RunTotals {
+        &self.totals
+    }
+
+    /// Job-latency histogram accumulated so far.
+    pub fn latency_cycles(&self) -> &Histogram {
+        &self.latency
+    }
+
+    /// Per-job energy histogram accumulated so far.
+    pub fn job_energy_nj(&self) -> &Histogram {
+        &self.job_energy_hist
+    }
+
+    /// Stall-episode duration histogram accumulated so far.
+    pub fn stall_cycles(&self) -> &Histogram {
+        &self.stall_hist
+    }
+
+    /// Assemble the finished report: time-series points with derived
+    /// utilisation, the three histograms, and the totals. Non-destructive
+    /// — the sink can keep accumulating (or be [`reset`](Self::reset)).
+    pub fn report(&self) -> TelemetryReport {
+        let window_count = self
+            .windows
+            .len()
+            .max((self.last_at / self.interval) as usize + usize::from(self.last_at > 0));
+        let mut points = Vec::with_capacity(window_count);
+        let empty = WindowAcc::default();
+        for index in 0..window_count {
+            let acc = self.windows.get(index).unwrap_or(&empty);
+            let start = index as u64 * self.interval;
+            let end = (start + self.interval).min(self.last_at.max(start));
+            let span = end - start;
+            let mut cores = Vec::with_capacity(self.num_cores);
+            for core in 0..self.num_cores {
+                let slot = acc.cores.get(core).copied().unwrap_or_default();
+                // A core still offline at the end of the stream has no
+                // recovery event to back-fill its outage span; overlay it.
+                let mut offline = slot.offline_cycles;
+                if let Some(since) = self.core_offline_since[core] {
+                    offline += overlap(since, self.last_at, start, end);
+                }
+                let accounted = slot.idle_cycles + offline;
+                let busy = span.saturating_sub(accounted);
+                cores.push(CorePoint {
+                    busy_cycles: busy,
+                    idle_cycles: slot.idle_cycles,
+                    offline_cycles: offline,
+                    idle_energy_nj: slot.idle_energy_nj,
+                    utilisation: if span == 0 {
+                        0.0
+                    } else {
+                        busy as f64 / span as f64
+                    },
+                });
+            }
+            points.push(SeriesPoint {
+                index,
+                start,
+                end,
+                arrivals: acc.arrivals,
+                placements: acc.placements,
+                completions: acc.completions,
+                stall_offers: acc.stall_offers,
+                stall_episodes: acc.stall_episodes,
+                evictions: acc.evictions,
+                preemption_probes: acc.preemption_probes,
+                faults: acc.faults,
+                retries: acc.retries,
+                fallbacks: acc.fallbacks,
+                ready_depth: acc.ready_depth_end.unwrap_or(self.ready),
+                dynamic_nj: acc.dynamic_nj,
+                static_nj: acc.static_nj,
+                cores,
+            });
+        }
+        TelemetryReport {
+            interval: self.interval,
+            num_cores: self.num_cores,
+            horizon: self.last_at,
+            points,
+            latency_cycles: self.latency.clone(),
+            job_energy_nj: self.job_energy_hist.clone(),
+            stall_cycles: self.stall_hist.clone(),
+            totals: self.totals,
+        }
+    }
+
+    /// Window accumulator for index `idx`, growing the table as needed.
+    #[inline]
+    fn window_mut(&mut self, idx: usize) -> &mut WindowAcc {
+        if idx >= self.windows.len() {
+            let num_cores = self.num_cores;
+            self.windows.resize_with(idx + 1, || WindowAcc {
+                cores: vec![CoreAcc::default(); num_cores],
+                ..WindowAcc::default()
+            });
+        }
+        &mut self.windows[idx]
+    }
+
+    /// Move retries whose backoff elapsed by `upto` into the ready count.
+    #[inline]
+    fn admit_ready(&mut self, upto: u64) {
+        while let Some(&Reverse(t)) = self.pending_ready.peek() {
+            if t > upto {
+                break;
+            }
+            self.pending_ready.pop();
+            self.ready += 1;
+        }
+    }
+
+    /// Window index of `at`, via the cached bounds when possible.
+    #[inline]
+    fn window_index(&mut self, at: u64) -> usize {
+        if at >= self.cur_lo && at < self.cur_hi {
+            return self.cur_win;
+        }
+        let idx = (at / self.interval) as usize;
+        self.cur_win = idx;
+        self.cur_lo = idx as u64 * self.interval;
+        self.cur_hi = self.cur_lo + self.interval;
+        idx
+    }
+
+    /// Advance the chronological cursor to `at`: sample the ready-queue
+    /// depth at every window boundary passed and admit elapsed retries.
+    #[inline]
+    fn advance(&mut self, at: u64) {
+        while self.next_boundary <= at {
+            // Depth at the boundary includes retries ready before it.
+            self.admit_ready(self.next_boundary - 1);
+            let ready = self.ready;
+            let idx = self.depth_recorded;
+            self.window_mut(idx).ready_depth_end = Some(ready);
+            self.depth_recorded += 1;
+            self.next_boundary += self.interval;
+        }
+        if !self.pending_ready.is_empty() {
+            self.admit_ready(at);
+        }
+        if at > self.last_at {
+            self.last_at = at;
+        }
+    }
+
+    /// Per-job slot, growing the tables to cover `seq`.
+    #[inline]
+    fn job_slot(&mut self, seq: u64) -> usize {
+        let idx = seq as usize;
+        if idx >= self.job_energy.len() {
+            self.job_energy.resize(idx + 1, 0.0);
+            self.stall_since.resize(idx + 1, NOT_STALLED);
+        }
+        idx
+    }
+
+    /// Clip the span `[from, to)` into windows, attributing idle cycles
+    /// and idle energy to each overlapped window. Hot: idle spans are the
+    /// majority of a dense run's event stream, so window lookup goes
+    /// through the cached bounds (consecutive spans share `[from, to)`
+    /// across cores and usually sit inside one window).
+    fn add_idle_span(&mut self, core: usize, from: u64, to: u64, power: f64) {
+        let mut cursor = from;
+        while cursor < to {
+            let idx = self.window_index(cursor);
+            let chunk = to.min(self.cur_hi) - cursor;
+            let slot = &mut self.window_mut(idx).cores[core];
+            slot.idle_cycles += chunk;
+            slot.idle_energy_nj += power * chunk as f64;
+            cursor += chunk;
+        }
+        self.totals.idle_energy_nj += power * (to - from) as f64;
+    }
+
+    /// Clip the offline span `[from, to)` into windows.
+    fn add_offline_span(&mut self, core: usize, from: u64, to: u64) {
+        let mut cursor = from;
+        while cursor < to {
+            let idx = self.window_index(cursor);
+            let chunk = to.min(self.cur_hi) - cursor;
+            self.window_mut(idx).cores[core].offline_cycles += chunk;
+            cursor += chunk;
+        }
+    }
+}
+
+/// Cycles of `[a_from, a_to)` overlapping `[b_from, b_to)`.
+fn overlap(a_from: u64, a_to: u64, b_from: u64, b_to: u64) -> u64 {
+    let lo = a_from.max(b_from);
+    let hi = a_to.min(b_to);
+    hi.saturating_sub(lo)
+}
+
+impl TraceSink for MetricsSink {
+    fn record(&mut self, event: TraceEvent) {
+        let at = event.at();
+        self.advance(at);
+        // Idle spans — the bulk of a dense stream — cover earlier cycles
+        // and do their own window clipping; skip the shared lookup.
+        if let TraceEvent::IdleSpan {
+            core,
+            from,
+            to,
+            idle_power_nj_per_cycle,
+        } = event
+        {
+            self.add_idle_span(core.0, from, to, idle_power_nj_per_cycle);
+            return;
+        }
+        let window = self.window_index(at);
+        match event {
+            TraceEvent::Arrival { seq, .. } => {
+                self.job_slot(seq);
+                self.ready += 1;
+                self.totals.arrivals += 1;
+                self.window_mut(window).arrivals += 1;
+            }
+            TraceEvent::IdleSpan { .. } => unreachable!("handled above"),
+            TraceEvent::Placement {
+                seq,
+                at,
+                dynamic_nj,
+                static_nj,
+                ..
+            } => {
+                let slot = self.job_slot(seq);
+                self.job_energy[slot] += dynamic_nj + static_nj;
+                if self.stall_since[slot] != NOT_STALLED {
+                    self.stall_hist.record(at - self.stall_since[slot]);
+                    self.stall_since[slot] = NOT_STALLED;
+                }
+                self.ready = self.ready.saturating_sub(1);
+                self.totals.placements += 1;
+                self.totals.dynamic_nj += dynamic_nj;
+                self.totals.static_nj += static_nj;
+                let w = self.window_mut(window);
+                w.placements += 1;
+                w.dynamic_nj += dynamic_nj;
+                w.static_nj += static_nj;
+            }
+            TraceEvent::Stall { seq, at, .. } => {
+                let slot = self.job_slot(seq);
+                self.totals.stall_offers += 1;
+                let opened = self.stall_since[slot] == NOT_STALLED;
+                if opened {
+                    self.stall_since[slot] = at;
+                    self.totals.stall_episodes += 1;
+                }
+                let w = self.window_mut(window);
+                w.stall_offers += 1;
+                if opened {
+                    w.stall_episodes += 1;
+                }
+            }
+            TraceEvent::PreemptionProbe { granted, .. } => {
+                self.totals.preemption_probes += 1;
+                if granted {
+                    self.totals.preemptions_granted += 1;
+                }
+                self.window_mut(window).preemption_probes += 1;
+            }
+            TraceEvent::Eviction {
+                victim,
+                total_cycles,
+                remaining_cycles,
+                dynamic_nj,
+                static_nj,
+                ..
+            } => {
+                // The simulator's exact refund fraction.
+                let refund = remaining_cycles as f64 / total_cycles as f64;
+                let dynamic_refund = dynamic_nj * refund;
+                let static_refund = static_nj * refund;
+                let slot = self.job_slot(victim);
+                self.job_energy[slot] -= dynamic_refund + static_refund;
+                self.ready += 1;
+                self.totals.evictions += 1;
+                self.totals.dynamic_nj -= dynamic_refund;
+                self.totals.static_nj -= static_refund;
+                let w = self.window_mut(window);
+                w.evictions += 1;
+                w.dynamic_nj -= dynamic_refund;
+                w.static_nj -= static_refund;
+            }
+            TraceEvent::Completion {
+                seq, at, arrival, ..
+            } => {
+                let slot = self.job_slot(seq);
+                self.latency.record(at - arrival);
+                self.job_energy_hist.record_f64(self.job_energy[slot]);
+                self.totals.completions += 1;
+                self.window_mut(window).completions += 1;
+            }
+            TraceEvent::Fault {
+                seq,
+                kind,
+                total_cycles,
+                executed_cycles,
+                dynamic_nj,
+                static_nj,
+                ..
+            } => {
+                let remaining = total_cycles - executed_cycles;
+                let refund = if total_cycles == 0 {
+                    0.0
+                } else {
+                    remaining as f64 / total_cycles as f64
+                };
+                let dynamic_refund = dynamic_nj * refund;
+                let static_refund = static_nj * refund;
+                let slot = self.job_slot(seq);
+                self.job_energy[slot] -= dynamic_refund + static_refund;
+                if kind == FaultKind::CoreOutage {
+                    // Outage victims requeue immediately; crash/watchdog
+                    // victims park until their Retry event re-admits them.
+                    self.ready += 1;
+                }
+                self.totals.faults += 1;
+                self.totals.dynamic_nj -= dynamic_refund;
+                self.totals.static_nj -= static_refund;
+                let w = self.window_mut(window);
+                w.faults += 1;
+                w.dynamic_nj -= dynamic_refund;
+                w.static_nj -= static_refund;
+            }
+            TraceEvent::Retry {
+                ready_at,
+                abandoned,
+                ..
+            } => {
+                if abandoned {
+                    self.totals.abandoned += 1;
+                } else {
+                    self.totals.retries += 1;
+                    self.window_mut(window).retries += 1;
+                    self.pending_ready.push(Reverse(ready_at));
+                }
+            }
+            TraceEvent::Fallback { .. } => {
+                self.totals.fallbacks += 1;
+                self.window_mut(window).fallbacks += 1;
+            }
+            TraceEvent::Degraded {
+                at,
+                component,
+                online,
+            } => {
+                self.totals.degraded_transitions += 1;
+                if let DegradedComponent::Core(core) = component {
+                    if online {
+                        if let Some(since) = self.core_offline_since[core.0].take() {
+                            self.add_offline_span(core.0, since, at);
+                        }
+                    } else {
+                        self.core_offline_since[core.0] = Some(at);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multicore_sim::{CoreId, PlacementKind};
+    use workloads::BenchmarkId;
+
+    fn arrival(seq: u64, at: u64) -> TraceEvent {
+        TraceEvent::Arrival {
+            seq,
+            benchmark: BenchmarkId(0),
+            at,
+            priority: 3,
+        }
+    }
+
+    fn placement(seq: u64, core: usize, at: u64, cycles: u64, nj: f64) -> TraceEvent {
+        TraceEvent::Placement {
+            seq,
+            benchmark: BenchmarkId(0),
+            core: CoreId(core),
+            at,
+            cycles,
+            dynamic_nj: nj,
+            static_nj: 0.0,
+            kind: PlacementKind::Pass,
+        }
+    }
+
+    fn completion(seq: u64, core: usize, at: u64, arrival: u64) -> TraceEvent {
+        TraceEvent::Completion {
+            seq,
+            benchmark: BenchmarkId(0),
+            core: CoreId(core),
+            at,
+            arrival,
+            priority: 3,
+        }
+    }
+
+    #[test]
+    fn folds_a_simple_run_into_series_and_histograms() {
+        let mut sink = MetricsSink::new(2, 100);
+        sink.record(arrival(0, 10));
+        sink.record(placement(0, 0, 10, 40, 5.0));
+        sink.record(TraceEvent::IdleSpan {
+            core: CoreId(1),
+            from: 0,
+            to: 150,
+            idle_power_nj_per_cycle: 1.0,
+        });
+        sink.record(completion(0, 0, 50, 10));
+        sink.record(arrival(1, 120));
+        sink.record(placement(1, 0, 120, 40, 7.0));
+        sink.record(completion(1, 0, 160, 120));
+
+        let report = sink.report();
+        assert_eq!(report.points.len(), 2);
+        assert_eq!(report.totals.arrivals, 2);
+        assert_eq!(report.totals.completions, 2);
+        assert_eq!(report.latency_cycles.count(), 2);
+        assert_eq!(report.latency_cycles.max(), 40);
+        assert_eq!(report.job_energy_nj.quantile(1.0), 7);
+
+        // Window 0: core 1 idle for its first 100 cycles.
+        let w0 = &report.points[0];
+        assert_eq!(w0.arrivals, 1);
+        assert_eq!(w0.cores[1].idle_cycles, 100);
+        assert!((w0.cores[1].idle_energy_nj - 100.0).abs() < 1e-9);
+        // Ready depth at the cycle-100 boundary: job 0 placed, none waiting.
+        assert_eq!(w0.ready_depth, 0);
+        // Window 1 is truncated at the last event.
+        let w1 = &report.points[1];
+        assert_eq!(w1.end, 160);
+        assert_eq!(w1.completions, 1);
+        assert_eq!(w1.cores[1].idle_cycles, 50);
+    }
+
+    #[test]
+    fn stall_episodes_measure_first_offer_to_placement() {
+        let mut sink = MetricsSink::new(1, 1_000);
+        sink.record(arrival(0, 0));
+        sink.record(placement(0, 0, 0, 500, 1.0));
+        sink.record(arrival(1, 10));
+        for at in [10u64, 200, 400] {
+            sink.record(TraceEvent::Stall {
+                seq: 1,
+                benchmark: BenchmarkId(0),
+                at,
+            });
+        }
+        sink.record(completion(0, 0, 500, 0));
+        sink.record(placement(1, 0, 500, 100, 1.0));
+        sink.record(completion(1, 0, 600, 10));
+
+        let report = sink.report();
+        assert_eq!(report.totals.stall_offers, 3);
+        assert_eq!(report.totals.stall_episodes, 1);
+        assert_eq!(report.stall_cycles.count(), 1);
+        // One episode: first offer at 10, placed at 500.
+        assert_eq!(report.stall_cycles.max(), 490);
+    }
+
+    #[test]
+    fn eviction_refunds_reduce_job_energy_and_requeue() {
+        let mut sink = MetricsSink::new(1, 1_000);
+        sink.record(arrival(0, 0));
+        sink.record(placement(0, 0, 0, 100, 10.0));
+        sink.record(TraceEvent::Eviction {
+            victim: 0,
+            core: CoreId(0),
+            at: 50,
+            total_cycles: 100,
+            remaining_cycles: 50,
+            dynamic_nj: 10.0,
+            static_nj: 0.0,
+        });
+        sink.record(placement(0, 0, 60, 100, 10.0));
+        sink.record(completion(0, 0, 160, 0));
+
+        let report = sink.report();
+        assert_eq!(report.totals.evictions, 1);
+        // 10 charged, 5 refunded, 10 charged again = 15 net.
+        assert_eq!(report.job_energy_nj.max(), 15);
+        assert!((report.totals.dynamic_nj - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ready_depth_is_sampled_at_boundaries_with_retry_backoff() {
+        let mut sink = MetricsSink::new(1, 100);
+        sink.record(arrival(0, 10)); // depth 1
+        sink.record(TraceEvent::Retry {
+            seq: 0,
+            benchmark: BenchmarkId(0),
+            at: 20,
+            attempt: 1,
+            ready_at: 250,
+            abandoned: false,
+        });
+        // The retry heap admits seq 0 again at cycle 250.
+        sink.record(arrival(1, 320)); // depth becomes 2 + 1 = 3? No:
+                                      // job 0 arrived (1), retried -> still counted ready (this
+                                      // synthetic stream never placed it, so depth stays 1), the
+                                      // pending retry adds another at 250, arrival 1 adds one.
+        let report = sink.report();
+        assert_eq!(report.points[0].ready_depth, 1, "boundary at 100");
+        assert_eq!(report.points[1].ready_depth, 1, "boundary at 200");
+        assert_eq!(
+            report.points[2].ready_depth, 2,
+            "boundary at 300: retry admitted"
+        );
+        assert_eq!(report.points[3].ready_depth, 3, "tail window: arrival 1");
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut sink = MetricsSink::new(2, 100);
+        sink.record(arrival(0, 10));
+        sink.record(placement(0, 0, 10, 40, 5.0));
+        sink.record(completion(0, 0, 50, 10));
+        sink.reset();
+        assert_eq!(sink.totals(), &RunTotals::default());
+        assert!(sink.latency_cycles().is_empty());
+        assert!(sink.report().points.is_empty());
+    }
+}

@@ -1,0 +1,231 @@
+//! Span profiler: nestable timed scopes for the offline pipeline.
+//!
+//! A [`SpanRecorder`] hands out RAII [`Span`] guards; dropping a guard
+//! stamps the elapsed wall time into the recorder. Guards nest — a span
+//! opened while another is live is recorded one level deeper — and the
+//! finished profile renders as an indented tree:
+//!
+//! ```text
+//! oracle_build                 412.8 ms
+//!   oracle_characterise        409.1 ms
+//! predictor_train              233.4 ms
+//!   predictor_dataset            1.2 ms
+//!   predictor_bagging          219.0 ms
+//!   predictor_memoize           13.1 ms
+//! ```
+//!
+//! The recorder also implements
+//! [`hetero_core::StageObserver`], so it plugs straight into the
+//! observed variants of the oracle build and predictor training.
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One finished (or still-open) span, in start order.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Scope name.
+    pub name: String,
+    /// Nesting depth at open time (0 = top level).
+    pub depth: usize,
+    /// Elapsed wall time in nanoseconds (0 while still open).
+    pub nanos: u128,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    records: Vec<SpanRecord>,
+    /// Indices into `records` of the currently-open spans, innermost
+    /// last, with each span's start instant.
+    open: Vec<(usize, Instant)>,
+}
+
+/// Collects nested timed scopes. Interior-mutable so guards only need a
+/// shared reference; spans must close in LIFO order (RAII guarantees
+/// this for scoped guards).
+#[derive(Debug, Default)]
+pub struct SpanRecorder {
+    inner: RefCell<Inner>,
+}
+
+impl SpanRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        SpanRecorder::default()
+    }
+
+    /// Open a scope; the returned guard records it when dropped.
+    ///
+    /// ```
+    /// use hetero_telemetry::SpanRecorder;
+    ///
+    /// let recorder = SpanRecorder::new();
+    /// {
+    ///     let _outer = recorder.span("outer");
+    ///     let _inner = recorder.span("inner");
+    /// }
+    /// let records = recorder.records();
+    /// assert_eq!(records[0].name, "outer");
+    /// assert_eq!(records[1].depth, 1);
+    /// ```
+    pub fn span(&self, name: &str) -> Span<'_> {
+        self.open(name);
+        Span { recorder: self }
+    }
+
+    /// Record an already-measured duration as a closed span at the
+    /// current depth (for timings produced elsewhere).
+    pub fn record_complete(&self, name: &str, nanos: u128) {
+        let mut inner = self.inner.borrow_mut();
+        let depth = inner.open.len();
+        inner.records.push(SpanRecord {
+            name: name.to_owned(),
+            depth,
+            nanos,
+        });
+    }
+
+    fn open(&self, name: &str) {
+        let mut inner = self.inner.borrow_mut();
+        let depth = inner.open.len();
+        let index = inner.records.len();
+        inner.records.push(SpanRecord {
+            name: name.to_owned(),
+            depth,
+            nanos: 0,
+        });
+        inner.open.push((index, Instant::now()));
+    }
+
+    fn close(&self) {
+        let mut inner = self.inner.borrow_mut();
+        if let Some((index, start)) = inner.open.pop() {
+            inner.records[index].nanos = start.elapsed().as_nanos();
+        }
+    }
+
+    /// Snapshot of all spans in start order.
+    pub fn records(&self) -> Vec<SpanRecord> {
+        self.inner.borrow().records.clone()
+    }
+
+    /// Total nanoseconds of every span named `name`.
+    pub fn total_nanos(&self, name: &str) -> u128 {
+        self.inner
+            .borrow()
+            .records
+            .iter()
+            .filter(|r| r.name == name)
+            .map(|r| r.nanos)
+            .sum()
+    }
+
+    /// The indented text profile (milliseconds, one line per span).
+    pub fn report(&self) -> String {
+        let inner = self.inner.borrow();
+        let width = inner
+            .records
+            .iter()
+            .map(|r| r.name.len() + 2 * r.depth)
+            .max()
+            .unwrap_or(0)
+            .max(20);
+        let mut out = String::new();
+        for record in &inner.records {
+            let label = format!("{:indent$}{}", "", record.name, indent = 2 * record.depth);
+            let _ = writeln!(
+                out,
+                "{label:<width$}  {:>10.3} ms",
+                record.nanos as f64 / 1e6
+            );
+        }
+        out
+    }
+}
+
+/// RAII guard for one open scope; see [`SpanRecorder::span`].
+#[derive(Debug)]
+pub struct Span<'a> {
+    recorder: &'a SpanRecorder,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.recorder.close();
+    }
+}
+
+impl hetero_core::StageObserver for SpanRecorder {
+    fn enter(&mut self, stage: &'static str) {
+        self.open(stage);
+    }
+
+    fn exit(&mut self, _stage: &'static str) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_record_in_start_order() {
+        let recorder = SpanRecorder::new();
+        {
+            let _a = recorder.span("a");
+            {
+                let _b = recorder.span("b");
+            }
+            let _c = recorder.span("c");
+        }
+        let records = recorder.records();
+        let shape: Vec<(&str, usize)> =
+            records.iter().map(|r| (r.name.as_str(), r.depth)).collect();
+        assert_eq!(shape, [("a", 0), ("b", 1), ("c", 1)]);
+        // Closed spans carry a measured duration; the outer span covers
+        // its children.
+        assert!(records.iter().all(|r| r.nanos > 0));
+        assert!(records[0].nanos >= records[1].nanos);
+    }
+
+    #[test]
+    fn record_complete_lands_at_the_current_depth() {
+        let recorder = SpanRecorder::new();
+        let _outer = recorder.span("outer");
+        recorder.record_complete("imported", 1_500_000);
+        let records = recorder.records();
+        assert_eq!(records[1].depth, 1);
+        assert_eq!(records[1].nanos, 1_500_000);
+        assert_eq!(recorder.total_nanos("imported"), 1_500_000);
+    }
+
+    #[test]
+    fn report_indents_by_depth() {
+        let recorder = SpanRecorder::new();
+        {
+            let _a = recorder.span("top");
+            let _b = recorder.span("nested");
+        }
+        let report = recorder.report();
+        let lines: Vec<&str> = report.lines().collect();
+        assert!(lines[0].starts_with("top"));
+        assert!(lines[1].starts_with("  nested"));
+        assert!(lines.iter().all(|l| l.ends_with("ms")));
+    }
+
+    #[test]
+    fn stage_observer_brackets_become_spans() {
+        use hetero_core::StageObserver;
+        let mut recorder = SpanRecorder::new();
+        recorder.enter("stage_a");
+        recorder.enter("stage_b");
+        recorder.exit("stage_b");
+        recorder.exit("stage_a");
+        let records = recorder.records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].depth, 1);
+        assert!(records[0].nanos >= records[1].nanos);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests for the log-linear histogram: the quantile error
+//! bound, merge algebra, and sum/extreme exactness under generated
+//! streams.
+
+use hetero_telemetry::{Histogram, SUB_BUCKETS};
+use proptest::prelude::*;
+
+/// A stream mixing small exact values, mid-range, and huge magnitudes.
+fn stream() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        (0u64..1 << 40, 0u32..40).prop_map(|(base, shift)| base >> shift.min(39)),
+        1..400,
+    )
+}
+
+fn fill(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `true_q <= quantile(q) <= true_q * (1 + 1/SUB_BUCKETS)` for every
+    /// rank of every generated stream.
+    #[test]
+    fn quantile_error_is_bounded(values in stream()) {
+        let h = fill(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for step in 0..=sorted.len() {
+            let q = step as f64 / sorted.len() as f64;
+            // The documented contract: the estimate covers the
+            // rank-`ceil(q * count)` observation.
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let truth = sorted[rank - 1];
+            let est = h.quantile(q);
+            prop_assert!(est >= truth, "q={q}: {est} < {truth}");
+            prop_assert!(
+                (est - truth).saturating_mul(SUB_BUCKETS) <= truth,
+                "q={q}: {est} overshoots {truth} beyond 1/{SUB_BUCKETS}"
+            );
+        }
+    }
+
+    /// Merging is commutative: a ∪ b == b ∪ a.
+    #[test]
+    fn merge_is_commutative(a in stream(), b in stream()) {
+        let (ha, hb) = (fill(&a), fill(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Merging is associative: (a ∪ b) ∪ c == a ∪ (b ∪ c), and both equal
+    /// recording every value into one histogram.
+    #[test]
+    fn merge_is_associative_and_lossless(a in stream(), b in stream(), c in stream()) {
+        let (ha, hb, hc) = (fill(&a), fill(&b), fill(&c));
+
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(&left, &right);
+
+        let mut all = Vec::new();
+        all.extend_from_slice(&a);
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(&left, &fill(&all));
+    }
+
+    /// Count, sum, min, and max are exact regardless of bucketing.
+    #[test]
+    fn aggregates_are_exact(values in stream()) {
+        let h = fill(&values);
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.sum(), values.iter().map(|&v| u128::from(v)).sum::<u128>());
+        prop_assert_eq!(h.min(), *values.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+        // The extreme quantiles coincide with the exact extremes.
+        prop_assert_eq!(h.quantile(1.0), h.max());
+        prop_assert!(h.quantile(0.0) >= h.min());
+    }
+}

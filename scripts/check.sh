@@ -47,6 +47,9 @@ echo "==> audit --smoke (flight-recorder ledger + stall-purity audit)"
 echo "==> chaos --smoke (fault-injection degradation sweep)"
 ./target/release/chaos --smoke
 
+echo "==> telemetry --smoke (span profiler + metrics sink across all systems)"
+./target/release/telemetry --smoke
+
 if $run_perf; then
     echo "==> perf_pipeline gate (release)"
     ./target/release/perf_pipeline

@@ -16,7 +16,11 @@
 //! * [`multicore_sim`] — discrete-event heterogeneous multicore simulator;
 //! * [`hetero_core`] — the paper's contribution: ANN best-core prediction,
 //!   the Figure 5 cache tuning heuristic, the Section IV.E
-//!   energy-advantageous stall decision, and the four evaluated systems.
+//!   energy-advantageous stall decision, and the four evaluated systems;
+//! * [`hetero_telemetry`] — observability: allocation-free metrics
+//!   registry, log-linear histograms, the per-core time-series
+//!   [`MetricsSink`](hetero_telemetry::MetricsSink), the span profiler,
+//!   and Prometheus text exposition.
 //!
 //! # Quickstart
 //!
@@ -36,6 +40,7 @@
 pub use cache_sim;
 pub use energy_model;
 pub use hetero_core;
+pub use hetero_telemetry;
 pub use multicore_sim;
 pub use tinyann;
 pub use workloads;
