@@ -27,7 +27,11 @@
 //! reference) — both must stay within 2% — and `sim_metrics_overhead`
 //! (the traced loop feeding a live `hetero_telemetry::MetricsSink`,
 //! which folds every event into time-series windows and histograms,
-//! gated at 0.55x of the untraced loop). Speedups compare the minimum over
+//! gated at 0.55x of the untraced loop). A seventh gated stage,
+//! `sim_manycore`, pins the indexed event loop's scaling win: at 256
+//! cores under a saturating burst, `Simulator::run` must be at least 5x
+//! faster than the retained linear-scan `Simulator::run_reference`.
+//! Speedups compare the minimum over
 //! the measured iterations on each side, which filters the additive
 //! scheduling noise of shared hosts. The binary exits non-zero when the
 //! guard fails, so it can serve as a CI perf gate.
@@ -50,8 +54,8 @@ use hetero_bench::Testbed;
 use hetero_core::{BestCorePredictor, PredictorConfig, SuiteOracle};
 use hetero_telemetry::MetricsSink;
 use multicore_sim::{
-    CoreId, CoreView, Decision, FaultPlan, Job, JobExecution, NullSink, QueueDiscipline, Scheduler,
-    Simulator,
+    CoreId, CoreIndex, Decision, FaultPlan, Job, JobExecution, NullSink, QueueDiscipline,
+    Scheduler, Simulator,
 };
 use std::process::ExitCode;
 use tinyann::reference::RefBagging;
@@ -63,13 +67,14 @@ use workloads::{ArrivalPlan, SplitMix64, Suite};
 const DEFAULT_MIN_SPEEDUP: f64 = 2.0;
 
 /// Stages whose speedup the gate checks (each must clear its threshold).
-const GATED_STAGES: [&str; 6] = [
+const GATED_STAGES: [&str; 7] = [
     "oracle_build_paper",
     "bagging_train",
     "ensemble_predict",
     "sim_trace_overhead",
     "sim_fault_overhead",
     "sim_metrics_overhead",
+    "sim_manycore",
 ];
 
 /// `sim_trace_overhead` and `sim_fault_overhead` are no-regression bars,
@@ -90,11 +95,20 @@ const TRACE_OVERHEAD_MIN_RATIO: f64 = 0.98;
 /// CLI threshold does not move it.
 const METRICS_OVERHEAD_MIN_RATIO: f64 = 0.55;
 
+/// `sim_manycore` pins the scaling win of the indexed event loop: the
+/// bitset/indexed `Simulator::run` against the retained linear-scan
+/// `Simulator::run_reference` at 256 cores under a saturating burst (the
+/// regime where the reference pays O(cores) per event for idle scans and
+/// per-offer index rebuilds, while the indexed loop pays O(1)/O(words)).
+/// Fixed — the CLI threshold does not move it.
+const MANYCORE_MIN_SPEEDUP: f64 = 5.0;
+
 /// The gate bar for one stage at the given CLI threshold.
 fn stage_threshold(name: &str, min_speedup: f64) -> f64 {
     match name {
         "sim_trace_overhead" | "sim_fault_overhead" => TRACE_OVERHEAD_MIN_RATIO,
         "sim_metrics_overhead" => METRICS_OVERHEAD_MIN_RATIO,
+        "sim_manycore" => MANYCORE_MIN_SPEEDUP,
         _ => min_speedup,
     }
 }
@@ -331,10 +345,10 @@ fn measure_ensemble_predict(iters: u32) -> Stage {
 struct FirstIdle;
 
 impl Scheduler for FirstIdle {
-    fn schedule(&mut self, job: &Job, cores: &[CoreView], _now: u64) -> Decision {
-        match cores.iter().find(|c| c.is_idle()) {
+    fn schedule(&mut self, job: &Job, cores: &CoreIndex, _now: u64) -> Decision {
+        match cores.first_idle() {
             Some(core) => Decision::run(
-                core.id,
+                core,
                 JobExecution {
                     cycles: 40 + 17 * (job.benchmark.0 as u64 % 5),
                     energy: EnergyBreakdown {
@@ -430,6 +444,32 @@ fn measure_metrics_overhead(iters: u32) -> Stage {
     }
 }
 
+/// The many-core scaling stage: both event loops at 256 cores under a
+/// saturating burst — 30k jobs all arriving within the first few thousand
+/// cycles, so for most of the run every core is busy and a deep ready
+/// queue drains one completion at a time. Per event the reference loop
+/// scans all 256 views for the idle-energy accrual and rebuilds a
+/// `CoreIndex` for every scheduler offer; the indexed loop answers both
+/// from the incrementally-maintained idle mask (`idle_count() == 0` is a
+/// single integer test). Results are bit-identical (property-tested);
+/// only the cost differs, and it must differ by >= 5x.
+fn measure_manycore(iters: u32) -> Stage {
+    let plan = ArrivalPlan::uniform_with_priorities(30_000, 4_000, 12, 3, 7);
+    let sim = Simulator::new(256);
+    let (reference, fused) = bench_paired(
+        "sim_manycore_linear",
+        || sim.run_reference(&plan, &mut FirstIdle).jobs_completed,
+        "sim_manycore_indexed",
+        || sim.run(&plan, &mut FirstIdle).jobs_completed,
+        iters,
+    );
+    Stage {
+        name: "sim_manycore",
+        reference,
+        fused,
+    }
+}
+
 /// (Re-)measure one stage by name, at the given iteration count.
 fn measure_stage(name: &str, iters: u32) -> Stage {
     match name {
@@ -444,6 +484,7 @@ fn measure_stage(name: &str, iters: u32) -> Stage {
         "sim_trace_overhead" => measure_trace_overhead(iters),
         "sim_fault_overhead" => measure_fault_overhead(iters),
         "sim_metrics_overhead" => measure_metrics_overhead(iters),
+        "sim_manycore" => measure_manycore(iters),
         other => panic!("unknown stage {other}"),
     }
 }
@@ -456,6 +497,7 @@ fn stage_iters(name: &str, smoke: bool) -> u32 {
         "predictor_train_small" | "testbed_run_all_small" => 3,
         "bagging_train" => 5,
         "sim_trace_overhead" | "sim_fault_overhead" | "sim_metrics_overhead" => 9,
+        "sim_manycore" => 5,
         _ => 7,
     }
 }
@@ -494,7 +536,9 @@ fn main() -> ExitCode {
              >= {min_speedup:.1}x their reference on one worker;\n\
              sim_trace_overhead and sim_fault_overhead must each hold \
              >= {TRACE_OVERHEAD_MIN_RATIO:.2}x of the untraced loop;\n\
-             sim_metrics_overhead must hold >= {METRICS_OVERHEAD_MIN_RATIO:.2}x\n"
+             sim_metrics_overhead must hold >= {METRICS_OVERHEAD_MIN_RATIO:.2}x;\n\
+             sim_manycore must be >= {MANYCORE_MIN_SPEEDUP:.1}x the linear-scan \
+             loop at 256 cores\n"
         );
     }
 
@@ -508,6 +552,7 @@ fn main() -> ExitCode {
         "sim_trace_overhead",
         "sim_fault_overhead",
         "sim_metrics_overhead",
+        "sim_manycore",
     ];
     let mut stages: Vec<Stage> = all_stages
         .iter()

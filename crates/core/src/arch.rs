@@ -2,7 +2,7 @@
 //! sizes and configurable line size / associativity.
 
 use cache_sim::{design_space, CacheConfig, CacheSizeKb};
-use multicore_sim::CoreId;
+use multicore_sim::{CoreId, CoreSet};
 
 /// The multicore platform description.
 ///
@@ -29,6 +29,28 @@ pub struct Architecture {
     core_sizes: Vec<CacheSizeKb>,
     primary_profiling: CoreId,
     secondary_profiling: Option<CoreId>,
+    /// Precomputed membership masks, one per entry of [`CacheSizeKb::ALL`]:
+    /// `size_sets[i]` holds the cores whose fixed size is `ALL[i]`. Built
+    /// once at construction so schedulers can intersect them with the idle
+    /// mask (`CoreIndex::first_idle_in`) in O(words) per decision instead
+    /// of scanning every core.
+    size_sets: Vec<CoreSet>,
+}
+
+fn build_size_sets(core_sizes: &[CacheSizeKb]) -> Vec<CoreSet> {
+    CacheSizeKb::ALL
+        .iter()
+        .map(|&size| {
+            CoreSet::from_cores(
+                core_sizes.len(),
+                core_sizes
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &s)| s == size)
+                    .map(|(i, _)| CoreId(i)),
+            )
+        })
+        .collect()
 }
 
 impl Architecture {
@@ -36,15 +58,18 @@ impl Architecture {
     /// Core 3 → 8 KB (secondary profiling), Core 4 → 8 KB (primary
     /// profiling).
     pub fn paper_quad() -> Self {
+        let core_sizes = vec![
+            CacheSizeKb::K2,
+            CacheSizeKb::K4,
+            CacheSizeKb::K8,
+            CacheSizeKb::K8,
+        ];
+        let size_sets = build_size_sets(&core_sizes);
         Architecture {
-            core_sizes: vec![
-                CacheSizeKb::K2,
-                CacheSizeKb::K4,
-                CacheSizeKb::K8,
-                CacheSizeKb::K8,
-            ],
+            core_sizes,
             primary_profiling: CoreId(3),
             secondary_profiling: Some(CoreId(2)),
+            size_sets,
         }
     }
 
@@ -78,10 +103,12 @@ impl Architecture {
         if let Some(secondary) = secondary_profiling {
             check(secondary);
         }
+        let size_sets = build_size_sets(&core_sizes);
         Architecture {
             core_sizes,
             primary_profiling,
             secondary_profiling,
+            size_sets,
         }
     }
 
@@ -106,9 +133,20 @@ impl Architecture {
 
     /// Cores whose cache size equals `size`, in id order.
     pub fn cores_with_size(&self, size: CacheSizeKb) -> Vec<CoreId> {
-        self.cores()
-            .filter(|&c| self.core_sizes[c.0] == size)
-            .collect()
+        self.core_set(size).iter().collect()
+    }
+
+    /// The precomputed membership mask of cores whose fixed cache size
+    /// equals `size` (empty when the architecture offers none). Intersect
+    /// it with the simulator's idle mask via
+    /// [`CoreIndex::first_idle_in`](multicore_sim::CoreIndex::first_idle_in)
+    /// for an O(words) best-size placement probe.
+    pub fn core_set(&self, size: CacheSizeKb) -> &CoreSet {
+        let index = CacheSizeKb::ALL
+            .iter()
+            .position(|&s| s == size)
+            .expect("every CacheSizeKb variant appears in ALL");
+        &self.size_sets[index]
     }
 
     /// The size actually offered by this architecture that is closest to
@@ -208,6 +246,27 @@ mod tests {
             arch.cores_with_size(CacheSizeKb::K8),
             vec![CoreId(2), CoreId(3)]
         );
+    }
+
+    #[test]
+    fn core_sets_mirror_cores_with_size() {
+        let arch = Architecture::new(
+            vec![
+                CacheSizeKb::K2,
+                CacheSizeKb::K2,
+                CacheSizeKb::K8,
+                CacheSizeKb::K8,
+            ],
+            CoreId(3),
+            Some(CoreId(2)),
+        );
+        for size in CacheSizeKb::ALL {
+            let from_set: Vec<CoreId> = arch.core_set(size).iter().collect();
+            assert_eq!(from_set, arch.cores_with_size(size));
+        }
+        assert!(arch.core_set(CacheSizeKb::K4).is_empty());
+        assert!(arch.core_set(CacheSizeKb::K2).contains(CoreId(1)));
+        assert!(!arch.core_set(CacheSizeKb::K2).contains(CoreId(2)));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::oracle::SuiteOracle;
 use cache_sim::BASE_CONFIG;
 use energy_model::EnergyModel;
-use multicore_sim::{CoreId, CoreView, Decision, Job, JobExecution, Scheduler};
+use multicore_sim::{CoreId, CoreIndex, Decision, Job, JobExecution, Scheduler};
 
 /// "The base system's cores all used the base configuration of 8KB_4W_64B,
 /// thus there was no profiling, and the ANN and tuning heuristic were not
@@ -50,12 +50,12 @@ impl<'a> BaseSystem<'a> {
 }
 
 impl Scheduler for BaseSystem<'_> {
-    fn schedule(&mut self, job: &Job, cores: &[CoreView], _now: u64) -> Decision {
-        match cores.iter().find(|c| c.is_idle()) {
+    fn schedule(&mut self, job: &Job, cores: &CoreIndex, _now: u64) -> Decision {
+        match cores.first_idle() {
             Some(core) => {
                 let cost = self.oracle.cost(job.benchmark, BASE_CONFIG);
                 Decision::run(
-                    core.id,
+                    core,
                     JobExecution {
                         cycles: cost.cycles,
                         energy: cost.energy,
@@ -97,8 +97,8 @@ mod tests {
 
     #[test]
     fn base_system_is_inherently_fault_resilient() {
-        // The stateless first-idle policy selects cores through
-        // `CoreView::is_idle`, which already excludes offline cores: it
+        // The stateless first-idle policy selects cores through the idle
+        // mask, whose bits already exclude offline cores: it
         // migrates around outages and retries crashed jobs with no
         // fault-specific code at all.
         use multicore_sim::{FaultConfig, FaultPlan, NullSink};

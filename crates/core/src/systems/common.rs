@@ -6,7 +6,7 @@ use crate::oracle::SuiteOracle;
 use crate::profiling::{ProfileEntry, ProfilingTable};
 use cache_sim::{CacheConfig, CacheSizeKb, BASE_CONFIG};
 use energy_model::{EnergyModel, ExecutionCost};
-use multicore_sim::{CoreId, CoreView, Decision, Fingerprint, Job, JobExecution};
+use multicore_sim::{CoreId, CoreIndex, Decision, Fingerprint, Job, JobExecution};
 use std::collections::HashMap;
 use workloads::BenchmarkId;
 
@@ -135,14 +135,14 @@ impl<'a> Shared<'a> {
     /// Try to start a profiling execution for `job` on the primary (then
     /// secondary) profiling core; stall when both are busy or when this
     /// benchmark's profile is already being gathered.
-    pub fn try_profile(&mut self, job: &Job, cores: &[CoreView]) -> Decision {
+    pub fn try_profile(&mut self, job: &Job, cores: &CoreIndex) -> Decision {
         if self.profiling_in_flight.contains_key(&job.benchmark) {
             return Decision::Stall;
         }
         let mut candidates = vec![self.arch.primary_profiling_core()];
         candidates.extend(self.arch.secondary_profiling_core());
         for core in candidates {
-            if cores[core.0].is_idle() {
+            if cores.is_idle(core) {
                 return self.launch(
                     job,
                     core,
@@ -200,9 +200,10 @@ impl<'a> Shared<'a> {
         }
     }
 
-    /// First idle core in id order, if any.
-    pub fn first_idle(cores: &[CoreView]) -> Option<CoreId> {
-        cores.iter().find(|c| c.is_idle()).map(|c| c.id)
+    /// First idle core in id order, if any (one trailing-zeros scan over
+    /// the idle mask words).
+    pub fn first_idle(cores: &CoreIndex) -> Option<CoreId> {
+        cores.first_idle()
     }
 
     /// Digest of every piece of observable policy state, backing
@@ -316,14 +317,19 @@ mod tests {
         }
     }
 
-    fn all_idle(n: usize) -> Vec<CoreView> {
-        (0..n)
-            .map(|i| CoreView {
-                id: CoreId(i),
-                busy: None,
-                online: true,
-            })
-            .collect()
+    fn all_idle(n: usize) -> CoreIndex {
+        CoreIndex::new(n)
+    }
+
+    fn occupy(cores: &mut CoreIndex, core: CoreId, seq: u64) {
+        cores.place(
+            core,
+            BusyInfo {
+                job: job(seq, 0),
+                started: 0,
+                busy_until: 100,
+            },
+        );
     }
 
     #[test]
@@ -391,30 +397,13 @@ mod tests {
         let (arch, oracle, model) = fixture();
         let mut shared = Shared::new(arch, oracle, model);
         // Core 4 (index 3) busy, core 3 (index 2) idle.
-        let mut views = all_idle(4);
-        views[3] = CoreView {
-            id: CoreId(3),
-            busy: Some(BusyInfo {
-                job: job(99, 0),
-                started: 0,
-                busy_until: 100,
-            }),
-            online: true,
-        };
-        let decision = shared.try_profile(&job(0, 1), &views);
+        let mut cores = all_idle(4);
+        occupy(&mut cores, CoreId(3), 99);
+        let decision = shared.try_profile(&job(0, 1), &cores);
         assert!(matches!(decision, Decision::Run { core, .. } if core == CoreId(2)));
         // Both profiling cores busy: stall.
-        let mut both = views.clone();
-        both[2] = CoreView {
-            id: CoreId(2),
-            busy: Some(BusyInfo {
-                job: job(98, 0),
-                started: 0,
-                busy_until: 100,
-            }),
-            online: true,
-        };
-        assert_eq!(shared.try_profile(&job(1, 2), &both), Decision::Stall);
+        occupy(&mut cores, CoreId(2), 98);
+        assert_eq!(shared.try_profile(&job(1, 2), &cores), Decision::Stall);
     }
 
     #[test]
@@ -494,16 +483,8 @@ mod tests {
 
     #[test]
     fn first_idle_prefers_lowest_core_id() {
-        let mut views = all_idle(3);
-        views[0] = CoreView {
-            id: CoreId(0),
-            busy: Some(BusyInfo {
-                job: job(0, 0),
-                started: 0,
-                busy_until: 10,
-            }),
-            online: true,
-        };
-        assert_eq!(Shared::first_idle(&views), Some(CoreId(1)));
+        let mut cores = all_idle(3);
+        occupy(&mut cores, CoreId(0), 0);
+        assert_eq!(Shared::first_idle(&cores), Some(CoreId(1)));
     }
 }

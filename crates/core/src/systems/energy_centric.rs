@@ -9,7 +9,7 @@ use crate::tuning::TuningStatus;
 use crate::ProfilingTable;
 use cache_sim::BASE_CONFIG;
 use energy_model::EnergyModel;
-use multicore_sim::{CoreId, CoreView, Decision, FaultPlan, Job, PredictorHealth, Scheduler};
+use multicore_sim::{CoreId, CoreIndex, Decision, FaultPlan, Job, PredictorHealth, Scheduler};
 
 /// The paper's *energy-centric* system (Sec. V): profiles on the profiling
 /// core, predicts the best core with the ANN, and "only scheduled
@@ -88,7 +88,7 @@ impl<'a> EnergyCentricSystem<'a> {
 }
 
 impl Scheduler for EnergyCentricSystem<'_> {
-    fn schedule(&mut self, job: &Job, cores: &[CoreView], now: u64) -> Decision {
+    fn schedule(&mut self, job: &Job, cores: &CoreIndex, now: u64) -> Decision {
         // Full predictor blackout: no best core can be predicted, so
         // degrade to the base system's behaviour rather than stalling
         // forever for a prediction that cannot come.
@@ -121,11 +121,7 @@ impl Scheduler for EnergyCentricSystem<'_> {
             .nearest_available_size(entry.predicted_best_size);
 
         // Only the predicted best core(s) are acceptable; stall otherwise.
-        let target = shared
-            .arch
-            .cores_with_size(best_size)
-            .into_iter()
-            .find(|&c| cores[c.0].is_idle());
+        let target = cores.first_idle_in(shared.arch.core_set(best_size));
         let Some(core) = target else {
             return Decision::Stall;
         };

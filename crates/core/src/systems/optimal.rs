@@ -5,7 +5,7 @@ use crate::oracle::SuiteOracle;
 use crate::systems::common::{Pending, Shared, SystemStats};
 use crate::ProfilingTable;
 use energy_model::EnergyModel;
-use multicore_sim::{CoreId, CoreView, Decision, Job, Scheduler};
+use multicore_sim::{CoreId, CoreIndex, Decision, Job, Scheduler};
 
 /// The paper's *optimal* system (Sec. V): subsetted cores, profiling on
 /// the profiling core, **no ANN** — instead it "executes each benchmark
@@ -117,7 +117,7 @@ impl OptimalSystem<'_> {
 }
 
 impl Scheduler for OptimalSystem<'_> {
-    fn schedule(&mut self, job: &Job, cores: &[CoreView], _now: u64) -> Decision {
+    fn schedule(&mut self, job: &Job, cores: &CoreIndex, _now: u64) -> Decision {
         // First encounter: profile on the profiling core (charged).
         if !self.shared.table.contains(job.benchmark) {
             return self.shared.try_profile(job, cores);
@@ -126,7 +126,7 @@ impl Scheduler for OptimalSystem<'_> {
         // Exploration phase: physically execute every configuration once.
         // Prefer an idle core that still has unexplored configurations.
         if !self.fully_explored(job.benchmark) {
-            let idle: Vec<CoreId> = cores.iter().filter(|c| c.is_idle()).map(|c| c.id).collect();
+            let idle: Vec<CoreId> = cores.idle_cores().collect();
             if idle.is_empty() {
                 return Decision::Stall;
             }
@@ -162,12 +162,7 @@ impl Scheduler for OptimalSystem<'_> {
         // Steady state: best core first, otherwise any idle core in that
         // core's best configuration. Never stall.
         let best_size = self.learned_best_size(job.benchmark);
-        let best_core = self
-            .shared
-            .arch
-            .cores_with_size(best_size)
-            .into_iter()
-            .find(|&c| cores[c.0].is_idle());
+        let best_core = cores.first_idle_in(self.shared.arch.core_set(best_size));
         let target = match best_core.or_else(|| Shared::first_idle(cores)) {
             Some(core) => core,
             None => return Decision::Stall,
@@ -216,8 +211,8 @@ mod tests {
 
     #[test]
     fn optimal_system_is_inherently_fault_resilient() {
-        // Core selection goes through `CoreView::is_idle`, which already
-        // excludes offline cores, and aborted executions drop their
+        // Core selection goes through the idle mask, whose bits already
+        // exclude offline cores, and aborted executions drop their
         // pending table updates: the system needs no fault-specific code.
         use multicore_sim::{FaultConfig, FaultPlan, NullSink};
         let (suite, model) = setup();

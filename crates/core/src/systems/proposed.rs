@@ -10,7 +10,7 @@ use crate::tuning::TuningStatus;
 use crate::ProfilingTable;
 use cache_sim::{CacheConfig, BASE_CONFIG};
 use energy_model::{EnergyModel, ExecutionCost};
-use multicore_sim::{CoreId, CoreView, Decision, FaultPlan, Job, PredictorHealth, Scheduler};
+use multicore_sim::{CoreId, CoreIndex, Decision, FaultPlan, Job, PredictorHealth, Scheduler};
 
 /// The paper's proposed scheduler (Figure 2):
 ///
@@ -160,7 +160,7 @@ impl<'a> ProposedSystem<'a> {
     /// Predictor-blackout mode: with no prediction available at any chain
     /// stage, behave exactly like the base system — first idle core, base
     /// configuration, no profiling. Stall-returning calls stay pure.
-    fn schedule_degraded(&mut self, job: &Job, cores: &[CoreView]) -> Decision {
+    fn schedule_degraded(&mut self, job: &Job, cores: &CoreIndex) -> Decision {
         let Some(core) = Shared::first_idle(cores) else {
             return Decision::Stall;
         };
@@ -179,17 +179,17 @@ impl<'a> ProposedSystem<'a> {
 
 /// The best-core occupant with the earliest release, for the
 /// remaining-cycles estimate.
-fn earliest_release(best_cores: &[CoreId], cores: &[CoreView], now: u64) -> Option<(u64, f64)> {
+fn earliest_release(best_cores: &[CoreId], cores: &CoreIndex, now: u64) -> Option<(u64, f64)> {
     best_cores
         .iter()
-        .filter_map(|&c| cores[c.0].busy)
+        .filter_map(|&c| cores.view(c).busy)
         .map(|busy| busy.busy_until.saturating_sub(now))
         .min()
         .map(|remaining| (remaining, 0.0))
 }
 
 impl Scheduler for ProposedSystem<'_> {
-    fn schedule(&mut self, job: &Job, cores: &[CoreView], now: u64) -> Decision {
+    fn schedule(&mut self, job: &Job, cores: &CoreIndex, now: u64) -> Decision {
         // Phase 0: full predictor blackout — no stage of the fallback
         // chain can predict, so degrade to the base system's behaviour
         // (profiling would gather information nothing can consume).
@@ -211,13 +211,14 @@ impl Scheduler for ProposedSystem<'_> {
             .nearest_available_size(entry.predicted_best_size);
         let best_cores = self.shared.arch.cores_with_size(best_size);
 
-        // Phase 2: the best core is idle — schedule there.
-        if let Some(&core) = best_cores.iter().find(|&&c| cores[c.0].is_idle()) {
+        // Phase 2: the best core is idle — schedule there (one masked
+        // trailing-zeros scan over the size set ∩ idle words).
+        if let Some(core) = cores.first_idle_in(self.shared.arch.core_set(best_size)) {
             return self.run_with_tuning(job, core);
         }
 
         // The best core is busy. Candidates are all idle (non-best) cores.
-        let idle: Vec<CoreId> = cores.iter().filter(|c| c.is_idle()).map(|c| c.id).collect();
+        let idle: Vec<CoreId> = cores.idle_cores().collect();
         if idle.is_empty() {
             return Decision::Stall;
         }

@@ -23,17 +23,17 @@
 //! ```
 //! use energy_model::EnergyBreakdown;
 //! use multicore_sim::{
-//!     CoreId, CoreView, Decision, Job, JobExecution, Scheduler, Simulator,
+//!     CoreId, CoreIndex, Decision, Job, JobExecution, Scheduler, Simulator,
 //! };
 //! use workloads::{Arrival, ArrivalPlan, BenchmarkId};
 //!
 //! struct AnyIdle;
 //!
 //! impl Scheduler for AnyIdle {
-//!     fn schedule(&mut self, _job: &Job, cores: &[CoreView], _now: u64) -> Decision {
-//!         match cores.iter().find(|c| c.is_idle()) {
+//!     fn schedule(&mut self, _job: &Job, cores: &CoreIndex, _now: u64) -> Decision {
+//!         match cores.first_idle() {
 //!             Some(core) => Decision::run(
-//!                 core.id,
+//!                 core,
 //!                 JobExecution { cycles: 1_000, energy: EnergyBreakdown::new() },
 //!             ),
 //!             None => Decision::Stall,
@@ -50,12 +50,15 @@
 //! assert_eq!(metrics.jobs_completed, 100);
 //! ```
 
+mod core_index;
 pub mod faults;
 mod job;
 mod metrics;
 mod scheduler;
 mod simulator;
 mod trace;
+
+pub use core_index::{CoreIndex, CoreSet};
 
 pub use faults::{
     AttemptFault, DegradedComponent, FallbackLevel, FaultConfig, FaultKind, FaultPlan, FaultStats,

@@ -1,5 +1,6 @@
 //! The scheduler interface the simulator drives.
 
+use crate::core_index::CoreIndex;
 use crate::job::{Job, JobExecution};
 use std::fmt;
 
@@ -75,9 +76,11 @@ impl Decision {
 /// A scheduling policy.
 ///
 /// The simulator invokes [`schedule`] for queued jobs whenever a benchmark
-/// arrives or a core becomes idle (the paper's invocation rule), passing a
-/// snapshot of all cores. Implementations decide to run the job on an idle
-/// core or stall it.
+/// arrives or a core becomes idle (the paper's invocation rule), passing
+/// the indexed occupancy of all cores. Implementations decide to run the
+/// job on an idle core or stall it; idle-core searches should go through
+/// the [`CoreIndex`] mask queries (`first_idle`, `first_idle_in`,
+/// `idle_cores`) so they stay sublinear in core count.
 ///
 /// [`schedule`]: Scheduler::schedule
 pub trait Scheduler {
@@ -88,9 +91,9 @@ pub trait Scheduler {
     ///
     /// **Contract:** a call that returns [`Decision::Stall`] must leave
     /// the policy's internal state unchanged — the simulator probes
-    /// `schedule` with hypothetical core views when deciding whether a
+    /// `schedule` with a hypothetical core index when deciding whether a
     /// preemption is worthwhile, and a declined probe must be withdrawable.
-    fn schedule(&mut self, job: &Job, cores: &[CoreView], now: u64) -> Decision;
+    fn schedule(&mut self, job: &Job, cores: &CoreIndex, now: u64) -> Decision;
 
     /// Leakage power an *idle* core burns, in nJ/cycle. Depends on the
     /// core's currently-loaded cache configuration, which the policy owns.

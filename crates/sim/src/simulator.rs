@@ -1,5 +1,6 @@
 //! The discrete-event engine.
 
+use crate::core_index::{CoreIndex, SeqBitSet};
 use crate::faults::{
     AttemptFault, DegradedComponent, FaultKind, FaultPlan, FaultStats, FaultedRun,
 };
@@ -9,7 +10,8 @@ use crate::scheduler::{BusyInfo, CoreId, CoreView, Decision, Scheduler};
 use crate::trace::{NullSink, PlacementKind, TraceEvent, TraceSink};
 use energy_model::EnergyBreakdown;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, HashSet, VecDeque};
+use std::ops::Bound::{Excluded, Unbounded};
 use workloads::ArrivalPlan;
 
 /// How the ready queue orders jobs.
@@ -32,6 +34,122 @@ pub enum QueueDiscipline {
     /// the unexecuted remainder is refunded, and the job re-enters the
     /// ready queue.
     PreemptivePriority,
+}
+
+/// Priority-class key of a queued job: higher priority first, FIFO (seq
+/// order) within a class — the exact order the reference loop's per-round
+/// `sort_by_key` produces.
+type PrioKey = (Reverse<u8>, u64);
+
+fn prio_key(job: &Job) -> PrioKey {
+    (Reverse(job.priority), job.seq)
+}
+
+/// The simulator's ready queue, indexed per discipline.
+///
+/// * FIFO keeps the reference loop's `VecDeque` rotation verbatim:
+///   offered jobs pop from the front and stalled jobs re-append.
+/// * The priority disciplines replace the reference's per-round
+///   `sort_by_key` + rotation with a `BTreeMap` ordered by [`PrioKey`]:
+///   admission and removal are O(log n), and a scheduling pass walks the
+///   map with a cyclic cursor ([`offer`](Self::offer)), which visits
+///   jobs in exactly the order the sorted rotation would — a stalled job
+///   re-appended to a sorted deque lands back in key order, so
+///   continuing past the cursor *is* the rotation. Residual queue order
+///   after a pass differs from the rotated deque's, but is unobservable:
+///   the reference re-sorts before every pass.
+enum ReadyQueue {
+    Fifo(VecDeque<Job>),
+    Priority(BTreeMap<PrioKey, Job>),
+}
+
+impl ReadyQueue {
+    fn new(priority_ordered: bool) -> Self {
+        if priority_ordered {
+            ReadyQueue::Priority(BTreeMap::new())
+        } else {
+            ReadyQueue::Fifo(VecDeque::new())
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            ReadyQueue::Fifo(queue) => queue.len(),
+            ReadyQueue::Priority(map) => map.len(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Admit a job: arrival, retry re-admission, or eviction requeue.
+    fn push(&mut self, job: Job) {
+        match self {
+            ReadyQueue::Fifo(queue) => queue.push_back(job),
+            ReadyQueue::Priority(map) => {
+                map.insert(prio_key(&job), job);
+            }
+        }
+    }
+
+    /// The most urgent queued job (front of the scheduling order).
+    fn urgent(&self) -> Option<Job> {
+        match self {
+            ReadyQueue::Fifo(queue) => queue.front().copied(),
+            ReadyQueue::Priority(map) => map.first_key_value().map(|(_, job)| *job),
+        }
+    }
+
+    /// Remove and return the most urgent queued job.
+    fn take_urgent(&mut self) -> Option<Job> {
+        match self {
+            ReadyQueue::Fifo(queue) => queue.pop_front(),
+            ReadyQueue::Priority(map) => map.pop_first().map(|(_, job)| job),
+        }
+    }
+
+    /// Next job of a scheduling pass. FIFO pops the front (a stalled job
+    /// re-enters through [`stalled`](Self::stalled)); the priority map
+    /// advances the cyclic cursor — successor of the last offered key,
+    /// wrapping to the minimum — and leaves the job in place until the
+    /// offer resolves.
+    fn offer(&mut self, cursor: &mut Option<PrioKey>) -> Job {
+        match self {
+            ReadyQueue::Fifo(queue) => queue.pop_front().expect("offer on an empty queue"),
+            ReadyQueue::Priority(map) => {
+                let key = (*cursor)
+                    .and_then(|after| {
+                        map.range((Excluded(after), Unbounded))
+                            .next()
+                            .map(|(key, _)| *key)
+                    })
+                    .unwrap_or_else(|| *map.first_key_value().expect("offer on an empty queue").0);
+                *cursor = Some(key);
+                map[&key]
+            }
+        }
+    }
+
+    /// The offered job was placed: drop it from the queue.
+    fn placed(&mut self, cursor: &Option<PrioKey>) {
+        match self {
+            ReadyQueue::Fifo(_) => {} // already popped by `offer`
+            ReadyQueue::Priority(map) => {
+                let key = cursor.expect("placed without an offer");
+                map.remove(&key).expect("offered job still queued");
+            }
+        }
+    }
+
+    /// The offered job stalled: FIFO re-appends it (the rotation); the
+    /// priority map never removed it.
+    fn stalled(&mut self, job: Job) {
+        match self {
+            ReadyQueue::Fifo(queue) => queue.push_back(job),
+            ReadyQueue::Priority(_) => {}
+        }
+    }
 }
 
 /// Discrete-event simulator over a fixed number of cores.
@@ -114,14 +232,21 @@ impl Simulator {
         scheduler: &mut dyn Scheduler,
         sink: &mut T,
     ) -> RunMetrics {
+        let priority_ordered = matches!(
+            self.discipline,
+            QueueDiscipline::Priority | QueueDiscipline::PreemptivePriority
+        );
         let mut clock: u64 = 0;
-        let mut cores: Vec<Option<BusyInfo>> = vec![None; self.num_cores];
+        // Indexed occupancy: per-core views plus the incrementally
+        // maintained idle bitmask and population counters every check
+        // below relies on.
+        let mut cores = CoreIndex::new(self.num_cores);
         // The JobExecution behind each occupied core (for preemption
         // refunds), and a per-core token that lazily invalidates
         // completion events of preempted executions.
         let mut running_exec: Vec<Option<crate::job::JobExecution>> = vec![None; self.num_cores];
         let mut tokens: Vec<u64> = vec![0; self.num_cores];
-        let mut ready: VecDeque<Job> = VecDeque::new();
+        let mut ready = ReadyQueue::new(priority_ordered);
         // Min-heap of (completion_time, core_index, token); stale tokens
         // are skipped on pop.
         let mut completions: BinaryHeap<Reverse<(u64, usize, u64)>> = BinaryHeap::new();
@@ -137,16 +262,11 @@ impl Simulator {
         // passes triggered by unrelated arrivals/completions.
         let mut stall_episodes = 0u64;
         let mut stall_offers = 0u64;
-        let mut stalled: HashSet<u64> = HashSet::new();
+        let mut stalled = SeqBitSet::new();
         let mut turnaround = 0u64;
         let mut last_completion = 0u64;
-        let mut by_priority: std::collections::BTreeMap<u8, crate::metrics::ClassStats> =
-            std::collections::BTreeMap::new();
+        let mut by_priority: BTreeMap<u8, crate::metrics::ClassStats> = BTreeMap::new();
         let mut preemptions = 0u64;
-        let priority_ordered = matches!(
-            self.discipline,
-            QueueDiscipline::Priority | QueueDiscipline::PreemptivePriority
-        );
 
         loop {
             // Next event time. Skip completion events whose execution was
@@ -166,22 +286,24 @@ impl Simulator {
                 (None, None) => break,
             };
 
-            // Accrue idle energy over [clock, now).
+            // Accrue idle energy over [clock, now). The idle mask makes
+            // this O(1) when the machine is saturated (no idle cores) and
+            // O(W + k) for k idle cores otherwise — same per-core f64
+            // operations in the same ascending core order as the linear
+            // scan, so the accumulated energy is bit-identical.
             debug_assert!(now >= clock, "time must not run backwards");
             let span = now - clock;
-            if span > 0 {
-                for (index, core) in cores.iter().enumerate() {
-                    if core.is_none() {
-                        let power = scheduler.idle_power_nj_per_cycle(CoreId(index));
-                        energy.idle_nj += span as f64 * power;
-                        if sink.enabled() {
-                            sink.record(TraceEvent::IdleSpan {
-                                core: CoreId(index),
-                                from: clock,
-                                to: now,
-                                idle_power_nj_per_cycle: power,
-                            });
-                        }
+            if span > 0 && cores.idle_count() > 0 {
+                for core in cores.idle_cores() {
+                    let power = scheduler.idle_power_nj_per_cycle(core);
+                    energy.idle_nj += span as f64 * power;
+                    if sink.enabled() {
+                        sink.record(TraceEvent::IdleSpan {
+                            core,
+                            from: clock,
+                            to: now,
+                            idle_power_nj_per_cycle: power,
+                        });
                     }
                 }
             }
@@ -196,8 +318,8 @@ impl Simulator {
                 if token != tokens[index] {
                     continue; // preempted execution
                 }
-                let info = cores[index]
-                    .take()
+                let info = cores
+                    .vacate(CoreId(index))
                     .expect("completion for an occupied core");
                 running_exec[index] = None;
                 debug_assert_eq!(info.busy_until, t);
@@ -240,7 +362,7 @@ impl Simulator {
                         priority: job.priority,
                     });
                 }
-                ready.push_back(job);
+                ready.push(job);
                 next_seq += 1;
             }
 
@@ -251,45 +373,36 @@ impl Simulator {
             // no eviction occurs (non-preemptive disciplines run exactly
             // one round).
             loop {
-                // Under priority disciplines, reorder before the pass:
-                // higher priority first, FIFO (seq order) within a class.
-                if priority_ordered {
-                    ready
-                        .make_contiguous()
-                        .sort_by_key(|job| (Reverse(job.priority), job.seq));
-                }
+                // Under priority disciplines the ready queue is a BTreeMap
+                // ordered by (priority, seq): no per-round sort needed.
 
                 // Eviction is committed only if the policy will place the
                 // urgent job on the freed core *right now*: the scheduler
-                // is probed with hypothetical views in which the victim's
-                // core is idle. A `Stall` answer leaves the victim running
+                // is probed with a hypothetical index in which the
+                // victim's core is idle (vacated, then restored on
+                // decline). A `Stall` answer leaves the victim running
                 // (this relies on the documented contract that `schedule`
                 // has no side effects when it returns `Stall`), preventing
                 // evict/stall/retake livelock with policies that prefer to
                 // wait for a specific core.
                 let mut evicted = false;
                 if self.discipline == QueueDiscipline::PreemptivePriority
-                    && cores.iter().all(Option::is_some)
+                    && cores.busy_count() == self.num_cores
                     && !ready.is_empty()
                 {
-                    let urgent = ready.front().copied().expect("non-empty");
+                    let urgent = ready.urgent().expect("non-empty");
                     // Victim: lowest priority, then most remaining cycles
                     // (greatest refund), then core index.
-                    let victim = (0..self.num_cores)
-                        .filter_map(|i| cores[i].map(|info| (i, info)))
+                    let victim = cores
+                        .views()
+                        .iter()
+                        .filter_map(|view| view.busy.map(|info| (view.id.0, info)))
                         .min_by_key(|(i, info)| (info.job.priority, Reverse(info.busy_until), *i));
                     if let Some((index, info)) = victim {
                         if info.job.priority < urgent.priority {
-                            let views: Vec<CoreView> = cores
-                                .iter()
-                                .enumerate()
-                                .map(|(core_index, busy)| CoreView {
-                                    id: CoreId(core_index),
-                                    busy: if core_index == index { None } else { *busy },
-                                    online: true,
-                                })
-                                .collect();
-                            match scheduler.schedule(&urgent, &views, clock) {
+                            let saved = cores.vacate(CoreId(index)).expect("victim occupied");
+                            debug_assert_eq!(saved, info);
+                            match scheduler.schedule(&urgent, &cores, clock) {
                                 Decision::Run { core, execution } => {
                                     assert_eq!(
                                         core.0, index,
@@ -333,14 +446,18 @@ impl Simulator {
                                         });
                                     }
                                     scheduler.on_preempt(&info.job, CoreId(index), clock);
-                                    ready.pop_front();
-                                    ready.push_back(info.job);
-                                    // Place the urgent job.
-                                    cores[index] = Some(BusyInfo {
-                                        job: urgent,
-                                        started: clock,
-                                        busy_until: clock + execution.cycles,
-                                    });
+                                    let _ = ready.take_urgent();
+                                    ready.push(info.job);
+                                    // Place the urgent job on the vacated
+                                    // core.
+                                    cores.place(
+                                        CoreId(index),
+                                        BusyInfo {
+                                            job: urgent,
+                                            started: clock,
+                                            busy_until: clock + execution.cycles,
+                                        },
+                                    );
                                     running_exec[index] = Some(execution);
                                     completions.push(Reverse((
                                         clock + execution.cycles,
@@ -349,7 +466,7 @@ impl Simulator {
                                     )));
                                     energy += execution.energy;
                                     busy_cycles[index] += execution.cycles;
-                                    stalled.remove(&urgent.seq);
+                                    stalled.remove(urgent.seq);
                                     if sink.enabled() {
                                         sink.record(TraceEvent::Placement {
                                             seq: urgent.seq,
@@ -367,6 +484,7 @@ impl Simulator {
                                 Decision::Stall => {
                                     // Policy declines the freed core; keep
                                     // the victim running.
+                                    cores.place(CoreId(index), saved);
                                     if sink.enabled() {
                                         sink.record(TraceEvent::PreemptionProbe {
                                             seq: urgent.seq,
@@ -383,24 +501,17 @@ impl Simulator {
                 }
 
                 // Scheduling pass: offer each queued job once; restart the
-                // count after every placement.
+                // count after every placement. The saturation check is an
+                // O(1) idle-count read; the offer order is the cyclic
+                // cursor under priority disciplines (see [`ReadyQueue`]).
                 let mut remaining = ready.len();
-                while remaining > 0 && cores.iter().any(Option::is_none) {
-                    let job = ready.pop_front().expect("remaining > 0 implies non-empty");
-                    let views: Vec<CoreView> = cores
-                        .iter()
-                        .enumerate()
-                        .map(|(index, busy)| CoreView {
-                            id: CoreId(index),
-                            busy: *busy,
-                            online: true,
-                        })
-                        .collect();
-                    match scheduler.schedule(&job, &views, clock) {
+                let mut cursor: Option<PrioKey> = None;
+                while remaining > 0 && cores.idle_count() > 0 {
+                    let job = ready.offer(&mut cursor);
+                    match scheduler.schedule(&job, &cores, clock) {
                         Decision::Run { core, execution } => {
-                            let slot = &mut cores[core.0];
                             assert!(
-                                slot.is_none(),
+                                cores.view(core).busy.is_none(),
                                 "policy scheduled {job} onto busy {core} at cycle {clock}"
                             );
                             assert!(
@@ -412,11 +523,15 @@ impl Simulator {
                                 execution.energy.idle_nj, 0.0,
                                 "execution energy must not carry idle energy"
                             );
-                            *slot = Some(BusyInfo {
-                                job,
-                                started: clock,
-                                busy_until: clock + execution.cycles,
-                            });
+                            ready.placed(&cursor);
+                            cores.place(
+                                core,
+                                BusyInfo {
+                                    job,
+                                    started: clock,
+                                    busy_until: clock + execution.cycles,
+                                },
+                            );
                             running_exec[core.0] = Some(execution);
                             completions.push(Reverse((
                                 clock + execution.cycles,
@@ -425,7 +540,7 @@ impl Simulator {
                             )));
                             energy += execution.energy;
                             busy_cycles[core.0] += execution.cycles;
-                            stalled.remove(&job.seq);
+                            stalled.remove(job.seq);
                             if sink.enabled() {
                                 sink.record(TraceEvent::Placement {
                                     seq: job.seq,
@@ -452,7 +567,7 @@ impl Simulator {
                                     at: clock,
                                 });
                             }
-                            ready.push_back(job);
+                            ready.stalled(job);
                             remaining -= 1;
                         }
                     }
@@ -464,8 +579,9 @@ impl Simulator {
             }
 
             // Deadlock guard: nothing in flight, nothing arriving, but jobs
-            // remain queued — the policy can never make progress.
-            let live_completions = cores.iter().any(Option::is_some);
+            // remain queued — the policy can never make progress. O(1):
+            // the busy counter replaces the all-core scan.
+            let live_completions = cores.busy_count() > 0;
             if !live_completions && arrivals.peek().is_none() && !ready.is_empty() {
                 panic!(
                     "scheduler deadlock: {} job(s) stalled with every core idle at cycle {clock}",
@@ -487,12 +603,19 @@ impl Simulator {
         }
     }
 
-    /// The pre-trace simulator loop, kept **verbatim** (minus the trace
-    /// emission sites) as the reference the flight recorder is measured
-    /// against: the `sim_trace_overhead` perf-gate stage requires
-    /// [`run`](Self::run) (monomorphised [`NullSink`]) to stay within 2 %
-    /// of this loop, and a property test asserts both produce bit-identical
-    /// [`RunMetrics`]. Keep the two in lockstep when changing either.
+    /// The retained **linear-scan** reference loop: untraced, and kept on
+    /// the pre-index data structures — `Vec<Option<BusyInfo>>` occupancy
+    /// with `iter().all/any` scans, a `HashSet` stall tracker, and a
+    /// `VecDeque` ready queue re-sorted per round — with a fresh
+    /// [`CoreIndex`] rebuilt from the views at every scheduler offer
+    /// (O(num_cores) plus an allocation, the cost the indexed loop
+    /// eliminates). It is both the bit-identity oracle for the property
+    /// suites and the baseline the perf gates measure against: the
+    /// `sim_trace_overhead` stage requires [`run`](Self::run)
+    /// (monomorphised [`NullSink`]) to stay within 2 % of this loop, and
+    /// the `sim_manycore` stage requires ≥5x over it at 256 cores. Keep
+    /// the event semantics in lockstep with the indexed loops when
+    /// changing any of them.
     ///
     /// # Panics
     ///
@@ -614,7 +737,8 @@ impl Simulator {
                                     online: true,
                                 })
                                 .collect();
-                            match scheduler.schedule(&urgent, &views, clock) {
+                            let probe = CoreIndex::from_views(&views);
+                            match scheduler.schedule(&urgent, &probe, clock) {
                                 Decision::Run { core, execution } => {
                                     assert_eq!(
                                         core.0, index,
@@ -671,7 +795,8 @@ impl Simulator {
                             online: true,
                         })
                         .collect();
-                    match scheduler.schedule(&job, &views, clock) {
+                    let offer = CoreIndex::from_views(&views);
+                    match scheduler.schedule(&job, &offer, clock) {
                         Decision::Run { core, execution } => {
                             let slot = &mut cores[core.0];
                             assert!(
@@ -779,9 +904,9 @@ impl Simulator {
         sink: &mut T,
     ) -> FaultedRun {
         // Monomorphise the loop on plan emptiness: with `QUIET = true`
-        // every fault branch (and every `offline` load — no transition
-        // can ever mark a core offline) is compiled out, so the no-fault
-        // path costs the same as the untraced reference loop.
+        // every fault branch is compiled out (no transition can ever mark
+        // a core offline, so the idle mask is pure vacancy), and the
+        // no-fault path costs the same as the indexed `run` loop.
         if fault_plan.is_empty() {
             self.run_faulted_loop::<true, T>(plan, scheduler, fault_plan, sink)
         } else {
@@ -804,11 +929,18 @@ impl Simulator {
             Watchdog,
         }
 
+        let priority_ordered = matches!(
+            self.discipline,
+            QueueDiscipline::Priority | QueueDiscipline::PreemptivePriority
+        );
         let mut clock: u64 = 0;
-        let mut cores: Vec<Option<BusyInfo>> = vec![None; self.num_cores];
+        // Indexed occupancy (see `run_with_sink`). The idle mask is
+        // vacant ∧ online, so outage transitions update it through
+        // `set_online` and every saturation/liveness check below is O(1).
+        let mut cores = CoreIndex::new(self.num_cores);
         let mut running_exec: Vec<Option<crate::job::JobExecution>> = vec![None; self.num_cores];
         let mut tokens: Vec<u64> = vec![0; self.num_cores];
-        let mut ready: VecDeque<Job> = VecDeque::new();
+        let mut ready = ReadyQueue::new(priority_ordered);
         let mut completions: BinaryHeap<Reverse<(u64, usize, u64)>> = BinaryHeap::new();
         let mut arrivals = plan.iter().peekable();
         let mut next_seq: u64 = 0;
@@ -818,20 +950,14 @@ impl Simulator {
         let mut jobs_completed = 0u64;
         let mut stall_episodes = 0u64;
         let mut stall_offers = 0u64;
-        let mut stalled: HashSet<u64> = HashSet::new();
+        let mut stalled = SeqBitSet::new();
         let mut turnaround = 0u64;
         let mut last_completion = 0u64;
-        let mut by_priority: std::collections::BTreeMap<u8, crate::metrics::ClassStats> =
-            std::collections::BTreeMap::new();
+        let mut by_priority: BTreeMap<u8, crate::metrics::ClassStats> = BTreeMap::new();
         let mut preemptions = 0u64;
-        let priority_ordered = matches!(
-            self.discipline,
-            QueueDiscipline::Priority | QueueDiscipline::PreemptivePriority
-        );
 
         // Fault-regime state.
         let mut stats = FaultStats::default();
-        let mut offline = vec![false; self.num_cores];
         let mut outcome = vec![AttemptOutcome::Complete; self.num_cores];
         let transitions = fault_plan.transitions();
         let mut transition_cursor = 0usize;
@@ -953,22 +1079,22 @@ impl Simulator {
             };
 
             // Accrue idle energy over [clock, now); offline cores are
-            // powered down and burn nothing.
+            // powered down and burn nothing — the idle mask already
+            // excludes them (vacant ∧ online), so one walk serves both
+            // the quiet and the faulted regime.
             debug_assert!(now >= clock, "time must not run backwards");
             let span = now - clock;
-            if span > 0 {
-                for (index, core) in cores.iter().enumerate() {
-                    if core.is_none() && (QUIET || !offline[index]) {
-                        let power = scheduler.idle_power_nj_per_cycle(CoreId(index));
-                        energy.idle_nj += span as f64 * power;
-                        if sink.enabled() {
-                            sink.record(TraceEvent::IdleSpan {
-                                core: CoreId(index),
-                                from: clock,
-                                to: now,
-                                idle_power_nj_per_cycle: power,
-                            });
-                        }
+            if span > 0 && cores.idle_count() > 0 {
+                for core in cores.idle_cores() {
+                    let power = scheduler.idle_power_nj_per_cycle(core);
+                    energy.idle_nj += span as f64 * power;
+                    if sink.enabled() {
+                        sink.record(TraceEvent::IdleSpan {
+                            core,
+                            from: clock,
+                            to: now,
+                            idle_power_nj_per_cycle: power,
+                        });
                     }
                 }
             }
@@ -984,7 +1110,9 @@ impl Simulator {
                 if token != tokens[index] {
                     continue; // preempted or outage-evicted execution
                 }
-                let info = cores[index].take().expect("event for an occupied core");
+                let info = cores
+                    .vacate(CoreId(index))
+                    .expect("event for an occupied core");
                 let exec = running_exec[index].take().expect("occupied");
                 match outcome[index] {
                     AttemptOutcome::Complete => {
@@ -1109,7 +1237,7 @@ impl Simulator {
                         continue; // plan built for a wider machine
                     }
                     if !transition.online {
-                        if let Some(info) = cores[index].take() {
+                        if let Some(info) = cores.vacate(core) {
                             let exec = running_exec[index].take().expect("occupied");
                             let executed = clock - info.started;
                             let remaining_cycles = exec.cycles - executed;
@@ -1134,11 +1262,11 @@ impl Simulator {
                                 });
                             }
                             scheduler.on_preempt(&info.job, core, clock);
-                            ready.push_back(info.job);
+                            ready.push(info.job);
                         }
-                        offline[index] = true;
+                        cores.set_online(core, false);
                     } else {
-                        offline[index] = false;
+                        cores.set_online(core, true);
                     }
                 }
                 stats.degraded_transitions += 1;
@@ -1158,7 +1286,7 @@ impl Simulator {
                 }
                 retries.pop();
                 let job = retry_jobs.remove(&seq).expect("parked retry job");
-                ready.push_back(job);
+                ready.push(job);
             }
 
             // Enqueue every arrival due now.
@@ -1181,45 +1309,31 @@ impl Simulator {
                         priority: job.priority,
                     });
                 }
-                ready.push_back(job);
+                ready.push(job);
                 next_seq += 1;
             }
 
             // Preempt-and-schedule rounds (see `run_with_sink`). "Every
             // core busy" counts offline cores as unavailable rather than
-            // idle, and placements go through the fault draw.
+            // idle — exactly an empty idle mask with something running.
             loop {
-                if priority_ordered {
-                    ready
-                        .make_contiguous()
-                        .sort_by_key(|job| (Reverse(job.priority), job.seq));
-                }
-
                 let mut evicted = false;
                 if self.discipline == QueueDiscipline::PreemptivePriority
-                    && cores
-                        .iter()
-                        .enumerate()
-                        .all(|(i, c)| c.is_some() || (!QUIET && offline[i]))
-                    && cores.iter().any(Option::is_some)
+                    && cores.idle_count() == 0
+                    && cores.busy_count() > 0
                     && !ready.is_empty()
                 {
-                    let urgent = ready.front().copied().expect("non-empty");
-                    let victim = (0..self.num_cores)
-                        .filter_map(|i| cores[i].map(|info| (i, info)))
+                    let urgent = ready.urgent().expect("non-empty");
+                    let victim = cores
+                        .views()
+                        .iter()
+                        .filter_map(|view| view.busy.map(|info| (view.id.0, info)))
                         .min_by_key(|(i, info)| (info.job.priority, Reverse(info.busy_until), *i));
                     if let Some((index, info)) = victim {
                         if info.job.priority < urgent.priority {
-                            let views: Vec<CoreView> = cores
-                                .iter()
-                                .enumerate()
-                                .map(|(core_index, busy)| CoreView {
-                                    id: CoreId(core_index),
-                                    busy: if core_index == index { None } else { *busy },
-                                    online: QUIET || !offline[core_index],
-                                })
-                                .collect();
-                            match scheduler.schedule(&urgent, &views, clock) {
+                            let saved = cores.vacate(CoreId(index)).expect("victim occupied");
+                            debug_assert_eq!(saved, info);
+                            match scheduler.schedule(&urgent, &cores, clock) {
                                 Decision::Run { core, execution } => {
                                     assert_eq!(
                                         core.0, index,
@@ -1265,16 +1379,19 @@ impl Simulator {
                                         });
                                     }
                                     scheduler.on_preempt(&info.job, CoreId(index), clock);
-                                    ready.pop_front();
-                                    ready.push_back(info.job);
+                                    let _ = ready.take_urgent();
+                                    ready.push(info.job);
                                     // Place the urgent job through the
                                     // fault draw.
                                     let charge = charge_for(&urgent, execution, clock, &failures);
-                                    cores[index] = Some(BusyInfo {
-                                        job: urgent,
-                                        started: clock,
-                                        busy_until: clock + charge.execution.cycles,
-                                    });
+                                    cores.place(
+                                        CoreId(index),
+                                        BusyInfo {
+                                            job: urgent,
+                                            started: clock,
+                                            busy_until: clock + charge.execution.cycles,
+                                        },
+                                    );
                                     running_exec[index] = Some(charge.execution);
                                     outcome[index] = charge.outcome;
                                     completions.push(Reverse((
@@ -1284,7 +1401,7 @@ impl Simulator {
                                     )));
                                     energy += charge.execution.energy;
                                     busy_cycles[index] += charge.execution.cycles;
-                                    stalled.remove(&urgent.seq);
+                                    stalled.remove(urgent.seq);
                                     if sink.enabled() {
                                         sink.record(TraceEvent::Placement {
                                             seq: urgent.seq,
@@ -1300,6 +1417,7 @@ impl Simulator {
                                     evicted = true;
                                 }
                                 Decision::Stall => {
+                                    cores.place(CoreId(index), saved);
                                     if sink.enabled() {
                                         sink.record(TraceEvent::PreemptionProbe {
                                             seq: urgent.seq,
@@ -1316,31 +1434,17 @@ impl Simulator {
                 }
 
                 let mut remaining = ready.len();
-                while remaining > 0
-                    && cores
-                        .iter()
-                        .enumerate()
-                        .any(|(i, c)| c.is_none() && (QUIET || !offline[i]))
-                {
-                    let job = ready.pop_front().expect("remaining > 0 implies non-empty");
-                    let views: Vec<CoreView> = cores
-                        .iter()
-                        .enumerate()
-                        .map(|(index, busy)| CoreView {
-                            id: CoreId(index),
-                            busy: *busy,
-                            online: QUIET || !offline[index],
-                        })
-                        .collect();
-                    match scheduler.schedule(&job, &views, clock) {
+                let mut cursor: Option<PrioKey> = None;
+                while remaining > 0 && cores.idle_count() > 0 {
+                    let job = ready.offer(&mut cursor);
+                    match scheduler.schedule(&job, &cores, clock) {
                         Decision::Run { core, execution } => {
                             assert!(
-                                QUIET || !offline[core.0],
+                                QUIET || cores.view(core).online,
                                 "policy scheduled {job} onto offline {core} at cycle {clock}"
                             );
-                            let slot = &mut cores[core.0];
                             assert!(
-                                slot.is_none(),
+                                cores.view(core).busy.is_none(),
                                 "policy scheduled {job} onto busy {core} at cycle {clock}"
                             );
                             assert!(
@@ -1353,17 +1457,21 @@ impl Simulator {
                                 "execution energy must not carry idle energy"
                             );
                             let charge = charge_for(&job, execution, clock, &failures);
-                            *slot = Some(BusyInfo {
-                                job,
-                                started: clock,
-                                busy_until: clock + charge.execution.cycles,
-                            });
+                            ready.placed(&cursor);
+                            cores.place(
+                                core,
+                                BusyInfo {
+                                    job,
+                                    started: clock,
+                                    busy_until: clock + charge.execution.cycles,
+                                },
+                            );
                             running_exec[core.0] = Some(charge.execution);
                             outcome[core.0] = charge.outcome;
                             completions.push(Reverse((charge.event_at, core.0, tokens[core.0])));
                             energy += charge.execution.energy;
                             busy_cycles[core.0] += charge.execution.cycles;
-                            stalled.remove(&job.seq);
+                            stalled.remove(job.seq);
                             if sink.enabled() {
                                 sink.record(TraceEvent::Placement {
                                     seq: job.seq,
@@ -1390,7 +1498,7 @@ impl Simulator {
                                     at: clock,
                                 });
                             }
-                            ready.push_back(job);
+                            ready.stalled(job);
                             remaining -= 1;
                         }
                     }
@@ -1403,8 +1511,9 @@ impl Simulator {
 
             // Deadlock guard: nothing in flight, nothing arriving, no
             // retry or availability transition pending, but jobs remain
-            // queued — the policy can never make progress.
-            let live_completions = cores.iter().any(Option::is_some);
+            // queued — the policy can never make progress. O(1) via the
+            // busy counter.
+            let live_completions = cores.busy_count() > 0;
             if !live_completions
                 && arrivals.peek().is_none()
                 && retries.is_empty()
@@ -1502,8 +1611,8 @@ mod tests {
     }
 
     impl Scheduler for SingleCore {
-        fn schedule(&mut self, _job: &Job, cores: &[CoreView], _now: u64) -> Decision {
-            if cores[0].is_idle() {
+        fn schedule(&mut self, _job: &Job, cores: &CoreIndex, _now: u64) -> Decision {
+            if cores.is_idle(CoreId(0)) {
                 Decision::run(
                     CoreId(0),
                     JobExecution {
@@ -1623,14 +1732,14 @@ mod tests {
     }
 
     impl Scheduler for StallFirstJob {
-        fn schedule(&mut self, job: &Job, cores: &[CoreView], _now: u64) -> Decision {
+        fn schedule(&mut self, job: &Job, cores: &CoreIndex, _now: u64) -> Decision {
             if job.seq == 0 && self.stalls_left > 0 {
                 self.stalls_left -= 1;
                 return Decision::Stall;
             }
-            match cores.iter().find(|c| c.is_idle()) {
+            match cores.first_idle() {
                 Some(core) => Decision::run(
-                    core.id,
+                    core,
                     JobExecution {
                         cycles: 10,
                         energy: EnergyBreakdown::new(),
@@ -1660,7 +1769,7 @@ mod tests {
     struct AlwaysStall;
 
     impl Scheduler for AlwaysStall {
-        fn schedule(&mut self, _job: &Job, _cores: &[CoreView], _now: u64) -> Decision {
+        fn schedule(&mut self, _job: &Job, _cores: &CoreIndex, _now: u64) -> Decision {
             Decision::Stall
         }
 
@@ -1679,7 +1788,7 @@ mod tests {
     struct DoubleBook;
 
     impl Scheduler for DoubleBook {
-        fn schedule(&mut self, _job: &Job, _cores: &[CoreView], _now: u64) -> Decision {
+        fn schedule(&mut self, _job: &Job, _cores: &CoreIndex, _now: u64) -> Decision {
             Decision::run(
                 CoreId(0),
                 JobExecution {
@@ -1926,10 +2035,10 @@ mod tests {
         let plan = ArrivalPlan::from_arrivals(arrivals);
         struct AnyIdle;
         impl Scheduler for AnyIdle {
-            fn schedule(&mut self, _job: &Job, cores: &[CoreView], _now: u64) -> Decision {
-                match cores.iter().find(|c| c.is_idle()) {
+            fn schedule(&mut self, _job: &Job, cores: &CoreIndex, _now: u64) -> Decision {
+                match cores.first_idle() {
                     Some(core) => Decision::run(
-                        core.id,
+                        core,
                         JobExecution {
                             cycles: 100,
                             energy: EnergyBreakdown::new(),
@@ -1956,7 +2065,7 @@ mod tests {
             preempted: Vec<u64>,
         }
         impl Scheduler for Recorder {
-            fn schedule(&mut self, job: &Job, cores: &[CoreView], now: u64) -> Decision {
+            fn schedule(&mut self, job: &Job, cores: &CoreIndex, now: u64) -> Decision {
                 self.inner.schedule(job, cores, now)
             }
             fn idle_power_nj_per_cycle(&self, core: CoreId) -> f64 {
@@ -2024,11 +2133,11 @@ mod tests {
     struct PinBySeq;
 
     impl Scheduler for PinBySeq {
-        fn schedule(&mut self, job: &Job, cores: &[CoreView], _now: u64) -> Decision {
-            let core = &cores[(job.seq % 2) as usize];
-            if core.is_idle() {
+        fn schedule(&mut self, job: &Job, cores: &CoreIndex, _now: u64) -> Decision {
+            let core = CoreId((job.seq % 2) as usize);
+            if cores.is_idle(core) {
                 Decision::run(
-                    core.id,
+                    core,
                     JobExecution {
                         cycles: 100,
                         energy: EnergyBreakdown::new(),
@@ -2082,9 +2191,9 @@ mod tests {
     struct ZeroCycle;
 
     impl Scheduler for ZeroCycle {
-        fn schedule(&mut self, _job: &Job, cores: &[CoreView], _now: u64) -> Decision {
+        fn schedule(&mut self, _job: &Job, cores: &CoreIndex, _now: u64) -> Decision {
             Decision::run(
-                cores[0].id,
+                cores.view(CoreId(0)).id,
                 JobExecution {
                     cycles: 0,
                     energy: EnergyBreakdown::new(),

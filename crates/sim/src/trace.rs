@@ -29,10 +29,11 @@
 //! them: each event carries the exact operands (idle power, execution
 //! energy, refund numerator/denominator) of its accounting site.
 
+use crate::core_index::CoreIndex;
 use crate::faults::{DegradedComponent, FallbackLevel, FaultKind, FaultStats, FaultedRun};
 use crate::job::Job;
 use crate::metrics::{ClassStats, RunMetrics};
-use crate::scheduler::{CoreId, CoreView, Decision, Scheduler};
+use crate::scheduler::{CoreId, Decision, Scheduler};
 use energy_model::EnergyBreakdown;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use workloads::BenchmarkId;
@@ -447,7 +448,7 @@ impl<S: Scheduler> StallPurityChecked<S> {
 }
 
 impl<S: Scheduler> Scheduler for StallPurityChecked<S> {
-    fn schedule(&mut self, job: &Job, cores: &[CoreView], now: u64) -> Decision {
+    fn schedule(&mut self, job: &Job, cores: &CoreIndex, now: u64) -> Decision {
         let before = self.inner.state_fingerprint();
         let decision = self.inner.schedule(job, cores, now);
         if matches!(decision, Decision::Stall) {

@@ -2,7 +2,7 @@
 
 use energy_model::EnergyBreakdown;
 use multicore_sim::{
-    CoreId, CoreView, Decision, FaultConfig, FaultPlan, FaultStats, Job, JobExecution,
+    CoreId, CoreIndex, Decision, FaultConfig, FaultPlan, FaultStats, Job, JobExecution,
     LedgerAuditor, NullSink, QueueDiscipline, RecordingSink, Scheduler, Simulator,
 };
 use proptest::prelude::*;
@@ -13,10 +13,10 @@ use workloads::{Arrival, ArrivalPlan, BenchmarkId};
 struct FirstIdle;
 
 impl Scheduler for FirstIdle {
-    fn schedule(&mut self, job: &Job, cores: &[CoreView], _now: u64) -> Decision {
-        match cores.iter().find(|c| c.is_idle()) {
+    fn schedule(&mut self, job: &Job, cores: &CoreIndex, _now: u64) -> Decision {
+        match cores.first_idle() {
             Some(core) => Decision::run(
-                core.id,
+                core,
                 JobExecution {
                     cycles: 50 + 13 * (job.benchmark.0 as u64 % 7),
                     energy: EnergyBreakdown {
@@ -294,5 +294,32 @@ proptest! {
         let first = FaultPlan::build(&config, cores);
         let second = FaultPlan::build(&config, cores);
         prop_assert_eq!(first, second);
+    }
+}
+
+/// Many-core smoke: 1024 cores, a saturating burst, full event trace.
+/// Exercises the multi-word bitset paths (16 mask words) end to end and
+/// replays the trace through the auditor to prove the ledger still
+/// conserves jobs and energy at scale.
+#[test]
+fn manycore_1024_smoke_conserves_and_audits_clean() {
+    let cores = 1024;
+    let plan = ArrivalPlan::uniform_with_priorities(4 * cores, 200_000, 20, 3, 7);
+    for discipline in [
+        QueueDiscipline::Fifo,
+        QueueDiscipline::Priority,
+        QueueDiscipline::PreemptivePriority,
+    ] {
+        let mut sink = RecordingSink::new();
+        let metrics = Simulator::new(cores)
+            .with_discipline(discipline)
+            .run_with_sink(&plan, &mut FirstIdle, &mut sink);
+        assert_eq!(metrics.jobs_completed, plan.len() as u64);
+        let outcome = LedgerAuditor::new(cores).check(sink.events(), &metrics);
+        assert!(
+            outcome.is_ok(),
+            "1024-core audit failed: {:?}",
+            outcome.err()
+        );
     }
 }
