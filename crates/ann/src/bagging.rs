@@ -178,6 +178,29 @@ impl Bagging {
     pub fn models(&self) -> &[TrainedModel] {
         &self.models
     }
+
+    /// Incremental retraining across the whole ensemble: every member
+    /// continues SGD over the new samples via
+    /// [`TrainedModel::refine`], with the per-member seed derived exactly
+    /// as in [`train_with_threads`](Self::train_with_threads)
+    /// (`config.seed ^ member`) so members keep shuffling independently
+    /// and the refined ensemble stays deterministic. No bootstrap
+    /// resampling is applied to the update batch — drift samples are few
+    /// and every member should see all of them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` and `targets` have different lengths or any row
+    /// has the wrong dimensionality.
+    pub fn refine(&mut self, inputs: &[Vec<f64>], targets: &[Vec<f64>], config: &TrainConfig) {
+        for (member, model) in self.models.iter_mut().enumerate() {
+            let member_config = TrainConfig {
+                seed: config.seed ^ (member as u64),
+                ..*config
+            };
+            model.refine(inputs, targets, &member_config);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -246,6 +246,17 @@ impl Standardizer {
         }
     }
 
+    /// Per-feature means fitted on the training rows.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Per-feature scales (standard deviations; `1.0` for constant
+    /// features, which are centred but never divided).
+    pub fn scales(&self) -> &[f64] {
+        &self.scales
+    }
+
     /// Undo [`transform`](Standardizer::transform): map a standardised row
     /// back to the original units.
     ///
@@ -396,6 +407,57 @@ mod tests {
                 .zip(&back)
                 .all(|(a, b)| a.to_bits() == b.to_bits()));
         }
+    }
+
+    #[test]
+    fn single_row_fit_centres_and_round_trips_in_place() {
+        // One sample: every feature is constant, so scales snap to 1.0 and
+        // the in-place transforms must centre (not divide) and invert
+        // exactly.
+        let s = Standardizer::fit(&[vec![4.0, -2.5, 0.0]]);
+        assert_eq!(s.scales(), &[1.0, 1.0, 1.0]);
+        let mut buf = vec![0.0; 3];
+        s.transform_into(&[4.0, -2.5, 0.0], &mut buf);
+        assert_eq!(buf, vec![0.0, 0.0, 0.0]);
+        s.inverse_transform_in_place(&mut buf);
+        assert_eq!(buf, vec![4.0, -2.5, 0.0]);
+        // Off-sample rows shift by the means, scale untouched.
+        s.transform_into(&[5.0, -2.5, 1.0], &mut buf);
+        assert_eq!(buf, vec![1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn zero_width_rows_are_a_valid_boundary() {
+        // Zero features is degenerate but reachable (feature selection can
+        // drop every column); nothing should panic or allocate.
+        let s = Standardizer::fit(&[vec![], vec![]]);
+        assert!(s.means().is_empty());
+        assert_eq!(s.transform(&[]), Vec::<f64>::new());
+        let mut empty: [f64; 0] = [];
+        s.transform_into(&[], &mut empty);
+        s.inverse_transform_in_place(&mut empty);
+    }
+
+    #[test]
+    fn transform_all_on_an_empty_batch_is_empty() {
+        let s = Standardizer::fit(&[vec![1.0], vec![3.0]]);
+        assert!(s.transform_all(&[]).is_empty());
+    }
+
+    #[test]
+    fn in_place_transforms_reject_mismatched_widths() {
+        let s = Standardizer::fit(&[vec![1.0, 2.0]]);
+        let row = [0.5, 0.5];
+        let mut short = vec![0.0; 1];
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s.transform_into(&row, &mut short);
+        }))
+        .is_err());
+        let mut long = vec![0.0; 3];
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s.inverse_transform_in_place(&mut long);
+        }))
+        .is_err());
     }
 
     #[test]

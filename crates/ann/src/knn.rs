@@ -55,6 +55,39 @@ impl KnnRegressor {
         self.k
     }
 
+    /// Number of memorised samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` if no samples are memorised (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Fold newly profiled samples into the regressor without refitting:
+    /// instance-based learning absorbs new evidence by memorising it, so
+    /// the rows are standardised through the *existing* (fit-time)
+    /// standardizer and appended. `k` is re-clamped upward in case the
+    /// original fit clamped it below the requested neighbour count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` and `targets` have different lengths or any row
+    /// has the wrong dimensionality.
+    pub fn absorb(&mut self, inputs: &[Vec<f64>], targets: &[Vec<f64>], requested_k: usize) {
+        assert_eq!(
+            inputs.len(),
+            targets.len(),
+            "inputs and targets must pair up"
+        );
+        for (x, t) in inputs.iter().zip(targets) {
+            self.samples
+                .push((self.standardizer.transform(x), t.clone()));
+        }
+        self.k = requested_k.max(self.k).min(self.samples.len());
+    }
+
     /// Mean target of the `k` nearest stored samples.
     ///
     /// # Panics

@@ -35,6 +35,17 @@
 //! weights are bit-identical across both engines (property-tested in
 //! `tests/flat_vs_ref.rs`, perf-gated in the `perf_pipeline` binary).
 //!
+//! # The serving path
+//!
+//! A third surface exists purely for speed: [`EnsembleF32`] converts a
+//! trained ensemble once to `f32` and serves it through 8-wide unrolled
+//! kernels ([`NetworkF32`]); [`Bagging::distill`] collapses the whole
+//! ensemble into a single student net ([`Distilled`]); and
+//! [`TrainedModel::refine`] / [`Bagging::refine`] / [`KnnRegressor::absorb`]
+//! fold newly profiled jobs in without a full rebuild. The serving path is
+//! validated by best-core argmax *agreement* against the exact engine, not
+//! bit-identity — see the `crate::serve` module docs for the argument.
+//!
 //! # Example: learn `y = 2x` from samples
 //!
 //! ```
@@ -54,18 +65,22 @@
 mod activation;
 mod bagging;
 mod data;
+mod distill;
 mod knn;
 mod linear;
 mod network;
 mod network_ref;
 pub mod reference;
 mod rng;
+mod serve;
 mod train;
 
 pub use activation::Activation;
 pub use bagging::{Bagging, Ensemble};
 pub use data::{Dataset, DatasetError, Split, Standardizer};
+pub use distill::{DistillConfig, Distilled};
 pub use knn::KnnRegressor;
 pub use linear::RidgeRegression;
 pub use network::{Network, Workspace};
+pub use serve::{EnsembleF32, MemberF32, NetworkF32, WorkspaceF32};
 pub use train::{TrainConfig, TrainReport, TrainedModel, Trainer};

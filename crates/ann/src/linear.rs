@@ -238,6 +238,57 @@ mod tests {
     }
 
     #[test]
+    fn predict_into_on_a_single_row_fit() {
+        // A one-sample dataset is rank-deficient; the solver's diagonal
+        // jitter must keep the fit finite, and predict_into must still
+        // match predict bitwise at this boundary.
+        let model = RidgeRegression::fit(
+            &Dataset::new(vec![vec![2.0, 3.0]], vec![vec![5.0]]).unwrap(),
+            1.0,
+        );
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        model.predict_into(&[2.0, 3.0], &mut scratch, &mut out);
+        let alloc = model.predict(&[2.0, 3.0]);
+        assert!(out[0].is_finite());
+        assert_eq!(out.len(), alloc.len());
+        assert_eq!(out[0].to_bits(), alloc[0].to_bits());
+    }
+
+    #[test]
+    fn predict_into_overwrites_stale_oversized_buffers() {
+        // Buffers recycled from a wider model carry stale length and
+        // content; both must be fully replaced, not appended to.
+        let inputs: Vec<Vec<f64>> = (0..10).map(|i| vec![f64::from(i)]).collect();
+        let targets: Vec<Vec<f64>> = inputs.iter().map(|x| vec![x[0] + 1.0]).collect();
+        let model = RidgeRegression::fit(&Dataset::new(inputs, targets).unwrap(), 1e-6);
+        let mut scratch = vec![f64::NAN; 9];
+        let mut out = vec![f64::NAN; 9];
+        model.predict_into(&[4.0], &mut scratch, &mut out);
+        assert_eq!(scratch.len(), 2, "feature + intercept column only");
+        assert_eq!(out.len(), 1);
+        assert!((out[0] - 5.0).abs() < 1e-6, "got {}", out[0]);
+    }
+
+    #[test]
+    fn predict_into_over_an_empty_batch_leaves_buffers_consistent() {
+        let inputs: Vec<Vec<f64>> = (0..5).map(|i| vec![f64::from(i)]).collect();
+        let targets: Vec<Vec<f64>> = inputs.iter().map(|x| vec![x[0]]).collect();
+        let model = RidgeRegression::fit(&Dataset::new(inputs, targets).unwrap(), 1e-6);
+        let batch: Vec<Vec<f64>> = Vec::new();
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        for row in &batch {
+            model.predict_into(row, &mut scratch, &mut out);
+        }
+        // No rows served: nothing was written and nothing allocated.
+        assert!(scratch.is_empty() && out.is_empty());
+        // The same buffers then serve a real row correctly.
+        model.predict_into(&[2.0], &mut scratch, &mut out);
+        assert!((out[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
     #[should_panic(expected = "lambda")]
     fn negative_lambda_rejected() {
         let dataset = Dataset::new(vec![vec![1.0], vec![2.0]], vec![vec![1.0], vec![2.0]]).unwrap();

@@ -1,0 +1,623 @@
+//! The f32 serving path: lane-friendly batch inference for trained models.
+//!
+//! The exact engine ([`crate::Network`]) is scalar `f64` whose inner dot
+//! product is a single serial dependency chain — every `acc += w * x` must
+//! wait for the previous add. That is the right shape for *bit-identical*
+//! training, but the wrong shape for a per-job hot path. This module
+//! converts a **trained** model once into a flat `f32` tensor and serves it
+//! through manually unrolled 8-wide kernels:
+//!
+//! * [`NetworkF32`] — the converted parameter tensor (per layer: row-major
+//!   weights, then biases — the same layout as the f64 engine);
+//! * [`WorkspaceF32`] — two ping-pong activation buffers sized once;
+//! * [`MemberF32`] — a converted [`TrainedModel`] (input/target
+//!   standardizers folded into f32 multiply-by-inverse-scale form);
+//! * [`EnsembleF32`] — the converted bagged ensemble with
+//!   [`predict_batch_f32`](EnsembleF32::predict_batch_f32): weights
+//!   converted once, workspaces preallocated, **zero steady-state
+//!   allocations** (outputs land in a caller-owned flat buffer that is
+//!   resized once and reused).
+//!
+//! # Agreement, not identity
+//!
+//! Quantising to f32, re-associating the dot product across eight
+//! accumulator lanes, and evaluating activations through a clamped
+//! Padé(7,6) polynomial instead of libm necessarily changes low-order
+//! bits (worst case a few e-3 at the network output), so this path is
+//! **not** bit-identical to the exact engine and is never used where the
+//! reproduction's ledgers demand exactness. What the predictor actually
+//! needs from it is the *decision* — the best-core argmax after snapping
+//! the regressed cache size — and that is what is property-tested: the f32
+//! path must agree with the f64 engine's argmax on ≥ 99 % of probes
+//! (`tests/serving.rs`, `crates/bench/tests/serving_properties.rs`) and
+//! the `ann_accuracy` binary reports and gates the same agreement on the
+//! paper configuration.
+
+use crate::activation::Activation;
+use crate::bagging::Bagging;
+use crate::network::Network;
+use crate::train::TrainedModel;
+
+/// One dense layer of the converted f32 tensor.
+#[derive(Debug, Clone, Copy)]
+struct LayerF32 {
+    in_dim: usize,
+    out_dim: usize,
+    weights: usize,
+    biases: usize,
+    activation: Activation,
+}
+
+/// Unrolled dot product: eight independent accumulator lanes break the
+/// serial addition chain of the scalar engine, then a pairwise tree
+/// reduction folds the lanes. `row` and `x` must have equal length.
+#[inline(always)]
+fn dot8(row: &[f32], x: &[f32]) -> f32 {
+    debug_assert_eq!(row.len(), x.len());
+    let split = row.len() - row.len() % 8;
+    let (rw, rr) = row.split_at(split);
+    let (xw, xr) = x.split_at(split);
+    let mut acc = [0.0f32; 8];
+    for (r, v) in rw.chunks_exact(8).zip(xw.chunks_exact(8)) {
+        for lane in 0..8 {
+            acc[lane] += r[lane] * v[lane];
+        }
+    }
+    let mut tail = 0.0f32;
+    for (r, v) in rr.iter().zip(xr) {
+        tail += r * v;
+    }
+    ((acc[0] + acc[4]) + (acc[2] + acc[6])) + ((acc[1] + acc[5]) + (acc[3] + acc[7])) + tail
+}
+
+/// Branchless Padé(7,6) tanh on a clamped argument — the serving-path
+/// activation. Worst absolute error is < 9e-4 over all of ℝ (at the ±4
+/// clamp), far inside the serving tolerance and invisible to the snapped
+/// best-core argmax. The point is not accuracy but shape: `f32::tanh` is
+/// an opaque libm call per neuron that dominates the entire forward pass
+/// on the small paper topology, while this is straight-line arithmetic
+/// the compiler vectorises across the layer's output row.
+#[inline(always)]
+fn fast_tanh(x: f32) -> f32 {
+    let x = x.clamp(-4.0, 4.0);
+    let x2 = x * x;
+    let p = x * (10395.0 + x2 * (1260.0 + x2 * 21.0));
+    let q = 10395.0 + x2 * (4725.0 + x2 * (210.0 + x2));
+    p / q
+}
+
+/// `out = act(W x + b)` for one layer: the matvec runs through [`dot8`],
+/// the activation is one dispatch per *layer* (a vectorisable sweep over
+/// the output row), not one enum match per neuron.
+#[inline(always)]
+fn forward_layer_f32(
+    weights: &[f32],
+    biases: &[f32],
+    in_dim: usize,
+    activation: Activation,
+    x: &[f32],
+    out: &mut [f32],
+) {
+    for (o, out_slot) in out.iter_mut().enumerate() {
+        *out_slot = biases[o] + dot8(&weights[o * in_dim..(o + 1) * in_dim], x);
+    }
+    match activation {
+        Activation::Identity => {}
+        Activation::Relu => {
+            for v in out.iter_mut() {
+                *v = v.max(0.0);
+            }
+        }
+        Activation::Sigmoid => {
+            // sigmoid(x) = (tanh(x/2) + 1) / 2, sharing the fast tanh.
+            for v in out.iter_mut() {
+                *v = 0.5 * (fast_tanh(0.5 * *v) + 1.0);
+            }
+        }
+        Activation::Tanh => {
+            for v in out.iter_mut() {
+                *v = fast_tanh(*v);
+            }
+        }
+    }
+}
+
+/// Ping-pong activation scratch for [`NetworkF32`]: two buffers sized to
+/// the widest layer, allocated once and reused for every row of every
+/// member (an ensemble threads a single workspace through all members).
+#[derive(Debug, Clone)]
+pub struct WorkspaceF32 {
+    dims: Vec<usize>,
+    a: Vec<f32>,
+    b: Vec<f32>,
+}
+
+impl WorkspaceF32 {
+    /// Scratch for networks with the given layer widths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` has fewer than two entries or any zero entry.
+    pub fn for_dims(dims: &[usize]) -> Self {
+        assert!(dims.len() >= 2, "need at least input and output dimensions");
+        assert!(dims.iter().all(|&d| d > 0), "layer widths must be positive");
+        let widest = *dims.iter().max().expect("non-empty");
+        WorkspaceF32 {
+            dims: dims.to_vec(),
+            a: vec![0.0; widest],
+            b: vec![0.0; widest],
+        }
+    }
+
+    /// Scratch shaped for `network` (and any network with equal topology).
+    pub fn for_network(network: &NetworkF32) -> Self {
+        Self::for_dims(&network.dims)
+    }
+
+    /// The input slot, for callers that standardise a row straight into
+    /// the workspace with no intermediate buffer.
+    pub fn input_mut(&mut self) -> &mut [f32] {
+        let n = self.dims[0];
+        &mut self.a[..n]
+    }
+}
+
+/// A trained feedforward network converted once to a flat `f32` tensor
+/// (same per-layer weights-then-biases layout as the exact engine).
+///
+/// ```
+/// use tinyann::{Activation, Network, NetworkF32, WorkspaceF32};
+///
+/// let exact = Network::new(&[4, 6, 1], Activation::Tanh, 1);
+/// let serving = NetworkF32::from_network(&exact);
+/// let mut ws = WorkspaceF32::for_network(&serving);
+/// ws.input_mut().copy_from_slice(&[0.1, 0.2, 0.3, 0.4]);
+/// let fast = serving.forward_loaded(&mut ws)[0];
+/// let slow = exact.forward(&[0.1, 0.2, 0.3, 0.4])[0];
+/// assert!((f64::from(fast) - slow).abs() < 5e-3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetworkF32 {
+    dims: Vec<usize>,
+    layers: Vec<LayerF32>,
+    params: Vec<f32>,
+}
+
+impl NetworkF32 {
+    /// Convert a trained f64 network: one pass over the flat tensor, done
+    /// once at serving-path build time.
+    pub fn from_network(network: &Network) -> Self {
+        NetworkF32 {
+            dims: network.dims().to_vec(),
+            layers: network
+                .layer_table()
+                .iter()
+                .map(|l| LayerF32 {
+                    in_dim: l.in_dim,
+                    out_dim: l.out_dim,
+                    weights: l.weights,
+                    biases: l.biases,
+                    activation: l.activation,
+                })
+                .collect(),
+            params: network.params().iter().map(|&p| p as f32).collect(),
+        }
+    }
+
+    /// The layer widths, input first.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.dims[0]
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        self.dims[self.dims.len() - 1]
+    }
+
+    /// Forward pass over the row the caller wrote into
+    /// [`WorkspaceF32::input_mut`]. Allocation-free; returns the output
+    /// slice inside the workspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workspace is shaped for a different topology.
+    pub fn forward_loaded<'ws>(&self, ws: &'ws mut WorkspaceF32) -> &'ws [f32] {
+        assert_eq!(
+            ws.dims, self.dims,
+            "workspace shaped for a different topology"
+        );
+        // Stage 0 lives in `a`; each layer writes the other buffer.
+        let mut from_a = true;
+        for layer in &self.layers {
+            let w = &self.params[layer.weights..layer.weights + layer.in_dim * layer.out_dim];
+            let b = &self.params[layer.biases..layer.biases + layer.out_dim];
+            let (x, out) = if from_a {
+                (&ws.a[..layer.in_dim], &mut ws.b[..layer.out_dim])
+            } else {
+                (&ws.b[..layer.in_dim], &mut ws.a[..layer.out_dim])
+            };
+            forward_layer_f32(w, b, layer.in_dim, layer.activation, x, out);
+            from_a = !from_a;
+        }
+        let out_dim = self.output_dim();
+        if from_a {
+            &ws.a[..out_dim]
+        } else {
+            &ws.b[..out_dim]
+        }
+    }
+}
+
+/// A converted [`TrainedModel`]: the network plus its standardizers in
+/// multiply-by-inverse-scale f32 form, so a served row costs two short
+/// element-wise sweeps around the unrolled forward pass.
+#[derive(Debug, Clone)]
+pub struct MemberF32 {
+    in_mean: Vec<f32>,
+    in_inv_scale: Vec<f32>,
+    t_mean: Vec<f32>,
+    t_scale: Vec<f32>,
+    net: NetworkF32,
+}
+
+impl MemberF32 {
+    /// Convert a trained model once for serving.
+    pub fn from_trained(model: &TrainedModel) -> Self {
+        let input = model.input_standardizer();
+        let target = model.target_standardizer();
+        MemberF32 {
+            in_mean: input.means().iter().map(|&m| m as f32).collect(),
+            in_inv_scale: input.scales().iter().map(|&s| (1.0 / s) as f32).collect(),
+            t_mean: target.means().iter().map(|&m| m as f32).collect(),
+            t_scale: target.scales().iter().map(|&s| s as f32).collect(),
+            net: NetworkF32::from_network(model.network()),
+        }
+    }
+
+    /// The converted network.
+    pub fn network(&self) -> &NetworkF32 {
+        &self.net
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.net.input_dim()
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        self.net.output_dim()
+    }
+
+    /// Serve one already-converted f32 row: standardise into the
+    /// workspace, forward, and **add** the de-standardised outputs into
+    /// `acc` (ensembles average by accumulate-then-divide, exactly like
+    /// the exact engine's member order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row`, `acc`, or the workspace shapes mismatch.
+    pub fn accumulate_into(&self, ws: &mut WorkspaceF32, row: &[f32], acc: &mut [f32]) {
+        assert_eq!(row.len(), self.in_mean.len(), "input dimension mismatch");
+        assert_eq!(acc.len(), self.t_mean.len(), "output dimension mismatch");
+        for (((slot, &v), &m), &inv) in ws
+            .input_mut()
+            .iter_mut()
+            .zip(row)
+            .zip(&self.in_mean)
+            .zip(&self.in_inv_scale)
+        {
+            *slot = (v - m) * inv;
+        }
+        let y = self.net.forward_loaded(ws);
+        for (((a, &v), &s), &m) in acc.iter_mut().zip(y).zip(&self.t_scale).zip(&self.t_mean) {
+            *a += v * s + m;
+        }
+    }
+
+    /// Serve one raw f64 feature row into `out` (overwritten). Allocation
+    /// free once the caller-held workspace and buffers exist.
+    pub fn predict_into(
+        &self,
+        ws: &mut WorkspaceF32,
+        row: &mut Vec<f32>,
+        input: &[f64],
+        out: &mut [f32],
+    ) {
+        row.clear();
+        row.extend(input.iter().map(|&v| v as f32));
+        out.fill(0.0);
+        self.accumulate_into(ws, row, out);
+    }
+}
+
+/// The converted bagged ensemble: every member's weights in f32, one
+/// shared workspace, and flat batched outputs.
+///
+/// ```
+/// use tinyann::{Activation, Bagging, Dataset, EnsembleF32, TrainConfig};
+///
+/// let inputs: Vec<Vec<f64>> = (0..60).map(|i| vec![f64::from(i) / 60.0]).collect();
+/// let targets: Vec<Vec<f64>> = inputs.iter().map(|x| vec![x[0] * x[0]]).collect();
+/// let dataset = Dataset::new(inputs.clone(), targets).unwrap();
+/// let config = TrainConfig { epochs: 150, ..TrainConfig::default() };
+/// let exact = Bagging::train(&dataset, 3, &[1, 6, 1], Activation::Tanh, config);
+/// let mut serving = EnsembleF32::from_ensemble(&exact);
+/// let mut out = Vec::new();
+/// serving.predict_batch_f32(&inputs[..4], &mut out);
+/// for (row, flat) in exact.predict_batch(&inputs[..4]).iter().zip(&out) {
+///     assert!((row[0] - f64::from(*flat)).abs() < 5e-3);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct EnsembleF32 {
+    members: Vec<MemberF32>,
+    ws: WorkspaceF32,
+    /// The f64→f32-converted input row, reused across members.
+    row: Vec<f32>,
+    /// Per-row output accumulator, reused across rows.
+    acc: Vec<f32>,
+}
+
+impl EnsembleF32 {
+    /// Convert a trained ensemble once: every member's parameter tensor
+    /// and standardizers to f32, workspaces preallocated. After this call
+    /// the serving path never touches the f64 models again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ensemble is empty (never, by construction).
+    pub fn from_ensemble(ensemble: &Bagging) -> Self {
+        let members: Vec<MemberF32> = ensemble
+            .models()
+            .iter()
+            .map(MemberF32::from_trained)
+            .collect();
+        assert!(!members.is_empty(), "ensemble needs at least one member");
+        let ws = WorkspaceF32::for_network(&members[0].net);
+        let row = vec![0.0; members[0].input_dim()];
+        let acc = vec![0.0; members[0].output_dim()];
+        EnsembleF32 {
+            members,
+            ws,
+            row,
+            acc,
+        }
+    }
+
+    /// A one-member serving engine around a single trained model (the
+    /// distilled student travels through this path: averaging over one
+    /// member is the identity, so the engine doubles as a single-net
+    /// server with no extra code).
+    pub fn from_model(model: &TrainedModel) -> Self {
+        let member = MemberF32::from_trained(model);
+        let ws = WorkspaceF32::for_network(&member.net);
+        let row = vec![0.0; member.input_dim()];
+        let acc = vec![0.0; member.output_dim()];
+        EnsembleF32 {
+            members: vec![member],
+            ws,
+            row,
+            acc,
+        }
+    }
+
+    /// Number of converted members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` if the ensemble has no members (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.members[0].input_dim()
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        self.members[0].output_dim()
+    }
+
+    /// Average of all member predictions for one raw feature row, written
+    /// into `out`. Allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` or `out` have the wrong dimensionality.
+    pub fn predict_into(&mut self, input: &[f64], out: &mut [f32]) {
+        assert_eq!(input.len(), self.input_dim(), "input dimension mismatch");
+        assert_eq!(out.len(), self.output_dim(), "output dimension mismatch");
+        self.row.clear();
+        self.row.extend(input.iter().map(|&v| v as f32));
+        out.fill(0.0);
+        for member in &self.members {
+            member.accumulate_into(&mut self.ws, &self.row, out);
+        }
+        let inv = 1.0 / self.members.len() as f32;
+        for v in out.iter_mut() {
+            *v *= inv;
+        }
+    }
+
+    /// Batched serving: ensemble predictions for every input row, written
+    /// flat (row-major, `inputs.len() * output_dim()` values) into
+    /// `outputs`. The buffer is resized once and reused — after the first
+    /// call at a given batch size the steady state performs **zero heap
+    /// allocations**.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row has the wrong dimensionality.
+    pub fn predict_batch_f32(&mut self, inputs: &[Vec<f64>], outputs: &mut Vec<f32>) {
+        let out_dim = self.output_dim();
+        outputs.clear();
+        outputs.resize(inputs.len() * out_dim, 0.0);
+        let mut acc = std::mem::take(&mut self.acc);
+        acc.resize(out_dim, 0.0);
+        for (input, out) in inputs.iter().zip(outputs.chunks_exact_mut(out_dim)) {
+            self.predict_into(input, &mut acc);
+            out.copy_from_slice(&acc);
+        }
+        self.acc = acc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Dataset;
+    use crate::train::{TrainConfig, Trainer};
+
+    fn trained_pair() -> (Bagging, EnsembleF32) {
+        let inputs: Vec<Vec<f64>> = (0..80)
+            .map(|i| {
+                let x = f64::from(i) / 80.0;
+                vec![x, 1.0 - x, (x * 5.0).sin()]
+            })
+            .collect();
+        let targets: Vec<Vec<f64>> = inputs.iter().map(|x| vec![x[0] * 2.0 - x[2]]).collect();
+        let dataset = Dataset::new(inputs, targets).unwrap();
+        let config = TrainConfig {
+            epochs: 80,
+            ..TrainConfig::default()
+        };
+        let exact = Bagging::train(&dataset, 4, &[3, 6, 1], Activation::Tanh, config);
+        let serving = EnsembleF32::from_ensemble(&exact);
+        (exact, serving)
+    }
+
+    #[test]
+    fn dot8_matches_naive_dot_for_all_lengths() {
+        for n in 0..40 {
+            let row: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin()).collect();
+            let x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.71).cos()).collect();
+            let naive: f32 = row.iter().zip(&x).map(|(a, b)| a * b).sum();
+            let unrolled = dot8(&row, &x);
+            assert!(
+                (naive - unrolled).abs() <= 1e-4 * (1.0 + naive.abs()),
+                "n={n}: {naive} vs {unrolled}"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_tanh_stays_inside_its_error_bound_everywhere() {
+        for i in -1600..=1600 {
+            let x = i as f32 * 0.005; // [-8, 8] covers both clamp regions
+            let err = (fast_tanh(x) - x.tanh()).abs();
+            assert!(err < 9e-4, "x={x}: err {err}");
+            assert!(fast_tanh(x).abs() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn converted_network_tracks_the_exact_engine() {
+        let exact = Network::new(&[5, 9, 4, 2], Activation::Sigmoid, 33);
+        let serving = NetworkF32::from_network(&exact);
+        let mut ws = WorkspaceF32::for_network(&serving);
+        for trial in 0..20 {
+            let input: Vec<f64> = (0..5)
+                .map(|j| ((trial * 5 + j) as f64 * 0.13).sin())
+                .collect();
+            let slow = exact.forward(&input);
+            ws.input_mut()
+                .iter_mut()
+                .zip(&input)
+                .for_each(|(s, &v)| *s = v as f32);
+            let fast = serving.forward_loaded(&mut ws);
+            for (a, b) in slow.iter().zip(fast) {
+                assert!((a - f64::from(*b)).abs() < 2e-3, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_serving_tracks_the_exact_ensemble() {
+        let (exact, mut serving) = trained_pair();
+        let probes: Vec<Vec<f64>> = (0..15)
+            .map(|i| {
+                let x = f64::from(i) / 15.0;
+                vec![x, 1.0 - x, (x * 5.0).sin()]
+            })
+            .collect();
+        let slow = exact.predict_batch(&probes);
+        let mut fast = Vec::new();
+        serving.predict_batch_f32(&probes, &mut fast);
+        assert_eq!(fast.len(), probes.len());
+        for (row, flat) in slow.iter().zip(&fast) {
+            let err = (row[0] - f64::from(*flat)).abs();
+            assert!(err < 5e-3 * (1.0 + row[0].abs()), "{} vs {flat}", row[0]);
+        }
+    }
+
+    #[test]
+    fn batched_and_single_row_serving_agree_exactly() {
+        let (_, mut serving) = trained_pair();
+        let probes: Vec<Vec<f64>> = (0..8)
+            .map(|i| {
+                let x = f64::from(i) / 8.0;
+                vec![x, x * x, -x]
+            })
+            .collect();
+        let mut batched = Vec::new();
+        serving.predict_batch_f32(&probes, &mut batched);
+        let mut single = vec![0.0f32; 1];
+        for (probe, &b) in probes.iter().zip(&batched) {
+            serving.predict_into(probe, &mut single);
+            assert_eq!(single[0].to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn reused_output_buffer_is_fully_overwritten() {
+        let (_, mut serving) = trained_pair();
+        let probes: Vec<Vec<f64>> = vec![vec![0.2, 0.8, 0.1]; 3];
+        let mut out = vec![99.0f32; 64]; // stale content must not survive
+        serving.predict_batch_f32(&probes, &mut out);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].to_bits(), out[1].to_bits());
+        assert_eq!(out[1].to_bits(), out[2].to_bits());
+    }
+
+    #[test]
+    fn member_f32_serves_a_single_trained_model() {
+        let inputs: Vec<Vec<f64>> = (0..50).map(|i| vec![f64::from(i) / 50.0]).collect();
+        let targets: Vec<Vec<f64>> = inputs.iter().map(|x| vec![2.0 * x[0]]).collect();
+        let dataset = Dataset::new(inputs, targets).unwrap();
+        let trained = Trainer::new(TrainConfig {
+            epochs: 200,
+            ..TrainConfig::default()
+        })
+        .fit(Network::new(&[1, 4, 1], Activation::Tanh, 7), &dataset);
+        let member = MemberF32::from_trained(&trained);
+        let mut ws = WorkspaceF32::for_network(member.network());
+        let mut row = Vec::new();
+        let mut out = vec![0.0f32; 1];
+        for probe in [0.1, 0.5, 0.9] {
+            member.predict_into(&mut ws, &mut row, &[probe], &mut out);
+            let slow = trained.predict(&[probe])[0];
+            assert!(
+                (slow - f64::from(out[0])).abs() < 5e-3,
+                "{slow} vs {}",
+                out[0]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different topology")]
+    fn workspace_shape_is_validated() {
+        let net = NetworkF32::from_network(&Network::new(&[3, 2], Activation::Tanh, 0));
+        let mut ws = WorkspaceF32::for_dims(&[3, 4, 2]);
+        let _ = net.forward_loaded(&mut ws);
+    }
+}

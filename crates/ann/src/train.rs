@@ -107,6 +107,64 @@ impl TrainedModel {
     pub fn network(&self) -> &Network {
         &self.network
     }
+
+    /// The input standardizer (fitted on the training partition). The f32
+    /// serving engine converts it once at build time.
+    pub fn input_standardizer(&self) -> &Standardizer {
+        &self.input_standardizer
+    }
+
+    /// The target standardizer (fitted on the training partition).
+    pub fn target_standardizer(&self) -> &Standardizer {
+        &self.target_standardizer
+    }
+
+    /// Incremental retraining: fold newly profiled samples into the
+    /// trained model **without a full rebuild** by continuing mini-batch
+    /// SGD over the new rows only.
+    ///
+    /// The new rows pass through the model's *existing* standardizers —
+    /// refitting them would silently shift the meaning of every learned
+    /// weight — and the network's momentum velocity persists, so the
+    /// update is a true continuation of the original run rather than a
+    /// cold restart. `config.epochs` bounds the continuation length
+    /// (typically a few dozen epochs over a handful of rows, orders of
+    /// magnitude cheaper than retraining from scratch); `config.seed`
+    /// drives the shuffle order deterministically. No-op on an empty
+    /// sample set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` and `targets` have different lengths or any row
+    /// has the wrong dimensionality.
+    pub fn refine(&mut self, inputs: &[Vec<f64>], targets: &[Vec<f64>], config: &TrainConfig) {
+        assert_eq!(
+            inputs.len(),
+            targets.len(),
+            "inputs and targets must pair up"
+        );
+        if inputs.is_empty() {
+            return;
+        }
+        let x = self.input_standardizer.transform_all(inputs);
+        let t = self.target_standardizer.transform_all(targets);
+        let mut rng = SplitMix64::new(config.seed ^ 0xF01D);
+        let mut ws = Workspace::for_network(&self.network);
+        let mut order: Vec<usize> = Vec::with_capacity(x.len());
+        for _ in 0..config.epochs {
+            rng.shuffled_indices_into(x.len(), &mut order);
+            for chunk in order.chunks(config.batch_size.max(1)) {
+                self.report.train_loss = self.network.train_batch_indexed_with(
+                    &mut ws,
+                    &x,
+                    &t,
+                    chunk,
+                    config.learning_rate,
+                    config.momentum,
+                );
+            }
+        }
+    }
 }
 
 /// Trains a [`Network`] on a [`Dataset`].

@@ -2,47 +2,149 @@
 //! sizes … only degraded the average energy consumption by less than 2 %
 //! over all the benchmarks as compared to the optimal cache size."
 //!
-//! Two evaluations are reported:
+//! Three evaluations are reported:
 //!
 //! * **deployment** — the predictor trained on the full suite (how the
 //!   scheduler actually uses it), evaluated on every benchmark;
 //! * **leave-one-out** — each benchmark predicted by an ensemble that
-//!   never saw it, the honest generalisation measurement.
+//!   never saw it, the honest generalisation measurement;
+//! * **serving agreement** — the f32 serving engine and the distilled
+//!   single-student path against the exact f64 ensemble: best-core argmax
+//!   agreement over every benchmark's feature vector plus jittered
+//!   replicas. The serving paths are quantised/collapsed, so they are held
+//!   to *decision agreement* (≥ 99 %), not bit-identity; the run exits
+//!   non-zero when either path falls under the bar, making this binary the
+//!   release-mode agreement gate (the debug-mode counterpart is
+//!   `crates/bench/tests/serving_properties.rs`).
 //!
 //! ```sh
-//! cargo run --release -p hetero-bench --bin ann_accuracy
+//! cargo run --release -p hetero-bench --bin ann_accuracy [-- --smoke]
 //! ```
+//!
+//! `--smoke` runs the same machinery end to end on the reduced suite and
+//! config (no leave-one-out, no gate) — used by `scripts/check.sh`.
 
+use cache_sim::CacheSizeKb;
 use energy_model::EnergyModel;
 use hetero_core::{BestCorePredictor, PredictorConfig, SuiteOracle};
-use workloads::Suite;
+use std::process::ExitCode;
+use tinyann::{DistillConfig, TrainConfig};
+use workloads::{SplitMix64, Suite};
 
-fn main() {
+/// The agreement bar both serving paths must clear in the gated run.
+const MIN_AGREEMENT: f64 = 0.99;
+
+/// Jittered replicas per benchmark in the agreement probe set.
+const PROBE_REPLICAS: usize = 12;
+
+/// Relative probe jitter (counters vary a few percent run to run).
+const PROBE_JITTER: f64 = 0.03;
+
+fn probe_rows(oracle: &SuiteOracle, replicas: usize) -> Vec<Vec<f64>> {
+    let mut rng = SplitMix64::new(0xA62E);
+    let mut rows = Vec::new();
+    for benchmark in oracle.benchmarks() {
+        let features = oracle.execution_statistics(benchmark).to_vector();
+        rows.push(features.to_vec());
+        for _ in 0..replicas {
+            rows.push(
+                features
+                    .iter()
+                    .map(|&v| v * (1.0 + PROBE_JITTER * (rng.next_f64() * 2.0 - 1.0)))
+                    .collect(),
+            );
+        }
+    }
+    rows
+}
+
+/// Best-core argmax agreement of the f32 and distilled serving paths with
+/// the exact f64 ensemble, over the probe set. Returns
+/// `(f32_agreement, distilled_agreement, probe_count)`.
+fn serving_agreement(
+    deployed: &BestCorePredictor,
+    oracle: &SuiteOracle,
+    distill_epochs: usize,
+) -> (f64, f64, usize) {
+    let probes = probe_rows(oracle, PROBE_REPLICAS);
+    let exact: Vec<CacheSizeKb> = probes
+        .iter()
+        .map(|p| CacheSizeKb::nearest(deployed.predict_raw_features(p)))
+        .collect();
+
+    let mut serving = deployed
+        .serving_f32()
+        .expect("deployed predictor is ANN-backed");
+    let mut out = Vec::new();
+    serving.predict_batch_f32(&probes, &mut out);
+    let f32_agree = out
+        .iter()
+        .zip(&exact)
+        .filter(|(&v, &e)| CacheSizeKb::nearest(f64::from(v)) == e)
+        .count();
+
+    let student = deployed
+        .distill(
+            oracle,
+            &DistillConfig {
+                replicas: 10,
+                jitter: 0.04,
+                hidden: vec![24],
+                train: TrainConfig {
+                    epochs: distill_epochs,
+                    ..TrainConfig::default()
+                },
+            },
+        )
+        .expect("deployed predictor is ANN-backed");
+    let distilled_agree = probes
+        .iter()
+        .zip(&exact)
+        .filter(|(p, &e)| CacheSizeKb::nearest(student.predict_raw_features(p)) == e)
+        .count();
+
+    (
+        f32_agree as f64 / probes.len() as f64,
+        distilled_agree as f64 / probes.len() as f64,
+        probes.len(),
+    )
+}
+
+fn main() -> ExitCode {
+    let smoke = std::env::args().skip(1).any(|a| a == "--smoke");
     println!("== Sec. IV.D: ANN best-cache-size prediction quality ==\n");
-    let suite = Suite::eembc_like();
+    let (suite, config) = if smoke {
+        println!("smoke mode: reduced suite/config, no leave-one-out, no gate\n");
+        (Suite::eembc_like_small(), PredictorConfig::fast())
+    } else {
+        (Suite::eembc_like(), PredictorConfig::paper())
+    };
     let model = EnergyModel::default();
     println!(
         "characterising {} kernels x 18 configurations ...",
         suite.len()
     );
     let oracle = SuiteOracle::build(&suite, &model);
-    let config = PredictorConfig::paper();
     println!(
         "predictor: {} bagged ANNs, hidden {:?}, 70/15/15 split, augmentation x{}\n",
         config.ensemble_size, config.hidden, config.augmentation
     );
 
-    // Deployment (in-sample) evaluation.
+    // Deployment (in-sample) evaluation; leave-one-out only in the full run.
     let deployed = BestCorePredictor::train(&oracle, &config);
     let mut rows = Vec::new();
     for (kernel, benchmark) in suite.iter().zip(oracle.benchmarks()) {
-        let loo = BestCorePredictor::train_excluding(&oracle, &[benchmark], &config);
         let stats = oracle.execution_statistics(benchmark);
+        let loo_size = if smoke {
+            None
+        } else {
+            Some(BestCorePredictor::train_excluding(&oracle, &[benchmark], &config).predict(&stats))
+        };
         rows.push((
             kernel.name().to_owned(),
             benchmark,
             deployed.predict(&stats),
-            loo.predict(&stats),
+            loo_size,
         ));
     }
 
@@ -58,17 +160,23 @@ fn main() {
         let degradation =
             |size| oracle.best_config_with_size(benchmark, size).1.total_nj() / best - 1.0;
         let d_dep = degradation(deployed_size);
-        let d_loo = degradation(loo_size);
         deployed_deg.push(d_dep);
-        loo_deg.push(d_loo);
+        let (loo_text, loo_delta_text) = match loo_size {
+            Some(size) => {
+                let d_loo = degradation(size);
+                loo_deg.push(d_loo);
+                (size.to_string(), format!("{:.2}%", d_loo * 100.0))
+            }
+            None => ("-".to_owned(), "-".to_owned()),
+        };
         println!(
-            "{:<12} {:>7} {:>10} {:>11.2}% {:>10} {:>11.2}%",
+            "{:<12} {:>7} {:>10} {:>11.2}% {:>10} {:>12}",
             name,
             actual.to_string(),
             deployed_size.to_string(),
             d_dep * 100.0,
-            loo_size.to_string(),
-            d_loo * 100.0
+            loo_text,
+            loo_delta_text
         );
     }
 
@@ -77,10 +185,55 @@ fn main() {
         "\ndeployment: mean energy degradation {:.2}% (paper claim: < 2%)",
         mean(&deployed_deg) * 100.0
     );
+    if !loo_deg.is_empty() {
+        println!(
+            "leave-one-out: mean energy degradation {:.2}%, {} / {} exact sizes",
+            mean(&loo_deg) * 100.0,
+            loo_deg.iter().filter(|&&d| d == 0.0).count(),
+            loo_deg.len()
+        );
+    }
+
+    // Serving-path argmax agreement (the PR-7 serving engines).
+    println!("\n== serving-path best-core argmax agreement ==\n");
+    let distill_epochs = if smoke { 120 } else { 400 };
+    let (f32_agreement, distilled_agreement, probe_count) =
+        serving_agreement(&deployed, &oracle, distill_epochs);
     println!(
-        "leave-one-out: mean energy degradation {:.2}%, {} / {} exact sizes",
-        mean(&loo_deg) * 100.0,
-        loo_deg.iter().filter(|&&d| d == 0.0).count(),
-        loo_deg.len()
+        "probes: {} ({} benchmarks x (1 + {} jittered replicas @ {:.0}%))",
+        probe_count,
+        oracle.len(),
+        PROBE_REPLICAS,
+        PROBE_JITTER * 100.0
     );
+    println!(
+        "f32 engine  vs f64 ensemble: {:.2}% argmax agreement",
+        f32_agreement * 100.0
+    );
+    println!(
+        "distilled   vs f64 ensemble: {:.2}% argmax agreement",
+        distilled_agreement * 100.0
+    );
+
+    if smoke {
+        println!("\nsmoke run complete (agreement gate not evaluated)");
+        return ExitCode::SUCCESS;
+    }
+
+    let passed = f32_agreement >= MIN_AGREEMENT && distilled_agreement >= MIN_AGREEMENT;
+    if passed {
+        println!(
+            "\nPASS: both serving paths >= {:.0}% argmax agreement",
+            MIN_AGREEMENT * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "\nFAIL: serving-path agreement under {:.0}% (f32 {:.2}%, distilled {:.2}%)",
+            MIN_AGREEMENT * 100.0,
+            f32_agreement * 100.0,
+            distilled_agreement * 100.0
+        );
+        ExitCode::FAILURE
+    }
 }

@@ -1,0 +1,173 @@
+//! Serving-path agreement properties: the quantised f32 engine and the
+//! distilled student are *not* bit-identical to the exact f64 ensemble —
+//! by design — so the contract they are held to is decision agreement:
+//! snapping their regression output onto the {2, 4, 8} KB grid must pick
+//! the same best core as the exact engine on ≥ 99 % of probes, across
+//! training seeds and probe jitter, on the paper topology
+//! (`{18, 10, 18, 5, 1}`, tanh hidden). The release-mode `ann_accuracy`
+//! binary enforces the same bar on the full 30-member paper config.
+
+use cache_sim::CacheSizeKb;
+use hetero_core::{BestCorePredictor, PredictorConfig, SuiteOracle};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use tinyann::{DistillConfig, TrainConfig};
+use workloads::{SplitMix64, Suite};
+
+fn oracle() -> &'static SuiteOracle {
+    static ORACLE: OnceLock<SuiteOracle> = OnceLock::new();
+    ORACLE.get_or_init(|| {
+        SuiteOracle::build(
+            &Suite::eembc_like_small(),
+            &energy_model::EnergyModel::default(),
+        )
+    })
+}
+
+/// Paper hidden topology `{10, 18, 5}` with the member count and epoch
+/// budget reduced to keep the debug-build property run tractable; the
+/// full 30-member configuration runs the identical agreement check in
+/// release via `ann_accuracy`.
+fn debug_paper_config(seed: u64) -> PredictorConfig {
+    PredictorConfig {
+        ensemble_size: 5,
+        train: TrainConfig {
+            epochs: 150,
+            patience: 40,
+            seed,
+            ..PredictorConfig::paper().train
+        },
+        ..PredictorConfig::paper()
+    }
+}
+
+/// Pre-trained (teacher, distilled student) pairs, one per training seed.
+/// Training dominates the test's cost, so the pairs are built once and
+/// every proptest case draws from them.
+fn pairs() -> &'static [(BestCorePredictor, BestCorePredictor)] {
+    static PAIRS: OnceLock<Vec<(BestCorePredictor, BestCorePredictor)>> = OnceLock::new();
+    PAIRS.get_or_init(|| {
+        [0xC0FEu64, 0xBEEF]
+            .iter()
+            .map(|&seed| {
+                let teacher = BestCorePredictor::train(oracle(), &debug_paper_config(seed));
+                let student = teacher
+                    .distill(
+                        oracle(),
+                        &DistillConfig {
+                            replicas: 10,
+                            jitter: 0.04,
+                            hidden: vec![24],
+                            train: TrainConfig {
+                                epochs: 400,
+                                seed,
+                                ..TrainConfig::default()
+                            },
+                        },
+                    )
+                    .expect("ANN-backed predictor distills");
+                (teacher, student)
+            })
+            .collect()
+    })
+}
+
+/// Probe rows: every benchmark's feature vector plus `replicas` jittered
+/// copies (hardware counters vary a few percent run to run; the serving
+/// path must hold its agreement in that neighbourhood, not just on the
+/// exact profiled vectors).
+fn probe_rows(replicas: usize, jitter: f64, seed: u64) -> Vec<Vec<f64>> {
+    let oracle = oracle();
+    let mut rng = SplitMix64::new(seed ^ 0x9E3B);
+    let mut rows = Vec::new();
+    for benchmark in oracle.benchmarks() {
+        let features = oracle.execution_statistics(benchmark).to_vector();
+        rows.push(features.to_vec());
+        for _ in 0..replicas {
+            rows.push(
+                features
+                    .iter()
+                    .map(|&v| v * (1.0 + jitter * (rng.next_f64() * 2.0 - 1.0)))
+                    .collect(),
+            );
+        }
+    }
+    rows
+}
+
+fn agreement(decisions: &[CacheSizeKb], reference: &[CacheSizeKb]) -> f64 {
+    let agree = decisions
+        .iter()
+        .zip(reference)
+        .filter(|(a, b)| a == b)
+        .count();
+    agree as f64 / reference.len() as f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// ≥ 99 % best-core argmax agreement for BOTH serving paths, across
+    /// training seeds (predictor pairs) and probe jitter seeds.
+    #[test]
+    fn f32_and_distilled_paths_agree_with_the_f64_ensemble(
+        pair_index in 0usize..2,
+        probe_seed in 0u64..1_000,
+    ) {
+        let (teacher, student) = &pairs()[pair_index];
+        let probes = probe_rows(12, 0.03, probe_seed);
+
+        let exact: Vec<CacheSizeKb> = probes
+            .iter()
+            .map(|p| CacheSizeKb::nearest(teacher.predict_raw_features(p)))
+            .collect();
+
+        let mut serving = teacher.serving_f32().expect("ANN predictor serves f32");
+        let mut out = Vec::new();
+        serving.predict_batch_f32(&probes, &mut out);
+        let quantised: Vec<CacheSizeKb> = out
+            .iter()
+            .map(|&v| CacheSizeKb::nearest(f64::from(v)))
+            .collect();
+        let f32_agreement = agreement(&quantised, &exact);
+        prop_assert!(
+            f32_agreement >= 0.99,
+            "f32 argmax agreement {f32_agreement} below 0.99 (pair {pair_index}, seed {probe_seed})"
+        );
+
+        let distilled: Vec<CacheSizeKb> = probes
+            .iter()
+            .map(|p| CacheSizeKb::nearest(student.predict_raw_features(p)))
+            .collect();
+        let distilled_agreement = agreement(&distilled, &exact);
+        prop_assert!(
+            distilled_agreement >= 0.99,
+            "distilled argmax agreement {distilled_agreement} below 0.99 (pair {pair_index}, seed {probe_seed})"
+        );
+    }
+
+    /// The memoized serving tables must agree perfectly on the profiled
+    /// benchmarks themselves: the distilled predictor's `predict_for`
+    /// (what the scheduler consults) may not silently change a placement
+    /// the teacher would have made.
+    #[test]
+    fn distilled_memo_matches_teacher_memo_on_profiled_benchmarks(
+        pair_index in 0usize..2,
+    ) {
+        let (teacher, student) = &pairs()[pair_index];
+        let oracle = oracle();
+        let mut disagreements = 0usize;
+        for benchmark in oracle.benchmarks() {
+            let stats = oracle.execution_statistics(benchmark);
+            if student.predict_for(benchmark, &stats) != teacher.predict_for(benchmark, &stats) {
+                disagreements += 1;
+            }
+        }
+        // 20-benchmark suite: 100% agreement required on the anchors the
+        // student was distilled from.
+        prop_assert_eq!(
+            disagreements, 0,
+            "distilled memo diverges on {} profiled benchmarks", disagreements
+        );
+    }
+}

@@ -9,7 +9,10 @@
 
 use crate::oracle::SuiteOracle;
 use cache_sim::CacheSizeKb;
-use tinyann::{Activation, Bagging, Dataset, KnnRegressor, RidgeRegression, TrainConfig};
+use tinyann::{
+    Activation, Bagging, Dataset, DistillConfig, Distilled, EnsembleF32, KnnRegressor,
+    RidgeRegression, TrainConfig,
+};
 use workloads::{BenchmarkId, ExecutionStatistics, SplitMix64, FEATURE_COUNT};
 
 /// Hyper-parameters for [`BestCorePredictor::train`].
@@ -111,6 +114,7 @@ enum Model {
     Ann(Bagging),
     Ridge(RidgeRegression),
     Knn(KnnRegressor),
+    Distilled(Distilled),
 }
 
 /// Which model family backs a predictor.
@@ -122,6 +126,9 @@ pub enum PredictorKind {
     Ridge,
     /// k-nearest-neighbour regression.
     Knn,
+    /// A single student net distilled from the ANN ensemble
+    /// ([`BestCorePredictor::distill`]).
+    Distilled,
 }
 
 impl BestCorePredictor {
@@ -263,7 +270,59 @@ impl BestCorePredictor {
             Model::Ann(_) => PredictorKind::Ann,
             Model::Ridge(_) => PredictorKind::Ridge,
             Model::Knn(_) => PredictorKind::Knn,
+            Model::Distilled(_) => PredictorKind::Distilled,
         }
+    }
+
+    /// The backing ANN ensemble, when this predictor is ANN-backed (the
+    /// serving-path conversions and the distillation teacher start here).
+    pub fn ensemble(&self) -> Option<&Bagging> {
+        match &self.model {
+            Model::Ann(ensemble) => Some(ensemble),
+            _ => None,
+        }
+    }
+
+    /// The backing distilled student, when this predictor came from
+    /// [`distill`](Self::distill).
+    pub fn distilled(&self) -> Option<&Distilled> {
+        match &self.model {
+            Model::Distilled(student) => Some(student),
+            _ => None,
+        }
+    }
+
+    /// Convert the learned model to the f32 serving engine: weights
+    /// quantised once, preallocated workspaces, 8-wide unrolled kernels.
+    /// `None` for families with no network to convert (ridge, kNN).
+    ///
+    /// The serving engine snaps to the same {2, 4, 8} grid, so it is
+    /// validated by best-core argmax *agreement* with this predictor (the
+    /// property tests and `ann_accuracy` enforce ≥ 99 %), not bit-identity.
+    pub fn serving_f32(&self) -> Option<EnsembleF32> {
+        match &self.model {
+            Model::Ann(ensemble) => Some(EnsembleF32::from_ensemble(ensemble)),
+            Model::Distilled(student) => Some(student.serving_f32()),
+            Model::Ridge(_) | Model::Knn(_) => None,
+        }
+    }
+
+    /// Distill the ANN ensemble into a single-student predictor: the
+    /// student trains on the teacher's outputs over every benchmark's
+    /// feature vector (plus jittered replicas, per `config`), then
+    /// memoizes over the oracle exactly like a freshly trained predictor.
+    /// `None` when this predictor is not ANN-backed.
+    pub fn distill(&self, oracle: &SuiteOracle, config: &DistillConfig) -> Option<Self> {
+        let Model::Ann(ensemble) = &self.model else {
+            return None;
+        };
+        let anchors: Vec<Vec<f64>> = oracle
+            .benchmarks()
+            .map(|b| oracle.execution_statistics(b).to_vector().to_vec())
+            .collect();
+        let model = Model::Distilled(ensemble.distill(&anchors, config));
+        let memo = memoize(&model, oracle);
+        Some(BestCorePredictor { model, memo })
     }
 
     /// Predict the best cache size for an application with the given
@@ -303,11 +362,23 @@ impl BestCorePredictor {
 
     /// The raw (un-snapped) regression output, for diagnostics.
     pub fn predict_raw(&self, statistics: &ExecutionStatistics) -> f64 {
-        let features = statistics.to_vector();
+        self.predict_raw_features(&statistics.to_vector())
+    }
+
+    /// [`predict_raw`](Self::predict_raw) on a bare feature vector. The
+    /// drift tooling needs this: a perturbed feature vector has no
+    /// [`ExecutionStatistics`] to reconstruct, but the model only ever
+    /// sees the vector anyway.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` has the wrong dimensionality.
+    pub fn predict_raw_features(&self, features: &[f64]) -> f64 {
         match &self.model {
-            Model::Ann(ensemble) => ensemble.predict(&features)[0],
-            Model::Ridge(model) => model.predict(&features)[0],
-            Model::Knn(model) => model.predict(&features)[0],
+            Model::Ann(ensemble) => ensemble.predict(features)[0],
+            Model::Ridge(model) => model.predict(features)[0],
+            Model::Knn(model) => model.predict(features)[0],
+            Model::Distilled(student) => student.predict(features)[0],
         }
     }
 
@@ -315,8 +386,80 @@ impl BestCorePredictor {
     pub fn ensemble_size(&self) -> usize {
         match &self.model {
             Model::Ann(ensemble) => ensemble.len(),
-            Model::Ridge(_) | Model::Knn(_) => 1,
+            Model::Ridge(_) | Model::Knn(_) | Model::Distilled(_) => 1,
         }
+    }
+
+    /// Drop every memoized per-benchmark prediction. After this call,
+    /// [`predict_for`](Self::predict_for) evaluates the model directly
+    /// until something re-memoizes (e.g. [`refine`](Self::refine)).
+    ///
+    /// This is the safety valve that makes incremental retraining sound:
+    /// the memo was computed by the *pre-update* model, so any model
+    /// mutation must invalidate it or completions would keep receiving
+    /// stale cached answers (exactly the hazard the fault chain guards
+    /// against for corrupted features).
+    pub fn invalidate_memo(&mut self) {
+        self.memo.clear();
+    }
+
+    /// Incremental retraining: fold newly profiled jobs into the model
+    /// without a full rebuild, then rebuild the memo from the refined
+    /// model over the provided samples. Each sample is `(benchmark,
+    /// feature vector, observed best size)` — feature vectors rather than
+    /// [`ExecutionStatistics`] because drifted counter readings exist
+    /// only in vector form.
+    ///
+    /// Family support: the ANN ensemble and the distilled student
+    /// continue SGD over the new rows (momentum state persists — see
+    /// [`tinyann::TrainedModel::refine`]); kNN memorises them
+    /// ([`tinyann::KnnRegressor::absorb`]); ridge has no incremental
+    /// update (the normal equations need the full design matrix), so the
+    /// call returns `false` and changes nothing. Returns `true` when the
+    /// model was updated — at which point the stale memo has been
+    /// invalidated and re-memoized from the refined model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any feature vector has the wrong dimensionality.
+    pub fn refine(
+        &mut self,
+        samples: &[(BenchmarkId, Vec<f64>, CacheSizeKb)],
+        config: &TrainConfig,
+    ) -> bool {
+        if samples.is_empty() {
+            return false;
+        }
+        let inputs: Vec<Vec<f64>> = samples.iter().map(|(_, f, _)| f.clone()).collect();
+        let targets: Vec<Vec<f64>> = samples
+            .iter()
+            .map(|(_, _, size)| vec![f64::from(size.kilobytes())])
+            .collect();
+        let updated = match &mut self.model {
+            Model::Ann(ensemble) => {
+                ensemble.refine(&inputs, &targets, config);
+                true
+            }
+            Model::Distilled(student) => {
+                student.refine(&inputs, &targets, config);
+                true
+            }
+            Model::Knn(knn) => {
+                let k = knn.k();
+                knn.absorb(&inputs, &targets, k);
+                true
+            }
+            Model::Ridge(_) => false,
+        };
+        if updated {
+            self.invalidate_memo();
+            let refreshed: Vec<(BenchmarkId, CacheSizeKb)> = samples
+                .iter()
+                .map(|(b, f, _)| (*b, CacheSizeKb::nearest(self.predict_raw_features(f))))
+                .collect();
+            self.memo = refreshed;
+        }
+        updated
     }
 }
 
@@ -338,6 +481,11 @@ fn memoize(model: &Model, oracle: &SuiteOracle) -> Vec<(BenchmarkId, CacheSizeKb
             .collect(),
         Model::Ridge(m) => features.iter().map(|f| m.predict(f)[0]).collect(),
         Model::Knn(m) => features.iter().map(|f| m.predict(f)[0]).collect(),
+        Model::Distilled(student) => student
+            .predict_batch(&features)
+            .into_iter()
+            .map(|row| row[0])
+            .collect(),
     };
     benchmarks
         .into_iter()
@@ -510,6 +658,164 @@ mod tests {
             assert!(CacheSizeKb::ALL.contains(&ridge.predict(&stats)));
             assert!(CacheSizeKb::ALL.contains(&knn.predict(&stats)));
         }
+    }
+
+    #[test]
+    fn invalidate_memo_falls_back_to_direct_evaluation() {
+        let oracle = oracle();
+        let mut predictor = BestCorePredictor::train(&oracle, &PredictorConfig::fast());
+        predictor.invalidate_memo();
+        for benchmark in oracle.benchmarks() {
+            let stats = oracle.execution_statistics(benchmark);
+            assert_eq!(
+                predictor.predict_for(benchmark, &stats),
+                predictor.predict(&stats),
+                "memo-less predict_for must equal direct evaluation for {benchmark}"
+            );
+        }
+    }
+
+    /// Regression test for the incremental-retraining staleness hazard:
+    /// `refine` mutates the model, so serving the pre-refine memo would
+    /// return answers the *old* model computed. A 1-NN predictor makes the
+    /// hazard deterministic — after absorbing a far-away sample labelled
+    /// K8, the model's answer for that sample's features IS K8, and the
+    /// memo must say so too.
+    #[test]
+    fn refine_cannot_serve_stale_memoized_predictions() {
+        let oracle = oracle();
+        let mut predictor = BestCorePredictor::train_knn(&oracle, &[], 1);
+        let benchmark = oracle
+            .benchmarks()
+            .find(|&b| oracle.best_size(b) != CacheSizeKb::K8)
+            .expect("the small suite has non-K8 benchmarks");
+        let stats = oracle.execution_statistics(benchmark);
+        let stale = predictor.predict_for(benchmark, &stats);
+        assert_ne!(stale, CacheSizeKb::K8, "pre-refine memo serves old label");
+
+        // The drifted feature vector lands far from every stored sample,
+        // so 1-NN maps it (and only it) to the new K8 label.
+        let drifted: Vec<f64> = stats.to_vector().iter().map(|&v| v * 250.0 + 1e7).collect();
+        let updated = predictor.refine(
+            &[(benchmark, drifted.clone(), CacheSizeKb::K8)],
+            &TrainConfig::default(),
+        );
+        assert!(updated, "kNN supports incremental absorption");
+        assert_eq!(
+            CacheSizeKb::nearest(predictor.predict_raw_features(&drifted)),
+            CacheSizeKb::K8,
+            "refined model must reflect the absorbed sample"
+        );
+        assert_eq!(
+            predictor.predict_for(benchmark, &stats),
+            CacheSizeKb::K8,
+            "memo served a stale pre-refine prediction"
+        );
+    }
+
+    #[test]
+    fn refine_is_a_no_op_for_ridge_and_on_empty_samples() {
+        let oracle = oracle();
+        let mut ridge = BestCorePredictor::train_ridge(&oracle, &[], 1.0);
+        let stats = oracle.execution_statistics(BenchmarkId(0));
+        let before = ridge.predict_raw(&stats);
+        let samples = vec![(BenchmarkId(0), stats.to_vector().to_vec(), CacheSizeKb::K2)];
+        assert!(!ridge.refine(&samples, &TrainConfig::default()));
+        assert_eq!(before.to_bits(), ridge.predict_raw(&stats).to_bits());
+        // Memo must survive an unsupported refine untouched.
+        assert_eq!(
+            ridge.predict_for(BenchmarkId(0), &stats),
+            ridge.predict(&stats)
+        );
+
+        let mut ann = BestCorePredictor::train(&oracle, &PredictorConfig::fast());
+        assert!(!ann.refine(&[], &TrainConfig::default()));
+    }
+
+    #[test]
+    fn ann_refine_moves_predictions_toward_new_labels() {
+        let oracle = oracle();
+        let mut predictor = BestCorePredictor::train(&oracle, &PredictorConfig::fast());
+        let benchmark = oracle.benchmarks().next().unwrap();
+        let features = oracle.execution_statistics(benchmark).to_vector().to_vec();
+        let before = predictor.predict_raw_features(&features);
+        // Re-label the benchmark to the opposite end of the size grid and
+        // refine; the regression output must move toward the new label.
+        let target = if before > 5.0 {
+            CacheSizeKb::K2
+        } else {
+            CacheSizeKb::K8
+        };
+        let config = TrainConfig {
+            epochs: 40,
+            ..PredictorConfig::fast().train
+        };
+        assert!(predictor.refine(&[(benchmark, features.clone(), target)], &config));
+        let after = predictor.predict_raw_features(&features);
+        let goal = f64::from(target.kilobytes());
+        assert!(
+            (goal - after).abs() < (goal - before).abs(),
+            "refine must move {before} toward {goal}, got {after}"
+        );
+        // And the memo reflects the refined model, not the stale one.
+        assert_eq!(
+            predictor.predict_for(benchmark, &oracle.execution_statistics(benchmark)),
+            CacheSizeKb::nearest(after)
+        );
+    }
+
+    #[test]
+    fn distilled_predictor_mostly_agrees_with_its_teacher() {
+        let oracle = oracle();
+        let teacher = BestCorePredictor::train(&oracle, &PredictorConfig::fast());
+        let student = teacher
+            .distill(
+                &oracle,
+                &tinyann::DistillConfig {
+                    replicas: 6,
+                    train: TrainConfig {
+                        epochs: 120,
+                        ..TrainConfig::default()
+                    },
+                    ..tinyann::DistillConfig::default()
+                },
+            )
+            .expect("ANN-backed predictors distill");
+        assert_eq!(student.kind(), PredictorKind::Distilled);
+        assert_eq!(student.ensemble_size(), 1);
+        let agree = oracle
+            .benchmarks()
+            .filter(|&b| {
+                let stats = oracle.execution_statistics(b);
+                student.predict(&stats) == teacher.predict(&stats)
+            })
+            .count();
+        // Debug-build fast() config: demand strong but not perfect
+        // agreement; the paper config's ≥99% bar runs in release via the
+        // property tests and ann_accuracy.
+        assert!(
+            agree * 10 >= oracle.len() * 8,
+            "student agrees on {agree}/{} benchmarks",
+            oracle.len()
+        );
+    }
+
+    #[test]
+    fn serving_f32_exists_exactly_for_network_backed_families() {
+        let oracle = oracle();
+        let ann = BestCorePredictor::train(&oracle, &PredictorConfig::fast());
+        assert!(ann.serving_f32().is_some());
+        assert!(ann.ensemble().is_some());
+        assert!(ann.distilled().is_none());
+        assert!(BestCorePredictor::train_ridge(&oracle, &[], 1.0)
+            .serving_f32()
+            .is_none());
+        assert!(BestCorePredictor::train_knn(&oracle, &[], 3)
+            .serving_f32()
+            .is_none());
+        assert!(BestCorePredictor::train_knn(&oracle, &[], 3)
+            .distill(&oracle, &tinyann::DistillConfig::default())
+            .is_none());
     }
 
     #[test]

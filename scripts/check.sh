@@ -53,6 +53,9 @@ echo "==> telemetry --smoke (span profiler + metrics sink across all systems)"
 echo "==> scaling --smoke (many-core sweep through 64 cores, indexed loop)"
 ./target/release/scaling --smoke
 
+echo "==> ann_accuracy --smoke (predictor quality + serving-path agreement)"
+./target/release/ann_accuracy --smoke
+
 if $run_perf; then
     echo "==> perf_pipeline gate (release)"
     ./target/release/perf_pipeline
