@@ -1,0 +1,517 @@
+//! Streaming service driver: open-loop load, bounded-memory runs,
+//! snapshots, SLO verdicts, and run-to-run comparison.
+//!
+//! Unlike the batch experiment binaries (which materialise an
+//! [`ArrivalPlan`](workloads::ArrivalPlan) and retain every per-job
+//! metric), this driver feeds the simulator from a lazy
+//! [`OpenLoop`](workloads::OpenLoop) arrival process and folds the run
+//! through the engine's snapshot ring — memory stays bounded no matter
+//! how many jobs flow through.
+//!
+//! Usage:
+//!
+//! ```text
+//! engine [--system base|optimal|energy|proposed|all] [--process poisson|bursty|diurnal|ramp|mix]
+//!        [--jobs N] [--rate R] [--seed S] [--export PATH.json] [--csv] [--md]
+//!        [--slo-p99 CYCLES] [--slo-energy NJ] [--smoke]
+//! engine compare OLD.json NEW.json
+//! ```
+//!
+//! * `--system` — which scheduler(s) to serve (default `all`; the four
+//!   systems fan out across worker threads).
+//! * `--process` — the arrival process shape (default `poisson`); `mix`
+//!   composes a steady Poisson floor with a bursty overlay.
+//! * `--rate` — offered load in jobs per mega-cycle (default 7.1, the
+//!   paper's 5000 jobs / 700M cycles).
+//! * `--slo-p99` / `--slo-energy` — optional budgets; when any budget
+//!   fails the process exits non-zero (fleet-check style).
+//! * `--export` — write a JSON artifact consumable by `engine compare`.
+//! * `--csv` / `--md` — dump the snapshot time series / run summaries.
+//! * `--smoke` — reduced suite and job count, loose budgets, no
+//!   artifacts (used by `scripts/check.sh`).
+//!
+//! `engine compare` diffs two exported artifacts system-by-system and
+//! flags regressions in throughput, p99 latency, and energy per job.
+
+use hetero_bench::json::Json;
+use hetero_bench::Testbed;
+use hetero_core::{BaseSystem, EnergyCentricSystem, OptimalSystem, ProposedSystem};
+use hetero_engine::{export, run_streaming, EngineConfig, EngineReport, SloPolicy, StreamOutcome};
+use multicore_sim::{Scheduler, Simulator};
+use std::process::ExitCode;
+use workloads::{Arrival, Compose, OpenLoop};
+
+/// `(flag value, display name)` in the paper's presentation order.
+const SYSTEMS: [&str; 4] = ["base", "optimal", "energy-centric", "proposed"];
+
+struct Options {
+    system: String,
+    process: String,
+    jobs: usize,
+    rate: f64,
+    seed: u64,
+    export: Option<String>,
+    csv: bool,
+    md: bool,
+    slo_p99: Option<u64>,
+    slo_energy: Option<f64>,
+    smoke: bool,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Options, String> {
+        let mut options = Options {
+            system: "all".to_string(),
+            process: "poisson".to_string(),
+            jobs: 20_000,
+            rate: 7.1,
+            seed: hetero_bench::PAPER_SEED,
+            export: None,
+            csv: false,
+            md: false,
+            slo_p99: None,
+            slo_energy: None,
+            smoke: false,
+        };
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            let mut value = |flag: &str| {
+                iter.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{flag} needs a value"))
+            };
+            match arg.as_str() {
+                "--system" => options.system = value("--system")?,
+                "--process" => options.process = value("--process")?,
+                "--jobs" => {
+                    options.jobs = value("--jobs")?
+                        .parse()
+                        .map_err(|e| format!("--jobs: {e}"))?
+                }
+                "--rate" => {
+                    options.rate = value("--rate")?
+                        .parse()
+                        .map_err(|e| format!("--rate: {e}"))?
+                }
+                "--seed" => {
+                    options.seed = value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?
+                }
+                "--export" => options.export = Some(value("--export")?),
+                "--csv" => options.csv = true,
+                "--md" => options.md = true,
+                "--slo-p99" => {
+                    options.slo_p99 = Some(
+                        value("--slo-p99")?
+                            .parse()
+                            .map_err(|e| format!("--slo-p99: {e}"))?,
+                    )
+                }
+                "--slo-energy" => {
+                    options.slo_energy = Some(
+                        value("--slo-energy")?
+                            .parse()
+                            .map_err(|e| format!("--slo-energy: {e}"))?,
+                    )
+                }
+                "--smoke" => options.smoke = true,
+                unknown => return Err(format!("unknown argument: {unknown}")),
+            }
+        }
+        if options.smoke {
+            options.jobs = options.jobs.min(2_000);
+        }
+        if !SYSTEMS.contains(&options.system.as_str()) && options.system != "all" {
+            return Err(format!(
+                "unknown system {:?} (expected base|optimal|energy-centric|proposed|all)",
+                options.system
+            ));
+        }
+        Ok(options)
+    }
+
+    fn systems(&self) -> Vec<usize> {
+        match self.system.as_str() {
+            "all" => (0..SYSTEMS.len()).collect(),
+            name => vec![SYSTEMS.iter().position(|s| *s == name).expect("validated")],
+        }
+    }
+
+    fn policy(&self) -> SloPolicy {
+        SloPolicy {
+            max_p99_latency_cycles: self.slo_p99,
+            max_energy_per_job_nj: self.slo_energy,
+            min_throughput_jobs_per_mcycle: None,
+        }
+    }
+}
+
+/// Build the chosen arrival process, bounded at `jobs` arrivals.
+///
+/// Every shape averages close to `rate` jobs/Mcycle so SLO budgets and
+/// `engine compare` stay meaningful across processes. Each system gets
+/// the same stream (the process is deterministic in its seed).
+fn arrivals(
+    process: &str,
+    rate: f64,
+    num_benchmarks: usize,
+    seed: u64,
+    jobs: usize,
+) -> Result<Box<dyn Iterator<Item = Arrival>>, String> {
+    const PERIOD: u64 = 40_000_000;
+    let source: Box<dyn Iterator<Item = Arrival>> = match process {
+        "poisson" => Box::new(OpenLoop::poisson(rate, num_benchmarks, seed)),
+        // On 1/4 of the time at 3x the average + a quiet floor.
+        "bursty" => Box::new(OpenLoop::bursty(
+            3.0 * rate,
+            rate / 3.0,
+            PERIOD / 4,
+            3 * PERIOD / 4,
+            num_benchmarks,
+            seed,
+        )),
+        "diurnal" => Box::new(OpenLoop::diurnal(rate, 0.8, PERIOD, num_benchmarks, seed)),
+        "ramp" => Box::new(OpenLoop::ramp(
+            0.2 * rate,
+            1.8 * rate,
+            4 * PERIOD,
+            num_benchmarks,
+            seed,
+        )),
+        // A steady floor with a bursty overlay on an offset seed.
+        "mix" => Box::new(Compose::new(vec![
+            Box::new(OpenLoop::poisson(rate / 2.0, num_benchmarks, seed)),
+            Box::new(OpenLoop::bursty(
+                2.0 * rate,
+                0.0,
+                PERIOD / 4,
+                3 * PERIOD / 4,
+                num_benchmarks,
+                seed ^ 0x9e37_79b9_7f4a_7c15,
+            )),
+        ])),
+        unknown => {
+            return Err(format!(
+                "unknown process {unknown:?} (expected poisson|bursty|diurnal|ramp|mix)"
+            ))
+        }
+    };
+    Ok(Box::new(source.take(jobs)))
+}
+
+/// Serve `system_index` (paper presentation order) from the stream.
+fn serve(testbed: &Testbed, system_index: usize, options: &Options) -> StreamOutcome {
+    fn go<S: Scheduler>(
+        mut system: S,
+        num_cores: usize,
+        options: &Options,
+        num_benchmarks: usize,
+    ) -> StreamOutcome {
+        let config = EngineConfig {
+            slo: options.policy(),
+            ..EngineConfig::default()
+        };
+        let stream = arrivals(
+            &options.process,
+            options.rate,
+            num_benchmarks,
+            options.seed,
+            options.jobs,
+        )
+        .expect("validated before the run started");
+        run_streaming(&Simulator::new(num_cores), stream, &mut system, &config)
+    }
+
+    let num_cores = testbed.arch.num_cores();
+    let num_benchmarks = testbed.suite.len();
+    let model = testbed.model;
+    match system_index {
+        0 => go(
+            BaseSystem::new(&testbed.oracle, model, num_cores),
+            num_cores,
+            options,
+            num_benchmarks,
+        ),
+        1 => go(
+            OptimalSystem::new(&testbed.arch, &testbed.oracle, model),
+            num_cores,
+            options,
+            num_benchmarks,
+        ),
+        2 => go(
+            EnergyCentricSystem::new(
+                &testbed.arch,
+                &testbed.oracle,
+                model,
+                testbed.predictor.clone(),
+            ),
+            num_cores,
+            options,
+            num_benchmarks,
+        ),
+        _ => go(
+            ProposedSystem::with_model(
+                &testbed.arch,
+                &testbed.oracle,
+                model,
+                testbed.predictor.clone(),
+            ),
+            num_cores,
+            options,
+            num_benchmarks,
+        ),
+    }
+}
+
+fn report_to_json(name: &str, report: &EngineReport) -> Json {
+    Json::object([
+        ("system", Json::str(name)),
+        ("cores", Json::UInt(report.num_cores as u64)),
+        ("horizon_cycles", Json::UInt(report.horizon)),
+        ("arrivals", Json::UInt(report.totals.arrivals)),
+        ("completions", Json::UInt(report.totals.completions)),
+        (
+            "throughput_jobs_per_mcycle",
+            Json::Num(report.throughput_jobs_per_mcycle()),
+        ),
+        (
+            "p50_latency_cycles",
+            Json::UInt(report.latency_cycles.p50()),
+        ),
+        (
+            "p99_latency_cycles",
+            Json::UInt(report.latency_cycles.p99()),
+        ),
+        ("energy_nj", Json::Num(report.energy_nj())),
+        ("energy_per_job_nj", Json::Num(report.energy_per_job_nj())),
+        ("snapshots_emitted", Json::UInt(report.snapshots_emitted)),
+        ("slo_passed", Json::Bool(report.slo.passed())),
+        (
+            "slo_checks",
+            Json::Array(
+                report
+                    .slo
+                    .checks
+                    .iter()
+                    .map(|check| {
+                        Json::object([
+                            ("name", Json::str(check.name)),
+                            ("budget", Json::Num(check.budget)),
+                            ("measured", Json::Num(check.measured)),
+                            ("passed", Json::Bool(check.passed)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// `engine compare OLD.json NEW.json`: per-system deltas, non-zero exit
+/// on regression (throughput down or p99/energy-per-job up by > 5%).
+fn compare(old_path: &str, new_path: &str) -> ExitCode {
+    let load = |path: &str| -> Result<Json, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|err| format!("cannot read {path}: {err}"))?;
+        Json::parse(&text).map_err(|err| format!("cannot parse {path}: {err}"))
+    };
+    let (old, new) = match (load(old_path), load(new_path)) {
+        (Ok(old), Ok(new)) => (old, new),
+        (old, new) => {
+            for problem in [old.err(), new.err()].into_iter().flatten() {
+                eprintln!("{problem}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let field = |doc: &Json, system: &str, key: &str| -> Option<f64> {
+        let row = doc
+            .get("systems")?
+            .as_array()?
+            .iter()
+            .find(|row| row.get("system").and_then(Json::as_str) == Some(system))?
+            .get(key)?
+            .clone();
+        match row {
+            Json::Num(value) => Some(value),
+            Json::UInt(value) => Some(value as f64),
+            _ => None,
+        }
+    };
+
+    // (json key, label, true when bigger is better)
+    const METRICS: [(&str, &str, bool); 3] = [
+        ("throughput_jobs_per_mcycle", "throughput", true),
+        ("p99_latency_cycles", "p99 latency", false),
+        ("energy_per_job_nj", "energy/job", false),
+    ];
+    const TOLERANCE: f64 = 0.05;
+
+    println!(
+        "{:<16} {:<12} {:>14} {:>14} {:>9}  verdict",
+        "system", "metric", "old", "new", "delta"
+    );
+    let mut regressions = 0u32;
+    let mut compared = 0u32;
+    for system in SYSTEMS {
+        for (key, label, bigger_is_better) in METRICS {
+            let (Some(before), Some(after)) = (field(&old, system, key), field(&new, system, key))
+            else {
+                continue;
+            };
+            compared += 1;
+            let delta = if before == 0.0 {
+                0.0
+            } else {
+                after / before - 1.0
+            };
+            let regressed = if bigger_is_better {
+                delta < -TOLERANCE
+            } else {
+                delta > TOLERANCE
+            };
+            if regressed {
+                regressions += 1;
+            }
+            println!(
+                "{:<16} {:<12} {:>14.3} {:>14.3} {:>+8.1}%  {}",
+                system,
+                label,
+                before,
+                after,
+                delta * 100.0,
+                if regressed { "REGRESSED" } else { "ok" }
+            );
+        }
+    }
+    if compared == 0 {
+        eprintln!("no comparable systems found in the two artifacts");
+        return ExitCode::FAILURE;
+    }
+    if regressions > 0 {
+        eprintln!("ENGINE COMPARE: {regressions} regression(s) beyond 5%");
+        return ExitCode::FAILURE;
+    }
+    println!("ENGINE COMPARE OK: {compared} metric(s) within tolerance");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("compare") {
+        return match args.as_slice() {
+            [_, old, new] => compare(old, new),
+            _ => {
+                eprintln!("usage: engine compare OLD.json NEW.json");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let options = match Options::parse(&args) {
+        Ok(options) => options,
+        Err(problem) => {
+            eprintln!("{problem}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Validate the process name before paying for the testbed build.
+    if let Err(problem) = arrivals(&options.process, options.rate, 1, 0, 0) {
+        eprintln!("{problem}");
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "engine: {} x {} jobs, {} arrivals at ~{} jobs/Mcycle, seed {}",
+        options.system, options.jobs, options.process, options.rate, options.seed
+    );
+    let testbed = if options.smoke {
+        Testbed::small()
+    } else {
+        Testbed::paper()
+    };
+
+    let system_indices = options.systems();
+    let outcomes =
+        hetero_parallel::map_indexed(system_indices.len(), hetero_parallel::worker_count(), |i| {
+            serve(&testbed, system_indices[i], &options)
+        });
+
+    let mut failures = 0u32;
+    let mut rows: Vec<Json> = Vec::new();
+    let mut markdown = String::new();
+    println!(
+        "{:<16} {:>9} {:>11} {:>11} {:>12} {:>10} {:>6}",
+        "system", "completed", "jobs/Mcyc", "p99 (cyc)", "energy/job", "snapshots", "SLO"
+    );
+    for (&system_index, outcome) in system_indices.iter().zip(&outcomes) {
+        let name = SYSTEMS[system_index];
+        let report = &outcome.report;
+        if outcome.metrics.jobs_completed != options.jobs as u64 {
+            eprintln!(
+                "  {name}: completed {} of {} jobs",
+                outcome.metrics.jobs_completed, options.jobs
+            );
+            failures += 1;
+        }
+        if !report.slo.passed() {
+            failures += 1;
+        }
+        println!(
+            "{:<16} {:>9} {:>11.3} {:>11} {:>12.3} {:>10} {:>6}",
+            name,
+            report.totals.completions,
+            report.throughput_jobs_per_mcycle(),
+            report.latency_cycles.p99(),
+            report.energy_per_job_nj(),
+            report.snapshots_emitted,
+            if report.slo.passed() { "pass" } else { "FAIL" }
+        );
+        if options.csv {
+            println!("\n--- {name} snapshots ---");
+            print!("{}", export::snapshots_csv(report));
+        }
+        if options.md {
+            markdown.push_str(&export::summary_markdown(
+                &format!("{} / {}", options.process, name),
+                report,
+            ));
+            markdown.push('\n');
+        }
+        rows.push(report_to_json(name, report));
+    }
+    if options.md {
+        print!("\n{markdown}");
+    }
+
+    if let Some(path) = &options.export {
+        let doc = Json::object([
+            ("experiment", Json::str("engine")),
+            ("process", Json::str(options.process.clone())),
+            ("rate_jobs_per_mcycle", Json::Num(options.rate)),
+            ("jobs", Json::UInt(options.jobs as u64)),
+            ("seed", Json::UInt(options.seed)),
+            ("systems", Json::Array(rows)),
+        ]);
+        match std::fs::write(path, doc.to_pretty()) {
+            Ok(()) => println!("wrote {path}"),
+            Err(err) => {
+                eprintln!("export to {path} failed: {err}");
+                failures += 1;
+            }
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("ENGINE FAILED: {failures} problem(s)");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "ENGINE OK: {} system(s) served {} streamed jobs in bounded memory",
+        system_indices.len(),
+        options.jobs
+    );
+    ExitCode::SUCCESS
+}

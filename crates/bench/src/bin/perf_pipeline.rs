@@ -40,7 +40,11 @@
 //! faster than the retained linear-scan `Simulator::run_reference`.
 //! Speedups compare the minimum over
 //! the measured iterations on each side, which filters the additive
-//! scheduling noise of shared hosts. The binary exits non-zero when the
+//! scheduling noise of shared hosts. Finally, `engine_stream` is a
+//! *memory* gate: a 10M-job open-loop streaming run through
+//! `hetero_engine` must grow this process's resident set by less than a
+//! fixed budget, pinning the engine's O(1)-memory claim (see
+//! `STREAM_RSS_BUDGET_MB`). The binary exits non-zero when the
 //! guard fails, so it can serve as a CI perf gate.
 //!
 //! Usage: `cargo run --release --bin perf_pipeline [min_speedup] [flags]`
@@ -74,7 +78,7 @@ use workloads::{ArrivalPlan, SplitMix64, Suite};
 const DEFAULT_MIN_SPEEDUP: f64 = 2.0;
 
 /// Stages whose speedup the gate checks (each must clear its threshold).
-const GATED_STAGES: [&str; 9] = [
+const GATED_STAGES: [&str; 10] = [
     "oracle_build_paper",
     "bagging_train",
     "ensemble_predict",
@@ -84,6 +88,7 @@ const GATED_STAGES: [&str; 9] = [
     "sim_fault_overhead",
     "sim_metrics_overhead",
     "sim_manycore",
+    "engine_stream",
 ];
 
 /// `sim_trace_overhead` and `sim_fault_overhead` are no-regression bars,
@@ -119,6 +124,19 @@ const MANYCORE_MIN_SPEEDUP: f64 = 5.0;
 /// threshold. Fixed — the CLI threshold does not move it.
 const DISTILL_MIN_SPEEDUP: f64 = 8.0;
 
+/// `engine_stream` is a *memory* gate, not a time gate: a 10M-job
+/// streaming run (1M in smoke mode) through `hetero_engine` on a single
+/// process must grow resident memory by less than this budget. A
+/// materialising run of the same shape pays ~240MB for the arrival plan
+/// alone plus per-job metric retention, so a regression back to O(jobs)
+/// state blows the budget immediately, while the bounded sink's true
+/// footprint (in-flight job slots + open windows + the snapshot ring) is
+/// a few MB. The stage reuses the `Stage` schema with MB-valued samples
+/// (the artifact's `*_ms` fields therefore read as MB, and `speedup` is
+/// `budget / growth`, gated at 1.0). Fixed — the CLI threshold does not
+/// move it.
+const STREAM_RSS_BUDGET_MB: f64 = 128.0;
+
 /// The gate bar for one stage at the given CLI threshold.
 fn stage_threshold(name: &str, min_speedup: f64) -> f64 {
     match name {
@@ -126,6 +144,7 @@ fn stage_threshold(name: &str, min_speedup: f64) -> f64 {
         "sim_metrics_overhead" => METRICS_OVERHEAD_MIN_RATIO,
         "sim_manycore" => MANYCORE_MIN_SPEEDUP,
         "distilled_predict" => DISTILL_MIN_SPEEDUP,
+        "engine_stream" => 1.0,
         _ => min_speedup,
     }
 }
@@ -585,6 +604,75 @@ fn measure_manycore(iters: u32) -> Stage {
     }
 }
 
+/// Resident set size from `/proc/self/status`, in MB. Returns 0.0 when
+/// the file is unavailable (non-Linux), which makes the memory gate pass
+/// vacuously rather than fail spuriously.
+fn rss_mb() -> f64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status.lines().find_map(|line| {
+                line.strip_prefix("VmRSS:")?
+                    .trim()
+                    .strip_suffix("kB")?
+                    .trim()
+                    .parse::<f64>()
+                    .ok()
+            })
+        })
+        .map_or(0.0, |kb| kb / 1024.0)
+}
+
+/// The bounded-memory streaming gate: push `jobs` open-loop arrivals
+/// through the full engine stack (lazy `OpenLoop` source ->
+/// `Simulator::run_stream` -> `EngineSink` snapshot folding) in this
+/// process and record the resident-set growth. With retirement and window
+/// draining working, steady-state state is O(cores + in-flight jobs +
+/// snapshot ring) — independent of `jobs` — so growth stays a few MB;
+/// any regression toward per-job retention scales with `jobs` and blows
+/// [`STREAM_RSS_BUDGET_MB`]. Runs once (`iters` selects the scale, not a
+/// repeat count: smoke = 1M jobs, full = 10M).
+fn measure_engine_stream(iters: u32) -> Stage {
+    let jobs: usize = if iters <= 1 { 1_000_000 } else { 10_000_000 };
+    let stream = workloads::OpenLoop::poisson(20.0, 12, 7).take(jobs);
+    let sim = Simulator::new(4);
+    let before_mb = rss_mb();
+    let (outcome, elapsed) = hetero_bench::perf::time_once(|| {
+        hetero_engine::run_streaming(
+            &sim,
+            stream,
+            &mut FirstIdle,
+            &hetero_engine::EngineConfig::default(),
+        )
+    });
+    let growth_mb = (rss_mb() - before_mb).max(0.25);
+    assert_eq!(
+        outcome.metrics.jobs_completed, jobs as u64,
+        "streaming run must retire every job"
+    );
+    println!(
+        "engine_stream: {jobs} jobs in {:.2}s, {} snapshots, rss growth {growth_mb:.1} MB \
+         (budget {STREAM_RSS_BUDGET_MB:.0} MB)",
+        elapsed.as_secs_f64(),
+        outcome.report.snapshots_emitted,
+    );
+    // MB stored where nanoseconds normally live: `*_ms` artifact fields
+    // then read as MB and `speedup()` becomes budget/growth.
+    let sample = |label: &str, mb: f64| Sample {
+        label: label.to_string(),
+        iters: 1,
+        mean_ns: mb * 1e6,
+        min_ns: mb * 1e6,
+        p50_ns: mb * 1e6,
+        p95_ns: mb * 1e6,
+    };
+    Stage {
+        name: "engine_stream",
+        reference: sample("stream_rss_budget_mb", STREAM_RSS_BUDGET_MB),
+        fused: sample("stream_rss_growth_mb", growth_mb),
+    }
+}
+
 /// (Re-)measure one stage by name, at the given iteration count.
 fn measure_stage(name: &str, iters: u32) -> Stage {
     match name {
@@ -602,6 +690,7 @@ fn measure_stage(name: &str, iters: u32) -> Stage {
         "sim_fault_overhead" => measure_fault_overhead(iters),
         "sim_metrics_overhead" => measure_metrics_overhead(iters),
         "sim_manycore" => measure_manycore(iters),
+        "engine_stream" => measure_engine_stream(iters),
         other => panic!("unknown stage {other}"),
     }
 }
@@ -615,6 +704,8 @@ fn stage_iters(name: &str, smoke: bool) -> u32 {
         "bagging_train" => 5,
         "sim_trace_overhead" | "sim_fault_overhead" | "sim_metrics_overhead" => 9,
         "sim_manycore" => 5,
+        // One full-scale 10M-job pass; `iters` is a scale selector here.
+        "engine_stream" => 2,
         _ => 7,
     }
 }
@@ -657,7 +748,9 @@ fn main() -> ExitCode {
              >= {TRACE_OVERHEAD_MIN_RATIO:.2}x of the untraced loop;\n\
              sim_metrics_overhead must hold >= {METRICS_OVERHEAD_MIN_RATIO:.2}x;\n\
              sim_manycore must be >= {MANYCORE_MIN_SPEEDUP:.1}x the linear-scan \
-             loop at 256 cores\n"
+             loop at 256 cores;\n\
+             engine_stream must keep a 10M-job streaming run within \
+             {STREAM_RSS_BUDGET_MB:.0} MB of rss growth\n"
         );
     }
 
@@ -674,6 +767,7 @@ fn main() -> ExitCode {
         "sim_fault_overhead",
         "sim_metrics_overhead",
         "sim_manycore",
+        "engine_stream",
     ];
     let mut stages: Vec<Stage> = all_stages
         .iter()

@@ -317,21 +317,65 @@ impl Parser<'_> {
         }
     }
 
+    /// Scan a number with the exact JSON grammar:
+    /// `-?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?`. Loose scanning
+    /// (grab every number-ish byte, let `f64::parse` sort it out) accepts
+    /// spec-invalid literals like `01`, `1.`, or `3-3` — and whether the
+    /// junk is swallowed or left behind then depends on `f64::parse`
+    /// details rather than on the grammar. Our emitter only produces
+    /// grammar-clean literals (Rust's `f64` Display never uses exponent
+    /// notation and never emits a bare trailing dot), so strictness costs
+    /// nothing on round-trips.
     fn number(&mut self) -> Result<Json, JsonError> {
         let start = self.pos;
-        let mut integral = self.peek()? != b'-';
-        while let Some(&b) = self.bytes.get(self.pos) {
-            match b {
-                b'0'..=b'9' | b'-' => self.pos += 1,
-                b'.' | b'e' | b'E' | b'+' => {
-                    integral = false;
-                    self.pos += 1;
+        let digits = |parser: &mut Self| {
+            let mut seen = false;
+            while matches!(parser.bytes.get(parser.pos), Some(b'0'..=b'9')) {
+                parser.pos += 1;
+                seen = true;
+            }
+            seen
+        };
+        let mut integral = true;
+        if self.peek()? == b'-' {
+            integral = false;
+            self.pos += 1;
+        }
+        // Integer part: a lone `0`, or a nonzero digit then any digits
+        // (leading zeros are not valid JSON).
+        match self.bytes.get(self.pos) {
+            Some(b'0') => {
+                self.pos += 1;
+                if matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+                    return Err(JsonError::InvalidNumber { offset: start });
                 }
-                _ => break,
+            }
+            Some(b'1'..=b'9') => {
+                digits(self);
+            }
+            _ => return Err(JsonError::InvalidNumber { offset: start }),
+        }
+        // Fraction: `.` demands at least one digit.
+        if self.bytes.get(self.pos) == Some(&b'.') {
+            integral = false;
+            self.pos += 1;
+            if !digits(self) {
+                return Err(JsonError::InvalidNumber { offset: start });
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| JsonError::InvalidNumber { offset: start })?;
+        // Exponent: `e`/`E`, optional sign, at least one digit.
+        if matches!(self.bytes.get(self.pos), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.bytes.get(self.pos), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !digits(self) {
+                return Err(JsonError::InvalidNumber { offset: start });
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number literals are ASCII");
         if integral {
             if let Ok(value) = text.parse::<u64>() {
                 return Ok(Json::UInt(value));
@@ -339,6 +383,7 @@ impl Parser<'_> {
         }
         match text.parse::<f64>() {
             Ok(value) if value.is_finite() => Ok(Json::Num(value)),
+            // Grammar-valid but not a finite f64 (e.g. `1e999`).
             _ => Err(JsonError::InvalidNumber { offset: start }),
         }
     }
@@ -622,6 +667,79 @@ mod tests {
         );
         let deep = "[".repeat(Json::MAX_DEPTH + 2);
         assert!(matches!(Json::parse(&deep), Err(JsonError::TooDeep { .. })));
+    }
+
+    #[test]
+    fn spec_invalid_number_literals_are_rejected() {
+        // Leading zeros, empty fractions, and empty exponents are not
+        // JSON, even though `f64::parse` would happily accept some of
+        // them.
+        for bad in [
+            "01", "-01", "007", "1.", "-3.", "1.e3", "1e", "1e+", "1e-", "1E", ".5", "-.5", "-",
+            "+1", "--1", "0x10", "1..2",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} must not parse");
+            let wrapped = format!("[{bad}]");
+            assert!(Json::parse(&wrapped).is_err(), "{wrapped:?} must not parse");
+        }
+        // The strict grammar still admits every shape the spec does.
+        assert_eq!(Json::parse("0"), Ok(Json::UInt(0)));
+        assert_eq!(Json::parse("-0"), Ok(Json::Num(-0.0)));
+        assert_eq!(Json::parse("0.5"), Ok(Json::Num(0.5)));
+        assert_eq!(Json::parse("10.25e-2"), Ok(Json::Num(0.1025)));
+        assert_eq!(Json::parse("2E+2"), Ok(Json::Num(200.0)));
+    }
+
+    #[test]
+    fn garbage_appended_to_a_valid_document_is_trailing_data() {
+        let doc = Json::object([
+            ("jobs", Json::UInt(300)),
+            ("rate", Json::Num(0.5)),
+            ("rows", Json::Array(vec![Json::UInt(1), Json::str("x")])),
+        ]);
+        let text = doc.to_pretty();
+        let full = text.trim_end();
+        // A concatenated second document, a stray token, or a partial
+        // value after the top-level value must all surface as trailing
+        // data at the exact byte where the garbage starts — never parse,
+        // never panic, never get absorbed into the last number.
+        for garbage in [
+            "{}",
+            "null",
+            "1",
+            "-",
+            ".5",
+            "e3",
+            "\"tail\"",
+            "]",
+            ",",
+            "{\"k\": 1}",
+        ] {
+            for separator in ["", " ", "\n"] {
+                let appended = format!("{full}{separator}{garbage}");
+                assert_eq!(
+                    Json::parse(&appended),
+                    Err(JsonError::TrailingData {
+                        offset: full.len() + separator.len(),
+                    }),
+                    "{appended:?}"
+                );
+            }
+        }
+        // Bare numbers must not swallow trailing junk either: the value
+        // ends at the grammar boundary and the rest is trailing data.
+        assert_eq!(
+            Json::parse("3-3"),
+            Err(JsonError::TrailingData { offset: 1 })
+        );
+        assert_eq!(
+            Json::parse("1.5.2"),
+            Err(JsonError::TrailingData { offset: 3 })
+        );
+        assert_eq!(
+            Json::parse("1e3e3"),
+            Err(JsonError::TrailingData { offset: 3 })
+        );
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! Streaming-engine fidelity: the bounded-memory streaming path must be
+//! a pure re-plumbing of the batch event loop — same schedule, same
+//! ledger, same metrics, to the bit — with the snapshot ring a lossless
+//! re-aggregation of the run's telemetry.
+//!
+//! Three contracts, property-tested over every system and discipline:
+//!
+//! 1. `run_streaming` over a pre-materialised [`ArrivalPlan`] returns
+//!    `RunMetrics` bit-identical to the batch `Simulator::run`.
+//! 2. `run_stream` emits the *same event ledger* as the batch
+//!    `run_with_sink`, and that ledger replays clean through
+//!    [`LedgerAuditor`].
+//! 3. Snapshot counters conserve the run totals (nothing lost or double
+//!    counted when windows are drained mid-flight), and the engine's
+//!    cumulative energy equals the simulator's to the bit.
+
+use hetero_bench::Testbed;
+use hetero_core::{BaseSystem, EnergyCentricSystem, OptimalSystem, ProposedSystem};
+use hetero_engine::{run_streaming, EngineConfig, EngineReport, SloPolicy};
+use multicore_sim::{
+    LedgerAuditor, QueueDiscipline, RecordingSink, RunMetrics, Scheduler, Simulator,
+};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use workloads::{ArrivalPlan, OpenLoop};
+
+fn testbed() -> &'static Testbed {
+    static TESTBED: OnceLock<Testbed> = OnceLock::new();
+    TESTBED.get_or_init(Testbed::small)
+}
+
+const DISCIPLINES: [QueueDiscipline; 3] = [
+    QueueDiscipline::Fifo,
+    QueueDiscipline::Priority,
+    QueueDiscipline::PreemptivePriority,
+];
+
+/// Windows small enough that a property-scale run crosses many snapshot
+/// boundaries (drains actually happen mid-run, not just at the end).
+fn engine_config() -> EngineConfig {
+    EngineConfig {
+        window_cycles: 50_000,
+        snapshot_windows: 4,
+        max_snapshots: usize::MAX,
+        slo: SloPolicy::default(),
+    }
+}
+
+struct BothPaths {
+    batch: RunMetrics,
+    streamed: RunMetrics,
+    report: EngineReport,
+}
+
+fn run_both(system_index: usize, discipline: QueueDiscipline, plan: &ArrivalPlan) -> BothPaths {
+    fn go<S: Scheduler>(
+        build: impl Fn() -> S,
+        discipline: QueueDiscipline,
+        plan: &ArrivalPlan,
+    ) -> BothPaths {
+        let sim = Simulator::new(testbed().arch.num_cores()).with_discipline(discipline);
+        let batch = sim.run(plan, &mut build());
+        let outcome = run_streaming(&sim, plan.iter().copied(), &mut build(), &engine_config());
+        BothPaths {
+            batch,
+            streamed: outcome.metrics,
+            report: outcome.report,
+        }
+    }
+
+    let t = testbed();
+    match system_index {
+        0 => go(
+            || BaseSystem::new(&t.oracle, t.model, t.arch.num_cores()),
+            discipline,
+            plan,
+        ),
+        1 => go(
+            || OptimalSystem::new(&t.arch, &t.oracle, t.model),
+            discipline,
+            plan,
+        ),
+        2 => go(
+            || EnergyCentricSystem::new(&t.arch, &t.oracle, t.model, t.predictor.clone()),
+            discipline,
+            plan,
+        ),
+        _ => go(
+            || ProposedSystem::with_model(&t.arch, &t.oracle, t.model, t.predictor.clone()),
+            discipline,
+            plan,
+        ),
+    }
+}
+
+fn assert_bit_identical(a: &RunMetrics, b: &RunMetrics) {
+    assert_eq!(a, b);
+    assert_eq!(a.energy.dynamic_nj.to_bits(), b.energy.dynamic_nj.to_bits());
+    assert_eq!(a.energy.static_nj.to_bits(), b.energy.static_nj.to_bits());
+    assert_eq!(a.energy.idle_nj.to_bits(), b.energy.idle_nj.to_bits());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Contract 1 + 3: for every system and discipline, streaming a
+    /// pre-materialised plan reproduces the batch `RunMetrics` to the
+    /// bit, and the snapshot ring conserves every counter the run
+    /// produced.
+    #[test]
+    fn streaming_a_materialised_plan_matches_batch_bit_for_bit(
+        system_index in 0usize..4,
+        discipline_index in 0usize..3,
+        jobs in 40usize..100,
+        seed in 0u64..1_000,
+    ) {
+        let t = testbed();
+        let plan = ArrivalPlan::uniform_with_priorities(jobs, 4_000_000, t.suite.len(), 3, seed);
+        let paths = run_both(system_index, DISCIPLINES[discipline_index], &plan);
+        assert_bit_identical(&paths.batch, &paths.streamed);
+        prop_assert_eq!(paths.streamed.jobs_completed, jobs as u64);
+
+        // Snapshot conservation: the ring re-aggregates the run without
+        // loss. Energy must match the simulator's own ledger to the bit
+        // (each side sums the identical event stream left to right).
+        let report = &paths.report;
+        prop_assert_eq!(
+            report.snapshots.iter().map(|s| s.arrivals).sum::<u64>(),
+            jobs as u64
+        );
+        prop_assert_eq!(
+            report.snapshots.iter().map(|s| s.completions).sum::<u64>(),
+            jobs as u64
+        );
+        prop_assert_eq!(report.latency_cycles.count(), jobs as u64);
+        prop_assert_eq!(
+            report.totals.evictions,
+            paths.batch.preemptions
+        );
+        let span_energy: f64 = report.snapshots.iter().map(|s| s.energy_nj).sum();
+        let total = report.energy_nj();
+        prop_assert!(
+            (span_energy - total).abs() <= 1e-9 * total.abs().max(1.0),
+            "snapshot energy {} vs cumulative {}", span_energy, total
+        );
+        // Spans tile the horizon with no gaps.
+        for pair in report.snapshots.windows(2) {
+            prop_assert_eq!(pair[0].end, pair[1].start);
+        }
+        if let Some(last) = report.snapshots.last() {
+            prop_assert_eq!(last.end, report.horizon);
+        }
+    }
+
+    /// Contract 2: the streaming entry point emits the batch loop's
+    /// exact event ledger, and that ledger audits clean.
+    #[test]
+    fn streamed_ledger_is_the_batch_ledger_and_audits_clean(
+        system_index in 0usize..4,
+        discipline_index in 0usize..3,
+        jobs in 40usize..80,
+        seed in 0u64..1_000,
+    ) {
+        let t = testbed();
+        let num_cores = t.arch.num_cores();
+        let plan = ArrivalPlan::uniform_with_priorities(jobs, 4_000_000, t.suite.len(), 3, seed);
+        let discipline = DISCIPLINES[discipline_index];
+
+        fn ledgers<S: Scheduler>(
+            build: impl Fn() -> S,
+            discipline: QueueDiscipline,
+            plan: &ArrivalPlan,
+            num_cores: usize,
+        ) -> (RunMetrics, Vec<multicore_sim::TraceEvent>, Vec<multicore_sim::TraceEvent>) {
+            let sim = Simulator::new(num_cores).with_discipline(discipline);
+            let mut batch_sink = RecordingSink::new();
+            let batch = sim.run_with_sink(plan, &mut build(), &mut batch_sink);
+            let mut stream_sink = RecordingSink::new();
+            let streamed = sim.run_stream(plan.iter().copied(), &mut build(), &mut stream_sink);
+            assert_eq!(batch, streamed);
+            (batch, batch_sink.into_events(), stream_sink.into_events())
+        }
+
+        let (metrics, batch_events, stream_events) = match system_index {
+            0 => ledgers(|| BaseSystem::new(&t.oracle, t.model, num_cores), discipline, &plan, num_cores),
+            1 => ledgers(|| OptimalSystem::new(&t.arch, &t.oracle, t.model), discipline, &plan, num_cores),
+            2 => ledgers(
+                || EnergyCentricSystem::new(&t.arch, &t.oracle, t.model, t.predictor.clone()),
+                discipline, &plan, num_cores,
+            ),
+            _ => ledgers(
+                || ProposedSystem::with_model(&t.arch, &t.oracle, t.model, t.predictor.clone()),
+                discipline, &plan, num_cores,
+            ),
+        };
+        prop_assert_eq!(&batch_events, &stream_events);
+        let outcome = LedgerAuditor::new(num_cores).check(&stream_events, &metrics);
+        prop_assert!(outcome.is_ok(), "streamed ledger audit failed: {:?}", outcome.err());
+    }
+
+    /// Open-loop determinism end to end: materialising an [`OpenLoop`]
+    /// stream into a plan and batch-running it equals streaming the
+    /// same-seeded stream directly into the engine.
+    #[test]
+    fn open_loop_streams_replay_deterministically(
+        rate_tenths in 20u64..200,
+        jobs in 50usize..150,
+        seed in 0u64..1_000,
+    ) {
+        let t = testbed();
+        let rate = rate_tenths as f64 / 10.0;
+        let source = || OpenLoop::poisson(rate, t.suite.len(), seed).take(jobs);
+        let plan = ArrivalPlan::from_stream(source(), jobs);
+        let sim = Simulator::new(t.arch.num_cores());
+
+        let batch = sim.run(&plan, &mut BaseSystem::new(&t.oracle, t.model, t.arch.num_cores()));
+        let outcome = run_streaming(
+            &sim,
+            source(),
+            &mut BaseSystem::new(&t.oracle, t.model, t.arch.num_cores()),
+            &engine_config(),
+        );
+        assert_bit_identical(&batch, &outcome.metrics);
+        prop_assert_eq!(outcome.report.totals.arrivals, jobs as u64);
+    }
+}

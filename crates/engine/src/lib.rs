@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! The streaming service engine: long-running, bounded-memory scheduler
+//! runs under open-loop load.
+//!
+//! The batch harness in `hetero-bench` materialises an entire
+//! [`ArrivalPlan`](workloads::ArrivalPlan) and retains every per-job
+//! metric, which caps a run at what fits in memory. This crate turns the
+//! same simulator into a *service*: arrivals stream from composable
+//! open-loop processes ([`workloads::OpenLoop`]), jobs are retired from
+//! the [`MetricsSink`](hetero_telemetry::MetricsSink) as they complete,
+//! and finished time-series windows are folded into periodic
+//! [`Snapshot`]s and discarded — so steady-state memory is
+//! O(cores + in-flight jobs + kept snapshots), independent of how many
+//! jobs flow through. A single process pushes 10M+ jobs through a system
+//! this way (proven by the gated `engine_stream` perf stage).
+//!
+//! On top of the bounded-memory run sits a harness in the style of
+//! open-loop load generators: a [`Snapshot`] ring with windowed p99
+//! latency, throughput, energy-per-job and utilisation per span;
+//! [`SloPolicy`] budgets (p99 latency, energy per job, throughput floor)
+//! that pass or fail the run; and CSV/markdown exporters
+//! ([`export`]) feeding the `engine` bin's JSON artifact and
+//! `engine compare` diff.
+//!
+//! **Fidelity:** the streaming path reuses the batch event loop verbatim
+//! ([`Simulator::run_stream`](multicore_sim::Simulator::run_stream) is
+//! the same body `run_with_sink` delegates to), so a streamed run over a
+//! pre-materialised plan returns `RunMetrics` bit-identical to the batch
+//! driver — property-tested in `crates/bench/tests/engine_properties.rs`.
+//!
+//! See DESIGN.md §14 for the architecture.
+
+mod engine;
+mod slo;
+mod snapshot;
+
+pub mod export;
+
+pub use engine::{run_streaming, EngineConfig, EngineReport, EngineSink, StreamOutcome};
+pub use slo::{SloCheck, SloPolicy, SloReport};
+pub use snapshot::Snapshot;

@@ -1,0 +1,121 @@
+//! SLO budgets: declarative pass/fail thresholds on a finished run.
+
+/// Service-level budgets for a streaming run. Each budget is optional;
+/// an empty policy passes every run. Evaluated against run-wide
+/// (cumulative) statistics at the end of the run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SloPolicy {
+    /// Run-wide p99 job latency must not exceed this many cycles.
+    pub max_p99_latency_cycles: Option<u64>,
+    /// Run-wide energy per completed job must not exceed this many nJ.
+    pub max_energy_per_job_nj: Option<f64>,
+    /// Completion throughput must reach this many jobs per mega-cycle —
+    /// the "did the service keep up with the offered load" check.
+    pub min_throughput_jobs_per_mcycle: Option<f64>,
+}
+
+impl SloPolicy {
+    /// `true` when no budget is set (every run passes).
+    pub fn is_empty(&self) -> bool {
+        self.max_p99_latency_cycles.is_none()
+            && self.max_energy_per_job_nj.is_none()
+            && self.min_throughput_jobs_per_mcycle.is_none()
+    }
+}
+
+/// One evaluated budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloCheck {
+    /// Stable budget name (`p99_latency_cycles`, `energy_per_job_nj`,
+    /// `throughput_jobs_per_mcycle`).
+    pub name: &'static str,
+    /// The configured budget value.
+    pub budget: f64,
+    /// The run's measured value.
+    pub measured: f64,
+    /// Whether the measurement met the budget.
+    pub passed: bool,
+}
+
+/// The outcome of evaluating an [`SloPolicy`] against a run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SloReport {
+    /// One entry per configured budget, in declaration order.
+    pub checks: Vec<SloCheck>,
+}
+
+impl SloReport {
+    /// Evaluate `policy` against the run's cumulative measurements.
+    pub fn evaluate(
+        policy: &SloPolicy,
+        p99_latency_cycles: u64,
+        energy_per_job_nj: f64,
+        throughput_jobs_per_mcycle: f64,
+    ) -> Self {
+        let mut checks = Vec::new();
+        if let Some(budget) = policy.max_p99_latency_cycles {
+            checks.push(SloCheck {
+                name: "p99_latency_cycles",
+                budget: budget as f64,
+                measured: p99_latency_cycles as f64,
+                passed: p99_latency_cycles <= budget,
+            });
+        }
+        if let Some(budget) = policy.max_energy_per_job_nj {
+            checks.push(SloCheck {
+                name: "energy_per_job_nj",
+                budget,
+                measured: energy_per_job_nj,
+                passed: energy_per_job_nj <= budget,
+            });
+        }
+        if let Some(budget) = policy.min_throughput_jobs_per_mcycle {
+            checks.push(SloCheck {
+                name: "throughput_jobs_per_mcycle",
+                budget,
+                measured: throughput_jobs_per_mcycle,
+                passed: throughput_jobs_per_mcycle >= budget,
+            });
+        }
+        SloReport { checks }
+    }
+
+    /// `true` when every configured budget was met (vacuously true for an
+    /// empty policy).
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|check| check.passed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_policy_always_passes() {
+        let report = SloReport::evaluate(&SloPolicy::default(), u64::MAX, f64::MAX, 0.0);
+        assert!(report.checks.is_empty());
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn budgets_gate_in_the_right_direction() {
+        let policy = SloPolicy {
+            max_p99_latency_cycles: Some(1_000),
+            max_energy_per_job_nj: Some(50.0),
+            min_throughput_jobs_per_mcycle: Some(5.0),
+        };
+        let pass = SloReport::evaluate(&policy, 1_000, 50.0, 5.0);
+        assert!(pass.passed(), "budgets are inclusive");
+        assert_eq!(pass.checks.len(), 3);
+
+        let latency_blown = SloReport::evaluate(&policy, 1_001, 10.0, 9.0);
+        assert!(!latency_blown.passed());
+        assert!(!latency_blown.checks[0].passed);
+        assert!(latency_blown.checks[1].passed);
+
+        let too_slow = SloReport::evaluate(&policy, 10, 10.0, 4.9);
+        assert!(!too_slow.passed());
+        assert!(!too_slow.checks[2].passed);
+    }
+}

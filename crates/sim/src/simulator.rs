@@ -232,6 +232,37 @@ impl Simulator {
         scheduler: &mut dyn Scheduler,
         sink: &mut T,
     ) -> RunMetrics {
+        self.run_stream(plan.iter().copied(), scheduler, sink)
+    }
+
+    /// Run an **arrival stream** to completion under `scheduler` — the
+    /// streaming generalisation of [`run_with_sink`](Self::run_with_sink).
+    ///
+    /// `arrivals` is any time-ordered iterator of [`Arrival`]s, for example
+    /// a bounded open-loop process
+    /// (`workloads::OpenLoop::poisson(…).take(n)`). Arrivals are pulled
+    /// lazily, one event at a time, so the schedule is never materialised:
+    /// steady-state memory is O(cores + queued jobs), independent of the
+    /// total job count. A materialised plan fed through this entry point
+    /// takes exactly the code path of the batch driver —
+    /// [`run_with_sink`](Self::run_with_sink) is a delegating wrapper — so
+    /// batch/stream bit-identity is structural, and locked in by the
+    /// `engine_properties` suite.
+    ///
+    /// # Panics
+    ///
+    /// As in [`run`](Self::run), and additionally if the stream yields a
+    /// decreasing timestamp (the plan invariant lazy processes must keep).
+    pub fn run_stream<I, T>(
+        &self,
+        arrivals: I,
+        scheduler: &mut dyn Scheduler,
+        sink: &mut T,
+    ) -> RunMetrics
+    where
+        I: IntoIterator<Item = workloads::Arrival>,
+        T: TraceSink + ?Sized,
+    {
         let priority_ordered = matches!(
             self.discipline,
             QueueDiscipline::Priority | QueueDiscipline::PreemptivePriority
@@ -250,8 +281,12 @@ impl Simulator {
         // Min-heap of (completion_time, core_index, token); stale tokens
         // are skipped on pop.
         let mut completions: BinaryHeap<Reverse<(u64, usize, u64)>> = BinaryHeap::new();
-        let mut arrivals = plan.iter().peekable();
+        let mut arrivals = arrivals.into_iter().peekable();
         let mut next_seq: u64 = 0;
+        // Streams must be time-ordered (the sorted-plan invariant); an
+        // out-of-order arrival would silently corrupt idle-span and
+        // turnaround accounting, so fail loudly instead.
+        let mut last_arrival_time: u64 = 0;
 
         let mut energy = EnergyBreakdown::new();
         let mut busy_cycles = vec![0u64; self.num_cores];
@@ -348,6 +383,13 @@ impl Simulator {
                     break;
                 }
                 let arrival = arrivals.next().expect("peeked");
+                assert!(
+                    arrival.time >= last_arrival_time,
+                    "arrival stream must be time-ordered: {} after {}",
+                    arrival.time,
+                    last_arrival_time
+                );
+                last_arrival_time = arrival.time;
                 let job = Job {
                     seq: next_seq,
                     benchmark: arrival.benchmark,

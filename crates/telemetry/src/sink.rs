@@ -32,10 +32,36 @@ use crate::histogram::Histogram;
 use crate::registry::Registry;
 use multicore_sim::{DegradedComponent, FaultKind, TraceEvent, TraceSink};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Sentinel for "job is not in a stall episode".
 const NOT_STALLED: u64 = u64::MAX;
+
+/// Per-job accounting, alive only while the job is in flight. Slots are
+/// addressed by sequence number relative to `job_base` and retired on the
+/// job's terminal event (completion or abandonment), so the table's size
+/// tracks the number of jobs in flight — not the run length. That bound
+/// is what lets a streaming run push tens of millions of jobs through one
+/// sink in O(1) steady-state memory.
+#[derive(Debug, Clone)]
+struct JobSlot {
+    /// Net energy charged so far, in nJ (refunds subtracted).
+    energy_nj: f64,
+    /// Stall-episode start, or [`NOT_STALLED`].
+    stall_since: u64,
+    /// Terminal event seen; the slot is waiting for front-compaction.
+    retired: bool,
+}
+
+impl Default for JobSlot {
+    fn default() -> Self {
+        JobSlot {
+            energy_nj: 0.0,
+            stall_since: NOT_STALLED,
+            retired: false,
+        }
+    }
+}
 
 /// One core's share of one time window.
 #[derive(Debug, Clone, Copy, Default)]
@@ -301,7 +327,12 @@ impl TelemetryReport {
 pub struct MetricsSink {
     interval: u64,
     num_cores: usize,
-    windows: Vec<WindowAcc>,
+    /// Live window accumulators; `windows[i]` covers global window index
+    /// `window_base + i`. Windows below `window_base` were handed out by
+    /// [`drain_points`](Self::drain_points) and may no longer be written.
+    windows: VecDeque<WindowAcc>,
+    /// Global index of the first retained window (0 until drained).
+    window_base: usize,
     /// Windows `[0, depth_recorded)` have their boundary depth sampled.
     depth_recorded: usize,
     /// `(depth_recorded + 1) * interval`, cached so the per-event cursor
@@ -316,10 +347,10 @@ pub struct MetricsSink {
     ready: u64,
     /// Crash/watchdog retries waiting for their backoff to elapse.
     pending_ready: BinaryHeap<Reverse<u64>>,
-    /// Net energy charged so far, by job sequence number.
-    job_energy: Vec<f64>,
-    /// Stall-episode start, by job sequence number ([`NOT_STALLED`]).
-    stall_since: Vec<u64>,
+    /// In-flight job slots; `jobs[i]` is sequence number `job_base + i`.
+    jobs: VecDeque<JobSlot>,
+    /// Sequence number of the first retained job slot.
+    job_base: u64,
     /// Offline-transition cycle per core, while offline.
     core_offline_since: Vec<Option<u64>>,
     latency: Histogram,
@@ -341,7 +372,8 @@ impl MetricsSink {
         MetricsSink {
             interval: interval_cycles,
             num_cores,
-            windows: Vec::new(),
+            windows: VecDeque::new(),
+            window_base: 0,
             depth_recorded: 0,
             next_boundary: interval_cycles,
             cur_win: 0,
@@ -349,8 +381,8 @@ impl MetricsSink {
             cur_hi: interval_cycles,
             ready: 0,
             pending_ready: BinaryHeap::new(),
-            job_energy: Vec::new(),
-            stall_since: Vec::new(),
+            jobs: VecDeque::new(),
+            job_base: 0,
             core_offline_since: vec![None; num_cores],
             latency: Histogram::new(),
             job_energy_hist: Histogram::new(),
@@ -363,6 +395,7 @@ impl MetricsSink {
     /// Forget everything and prepare for another run (buffers are kept).
     pub fn reset(&mut self) {
         self.windows.clear();
+        self.window_base = 0;
         self.depth_recorded = 0;
         self.next_boundary = self.interval;
         self.cur_win = 0;
@@ -370,8 +403,8 @@ impl MetricsSink {
         self.cur_hi = self.interval;
         self.ready = 0;
         self.pending_ready.clear();
-        self.job_energy.clear();
-        self.stall_since.clear();
+        self.jobs.clear();
+        self.job_base = 0;
         self.core_offline_since.iter_mut().for_each(|c| *c = None);
         self.latency.reset();
         self.job_energy_hist.reset();
@@ -405,18 +438,30 @@ impl MetricsSink {
         &self.stall_hist
     }
 
+    /// Timestamp of the latest event folded so far.
+    pub fn last_event_at(&self) -> u64 {
+        self.last_at
+    }
+
+    /// Global index of the first window still retained (0 unless
+    /// [`drain_points`](Self::drain_points) has handed earlier windows
+    /// out).
+    pub fn drained_below(&self) -> usize {
+        self.window_base
+    }
+
     /// Assemble the finished report: time-series points with derived
     /// utilisation, the three histograms, and the totals. Non-destructive
     /// — the sink can keep accumulating (or be [`reset`](Self::reset)).
+    /// After a [`drain_points`](Self::drain_points) call the series covers
+    /// only the retained tail; histograms and totals are always run-wide.
     pub fn report(&self) -> TelemetryReport {
-        let window_count = self
-            .windows
-            .len()
+        let window_count = (self.window_base + self.windows.len())
             .max((self.last_at / self.interval) as usize + usize::from(self.last_at > 0));
-        let mut points = Vec::with_capacity(window_count);
+        let mut points = Vec::with_capacity(window_count - self.window_base);
         let empty = WindowAcc::default();
-        for index in 0..window_count {
-            let acc = self.windows.get(index).unwrap_or(&empty);
+        for index in self.window_base..window_count {
+            let acc = self.windows.get(index - self.window_base).unwrap_or(&empty);
             let start = index as u64 * self.interval;
             let end = (start + self.interval).min(self.last_at.max(start));
             let span = end - start;
@@ -475,17 +520,103 @@ impl MetricsSink {
         }
     }
 
-    /// Window accumulator for index `idx`, growing the table as needed.
+    /// Window accumulator for global index `idx`, growing the table as
+    /// needed.
     #[inline]
     fn window_mut(&mut self, idx: usize) -> &mut WindowAcc {
-        if idx >= self.windows.len() {
+        assert!(
+            idx >= self.window_base,
+            "event targets drained window {idx} (first retained: {})",
+            self.window_base
+        );
+        let rel = idx - self.window_base;
+        if rel >= self.windows.len() {
             let num_cores = self.num_cores;
-            self.windows.resize_with(idx + 1, || WindowAcc {
+            self.windows.resize_with(rel + 1, || WindowAcc {
                 cores: vec![CoreAcc::default(); num_cores],
                 ..WindowAcc::default()
             });
         }
-        &mut self.windows[idx]
+        &mut self.windows[rel]
+    }
+
+    /// Emit and discard every *finished* window strictly before cycle
+    /// `before`, in time order — the streaming counterpart of
+    /// [`report`](Self::report)'s series. Totals and histograms are
+    /// untouched, so cumulative statistics survive; only the per-window
+    /// series memory is released. This is what bounds a long run's sink
+    /// to O(in-flight) state.
+    ///
+    /// The caller must guarantee that every event timestamped before the
+    /// drained boundary has already been recorded — in a simulator run
+    /// that holds for any `before <= last_event_at()`, because events are
+    /// emitted in clock order and back-dated spans (idle back-fill,
+    /// offline recovery) never start before the event that precedes them.
+    /// Cores still offline at the drain point have their outage overlaid
+    /// onto the drained windows, and the outage start is advanced so the
+    /// eventual recovery event back-fills only retained windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `before > last_event_at()` — those windows may still
+    /// receive events.
+    pub fn drain_points(&mut self, before: u64) -> Vec<SeriesPoint> {
+        assert!(
+            before <= self.last_at,
+            "cannot drain windows at {before}: only cycles below {} are final",
+            self.last_at
+        );
+        let limit = (before / self.interval) as usize;
+        let mut points = Vec::with_capacity(limit.saturating_sub(self.window_base));
+        while self.window_base < limit {
+            let index = self.window_base;
+            let acc = self.windows.pop_front().unwrap_or_default();
+            self.window_base += 1;
+            let start = index as u64 * self.interval;
+            let end = start + self.interval;
+            let mut cores = Vec::with_capacity(self.num_cores);
+            for core in 0..self.num_cores {
+                let slot = acc.cores.get(core).copied().unwrap_or_default();
+                let mut offline = slot.offline_cycles;
+                // A core still offline has no recovery event yet: overlay
+                // its outage over this window and advance the outage start
+                // past it, so the recovery back-fill stays in retained
+                // windows and nothing is double-counted.
+                if let Some(since) = self.core_offline_since[core] {
+                    offline += overlap(since, end, start, end);
+                    self.core_offline_since[core] = Some(since.max(end));
+                }
+                let accounted = slot.idle_cycles + offline;
+                let busy = self.interval.saturating_sub(accounted);
+                cores.push(CorePoint {
+                    busy_cycles: busy,
+                    idle_cycles: slot.idle_cycles,
+                    offline_cycles: offline,
+                    idle_energy_nj: slot.idle_energy_nj,
+                    utilisation: busy as f64 / self.interval as f64,
+                });
+            }
+            points.push(SeriesPoint {
+                index,
+                start,
+                end,
+                arrivals: acc.arrivals,
+                placements: acc.placements,
+                completions: acc.completions,
+                stall_offers: acc.stall_offers,
+                stall_episodes: acc.stall_episodes,
+                evictions: acc.evictions,
+                preemption_probes: acc.preemption_probes,
+                faults: acc.faults,
+                retries: acc.retries,
+                fallbacks: acc.fallbacks,
+                ready_depth: acc.ready_depth_end.unwrap_or(self.ready),
+                dynamic_nj: acc.dynamic_nj,
+                static_nj: acc.static_nj,
+                cores,
+            });
+        }
+        points
     }
 
     /// Move retries whose backoff elapsed by `upto` into the ready count.
@@ -534,15 +665,37 @@ impl MetricsSink {
         }
     }
 
-    /// Per-job slot, growing the tables to cover `seq`.
+    /// In-flight slot for job `seq`, growing the table to cover it.
     #[inline]
-    fn job_slot(&mut self, seq: u64) -> usize {
-        let idx = seq as usize;
-        if idx >= self.job_energy.len() {
-            self.job_energy.resize(idx + 1, 0.0);
-            self.stall_since.resize(idx + 1, NOT_STALLED);
+    fn job_slot(&mut self, seq: u64) -> &mut JobSlot {
+        debug_assert!(
+            seq >= self.job_base,
+            "event for retired job {seq} (first live: {})",
+            self.job_base
+        );
+        let idx = (seq - self.job_base) as usize;
+        if idx >= self.jobs.len() {
+            self.jobs.resize(idx + 1, JobSlot::default());
         }
-        idx
+        &mut self.jobs[idx]
+    }
+
+    /// Mark `seq` terminal and release every leading retired slot. Jobs
+    /// complete roughly in arrival order, so the amortised cost is O(1)
+    /// and the deque length stays at the in-flight job count.
+    #[inline]
+    fn retire_job(&mut self, seq: u64) {
+        self.job_slot(seq).retired = true;
+        while self.jobs.front().is_some_and(|slot| slot.retired) {
+            self.jobs.pop_front();
+            self.job_base += 1;
+        }
+    }
+
+    /// Job slots currently held (in-flight jobs plus unretired stragglers)
+    /// — the quantity the streaming memory bound is about.
+    pub fn live_job_slots(&self) -> usize {
+        self.jobs.len()
     }
 
     /// Clip the span `[from, to)` into windows, attributing idle cycles
@@ -615,10 +768,11 @@ impl TraceSink for MetricsSink {
                 ..
             } => {
                 let slot = self.job_slot(seq);
-                self.job_energy[slot] += dynamic_nj + static_nj;
-                if self.stall_since[slot] != NOT_STALLED {
-                    self.stall_hist.record(at - self.stall_since[slot]);
-                    self.stall_since[slot] = NOT_STALLED;
+                slot.energy_nj += dynamic_nj + static_nj;
+                let stall_since = slot.stall_since;
+                if stall_since != NOT_STALLED {
+                    slot.stall_since = NOT_STALLED;
+                    self.stall_hist.record(at - stall_since);
                 }
                 self.ready = self.ready.saturating_sub(1);
                 self.totals.placements += 1;
@@ -631,10 +785,12 @@ impl TraceSink for MetricsSink {
             }
             TraceEvent::Stall { seq, at, .. } => {
                 let slot = self.job_slot(seq);
-                self.totals.stall_offers += 1;
-                let opened = self.stall_since[slot] == NOT_STALLED;
+                let opened = slot.stall_since == NOT_STALLED;
                 if opened {
-                    self.stall_since[slot] = at;
+                    slot.stall_since = at;
+                }
+                self.totals.stall_offers += 1;
+                if opened {
                     self.totals.stall_episodes += 1;
                 }
                 let w = self.window_mut(window);
@@ -662,8 +818,7 @@ impl TraceSink for MetricsSink {
                 let refund = remaining_cycles as f64 / total_cycles as f64;
                 let dynamic_refund = dynamic_nj * refund;
                 let static_refund = static_nj * refund;
-                let slot = self.job_slot(victim);
-                self.job_energy[slot] -= dynamic_refund + static_refund;
+                self.job_slot(victim).energy_nj -= dynamic_refund + static_refund;
                 self.ready += 1;
                 self.totals.evictions += 1;
                 self.totals.dynamic_nj -= dynamic_refund;
@@ -676,9 +831,10 @@ impl TraceSink for MetricsSink {
             TraceEvent::Completion {
                 seq, at, arrival, ..
             } => {
-                let slot = self.job_slot(seq);
+                let energy_nj = self.job_slot(seq).energy_nj;
                 self.latency.record(at - arrival);
-                self.job_energy_hist.record_f64(self.job_energy[slot]);
+                self.job_energy_hist.record_f64(energy_nj);
+                self.retire_job(seq);
                 self.totals.completions += 1;
                 self.window_mut(window).completions += 1;
             }
@@ -699,8 +855,7 @@ impl TraceSink for MetricsSink {
                 };
                 let dynamic_refund = dynamic_nj * refund;
                 let static_refund = static_nj * refund;
-                let slot = self.job_slot(seq);
-                self.job_energy[slot] -= dynamic_refund + static_refund;
+                self.job_slot(seq).energy_nj -= dynamic_refund + static_refund;
                 if kind == FaultKind::CoreOutage {
                     // Outage victims requeue immediately; crash/watchdog
                     // victims park until their Retry event re-admits them.
@@ -715,11 +870,13 @@ impl TraceSink for MetricsSink {
                 w.static_nj -= static_refund;
             }
             TraceEvent::Retry {
+                seq,
                 ready_at,
                 abandoned,
                 ..
             } => {
                 if abandoned {
+                    self.retire_job(seq);
                     self.totals.abandoned += 1;
                 } else {
                     self.totals.retries += 1;
@@ -905,6 +1062,156 @@ mod tests {
     }
 
     #[test]
+    fn completed_jobs_release_their_slots() {
+        let mut sink = MetricsSink::new(1, 1_000);
+        for seq in 0..100u64 {
+            let at = seq * 10;
+            sink.record(arrival(seq, at));
+            sink.record(placement(seq, 0, at, 5, 1.0));
+            sink.record(completion(seq, 0, at + 5, at));
+            assert_eq!(sink.live_job_slots(), 0, "after job {seq} completed");
+        }
+        assert_eq!(sink.totals().completions, 100);
+        assert_eq!(sink.latency_cycles().count(), 100);
+    }
+
+    #[test]
+    fn out_of_order_completions_compact_lazily() {
+        let mut sink = MetricsSink::new(2, 1_000);
+        sink.record(arrival(0, 0));
+        sink.record(arrival(1, 0));
+        sink.record(placement(0, 0, 0, 100, 1.0));
+        sink.record(placement(1, 1, 0, 50, 1.0));
+        // Job 1 finishes first: slot 0 is still live, nothing pops.
+        sink.record(completion(1, 1, 50, 0));
+        assert_eq!(sink.live_job_slots(), 2);
+        // Job 0 finishes: both slots release.
+        sink.record(completion(0, 0, 100, 0));
+        assert_eq!(sink.live_job_slots(), 0);
+    }
+
+    #[test]
+    fn drain_points_matches_the_batch_report() {
+        // Two identical event streams; one drained mid-run. The drained
+        // prefix plus the tail report must equal the undrained report.
+        let feed = |sink: &mut MetricsSink| {
+            sink.record(arrival(0, 10));
+            sink.record(placement(0, 0, 10, 40, 5.0));
+            sink.record(TraceEvent::IdleSpan {
+                core: CoreId(1),
+                from: 0,
+                to: 150,
+                idle_power_nj_per_cycle: 1.0,
+            });
+            sink.record(completion(0, 0, 50, 10));
+            sink.record(arrival(1, 260));
+            sink.record(placement(1, 0, 260, 40, 7.0));
+            sink.record(completion(1, 0, 300, 260));
+        };
+        let mut batch = MetricsSink::new(2, 100);
+        feed(&mut batch);
+        let expected = batch.report();
+
+        let mut streamed = MetricsSink::new(2, 100);
+        feed(&mut streamed);
+        let drained = streamed.drain_points(200);
+        assert_eq!(drained.len(), 2);
+        assert_eq!(streamed.drained_below(), 2);
+        let tail = streamed.report();
+        // Windows 2 and 3 (the zero-span window opened at the 300-cycle
+        // boundary) remain.
+        assert_eq!(tail.points.len(), 2);
+
+        let recombined: Vec<&SeriesPoint> = drained.iter().chain(tail.points.iter()).collect();
+        assert_eq!(recombined.len(), expected.points.len());
+        for (got, want) in recombined.iter().zip(expected.points.iter()) {
+            assert_eq!(got.index, want.index);
+            assert_eq!(got.start, want.start);
+            assert_eq!(got.end, want.end);
+            assert_eq!(got.arrivals, want.arrivals);
+            assert_eq!(got.completions, want.completions);
+            assert_eq!(got.ready_depth, want.ready_depth);
+            assert_eq!(got.dynamic_nj.to_bits(), want.dynamic_nj.to_bits());
+            for (gc, wc) in got.cores.iter().zip(want.cores.iter()) {
+                assert_eq!(gc.busy_cycles, wc.busy_cycles);
+                assert_eq!(gc.idle_cycles, wc.idle_cycles);
+                assert_eq!(gc.offline_cycles, wc.offline_cycles);
+                assert_eq!(gc.idle_energy_nj.to_bits(), wc.idle_energy_nj.to_bits());
+            }
+        }
+        // Cumulative statistics are untouched by draining.
+        assert_eq!(tail.totals, expected.totals);
+        assert_eq!(tail.latency_cycles, expected.latency_cycles);
+    }
+
+    #[test]
+    fn drain_covers_cores_still_offline_without_double_counting() {
+        let offline_at_25 = |sink: &mut MetricsSink| {
+            sink.record(arrival(0, 10));
+            sink.record(placement(0, 0, 10, 240, 5.0));
+            sink.record(TraceEvent::Degraded {
+                at: 25,
+                component: DegradedComponent::Core(CoreId(1)),
+                online: false,
+            });
+            sink.record(completion(0, 0, 250, 10));
+            // Core 1 recovers after the drain boundary.
+            sink.record(TraceEvent::Degraded {
+                at: 270,
+                component: DegradedComponent::Core(CoreId(1)),
+                online: true,
+            });
+            sink.record(arrival(1, 290));
+            sink.record(placement(1, 0, 290, 10, 1.0));
+            sink.record(completion(1, 0, 300, 290));
+        };
+        let mut batch = MetricsSink::new(2, 100);
+        offline_at_25(&mut batch);
+        let expected = batch.report();
+
+        let mut streamed = MetricsSink::new(2, 100);
+        streamed.record(arrival(0, 10));
+        streamed.record(placement(0, 0, 10, 240, 5.0));
+        streamed.record(TraceEvent::Degraded {
+            at: 25,
+            component: DegradedComponent::Core(CoreId(1)),
+            online: false,
+        });
+        streamed.record(completion(0, 0, 250, 10));
+        // Drain windows 0 and 1 while core 1 is still down.
+        let drained = streamed.drain_points(200);
+        streamed.record(TraceEvent::Degraded {
+            at: 270,
+            component: DegradedComponent::Core(CoreId(1)),
+            online: true,
+        });
+        streamed.record(arrival(1, 290));
+        streamed.record(placement(1, 0, 290, 10, 1.0));
+        streamed.record(completion(1, 0, 300, 290));
+        let tail = streamed.report();
+
+        let recombined: Vec<&SeriesPoint> = drained.iter().chain(tail.points.iter()).collect();
+        for (got, want) in recombined.iter().zip(expected.points.iter()) {
+            assert_eq!(
+                got.cores[1].offline_cycles, want.cores[1].offline_cycles,
+                "window {}",
+                want.index
+            );
+        }
+        // Total outage: cycles 25..270 = 245, split 75 + 100 + 70.
+        let outage: u64 = recombined.iter().map(|p| p.cores[1].offline_cycles).sum();
+        assert_eq!(outage, 245);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot drain")]
+    fn draining_the_future_is_rejected() {
+        let mut sink = MetricsSink::new(1, 100);
+        sink.record(arrival(0, 10));
+        let _ = sink.drain_points(500);
+    }
+
+    #[test]
     fn reset_clears_everything() {
         let mut sink = MetricsSink::new(2, 100);
         sink.record(arrival(0, 10));
@@ -914,5 +1221,7 @@ mod tests {
         assert_eq!(sink.totals(), &RunTotals::default());
         assert!(sink.latency_cycles().is_empty());
         assert!(sink.report().points.is_empty());
+        assert_eq!(sink.live_job_slots(), 0);
+        assert_eq!(sink.drained_below(), 0);
     }
 }

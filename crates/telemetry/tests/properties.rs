@@ -81,6 +81,90 @@ proptest! {
         prop_assert_eq!(&left, &fill(&all));
     }
 
+    /// The zero-count sentinels (`min = u64::MAX`, `max = 0` internally)
+    /// never leak: an empty histogram reports zeros everywhere, and
+    /// merging an empty histogram in either direction is the identity —
+    /// in particular it must not drag `min` to 0 or clobber `max`.
+    #[test]
+    fn empty_merge_is_the_identity_and_sentinels_stay_hidden(values in stream()) {
+        let empty = Histogram::new();
+        prop_assert_eq!(empty.count(), 0);
+        prop_assert_eq!(empty.min(), 0);
+        prop_assert_eq!(empty.max(), 0);
+        prop_assert_eq!(empty.sum(), 0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            prop_assert_eq!(empty.quantile(q), 0);
+        }
+
+        let h = fill(&values);
+        let true_min = *values.iter().min().unwrap();
+        let true_max = *values.iter().max().unwrap();
+
+        // Non-empty ∪ empty: unchanged.
+        let mut forward = h.clone();
+        forward.merge(&Histogram::new());
+        prop_assert_eq!(&forward, &h);
+        prop_assert_eq!(forward.min(), true_min);
+        prop_assert_eq!(forward.max(), true_max);
+
+        // Empty ∪ non-empty: equals the non-empty histogram.
+        let mut backward = Histogram::new();
+        backward.merge(&h);
+        prop_assert_eq!(&backward, &h);
+        prop_assert_eq!(backward.min(), true_min);
+        prop_assert_eq!(backward.max(), true_max);
+
+        // Empty ∪ empty stays empty (sentinels don't combine into junk).
+        let mut both = Histogram::new();
+        both.merge(&Histogram::new());
+        prop_assert_eq!(both.count(), 0);
+        prop_assert_eq!(both.min(), 0);
+        prop_assert_eq!(both.max(), 0);
+    }
+
+    /// Single-observation (hence single-bucket) histograms: every
+    /// quantile answers with that bucket, min == max modulo the bucket's
+    /// upper-bound rounding, and a merge of two singletons orders the
+    /// extremes correctly.
+    #[test]
+    fn single_bucket_quantiles_and_merges_are_exact(value in 0u64..u64::MAX, other in 0u64..u64::MAX) {
+        let mut h = Histogram::new();
+        h.record(value);
+        prop_assert_eq!(h.count(), 1);
+        prop_assert_eq!(h.min(), value);
+        prop_assert_eq!(h.max(), value);
+        for q in [0.0, 0.25, 0.5, 1.0] {
+            // One bucket holds rank 1; the estimate is capped at the
+            // exact max, so the answer is exactly the observation.
+            prop_assert_eq!(h.quantile(q), value);
+        }
+
+        let mut pair = h.clone();
+        let mut single = Histogram::new();
+        single.record(other);
+        pair.merge(&single);
+        prop_assert_eq!(pair.count(), 2);
+        prop_assert_eq!(pair.min(), value.min(other));
+        prop_assert_eq!(pair.max(), value.max(other));
+        prop_assert_eq!(pair.quantile(1.0), value.max(other));
+    }
+
+    /// `reset` after arbitrary traffic restores the pristine empty state,
+    /// so sentinel handling survives reuse.
+    #[test]
+    fn reset_round_trips_to_empty(values in stream()) {
+        let mut h = fill(&values);
+        h.reset();
+        prop_assert_eq!(&h, &Histogram::new());
+        prop_assert_eq!(h.min(), 0);
+        prop_assert_eq!(h.max(), 0);
+        prop_assert_eq!(h.quantile(0.5), 0);
+        // And the table is genuinely reusable.
+        h.record(7);
+        prop_assert_eq!(h.min(), 7);
+        prop_assert_eq!(h.max(), 7);
+    }
+
     /// Count, sum, min, and max are exact regardless of bucketing.
     #[test]
     fn aggregates_are_exact(values in stream()) {

@@ -54,6 +54,11 @@ impl ArrivalPlan {
     /// benchmarks uniform over `[0, num_benchmarks)`, deterministically from
     /// `seed`. Arrivals are returned sorted by time.
     ///
+    /// Degenerate cases are well-defined: `count == 0` yields an empty plan
+    /// regardless of the other arguments (including `horizon == 0` and
+    /// `num_benchmarks == 0`), and `horizon == 1` places every arrival at
+    /// time 0 — the only value in `[0, 1)`.
+    ///
     /// # Panics
     ///
     /// Panics if `num_benchmarks == 0` or `horizon == 0` while `count > 0`.
@@ -98,6 +103,17 @@ impl ArrivalPlan {
     pub fn from_arrivals(mut arrivals: Vec<Arrival>) -> Self {
         arrivals.sort_by_key(|a| a.time);
         ArrivalPlan { arrivals }
+    }
+
+    /// Materialise the first `count` arrivals of a stream (for example an
+    /// [`OpenLoop`](crate::OpenLoop) process) into a batch plan. Arrivals
+    /// are sorted by time, so an already-ordered stream round-trips
+    /// unchanged.
+    pub fn from_stream<I>(stream: I, count: usize) -> Self
+    where
+        I: IntoIterator<Item = Arrival>,
+    {
+        Self::from_arrivals(stream.into_iter().take(count).collect())
     }
 
     /// Number of arrivals.
@@ -183,6 +199,56 @@ mod tests {
         let plan = ArrivalPlan::uniform(0, 0, 0, 0);
         assert!(plan.is_empty());
         assert_eq!(plan.horizon(), 0);
+    }
+
+    #[test]
+    fn count_zero_is_empty_for_every_degenerate_argument_mix() {
+        // count == 0 must never consult horizon / num_benchmarks, so all
+        // of these are well-defined empty plans rather than panics.
+        for (horizon, benchmarks) in [(0, 0), (0, 5), (1, 0), (1, 5), (700, 20)] {
+            let plan = ArrivalPlan::uniform(0, horizon, benchmarks, 9);
+            assert!(plan.is_empty(), "horizon={horizon} benchmarks={benchmarks}");
+            assert_eq!(plan.horizon(), 0);
+        }
+        let plan = ArrivalPlan::uniform_with_priorities(0, 0, 0, 1, 9);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn horizon_one_puts_every_arrival_at_time_zero() {
+        // The draw is over [0, horizon); at horizon == 1 the only legal
+        // time is 0, and the multiply-shift reduction must not produce 1.
+        let plan = ArrivalPlan::uniform(500, 1, 20, 123);
+        assert_eq!(plan.len(), 500);
+        assert!(plan.iter().all(|a| a.time == 0));
+        assert_eq!(plan.horizon(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive horizon")]
+    fn zero_horizon_with_jobs_panics() {
+        let _ = ArrivalPlan::uniform(1, 0, 20, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one benchmark")]
+    fn zero_benchmarks_with_jobs_panics() {
+        let _ = ArrivalPlan::uniform(1, 100, 0, 0);
+    }
+
+    #[test]
+    fn from_stream_bounds_and_sorts() {
+        let stream = [
+            Arrival::new(30, BenchmarkId(2)),
+            Arrival::new(10, BenchmarkId(0)),
+            Arrival::new(20, BenchmarkId(1)),
+            Arrival::new(5, BenchmarkId(3)),
+        ];
+        let plan = ArrivalPlan::from_stream(stream, 3);
+        assert_eq!(plan.len(), 3);
+        let times: Vec<u64> = plan.iter().map(|a| a.time).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+        assert!(ArrivalPlan::from_stream(std::iter::empty(), 100).is_empty());
     }
 
     #[test]

@@ -47,6 +47,7 @@ mod kernel;
 mod mix;
 mod pattern;
 mod rng;
+mod stream;
 mod suite;
 
 pub use arrivals::{Arrival, ArrivalPlan};
@@ -55,4 +56,5 @@ pub use kernel::{BenchmarkId, Domain, Kernel, KernelRun};
 pub use mix::InstructionMix;
 pub use pattern::AccessPattern;
 pub use rng::SplitMix64;
+pub use stream::{BurstyRate, Compose, ConstantRate, DiurnalRate, OpenLoop, RampRate, RateProfile};
 pub use suite::Suite;

@@ -50,6 +50,9 @@ echo "==> chaos --smoke (fault-injection degradation sweep)"
 echo "==> telemetry --smoke (span profiler + metrics sink across all systems)"
 ./target/release/telemetry --smoke
 
+echo "==> engine --smoke (streaming service: open-loop load, bounded-memory runs)"
+./target/release/engine --smoke
+
 echo "==> scaling --smoke (many-core sweep through 64 cores, indexed loop)"
 ./target/release/scaling --smoke
 

@@ -20,7 +20,11 @@
 //! * [`hetero_telemetry`] — observability: allocation-free metrics
 //!   registry, log-linear histograms, the per-core time-series
 //!   [`MetricsSink`](hetero_telemetry::MetricsSink), the span profiler,
-//!   and Prometheus text exposition.
+//!   and Prometheus text exposition;
+//! * [`hetero_engine`] — the streaming service engine: open-loop arrival
+//!   streams feed [`run_streaming`](hetero_engine::run_streaming), which
+//!   folds the run into bounded-memory snapshots, SLO verdicts, and
+//!   CSV/markdown exports.
 //!
 //! # Quickstart
 //!
@@ -40,6 +44,7 @@
 pub use cache_sim;
 pub use energy_model;
 pub use hetero_core;
+pub use hetero_engine;
 pub use hetero_telemetry;
 pub use multicore_sim;
 pub use tinyann;
