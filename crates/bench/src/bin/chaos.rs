@@ -31,6 +31,14 @@
 //! on the drifted readings with the stale memo invalidated — without a
 //! full characterise-and-retrain rebuild.
 //!
+//! It then runs an **overload drill**: a bursty storm at ~2.5x the
+//! sustainable service rate through the admission governor and brownout
+//! controller on all four systems, gated on (a) bounded queue depth,
+//! (b) a disabled governor being bit-identical to a plain stream —
+//! event ledger included — and (c) the serving tier returning to full
+//! service after the storm. The report lands in the artifact's
+//! `"overload"` section.
+//!
 //! Usage: `chaos [--smoke]`
 //!
 //! * `--smoke` — one seed, two rates, reduced jobs (`scripts/check.sh`).
@@ -46,14 +54,18 @@ use hetero_core::{
     BaseSystem, BestCorePredictor, EnergyCentricSystem, FallbackChain, OptimalSystem,
     ProposedSystem, SuiteOracle, SystemStats,
 };
+use hetero_engine::{
+    run_streaming_governed, BrownoutConfig, EngineConfig, GovernorHandle, OverloadConfig,
+    ShedPolicy, SloPolicy,
+};
 use hetero_telemetry::Histogram;
 use multicore_sim::{
-    FaultConfig, FaultPlan, FaultStats, FaultedRun, LedgerAuditor, QueueDiscipline, RecordingSink,
-    Scheduler, Simulator, StallPurityChecked, TraceEvent,
+    tier_cell, FaultConfig, FaultPlan, FaultStats, FaultedRun, LedgerAuditor, QueueDiscipline,
+    RecordingSink, Scheduler, ServingTier, Simulator, StallPurityChecked, TierCell, TraceEvent,
 };
 use std::process::ExitCode;
-use tinyann::TrainConfig;
-use workloads::{ArrivalPlan, BenchmarkId, SplitMix64};
+use tinyann::{DistillConfig, TrainConfig};
+use workloads::{Arrival, ArrivalPlan, BenchmarkId, SplitMix64};
 
 const SYSTEMS: [&str; 4] = ["base", "optimal", "energy-centric", "proposed"];
 
@@ -402,6 +414,286 @@ fn drift_scenario(testbed: &Testbed, refine_epochs: usize) -> (Json, Vec<String>
     (row, problems)
 }
 
+/// Build one system for the overload drill, subscribing the predictive
+/// systems to the shared serving-tier cell (the base and optimal systems
+/// take no predictions at completion time, so the cell has nothing to
+/// steer there — the governor still accounts tier dwell for them).
+fn overload_system<'a>(
+    testbed: &'a Testbed,
+    system_index: usize,
+    cell: Option<TierCell>,
+    student: Option<&BestCorePredictor>,
+) -> Box<dyn Scheduler + 'a> {
+    let model = testbed.model;
+    let num_cores = testbed.arch.num_cores();
+    match system_index {
+        0 => Box::new(BaseSystem::new(&testbed.oracle, model, num_cores)),
+        1 => Box::new(OptimalSystem::new(&testbed.arch, &testbed.oracle, model)),
+        2 => {
+            let mut system = EnergyCentricSystem::new(
+                &testbed.arch,
+                &testbed.oracle,
+                model,
+                testbed.predictor.clone(),
+            );
+            if let Some(cell) = cell {
+                system = system.with_serving_tier(cell, student.cloned());
+            }
+            Box::new(system)
+        }
+        _ => {
+            let mut system = ProposedSystem::with_model(
+                &testbed.arch,
+                &testbed.oracle,
+                model,
+                testbed.predictor.clone(),
+            );
+            if let Some(cell) = cell {
+                system = system.with_serving_tier(cell, student.cloned());
+            }
+            Box::new(system)
+        }
+    }
+}
+
+/// Overload chaos drill: a bursty storm at ~2.5x the sustainable service
+/// rate followed by a trickle, run through the admission governor and
+/// brownout controller on all four systems. Three gates per system:
+///
+/// (a) **bounded queue depth** — in-flight never exceeds the configured
+///     capacity plus the documented one-peek staleness;
+/// (b) **disabled bit-identity** — the same storm through a *disabled*
+///     governor equals a plain `run_stream` bit for bit, **including the
+///     event ledger**;
+/// (c) **post-storm recovery** — the serving tier is back at full
+///     service by the horizon.
+///
+/// Returns the `"overload"` report rows and any violated gates.
+fn overload_drill(testbed: &Testbed, smoke: bool) -> (Json, Vec<String>) {
+    let num_cores = testbed.arch.num_cores();
+    let suite_len = testbed.suite.len();
+
+    // Sustainable service rate from the oracle: mean best-config cycles
+    // across the suite, spread over every core.
+    let mean_cycles = (testbed
+        .oracle
+        .benchmarks()
+        .map(|b| testbed.oracle.best_config(b).1.cycles)
+        .sum::<u64>() as f64
+        / suite_len as f64)
+        .max(1.0) as u64;
+    let max_cycles = testbed
+        .oracle
+        .benchmarks()
+        .map(|b| testbed.oracle.best_config(b).1.cycles)
+        .max()
+        .unwrap_or(mean_cycles);
+
+    // Storm at 2.5x the sustainable rate, then a trickle at ~25% load so
+    // the backlog drains and the brownout controller can climb back.
+    let storm_gap = (mean_cycles / (num_cores as u64 * 5 / 2)).max(1);
+    let trickle_gap = max_cycles;
+    let (storm_jobs, trickle_jobs) = if smoke {
+        (150u64, 80u64)
+    } else {
+        (600u64, 200u64)
+    };
+    let storm_end = storm_jobs * storm_gap;
+    let arrivals: Vec<Arrival> = (0..storm_jobs)
+        .map(|i| (i * storm_gap, i))
+        .chain((0..trickle_jobs).map(|i| (storm_end + (i + 1) * trickle_gap, storm_jobs + i)))
+        .map(|(time, i)| Arrival {
+            time,
+            benchmark: BenchmarkId(i as usize % suite_len),
+            priority: (i % 3) as u8,
+        })
+        .collect();
+
+    // Drop-tail keeps the queue-depth signal honest: the backlog is
+    // allowed to fill to capacity (so the brownout's depth trigger
+    // engages) instead of being pre-empted by a latency estimate. The
+    // age- and priority-based policies are covered by the engine's unit
+    // tests.
+    // The cadence must resolve the storm: at mean-service granularity the
+    // ~12x-mean storm spans a dozen-plus control windows, enough for the
+    // two-window hysteresis to walk the whole tier ladder.
+    let control_window = mean_cycles;
+    let queue_capacity = num_cores as u64 * 8;
+    let overload = OverloadConfig {
+        queue_capacity: Some(queue_capacity),
+        policy: ShedPolicy::DropTail,
+        rate_limit: None,
+        brownout: Some(BrownoutConfig {
+            control_window_cycles: control_window,
+            depth_high: queue_capacity / 2,
+            depth_low: num_cores as u64,
+            latency_budget_cycles: 3 * max_cycles,
+            breach_fraction: 0.5,
+            step_up_after: 2,
+            step_down_after: 2,
+        }),
+        breaker: None,
+    };
+    let engine_config = EngineConfig {
+        window_cycles: control_window,
+        snapshot_windows: 4,
+        max_snapshots: 64,
+        slo: SloPolicy::default(),
+    };
+    let student = testbed.predictor.distill(
+        &testbed.oracle,
+        &DistillConfig {
+            replicas: 2,
+            hidden: vec![8],
+            train: TrainConfig {
+                epochs: 80,
+                ..TrainConfig::default()
+            },
+            ..DistillConfig::default()
+        },
+    );
+
+    println!(
+        "\noverload drill: storm {storm_jobs} jobs @2.5x sustainable (gap {storm_gap}), \
+         trickle {trickle_jobs}, queue capacity {queue_capacity}"
+    );
+    let mut problems = Vec::new();
+    let mut rows = Vec::new();
+    for (system_index, system_name) in SYSTEMS.iter().enumerate() {
+        let sim = Simulator::new(num_cores);
+        let cell = tier_cell();
+        let mut system =
+            overload_system(testbed, system_index, Some(cell.clone()), student.as_ref());
+        let outcome = run_streaming_governed(
+            &sim,
+            arrivals.iter().copied(),
+            &mut *system,
+            &engine_config,
+            &overload,
+            Some(cell),
+        );
+        let report = &outcome.overload;
+
+        // Gate (a): bounded queue depth (capacity + one-peek staleness).
+        if report.max_in_flight > queue_capacity + 1 {
+            problems.push(format!(
+                "{system_name}: in-flight peaked at {} over the bound of {}",
+                report.max_in_flight,
+                queue_capacity + 1
+            ));
+        }
+        // The drill must actually overload: an untouched governor proves
+        // nothing about degradation.
+        if report.shed() == 0 {
+            problems.push(format!(
+                "{system_name}: the storm shed nothing — drill not overloaded"
+            ));
+        }
+        if report.tier_transitions == 0 {
+            problems.push(format!(
+                "{system_name}: the brownout controller never stepped — drill not overloaded"
+            ));
+        }
+        // Gate (c): full service restored by the horizon.
+        if report.final_tier != ServingTier::Full {
+            problems.push(format!(
+                "{system_name}: still serving at tier {} at the horizon",
+                report.final_tier.name()
+            ));
+        }
+        let recovered_at = report.recovered_at.unwrap_or(outcome.report.horizon);
+        let recovery_cycles = recovered_at.saturating_sub(storm_end);
+
+        // Gate (b): shedding disabled is bit-identical to a plain
+        // `run_stream`, event ledger included.
+        let mut plain_sink = RecordingSink::new();
+        let mut plain_system = overload_system(testbed, system_index, None, None);
+        let plain = sim.run_stream(
+            arrivals.iter().copied(),
+            &mut *plain_system,
+            &mut plain_sink,
+        );
+        let governor = GovernorHandle::new(&OverloadConfig::disabled(), num_cores, None);
+        let mut governed_sink = RecordingSink::new();
+        let mut governed_system = overload_system(testbed, system_index, None, None);
+        let governed = {
+            let mut wrapped = governor.sink(&mut governed_sink);
+            let metrics = sim.run_stream(
+                governor.gate(arrivals.iter().copied()),
+                &mut *governed_system,
+                &mut wrapped,
+            );
+            wrapped.finish();
+            metrics
+        };
+        if plain != governed
+            || plain.energy.dynamic_nj.to_bits() != governed.energy.dynamic_nj.to_bits()
+            || plain.energy.static_nj.to_bits() != governed.energy.static_nj.to_bits()
+            || plain.energy.idle_nj.to_bits() != governed.energy.idle_nj.to_bits()
+        {
+            problems.push(format!(
+                "{system_name}: disabled governor diverges from the plain stream"
+            ));
+        }
+        if plain_sink.events() != governed_sink.events() {
+            problems.push(format!(
+                "{system_name}: disabled governor rewrites the event ledger"
+            ));
+        }
+
+        let goodput = outcome.report.throughput_jobs_per_mcycle();
+        println!(
+            "  {system_name:<14} offered {:>4} admitted {:>4} shed {:>3} ({:>4.1}%)  \
+             depth max {:>2}  tiers {}  recovery {:>9} cycles  goodput {goodput:.2}/Mcy",
+            report.offered,
+            report.admitted,
+            report.shed(),
+            report.shed_fraction() * 100.0,
+            report.max_in_flight,
+            report.tier_transitions,
+            recovery_cycles,
+        );
+        rows.push(Json::object([
+            ("system", Json::str(*system_name)),
+            ("offered", Json::UInt(report.offered)),
+            ("admitted", Json::UInt(report.admitted)),
+            ("shed", Json::UInt(report.shed())),
+            ("shed_fraction", Json::Num(report.shed_fraction())),
+            ("shed_queue_full", Json::UInt(report.shed_by_reason[0])),
+            ("shed_deadline", Json::UInt(report.shed_by_reason[1])),
+            ("shed_priority", Json::UInt(report.shed_by_reason[2])),
+            ("shed_rate_limit", Json::UInt(report.shed_by_reason[3])),
+            ("max_in_flight", Json::UInt(report.max_in_flight)),
+            ("completed", Json::UInt(outcome.metrics.jobs_completed)),
+            ("goodput_jobs_per_mcycle", Json::Num(goodput)),
+            (
+                "tier_dwell_cycles",
+                Json::Array(
+                    report
+                        .tier_dwell_cycles
+                        .iter()
+                        .map(|&d| Json::UInt(d))
+                        .collect(),
+                ),
+            ),
+            ("tier_transitions", Json::UInt(report.tier_transitions)),
+            ("final_tier", Json::str(report.final_tier.name())),
+            ("recovery_cycles_after_storm", Json::UInt(recovery_cycles)),
+        ]));
+    }
+
+    let section = Json::object([
+        ("storm_jobs", Json::UInt(storm_jobs)),
+        ("trickle_jobs", Json::UInt(trickle_jobs)),
+        ("storm_gap_cycles", Json::UInt(storm_gap)),
+        ("trickle_gap_cycles", Json::UInt(trickle_gap)),
+        ("queue_capacity", Json::UInt(queue_capacity)),
+        ("mean_service_cycles", Json::UInt(mean_cycles)),
+        ("rows", Json::Array(rows)),
+    ]);
+    (section, problems)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -530,6 +822,16 @@ fn main() -> ExitCode {
         }
     }
 
+    // Overload drill: storms at multiples of the sustainable rate through
+    // the admission governor and brownout controller.
+    let (overload_section, overload_problems) = overload_drill(&testbed, smoke);
+    if !overload_problems.is_empty() {
+        failures += 1;
+        for problem in &overload_problems {
+            eprintln!("    {problem}");
+        }
+    }
+
     if failures > 0 {
         eprintln!("CHAOS SWEEP FAILED: {failures} run(s) violated degradation guarantees");
         return ExitCode::FAILURE;
@@ -550,6 +852,7 @@ fn main() -> ExitCode {
             ("runs", Json::UInt(u64::from(runs))),
             ("rows", Json::Array(rows)),
             ("drift", drift_row),
+            ("overload", overload_section),
         ]);
         let path = "results/BENCH_chaos.json";
         match std::fs::write(path, doc.to_pretty()) {
@@ -563,7 +866,7 @@ fn main() -> ExitCode {
 
     println!(
         "CHAOS SWEEP PASSED: jobs conserved, retries bounded, ledgers bit-exact, \
-         stall paths pure, drift repaired online"
+         stall paths pure, drift repaired online, overload shed and recovered"
     );
     ExitCode::SUCCESS
 }

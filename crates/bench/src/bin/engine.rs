@@ -13,7 +13,7 @@
 //! ```text
 //! engine [--system base|optimal|energy|proposed|all] [--process poisson|bursty|diurnal|ramp|mix]
 //!        [--jobs N] [--rate R] [--seed S] [--export PATH.json] [--csv] [--md]
-//!        [--slo-p99 CYCLES] [--slo-energy NJ] [--smoke]
+//!        [--slo-p99 CYCLES] [--slo-energy NJ] [--smoke] [--overload-smoke]
 //! engine compare OLD.json NEW.json
 //! ```
 //!
@@ -29,6 +29,11 @@
 //! * `--csv` / `--md` — dump the snapshot time series / run summaries.
 //! * `--smoke` — reduced suite and job count, loose budgets, no
 //!   artifacts (used by `scripts/check.sh`).
+//! * `--overload-smoke` — ignore the flags above and run a short
+//!   governed storm on the proposed system instead: admission gate,
+//!   bounded queue, brownout ladder. Prints the overload report and
+//!   exits non-zero unless the run shed, stayed bounded, and recovered
+//!   to full serving (used by `scripts/check.sh`).
 //!
 //! `engine compare` diffs two exported artifacts system-by-system and
 //! flags regressions in throughput, p99 latency, and energy per job.
@@ -36,8 +41,11 @@
 use hetero_bench::json::Json;
 use hetero_bench::Testbed;
 use hetero_core::{BaseSystem, EnergyCentricSystem, OptimalSystem, ProposedSystem};
-use hetero_engine::{export, run_streaming, EngineConfig, EngineReport, SloPolicy, StreamOutcome};
-use multicore_sim::{Scheduler, Simulator};
+use hetero_engine::{
+    export, run_streaming, run_streaming_governed, BrownoutConfig, EngineConfig, EngineReport,
+    OverloadConfig, ShedPolicy, SloPolicy, StreamOutcome,
+};
+use multicore_sim::{tier_cell, Scheduler, ServingTier, Simulator};
 use std::process::ExitCode;
 use workloads::{Arrival, Compose, OpenLoop};
 
@@ -56,6 +64,7 @@ struct Options {
     slo_p99: Option<u64>,
     slo_energy: Option<f64>,
     smoke: bool,
+    overload_smoke: bool,
 }
 
 impl Options {
@@ -72,6 +81,7 @@ impl Options {
             slo_p99: None,
             slo_energy: None,
             smoke: false,
+            overload_smoke: false,
         };
         let mut iter = args.iter();
         while let Some(arg) = iter.next() {
@@ -116,6 +126,7 @@ impl Options {
                     )
                 }
                 "--smoke" => options.smoke = true,
+                "--overload-smoke" => options.overload_smoke = true,
                 unknown => return Err(format!("unknown argument: {unknown}")),
             }
         }
@@ -398,6 +409,161 @@ fn compare(old_path: &str, new_path: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `engine --overload-smoke`: a short governed storm on the proposed
+/// system. The arrival rate is calibrated from the oracle (~2.5x the
+/// fleet's sustainable service rate) so the bounded admission queue
+/// fills, the governor sheds, and the brownout ladder steps — then a
+/// trickle tail lets the controller climb back to full serving. This is
+/// the cheap CI cousin of the full overload drill in the `chaos` bin
+/// (which also checks disabled-governor bit-identity and exports
+/// storm metrics).
+fn overload_smoke() -> ExitCode {
+    let testbed = Testbed::small();
+    let num_cores = testbed.arch.num_cores();
+    let suite_len = testbed.suite.len();
+
+    // Calibrate the storm from the oracle's best-config cycle costs.
+    let costs: Vec<u64> = (0..suite_len)
+        .map(|b| {
+            testbed
+                .oracle
+                .best_config(workloads::BenchmarkId(b))
+                .1
+                .cycles
+        })
+        .collect();
+    let mean_cycles = costs.iter().sum::<u64>() / costs.len() as u64;
+    let max_cycles = costs.iter().copied().max().unwrap_or(mean_cycles);
+    let storm_gap = (mean_cycles / (num_cores as u64 * 5 / 2)).max(1);
+
+    let storm_jobs = 120usize;
+    let trickle_jobs = 60usize;
+    let mut at = 0u64;
+    let mut stream: Vec<Arrival> = Vec::with_capacity(storm_jobs + trickle_jobs);
+    for i in 0..storm_jobs + trickle_jobs {
+        stream.push(Arrival {
+            time: at,
+            benchmark: workloads::BenchmarkId(i % suite_len),
+            priority: (i % 3) as u8,
+        });
+        at += if i + 1 < storm_jobs {
+            storm_gap
+        } else {
+            max_cycles
+        };
+    }
+
+    let queue_capacity = (num_cores as u64) * 8;
+    let overload = OverloadConfig {
+        queue_capacity: Some(queue_capacity),
+        policy: ShedPolicy::DropTail,
+        rate_limit: None,
+        brownout: Some(BrownoutConfig {
+            control_window_cycles: mean_cycles,
+            depth_high: queue_capacity / 2,
+            depth_low: num_cores as u64,
+            latency_budget_cycles: 3 * max_cycles,
+            breach_fraction: 0.5,
+            step_up_after: 2,
+            step_down_after: 2,
+        }),
+        breaker: None,
+    };
+    let config = EngineConfig {
+        window_cycles: mean_cycles,
+        snapshot_windows: 4,
+        max_snapshots: 64,
+        slo: SloPolicy::default(),
+    };
+
+    let cell = tier_cell();
+    let mut system = ProposedSystem::with_model(
+        &testbed.arch,
+        &testbed.oracle,
+        testbed.model,
+        testbed.predictor.clone(),
+    )
+    .with_serving_tier(cell.clone(), None);
+    let outcome = run_streaming_governed(
+        &Simulator::new(num_cores),
+        stream,
+        &mut system,
+        &config,
+        &overload,
+        Some(cell),
+    );
+    let report = &outcome.overload;
+
+    println!(
+        "overload smoke: {} offered at ~2.5x sustainable (storm gap {} cycles), queue capacity {}",
+        report.offered, storm_gap, queue_capacity
+    );
+    println!(
+        "  admitted {}  shed {} ({:.1}%)  [queue_full {} deadline {} priority {} rate_limit {}]",
+        report.admitted,
+        report.shed(),
+        report.shed_fraction() * 100.0,
+        report.shed_by_reason[0],
+        report.shed_by_reason[1],
+        report.shed_by_reason[2],
+        report.shed_by_reason[3],
+    );
+    println!(
+        "  depth max {}  tier transitions {}  dwell [full {} distilled {} knn {} static {}]  final {}",
+        report.max_in_flight,
+        report.tier_transitions,
+        report.tier_dwell_cycles[0],
+        report.tier_dwell_cycles[1],
+        report.tier_dwell_cycles[2],
+        report.tier_dwell_cycles[3],
+        report.final_tier.name(),
+    );
+
+    let mut failures = 0u32;
+    // The queue bound admits up to `capacity` plus the one arrival the
+    // gate has already peeked when the decision lands.
+    if report.max_in_flight > queue_capacity + 1 {
+        eprintln!(
+            "  FAIL: in-flight depth {} exceeded queue capacity {}",
+            report.max_in_flight, queue_capacity
+        );
+        failures += 1;
+    }
+    if report.shed() == 0 {
+        eprintln!("  FAIL: the storm never shed — not actually overloaded");
+        failures += 1;
+    }
+    if report.tier_transitions == 0 {
+        eprintln!("  FAIL: the brownout ladder never stepped");
+        failures += 1;
+    }
+    if report.final_tier != ServingTier::Full {
+        eprintln!(
+            "  FAIL: finished in tier {} instead of recovering to full serving",
+            report.final_tier.name()
+        );
+        failures += 1;
+    }
+    if outcome.metrics.jobs_completed != report.admitted {
+        eprintln!(
+            "  FAIL: admitted {} but completed {}",
+            report.admitted, outcome.metrics.jobs_completed
+        );
+        failures += 1;
+    }
+    if failures > 0 {
+        eprintln!("ENGINE OVERLOAD SMOKE FAILED: {failures} problem(s)");
+        return ExitCode::FAILURE;
+    }
+    match report.recovered_at {
+        Some(cycle) => println!(
+            "ENGINE OVERLOAD SMOKE OK: shed under storm, stayed bounded, recovered at cycle {cycle}"
+        ),
+        None => println!("ENGINE OVERLOAD SMOKE OK: shed under storm, stayed bounded, recovered"),
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("compare") {
@@ -417,6 +583,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if options.overload_smoke {
+        return overload_smoke();
+    }
     // Validate the process name before paying for the testbed build.
     if let Err(problem) = arrivals(&options.process, options.rate, 1, 0, 0) {
         eprintln!("{problem}");
@@ -467,7 +636,7 @@ fn main() -> ExitCode {
             report.latency_cycles.p99(),
             report.energy_per_job_nj(),
             report.snapshots_emitted,
-            if report.slo.passed() { "pass" } else { "FAIL" }
+            report.slo.verdict()
         );
         if options.csv {
             println!("\n--- {name} snapshots ---");

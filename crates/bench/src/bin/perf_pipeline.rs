@@ -78,7 +78,7 @@ use workloads::{ArrivalPlan, SplitMix64, Suite};
 const DEFAULT_MIN_SPEEDUP: f64 = 2.0;
 
 /// Stages whose speedup the gate checks (each must clear its threshold).
-const GATED_STAGES: [&str; 10] = [
+const GATED_STAGES: [&str; 11] = [
     "oracle_build_paper",
     "bagging_train",
     "ensemble_predict",
@@ -89,6 +89,7 @@ const GATED_STAGES: [&str; 10] = [
     "sim_metrics_overhead",
     "sim_manycore",
     "engine_stream",
+    "engine_overload",
 ];
 
 /// `sim_trace_overhead` and `sim_fault_overhead` are no-regression bars,
@@ -137,6 +138,17 @@ const DISTILL_MIN_SPEEDUP: f64 = 8.0;
 /// move it.
 const STREAM_RSS_BUDGET_MB: f64 = 128.0;
 
+/// `engine_overload` is a no-regression bar on the governed streaming
+/// path: `run_streaming_governed` with an *enabled* governor whose
+/// limits are wide enough that nothing sheds and no tier steps, against
+/// plain `run_streaming` on the same open-loop stream. The governor
+/// still pays its real quiescent costs (admission bookkeeping,
+/// in-flight tracking, control-window folds on every completion), so
+/// parity is not free — but a service that cannot afford its own
+/// overload protection would never deploy it, hence the bar: >= 0.95x
+/// the ungoverned engine. Fixed — the CLI threshold does not move it.
+const ENGINE_OVERLOAD_MIN_RATIO: f64 = 0.95;
+
 /// The gate bar for one stage at the given CLI threshold.
 fn stage_threshold(name: &str, min_speedup: f64) -> f64 {
     match name {
@@ -145,6 +157,7 @@ fn stage_threshold(name: &str, min_speedup: f64) -> f64 {
         "sim_manycore" => MANYCORE_MIN_SPEEDUP,
         "distilled_predict" => DISTILL_MIN_SPEEDUP,
         "engine_stream" => 1.0,
+        "engine_overload" => ENGINE_OVERLOAD_MIN_RATIO,
         _ => min_speedup,
     }
 }
@@ -673,6 +686,91 @@ fn measure_engine_stream(iters: u32) -> Stage {
     }
 }
 
+/// The governed-streaming overhead stage: the full engine stack twice
+/// over the same deterministic open-loop stream served by the paper's
+/// proposed system (predictor-driven placement — the engine the
+/// overload governor actually deploys on) — ungoverned `run_streaming`
+/// as the reference, `run_streaming_governed` with a quiescent
+/// governor as the fused side. The governor is *enabled* (bounded queue, drop-tail policy,
+/// live brownout controller), but every limit sits far above what the
+/// run reaches, so nothing sheds and no tier steps; the measurement
+/// captures the pure bookkeeping cost riding on every arrival and
+/// completion, in the proportion a deployed service would pay it
+/// (against real scheduling work, not an empty-scheduler microloop).
+/// Each governed run asserts it stayed quiescent — a config drift that
+/// starts shedding would silently turn this into an apples-to-oranges
+/// timing.
+fn measure_engine_overload(iters: u32) -> Stage {
+    let testbed = Testbed::small();
+    let num_cores = testbed.arch.num_cores();
+    let suite_len = testbed.suite.len();
+    let jobs: usize = 20_000;
+    let sim = Simulator::new(num_cores);
+    let config = hetero_engine::EngineConfig::default();
+    let overload = hetero_engine::OverloadConfig {
+        queue_capacity: Some(u64::MAX),
+        policy: hetero_engine::ShedPolicy::DropTail,
+        rate_limit: None,
+        brownout: Some(hetero_engine::BrownoutConfig {
+            // ~100 control evaluations over the run's ~1G-cycle horizon:
+            // a realistic control cadence (a window per ~200 jobs), not
+            // one per handful of events.
+            control_window_cycles: 10_000_000,
+            depth_high: u64::MAX,
+            depth_low: u64::MAX,
+            latency_budget_cycles: u64::MAX,
+            breach_fraction: 2.0,
+            step_up_after: 2,
+            step_down_after: 2,
+        }),
+        breaker: None,
+    };
+    let stream = || workloads::OpenLoop::poisson(20.0, suite_len, 7).take(jobs);
+    let system = || {
+        hetero_core::ProposedSystem::with_model(
+            &testbed.arch,
+            &testbed.oracle,
+            testbed.model,
+            testbed.predictor.clone(),
+        )
+    };
+    let (reference, fused) = bench_paired(
+        "engine_stream_plain",
+        || {
+            hetero_engine::run_streaming(&sim, stream(), &mut system(), &config)
+                .metrics
+                .jobs_completed
+        },
+        "engine_stream_governed",
+        || {
+            let outcome = hetero_engine::run_streaming_governed(
+                &sim,
+                stream(),
+                &mut system(),
+                &config,
+                &overload,
+                None,
+            );
+            assert_eq!(
+                outcome.overload.shed(),
+                0,
+                "quiescent governor must not shed"
+            );
+            assert_eq!(
+                outcome.overload.tier_transitions, 0,
+                "quiescent governor must not step tiers"
+            );
+            outcome.metrics.jobs_completed
+        },
+        iters,
+    );
+    Stage {
+        name: "engine_overload",
+        reference,
+        fused,
+    }
+}
+
 /// (Re-)measure one stage by name, at the given iteration count.
 fn measure_stage(name: &str, iters: u32) -> Stage {
     match name {
@@ -691,6 +789,7 @@ fn measure_stage(name: &str, iters: u32) -> Stage {
         "sim_metrics_overhead" => measure_metrics_overhead(iters),
         "sim_manycore" => measure_manycore(iters),
         "engine_stream" => measure_engine_stream(iters),
+        "engine_overload" => measure_engine_overload(iters),
         other => panic!("unknown stage {other}"),
     }
 }
@@ -706,6 +805,7 @@ fn stage_iters(name: &str, smoke: bool) -> u32 {
         "sim_manycore" => 5,
         // One full-scale 10M-job pass; `iters` is a scale selector here.
         "engine_stream" => 2,
+        "engine_overload" => 7,
         _ => 7,
     }
 }
@@ -768,6 +868,7 @@ fn main() -> ExitCode {
         "sim_metrics_overhead",
         "sim_manycore",
         "engine_stream",
+        "engine_overload",
     ];
     let mut stages: Vec<Stage> = all_stages
         .iter()

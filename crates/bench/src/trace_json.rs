@@ -164,6 +164,19 @@ pub fn event_to_json(event: &TraceEvent) -> Json {
             pairs.push(("at", Json::UInt(at)));
             pairs.push(("level", Json::str(level.name())));
         }
+        TraceEvent::Shed {
+            offered,
+            benchmark,
+            at,
+            priority,
+            reason,
+        } => {
+            pairs.push(("offered", Json::UInt(offered)));
+            pairs.push(("benchmark", Json::UInt(benchmark.0 as u64)));
+            pairs.push(("at", Json::UInt(at)));
+            pairs.push(("priority", Json::UInt(u64::from(priority))));
+            pairs.push(("reason", Json::str(reason.name())));
+        }
         TraceEvent::Degraded {
             at,
             component,

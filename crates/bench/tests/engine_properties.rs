@@ -16,7 +16,7 @@
 
 use hetero_bench::Testbed;
 use hetero_core::{BaseSystem, EnergyCentricSystem, OptimalSystem, ProposedSystem};
-use hetero_engine::{run_streaming, EngineConfig, EngineReport, SloPolicy};
+use hetero_engine::{run_streaming, EngineConfig, EngineReport, OverloadConfig, SloPolicy};
 use multicore_sim::{
     LedgerAuditor, QueueDiscipline, RecordingSink, RunMetrics, Scheduler, Simulator,
 };
@@ -196,6 +196,126 @@ proptest! {
         prop_assert_eq!(&batch_events, &stream_events);
         let outcome = LedgerAuditor::new(num_cores).check(&stream_events, &metrics);
         prop_assert!(outcome.is_ok(), "streamed ledger audit failed: {:?}", outcome.err());
+    }
+
+    /// A disabled overload governor is bit-invisible on every system and
+    /// discipline: `run_streaming_governed` with `OverloadConfig::disabled()`
+    /// returns the exact batch `RunMetrics` (no admission decision, no
+    /// tier change, no shed — the wrapped sink is pure pass-through).
+    #[test]
+    fn disabled_governor_is_bit_invisible_on_every_system(
+        system_index in 0usize..4,
+        discipline_index in 0usize..3,
+        jobs in 40usize..100,
+        seed in 0u64..1_000,
+    ) {
+        let t = testbed();
+        let plan = ArrivalPlan::uniform_with_priorities(jobs, 4_000_000, t.suite.len(), 3, seed);
+        let discipline = DISCIPLINES[discipline_index];
+
+        fn governed<S: Scheduler>(
+            build: impl Fn() -> S,
+            discipline: QueueDiscipline,
+            plan: &ArrivalPlan,
+        ) -> (RunMetrics, RunMetrics, hetero_engine::OverloadReport) {
+            let sim = Simulator::new(testbed().arch.num_cores()).with_discipline(discipline);
+            let batch = sim.run(plan, &mut build());
+            let outcome = hetero_engine::run_streaming_governed(
+                &sim,
+                plan.iter().copied(),
+                &mut build(),
+                &engine_config(),
+                &OverloadConfig::disabled(),
+                None,
+            );
+            (batch, outcome.metrics, outcome.overload)
+        }
+
+        let (batch, governed_metrics, overload) = match system_index {
+            0 => governed(|| BaseSystem::new(&t.oracle, t.model, t.arch.num_cores()), discipline, &plan),
+            1 => governed(|| OptimalSystem::new(&t.arch, &t.oracle, t.model), discipline, &plan),
+            2 => governed(
+                || EnergyCentricSystem::new(&t.arch, &t.oracle, t.model, t.predictor.clone()),
+                discipline, &plan,
+            ),
+            _ => governed(
+                || ProposedSystem::with_model(&t.arch, &t.oracle, t.model, t.predictor.clone()),
+                discipline, &plan,
+            ),
+        };
+        assert_bit_identical(&batch, &governed_metrics);
+        prop_assert_eq!(overload.shed(), 0);
+        prop_assert_eq!(overload.offered, jobs as u64);
+        prop_assert_eq!(overload.admitted, jobs as u64);
+        prop_assert_eq!(overload.tier_transitions, 0);
+    }
+
+    /// Window reclamation at exact boundaries: when every arrival and
+    /// completion timestamp lands exactly on a telemetry-window boundary
+    /// (the off-by-one sweet spot for `drain_points`), the snapshot ring
+    /// still conserves every counter and tiles the horizon — nothing is
+    /// drained twice (the sink would panic) or silently lost.
+    #[test]
+    fn drains_at_exact_window_boundaries_conserve_everything(
+        jobs in 1usize..60,
+        stride_windows in 1u64..4,
+        service_windows in 1u64..6,
+    ) {
+        use energy_model::EnergyBreakdown;
+        use multicore_sim::{CoreIndex, Decision, Job, JobExecution};
+        use workloads::{Arrival, BenchmarkId};
+
+        struct ExactCycles(u64);
+        impl Scheduler for ExactCycles {
+            fn schedule(&mut self, _job: &Job, cores: &CoreIndex, _now: u64) -> Decision {
+                match cores.first_idle() {
+                    Some(core) => Decision::run(core, JobExecution {
+                        cycles: self.0,
+                        energy: EnergyBreakdown { idle_nj: 0.0, dynamic_nj: 1.0, static_nj: 0.5 },
+                    }),
+                    None => Decision::Stall,
+                }
+            }
+            fn idle_power_nj_per_cycle(&self, _core: multicore_sim::CoreId) -> f64 { 0.25 }
+        }
+
+        let window = engine_config().window_cycles;
+        // Arrivals on exact window boundaries, service an exact number of
+        // windows: every event timestamp is a multiple of the interval.
+        let arrivals: Vec<Arrival> = (0..jobs)
+            .map(|i| Arrival::new(i as u64 * stride_windows * window, BenchmarkId(i % 8)))
+            .collect();
+        let sim = Simulator::new(2);
+        let outcome = run_streaming(
+            &sim,
+            arrivals.clone(),
+            &mut ExactCycles(service_windows * window),
+            &engine_config(),
+        );
+        let report = &outcome.report;
+        prop_assert_eq!(report.totals.arrivals, jobs as u64);
+        prop_assert_eq!(report.totals.completions, jobs as u64);
+        prop_assert_eq!(
+            report.snapshots.iter().map(|s| s.arrivals).sum::<u64>(),
+            jobs as u64
+        );
+        prop_assert_eq!(
+            report.snapshots.iter().map(|s| s.completions).sum::<u64>(),
+            jobs as u64
+        );
+        prop_assert_eq!(report.latency_cycles.count(), jobs as u64);
+        let span_energy: f64 = report.snapshots.iter().map(|s| s.energy_nj).sum();
+        let total = report.energy_nj();
+        prop_assert!(
+            (span_energy - total).abs() <= 1e-9 * total.abs().max(1.0),
+            "snapshot energy {} vs cumulative {}", span_energy, total
+        );
+        for pair in report.snapshots.windows(2) {
+            prop_assert_eq!(pair[0].end, pair[1].start);
+        }
+        if let Some(last) = report.snapshots.last() {
+            prop_assert_eq!(last.end, report.horizon);
+        }
     }
 
     /// Open-loop determinism end to end: materialising an [`OpenLoop`]

@@ -24,7 +24,7 @@
 use crate::oracle::SuiteOracle;
 use crate::predictor::BestCorePredictor;
 use cache_sim::{CacheSizeKb, BASE_CONFIG};
-use multicore_sim::FallbackLevel;
+use multicore_sim::{FallbackLevel, ServingTier};
 use workloads::{BenchmarkId, ExecutionStatistics};
 
 /// Which stage of the chain produced a best-size prediction.
@@ -32,10 +32,25 @@ use workloads::{BenchmarkId, ExecutionStatistics};
 pub enum PredictionSource {
     /// The primary (ANN ensemble) predictor.
     Primary,
+    /// The distilled f32 student (brownout tier 1 serving).
+    Distilled,
     /// The kNN stand-in.
     Knn,
     /// The static base-configuration size.
     Static,
+}
+
+/// The worse (more degraded) of two chain levels: the fault plan and the
+/// brownout controller each impose one, and the serving path must honour
+/// whichever is deeper.
+fn worse_level(a: Option<FallbackLevel>, b: Option<FallbackLevel>) -> Option<FallbackLevel> {
+    match (a, b) {
+        (Some(FallbackLevel::Static), _) | (_, Some(FallbackLevel::Static)) => {
+            Some(FallbackLevel::Static)
+        }
+        (Some(FallbackLevel::Knn), _) | (_, Some(FallbackLevel::Knn)) => Some(FallbackLevel::Knn),
+        (None, None) => None,
+    }
 }
 
 /// A trained fallback chain (stages 2 and 3; stage 1 is the system's own
@@ -106,11 +121,46 @@ impl FallbackChain {
         statistics: &ExecutionStatistics,
         level: Option<FallbackLevel>,
     ) -> (CacheSizeKb, PredictionSource) {
-        match level {
-            None => (
-                primary.predict_for(benchmark, statistics),
-                PredictionSource::Primary,
-            ),
+        self.resolve_tiered(
+            primary,
+            None,
+            benchmark,
+            statistics,
+            level,
+            ServingTier::Full,
+        )
+    }
+
+    /// [`resolve`](Self::resolve) under a brownout serving tier as well:
+    /// the effective degradation is the worse of what the fault plan
+    /// imposes and what the tier requests. Tier
+    /// [`Distilled`](ServingTier::Distilled) serves from `distilled`
+    /// when provided (falling back to the primary when not — a system
+    /// without a student can only honour tiers 0, 2, and 3).
+    ///
+    /// With `tier == Full` and `distilled == None` this is exactly
+    /// [`resolve`](Self::resolve): the full-service path is untouched,
+    /// which is what keeps tier-0 governed runs bit-identical.
+    pub fn resolve_tiered(
+        &self,
+        primary: &BestCorePredictor,
+        distilled: Option<&BestCorePredictor>,
+        benchmark: BenchmarkId,
+        statistics: &ExecutionStatistics,
+        level: Option<FallbackLevel>,
+        tier: ServingTier,
+    ) -> (CacheSizeKb, PredictionSource) {
+        match worse_level(level, tier.fallback_level()) {
+            None => match (tier, distilled) {
+                (ServingTier::Distilled, Some(student)) => (
+                    student.predict_for(benchmark, statistics),
+                    PredictionSource::Distilled,
+                ),
+                _ => (
+                    primary.predict_for(benchmark, statistics),
+                    PredictionSource::Primary,
+                ),
+            },
             Some(FallbackLevel::Knn) => (
                 self.predict_knn(benchmark, statistics),
                 PredictionSource::Knn,
@@ -159,6 +209,109 @@ mod tests {
             chain.resolve(&primary, benchmark, &stats, Some(FallbackLevel::Static));
         assert_eq!(source, PredictionSource::Static);
         assert_eq!(last, CacheSizeKb::K8);
+    }
+
+    #[test]
+    fn tiered_resolve_honours_the_worse_of_fault_and_tier() {
+        use tinyann::{DistillConfig, TrainConfig};
+        let oracle = oracle();
+        let chain = FallbackChain::train(oracle);
+        let primary = BestCorePredictor::train(oracle, &PredictorConfig::fast());
+        let student = primary
+            .distill(
+                oracle,
+                &DistillConfig {
+                    replicas: 2,
+                    hidden: vec![8],
+                    train: TrainConfig {
+                        epochs: 60,
+                        ..TrainConfig::default()
+                    },
+                    ..DistillConfig::default()
+                },
+            )
+            .expect("ANN-backed predictor distills");
+        let benchmark = BenchmarkId(2);
+        let stats = oracle.execution_statistics(benchmark);
+
+        // Tier 0, no fault: exactly the plain resolve.
+        let (size, source) = chain.resolve_tiered(
+            &primary,
+            Some(&student),
+            benchmark,
+            &stats,
+            None,
+            ServingTier::Full,
+        );
+        assert_eq!(source, PredictionSource::Primary);
+        assert_eq!(
+            (size, source),
+            chain.resolve(&primary, benchmark, &stats, None)
+        );
+
+        // Tier 1 serves from the student.
+        let (size, source) = chain.resolve_tiered(
+            &primary,
+            Some(&student),
+            benchmark,
+            &stats,
+            None,
+            ServingTier::Distilled,
+        );
+        assert_eq!(source, PredictionSource::Distilled);
+        assert_eq!(size, student.predict_for(benchmark, &stats));
+        // ... but only when a student exists.
+        let (_, source) = chain.resolve_tiered(
+            &primary,
+            None,
+            benchmark,
+            &stats,
+            None,
+            ServingTier::Distilled,
+        );
+        assert_eq!(source, PredictionSource::Primary);
+
+        // Tier 2/3 force the chain stages even when healthy.
+        let (size, source) = chain.resolve_tiered(
+            &primary,
+            Some(&student),
+            benchmark,
+            &stats,
+            None,
+            ServingTier::Knn,
+        );
+        assert_eq!(source, PredictionSource::Knn);
+        assert_eq!(size, chain.predict_knn(benchmark, &stats));
+        let (size, source) = chain.resolve_tiered(
+            &primary,
+            Some(&student),
+            benchmark,
+            &stats,
+            None,
+            ServingTier::Static,
+        );
+        assert_eq!(source, PredictionSource::Static);
+        assert_eq!(size, CacheSizeKb::K8);
+
+        // A fault deeper than the tier wins (and vice versa).
+        let (_, source) = chain.resolve_tiered(
+            &primary,
+            Some(&student),
+            benchmark,
+            &stats,
+            Some(FallbackLevel::Static),
+            ServingTier::Distilled,
+        );
+        assert_eq!(source, PredictionSource::Static);
+        let (_, source) = chain.resolve_tiered(
+            &primary,
+            Some(&student),
+            benchmark,
+            &stats,
+            Some(FallbackLevel::Knn),
+            ServingTier::Static,
+        );
+        assert_eq!(source, PredictionSource::Static);
     }
 
     #[test]

@@ -34,6 +34,9 @@ pub struct SystemStats {
     /// Profile predictions served by a fallback stage (kNN or static)
     /// instead of the primary predictor.
     pub fallback_predictions: u64,
+    /// Profile predictions served by the distilled student (brownout
+    /// tier 1) instead of the full ensemble.
+    pub distilled_predictions: u64,
 }
 
 /// What a scheduled execution means, applied to the profiling table when

@@ -9,7 +9,9 @@ use crate::tuning::TuningStatus;
 use crate::ProfilingTable;
 use cache_sim::BASE_CONFIG;
 use energy_model::EnergyModel;
-use multicore_sim::{CoreId, CoreIndex, Decision, FaultPlan, Job, PredictorHealth, Scheduler};
+use multicore_sim::{
+    CoreId, CoreIndex, Decision, FaultPlan, Job, PredictorHealth, Scheduler, ServingTier, TierCell,
+};
 
 /// The paper's *energy-centric* system (Sec. V): profiles on the profiling
 /// core, predicts the best core with the ANN, and "only scheduled
@@ -45,8 +47,13 @@ pub struct EnergyCentricSystem<'a> {
     predictor: BestCorePredictor,
     /// Injected fault schedule; `None` outside chaos experiments.
     faults: Option<&'a FaultPlan>,
-    /// Degraded-prediction stages, trained only when faults are injected.
+    /// Degraded-prediction stages, trained only when faults are injected
+    /// or a serving tier is subscribed.
     fallback: Option<FallbackChain>,
+    /// Brownout serving tier shared with an overload governor.
+    tier: Option<TierCell>,
+    /// Distilled f32 student serving brownout tier 1.
+    distilled: Option<BestCorePredictor>,
 }
 
 impl<'a> EnergyCentricSystem<'a> {
@@ -62,6 +69,8 @@ impl<'a> EnergyCentricSystem<'a> {
             predictor,
             faults: None,
             fallback: None,
+            tier: None,
+            distilled: None,
         }
     }
 
@@ -73,6 +82,22 @@ impl<'a> EnergyCentricSystem<'a> {
     pub fn with_faults(mut self, plan: &'a FaultPlan, chain: FallbackChain) -> Self {
         self.faults = Some(plan);
         self.fallback = Some(chain);
+        self
+    }
+
+    /// Subscribe to a brownout serving tier — see
+    /// [`ProposedSystem::with_serving_tier`](crate::ProposedSystem::with_serving_tier);
+    /// the semantics are identical.
+    pub fn with_serving_tier(
+        mut self,
+        cell: TierCell,
+        distilled: Option<BestCorePredictor>,
+    ) -> Self {
+        if self.fallback.is_none() {
+            self.fallback = Some(FallbackChain::train(self.shared.oracle));
+        }
+        self.tier = Some(cell);
+        self.distilled = distilled;
         self
     }
 
@@ -161,22 +186,38 @@ impl Scheduler for EnergyCentricSystem<'_> {
         let level = self
             .faults
             .and_then(|plan| plan.fallback_level(job.seq, now));
+        let tier = self
+            .tier
+            .as_ref()
+            .map_or(ServingTier::Full, |cell| cell.get());
         let predictor = &self.predictor;
+        let distilled = self.distilled.as_ref();
         let fallback = self.fallback.as_ref();
-        let mut degraded = false;
+        let mut served = crate::fallback::PredictionSource::Primary;
         self.shared.complete(job, core, |shared| {
             let statistics = shared.oracle.execution_statistics(benchmark);
             match fallback {
                 Some(chain) => {
-                    let (size, source) = chain.resolve(predictor, benchmark, &statistics, level);
-                    degraded = source != crate::fallback::PredictionSource::Primary;
+                    let (size, source) = chain.resolve_tiered(
+                        predictor,
+                        distilled,
+                        benchmark,
+                        &statistics,
+                        level,
+                        tier,
+                    );
+                    served = source;
                     size
                 }
                 None => predictor.predict_for(benchmark, &statistics),
             }
         });
-        if degraded {
-            self.shared.stats.fallback_predictions += 1;
+        match served {
+            crate::fallback::PredictionSource::Primary => {}
+            crate::fallback::PredictionSource::Distilled => {
+                self.shared.stats.distilled_predictions += 1;
+            }
+            _ => self.shared.stats.fallback_predictions += 1,
         }
     }
 

@@ -10,7 +10,9 @@ use crate::tuning::TuningStatus;
 use crate::ProfilingTable;
 use cache_sim::{CacheConfig, BASE_CONFIG};
 use energy_model::{EnergyModel, ExecutionCost};
-use multicore_sim::{CoreId, CoreIndex, Decision, FaultPlan, Job, PredictorHealth, Scheduler};
+use multicore_sim::{
+    CoreId, CoreIndex, Decision, FaultPlan, Job, PredictorHealth, Scheduler, ServingTier, TierCell,
+};
 
 /// The paper's proposed scheduler (Figure 2):
 ///
@@ -52,8 +54,15 @@ pub struct ProposedSystem<'a> {
     policy: DecisionPolicy,
     /// Injected fault schedule; `None` outside chaos experiments.
     faults: Option<&'a FaultPlan>,
-    /// Degraded-prediction stages, trained only when faults are injected.
+    /// Degraded-prediction stages, trained only when faults are injected
+    /// or a serving tier is subscribed.
     fallback: Option<FallbackChain>,
+    /// Brownout serving tier shared with an overload governor; `None`
+    /// keeps the full-service path untouched.
+    tier: Option<TierCell>,
+    /// Distilled f32 student serving brownout tier 1; `None` means tier 1
+    /// degrades no further than the primary.
+    distilled: Option<BestCorePredictor>,
 }
 
 /// How the proposed system resolves a busy best core once every idle
@@ -95,6 +104,8 @@ impl<'a> ProposedSystem<'a> {
             policy: DecisionPolicy::Evaluate,
             faults: None,
             fallback: None,
+            tier: None,
+            distilled: None,
         }
     }
 
@@ -112,6 +123,26 @@ impl<'a> ProposedSystem<'a> {
     pub fn with_faults(mut self, plan: &'a FaultPlan, chain: FallbackChain) -> Self {
         self.faults = Some(plan);
         self.fallback = Some(chain);
+        self
+    }
+
+    /// Subscribe to a brownout serving tier (shared with an overload
+    /// governor through `cell`): per completion the serving path honours
+    /// the worse of the fault plan's degradation and the tier's, with tier
+    /// [`Distilled`](ServingTier::Distilled) served by `distilled` when
+    /// provided. Trains the fallback chain lazily if
+    /// [`with_faults`](Self::with_faults) hasn't already supplied one, so
+    /// tiers 2 and 3 always have their kNN/static stages available.
+    pub fn with_serving_tier(
+        mut self,
+        cell: TierCell,
+        distilled: Option<BestCorePredictor>,
+    ) -> Self {
+        if self.fallback.is_none() {
+            self.fallback = Some(FallbackChain::train(self.shared.oracle));
+        }
+        self.tier = Some(cell);
+        self.distilled = distilled;
         self
     }
 
@@ -317,22 +348,38 @@ impl Scheduler for ProposedSystem<'_> {
         let level = self
             .faults
             .and_then(|plan| plan.fallback_level(job.seq, now));
+        let tier = self
+            .tier
+            .as_ref()
+            .map_or(ServingTier::Full, |cell| cell.get());
         let predictor = &self.predictor;
+        let distilled = self.distilled.as_ref();
         let fallback = self.fallback.as_ref();
-        let mut degraded = false;
+        let mut served = crate::fallback::PredictionSource::Primary;
         self.shared.complete(job, core, |shared| {
             let statistics = shared.oracle.execution_statistics(benchmark);
             match fallback {
                 Some(chain) => {
-                    let (size, source) = chain.resolve(predictor, benchmark, &statistics, level);
-                    degraded = source != crate::fallback::PredictionSource::Primary;
+                    let (size, source) = chain.resolve_tiered(
+                        predictor,
+                        distilled,
+                        benchmark,
+                        &statistics,
+                        level,
+                        tier,
+                    );
+                    served = source;
                     size
                 }
                 None => predictor.predict_for(benchmark, &statistics),
             }
         });
-        if degraded {
-            self.shared.stats.fallback_predictions += 1;
+        match served {
+            crate::fallback::PredictionSource::Primary => {}
+            crate::fallback::PredictionSource::Distilled => {
+                self.shared.stats.distilled_predictions += 1;
+            }
+            _ => self.shared.stats.fallback_predictions += 1,
         }
     }
 
@@ -452,6 +499,122 @@ mod tests {
                 entry.explored_count()
             );
         }
+    }
+
+    #[test]
+    fn serving_tier_full_is_bit_identical_and_lower_tiers_change_serving() {
+        use multicore_sim::{tier_cell, ServingTier};
+
+        let f = fixture();
+        let plan = ArrivalPlan::uniform(300, 30_000_000, f.suite.len(), 47);
+        let predictor = BestCorePredictor::train(f.oracle, &PredictorConfig::fast());
+        let distill = tinyann::DistillConfig {
+            replicas: 2,
+            hidden: vec![8],
+            train: tinyann::TrainConfig {
+                epochs: 60,
+                ..tinyann::TrainConfig::default()
+            },
+            ..tinyann::DistillConfig::default()
+        };
+        let student = predictor.distill(f.oracle, &distill);
+
+        // Plain run: no tier cell at all.
+        let mut plain = ProposedSystem::with_model(f.arch, f.oracle, f.model, predictor.clone());
+        let plain_metrics = Simulator::new(4).run(&plan, &mut plain);
+
+        // Tier cell held at Full for the whole run: bit-identical.
+        let cell = tier_cell();
+        let mut full = ProposedSystem::with_model(f.arch, f.oracle, f.model, predictor.clone())
+            .with_serving_tier(cell.clone(), student.clone());
+        let full_metrics = Simulator::new(4).run(&plan, &mut full);
+        assert_eq!(plain_metrics, full_metrics);
+        assert_eq!(full.stats().fallback_predictions, 0);
+        assert_eq!(full.stats().distilled_predictions, 0);
+
+        // Cell set to tier 1: completions are served by the student.
+        let cell = tier_cell();
+        cell.set(ServingTier::Distilled);
+        let mut browned = ProposedSystem::with_model(f.arch, f.oracle, f.model, predictor.clone())
+            .with_serving_tier(cell, student);
+        let _ = Simulator::new(4).run(&plan, &mut browned);
+        assert!(browned.stats().distilled_predictions > 0);
+        assert_eq!(browned.stats().fallback_predictions, 0);
+
+        // Cell set to tier 2: the kNN stage serves, counted as fallback.
+        let cell = tier_cell();
+        cell.set(ServingTier::Knn);
+        let mut knn = ProposedSystem::with_model(f.arch, f.oracle, f.model, predictor.clone())
+            .with_serving_tier(cell, None);
+        let _ = Simulator::new(4).run(&plan, &mut knn);
+        assert!(knn.stats().fallback_predictions > 0);
+        assert_eq!(knn.stats().distilled_predictions, 0);
+    }
+
+    #[test]
+    fn stepping_the_tier_cell_mid_run_switches_the_serving_path() {
+        use multicore_sim::{tier_cell, ServingTier, TierCell};
+
+        // A thin delegating scheduler that drops the tier after a fixed
+        // number of completions — standing in for the engine's brownout
+        // controller, which steps the same cell from outside the policy.
+        struct StepAfter<'a> {
+            inner: ProposedSystem<'a>,
+            cell: TierCell,
+            after: u64,
+            completions: u64,
+        }
+        impl Scheduler for StepAfter<'_> {
+            fn schedule(&mut self, job: &Job, cores: &CoreIndex, now: u64) -> Decision {
+                self.inner.schedule(job, cores, now)
+            }
+            fn idle_power_nj_per_cycle(&self, core: CoreId) -> f64 {
+                self.inner.idle_power_nj_per_cycle(core)
+            }
+            fn on_complete(&mut self, job: &Job, core: CoreId, now: u64) {
+                self.completions += 1;
+                if self.completions == self.after {
+                    self.cell.set(ServingTier::Static);
+                }
+                self.inner.on_complete(job, core, now);
+            }
+            fn on_preempt(&mut self, job: &Job, core: CoreId, now: u64) {
+                self.inner.on_preempt(job, core, now);
+            }
+            fn state_fingerprint(&self) -> u64 {
+                self.inner.state_fingerprint()
+            }
+        }
+
+        let f = fixture();
+        let plan = ArrivalPlan::uniform(300, 30_000_000, f.suite.len(), 49);
+        let predictor = BestCorePredictor::train(f.oracle, &PredictorConfig::fast());
+        let cell = tier_cell();
+        let inner = ProposedSystem::with_model(f.arch, f.oracle, f.model, predictor)
+            .with_serving_tier(cell.clone(), None);
+        // Predictions are made at profiling completions (one per
+        // benchmark), so the step must land while profiling is still in
+        // progress: the first completion of a run is always a profiling
+        // run, and with `after: 5` most of the suite is still unprofiled.
+        let mut stepped = StepAfter {
+            inner,
+            cell,
+            after: 5,
+            completions: 0,
+        };
+        let metrics = Simulator::new(4).run(&plan, &mut stepped);
+        assert_eq!(metrics.jobs_completed, 300);
+        let stats = stepped.inner.stats();
+        // Profiles completed before the step were served by the primary;
+        // ones after it by the static stage — so the fallback count sits
+        // strictly between 0 and the number of profiling runs.
+        assert!(stats.fallback_predictions > 0);
+        assert!(
+            stats.fallback_predictions < stats.profiling_runs,
+            "{} of {} profiling predictions degraded",
+            stats.fallback_predictions,
+            stats.profiling_runs
+        );
     }
 
     #[test]

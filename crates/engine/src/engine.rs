@@ -202,7 +202,7 @@ impl EngineSink {
             stall_cycles: self.metrics.stall_cycles().clone(),
             snapshots: self.snapshots.into_iter().collect(),
             snapshots_emitted: self.snapshots_emitted,
-            slo: SloReport::evaluate(slo, p99, energy_per_job, throughput),
+            slo: SloReport::evaluate(slo, totals.completions, p99, energy_per_job, throughput),
         }
     }
 }
@@ -442,6 +442,133 @@ mod tests {
             &cfg,
         );
         assert!(!fail.report.slo.passed());
+    }
+
+    #[test]
+    fn duplicate_event_timestamps_close_each_boundary_exactly_once() {
+        use multicore_sim::{CoreId, PlacementKind, TraceEvent};
+        use workloads::BenchmarkId;
+
+        // Two arrivals sharing a timestamp, then two completions sharing
+        // one that jumps past the 50k snapshot boundary: the boundary
+        // must close once (on the first of the pair), and the second
+        // event must fold into the already-open span, not re-close it.
+        let mut sink = EngineSink::new(2, &config());
+        for seq in 0..2 {
+            sink.record(TraceEvent::Arrival {
+                seq,
+                benchmark: BenchmarkId(0),
+                at: 0,
+                priority: 0,
+            });
+            sink.record(TraceEvent::Placement {
+                seq,
+                benchmark: BenchmarkId(0),
+                core: CoreId(seq as usize),
+                at: 0,
+                cycles: 60_000,
+                dynamic_nj: 1.0,
+                static_nj: 0.5,
+                kind: PlacementKind::Pass,
+            });
+        }
+        for seq in 0..2 {
+            sink.record(TraceEvent::Completion {
+                seq,
+                benchmark: BenchmarkId(0),
+                core: CoreId(seq as usize),
+                at: 60_000,
+                arrival: 0,
+                priority: 0,
+            });
+        }
+        let report = sink.finish(&SloPolicy::default());
+        assert_eq!(report.totals.arrivals, 2);
+        assert_eq!(report.totals.completions, 2);
+        // One full span [0, 50k) plus the final partial [50k, 60k).
+        assert_eq!(report.snapshots_emitted, 2);
+        assert_eq!(report.snapshots[0].arrivals, 2);
+        assert_eq!(report.snapshots[1].completions, 2);
+        assert_eq!(report.snapshots[1].end, 60_000);
+        let windowed: u64 = report.snapshots.iter().map(|s| s.completions).sum();
+        assert_eq!(windowed, report.latency_cycles.count());
+    }
+
+    #[test]
+    fn backdated_arrivals_fold_into_the_open_span_without_reopening_closed_ones() {
+        use multicore_sim::{CoreId, PlacementKind, TraceEvent};
+        use workloads::BenchmarkId;
+
+        let mut sink = EngineSink::new(2, &config());
+        sink.record(TraceEvent::Arrival {
+            seq: 0,
+            benchmark: BenchmarkId(0),
+            at: 0,
+            priority: 0,
+        });
+        sink.record(TraceEvent::Placement {
+            seq: 0,
+            benchmark: BenchmarkId(0),
+            core: CoreId(0),
+            at: 0,
+            cycles: 60_000,
+            dynamic_nj: 1.0,
+            static_nj: 0.5,
+            kind: PlacementKind::Pass,
+        });
+        // This completion closes the [0, 50k) span.
+        sink.record(TraceEvent::Completion {
+            seq: 0,
+            benchmark: BenchmarkId(0),
+            core: CoreId(0),
+            at: 60_000,
+            arrival: 0,
+            priority: 0,
+        });
+        // Boundaries close lazily: only a strictly later event proves
+        // the span is final, so nothing is emitted yet.
+        assert_eq!(sink.snapshots_emitted(), 0);
+        // An arrival backdated to 55k — earlier than the last event but
+        // still inside the open [50k, …) span — must land in that span
+        // and must not close the still-pending [0, 50k) boundary.
+        sink.record(TraceEvent::Arrival {
+            seq: 1,
+            benchmark: BenchmarkId(0),
+            at: 55_000,
+            priority: 0,
+        });
+        sink.record(TraceEvent::Placement {
+            seq: 1,
+            benchmark: BenchmarkId(0),
+            core: CoreId(0),
+            at: 60_000,
+            cycles: 10_000,
+            dynamic_nj: 1.0,
+            static_nj: 0.5,
+            kind: PlacementKind::Pass,
+        });
+        sink.record(TraceEvent::Completion {
+            seq: 1,
+            benchmark: BenchmarkId(0),
+            core: CoreId(0),
+            at: 70_000,
+            arrival: 55_000,
+            priority: 0,
+        });
+        // The completion at 70k is the first event past the 50k
+        // boundary's proof point, so exactly one span has closed; the
+        // backdated arrival itself closed nothing.
+        assert_eq!(sink.snapshots_emitted(), 1);
+        let report = sink.finish(&SloPolicy::default());
+        assert_eq!(report.totals.arrivals, 2);
+        assert_eq!(report.totals.completions, 2);
+        assert_eq!(report.snapshots_emitted, 2);
+        assert_eq!(report.snapshots[1].start, 50_000);
+        assert_eq!(
+            report.snapshots[1].arrivals, 1,
+            "backdated arrival lands in the open span"
+        );
+        assert_eq!(report.snapshots[1].end, 70_000);
     }
 
     #[test]

@@ -97,11 +97,7 @@ pub fn summary_markdown(name: &str, report: &EngineReport) -> String {
             );
         }
         let _ = writeln!(out);
-        let _ = writeln!(
-            out,
-            "**SLO: {}**",
-            if report.slo.passed() { "PASS" } else { "FAIL" }
-        );
+        let _ = writeln!(out, "**SLO: {}**", report.slo.verdict());
     }
     out
 }

@@ -36,7 +36,13 @@ mod slo;
 mod snapshot;
 
 pub mod export;
+pub mod overload;
 
 pub use engine::{run_streaming, EngineConfig, EngineReport, EngineSink, StreamOutcome};
+pub use overload::{
+    run_streaming_governed, AdmissionGate, BreakerConfig, BreakerState, BrownoutConfig,
+    GovernedOutcome, GovernorHandle, OverloadConfig, OverloadReport, OverloadSink, ShedPolicy,
+    TokenBucketConfig,
+};
 pub use slo::{SloCheck, SloPolicy, SloReport};
 pub use snapshot::Snapshot;

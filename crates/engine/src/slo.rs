@@ -42,16 +42,26 @@ pub struct SloCheck {
 pub struct SloReport {
     /// One entry per configured budget, in declaration order.
     pub checks: Vec<SloCheck>,
+    /// `true` when budgets were configured but the run completed zero
+    /// jobs: every per-job statistic (p99, energy per job) is degenerate
+    /// — 0 by convention, not by measurement — so the report refuses to
+    /// pass rather than trivially meeting `max_*` budgets with zeros.
+    pub insufficient_data: bool,
 }
 
 impl SloReport {
     /// Evaluate `policy` against the run's cumulative measurements.
+    /// `completions` guards the degenerate case: with budgets configured
+    /// but zero completed jobs the report is marked
+    /// [`insufficient_data`](Self::insufficient_data) and fails.
     pub fn evaluate(
         policy: &SloPolicy,
+        completions: u64,
         p99_latency_cycles: u64,
         energy_per_job_nj: f64,
         throughput_jobs_per_mcycle: f64,
     ) -> Self {
+        let insufficient_data = completions == 0 && !policy.is_empty();
         let mut checks = Vec::new();
         if let Some(budget) = policy.max_p99_latency_cycles {
             checks.push(SloCheck {
@@ -77,13 +87,28 @@ impl SloReport {
                 passed: throughput_jobs_per_mcycle >= budget,
             });
         }
-        SloReport { checks }
+        SloReport {
+            checks,
+            insufficient_data,
+        }
     }
 
     /// `true` when every configured budget was met (vacuously true for an
-    /// empty policy).
+    /// empty policy) and the run produced enough data to measure them.
     pub fn passed(&self) -> bool {
-        self.checks.iter().all(|check| check.passed)
+        !self.insufficient_data && self.checks.iter().all(|check| check.passed)
+    }
+
+    /// A three-way verdict string for reports: `"PASS"`, `"FAIL"`, or
+    /// `"NO DATA"` (budgets configured, zero completions).
+    pub fn verdict(&self) -> &'static str {
+        if self.insufficient_data {
+            "NO DATA"
+        } else if self.passed() {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     }
 }
 
@@ -93,9 +118,10 @@ mod tests {
 
     #[test]
     fn empty_policy_always_passes() {
-        let report = SloReport::evaluate(&SloPolicy::default(), u64::MAX, f64::MAX, 0.0);
+        let report = SloReport::evaluate(&SloPolicy::default(), 1, u64::MAX, f64::MAX, 0.0);
         assert!(report.checks.is_empty());
         assert!(report.passed());
+        assert_eq!(report.verdict(), "PASS");
     }
 
     #[test]
@@ -105,17 +131,41 @@ mod tests {
             max_energy_per_job_nj: Some(50.0),
             min_throughput_jobs_per_mcycle: Some(5.0),
         };
-        let pass = SloReport::evaluate(&policy, 1_000, 50.0, 5.0);
+        let pass = SloReport::evaluate(&policy, 100, 1_000, 50.0, 5.0);
         assert!(pass.passed(), "budgets are inclusive");
         assert_eq!(pass.checks.len(), 3);
 
-        let latency_blown = SloReport::evaluate(&policy, 1_001, 10.0, 9.0);
+        let latency_blown = SloReport::evaluate(&policy, 100, 1_001, 10.0, 9.0);
         assert!(!latency_blown.passed());
         assert!(!latency_blown.checks[0].passed);
         assert!(latency_blown.checks[1].passed);
+        assert_eq!(latency_blown.verdict(), "FAIL");
 
-        let too_slow = SloReport::evaluate(&policy, 10, 10.0, 4.9);
+        let too_slow = SloReport::evaluate(&policy, 100, 10, 10.0, 4.9);
         assert!(!too_slow.passed());
         assert!(!too_slow.checks[2].passed);
+    }
+
+    #[test]
+    fn zero_completions_is_insufficient_data_not_a_pass() {
+        // The degenerate run: nothing completed, so p99 and energy/job
+        // are 0 by convention. Budgets must not be trivially met by
+        // those zeros.
+        let policy = SloPolicy {
+            max_p99_latency_cycles: Some(1_000),
+            max_energy_per_job_nj: Some(50.0),
+            min_throughput_jobs_per_mcycle: None,
+        };
+        let report = SloReport::evaluate(&policy, 0, 0, 0.0, 0.0);
+        assert!(report.insufficient_data);
+        assert!(!report.passed());
+        assert_eq!(report.verdict(), "NO DATA");
+        // The individual checks still record what was (not) measured.
+        assert_eq!(report.checks.len(), 2);
+
+        // An empty policy stays vacuously true even with no completions.
+        let empty = SloReport::evaluate(&SloPolicy::default(), 0, 0, 0.0, 0.0);
+        assert!(!empty.insufficient_data);
+        assert!(empty.passed());
     }
 }

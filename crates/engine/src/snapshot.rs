@@ -30,6 +30,8 @@ pub struct Snapshot {
     pub faults: u64,
     /// Retries scheduled in the span.
     pub retries: u64,
+    /// Offered arrivals shed by the admission governor in the span.
+    pub sheds: u64,
     /// Ready-queue depth at the span's end boundary.
     pub ready_depth: u64,
     /// Net energy charged in the span (dynamic + static + idle), in nJ.
@@ -68,6 +70,7 @@ impl Snapshot {
         latency: &Histogram,
         cumulative: Cumulative,
     ) -> Self {
+        debug_assert!(end >= start, "snapshot span is reversed: [{start}, {end})");
         let mut snapshot = Snapshot {
             index,
             start,
@@ -78,6 +81,7 @@ impl Snapshot {
             evictions: 0,
             faults: 0,
             retries: 0,
+            sheds: 0,
             ready_depth: 0,
             energy_nj: 0.0,
             mean_utilisation: 0.0,
@@ -94,6 +98,7 @@ impl Snapshot {
             snapshot.evictions += point.evictions;
             snapshot.faults += point.faults;
             snapshot.retries += point.retries;
+            snapshot.sheds += point.sheds;
             snapshot.energy_nj += point.energy_nj();
             snapshot.mean_utilisation += point.mean_utilisation();
             snapshot.ready_depth = point.ready_depth;
@@ -126,5 +131,40 @@ impl Snapshot {
         } else {
             self.energy_nj / self.completions as f64
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cumulative() -> Cumulative {
+        Cumulative {
+            completions: 0,
+            p99_latency_cycles: 0,
+            energy_per_job_nj: 0.0,
+        }
+    }
+
+    #[test]
+    fn spans_are_constructed_in_order_and_measured_exactly() {
+        let latency = Histogram::new();
+        let snapshot = Snapshot::from_points(3, 30_000, 40_000, &[], &latency, cumulative());
+        assert_eq!(snapshot.span_cycles(), 10_000);
+        // A zero-length final span (run ends exactly on a boundary) is
+        // legal and must not underflow.
+        let empty = Snapshot::from_points(4, 40_000, 40_000, &[], &latency, cumulative());
+        assert_eq!(empty.span_cycles(), 0);
+        assert_eq!(empty.throughput_jobs_per_mcycle(), 0.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "snapshot span is reversed")]
+    fn reversed_spans_are_rejected_in_debug_builds() {
+        // `span_cycles` saturates, which would silently turn a reversed
+        // span into "zero cycles"; the constructor refuses it instead.
+        let latency = Histogram::new();
+        let _ = Snapshot::from_points(0, 40_000, 30_000, &[], &latency, cumulative());
     }
 }

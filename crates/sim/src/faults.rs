@@ -73,6 +73,109 @@ impl FallbackLevel {
     }
 }
 
+/// Why an offered arrival was refused admission by an overload governor
+/// (carried by [`Shed`](crate::trace::TraceEvent::Shed) events; the
+/// simulator itself never sheds — the engine's admission layer does).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShedReason {
+    /// The bounded admission queue was full (drop-tail).
+    QueueFull,
+    /// The arrival's projected queueing delay exceeded the age/deadline
+    /// bound of the deadline-based policy.
+    Deadline,
+    /// A low-priority arrival was refused while the governor protected
+    /// higher classes under pressure.
+    Priority,
+    /// The token-bucket rate limiter was out of tokens.
+    RateLimit,
+}
+
+impl ShedReason {
+    /// Stable lowercase name (used by the JSON trace schema).
+    pub fn name(self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue_full",
+            ShedReason::Deadline => "deadline",
+            ShedReason::Priority => "priority",
+            ShedReason::RateLimit => "rate_limit",
+        }
+    }
+}
+
+/// One rung of the serving-path degradation ladder a brownout controller
+/// steps through under SLO pressure. Tier 0 is the full-quality path;
+/// each higher tier trades prediction quality for decision cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ServingTier {
+    /// Full f64 bagged ensemble (normal serving).
+    Full = 0,
+    /// The distilled f32 student answers instead of the ensemble.
+    Distilled = 1,
+    /// The kNN fallback stage answers.
+    Knn = 2,
+    /// Static `BASE_CONFIG` placement, no prediction at all.
+    Static = 3,
+}
+
+impl ServingTier {
+    /// All tiers, mildest first (the ladder order).
+    pub const LADDER: [ServingTier; 4] = [
+        ServingTier::Full,
+        ServingTier::Distilled,
+        ServingTier::Knn,
+        ServingTier::Static,
+    ];
+
+    /// Stable lowercase name (used by JSON exports).
+    pub fn name(self) -> &'static str {
+        match self {
+            ServingTier::Full => "full",
+            ServingTier::Distilled => "distilled",
+            ServingTier::Knn => "knn",
+            ServingTier::Static => "static",
+        }
+    }
+
+    /// The next-worse rung (saturating at [`Static`](Self::Static)).
+    pub fn worse(self) -> ServingTier {
+        match self {
+            ServingTier::Full => ServingTier::Distilled,
+            ServingTier::Distilled => ServingTier::Knn,
+            ServingTier::Knn | ServingTier::Static => ServingTier::Static,
+        }
+    }
+
+    /// The next-better rung (saturating at [`Full`](Self::Full)).
+    pub fn better(self) -> ServingTier {
+        match self {
+            ServingTier::Full | ServingTier::Distilled => ServingTier::Full,
+            ServingTier::Knn => ServingTier::Distilled,
+            ServingTier::Static => ServingTier::Knn,
+        }
+    }
+
+    /// The fallback-chain level this tier forces on the prediction path
+    /// (`None` for the tiers served by the primary/distilled models).
+    pub fn fallback_level(self) -> Option<FallbackLevel> {
+        match self {
+            ServingTier::Full | ServingTier::Distilled => None,
+            ServingTier::Knn => Some(FallbackLevel::Knn),
+            ServingTier::Static => Some(FallbackLevel::Static),
+        }
+    }
+}
+
+/// A shared, interior-mutable serving-tier cell: the engine-side brownout
+/// controller writes it between scheduler calls, the scheduling system
+/// reads it when serving predictions. Single-threaded by construction
+/// (one simulation run owns both ends).
+pub type TierCell = std::rc::Rc<std::cell::Cell<ServingTier>>;
+
+/// A fresh tier cell starting at [`ServingTier::Full`].
+pub fn tier_cell() -> TierCell {
+    std::rc::Rc::new(std::cell::Cell::new(ServingTier::Full))
+}
+
 /// Availability of the prediction service at a point in time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PredictorHealth {

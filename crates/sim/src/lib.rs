@@ -61,14 +61,14 @@ mod trace;
 pub use core_index::{CoreIndex, CoreSet};
 
 pub use faults::{
-    AttemptFault, DegradedComponent, FallbackLevel, FaultConfig, FaultKind, FaultPlan, FaultStats,
-    FaultedRun, PredictorHealth,
+    tier_cell, AttemptFault, DegradedComponent, FallbackLevel, FaultConfig, FaultKind, FaultPlan,
+    FaultStats, FaultedRun, PredictorHealth, ServingTier, ShedReason, TierCell,
 };
 pub use job::{Job, JobExecution};
 pub use metrics::{ClassStats, RunMetrics};
 pub use scheduler::{BusyInfo, CoreId, CoreView, Decision, Scheduler};
 pub use simulator::{QueueDiscipline, Simulator};
 pub use trace::{
-    ledger_divergences, Fingerprint, LedgerAuditor, NullSink, PlacementKind, RecordingSink,
-    StallPurityChecked, TraceEvent, TraceSink,
+    ledger_divergences, Fingerprint, GovernedAudit, LedgerAuditor, NullSink, PlacementKind,
+    RecordingSink, StallPurityChecked, TraceEvent, TraceSink,
 };

@@ -225,6 +225,23 @@ pub enum TraceEvent {
         /// `true` on recovery, `false` on degradation.
         online: bool,
     },
+    /// An offered arrival was refused admission by the engine's overload
+    /// governor and never entered the simulator. Shed jobs live in the
+    /// *offered* sequence space (which counts every offered arrival,
+    /// admitted or not) — the simulator's per-admitted `seq` space never
+    /// sees them, so no placement/completion may ever reference one.
+    Shed {
+        /// Offered-stream sequence number (unique across the run).
+        offered: u64,
+        /// The benchmark the refused job would have executed.
+        benchmark: BenchmarkId,
+        /// The cycle the arrival was offered (and refused).
+        at: u64,
+        /// Its priority class.
+        priority: u8,
+        /// Which admission policy refused it.
+        reason: crate::faults::ShedReason,
+    },
 }
 
 impl TraceEvent {
@@ -241,7 +258,8 @@ impl TraceEvent {
             | TraceEvent::Fault { at, .. }
             | TraceEvent::Retry { at, .. }
             | TraceEvent::Fallback { at, .. }
-            | TraceEvent::Degraded { at, .. } => at,
+            | TraceEvent::Degraded { at, .. }
+            | TraceEvent::Shed { at, .. } => at,
             TraceEvent::IdleSpan { to, .. } => to,
         }
     }
@@ -261,6 +279,7 @@ impl TraceEvent {
             TraceEvent::Retry { .. } => "retry",
             TraceEvent::Fallback { .. } => "fallback",
             TraceEvent::Degraded { .. } => "degraded",
+            TraceEvent::Shed { .. } => "shed",
         }
     }
 }
@@ -503,6 +522,25 @@ struct Occupied {
     placed_at: u64,
 }
 
+/// The auditor's re-derivation of a governed (overload-controlled) run:
+/// the ordinary faulted ledger plus the admission ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GovernedAudit {
+    /// The replayed ledger and fault counters.
+    pub run: FaultedRun,
+    /// Jobs that entered the simulator (distinct `Arrival` events).
+    pub admitted: u64,
+    /// Offered arrivals refused by the admission layer (`Shed` events).
+    pub sheds: u64,
+}
+
+impl GovernedAudit {
+    /// Total arrivals offered to the admission layer.
+    pub fn offered(&self) -> u64 {
+        self.admitted + self.sheds
+    }
+}
+
 impl LedgerAuditor {
     /// An auditor for a run over `num_cores` cores.
     pub fn new(num_cores: usize) -> Self {
@@ -538,6 +576,26 @@ impl LedgerAuditor {
     ///
     /// Returns every structural violation found.
     pub fn replay_with_faults(&self, events: &[TraceEvent]) -> Result<FaultedRun, Vec<String>> {
+        self.replay_governed(events).map(|audit| audit.run)
+    }
+
+    /// Replay `events` like [`replay_with_faults`](Self::replay_with_faults),
+    /// additionally re-deriving the admission ledger of a *governed*
+    /// (overload-controlled) run: how many jobs were admitted into the
+    /// simulator and how many offered arrivals were shed by the engine's
+    /// admission layer. [`Shed`](TraceEvent::Shed) events are validated
+    /// (unique offered ids) and counted; they are exempt from the
+    /// chronological-watermark check because the governor flushes them
+    /// only after the simulator stream has advanced past their timestamp;
+    /// together with the existing job-conservation invariant this gives
+    /// the extended ledger `offered = admitted + shed` and
+    /// `admitted = completed + abandoned` — nothing offered is ever lost
+    /// silently.
+    ///
+    /// # Errors
+    ///
+    /// Returns every structural violation found.
+    pub fn replay_governed(&self, events: &[TraceEvent]) -> Result<GovernedAudit, Vec<String>> {
         let mut violations: Vec<String> = Vec::new();
         let mut energy = EnergyBreakdown::new();
         let mut busy_cycles = vec![0u64; self.num_cores];
@@ -563,15 +621,27 @@ impl LedgerAuditor {
         let mut retry_not_before: HashMap<u64, u64> = HashMap::new();
         let mut predictor = crate::faults::PredictorHealth::Healthy;
 
+        // Admission-governor state (empty unless the run was governed).
+        let mut shed_ids: HashSet<u64> = HashSet::new();
+        let mut sheds = 0u64;
+
         for (index, event) in events.iter().enumerate() {
             let at = event.at();
-            if at < watermark {
-                violations.push(format!(
-                    "event {index} ({}) at cycle {at} behind watermark {watermark}",
-                    event.kind_name()
-                ));
+            // `Shed` is exempt from the watermark: sheds are engine-side
+            // events that legitimately trail the simulator stream — a shed
+            // arrival never became a simulator stop point, so the governor
+            // can only flush it once the stream has provably advanced past
+            // its timestamp (the drain-safety rule). Sheds also never move
+            // the watermark forward.
+            if !matches!(event, TraceEvent::Shed { .. }) {
+                if at < watermark {
+                    violations.push(format!(
+                        "event {index} ({}) at cycle {at} behind watermark {watermark}",
+                        event.kind_name()
+                    ));
+                }
+                watermark = watermark.max(at);
             }
-            watermark = watermark.max(at);
             if let Some(core) = match *event {
                 TraceEvent::IdleSpan { core, .. }
                 | TraceEvent::Placement { core, .. }
@@ -587,7 +657,8 @@ impl LedgerAuditor {
                 | TraceEvent::Stall { .. }
                 | TraceEvent::Retry { .. }
                 | TraceEvent::Fallback { .. }
-                | TraceEvent::Degraded { .. } => None,
+                | TraceEvent::Degraded { .. }
+                | TraceEvent::Shed { .. } => None,
             } {
                 if core.0 >= self.num_cores {
                     violations.push(format!(
@@ -958,6 +1029,14 @@ impl LedgerAuditor {
                     }
                     faults.degraded_transitions += 1;
                 }
+                TraceEvent::Shed { offered, .. } => {
+                    if !shed_ids.insert(offered) {
+                        violations.push(format!(
+                            "offered arrival #{offered} shed twice (event {index})"
+                        ));
+                    }
+                    sheds += 1;
+                }
             }
         }
 
@@ -986,19 +1065,23 @@ impl LedgerAuditor {
         if !violations.is_empty() {
             return Err(violations);
         }
-        Ok(FaultedRun {
-            metrics: RunMetrics {
-                energy,
-                total_cycles: last_completion,
-                jobs_completed,
-                stalls: stall_episodes,
-                stall_offers,
-                busy_cycles,
-                turnaround_cycles: turnaround,
-                by_priority,
-                preemptions,
+        Ok(GovernedAudit {
+            run: FaultedRun {
+                metrics: RunMetrics {
+                    energy,
+                    total_cycles: last_completion,
+                    jobs_completed,
+                    stalls: stall_episodes,
+                    stall_offers,
+                    busy_cycles,
+                    turnaround_cycles: turnaround,
+                    by_priority,
+                    preemptions,
+                },
+                faults,
             },
-            faults,
+            admitted: arrived.len() as u64,
+            sheds,
         })
     }
 
@@ -1040,6 +1123,48 @@ impl LedgerAuditor {
             divergences.push(format!(
                 "fault counters: derived {:?} != reported {:?}",
                 derived.faults, run.faults
+            ));
+        }
+        if divergences.is_empty() {
+            Ok(())
+        } else {
+            Err(divergences)
+        }
+    }
+
+    /// Replay a governed run's events and enforce the extended
+    /// conservation invariant against what the overload governor
+    /// reported: every counter exactly, energies to the bit, and
+    /// `offered = admitted + shed` with the trace-derived admission
+    /// ledger matching the governor's own counts. Combined with the
+    /// structural replay (every admitted arrival completes or is
+    /// explicitly abandoned, no core still occupied at the horizon),
+    /// this proves no offered arrival was dropped off the books.
+    ///
+    /// # Errors
+    ///
+    /// Returns structural violations from
+    /// [`replay_governed`](Self::replay_governed), or the list of
+    /// ledger / admission divergences.
+    pub fn check_governed(
+        &self,
+        events: &[TraceEvent],
+        metrics: &RunMetrics,
+        offered: u64,
+        shed: u64,
+    ) -> Result<(), Vec<String>> {
+        let audit = self.replay_governed(events)?;
+        let mut divergences = ledger_divergences(&audit.run.metrics, metrics);
+        if audit.sheds != shed {
+            divergences.push(format!(
+                "sheds: trace carries {} Shed events, governor reported {shed}",
+                audit.sheds
+            ));
+        }
+        if audit.offered() != offered {
+            divergences.push(format!(
+                "admission conservation: {} admitted + {} shed != {offered} offered",
+                audit.admitted, audit.sheds
             ));
         }
         if divergences.is_empty() {
@@ -1402,6 +1527,136 @@ mod tests {
             .unwrap_err();
         assert!(
             violations.iter().any(|v| v.contains("backoff")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn governed_audit_counts_sheds_and_enforces_conservation() {
+        use crate::faults::ShedReason;
+        let shed = |offered, at| TraceEvent::Shed {
+            offered,
+            benchmark: BenchmarkId(3),
+            at,
+            priority: 0,
+            reason: ShedReason::QueueFull,
+        };
+        let events = vec![
+            TraceEvent::Arrival {
+                seq: 0,
+                benchmark: BenchmarkId(0),
+                at: 0,
+                priority: 0,
+            },
+            shed(1, 2),
+            TraceEvent::Placement {
+                seq: 0,
+                benchmark: BenchmarkId(0),
+                core: CoreId(0),
+                at: 3,
+                cycles: 10,
+                dynamic_nj: 1.0,
+                static_nj: 0.0,
+                kind: PlacementKind::Pass,
+            },
+            shed(2, 5),
+            TraceEvent::Completion {
+                seq: 0,
+                benchmark: BenchmarkId(0),
+                core: CoreId(0),
+                at: 13,
+                arrival: 0,
+                priority: 0,
+            },
+        ];
+        let audit = LedgerAuditor::new(1).replay_governed(&events).unwrap();
+        assert_eq!(audit.admitted, 1);
+        assert_eq!(audit.sheds, 2);
+        assert_eq!(audit.offered(), 3);
+        let metrics = audit.run.metrics.clone();
+        LedgerAuditor::new(1)
+            .check_governed(&events, &metrics, 3, 2)
+            .unwrap();
+        // A governor misreporting its shed count (or the offered total)
+        // is a divergence.
+        let divergences = LedgerAuditor::new(1)
+            .check_governed(&events, &metrics, 3, 1)
+            .unwrap_err();
+        assert!(
+            divergences.iter().any(|d| d.contains("sheds")),
+            "{divergences:?}"
+        );
+        let divergences = LedgerAuditor::new(1)
+            .check_governed(&events, &metrics, 4, 2)
+            .unwrap_err();
+        assert!(
+            divergences.iter().any(|d| d.contains("conservation")),
+            "{divergences:?}"
+        );
+    }
+
+    #[test]
+    fn late_flushed_sheds_are_exempt_from_the_watermark() {
+        use crate::faults::ShedReason;
+        // The governor flushes a shed only once the forwarded stream has
+        // advanced past its timestamp, so a Shed legitimately appears
+        // *after* later-timestamped events — and must not trip the
+        // chronological watermark nor advance it for subsequent events.
+        let events = vec![
+            TraceEvent::Arrival {
+                seq: 0,
+                benchmark: BenchmarkId(0),
+                at: 0,
+                priority: 0,
+            },
+            TraceEvent::Placement {
+                seq: 0,
+                benchmark: BenchmarkId(0),
+                core: CoreId(0),
+                at: 0,
+                cycles: 10,
+                dynamic_nj: 1.0,
+                static_nj: 0.0,
+                kind: PlacementKind::Pass,
+            },
+            TraceEvent::Completion {
+                seq: 0,
+                benchmark: BenchmarkId(0),
+                core: CoreId(0),
+                at: 10,
+                arrival: 0,
+                priority: 0,
+            },
+            // Flushed late: shed at cycle 4, emitted after the cycle-10
+            // completion.
+            TraceEvent::Shed {
+                offered: 1,
+                benchmark: BenchmarkId(2),
+                at: 4,
+                priority: 0,
+                reason: ShedReason::Deadline,
+            },
+        ];
+        let audit = LedgerAuditor::new(1).replay_governed(&events).unwrap();
+        assert_eq!(audit.admitted, 1);
+        assert_eq!(audit.sheds, 1);
+    }
+
+    #[test]
+    fn duplicate_shed_ids_are_a_violation() {
+        use crate::faults::ShedReason;
+        let shed = TraceEvent::Shed {
+            offered: 7,
+            benchmark: BenchmarkId(0),
+            at: 1,
+            priority: 0,
+            reason: ShedReason::RateLimit,
+        };
+        let violations = LedgerAuditor::new(1)
+            .replay_governed(&[shed, shed])
+            .unwrap_err();
+        assert!(
+            violations.iter().any(|v| v.contains("shed twice")),
             "{violations:?}"
         );
     }

@@ -84,6 +84,7 @@ struct WindowAcc {
     faults: u64,
     retries: u64,
     fallbacks: u64,
+    sheds: u64,
     dynamic_nj: f64,
     static_nj: f64,
     cores: Vec<CoreAcc>,
@@ -121,6 +122,9 @@ pub struct RunTotals {
     pub fallbacks: u64,
     /// Component availability transitions.
     pub degraded_transitions: u64,
+    /// Offered arrivals refused by the admission governor (these jobs
+    /// never entered the ready queue).
+    pub sheds: u64,
     /// Net dynamic energy charged, in nJ (refunds subtracted).
     pub dynamic_nj: f64,
     /// Net busy-leakage energy charged, in nJ.
@@ -174,6 +178,8 @@ pub struct SeriesPoint {
     pub retries: u64,
     /// Fallback-served completions.
     pub fallbacks: u64,
+    /// Offered arrivals shed by the admission governor in this window.
+    pub sheds: u64,
     /// Ready-queue depth at the window's end boundary.
     pub ready_depth: u64,
     /// Net dynamic energy charged in this window, in nJ (eviction and
@@ -240,7 +246,7 @@ impl TelemetryReport {
     pub fn to_registry(&self, system: &str) -> Registry {
         let labels: &[(&str, &str)] = &[("system", system)];
         let mut registry = Registry::new();
-        let pairs: [(&str, u64); 13] = [
+        let pairs: [(&str, u64); 14] = [
             ("sched_arrivals_total", self.totals.arrivals),
             ("sched_placements_total", self.totals.placements),
             ("sched_completions_total", self.totals.completions),
@@ -259,6 +265,7 @@ impl TelemetryReport {
                 "sched_degraded_transitions_total",
                 self.totals.degraded_transitions,
             ),
+            ("sched_sheds_total", self.totals.sheds),
             ("sched_horizon_cycles", self.horizon),
         ];
         for (name, value) in pairs {
@@ -502,6 +509,7 @@ impl MetricsSink {
                 faults: acc.faults,
                 retries: acc.retries,
                 fallbacks: acc.fallbacks,
+                sheds: acc.sheds,
                 ready_depth: acc.ready_depth_end.unwrap_or(self.ready),
                 dynamic_nj: acc.dynamic_nj,
                 static_nj: acc.static_nj,
@@ -610,6 +618,7 @@ impl MetricsSink {
                 faults: acc.faults,
                 retries: acc.retries,
                 fallbacks: acc.fallbacks,
+                sheds: acc.sheds,
                 ready_depth: acc.ready_depth_end.unwrap_or(self.ready),
                 dynamic_nj: acc.dynamic_nj,
                 static_nj: acc.static_nj,
@@ -887,6 +896,12 @@ impl TraceSink for MetricsSink {
             TraceEvent::Fallback { .. } => {
                 self.totals.fallbacks += 1;
                 self.window_mut(window).fallbacks += 1;
+            }
+            TraceEvent::Shed { .. } => {
+                // Shed jobs never entered the ready queue, so depth and
+                // job-slot state are untouched — only the counters move.
+                self.totals.sheds += 1;
+                self.window_mut(window).sheds += 1;
             }
             TraceEvent::Degraded {
                 at,

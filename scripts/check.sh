@@ -53,6 +53,9 @@ echo "==> telemetry --smoke (span profiler + metrics sink across all systems)"
 echo "==> engine --smoke (streaming service: open-loop load, bounded-memory runs)"
 ./target/release/engine --smoke
 
+echo "==> engine --overload-smoke (admission control + brownout under a storm)"
+./target/release/engine --overload-smoke
+
 echo "==> scaling --smoke (many-core sweep through 64 cores, indexed loop)"
 ./target/release/scaling --smoke
 
