@@ -39,6 +39,14 @@
 //! service after the storm. The report lands in the artifact's
 //! `"overload"` section.
 //!
+//! Finally, a **burn-rate drill** replays the storm through the
+//! observability plane with the SLO burn-rate alert wired to a
+//! serving-tier floor: the drill gates on the full causal lifecycle —
+//! the paging rule fires under sustained budget burn, the firing alert
+//! browns the service out to the distilled tier, and the post-storm
+//! quiet resolves the alert and lifts the floor. The transition
+//! timeline lands in the artifact's `"burn"` section.
+//!
 //! Usage: `chaos [--smoke]`
 //!
 //! * `--smoke` — one seed, two rates, reduced jobs (`scripts/check.sh`).
@@ -55,10 +63,10 @@ use hetero_core::{
     ProposedSystem, SuiteOracle, SystemStats,
 };
 use hetero_engine::{
-    run_streaming_governed, BrownoutConfig, EngineConfig, GovernorHandle, OverloadConfig,
-    ShedPolicy, SloPolicy,
+    run_streaming_governed, run_streaming_observed, BrownoutConfig, EngineConfig, GovernorHandle,
+    ObserveConfig, OverloadConfig, ShedPolicy, SloPolicy,
 };
-use hetero_telemetry::Histogram;
+use hetero_telemetry::{AlertState, BurnRateRule, Histogram};
 use multicore_sim::{
     tier_cell, FaultConfig, FaultPlan, FaultStats, FaultedRun, LedgerAuditor, QueueDiscipline,
     RecordingSink, Scheduler, ServingTier, Simulator, StallPurityChecked, TierCell, TraceEvent,
@@ -694,6 +702,239 @@ fn overload_drill(testbed: &Testbed, smoke: bool) -> (Json, Vec<String>) {
     (section, problems)
 }
 
+/// Burn-rate storm drill: the same storm-then-trickle shape pushed
+/// through the *observability plane* on the proposed system, with the
+/// SLO burn-rate rule wired to a serving-tier floor instead of the
+/// queue-depth brownout controller. The drill demands the full alert
+/// lifecycle in causal order:
+///
+/// 1. **fire** — sustained storm latency burns the p99 budget and the
+///    paging rule transitions `pending → firing`;
+/// 2. **brownout** — the firing alert engages the serving-tier floor
+///    (the governor's ladder steps down and dwells below full);
+/// 3. **resolve** — the post-storm trickle rolls quiet windows, the
+///    rule clears, and the lifted floor returns the tier to full.
+///
+/// Returns the `"burn"` report section and any violated gates.
+fn burn_drill(testbed: &Testbed, smoke: bool) -> (Json, Vec<String>) {
+    let num_cores = testbed.arch.num_cores();
+    let suite_len = testbed.suite.len();
+    let mean_cycles = (testbed
+        .oracle
+        .benchmarks()
+        .map(|b| testbed.oracle.best_config(b).1.cycles)
+        .sum::<u64>() as f64
+        / suite_len as f64)
+        .max(1.0) as u64;
+    let max_cycles = testbed
+        .oracle
+        .benchmarks()
+        .map(|b| testbed.oracle.best_config(b).1.cycles)
+        .max()
+        .unwrap_or(mean_cycles);
+
+    // Storm at 2.5x sustainable, then a light trickle (one arrival per
+    // base window) long enough for the backlog to drain, the slow burn
+    // window to forget the storm, and the clearing streak to complete.
+    let storm_gap = (mean_cycles / (num_cores as u64 * 5 / 2)).max(1);
+    let (storm_jobs, trickle_jobs) = if smoke {
+        (150u64, 60u64)
+    } else {
+        (600u64, 60u64)
+    };
+    let storm_end = storm_jobs * storm_gap;
+    let arrivals: Vec<Arrival> = (0..storm_jobs)
+        .map(|i| (i * storm_gap, i))
+        .chain((0..trickle_jobs).map(|i| (storm_end + (i + 1) * mean_cycles, storm_jobs + i)))
+        .map(|(time, i)| Arrival {
+            time,
+            benchmark: BenchmarkId(i as usize % suite_len),
+            priority: (i % 3) as u8,
+        })
+        .collect();
+
+    // A bounded drop-tail queue keeps storm latency finite (and the
+    // drill fast) without any tier control of its own: every tier move
+    // here is the alert floor's doing.
+    let queue_capacity = num_cores as u64 * 8;
+    let overload = OverloadConfig {
+        queue_capacity: Some(queue_capacity),
+        policy: ShedPolicy::DropTail,
+        rate_limit: None,
+        brownout: None,
+        breaker: None,
+    };
+    // Any wait beyond roughly one mean service is "bad": storm queueing
+    // (~8 means deep) breaches it, pure trickle service never does.
+    let rule = BurnRateRule {
+        name: "p99-latency".to_string(),
+        latency_budget_cycles: max_cycles + mean_cycles,
+        error_budget: 0.01,
+        fast_windows: 3,
+        slow_windows: 12,
+        fire_burn_rate: 6.0,
+        clear_burn_rate: 1.0,
+        sustain_evals: 4,
+        clear_evals: 3,
+    };
+    let observe = ObserveConfig {
+        rules: vec![rule.clone()],
+        assemble_spans: false,
+        alert_tier_floor: Some(ServingTier::Distilled),
+        serve_port: None,
+    };
+    let engine_config = EngineConfig {
+        window_cycles: mean_cycles,
+        snapshot_windows: 4,
+        max_snapshots: 64,
+        slo: SloPolicy::default(),
+    };
+
+    let sim = Simulator::new(num_cores);
+    let cell = tier_cell();
+    let mut system = overload_system(testbed, 3, Some(cell.clone()), None);
+    let outcome = run_streaming_observed(
+        &sim,
+        arrivals.iter().copied(),
+        &mut *system,
+        &engine_config,
+        &overload,
+        &observe,
+        Some(cell),
+    );
+    let alerts = &outcome.alerts;
+    let report = &outcome.overload;
+
+    let fired_at = alerts
+        .transitions
+        .iter()
+        .find(|t| t.to == AlertState::Firing)
+        .map(|t| t.at);
+    let resolved_at = alerts
+        .transitions
+        .iter()
+        .find(|t| t.from == AlertState::Firing && t.to == AlertState::Inactive)
+        .map(|t| t.at);
+
+    println!(
+        "\nburn drill: storm {storm_jobs} jobs @2.5x sustainable, trickle {trickle_jobs}, \
+         p99 budget {} cycles, floor distilled",
+        rule.latency_budget_cycles
+    );
+    println!(
+        "  fired {} resolved {}  floor engagements {}  tier transitions {}  \
+         dwell distilled {} cycles  final tier {}",
+        alerts.fired,
+        alerts.resolved,
+        report.alert_floor_engagements,
+        report.tier_transitions,
+        report.tier_dwell_cycles[1],
+        report.final_tier.name(),
+    );
+    match (fired_at, resolved_at) {
+        (Some(fire), Some(resolve)) => println!(
+            "  lifecycle: fired at cycle {fire} (storm ends {storm_end}) -> \
+             browned out -> resolved at cycle {resolve} -> floor lifted"
+        ),
+        _ => println!("  lifecycle incomplete (see gate failures)"),
+    }
+
+    let mut problems = Vec::new();
+    if alerts.fired == 0 {
+        problems.push("burn drill: the storm never fired the paging rule".to_string());
+    }
+    if report.alert_floor_engagements == 0 {
+        problems.push("burn drill: the firing alert never engaged the tier floor".to_string());
+    }
+    if report.tier_dwell_cycles[1] == 0 {
+        problems.push("burn drill: the service never dwelled at the distilled floor".to_string());
+    }
+    if alerts.resolved == 0 || !alerts.firing().is_empty() {
+        problems.push(format!(
+            "burn drill: the alert never resolved (still firing: {:?})",
+            alerts.firing()
+        ));
+    }
+    if report.alert_floor != ServingTier::Full {
+        problems.push(format!(
+            "burn drill: the floor was never lifted (still {})",
+            report.alert_floor.name()
+        ));
+    }
+    if report.final_tier != ServingTier::Full {
+        problems.push(format!(
+            "burn drill: finished at tier {} instead of full serving",
+            report.final_tier.name()
+        ));
+    }
+    if let (Some(fire), Some(resolve)) = (fired_at, resolved_at) {
+        if fire >= resolve {
+            problems.push(format!(
+                "burn drill: resolve at {resolve} does not follow fire at {fire}"
+            ));
+        }
+    }
+
+    let section = Json::object([
+        ("storm_jobs", Json::UInt(storm_jobs)),
+        ("trickle_jobs", Json::UInt(trickle_jobs)),
+        ("storm_gap_cycles", Json::UInt(storm_gap)),
+        ("queue_capacity", Json::UInt(queue_capacity)),
+        (
+            "latency_budget_cycles",
+            Json::UInt(rule.latency_budget_cycles),
+        ),
+        ("fire_burn_rate", Json::Num(rule.fire_burn_rate)),
+        ("clear_burn_rate", Json::Num(rule.clear_burn_rate)),
+        ("fired", Json::UInt(alerts.fired)),
+        ("resolved", Json::UInt(alerts.resolved)),
+        (
+            "fired_at_cycle",
+            fired_at.map(Json::UInt).unwrap_or(Json::Null),
+        ),
+        (
+            "resolved_at_cycle",
+            resolved_at.map(Json::UInt).unwrap_or(Json::Null),
+        ),
+        (
+            "alert_floor_engagements",
+            Json::UInt(report.alert_floor_engagements),
+        ),
+        ("tier_transitions", Json::UInt(report.tier_transitions)),
+        (
+            "tier_dwell_cycles",
+            Json::Array(
+                report
+                    .tier_dwell_cycles
+                    .iter()
+                    .map(|&d| Json::UInt(d))
+                    .collect(),
+            ),
+        ),
+        ("final_tier", Json::str(report.final_tier.name())),
+        (
+            "transitions",
+            Json::Array(
+                alerts
+                    .transitions
+                    .iter()
+                    .map(|t| {
+                        Json::object([
+                            ("at", Json::UInt(t.at)),
+                            ("rule", Json::str(t.name.clone())),
+                            ("from", Json::str(t.from.name())),
+                            ("to", Json::str(t.to.name())),
+                            ("fast_burn", Json::Num(t.fast_burn)),
+                            ("slow_burn", Json::Num(t.slow_burn)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    (section, problems)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -832,6 +1073,16 @@ fn main() -> ExitCode {
         }
     }
 
+    // Burn-rate drill: the SLO alert engine drives the brownout instead
+    // of the queue-depth controller — fire, floor, resolve, lift.
+    let (burn_section, burn_problems) = burn_drill(&testbed, smoke);
+    if !burn_problems.is_empty() {
+        failures += 1;
+        for problem in &burn_problems {
+            eprintln!("    {problem}");
+        }
+    }
+
     if failures > 0 {
         eprintln!("CHAOS SWEEP FAILED: {failures} run(s) violated degradation guarantees");
         return ExitCode::FAILURE;
@@ -853,6 +1104,7 @@ fn main() -> ExitCode {
             ("rows", Json::Array(rows)),
             ("drift", drift_row),
             ("overload", overload_section),
+            ("burn", burn_section),
         ]);
         let path = "results/BENCH_chaos.json";
         match std::fs::write(path, doc.to_pretty()) {
@@ -866,7 +1118,8 @@ fn main() -> ExitCode {
 
     println!(
         "CHAOS SWEEP PASSED: jobs conserved, retries bounded, ledgers bit-exact, \
-         stall paths pure, drift repaired online, overload shed and recovered"
+         stall paths pure, drift repaired online, overload shed and recovered, \
+         burn alert fired and resolved"
     );
     ExitCode::SUCCESS
 }

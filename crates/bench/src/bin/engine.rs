@@ -14,6 +14,7 @@
 //! engine [--system base|optimal|energy|proposed|all] [--process poisson|bursty|diurnal|ramp|mix]
 //!        [--jobs N] [--rate R] [--seed S] [--export PATH.json] [--csv] [--md]
 //!        [--slo-p99 CYCLES] [--slo-energy NJ] [--smoke] [--overload-smoke]
+//!        [--serve PORT] [--linger SECS] [--perfetto PATH.json] [--serve-smoke]
 //! engine compare OLD.json NEW.json
 //! ```
 //!
@@ -34,17 +35,34 @@
 //!   bounded queue, brownout ladder. Prints the overload report and
 //!   exits non-zero unless the run shed, stayed bounded, and recovered
 //!   to full serving (used by `scripts/check.sh`).
+//! * `--serve PORT` — run ONE system (the selected one; `all` falls
+//!   back to `proposed`) with the live observability plane attached: an
+//!   HTTP endpoint on `127.0.0.1:PORT` answers `/metrics` (Prometheus
+//!   text), `/health` (alert + progress JSON), and `/snapshot` (the
+//!   snapshot ring's tail) *during* the run, polled at snapshot
+//!   boundaries. `--linger SECS` keeps answering on the final state
+//!   after the run completes.
+//! * `--perfetto PATH.json` — assemble causal job/core spans over the
+//!   same single-system run and write a Chrome trace-event JSON
+//!   artifact loadable at `ui.perfetto.dev` (schema-validated before it
+//!   is written). Composes with `--serve`.
+//! * `--serve-smoke` — scrape all three endpoints from client threads
+//!   while a short small-testbed run is live, then round-trip the
+//!   Perfetto artifact through the in-repo JSON parser; exits non-zero
+//!   on any miss (used by `scripts/check.sh`).
 //!
 //! `engine compare` diffs two exported artifacts system-by-system and
 //! flags regressions in throughput, p99 latency, and energy per job.
 
 use hetero_bench::json::Json;
+use hetero_bench::perfetto::{perfetto_document, validate_perfetto};
 use hetero_bench::Testbed;
 use hetero_core::{BaseSystem, EnergyCentricSystem, OptimalSystem, ProposedSystem};
 use hetero_engine::{
     export, run_streaming, run_streaming_governed, BrownoutConfig, EngineConfig, EngineReport,
-    OverloadConfig, ShedPolicy, SloPolicy, StreamOutcome,
+    ObserveConfig, ObservedSink, OverloadConfig, ShedPolicy, SloPolicy, StreamOutcome,
 };
+use hetero_telemetry::BurnRateRule;
 use multicore_sim::{tier_cell, Scheduler, ServingTier, Simulator};
 use std::process::ExitCode;
 use workloads::{Arrival, Compose, OpenLoop};
@@ -65,6 +83,10 @@ struct Options {
     slo_energy: Option<f64>,
     smoke: bool,
     overload_smoke: bool,
+    serve: Option<u16>,
+    linger: f64,
+    perfetto: Option<String>,
+    serve_smoke: bool,
 }
 
 impl Options {
@@ -82,6 +104,10 @@ impl Options {
             slo_energy: None,
             smoke: false,
             overload_smoke: false,
+            serve: None,
+            linger: 0.0,
+            perfetto: None,
+            serve_smoke: false,
         };
         let mut iter = args.iter();
         while let Some(arg) = iter.next() {
@@ -127,6 +153,20 @@ impl Options {
                 }
                 "--smoke" => options.smoke = true,
                 "--overload-smoke" => options.overload_smoke = true,
+                "--serve" => {
+                    options.serve = Some(
+                        value("--serve")?
+                            .parse()
+                            .map_err(|e| format!("--serve: {e}"))?,
+                    )
+                }
+                "--linger" => {
+                    options.linger = value("--linger")?
+                        .parse()
+                        .map_err(|e| format!("--linger: {e}"))?
+                }
+                "--perfetto" => options.perfetto = Some(value("--perfetto")?),
+                "--serve-smoke" => options.serve_smoke = true,
                 unknown => return Err(format!("unknown argument: {unknown}")),
             }
         }
@@ -564,6 +604,325 @@ fn overload_smoke() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// One scheduling system as a trait object, for the single-system
+/// observed path (the fan-out path stays monomorphised).
+fn boxed_system<'t>(testbed: &'t Testbed, system_index: usize) -> Box<dyn Scheduler + 't> {
+    let num_cores = testbed.arch.num_cores();
+    match system_index {
+        0 => Box::new(BaseSystem::new(&testbed.oracle, testbed.model, num_cores)),
+        1 => Box::new(OptimalSystem::new(
+            &testbed.arch,
+            &testbed.oracle,
+            testbed.model,
+        )),
+        2 => Box::new(EnergyCentricSystem::new(
+            &testbed.arch,
+            &testbed.oracle,
+            testbed.model,
+            testbed.predictor.clone(),
+        )),
+        _ => Box::new(ProposedSystem::with_model(
+            &testbed.arch,
+            &testbed.oracle,
+            testbed.model,
+            testbed.predictor.clone(),
+        )),
+    }
+}
+
+/// `engine --serve PORT` / `--perfetto PATH`: one system served through
+/// the live observability plane — scrape endpoint polled at snapshot
+/// boundaries while the run is hot, burn-rate alerting on the p99
+/// budget, and (with `--perfetto`) causal spans written out as a
+/// Chrome trace-event artifact.
+fn observed_run(options: &Options) -> ExitCode {
+    let testbed = if options.smoke {
+        Testbed::small()
+    } else {
+        Testbed::paper()
+    };
+    let system_index = match options.system.as_str() {
+        "all" => {
+            println!("(--serve/--perfetto observe one system; defaulting to proposed)");
+            3
+        }
+        name => SYSTEMS.iter().position(|s| *s == name).expect("validated"),
+    };
+    let name = SYSTEMS[system_index];
+    let num_cores = testbed.arch.num_cores();
+    let config = EngineConfig {
+        slo: options.policy(),
+        ..EngineConfig::default()
+    };
+    // The paging rule pages on sustained p99 burn against the CLI
+    // budget; without `--slo-p99` a loose default keeps it quiet on
+    // healthy runs while still exercising the alert path.
+    let latency_budget = options.slo_p99.unwrap_or(5_000_000);
+    let observe = ObserveConfig {
+        rules: vec![BurnRateRule::paging("p99-latency", latency_budget)],
+        assemble_spans: options.perfetto.is_some(),
+        alert_tier_floor: None,
+        serve_port: options.serve,
+    };
+    let mut plane = ObservedSink::new(num_cores, &config, &observe, None);
+    if let Some(addr) = plane.serve_addr() {
+        println!("scrape endpoint live on http://{addr} (/metrics /health /snapshot)");
+    }
+    let stream = arrivals(
+        &options.process,
+        options.rate,
+        testbed.suite.len(),
+        options.seed,
+        options.jobs,
+    )
+    .expect("validated before the run started");
+    let mut system = boxed_system(&testbed, system_index);
+    let metrics = Simulator::new(num_cores).run_stream(stream, &mut *system, &mut plane);
+
+    if options.serve.is_some() && options.linger > 0.0 {
+        println!(
+            "run complete; serving the final state for another {:.1}s",
+            options.linger
+        );
+        let deadline =
+            std::time::Instant::now() + std::time::Duration::from_secs_f64(options.linger);
+        while std::time::Instant::now() < deadline {
+            plane.poll_server();
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+    }
+    let outcome = plane.finish(&config);
+    let report = &outcome.report;
+
+    let mut failures = 0u32;
+    println!(
+        "{name}: completed {} of {} jobs, {:.3} jobs/Mcyc, p99 {} cycles, SLO {}",
+        report.totals.completions,
+        options.jobs,
+        report.throughput_jobs_per_mcycle(),
+        report.latency_cycles.p99(),
+        report.slo.verdict()
+    );
+    if metrics.jobs_completed != options.jobs as u64 {
+        eprintln!(
+            "  FAIL: completed {} of {} jobs",
+            metrics.jobs_completed, options.jobs
+        );
+        failures += 1;
+    }
+    if !report.slo.passed() {
+        failures += 1;
+    }
+    for rule in &outcome.alerts.rules {
+        println!(
+            "  alert {:<14} {:<8} fast burn {:.3} slow burn {:.3} (fired {} resolved {})",
+            rule.name,
+            rule.state.name(),
+            rule.burn_rates.0,
+            rule.burn_rates.1,
+            outcome.alerts.fired,
+            outcome.alerts.resolved,
+        );
+    }
+    if options.serve.is_some() {
+        let stats = outcome.serve_stats;
+        println!(
+            "  scrapes: {} served, {} not found, {} rejected",
+            stats.served, stats.not_found, stats.rejected
+        );
+    }
+
+    if let Some(path) = &options.perfetto {
+        let spans = outcome.spans.as_ref().expect("spans were assembled");
+        let doc = perfetto_document(spans, name, options.seed);
+        match validate_perfetto(&doc) {
+            Ok(summary) => match std::fs::write(path, doc.to_pretty()) {
+                Ok(()) => println!(
+                    "wrote {path}: {} track names, {} spans, {} marks, horizon {} us",
+                    summary.metadata, summary.durations, summary.instants, summary.max_ts
+                ),
+                Err(err) => {
+                    eprintln!("  FAIL: writing {path}: {err}");
+                    failures += 1;
+                }
+            },
+            Err(problem) => {
+                eprintln!("  FAIL: perfetto document invalid: {problem}");
+                failures += 1;
+            }
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("ENGINE OBSERVED FAILED: {failures} problem(s)");
+        return ExitCode::FAILURE;
+    }
+    println!("ENGINE OBSERVED OK: {name} served with the observability plane attached");
+    ExitCode::SUCCESS
+}
+
+/// `engine --serve-smoke`: scrape all three endpoints from concurrent
+/// client threads while a short small-testbed run is live, then
+/// round-trip the Perfetto artifact through the in-repo JSON parser.
+/// The cheap CI proof that the plane answers *during* a run.
+fn serve_smoke() -> ExitCode {
+    use std::io::{Read as _, Write as _};
+
+    let testbed = Testbed::small();
+    let num_cores = testbed.arch.num_cores();
+    let config = EngineConfig {
+        window_cycles: 100_000,
+        snapshot_windows: 4,
+        max_snapshots: 32,
+        slo: SloPolicy::default(),
+    };
+    let observe = ObserveConfig {
+        rules: vec![BurnRateRule::paging("p99-latency", 10_000_000)],
+        assemble_spans: true,
+        alert_tier_floor: None,
+        serve_port: Some(0),
+    };
+    let mut plane = ObservedSink::new(num_cores, &config, &observe, None);
+    let addr = plane.serve_addr().expect("bind an ephemeral loopback port");
+    println!("serve smoke: scraping http://{addr} during a live small-testbed run");
+
+    // Each client retries until the poll loop answers it with a 200.
+    let clients: Vec<(&str, std::thread::JoinHandle<String>)> =
+        ["/metrics", "/health", "/snapshot"]
+            .into_iter()
+            .map(|path| {
+                let handle = std::thread::spawn(move || loop {
+                    if let Ok(mut stream) = std::net::TcpStream::connect(addr) {
+                        let request = format!("GET {path} HTTP/1.1\r\nHost: smoke\r\n\r\n");
+                        if stream.write_all(request.as_bytes()).is_ok() {
+                            let mut out = String::new();
+                            if stream.read_to_string(&mut out).is_ok()
+                                && out.starts_with("HTTP/1.1 200")
+                            {
+                                return out;
+                            }
+                        }
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                });
+                (path, handle)
+            })
+            .collect();
+
+    let jobs = 2_000usize;
+    let stream = arrivals(
+        "poisson",
+        7.1,
+        testbed.suite.len(),
+        hetero_bench::PAPER_SEED,
+        jobs,
+    )
+    .expect("poisson is a valid process");
+    let mut system = ProposedSystem::with_model(
+        &testbed.arch,
+        &testbed.oracle,
+        testbed.model,
+        testbed.predictor.clone(),
+    );
+    let metrics = Simulator::new(num_cores).run_stream(stream, &mut system, &mut plane);
+
+    // Drain scrapes the in-run boundary polls did not catch.
+    for _ in 0..2_000 {
+        if clients.iter().all(|(_, handle)| handle.is_finished()) {
+            break;
+        }
+        plane.poll_server();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+
+    let mut failures = 0u32;
+    for (path, handle) in clients {
+        if !handle.is_finished() {
+            eprintln!("  FAIL: {path} was never answered");
+            failures += 1;
+            continue;
+        }
+        let body = handle.join().expect("client thread");
+        let expected: &[&str] = match path {
+            "/metrics" => &["# TYPE", "sched_completions_total"],
+            "/health" => &["\"status\"", "\"alerts\": ["],
+            _ => &["\"emitted\""],
+        };
+        for marker in expected {
+            if !body.contains(marker) {
+                eprintln!("  FAIL: {path} response is missing {marker:?}");
+                failures += 1;
+            }
+        }
+    }
+
+    let outcome = plane.finish(&config);
+    if metrics.jobs_completed != jobs as u64 {
+        eprintln!(
+            "  FAIL: completed {} of {jobs} jobs",
+            metrics.jobs_completed
+        );
+        failures += 1;
+    }
+    if outcome.serve_stats.served < 3 {
+        eprintln!(
+            "  FAIL: served {} scrapes, expected at least 3",
+            outcome.serve_stats.served
+        );
+        failures += 1;
+    }
+
+    // Span conservation + the Perfetto schema and parser round-trip.
+    let spans = outcome.spans.as_ref().expect("spans were assembled");
+    if spans.arrivals() != jobs as u64 || spans.completed() != jobs as u64 || spans.open_jobs() != 0
+    {
+        eprintln!(
+            "  FAIL: span books do not conserve jobs (arrivals {} completed {} open {})",
+            spans.arrivals(),
+            spans.completed(),
+            spans.open_jobs()
+        );
+        failures += 1;
+    }
+    let doc = perfetto_document(spans, "proposed", hetero_bench::PAPER_SEED);
+    match validate_perfetto(&doc) {
+        Ok(direct) => match Json::parse(&doc.to_pretty()) {
+            Ok(reparsed) => match validate_perfetto(&reparsed) {
+                Ok(round_tripped) if round_tripped == direct => println!(
+                    "  perfetto: {} track names, {} spans, {} marks round-trip clean",
+                    direct.metadata, direct.durations, direct.instants
+                ),
+                Ok(_) => {
+                    eprintln!("  FAIL: perfetto summary changed across the JSON round-trip");
+                    failures += 1;
+                }
+                Err(problem) => {
+                    eprintln!("  FAIL: reparsed perfetto document invalid: {problem}");
+                    failures += 1;
+                }
+            },
+            Err(problem) => {
+                eprintln!("  FAIL: perfetto document does not reparse: {problem}");
+                failures += 1;
+            }
+        },
+        Err(problem) => {
+            eprintln!("  FAIL: perfetto document invalid: {problem}");
+            failures += 1;
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("ENGINE SERVE SMOKE FAILED: {failures} problem(s)");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "ENGINE SERVE SMOKE OK: {} scrapes answered live, spans conserved, artifact round-trips",
+        outcome.serve_stats.served
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("compare") {
@@ -586,10 +945,16 @@ fn main() -> ExitCode {
     if options.overload_smoke {
         return overload_smoke();
     }
+    if options.serve_smoke {
+        return serve_smoke();
+    }
     // Validate the process name before paying for the testbed build.
     if let Err(problem) = arrivals(&options.process, options.rate, 1, 0, 0) {
         eprintln!("{problem}");
         return ExitCode::FAILURE;
+    }
+    if options.serve.is_some() || options.perfetto.is_some() {
+        return observed_run(&options);
     }
 
     println!(

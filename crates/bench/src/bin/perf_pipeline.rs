@@ -44,8 +44,14 @@
 //! *memory* gate: a 10M-job open-loop streaming run through
 //! `hetero_engine` must grow this process's resident set by less than a
 //! fixed budget, pinning the engine's O(1)-memory claim (see
-//! `STREAM_RSS_BUDGET_MB`). The binary exits non-zero when the
-//! guard fails, so it can serve as a CI perf gate.
+//! `STREAM_RSS_BUDGET_MB`). Two service-layer no-regression bars,
+//! `engine_overload` and `engine_observe`, pin the quiescent cost of
+//! the overload governor and of the armed live observability plane
+//! (burn-rate evaluation + a polled scrape server) at >= 0.95x the
+//! plain streaming engine; the ungated `engine_observe_spans` stage
+//! records what the export-path span assembler adds on top. The binary
+//! exits non-zero when the guard fails, so it can serve as a CI perf
+//! gate.
 //!
 //! Usage: `cargo run --release --bin perf_pipeline [min_speedup] [flags]`
 //!
@@ -78,7 +84,7 @@ use workloads::{ArrivalPlan, SplitMix64, Suite};
 const DEFAULT_MIN_SPEEDUP: f64 = 2.0;
 
 /// Stages whose speedup the gate checks (each must clear its threshold).
-const GATED_STAGES: [&str; 11] = [
+const GATED_STAGES: [&str; 12] = [
     "oracle_build_paper",
     "bagging_train",
     "ensemble_predict",
@@ -90,6 +96,7 @@ const GATED_STAGES: [&str; 11] = [
     "sim_manycore",
     "engine_stream",
     "engine_overload",
+    "engine_observe",
 ];
 
 /// `sim_trace_overhead` and `sim_fault_overhead` are no-regression bars,
@@ -149,6 +156,17 @@ const STREAM_RSS_BUDGET_MB: f64 = 128.0;
 /// the ungoverned engine. Fixed — the CLI threshold does not move it.
 const ENGINE_OVERLOAD_MIN_RATIO: f64 = 0.95;
 
+/// `engine_observe` is the same kind of no-regression bar for the
+/// *armed live* observability plane: `run_streaming_observed` with a
+/// burn-rate rule evaluated at each closed window and a bound scrape
+/// server polled at snapshot boundaries (no clients connected) against
+/// plain `run_streaming` on the same open-loop stream. The rule's
+/// latency budget sits at `u64::MAX` so the alert machinery runs but
+/// never fires. Span assembly is excluded here (export-path, O(trace)
+/// memory — see `engine_observe_spans`). Bar: >= 0.95x the unobserved
+/// engine. Fixed — the CLI threshold does not move it.
+const ENGINE_OBSERVE_MIN_RATIO: f64 = 0.95;
+
 /// The gate bar for one stage at the given CLI threshold.
 fn stage_threshold(name: &str, min_speedup: f64) -> f64 {
     match name {
@@ -158,6 +176,7 @@ fn stage_threshold(name: &str, min_speedup: f64) -> f64 {
         "distilled_predict" => DISTILL_MIN_SPEEDUP,
         "engine_stream" => 1.0,
         "engine_overload" => ENGINE_OVERLOAD_MIN_RATIO,
+        "engine_observe" => ENGINE_OBSERVE_MIN_RATIO,
         _ => min_speedup,
     }
 }
@@ -771,6 +790,143 @@ fn measure_engine_overload(iters: u32) -> Stage {
     }
 }
 
+/// The armed observability-plane overhead stage: the full engine stack
+/// over the same deterministic open-loop stream on the proposed system
+/// — plain `run_streaming` as the reference, `run_streaming_observed`
+/// with the *live* plane armed as the fused side: a burn-rate rule
+/// folding every completion and evaluated at each window boundary, and
+/// a bound scrape server polled at every snapshot boundary. The rule's
+/// latency budget is infinite so the alert machinery runs but never
+/// fires, and no client ever connects — pure quiescent cost riding on
+/// real scheduling work. Span assembly is deliberately NOT part of this
+/// stage: the assembler retains O(trace) memory and is an export-path
+/// tool (a bounded-memory service cannot run it on an unbounded
+/// stream), so its cost is recorded separately and ungated by
+/// `engine_observe_spans`. Each observed run asserts the plane stayed
+/// quiescent.
+fn measure_engine_observe(iters: u32) -> Stage {
+    let testbed = Testbed::small();
+    let num_cores = testbed.arch.num_cores();
+    let suite_len = testbed.suite.len();
+    let jobs: usize = 20_000;
+    let sim = Simulator::new(num_cores);
+    let config = hetero_engine::EngineConfig::default();
+    let overload = hetero_engine::OverloadConfig::disabled();
+    let observe = hetero_engine::ObserveConfig {
+        rules: vec![hetero_telemetry::BurnRateRule::paging(
+            "p99-latency",
+            u64::MAX,
+        )],
+        assemble_spans: false,
+        alert_tier_floor: None,
+        serve_port: Some(0),
+    };
+    let stream = || workloads::OpenLoop::poisson(20.0, suite_len, 7).take(jobs);
+    let system = || {
+        hetero_core::ProposedSystem::with_model(
+            &testbed.arch,
+            &testbed.oracle,
+            testbed.model,
+            testbed.predictor.clone(),
+        )
+    };
+    let (reference, fused) = bench_paired(
+        "engine_stream_plain",
+        || {
+            hetero_engine::run_streaming(&sim, stream(), &mut system(), &config)
+                .metrics
+                .jobs_completed
+        },
+        "engine_stream_observed",
+        || {
+            let outcome = hetero_engine::run_streaming_observed(
+                &sim,
+                stream(),
+                &mut system(),
+                &config,
+                &overload,
+                &observe,
+                None,
+            );
+            assert!(
+                outcome.alerts.transitions.is_empty(),
+                "quiescent plane must not fire alerts"
+            );
+            assert!(outcome.server.is_some(), "scrape server stayed bound");
+            outcome.metrics.jobs_completed
+        },
+        iters,
+    );
+    Stage {
+        name: "engine_observe",
+        reference,
+        fused,
+    }
+}
+
+/// The export-path span-assembly stage, ungated: the same observed run
+/// with only `assemble_spans` on, against plain `run_streaming`. The
+/// assembler folds every trace event into lifecycle/occupancy spans it
+/// retains for the Perfetto export, so on this event-dense stream (the
+/// run emits roughly seven events per job once idle spans and stalls
+/// are counted) it pays real per-event work the same way the
+/// `MetricsSink` does in `sim_metrics_overhead` — the measurement is
+/// recorded in the artifact to keep that cost visible, but trace
+/// export is an offline tool, not part of the armed live plane, so no
+/// bar applies. Each run asserts the span books conserve the stream.
+fn measure_engine_observe_spans(iters: u32) -> Stage {
+    let testbed = Testbed::small();
+    let num_cores = testbed.arch.num_cores();
+    let suite_len = testbed.suite.len();
+    let jobs: usize = 20_000;
+    let sim = Simulator::new(num_cores);
+    let config = hetero_engine::EngineConfig::default();
+    let overload = hetero_engine::OverloadConfig::disabled();
+    let observe = hetero_engine::ObserveConfig {
+        assemble_spans: true,
+        ..hetero_engine::ObserveConfig::disabled()
+    };
+    let stream = || workloads::OpenLoop::poisson(20.0, suite_len, 7).take(jobs);
+    let system = || {
+        hetero_core::ProposedSystem::with_model(
+            &testbed.arch,
+            &testbed.oracle,
+            testbed.model,
+            testbed.predictor.clone(),
+        )
+    };
+    let (reference, fused) = bench_paired(
+        "engine_stream_plain",
+        || {
+            hetero_engine::run_streaming(&sim, stream(), &mut system(), &config)
+                .metrics
+                .jobs_completed
+        },
+        "engine_stream_spans",
+        || {
+            let outcome = hetero_engine::run_streaming_observed(
+                &sim,
+                stream(),
+                &mut system(),
+                &config,
+                &overload,
+                &observe,
+                None,
+            );
+            let spans = outcome.spans.as_ref().expect("spans were assembled");
+            assert_eq!(spans.arrivals(), jobs as u64, "span books must conserve");
+            assert_eq!(spans.open_jobs(), 0, "span books must close");
+            outcome.metrics.jobs_completed
+        },
+        iters,
+    );
+    Stage {
+        name: "engine_observe_spans",
+        reference,
+        fused,
+    }
+}
+
 /// (Re-)measure one stage by name, at the given iteration count.
 fn measure_stage(name: &str, iters: u32) -> Stage {
     match name {
@@ -790,6 +946,8 @@ fn measure_stage(name: &str, iters: u32) -> Stage {
         "sim_manycore" => measure_manycore(iters),
         "engine_stream" => measure_engine_stream(iters),
         "engine_overload" => measure_engine_overload(iters),
+        "engine_observe" => measure_engine_observe(iters),
+        "engine_observe_spans" => measure_engine_observe_spans(iters),
         other => panic!("unknown stage {other}"),
     }
 }
@@ -869,6 +1027,8 @@ fn main() -> ExitCode {
         "sim_manycore",
         "engine_stream",
         "engine_overload",
+        "engine_observe",
+        "engine_observe_spans",
     ];
     let mut stages: Vec<Stage> = all_stages
         .iter()

@@ -98,6 +98,12 @@ impl EngineSink {
         self.snapshots_emitted
     }
 
+    /// The retained snapshot ring, oldest first (live view for the
+    /// scrape endpoint).
+    pub fn snapshots(&self) -> impl ExactSizeIterator<Item = &Snapshot> {
+        self.snapshots.iter()
+    }
+
     /// Close every snapshot boundary at or before the latest event
     /// timestamp. Called automatically as time advances; callers only
     /// need it for mid-run inspection.

@@ -31,18 +31,32 @@
 //!
 //! See DESIGN.md §14 for the architecture.
 
+//! On top of the governed run sits a *live observability plane*
+//! ([`observe`]): per-job causal spans assembled for Perfetto export,
+//! an SLO burn-rate alert engine that can engage a serving-tier floor,
+//! and a std-only HTTP scrape endpoint ([`serve`]) answering
+//! `/metrics`, `/health` and `/snapshot` during the run. See DESIGN.md
+//! §16.
+
 mod engine;
 mod slo;
 mod snapshot;
 
 pub mod export;
+pub mod observe;
 pub mod overload;
+pub mod serve;
 
 pub use engine::{run_streaming, EngineConfig, EngineReport, EngineSink, StreamOutcome};
+pub use observe::{
+    run_streaming_observed, AlertReport, AlertRuleOutcome, ObserveConfig, ObservedOutcome,
+    ObservedSink,
+};
 pub use overload::{
     run_streaming_governed, AdmissionGate, BreakerConfig, BreakerState, BrownoutConfig,
     GovernedOutcome, GovernorHandle, OverloadConfig, OverloadReport, OverloadSink, ShedPolicy,
     TokenBucketConfig,
 };
+pub use serve::{Response, ScrapeServer, ServeStats};
 pub use slo::{SloCheck, SloPolicy, SloReport};
 pub use snapshot::Snapshot;

@@ -380,8 +380,14 @@ struct Governor {
     /// Sheds decided but not yet safe to forward (see module docs).
     pending_sheds: std::collections::VecDeque<TraceEvent>,
 
+    /// Tier floor imposed from outside the governor (the observability
+    /// plane raises it while a burn-rate alert fires, closing the
+    /// alert → brownout loop without touching the admission path).
+    alert_floor: ServingTier,
+    /// Times the alert floor rose above [`ServingTier::Full`].
+    alert_floor_engagements: u64,
     /// The tier the serving path currently experiences
-    /// (`max(brownout request, breaker floor)`).
+    /// (`max(brownout request, breaker floor, alert floor)`).
     effective_tier: ServingTier,
     tier_since: u64,
     tier_dwell_cycles: [u64; 4],
@@ -445,6 +451,8 @@ impl GovernorShared {
                 cell,
                 shed_by_reason: [0; 4],
                 pending_sheds: std::collections::VecDeque::new(),
+                alert_floor: ServingTier::Full,
+                alert_floor_engagements: 0,
                 effective_tier: ServingTier::Full,
                 tier_since: 0,
                 tier_dwell_cycles: [0; 4],
@@ -642,6 +650,8 @@ impl GovernorShared {
                 .breaker
                 .as_ref()
                 .map_or(BreakerState::Closed, |b| b.state),
+            alert_floor: cold.alert_floor,
+            alert_floor_engagements: cold.alert_floor_engagements,
         }
     }
 }
@@ -656,7 +666,7 @@ impl Governor {
             .breaker
             .as_ref()
             .map_or(ServingTier::Full, |b| b.floor());
-        let effective = requested.max(floor);
+        let effective = requested.max(floor).max(self.alert_floor);
         if effective != self.effective_tier {
             self.tier_dwell_cycles[self.effective_tier as usize] +=
                 at.saturating_sub(self.tier_since);
@@ -728,6 +738,23 @@ impl GovernorHandle {
     /// closed.
     pub fn report(&self) -> OverloadReport {
         self.0.report()
+    }
+
+    /// Impose (or lift, with [`ServingTier::Full`]) an external tier
+    /// floor at cycle `at`. The observability plane calls this on
+    /// burn-rate alert transitions; the effective tier becomes
+    /// `max(brownout request, breaker floor, alert floor)` and dwell
+    /// accounting treats the change like any other transition. A no-op
+    /// when the floor is unchanged.
+    pub fn set_alert_floor(&self, at: u64, floor: ServingTier) {
+        let mut cold = self.0.cold.borrow_mut();
+        if cold.alert_floor != floor {
+            if floor > ServingTier::Full {
+                cold.alert_floor_engagements += 1;
+            }
+            cold.alert_floor = floor;
+            cold.apply_tier(at);
+        }
     }
 }
 
@@ -861,6 +888,11 @@ pub struct OverloadReport {
     pub breaker_trips: u64,
     /// Breaker state at the horizon.
     pub breaker_state: BreakerState,
+    /// Externally imposed tier floor at the horizon (see
+    /// [`GovernorHandle::set_alert_floor`]).
+    pub alert_floor: ServingTier,
+    /// Times the alert floor engaged (rose above full service).
+    pub alert_floor_engagements: u64,
 }
 
 impl OverloadReport {

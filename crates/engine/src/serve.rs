@@ -1,0 +1,313 @@
+//! Std-only HTTP scrape endpoint for live engine runs.
+//!
+//! A [`ScrapeServer`] owns a non-blocking [`TcpListener`] on loopback.
+//! The engine's event path calls [`ScrapeServer::poll`] at snapshot
+//! boundaries (never per event): each poll accepts a bounded number of
+//! pending connections, answers each with one response, and returns —
+//! `WouldBlock` means "no scraper waiting" and costs one syscall, so an
+//! idle server adds nothing measurable to the hot path (bounded by the
+//! gated `engine_observe` perf stage).
+//!
+//! The protocol is the minimum Prometheus and `curl` need: `GET` only,
+//! one request per connection, `Connection: close`. Routing is the
+//! caller's: `poll` takes a responder closure from path to
+//! [`Response`], so the server itself stays transport-only and unit
+//! tests can drive it with a plain [`std::net::TcpStream`].
+
+use std::io::{ErrorKind, Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+/// Most connections answered per [`ScrapeServer::poll`] call, bounding
+/// the time a scrape burst can steal from the simulation loop.
+const MAX_ACCEPTS_PER_POLL: usize = 8;
+
+/// Largest request head read before the request is rejected.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// How long one accepted connection may take to deliver its request
+/// head before it is dropped (scrapers are local; this only guards
+/// against a stuck peer wedging the poll).
+const READ_TIMEOUT: Duration = Duration::from_millis(200);
+
+/// One response body with its content type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// The body.
+    pub body: String,
+}
+
+impl Response {
+    /// A Prometheus text-exposition response.
+    pub fn prometheus(body: String) -> Self {
+        Response {
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body,
+        }
+    }
+
+    /// A JSON response.
+    pub fn json(body: String) -> Self {
+        Response {
+            content_type: "application/json",
+            body,
+        }
+    }
+}
+
+/// Counters of what the server answered, for the run report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests answered with `200 OK`.
+    pub served: u64,
+    /// Requests answered with `404 Not Found`.
+    pub not_found: u64,
+    /// Connections dropped or answered with an error status (bad
+    /// request line, unsupported method, oversized or timed-out head).
+    pub rejected: u64,
+}
+
+/// A non-blocking loopback HTTP listener polled from the engine loop.
+#[derive(Debug)]
+pub struct ScrapeServer {
+    listener: TcpListener,
+    addr: SocketAddr,
+    stats: ServeStats,
+}
+
+impl ScrapeServer {
+    /// Bind `127.0.0.1:port` (`port = 0` picks a free port; read the
+    /// outcome back with [`port`](Self::port)).
+    pub fn bind(port: u16) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        Ok(ScrapeServer {
+            listener,
+            addr,
+            stats: ServeStats::default(),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.addr.port()
+    }
+
+    /// What the server has answered so far.
+    pub fn stats(&self) -> ServeStats {
+        self.stats
+    }
+
+    /// Accept and answer every pending connection (up to the per-poll
+    /// bound). `respond` maps a request path to `Some(response)` or
+    /// `None` (answered `404`). Returns the number of connections
+    /// handled; `0` is the idle fast path.
+    pub fn poll(&mut self, respond: &mut dyn FnMut(&str) -> Option<Response>) -> usize {
+        let mut handled = 0;
+        while handled < MAX_ACCEPTS_PER_POLL {
+            let stream = match self.listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(err) if err.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            };
+            self.answer(stream, respond);
+            handled += 1;
+        }
+        handled
+    }
+
+    fn answer(&mut self, mut stream: TcpStream, respond: &mut dyn FnMut(&str) -> Option<Response>) {
+        // The accepted stream inherits non-blocking from the listener on
+        // some platforms; reads below want the bounded-blocking mode.
+        let _ = stream.set_nonblocking(false);
+        let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+        let head = match read_request_head(&mut stream) {
+            Some(head) => head,
+            None => {
+                self.stats.rejected += 1;
+                let _ = stream.write_all(http_error(400, "bad request").as_bytes());
+                return;
+            }
+        };
+        match parse_request_line(&head) {
+            Some(("GET", path)) => match respond(path) {
+                Some(response) => {
+                    self.stats.served += 1;
+                    let _ = stream.write_all(http_ok(&response).as_bytes());
+                }
+                None => {
+                    self.stats.not_found += 1;
+                    let _ = stream.write_all(http_error(404, "not found").as_bytes());
+                }
+            },
+            Some((_, _)) => {
+                self.stats.rejected += 1;
+                let _ = stream.write_all(http_error(405, "method not allowed").as_bytes());
+            }
+            None => {
+                self.stats.rejected += 1;
+                let _ = stream.write_all(http_error(400, "bad request").as_bytes());
+            }
+        }
+        let _ = stream.flush();
+    }
+}
+
+/// Read until the end of the request head (`\r\n\r\n`), the size bound,
+/// or the read timeout. Returns `None` on anything but a complete head.
+fn read_request_head(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => return None,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") {
+                    return String::from_utf8(buf).ok();
+                }
+                if buf.len() > MAX_REQUEST_BYTES {
+                    return None;
+                }
+            }
+            Err(_) => return None,
+        }
+    }
+}
+
+/// Split the request line of an HTTP/1.x head into `(method, path)`.
+/// The path is returned without any query string.
+pub fn parse_request_line(head: &str) -> Option<(&str, &str)> {
+    let line = head.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?;
+    let target = parts.next()?;
+    let version = parts.next()?;
+    if !version.starts_with("HTTP/1.") {
+        return None;
+    }
+    let path = target.split('?').next().unwrap_or(target);
+    Some((method, path))
+}
+
+fn http_ok(response: &Response) -> String {
+    format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        response.content_type,
+        response.body.len(),
+        response.body
+    )
+}
+
+fn http_error(code: u16, reason: &str) -> String {
+    let text = match code {
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    format!(
+        "HTTP/1.1 {code} {text}\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{reason}",
+        reason.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes())
+            .expect("write request");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("read response");
+        out
+    }
+
+    fn respond(path: &str) -> Option<Response> {
+        match path {
+            "/metrics" => Some(Response::prometheus("jobs_total 7\n".to_string())),
+            "/health" => Some(Response::json("{\"status\": \"ok\"}".to_string())),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn poll_answers_pending_requests_and_idles_cheaply() {
+        let mut server = ScrapeServer::bind(0).expect("bind loopback");
+        assert_eq!(server.poll(&mut respond), 0, "no scraper yet");
+        let addr = server.addr();
+        let client = std::thread::spawn(move || get(addr, "/metrics"));
+        // The client connects asynchronously; poll until it is served.
+        let mut handled = 0;
+        for _ in 0..100 {
+            handled += server.poll(&mut respond);
+            if handled > 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(handled, 1);
+        let reply = client.join().expect("client thread");
+        assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"), "{reply}");
+        assert!(reply.contains("Content-Type: text/plain; version=0.0.4"));
+        assert!(reply.ends_with("jobs_total 7\n"), "{reply}");
+        assert_eq!(server.stats().served, 1);
+    }
+
+    #[test]
+    fn unknown_paths_get_404_and_non_get_405() {
+        let mut server = ScrapeServer::bind(0).expect("bind loopback");
+        let addr = server.addr();
+        let missing = std::thread::spawn(move || get(addr, "/nope"));
+        let posted = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream
+                .write_all(b"POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n")
+                .expect("write");
+            let mut out = String::new();
+            stream.read_to_string(&mut out).expect("read");
+            out
+        });
+        let mut handled = 0;
+        for _ in 0..200 {
+            handled += server.poll(&mut respond);
+            if handled >= 2 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(handled, 2);
+        assert!(missing.join().unwrap().starts_with("HTTP/1.1 404"));
+        assert!(posted.join().unwrap().starts_with("HTTP/1.1 405"));
+        let stats = server.stats();
+        assert_eq!(stats.not_found, 1);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.served, 0);
+    }
+
+    #[test]
+    fn request_lines_parse_paths_and_strip_queries() {
+        assert_eq!(
+            parse_request_line("GET /metrics HTTP/1.1\r\n"),
+            Some(("GET", "/metrics"))
+        );
+        assert_eq!(
+            parse_request_line("GET /snapshot?n=3 HTTP/1.0\r\nHost: x\r\n"),
+            Some(("GET", "/snapshot"))
+        );
+        assert_eq!(parse_request_line("SPEAK /x FTP/9"), None);
+        assert_eq!(parse_request_line(""), None);
+        assert_eq!(parse_request_line("GET /lonely"), None);
+    }
+}

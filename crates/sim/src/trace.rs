@@ -247,6 +247,8 @@ pub enum TraceEvent {
 impl TraceEvent {
     /// The absolute cycle this event is stamped with (for an
     /// [`IdleSpan`](TraceEvent::IdleSpan), the end of the span).
+    /// Inline: called per event by cross-crate sinks on hot paths.
+    #[inline]
     pub fn at(&self) -> u64 {
         match *self {
             TraceEvent::Arrival { at, .. }

@@ -16,6 +16,13 @@
 //!   offline pipeline stages (characterisation, oracle build, ensemble
 //!   training, prediction), pluggable into
 //!   [`hetero_core::StageObserver`] hooks.
+//! * [`SpanAssembler`] — a [`multicore_sim::TraceSink`] that folds the
+//!   event stream into causal per-job lifecycle spans and per-core
+//!   occupancy spans, the data model behind the Chrome-trace (Perfetto)
+//!   export in `hetero-bench`.
+//! * [`BurnEngine`] — multi-window SLO burn-rate alerting (pending →
+//!   firing → resolved with hysteresis) over the live completion
+//!   stream, surfaced by the engine's `/health` endpoint.
 //!
 //! The `telemetry` binary in `hetero-bench` drives all of this end to
 //! end and exports `results/TELEMETRY_*.json` plus Prometheus text; the
@@ -24,11 +31,15 @@
 
 #![warn(missing_docs)]
 
+mod assemble;
+mod burn;
 mod histogram;
 mod registry;
 mod sink;
 mod span;
 
+pub use assemble::{CoreSpan, CoreSpanKind, JobPhase, JobSpan, Mark, SpanAssembler, SpanClose};
+pub use burn::{AlertState, AlertTransition, BurnEngine, BurnRateRule};
 pub use histogram::{Histogram, SUB_BUCKETS};
 pub use registry::{CounterId, GaugeId, HistogramId, Registry};
 pub use sink::{CorePoint, MetricsSink, RunTotals, SeriesPoint, TelemetryReport};

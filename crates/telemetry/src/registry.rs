@@ -52,6 +52,7 @@ pub struct Registry {
     counters: Vec<Metric<u64>>,
     gauges: Vec<Metric<f64>>,
     histograms: Vec<Metric<Histogram>>,
+    helps: Vec<(String, String)>,
 }
 
 impl Registry {
@@ -61,9 +62,11 @@ impl Registry {
     }
 
     /// Register a counter (monotone `u64`), returning its handle.
+    /// The name and label names are sanitised to the Prometheus
+    /// identifier grammar (see [`sanitise_metric_name`]).
     pub fn counter(&mut self, name: &str, labels: &[(&str, &str)]) -> CounterId {
         self.counters.push(Metric {
-            name: name.to_owned(),
+            name: sanitise_metric_name(name),
             labels: own_labels(labels),
             value: 0,
         });
@@ -73,7 +76,7 @@ impl Registry {
     /// Register a gauge (instantaneous `f64`), returning its handle.
     pub fn gauge(&mut self, name: &str, labels: &[(&str, &str)]) -> GaugeId {
         self.gauges.push(Metric {
-            name: name.to_owned(),
+            name: sanitise_metric_name(name),
             labels: own_labels(labels),
             value: 0.0,
         });
@@ -83,11 +86,23 @@ impl Registry {
     /// Register a histogram, returning its handle.
     pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)]) -> HistogramId {
         self.histograms.push(Metric {
-            name: name.to_owned(),
+            name: sanitise_metric_name(name),
             labels: own_labels(labels),
             value: Histogram::new(),
         });
         HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Attach a `# HELP` docstring to the metric family `name` (applied
+    /// to the sanitised name). Rendered once, before the family's
+    /// `# TYPE` line; re-registering replaces the text.
+    pub fn help(&mut self, name: &str, text: &str) {
+        let name = sanitise_metric_name(name);
+        if let Some(entry) = self.helps.iter_mut().find(|(n, _)| *n == name) {
+            entry.1 = text.to_owned();
+        } else {
+            self.helps.push((name, text.to_owned()));
+        }
     }
 
     /// Increment a counter by one.
@@ -136,13 +151,16 @@ impl Registry {
     }
 
     /// Render the whole registry in the Prometheus text exposition
-    /// format, in registration order, with one `# TYPE` line per metric
-    /// family (consecutive metrics sharing a name form one family).
+    /// format, in registration order, with one `# HELP` (when set via
+    /// [`help`](Self::help)) and one `# TYPE` line per metric family
+    /// (consecutive metrics sharing a name form one family). The output
+    /// is either empty or ends with exactly one line feed, per the text
+    /// format spec.
     pub fn prometheus(&self) -> String {
         let mut out = String::new();
         let mut last_family = String::new();
         for metric in &self.counters {
-            type_line(&mut out, &mut last_family, &metric.name, "counter");
+            self.family_header(&mut out, &mut last_family, &metric.name, "counter");
             let _ = writeln!(
                 out,
                 "{}{} {}",
@@ -152,7 +170,7 @@ impl Registry {
             );
         }
         for metric in &self.gauges {
-            type_line(&mut out, &mut last_family, &metric.name, "gauge");
+            self.family_header(&mut out, &mut last_family, &metric.name, "gauge");
             let _ = writeln!(
                 out,
                 "{}{} {}",
@@ -162,7 +180,7 @@ impl Registry {
             );
         }
         for metric in &self.histograms {
-            type_line(&mut out, &mut last_family, &metric.name, "histogram");
+            self.family_header(&mut out, &mut last_family, &metric.name, "histogram");
             for (le, cumulative) in metric.value.cumulative_buckets() {
                 let _ = writeln!(
                     out,
@@ -195,21 +213,63 @@ impl Registry {
         }
         out
     }
+
+    /// Emit `# HELP` (when registered) and `# TYPE` headers when
+    /// entering a new metric family.
+    fn family_header(&self, out: &mut String, last: &mut String, name: &str, kind: &str) {
+        if last != name {
+            if let Some((_, text)) = self.helps.iter().find(|(n, _)| n == name) {
+                let _ = writeln!(out, "# HELP {name} {}", escape_help(text));
+            }
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            name.clone_into(last);
+        }
+    }
 }
 
 fn own_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
     labels
         .iter()
-        .map(|&(k, v)| (k.to_owned(), v.to_owned()))
+        .map(|&(k, v)| (sanitise_label_name(k), v.to_owned()))
         .collect()
 }
 
-/// Emit a `# TYPE` header when entering a new metric family.
-fn type_line(out: &mut String, last: &mut String, name: &str, kind: &str) {
-    if last != name {
-        let _ = writeln!(out, "# TYPE {name} {kind}");
-        name.clone_into(last);
+/// Coerce `name` into the Prometheus metric-name grammar
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`: every other character becomes `_`, and a
+/// leading digit (or an empty name) gains a `_` prefix. Sanitising at
+/// registration (rather than panicking at scrape time) keeps adversarial
+/// names — dotted, dashed, spaced, non-ASCII — from corrupting the whole
+/// exposition.
+pub fn sanitise_metric_name(name: &str) -> String {
+    sanitise(name, true)
+}
+
+/// Coerce a label name into `[a-zA-Z_][a-zA-Z0-9_]*` (colons are not
+/// legal in label names, unlike metric names).
+pub fn sanitise_label_name(name: &str) -> String {
+    sanitise(name, false)
+}
+
+fn sanitise(name: &str, allow_colon: bool) -> String {
+    let mut out = String::with_capacity(name.len().max(1));
+    for (index, ch) in name.chars().enumerate() {
+        let legal = ch.is_ascii_alphabetic()
+            || ch == '_'
+            || (allow_colon && ch == ':')
+            || (index > 0 && ch.is_ascii_digit());
+        if legal {
+            out.push(ch);
+        } else if index == 0 && ch.is_ascii_digit() {
+            out.push('_');
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
     }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
 }
 
 fn label_block(labels: &[(String, String)]) -> String {
@@ -232,11 +292,18 @@ fn label_block_with(labels: &[(String, String)], key: &str, value: &str) -> Stri
     format!("{{{}}}", body.join(","))
 }
 
+/// Label-value escaping: backslash, double quote, and line feed.
 fn escape(value: &str) -> String {
     value
         .replace('\\', "\\\\")
         .replace('"', "\\\"")
         .replace('\n', "\\n")
+}
+
+/// `# HELP` docstring escaping: only backslash and line feed — double
+/// quotes are legal in help text, unlike in label values.
+fn escape_help(value: &str) -> String {
+    value.replace('\\', "\\\\").replace('\n', "\\n")
 }
 
 /// Prometheus floats: plain decimal, `NaN`/`+Inf`/`-Inf` spelled out.
@@ -304,5 +371,115 @@ mod tests {
         let c = r.counter("c", &[("k", "a\"b\\c")]);
         r.inc(c);
         assert!(r.prometheus().contains("c{k=\"a\\\"b\\\\c\"} 1"));
+    }
+
+    /// The text-exposition grammar, as enforced by this module: metric
+    /// names `[a-zA-Z_:][a-zA-Z0-9_:]*`, label names without colons,
+    /// label values with `\\`/`\"`/`\n` escaped, one sample per line,
+    /// and a final line feed.
+    fn assert_conformant(text: &str) {
+        assert!(
+            text.is_empty() || text.ends_with('\n'),
+            "exposition must end with a line feed"
+        );
+        assert!(!text.ends_with("\n\n"), "no trailing blank line");
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# ") {
+                assert!(
+                    rest.starts_with("TYPE ") || rest.starts_with("HELP "),
+                    "{line}"
+                );
+                continue;
+            }
+            // `name{labels} value` or `name value`; values never contain
+            // spaces (NaN/+Inf/-Inf are single tokens).
+            let (series, value) = line.rsplit_once(' ').expect(line);
+            assert!(!value.is_empty() && !value.contains(' '), "{line}");
+            let name = series.split('{').next().unwrap();
+            assert!(
+                name.chars()
+                    .enumerate()
+                    .all(|(i, ch)| ch.is_ascii_alphabetic()
+                        || ch == '_'
+                        || ch == ':'
+                        || (i > 0 && ch.is_ascii_digit())),
+                "illegal metric name in {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn adversarial_metric_and_label_names_are_sanitised() {
+        let mut r = Registry::new();
+        let dotted = r.counter("service.jobs-completed", &[("host.name", "node-1")]);
+        r.add(dotted, 2);
+        let leading_digit = r.gauge("99th_percentile", &[("λ", "poisson")]);
+        r.set(leading_digit, 1.5);
+        let empty = r.counter("", &[]);
+        r.inc(empty);
+        let spaced = r.histogram("job latency (cycles)", &[("le ", "x")]);
+        r.observe(spaced, 12);
+        let text = r.prometheus();
+        assert!(
+            text.contains("service_jobs_completed{host_name=\"node-1\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("_99th_percentile{_=\"poisson\"} 1.5"),
+            "{text}"
+        );
+        assert!(text.contains("\n_ 1\n"), "{text}");
+        assert!(
+            text.contains("job_latency__cycles__count{le_=\"x\"} 1"),
+            "{text}"
+        );
+        assert_conformant(&text);
+    }
+
+    #[test]
+    fn non_finite_gauges_render_as_spec_tokens() {
+        let mut r = Registry::new();
+        let nan = r.gauge("g_nan", &[]);
+        r.set(nan, f64::NAN);
+        let pos = r.gauge("g_pos", &[]);
+        r.set(pos, f64::INFINITY);
+        let neg = r.gauge("g_neg", &[]);
+        r.set(neg, f64::NEG_INFINITY);
+        let text = r.prometheus();
+        assert!(text.contains("g_nan NaN\n"), "{text}");
+        assert!(text.contains("g_pos +Inf\n"), "{text}");
+        assert!(text.contains("g_neg -Inf\n"), "{text}");
+        assert_conformant(&text);
+    }
+
+    #[test]
+    fn help_lines_precede_type_and_escape_only_backslash_and_newline() {
+        let mut r = Registry::new();
+        let c = r.counter("jobs_total", &[("system", "base")]);
+        r.inc(c);
+        r.help(
+            "jobs_total",
+            "Jobs \"completed\" per system\nsecond line \\ done",
+        );
+        let text = r.prometheus();
+        let help_at = text
+            .find("# HELP jobs_total Jobs \"completed\" per system\\nsecond line \\\\ done\n")
+            .expect(&text);
+        let type_at = text.find("# TYPE jobs_total counter").unwrap();
+        assert!(help_at < type_at, "{text}");
+        assert_conformant(&text);
+        // Unregistered families render without a HELP line.
+        assert_eq!(text.matches("# HELP").count(), 1);
+    }
+
+    #[test]
+    fn exposition_ends_with_exactly_one_line_feed() {
+        let mut r = Registry::new();
+        assert_eq!(r.prometheus(), "", "empty registry renders empty");
+        let c = r.counter("c_total", &[]);
+        r.inc(c);
+        let text = r.prometheus();
+        assert!(text.ends_with('\n') && !text.ends_with("\n\n"), "{text:?}");
+        assert_conformant(&text);
     }
 }

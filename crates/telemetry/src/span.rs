@@ -39,6 +39,10 @@ struct Inner {
     /// Indices into `records` of the currently-open spans, innermost
     /// last, with each span's start instant.
     open: Vec<(usize, Instant)>,
+    /// Close calls that arrived with no span open (observer bugs);
+    /// counted instead of panicking so a misbehaving stage can't poison
+    /// the profile of the rest of the run.
+    unmatched_closes: u64,
 }
 
 /// Collects nested timed scopes. Interior-mutable so guards only need a
@@ -102,12 +106,41 @@ impl SpanRecorder {
         let mut inner = self.inner.borrow_mut();
         if let Some((index, start)) = inner.open.pop() {
             inner.records[index].nanos = start.elapsed().as_nanos();
+        } else {
+            inner.unmatched_closes += 1;
         }
     }
 
     /// Snapshot of all spans in start order.
+    ///
+    /// A span still open at snapshot time appears with `nanos == 0` —
+    /// that zero is the *defined* "left open at run end" marker, not a
+    /// measurement. Call [`finish_open`](Self::finish_open) first to
+    /// stamp stragglers with their elapsed time instead.
     pub fn records(&self) -> Vec<SpanRecord> {
         self.inner.borrow().records.clone()
+    }
+
+    /// Spans currently open (opened but not yet closed).
+    pub fn open_count(&self) -> usize {
+        self.inner.borrow().open.len()
+    }
+
+    /// Close calls that found no open span (unbalanced observer exits).
+    pub fn unmatched_closes(&self) -> u64 {
+        self.inner.borrow().unmatched_closes
+    }
+
+    /// Close every still-open span, innermost first, stamping each with
+    /// its wall time up to now. The run-end policy for spans a panicking
+    /// or misbehaving stage left open: they keep their records (and
+    /// depths) and are measured to the finish call, so the report never
+    /// shows a phantom zero for work that demonstrably took time.
+    pub fn finish_open(&self) {
+        let mut inner = self.inner.borrow_mut();
+        while let Some((index, start)) = inner.open.pop() {
+            inner.records[index].nanos = start.elapsed().as_nanos();
+        }
     }
 
     /// Total nanoseconds of every span named `name`.
@@ -213,6 +246,84 @@ mod tests {
         assert!(lines[0].starts_with("top"));
         assert!(lines[1].starts_with("  nested"));
         assert!(lines.iter().all(|l| l.ends_with("ms")));
+    }
+
+    #[test]
+    fn a_span_left_open_at_run_end_reads_zero_until_finished() {
+        use hetero_core::StageObserver;
+        let mut recorder = SpanRecorder::new();
+        recorder.enter("outer");
+        recorder.enter("leaked");
+        // The run ends here with both spans still open: the defined
+        // behavior is that snapshots show them with nanos == 0.
+        assert_eq!(recorder.open_count(), 2);
+        let before = recorder.records();
+        assert!(before.iter().all(|r| r.nanos == 0), "{before:?}");
+        // finish_open closes innermost-first and stamps real elapsed
+        // time, preserving names and depths.
+        recorder.finish_open();
+        assert_eq!(recorder.open_count(), 0);
+        let after = recorder.records();
+        assert_eq!(after.len(), 2);
+        assert!(after.iter().all(|r| r.nanos > 0), "{after:?}");
+        assert_eq!(after[1].depth, 1);
+        // Idempotent once everything is closed.
+        recorder.finish_open();
+        assert_eq!(recorder.records().len(), 2);
+        assert_eq!(recorder.unmatched_closes(), 0);
+    }
+
+    #[test]
+    fn unbalanced_closes_are_counted_not_panics() {
+        use hetero_core::StageObserver;
+        let mut recorder = SpanRecorder::new();
+        // An exit with nothing open is an observer bug, not a crash.
+        recorder.exit("phantom");
+        assert_eq!(recorder.unmatched_closes(), 1);
+        // A balanced pair still records normally afterwards...
+        recorder.enter("real");
+        recorder.exit("real");
+        // ...and over-closing afterwards only bumps the counter again.
+        recorder.exit("real");
+        recorder.exit("real");
+        assert_eq!(recorder.unmatched_closes(), 3);
+        let records = recorder.records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].name, "real");
+        assert!(records[0].nanos > 0);
+        assert_eq!(recorder.open_count(), 0);
+    }
+
+    #[test]
+    fn interleaved_unbalanced_sequences_keep_depths_consistent() {
+        use hetero_core::StageObserver;
+        let mut recorder = SpanRecorder::new();
+        recorder.enter("a");
+        recorder.enter("b");
+        recorder.enter("c");
+        recorder.exit("c");
+        recorder.exit("b");
+        // "a" stays open; a new top-level-looking stage nests under it.
+        recorder.enter("d");
+        recorder.exit("d");
+        recorder.exit("a");
+        recorder.exit("too-many");
+        let shape: Vec<(String, usize)> = recorder
+            .records()
+            .iter()
+            .map(|r| (r.name.clone(), r.depth))
+            .collect();
+        assert_eq!(
+            shape,
+            [
+                ("a".to_string(), 0),
+                ("b".to_string(), 1),
+                ("c".to_string(), 2),
+                ("d".to_string(), 1),
+            ]
+        );
+        assert_eq!(recorder.unmatched_closes(), 1);
+        assert_eq!(recorder.open_count(), 0);
     }
 
     #[test]

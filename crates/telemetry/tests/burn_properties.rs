@@ -1,0 +1,231 @@
+//! Burn-rate state-machine properties: the [`BurnEngine`]'s incremental
+//! ring-buffer evaluation must agree with a direct reference model
+//! computed from the full window history, and its transition log must
+//! always form a legal lifecycle chain.
+
+use hetero_telemetry::{AlertState, AlertTransition, BurnEngine, BurnRateRule};
+use proptest::prelude::*;
+
+const INTERVAL: u64 = 100;
+const BUDGET: u64 = 1_000;
+
+fn rule(
+    fast_windows: u32,
+    extra_slow: u32,
+    sustain_evals: u32,
+    clear_evals: u32,
+    fire_tenths: u32,
+    clear_tenths: u32,
+) -> BurnRateRule {
+    BurnRateRule {
+        name: "prop".to_string(),
+        latency_budget_cycles: BUDGET,
+        error_budget: 0.01,
+        fast_windows,
+        slow_windows: fast_windows + extra_slow,
+        fire_burn_rate: fire_tenths as f64 / 10.0,
+        // Keep the hysteresis band legal: clear <= fire.
+        clear_burn_rate: (clear_tenths.min(fire_tenths)) as f64 / 10.0,
+        sustain_evals,
+        clear_evals,
+    }
+}
+
+/// Feed one `(good, bad)` count per base window, then close them all.
+fn run_engine(rule: &BurnRateRule, windows: &[(u64, u64)]) -> BurnEngine {
+    let mut engine = BurnEngine::new(INTERVAL, vec![rule.clone()]);
+    for (window, &(good, bad)) in windows.iter().enumerate() {
+        let base = window as u64 * INTERVAL;
+        for i in 0..good {
+            engine.observe_completion(base + (i % INTERVAL), BUDGET);
+        }
+        for i in 0..bad {
+            engine.observe_completion(base + (i % INTERVAL), BUDGET + 1);
+        }
+    }
+    engine.advance(windows.len() as u64 * INTERVAL);
+    engine
+}
+
+/// Direct re-evaluation from the full window history: sum the last N
+/// windows with plain slices (no ring, no incremental state) and walk
+/// the documented lifecycle. Returns the per-evaluation states.
+fn reference_states(rule: &BurnRateRule, windows: &[(u64, u64)]) -> Vec<AlertState> {
+    let burn = |closed: &[(u64, u64)], take: u32| -> f64 {
+        let from = closed.len().saturating_sub(take as usize);
+        let (good, bad) = closed[from..]
+            .iter()
+            .fold((0u64, 0u64), |(g, b), &(wg, wb)| (g + wg, b + wb));
+        if good + bad == 0 {
+            0.0
+        } else {
+            (bad as f64 / (good + bad) as f64) / rule.error_budget
+        }
+    };
+    let mut states = Vec::with_capacity(windows.len());
+    let mut state = AlertState::Inactive;
+    let mut over_streak = 0u32;
+    let mut under_streak = 0u32;
+    for closed in (1..=windows.len()).map(|end| &windows[..end]) {
+        // The engine's ring is bounded at `slow_windows`, so older
+        // history must not influence the reference either.
+        let visible_from = closed.len().saturating_sub(rule.slow_windows as usize);
+        let visible = &closed[visible_from..];
+        let fast = burn(visible, rule.fast_windows);
+        let slow = burn(visible, rule.slow_windows);
+        let over = fast >= rule.fire_burn_rate && slow >= rule.fire_burn_rate;
+        let under = fast < rule.clear_burn_rate && slow < rule.clear_burn_rate;
+        match state {
+            AlertState::Inactive | AlertState::Pending => {
+                if over {
+                    over_streak += 1;
+                    state = if over_streak >= rule.sustain_evals {
+                        AlertState::Firing
+                    } else {
+                        AlertState::Pending
+                    };
+                } else {
+                    over_streak = 0;
+                    state = AlertState::Inactive;
+                }
+            }
+            AlertState::Firing => {
+                if under {
+                    under_streak += 1;
+                    if under_streak >= rule.clear_evals {
+                        state = AlertState::Inactive;
+                        over_streak = 0;
+                        under_streak = 0;
+                    }
+                } else {
+                    under_streak = 0;
+                }
+            }
+        }
+        if state != AlertState::Firing {
+            under_streak = 0;
+        }
+        states.push(state);
+    }
+    states
+}
+
+/// Rebuild the per-evaluation state sequence from the transition log
+/// (state only changes at a logged transition).
+fn states_from_transitions(transitions: &[AlertTransition], evals: usize) -> Vec<AlertState> {
+    let mut states = Vec::with_capacity(evals);
+    let mut state = AlertState::Inactive;
+    let mut next = transitions.iter().peekable();
+    for eval in 0..evals as u64 {
+        let boundary = (eval + 1) * INTERVAL;
+        while next.peek().is_some_and(|t| t.at == boundary) {
+            state = next.next().expect("peeked").to;
+        }
+        states.push(state);
+    }
+    states
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The incremental engine agrees with the direct reference model on
+    /// every evaluation, over arbitrary traffic and rule shapes.
+    #[test]
+    fn engine_matches_the_reference_model_on_every_evaluation(
+        fast_windows in 1u32..4,
+        extra_slow in 0u32..6,
+        sustain_evals in 1u32..4,
+        clear_evals in 1u32..4,
+        fire_tenths in 10u32..80,
+        clear_tenths in 1u32..80,
+        windows in prop::collection::vec((0u64..40, 0u64..12), 1..50),
+    ) {
+        let rule = rule(
+            fast_windows, extra_slow, sustain_evals, clear_evals, fire_tenths, clear_tenths,
+        );
+        let engine = run_engine(&rule, &windows);
+        let expected = reference_states(&rule, &windows);
+        let actual = states_from_transitions(engine.transitions(), windows.len());
+        prop_assert_eq!(&actual, &expected);
+        prop_assert_eq!(engine.state(0), *expected.last().expect("at least one window"));
+        prop_assert_eq!(
+            engine.any_firing(),
+            engine.state(0) == AlertState::Firing
+        );
+    }
+
+    /// The transition log is always a legal lifecycle chain: no
+    /// self-transitions, each `from` continues the previous `to`,
+    /// boundaries strictly increase, inactive → firing passes through
+    /// pending whenever sustaining takes more than one evaluation, and
+    /// the fired/resolved counters equal the transitions they count.
+    #[test]
+    fn transitions_always_form_a_legal_chain(
+        fast_windows in 1u32..4,
+        extra_slow in 0u32..6,
+        sustain_evals in 1u32..4,
+        clear_evals in 1u32..4,
+        fire_tenths in 10u32..80,
+        clear_tenths in 1u32..80,
+        windows in prop::collection::vec((0u64..40, 0u64..12), 1..50),
+    ) {
+        let rule = rule(
+            fast_windows, extra_slow, sustain_evals, clear_evals, fire_tenths, clear_tenths,
+        );
+        let engine = run_engine(&rule, &windows);
+        let mut state = AlertState::Inactive;
+        let mut last_at = 0u64;
+        for transition in engine.transitions() {
+            prop_assert_eq!(transition.from, state, "chain break at {}", transition.at);
+            prop_assert_ne!(transition.to, transition.from);
+            prop_assert!(transition.at > last_at, "non-increasing boundary");
+            prop_assert_eq!(transition.at % INTERVAL, 0, "off-boundary evaluation");
+            // Firing is only left for inactive (after clearing), never
+            // for pending; pending never appears while firing.
+            if transition.from == AlertState::Firing {
+                prop_assert_eq!(transition.to, AlertState::Inactive);
+            }
+            // With sustain > 1 a fire must come from pending.
+            if transition.to == AlertState::Firing && rule.sustain_evals > 1 {
+                prop_assert_eq!(transition.from, AlertState::Pending);
+            }
+            state = transition.to;
+            last_at = transition.at;
+        }
+        let fired = engine
+            .transitions()
+            .iter()
+            .filter(|t| t.to == AlertState::Firing)
+            .count() as u64;
+        let resolved = engine
+            .transitions()
+            .iter()
+            .filter(|t| t.from == AlertState::Firing)
+            .count() as u64;
+        prop_assert_eq!(engine.fired(), fired);
+        prop_assert_eq!(engine.resolved(), resolved);
+        // Fires and resolves alternate, so they differ by at most one.
+        prop_assert!(fired == resolved || fired == resolved + 1);
+    }
+
+    /// Traffic whose bad fraction stays within the error budget can
+    /// never fire, no matter how it is distributed across windows.
+    #[test]
+    fn traffic_within_budget_never_fires(
+        sustain_evals in 1u32..4,
+        scale in 1u64..50,
+        windows in prop::collection::vec(0u64..5, 1..50),
+    ) {
+        // bad/good = 1/199 < 1% budget in every non-empty window.
+        let windows: Vec<(u64, u64)> = windows
+            .into_iter()
+            .map(|bad| (bad * scale * 199, bad * scale))
+            .collect();
+        let rule = rule(2, 4, sustain_evals, 2, 60, 10);
+        let engine = run_engine(&rule, &windows);
+        prop_assert_eq!(engine.fired(), 0);
+        prop_assert!(engine.transitions().is_empty());
+        prop_assert_eq!(engine.state(0), AlertState::Inactive);
+    }
+}

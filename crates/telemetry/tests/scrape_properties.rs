@@ -1,0 +1,200 @@
+//! Property tests for `MetricsSink` window reclamation interacting with
+//! live scraping: a `/metrics`-style `report()` taken between arbitrary
+//! `drain_points` calls must never observe a half-drained window, and
+//! the drained prefix plus the scraped tail must reassemble the exact
+//! batch series regardless of where the boundaries fall.
+
+use hetero_telemetry::{MetricsSink, SeriesPoint};
+use multicore_sim::{CoreId, PlacementKind, TraceEvent, TraceSink};
+use proptest::prelude::*;
+use workloads::BenchmarkId;
+
+const INTERVAL: u64 = 100;
+
+/// Sequential jobs (each completes before the next arrives) so the
+/// synthetic stream is time-ordered like a real simulator trace.
+fn jobs() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((1u64..300, 1u64..250), 1..40)
+}
+
+fn job_events(jobs: &[(u64, u64)]) -> Vec<TraceEvent> {
+    let mut events = Vec::new();
+    let mut t = 0u64;
+    for (seq, &(gap, dur)) in jobs.iter().enumerate() {
+        let seq = seq as u64;
+        t += gap;
+        events.push(TraceEvent::Arrival {
+            seq,
+            benchmark: BenchmarkId(0),
+            at: t,
+            priority: 0,
+        });
+        events.push(TraceEvent::Placement {
+            seq,
+            benchmark: BenchmarkId(0),
+            core: CoreId(0),
+            at: t,
+            cycles: dur,
+            dynamic_nj: 1.5,
+            static_nj: 0.5,
+            kind: PlacementKind::Pass,
+        });
+        // Idle back-fill obeys the sink's drain contract: it never
+        // starts before the event that precedes it in the stream.
+        events.push(TraceEvent::IdleSpan {
+            core: CoreId(1),
+            from: t,
+            to: t + dur,
+            idle_power_nj_per_cycle: 0.25,
+        });
+        t += dur;
+        events.push(TraceEvent::Completion {
+            seq,
+            benchmark: BenchmarkId(0),
+            core: CoreId(0),
+            at: t,
+            arrival: t - dur,
+            priority: 0,
+        });
+    }
+    events
+}
+
+/// The invariants a live scrape must uphold, checked against the sink's
+/// current drain state and the events folded so far.
+fn assert_scrape_is_whole(sink: &MetricsSink, completions_so_far: u64, drained_completions: u64) {
+    let report = sink.report();
+    // The series starts exactly at the reclamation watermark: no stale
+    // (already-drained) window leaks back in, and none is skipped.
+    if let Some(first) = report.points.first() {
+        assert_eq!(first.index, sink.drained_below(), "series start");
+    }
+    for pair in report.points.windows(2) {
+        assert_eq!(pair[0].index + 1, pair[1].index, "contiguous windows");
+        assert_eq!(pair[0].end, pair[1].start, "gapless spans");
+        // Every non-final window is whole — a scrape can never observe a
+        // half-drained window.
+        assert_eq!(pair[0].end - pair[0].start, INTERVAL, "whole window");
+    }
+    for point in &report.points {
+        assert_eq!(point.start, point.index as u64 * INTERVAL, "aligned start");
+        assert!(point.end <= point.start + INTERVAL);
+        assert!(point.end >= point.start);
+    }
+    // Conservation across the drain boundary: what the drained prefix
+    // took plus what the scrape sees is everything that happened.
+    let scraped: u64 = report.points.iter().map(|p| p.completions).sum();
+    assert_eq!(drained_completions + scraped, completions_so_far);
+    // Cumulative statistics are never reclaimed.
+    assert_eq!(report.totals.completions, completions_so_far);
+    assert_eq!(report.latency_cycles.count(), completions_so_far);
+}
+
+fn assert_points_equal(got: &SeriesPoint, want: &SeriesPoint) {
+    assert_eq!(got.index, want.index);
+    assert_eq!(got.start, want.start);
+    assert_eq!(got.end, want.end);
+    assert_eq!(got.arrivals, want.arrivals);
+    assert_eq!(got.placements, want.placements);
+    assert_eq!(got.completions, want.completions);
+    assert_eq!(got.ready_depth, want.ready_depth);
+    assert_eq!(got.dynamic_nj.to_bits(), want.dynamic_nj.to_bits());
+    assert_eq!(got.static_nj.to_bits(), want.static_nj.to_bits());
+    for (gc, wc) in got.cores.iter().zip(want.cores.iter()) {
+        assert_eq!(gc.busy_cycles, wc.busy_cycles);
+        assert_eq!(gc.idle_cycles, wc.idle_cycles);
+        assert_eq!(gc.offline_cycles, wc.offline_cycles);
+        assert_eq!(gc.idle_energy_nj.to_bits(), wc.idle_energy_nj.to_bits());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Interleave event folding, scrapes, and drains at generated
+    /// boundaries; every scrape sees whole windows only, and the drained
+    /// prefix plus the final tail equals the batch series exactly.
+    #[test]
+    fn scrapes_between_drains_see_only_whole_windows(
+        jobs in jobs(),
+        actions in prop::collection::vec((1u32..8, 0u64..1001), 1..12),
+    ) {
+        let events = job_events(&jobs);
+        let mut batch = MetricsSink::new(2, INTERVAL);
+        for event in &events {
+            batch.record(*event);
+        }
+        let expected = batch.report();
+
+        let mut sink = MetricsSink::new(2, INTERVAL);
+        let mut drained: Vec<SeriesPoint> = Vec::new();
+        let mut completions = 0u64;
+        let mut cursor = 0usize;
+        for (stride, permille) in actions {
+            for _ in 0..stride {
+                if cursor >= events.len() {
+                    break;
+                }
+                if let TraceEvent::Completion { .. } = events[cursor] {
+                    completions += 1;
+                }
+                sink.record(events[cursor]);
+                cursor += 1;
+            }
+            // Scrape before draining…
+            let drained_completions: u64 = drained.iter().map(|p| p.completions).sum();
+            assert_scrape_is_whole(&sink, completions, drained_completions);
+            // …then reclaim up to a boundary inside the folded region
+            // (any cycle at or below the last event is legal).
+            let boundary = sink.last_event_at() * permille / 1000;
+            drained.extend(sink.drain_points(boundary));
+            // …and scrape again right after the drain.
+            let drained_completions: u64 = drained.iter().map(|p| p.completions).sum();
+            assert_scrape_is_whole(&sink, completions, drained_completions);
+        }
+        while cursor < events.len() {
+            sink.record(events[cursor]);
+            cursor += 1;
+        }
+        let tail = sink.report();
+        let recombined: Vec<&SeriesPoint> = drained.iter().chain(tail.points.iter()).collect();
+        prop_assert_eq!(recombined.len(), expected.points.len());
+        for (got, want) in recombined.iter().zip(expected.points.iter()) {
+            assert_points_equal(got, want);
+        }
+        prop_assert_eq!(tail.totals, expected.totals);
+        prop_assert_eq!(&tail.latency_cycles, &expected.latency_cycles);
+        prop_assert_eq!(&tail.job_energy_nj, &expected.job_energy_nj);
+    }
+
+    /// Exact-boundary algebra: draining at `k * interval` reclaims
+    /// exactly the windows strictly below `k`, draining the same
+    /// boundary twice yields nothing new, and draining at
+    /// `last_event_at` is always legal.
+    #[test]
+    fn drain_boundaries_are_exact_and_idempotent(jobs in jobs(), k in 0u64..40) {
+        let events = job_events(&jobs);
+        let mut sink = MetricsSink::new(2, INTERVAL);
+        for event in &events {
+            sink.record(*event);
+        }
+        let last = sink.last_event_at();
+        let boundary = (k * INTERVAL).min(last);
+        let first = sink.drain_points(boundary);
+        prop_assert_eq!(sink.drained_below() as u64, boundary / INTERVAL);
+        for point in &first {
+            prop_assert!(point.end <= boundary / INTERVAL * INTERVAL);
+        }
+        // Idempotent: the same boundary again reclaims nothing.
+        let again = sink.drain_points(boundary);
+        prop_assert!(again.is_empty(), "second drain returned {} windows", again.len());
+        // The horizon itself is always a legal boundary.
+        let rest = sink.drain_points(last);
+        let reclaimed = first.len() + rest.len();
+        prop_assert_eq!(reclaimed, (last / INTERVAL) as usize);
+        let tail = sink.report();
+        if let Some(first_tail) = tail.points.first() {
+            prop_assert_eq!(first_tail.index, (last / INTERVAL) as usize);
+        }
+    }
+}

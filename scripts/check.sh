@@ -56,6 +56,15 @@ echo "==> engine --smoke (streaming service: open-loop load, bounded-memory runs
 echo "==> engine --overload-smoke (admission control + brownout under a storm)"
 ./target/release/engine --overload-smoke
 
+echo "==> engine --serve-smoke (live scrape endpoint + Perfetto round-trip)"
+./target/release/engine --serve-smoke
+
+echo "==> engine --perfetto (trace artifact schema check)"
+perfetto_tmp="$(mktemp -t TRACE_perfetto.XXXXXX.json)"
+trap 'rm -f "$perfetto_tmp"' EXIT
+./target/release/engine --smoke --system proposed --jobs 1000 --perfetto "$perfetto_tmp"
+test -s "$perfetto_tmp"
+
 echo "==> scaling --smoke (many-core sweep through 64 cores, indexed loop)"
 ./target/release/scaling --smoke
 
